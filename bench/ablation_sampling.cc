@@ -1,0 +1,82 @@
+// Ablation: causal-effect-guided active sampling (Unicorn's Stage III)
+// vs uniform-random sampling with the same measurement budget, for
+// single-objective latency optimization.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <limits>
+
+#include "bench/common.h"
+#include "unicorn/optimizer.h"
+#include "util/text_table.h"
+
+namespace unicorn {
+namespace {
+
+void BM_GuidedOptimization(benchmark::State& state) {
+  SystemSpec spec;
+  spec.num_events = 12;
+  auto model = std::make_shared<SystemModel>(BuildSystem(SystemId::kBert, spec));
+  const PerformanceTask task = MakeSimulatedTask(model, Tx2(), DefaultWorkload(), 44);
+  OptimizeOptions options;
+  options.initial_samples = 15;
+  options.max_iterations = 20;
+  options.model.fci.skeleton.max_cond_size = 1;
+  options.model.entropic.latent.restarts = 1;
+  for (auto _ : state) {
+    UnicornOptimizer optimizer(task, options);
+    benchmark::DoNotOptimize(optimizer.Minimize(model->ObjectiveIndices()[0]));
+  }
+}
+BENCHMARK(BM_GuidedOptimization)->Iterations(1);
+
+void RunAblation() {
+  std::printf("\n=== Ablation: ACE-guided sampling vs uniform random search ===\n");
+  TextTable table({"system", "budget", "Unicorn (guided)", "random search"});
+  for (SystemId id : {SystemId::kXception, SystemId::kBert, SystemId::kX264}) {
+    SystemSpec spec;
+    spec.num_events = 12;
+    auto model = std::make_shared<SystemModel>(BuildSystem(id, spec));
+    DataTable meta(model->variables());
+    const size_t latency = *meta.IndexOf(kLatencyName);
+    for (size_t budget : {60u, 150u}) {
+      // Guided.
+      const PerformanceTask task_g = MakeSimulatedTask(model, Tx2(), DefaultWorkload(), 440);
+      OptimizeOptions options;
+      options.initial_samples = 25;
+      options.max_iterations = budget - options.initial_samples;
+      options.relearn_every = 15;
+      options.model.fci.skeleton.alpha = 0.1;
+      options.model.fci.skeleton.max_cond_size = 2;
+      options.model.fci.skeleton.max_subsets = 24;
+      options.model.fci.max_pds_cond_size = 1;
+      options.model.entropic.latent.restarts = 1;
+      UnicornOptimizer optimizer(task_g, options);
+      const auto guided = optimizer.Minimize(latency);
+
+      // Uniform random with the identical budget.
+      const PerformanceTask task_r = MakeSimulatedTask(model, Tx2(), DefaultWorkload(), 441);
+      Rng rng(442);
+      double best_random = std::numeric_limits<double>::infinity();
+      for (size_t i = 0; i < budget; ++i) {
+        const auto row = task_r.measure(task_r.sample_config(&rng));
+        best_random = std::min(best_random, row[latency]);
+      }
+      table.AddRow({bench::SystemLabel(id), std::to_string(budget),
+                    FormatDouble(guided.best_value, 2), FormatDouble(best_random, 2)});
+    }
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf("(expected shape: guided search matches or beats random at every budget,\n"
+              " with the margin widening at larger budgets)\n");
+}
+
+}  // namespace
+}  // namespace unicorn
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  unicorn::RunAblation();
+  return 0;
+}

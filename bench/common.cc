@@ -1,0 +1,201 @@
+#include "bench/common.h"
+
+#include <chrono>
+
+#include "baselines/bugdoc.h"
+#include "baselines/cbi.h"
+#include "baselines/dd.h"
+#include "baselines/encore.h"
+
+namespace unicorn {
+namespace bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// Gain over the fault: mean over the fault's objectives.
+double MeanGain(const Fault& fault, const std::vector<double>& fixed_row) {
+  double total = 0.0;
+  for (size_t obj : fault.objectives) {
+    total += Gain(fault.measurement[obj], fixed_row[obj]);
+  }
+  return fault.objectives.empty() ? 0.0
+                                  : total / static_cast<double>(fault.objectives.size());
+}
+
+}  // namespace
+
+DebugOptions BenchDebugOptions() {
+  DebugOptions options;
+  options.initial_samples = 25;
+  options.max_iterations = 25;
+  options.stall_termination = 25;
+  options.repairs_per_iteration = 2;
+  options.model.fci.skeleton.alpha = 0.1;
+  options.model.fci.skeleton.max_cond_size = 2;
+  options.model.fci.skeleton.max_subsets = 24;
+  options.model.fci.max_pds_cond_size = 1;
+  options.model.entropic.latent.restarts = 1;
+  options.model.entropic.latent.iterations = 30;
+  return options;
+}
+
+std::vector<Fault> SelectFaults(const SystemModel& model, const FaultCuration& curation,
+                                FaultKind kind, size_t max_faults) {
+  DataTable meta(model.variables());
+  std::vector<Fault> selected;
+  const auto want_single = [&](const char* name) {
+    const auto idx = meta.IndexOf(name);
+    if (!idx.has_value()) {
+      return;
+    }
+    for (const auto& fault : FaultsOn(curation, *idx)) {
+      if (!fault.root_causes.empty() && selected.size() < max_faults) {
+        selected.push_back(fault);
+      }
+    }
+  };
+  switch (kind) {
+    case FaultKind::kLatency:
+      want_single(kLatencyName);
+      break;
+    case FaultKind::kEnergy:
+      want_single(kEnergyName);
+      break;
+    case FaultKind::kHeat:
+      want_single(kHeatName);
+      break;
+    case FaultKind::kMulti:
+      for (const auto& fault : MultiObjectiveFaults(curation)) {
+        if (!fault.root_causes.empty() && selected.size() < max_faults) {
+          selected.push_back(fault);
+        }
+      }
+      break;
+  }
+  return selected;
+}
+
+std::vector<MethodScore> RunDebugComparison(const DebugExperimentSpec& spec) {
+  SystemSpec sys_spec;
+  sys_spec.num_events = spec.num_events;
+  auto model = std::make_shared<SystemModel>(BuildSystem(spec.system, sys_spec));
+  Rng rng(spec.seed);
+  const FaultCuration curation =
+      CurateFaults(*model, spec.env, spec.workload, spec.curation_samples, &rng,
+                   spec.percentile);
+  const auto faults = SelectFaults(*model, curation, spec.kind, spec.max_faults);
+
+  std::vector<MethodScore> scores(5);
+  scores[0].method = "Unicorn";
+  scores[1].method = "CBI";
+  scores[2].method = "DD";
+  scores[3].method = "EnCore";
+  scores[4].method = "BugDoc";
+  if (faults.empty()) {
+    return scores;
+  }
+
+  // ACE weights per objective (computed once; faults share objectives).
+  std::vector<double> weights(model->NumVars(), 0.0);
+  {
+    Rng ace_rng(spec.seed + 99);
+    for (size_t obj : curation.objective_vars) {
+      const auto w = TrueAceWeights(*model, obj, spec.env, spec.workload, spec.seed + 7, 12);
+      for (size_t v = 0; v < w.size(); ++v) {
+        weights[v] += w[v];
+      }
+    }
+  }
+
+  size_t fault_idx = 0;
+  for (const auto& fault : faults) {
+    ++fault_idx;
+    const auto goals = GoalsForFault(curation, fault);
+    const uint64_t fault_seed = spec.seed + 1000 * fault_idx;
+
+    // Unicorn.
+    {
+      const PerformanceTask task =
+          MakeSimulatedTask(model, spec.env, spec.workload, fault_seed);
+      DebugOptions options = spec.unicorn_options;
+      options.seed = fault_seed;
+      UnicornDebugger debugger(task, options);
+      const auto start = Clock::now();
+      const DebugResult result = debugger.Debug(fault.config, goals);
+      scores[0].seconds += SecondsSince(start);
+      scores[0].accuracy +=
+          AceWeightedJaccard(result.predicted_root_causes, fault.root_causes, weights);
+      scores[0].precision += Precision(result.predicted_root_causes, fault.root_causes);
+      scores[0].recall += Recall(result.predicted_root_causes, fault.root_causes);
+      scores[0].gain += MeanGain(fault, result.fixed_measurement);
+      scores[0].samples += static_cast<double>(result.measurements_used);
+      ++scores[0].faults;
+    }
+
+    // Baselines.
+    struct Entry {
+      size_t index;
+      BaselineDebugResult (*run)(const PerformanceTask&, const std::vector<double>&,
+                                 const std::vector<ObjectiveGoal>&,
+                                 const BaselineDebugOptions&);
+    };
+    const Entry entries[] = {
+        {1, &CbiDebug}, {2, &DdDebug}, {3, &EncoreDebug}, {4, &BugDocDebug}};
+    for (const auto& entry : entries) {
+      const PerformanceTask task =
+          MakeSimulatedTask(model, spec.env, spec.workload, fault_seed + entry.index);
+      BaselineDebugOptions options;
+      options.sample_budget = spec.baseline_budget;
+      options.seed = fault_seed + entry.index;
+      const auto start = Clock::now();
+      const auto result = entry.run(task, fault.config, goals, options);
+      MethodScore& score = scores[entry.index];
+      score.seconds += SecondsSince(start);
+      score.accuracy +=
+          AceWeightedJaccard(result.predicted_root_causes, fault.root_causes, weights);
+      score.precision += Precision(result.predicted_root_causes, fault.root_causes);
+      score.recall += Recall(result.predicted_root_causes, fault.root_causes);
+      score.gain += MeanGain(fault, result.fixed_measurement);
+      score.samples += static_cast<double>(result.measurements_used);
+      ++score.faults;
+    }
+  }
+  for (auto& score : scores) {
+    if (score.faults > 0) {
+      const double n = static_cast<double>(score.faults);
+      score.accuracy = 100.0 * score.accuracy / n;
+      score.precision = 100.0 * score.precision / n;
+      score.recall = 100.0 * score.recall / n;
+      score.gain /= n;
+      score.seconds /= n;
+      score.samples /= n;
+    }
+  }
+  return scores;
+}
+
+std::string SystemLabel(SystemId id) {
+  switch (id) {
+    case SystemId::kDeepstream:
+      return "DeepStream";
+    case SystemId::kXception:
+      return "Xception";
+    case SystemId::kBert:
+      return "BERT";
+    case SystemId::kDeepspeech:
+      return "Deepspeech";
+    case SystemId::kX264:
+      return "x264";
+    case SystemId::kSqlite:
+      return "SQLite";
+  }
+  return "?";
+}
+
+}  // namespace bench
+}  // namespace unicorn

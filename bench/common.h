@@ -1,0 +1,70 @@
+// Shared experiment harness for the benchmark binaries.
+//
+// Every table/figure bench reuses the same pipeline: curate faults from the
+// ground-truth simulator, run Unicorn and the baselines on each fault with
+// the same QoS goals and budget, score root-cause diagnoses against the
+// ground truth (ACE-weighted Jaccard, precision, recall), and score repairs
+// by gain. Binaries format the aggregate rows the way the paper's tables do.
+#ifndef UNICORN_BENCH_COMMON_H_
+#define UNICORN_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "eval/harness.h"
+#include "eval/metrics.h"
+#include "sysmodel/faults.h"
+#include "sysmodel/systems.h"
+#include "unicorn/debugger.h"
+
+namespace unicorn {
+namespace bench {
+
+// Aggregated debugging metrics for one (system, method) cell of Table 2.
+struct MethodScore {
+  std::string method;
+  double accuracy = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double gain = 0.0;       // percent improvement over the fault
+  double seconds = 0.0;    // wallclock per fault
+  double samples = 0.0;    // measurements per fault
+  size_t faults = 0;
+};
+
+enum class FaultKind { kLatency, kEnergy, kHeat, kMulti };
+
+struct DebugExperimentSpec {
+  SystemId system = SystemId::kXception;
+  Environment env;
+  Workload workload;
+  FaultKind kind = FaultKind::kLatency;
+  size_t curation_samples = 2000;
+  double percentile = 0.97;
+  size_t max_faults = 4;          // faults evaluated per cell
+  size_t baseline_budget = 120;   // measurement budget for baselines
+  DebugOptions unicorn_options;   // tuned-down model options set by Default()
+  uint64_t seed = 1234;
+  int num_events = 12;
+};
+
+// Default Unicorn options for benches (small conditioning sets: the graphs
+// are sparse and the loop relearns frequently).
+DebugOptions BenchDebugOptions();
+
+// Runs Unicorn + the four debugging baselines over the curated faults of the
+// spec. Returned vector: unicorn, cbi, dd, encore, bugdoc (in that order).
+std::vector<MethodScore> RunDebugComparison(const DebugExperimentSpec& spec);
+
+// Selects the faults of the requested kind from a curation.
+std::vector<Fault> SelectFaults(const SystemModel& model, const FaultCuration& curation,
+                                FaultKind kind, size_t max_faults);
+
+// Pretty system name for table rows.
+std::string SystemLabel(SystemId id);
+
+}  // namespace bench
+}  // namespace unicorn
+
+#endif  // UNICORN_BENCH_COMMON_H_

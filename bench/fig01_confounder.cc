@@ -1,0 +1,98 @@
+// Fig. 1: the cache-policy confounder demonstration.
+//
+// Observational data shows Cache Misses positively associated with
+// Throughput; the causal model (Cache Policy as common cause) recovers the
+// true negative effect. Prints the marginal trend, the per-policy trend, the
+// learned graph, and the interventional estimates.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "causal/effects.h"
+#include "stats/correlation.h"
+#include "unicorn/model_learner.h"
+#include "util/text_table.h"
+#include "util/rng.h"
+
+namespace unicorn {
+namespace {
+
+// Throughput in FPS (higher better). Aggressive policies increase misses AND
+// throughput; within a policy, misses reduce throughput.
+DataTable CacheData(size_t n, Rng* rng) {
+  std::vector<Variable> vars = {
+      {"cache_policy", VarType::kDiscrete, VarRole::kOption, {0, 1, 2, 3}},
+      {"cache_misses", VarType::kContinuous, VarRole::kEvent, {}},
+      {"throughput", VarType::kContinuous, VarRole::kObjective, {}},
+  };
+  DataTable t(vars);
+  // The policy shift (20k/level) stays below the within-policy spread (140k)
+  // so every policy has support at every misses level (positivity), while
+  // the policy->fps effect still dominates the marginal trend.
+  for (size_t i = 0; i < n; ++i) {
+    const double policy = static_cast<double>(rng->UniformInt(uint64_t{4}));
+    const double misses = 20e3 * policy + rng->Uniform(0, 140e3);
+    const double fps = 4.0 + 5.5 * policy - misses / 30e3 + rng->Gaussian(0, 0.4);
+    t.AddRow({policy, misses, fps});
+  }
+  return t;
+}
+
+void BM_LearnCausalModel(benchmark::State& state) {
+  Rng rng(1);
+  const DataTable data = CacheData(500, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LearnCausalPerformanceModel(data));
+  }
+}
+BENCHMARK(BM_LearnCausalModel)->Iterations(5);
+
+void RunFigure() {
+  Rng rng(1);
+  const DataTable data = CacheData(4000, &rng);
+
+  std::printf("\n=== Fig. 1 (a): observational trend ===\n");
+  const double marginal = SpearmanCorrelation(data.Col(1), data.Col(2));
+  std::printf("Spearman(cache_misses, throughput) = %+.2f  (misleadingly positive)\n",
+              marginal);
+
+  std::printf("\n=== Fig. 1 (b): per-policy trend ===\n");
+  TextTable per_policy({"cache_policy", "corr(misses, throughput)"});
+  for (int policy = 0; policy < 4; ++policy) {
+    std::vector<double> misses;
+    std::vector<double> fps;
+    for (size_t r = 0; r < data.NumRows(); ++r) {
+      if (data.At(r, 0) == policy) {
+        misses.push_back(data.At(r, 1));
+        fps.push_back(data.At(r, 2));
+      }
+    }
+    per_policy.AddRow("policy " + std::to_string(policy),
+                      {SpearmanCorrelation(misses, fps)});
+  }
+  std::printf("%s", per_policy.Render().c_str());
+  std::printf("(negative within every policy: the true causal direction)\n");
+
+  std::printf("\n=== Fig. 1 (c): learned causal performance model ===\n");
+  const LearnedModel learned = LearnCausalPerformanceModel(data);
+  std::printf("%s", learned.admg.ToString({"cache_policy", "cache_misses", "throughput"}).c_str());
+
+  const CausalEffectEstimator est(learned.admg, data, /*max_bins=*/3);
+  const int levels = est.NumLevels(1);
+  const double low = est.ExpectationDo(2, 1, 0);
+  const double high = est.ExpectationDo(2, 1, levels - 1);
+  std::printf("\nE[throughput | do(cache_misses = low)]  = %.2f FPS\n", low);
+  std::printf("E[throughput | do(cache_misses = high)] = %.2f FPS\n", high);
+  std::printf("interventional effect of raising misses: %+.2f FPS (correctly negative)\n",
+              high - low);
+}
+
+}  // namespace
+}  // namespace unicorn
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  unicorn::RunFigure();
+  return 0;
+}

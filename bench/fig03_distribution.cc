@@ -1,0 +1,86 @@
+// Fig. 3: performance distribution of Deepstream on Xavier.
+//
+// Samples the configuration space, prints distribution statistics
+// demonstrating the non-linear, multi-modal, heavy-tailed behaviour, and
+// shows one curated misconfiguration (the square marker of Fig. 3a).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sysmodel/faults.h"
+#include "sysmodel/systems.h"
+#include "util/text_table.h"
+
+namespace unicorn {
+namespace {
+
+void BM_MeasureDeepstream(benchmark::State& state) {
+  const SystemModel model = BuildSystem(SystemId::kDeepstream);
+  Rng rng(3);
+  const auto config = model.SampleConfig(&rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Measure(config, Xavier(), DefaultWorkload(), &rng));
+  }
+}
+BENCHMARK(BM_MeasureDeepstream)->Iterations(200);
+
+void RunFigure() {
+  const SystemModel model = BuildSystem(SystemId::kDeepstream);
+  Rng rng(33);
+  // 2461 configurations, as in the paper's Deepstream dataset.
+  const FaultCuration curation =
+      CurateFaults(model, Xavier(), DefaultWorkload(), 2461, &rng, 0.99);
+
+  DataTable meta(model.variables());
+  const size_t latency = *meta.IndexOf(kLatencyName);
+  const size_t energy = *meta.IndexOf(kEnergyName);
+
+  auto describe = [&](const char* name, size_t var) {
+    std::vector<double> v = curation.samples.Col(var);
+    std::sort(v.begin(), v.end());
+    const auto pct = [&](double p) {
+      return v[static_cast<size_t>(p * (v.size() - 1))];
+    };
+    double mean = 0.0;
+    for (double x : v) {
+      mean += x;
+    }
+    mean /= static_cast<double>(v.size());
+    std::printf("%-10s min=%8.2f p25=%8.2f median=%8.2f p75=%8.2f p99=%8.2f max=%9.2f "
+                "mean=%8.2f tail/median=%5.1fx\n",
+                name, v.front(), pct(0.25), pct(0.5), pct(0.75), pct(0.99), v.back(), mean,
+                v.back() / pct(0.5));
+  };
+  std::printf("\n=== Fig. 3 (a): Deepstream on Xavier, %zu configurations ===\n",
+              curation.samples.NumRows());
+  describe("latency", latency);
+  describe("energy", energy);
+
+  std::printf("\nnon-functional faults (worse than 99th percentile): %zu\n",
+              curation.faults.size());
+  for (const auto& fault : curation.faults) {
+    if (fault.objectives.size() > 1 && !fault.root_causes.empty()) {
+      std::printf("\n=== Fig. 3 (b): one multi-objective misconfiguration ===\n");
+      std::printf("latency = %.1f (threshold %.1f), energy = %.1f (threshold %.1f)\n",
+                  fault.measurement[latency], curation.thresholds[0],
+                  fault.measurement[energy], curation.thresholds[1]);
+      std::printf("root-cause options:");
+      for (size_t cause : fault.root_causes) {
+        std::printf(" %s", model.variables()[cause].name.c_str());
+      }
+      std::printf("\n");
+      break;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace unicorn
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  unicorn::RunFigure();
+  return 0;
+}

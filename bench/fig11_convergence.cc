@@ -1,0 +1,113 @@
+// Fig. 11: (a) Hamming distance between the learned and ground-truth causal
+// model shrinks with more samples; (b, c) objective trajectories while
+// debugging a multi-objective fault; (d) options selected per iteration.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "graph/algorithms.h"
+#include "unicorn/model_learner.h"
+#include "util/text_table.h"
+
+namespace unicorn {
+namespace {
+
+void BM_ModelUpdate(benchmark::State& state) {
+  SystemSpec spec;
+  spec.num_events = 12;
+  auto model = std::make_shared<SystemModel>(BuildSystem(SystemId::kDeepstream, spec));
+  Rng rng(5);
+  std::vector<std::vector<double>> configs;
+  for (int i = 0; i < 100; ++i) {
+    configs.push_back(model->SampleConfig(&rng));
+  }
+  const DataTable data = model->MeasureMany(configs, Xavier(), DefaultWorkload(), &rng);
+  CausalModelOptions options;
+  options.fci.skeleton.max_cond_size = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LearnCausalPerformanceModel(data, options));
+  }
+}
+BENCHMARK(BM_ModelUpdate)->Iterations(3);
+
+void RunFigure() {
+  SystemSpec spec;
+  spec.num_events = 12;
+  auto model = std::make_shared<SystemModel>(BuildSystem(SystemId::kDeepstream, spec));
+  const MixedGraph truth = model->GroundTruthGraph();
+
+  // (a) SHD vs sample count.
+  std::printf("\n=== Fig. 11 (a): Hamming distance to ground truth vs samples ===\n");
+  Rng rng(11);
+  std::vector<std::vector<double>> configs;
+  for (int i = 0; i < 400; ++i) {
+    configs.push_back(model->SampleConfig(&rng));
+  }
+  const DataTable all = model->MeasureMany(configs, Xavier(), DefaultWorkload(), &rng);
+  CausalModelOptions options;
+  options.fci.skeleton.alpha = 0.1;
+  options.fci.skeleton.max_cond_size = 2;
+  options.fci.skeleton.max_subsets = 24;
+  options.fci.max_pds_cond_size = 1;
+  options.entropic.latent.restarts = 1;
+  TextTable shd_table({"samples", "structural hamming distance"});
+  for (size_t n : {25u, 50u, 100u, 200u, 400u}) {
+    std::vector<size_t> rows;
+    for (size_t r = 0; r < n; ++r) {
+      rows.push_back(r);
+    }
+    const LearnedModel learned = LearnCausalPerformanceModel(all.SelectRows(rows), options);
+    shd_table.AddRow({std::to_string(n),
+                      std::to_string(StructuralHammingDistance(learned.admg, truth))});
+  }
+  std::printf("%s", shd_table.Render().c_str());
+
+  // (b, c, d): debugging trajectory of a multi-objective fault.
+  Rng fault_rng(12);
+  const FaultCuration curation =
+      CurateFaults(*model, Xavier(), DefaultWorkload(), 2000, &fault_rng, 0.97);
+  const auto faults = bench::SelectFaults(*model, curation, bench::FaultKind::kMulti, 1);
+  if (faults.empty()) {
+    std::printf("no multi-objective fault found\n");
+    return;
+  }
+  const Fault& fault = faults.front();
+  const auto goals = GoalsForFault(curation, fault);
+  const PerformanceTask task = MakeSimulatedTask(model, Xavier(), DefaultWorkload(), 13);
+  DebugOptions debug_options = bench::BenchDebugOptions();
+  debug_options.max_iterations = 40;
+  UnicornDebugger debugger(task, debug_options);
+  const DebugResult result = debugger.Debug(fault.config, goals);
+
+  std::printf("\n=== Fig. 11 (b, c): objective values per debugging iteration ===\n");
+  TextTable traj({"iteration", "latency-like", "energy-like", "option changed"});
+  for (size_t i = 0; i < result.objective_trajectory.size(); ++i) {
+    const auto& step = result.objective_trajectory[i];
+    traj.AddRow({std::to_string(i), FormatDouble(step[0], 1),
+                 step.size() > 1 ? FormatDouble(step[1], 1) : "-",
+                 model->variables()[result.selected_options[i]].name});
+  }
+  std::printf("%s", traj.Render().c_str());
+  std::printf("fault fixed: %s, measurements used: %zu\n", result.fixed ? "yes" : "no",
+              result.measurements_used);
+  std::printf("fix changed options (Fig. 11 d, red nodes):");
+  for (size_t cause : result.predicted_root_causes) {
+    std::printf(" %s", model->variables()[cause].name.c_str());
+  }
+  std::printf("\ntrue root causes:");
+  for (size_t cause : fault.root_causes) {
+    std::printf(" %s", model->variables()[cause].name.c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace unicorn
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  unicorn::RunFigure();
+  return 0;
+}

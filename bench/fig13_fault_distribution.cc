@@ -1,0 +1,83 @@
+// Fig. 13: distribution of single- and multi-objective non-functional faults
+// across the six subject systems, plus root-cause-count statistics (§6
+// "Ground truth": most faults have five or more root causes).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "util/text_table.h"
+
+namespace unicorn {
+namespace {
+
+void BM_CurateFaults(benchmark::State& state) {
+  SystemSpec spec;
+  spec.num_events = 12;
+  const SystemModel model = BuildSystem(SystemId::kX264, spec);
+  for (auto _ : state) {
+    Rng rng(13);
+    benchmark::DoNotOptimize(CurateFaults(model, Tx2(), DefaultWorkload(), 500, &rng, 0.99));
+  }
+}
+BENCHMARK(BM_CurateFaults)->Iterations(3);
+
+void RunFigure() {
+  const SystemId systems[] = {SystemId::kDeepstream, SystemId::kXception, SystemId::kBert,
+                              SystemId::kDeepspeech, SystemId::kX264, SystemId::kSqlite};
+  TextTable table({"system", "latency", "energy", "heat", "latency+energy (multi)", "total"});
+  size_t total_single = 0;
+  size_t total_multi = 0;
+  size_t cause_1 = 0;
+  size_t cause_2to4 = 0;
+  size_t cause_5plus = 0;
+  for (SystemId id : systems) {
+    SystemSpec spec;
+    spec.num_events = 12;
+    const SystemModel model = BuildSystem(id, spec);
+    Rng rng(1300 + static_cast<uint64_t>(id));
+    const FaultCuration curation =
+        CurateFaults(model, Tx2(), DefaultWorkload(), 2500, &rng, 0.99);
+    DataTable meta(model.variables());
+    const size_t latency_count = FaultsOn(curation, *meta.IndexOf(kLatencyName)).size();
+    const size_t energy_count = FaultsOn(curation, *meta.IndexOf(kEnergyName)).size();
+    const size_t heat_count = FaultsOn(curation, *meta.IndexOf(kHeatName)).size();
+    const size_t multi = MultiObjectiveFaults(curation).size();
+    total_single += latency_count + energy_count + heat_count;
+    total_multi += multi;
+    for (const auto& fault : curation.faults) {
+      if (fault.root_causes.empty()) {
+        continue;
+      }
+      if (fault.root_causes.size() == 1) {
+        ++cause_1;
+      } else if (fault.root_causes.size() <= 4) {
+        ++cause_2to4;
+      } else {
+        ++cause_5plus;
+      }
+    }
+    table.AddRow({bench::SystemLabel(id), std::to_string(latency_count),
+                  std::to_string(energy_count), std::to_string(heat_count),
+                  std::to_string(multi),
+                  std::to_string(curation.faults.size())});
+  }
+  std::printf("\n=== Fig. 13: non-functional faults per system (99th pct tail) ===\n%s",
+              table.Render().c_str());
+  std::printf("\nsingle-objective faults: %zu, multi-objective faults: %zu\n", total_single,
+              total_multi);
+  std::printf("root-cause counts: 1 cause: %zu, 2-4 causes: %zu, >=5 causes: %zu\n", cause_1,
+              cause_2to4, cause_5plus);
+  std::printf("(paper shape: multi-objective faults are the minority; most faults\n"
+              " have five or more root causes)\n");
+}
+
+}  // namespace
+}  // namespace unicorn
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  unicorn::RunFigure();
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Fig. 14: sample efficiency. Gain achieved by each method as a function of
+// the measurement budget (latency faults on TX2, energy faults on Xavier).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "baselines/bugdoc.h"
+#include "baselines/cbi.h"
+#include "baselines/dd.h"
+#include "baselines/encore.h"
+#include "bench/common.h"
+#include "util/text_table.h"
+
+namespace unicorn {
+namespace {
+
+void BM_BudgetedBaseline(benchmark::State& state) {
+  SystemSpec sys_spec;
+  sys_spec.num_events = 12;
+  auto model = std::make_shared<SystemModel>(BuildSystem(SystemId::kXception, sys_spec));
+  Rng rng(14);
+  const auto curation = CurateFaults(*model, Tx2(), DefaultWorkload(), 1000, &rng, 0.97);
+  const auto faults = bench::SelectFaults(*model, curation, bench::FaultKind::kLatency, 1);
+  if (faults.empty()) {
+    return;
+  }
+  const auto goals = GoalsForFault(curation, faults[0]);
+  const PerformanceTask task = MakeSimulatedTask(model, Tx2(), DefaultWorkload(), 15);
+  BaselineDebugOptions options;
+  options.sample_budget = 100;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BugDocDebug(task, faults[0].config, goals, options));
+  }
+}
+BENCHMARK(BM_BudgetedBaseline)->Iterations(1);
+
+void RunSweep(const char* title, const Environment& env, bench::FaultKind kind) {
+  std::printf("\n=== Fig. 14: %s — gain%% vs sample budget ===\n", title);
+  const SystemId systems[] = {SystemId::kXception, SystemId::kBert, SystemId::kDeepspeech,
+                              SystemId::kX264};
+  for (SystemId id : systems) {
+    SystemSpec sys_spec;
+    sys_spec.num_events = 12;
+    auto model = std::make_shared<SystemModel>(BuildSystem(id, sys_spec));
+    Rng rng(1400 + static_cast<uint64_t>(id));
+    const auto curation = CurateFaults(*model, env, DefaultWorkload(), 2000, &rng, 0.97);
+    const auto faults = bench::SelectFaults(*model, curation, kind, 2);
+    if (faults.empty()) {
+      continue;
+    }
+    TextTable table({"budget", "Unicorn", "CBI", "DD", "EnCore", "BugDoc"});
+    for (size_t budget : {50u, 100u, 200u}) {
+      std::vector<double> gains(5, 0.0);
+      for (size_t f = 0; f < faults.size(); ++f) {
+        const auto& fault = faults[f];
+        const auto goals = GoalsForFault(curation, fault);
+        const size_t obj = fault.objectives[0];
+        const uint64_t seed = 1410 + 13 * f + budget;
+        // Unicorn: budget translates to iterations (25 initial samples are
+        // part of the budget).
+        {
+          const PerformanceTask task = MakeSimulatedTask(model, env, DefaultWorkload(), seed);
+          DebugOptions options = bench::BenchDebugOptions();
+          options.max_iterations = (budget - options.initial_samples) /
+                                   options.repairs_per_iteration;
+          options.seed = seed;
+          UnicornDebugger debugger(task, options);
+          const auto result = debugger.Debug(fault.config, goals);
+          gains[0] += Gain(fault.measurement[obj], result.fixed_measurement[obj]);
+        }
+        BaselineDebugResult (*baselines[])(const PerformanceTask&, const std::vector<double>&,
+                                           const std::vector<ObjectiveGoal>&,
+                                           const BaselineDebugOptions&) = {
+            &CbiDebug, &DdDebug, &EncoreDebug, &BugDocDebug};
+        for (size_t b = 0; b < 4; ++b) {
+          const PerformanceTask task =
+              MakeSimulatedTask(model, env, DefaultWorkload(), seed + b + 1);
+          BaselineDebugOptions options;
+          options.sample_budget = budget;
+          options.seed = seed + b + 1;
+          const auto result = baselines[b](task, fault.config, goals, options);
+          gains[b + 1] += Gain(fault.measurement[obj], result.fixed_measurement[obj]);
+        }
+      }
+      for (auto& g : gains) {
+        g /= static_cast<double>(faults.size());
+      }
+      table.AddRow(std::to_string(budget), gains, 0);
+    }
+    std::printf("\n--- %s ---\n%s", bench::SystemLabel(id).c_str(), table.Render().c_str());
+  }
+  std::printf("(expected shape: Unicorn reaches high gain at the smallest budgets)\n");
+}
+
+}  // namespace
+}  // namespace unicorn
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  unicorn::RunSweep("latency faults on TX2", unicorn::Tx2(),
+                    unicorn::bench::FaultKind::kLatency);
+  unicorn::RunSweep("energy faults on Xavier", unicorn::Xavier(),
+                    unicorn::bench::FaultKind::kEnergy);
+  return 0;
+}

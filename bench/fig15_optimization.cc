@@ -1,0 +1,158 @@
+// Fig. 15: performance optimization on TX2 (Xception).
+// (a) single-objective latency, Unicorn vs SMAC; (b) single-objective
+// energy; (c) hypervolume-error trace for latency+energy, Unicorn vs
+// PESMO-like MOBO; (d) the resulting Pareto fronts.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+
+#include "baselines/pesmo.h"
+#include "baselines/smac.h"
+#include "bench/common.h"
+#include "unicorn/optimizer.h"
+#include "util/text_table.h"
+
+namespace unicorn {
+namespace {
+
+OptimizeOptions BenchOptimizeOptions(size_t iterations) {
+  OptimizeOptions options;
+  options.initial_samples = 25;
+  options.max_iterations = iterations;
+  options.relearn_every = 15;
+  options.model.fci.skeleton.alpha = 0.1;
+  options.model.fci.skeleton.max_cond_size = 2;
+  options.model.fci.skeleton.max_subsets = 24;
+  options.model.fci.max_pds_cond_size = 1;
+  options.model.entropic.latent.restarts = 1;
+  return options;
+}
+
+void BM_UnicornOptimizeStep(benchmark::State& state) {
+  SystemSpec spec;
+  spec.num_events = 12;
+  auto model = std::make_shared<SystemModel>(BuildSystem(SystemId::kXception, spec));
+  const PerformanceTask task = MakeSimulatedTask(model, Tx2(), DefaultWorkload(), 150);
+  for (auto _ : state) {
+    UnicornOptimizer optimizer(task, BenchOptimizeOptions(10));
+    benchmark::DoNotOptimize(optimizer.Minimize(model->ObjectiveIndices()[0]));
+  }
+}
+BENCHMARK(BM_UnicornOptimizeStep)->Iterations(1);
+
+void RunFigure() {
+  SystemSpec spec;
+  spec.num_events = 12;
+  auto model = std::make_shared<SystemModel>(BuildSystem(SystemId::kXception, spec));
+  DataTable meta(model->variables());
+  const size_t latency = *meta.IndexOf(kLatencyName);
+  const size_t energy = *meta.IndexOf(kEnergyName);
+  const size_t iterations = 150;
+
+  auto trajectory_rows = [&](const std::vector<double>& unicorn_traj,
+                             const std::vector<double>& smac_traj) {
+    TextTable table({"iteration", "Unicorn best", "SMAC best"});
+    for (size_t i : {10u, 25u, 50u, 75u, 100u, 125u, 150u}) {
+      const size_t idx = std::min(i, unicorn_traj.size() - 1);
+      const size_t idx2 = std::min(i, smac_traj.size() - 1);
+      table.AddRow({std::to_string(i), FormatDouble(unicorn_traj[idx], 2),
+                    FormatDouble(smac_traj[idx2], 2)});
+    }
+    return table.Render();
+  };
+
+  for (auto [name, objective] :
+       {std::pair<const char*, size_t>{"latency", latency}, {"energy", energy}}) {
+    const PerformanceTask task_u = MakeSimulatedTask(model, Tx2(), DefaultWorkload(), 151);
+    UnicornOptimizer unicorn_opt(task_u, BenchOptimizeOptions(iterations));
+    const auto unicorn_result = unicorn_opt.Minimize(objective);
+
+    const PerformanceTask task_s = MakeSimulatedTask(model, Tx2(), DefaultWorkload(), 152);
+    SmacOptions smac_options;
+    smac_options.initial_samples = 25;
+    smac_options.max_iterations = iterations;
+    smac_options.forest.num_trees = 12;
+    const auto smac_result = SmacMinimize(task_s, objective, smac_options);
+
+    std::printf("\n=== Fig. 15 (%s): single-objective %s minimization ===\n",
+                objective == latency ? "a" : "b", name);
+    std::printf("%s",
+                trajectory_rows(unicorn_result.best_trajectory, smac_result.best_trajectory)
+                    .c_str());
+    std::printf("final: Unicorn %.2f vs SMAC %.2f\n", unicorn_result.best_value,
+                smac_result.best_value);
+  }
+
+  // (c, d): multi-objective.
+  const PerformanceTask task_mu = MakeSimulatedTask(model, Tx2(), DefaultWorkload(), 153);
+  UnicornOptimizer unicorn_mo(task_mu, BenchOptimizeOptions(iterations));
+  const auto unicorn_result = unicorn_mo.MinimizeMulti({latency, energy});
+
+  const PerformanceTask task_p = MakeSimulatedTask(model, Tx2(), DefaultWorkload(), 154);
+  PesmoOptions pesmo_options;
+  pesmo_options.initial_samples = 25;
+  pesmo_options.max_iterations = iterations;
+  pesmo_options.forest.num_trees = 12;
+  const auto pesmo_result = PesmoMinimize(task_p, {latency, energy}, pesmo_options);
+
+  // Reference front and reference point from the union of all evaluations.
+  std::vector<std::pair<double, double>> all_points;
+  auto collect = [&](const std::vector<std::vector<double>>& evaluated, size_t upto) {
+    std::vector<std::pair<double, double>> points;
+    for (size_t i = 0; i < evaluated.size() && i < upto; ++i) {
+      points.push_back({evaluated[i][0], evaluated[i][1]});
+    }
+    return points;
+  };
+  for (const auto& e : unicorn_result.evaluated) {
+    all_points.push_back({e[0], e[1]});
+  }
+  for (const auto& e : pesmo_result.evaluated) {
+    all_points.push_back({e[0], e[1]});
+  }
+  double ref_x = 0.0;
+  double ref_y = 0.0;
+  for (const auto& p : all_points) {
+    ref_x = std::max(ref_x, p.first);
+    ref_y = std::max(ref_y, p.second);
+  }
+  const auto reference_front = ParetoFront2D(all_points);
+
+  std::printf("\n=== Fig. 15 (c): hypervolume error vs iteration ===\n");
+  TextTable hv_table({"iteration", "Unicorn HV error", "PESMO HV error"});
+  for (size_t i : {25u, 50u, 75u, 100u, 125u, 150u}) {
+    const double hv_u = HypervolumeError(collect(unicorn_result.evaluated, 25 + i),
+                                         reference_front, ref_x, ref_y);
+    const double hv_p =
+        HypervolumeError(collect(pesmo_result.evaluated, 25 + i), reference_front, ref_x, ref_y);
+    hv_table.AddRow({std::to_string(i), FormatDouble(hv_u, 3), FormatDouble(hv_p, 3)});
+  }
+  std::printf("%s", hv_table.Render().c_str());
+
+  std::printf("\n=== Fig. 15 (d): Pareto fronts (latency, energy) ===\n");
+  auto print_front = [&](const char* name, const std::vector<std::vector<double>>& evaluated) {
+    std::vector<std::pair<double, double>> points;
+    for (const auto& e : evaluated) {
+      points.push_back({e[0], e[1]});
+    }
+    const auto front = ParetoFront2D(points);
+    std::printf("%s front (%zu points):", name, front.size());
+    for (const auto& p : front) {
+      std::printf(" (%.1f, %.1f)", p.first, p.second);
+    }
+    std::printf("\n");
+  };
+  print_front("Unicorn", unicorn_result.evaluated);
+  print_front("PESMO", pesmo_result.evaluated);
+}
+
+}  // namespace
+}  // namespace unicorn
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  unicorn::RunFigure();
+  return 0;
+}

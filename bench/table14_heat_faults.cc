@@ -1,0 +1,67 @@
+// Table 14 (appendix): heat faults on TX1 — the third objective — for the
+// four single-component systems, Unicorn vs the debugging baselines.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "util/text_table.h"
+
+namespace unicorn {
+namespace {
+
+void BM_HeatFaultDebug(benchmark::State& state) {
+  bench::DebugExperimentSpec spec;
+  spec.system = SystemId::kX264;
+  spec.env = Tx1();
+  spec.workload = DefaultWorkload();
+  spec.kind = bench::FaultKind::kHeat;
+  spec.max_faults = 1;
+  spec.unicorn_options = bench::BenchDebugOptions();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench::RunDebugComparison(spec));
+  }
+}
+BENCHMARK(BM_HeatFaultDebug)->Iterations(1);
+
+void RunTable() {
+  std::printf("\n=== Table 14 (a): heat faults on TX1 ===\n");
+  TextTable table({"system", "method", "accuracy", "precision", "recall", "gain%",
+                   "time(s)", "samples"});
+  const SystemId systems[] = {SystemId::kXception, SystemId::kBert, SystemId::kDeepspeech,
+                              SystemId::kX264};
+  for (SystemId id : systems) {
+    bench::DebugExperimentSpec spec;
+    spec.system = id;
+    spec.env = Tx1();
+    spec.workload = DefaultWorkload();
+    spec.kind = bench::FaultKind::kHeat;
+    spec.max_faults = 3;
+    spec.curation_samples = 2500;
+    spec.unicorn_options = bench::BenchDebugOptions();
+    spec.seed = 1400 + static_cast<uint64_t>(id);
+    const auto scores = bench::RunDebugComparison(spec);
+    for (const auto& score : scores) {
+      if (score.faults == 0) {
+        continue;
+      }
+      table.AddRow({bench::SystemLabel(id), score.method, FormatDouble(score.accuracy, 0),
+                    FormatDouble(score.precision, 0), FormatDouble(score.recall, 0),
+                    FormatDouble(score.gain, 0), FormatDouble(score.seconds, 2),
+                    FormatDouble(score.samples, 0)});
+    }
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf("(paper shape: heat gains are small in absolute terms — heat varies much\n"
+              " less than latency/energy — but Unicorn still leads)\n");
+}
+
+}  // namespace
+}  // namespace unicorn
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  unicorn::RunTable();
+  return 0;
+}

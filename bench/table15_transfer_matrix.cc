@@ -1,0 +1,120 @@
+// Table 15 (appendix): transferring causal models across hardware platforms.
+// Three scenarios: TX1->TX2 (latency), TX2->Xavier (energy),
+// Xavier->TX1 (heat); each with Unicorn (Reuse) / Unicorn+25 /
+// Unicorn (Rerun).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "util/text_table.h"
+
+namespace unicorn {
+namespace {
+
+void BM_TransferScenario(benchmark::State& state) {
+  SystemSpec spec;
+  spec.num_events = 12;
+  auto model = std::make_shared<SystemModel>(BuildSystem(SystemId::kX264, spec));
+  Rng rng(15);
+  benchmark::DoNotOptimize(CurateFaults(*model, Tx2(), DefaultWorkload(), 400, &rng, 0.97));
+  for (auto _ : state) {
+  }
+}
+BENCHMARK(BM_TransferScenario)->Iterations(1);
+
+struct TransferSpec {
+  const char* label;
+  Environment source;
+  Environment target;
+  bench::FaultKind kind;
+  const char* objective_name;
+};
+
+void RunScenario(const TransferSpec& ts, TextTable* table) {
+  const SystemId systems[] = {SystemId::kXception, SystemId::kBert, SystemId::kDeepspeech,
+                              SystemId::kX264};
+  for (SystemId id : systems) {
+    SystemSpec spec;
+    spec.num_events = 12;
+    auto model = std::make_shared<SystemModel>(BuildSystem(id, spec));
+    DataTable meta(model->variables());
+    const size_t objective = *meta.IndexOf(ts.objective_name);
+
+    // Source data for warm starts.
+    Rng src_rng(150 + static_cast<uint64_t>(id));
+    std::vector<std::vector<double>> src_configs;
+    for (int i = 0; i < 120; ++i) {
+      src_configs.push_back(model->SampleConfig(&src_rng));
+    }
+    const DataTable source =
+        model->MeasureMany(src_configs, ts.source, DefaultWorkload(), &src_rng);
+
+    Rng tgt_rng(160 + static_cast<uint64_t>(id));
+    const FaultCuration curation =
+        CurateFaults(*model, ts.target, DefaultWorkload(), 2000, &tgt_rng, 0.97);
+    const auto faults = bench::SelectFaults(*model, curation, ts.kind, 2);
+    if (faults.empty()) {
+      continue;
+    }
+    const auto weights =
+        TrueAceWeights(*model, objective, ts.target, DefaultWorkload(), 161, 10);
+
+    struct Scenario {
+      const char* name;
+      size_t initial;
+      bool warm;
+    };
+    const Scenario scenarios[] = {{"Reuse", 0, true}, {"+25", 25, true}, {"Rerun", 25, false}};
+    for (const auto& scenario : scenarios) {
+      double accuracy = 0.0;
+      double recall = 0.0;
+      double precision = 0.0;
+      double gain = 0.0;
+      for (size_t f = 0; f < faults.size(); ++f) {
+        const auto& fault = faults[f];
+        const PerformanceTask task =
+            MakeSimulatedTask(model, ts.target, DefaultWorkload(), 170 + f);
+        DebugOptions options = bench::BenchDebugOptions();
+        options.initial_samples = scenario.initial;
+        options.seed = 171 + f;
+        UnicornDebugger debugger(task, options);
+        const DebugResult result = debugger.Debug(
+            fault.config, GoalsForFault(curation, fault), scenario.warm ? &source : nullptr);
+        accuracy +=
+            AceWeightedJaccard(result.predicted_root_causes, fault.root_causes, weights);
+        precision += Precision(result.predicted_root_causes, fault.root_causes);
+        recall += Recall(result.predicted_root_causes, fault.root_causes);
+        const size_t obj = fault.objectives[0];
+        gain += Gain(fault.measurement[obj], result.fixed_measurement[obj]);
+      }
+      const double n = static_cast<double>(faults.size());
+      table->AddRow({ts.label, bench::SystemLabel(id), scenario.name,
+                     FormatDouble(100 * accuracy / n, 0), FormatDouble(100 * recall / n, 0),
+                     FormatDouble(100 * precision / n, 0), FormatDouble(gain / n, 0)});
+    }
+  }
+}
+
+}  // namespace
+}  // namespace unicorn
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  using unicorn::bench::FaultKind;
+  unicorn::TextTable table(
+      {"scenario", "system", "variant", "accuracy", "recall", "precision", "gain%"});
+  unicorn::RunScenario({"TX1->TX2 latency", unicorn::Tx1(), unicorn::Tx2(),
+                        FaultKind::kLatency, unicorn::kLatencyName},
+                       &table);
+  unicorn::RunScenario({"TX2->Xavier energy", unicorn::Tx2(), unicorn::Xavier(),
+                        FaultKind::kEnergy, unicorn::kEnergyName},
+                       &table);
+  unicorn::RunScenario({"Xavier->TX1 heat", unicorn::Xavier(), unicorn::Tx1(),
+                        FaultKind::kHeat, unicorn::kHeatName},
+                       &table);
+  std::printf("\n=== Table 15: cross-hardware transfer matrix ===\n%s", table.Render().c_str());
+  std::printf("(expected shape: +25 close to Rerun; Reuse degrades but stays useful)\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Table 2 (b): multi-objective (energy + latency) non-functional faults on
+// Xavier, Unicorn vs CBI / EnCore / BugDoc.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "util/text_table.h"
+
+namespace unicorn {
+namespace {
+
+void BM_MultiObjectiveDebug(benchmark::State& state) {
+  bench::DebugExperimentSpec spec;
+  spec.system = SystemId::kXception;
+  spec.env = Xavier();
+  spec.workload = DefaultWorkload();
+  spec.kind = bench::FaultKind::kMulti;
+  spec.max_faults = 1;
+  spec.unicorn_options = bench::BenchDebugOptions();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench::RunDebugComparison(spec));
+  }
+}
+BENCHMARK(BM_MultiObjectiveDebug)->Iterations(1);
+
+void RunTable() {
+  std::printf("\n=== Table 2b: multi-objective faults (energy + latency) on Xavier ===\n");
+  TextTable table({"system", "method", "accuracy", "precision", "recall", "gain%",
+                   "time(s)", "samples"});
+  const SystemId systems[] = {SystemId::kXception, SystemId::kBert, SystemId::kDeepspeech,
+                              SystemId::kX264};
+  for (SystemId id : systems) {
+    bench::DebugExperimentSpec spec;
+    spec.system = id;
+    spec.env = Xavier();
+    spec.workload = DefaultWorkload();
+    spec.kind = bench::FaultKind::kMulti;
+    spec.max_faults = 3;
+    spec.curation_samples = 3000;
+    spec.unicorn_options = bench::BenchDebugOptions();
+    spec.seed = 2300 + static_cast<uint64_t>(id);
+    const auto scores = bench::RunDebugComparison(spec);
+    for (const auto& score : scores) {
+      if (score.method == "DD") {
+        continue;  // the paper's Table 2b omits DD for multi-objective faults
+      }
+      table.AddRow({bench::SystemLabel(id), score.method, FormatDouble(score.accuracy, 0),
+                    FormatDouble(score.precision, 0), FormatDouble(score.recall, 0),
+                    FormatDouble(score.gain, 0), FormatDouble(score.seconds, 2),
+                    FormatDouble(score.samples, 0)});
+    }
+  }
+  std::printf("%s", table.Render().c_str());
+}
+
+}  // namespace
+}  // namespace unicorn
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  unicorn::RunTable();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Quickstart: learn a causal performance model from measurements and ask it
+// interventional questions.
+//
+//   1. deploy a configurable system (here: the simulated x264 on TX2),
+//   2. measure a few hundred random configurations,
+//   3. learn the causal performance model (FCI + entropic resolution),
+//   4. estimate performance queries with do-calculus:
+//        P(latency <= 25 | do(buffer_size = 6000))
+//        E(energy | do(bitrate = 2000))
+#include <cstdio>
+
+#include "causal/effects.h"
+#include "sysmodel/systems.h"
+#include "unicorn/model_learner.h"
+#include "unicorn/query.h"
+
+using namespace unicorn;
+
+int main() {
+  // A configurable system deployed on a hardware platform.
+  SystemSpec spec;
+  spec.num_events = 12;
+  const SystemModel system = BuildSystem(SystemId::kX264, spec);
+  const Environment env = Tx2();
+
+  // Measure 300 random configurations (5 replicates each, median kept).
+  Rng rng(2024);
+  std::vector<std::vector<double>> configs;
+  for (int i = 0; i < 300; ++i) {
+    configs.push_back(system.SampleConfig(&rng));
+  }
+  const DataTable data = system.MeasureMany(configs, env, DefaultWorkload(), &rng);
+  std::printf("measured %zu configurations of %s (%zu options, %zu events)\n",
+              data.NumRows(), system.name().c_str(), system.OptionIndices().size(),
+              system.EventIndices().size());
+
+  // Learn the causal performance model.
+  const LearnedModel model = LearnCausalPerformanceModel(data);
+  std::printf("learned ADMG: %zu edges, avg degree %.2f, %lld independence tests\n",
+              model.admg.NumEdges(), model.admg.AverageDegree(), model.independence_tests);
+
+  // What drives latency? Rank the causal paths.
+  const CausalEffectEstimator estimator(model.admg, data);
+  const size_t latency = *data.IndexOf(kLatencyName);
+  std::printf("\ntop causal paths into latency:\n");
+  for (const auto& ranked : estimator.RankPaths({latency}, 5)) {
+    std::printf("  [ACE %.3f] ", ranked.path_ace);
+    for (size_t i = 0; i < ranked.nodes.size(); ++i) {
+      std::printf("%s%s", i ? " -> " : "", data.Var(ranked.nodes[i]).name.c_str());
+    }
+    std::printf("\n");
+  }
+
+  // Ask interventional queries in the textual query language.
+  for (const char* text : {"P(latency <= 25 | do(buffer_size=6000))",
+                           "E(energy | do(bitrate=2000))",
+                           "E(energy | do(bitrate=5000))"}) {
+    const auto query = ParseQuery(text, data);
+    if (!query.has_value()) {
+      std::printf("could not parse: %s\n", text);
+      continue;
+    }
+    const QueryAnswer answer = EstimateQuery(estimator, *query);
+    std::printf("%-45s = %.3f%s\n", text, answer.value,
+                answer.is_probability ? "" : " (expectation)");
+  }
+  return 0;
+}

@@ -1,0 +1,135 @@
+#include "baselines/bugdoc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/decision_tree.h"
+
+namespace unicorn {
+namespace {
+
+// Picks a domain value for option `pos` satisfying the split constraint.
+double SatisfySplit(const Variable& var, double threshold, bool go_left, double fallback) {
+  // go_left means value <= threshold.
+  const auto& domain = var.domain;
+  if (domain.empty()) {
+    return fallback;
+  }
+  if (var.type == VarType::kContinuous) {
+    const double lo = domain.front();
+    const double hi = domain.back();
+    return go_left ? std::min(threshold, hi) : std::min(hi, std::max(threshold + 1e-6, lo));
+  }
+  double best = fallback;
+  bool found = false;
+  for (double v : domain) {
+    const bool ok = go_left ? v <= threshold : v > threshold;
+    if (ok) {
+      best = v;
+      found = true;
+      if (go_left) {
+        // keep the largest satisfying value; continue scanning
+      } else {
+        break;  // smallest satisfying value
+      }
+    }
+  }
+  return found ? best : fallback;
+}
+
+}  // namespace
+
+BaselineDebugResult BugDocDebug(const PerformanceTask& task,
+                                const std::vector<double>& fault_config,
+                                const std::vector<ObjectiveGoal>& goals,
+                                const BaselineDebugOptions& options) {
+  Rng rng(options.seed);
+  BaselineDebugResult result;
+
+  std::vector<std::vector<double>> configs;
+  std::vector<double> labels;  // 1 = fail
+  std::vector<std::vector<double>> rows;
+
+  auto add = [&](std::vector<double> config) {
+    auto row = task.measure(config);
+    ++result.measurements_used;
+    labels.push_back(DebugGoalsMet(row, goals) ? 0.0 : 1.0);
+    rows.push_back(row);
+    configs.push_back(std::move(config));
+    return rows.size() - 1;
+  };
+
+  add(fault_config);
+  const size_t bootstrap = options.sample_budget / 2;
+  for (size_t i = 1; i < bootstrap; ++i) {
+    add(task.sample_config(&rng));
+  }
+
+  std::vector<double> best_config = fault_config;
+  std::vector<double> best_row = rows[0];
+  double best_badness = DebugBadness(rows[0], goals);
+  DecisionTree tree;
+
+  while (result.measurements_used + 1 < options.sample_budget) {
+    // Fit the debugging decision tree on pass/fail.
+    std::vector<size_t> all_rows(configs.size());
+    for (size_t i = 0; i < all_rows.size(); ++i) {
+      all_rows[i] = i;
+    }
+    TreeOptions tree_options;
+    tree_options.max_depth = 6;
+    tree.Fit(configs, labels, all_rows, tree_options, &rng);
+
+    // Propose the configuration of the purest, most supported passing leaf,
+    // filled in from the faulty configuration.
+    auto leaves = tree.Leaves();
+    std::sort(leaves.begin(), leaves.end(),
+              [](const DecisionTree::LeafInfo& a, const DecisionTree::LeafInfo& b) {
+                if (a.value != b.value) {
+                  return a.value < b.value;  // lower fail probability first
+                }
+                return a.count > b.count;
+              });
+    bool proposed = false;
+    for (const auto& leaf : leaves) {
+      std::vector<double> candidate = fault_config;
+      for (const auto& split : leaf.path) {
+        candidate[split.feature] =
+            SatisfySplit(task.variables[task.option_vars[split.feature]], split.threshold,
+                         split.left, candidate[split.feature]);
+      }
+      if (std::find(configs.begin(), configs.end(), candidate) != configs.end()) {
+        continue;  // already measured; try the next leaf
+      }
+      const size_t idx = add(candidate);
+      const double badness = DebugBadness(rows[idx], goals);
+      if (badness < best_badness) {
+        best_badness = badness;
+        best_config = candidate;
+        best_row = rows[idx];
+      }
+      proposed = true;
+      break;
+    }
+    if (!proposed || best_badness <= 0.0) {
+      break;
+    }
+  }
+
+  // Explanation: the splits along the faulty configuration's decision path.
+  for (const auto& split : tree.DecisionPath(fault_config)) {
+    const size_t var = task.option_vars[split.feature];
+    if (std::find(result.predicted_root_causes.begin(), result.predicted_root_causes.end(),
+                  var) == result.predicted_root_causes.end()) {
+      result.predicted_root_causes.push_back(var);
+    }
+  }
+  std::sort(result.predicted_root_causes.begin(), result.predicted_root_causes.end());
+
+  result.fixed = best_badness <= 0.0;
+  result.fixed_config = best_config;
+  result.fixed_measurement = best_row;
+  return result;
+}
+
+}  // namespace unicorn

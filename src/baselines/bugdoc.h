@@ -1,0 +1,22 @@
+// BugDoc: decision-tree root-cause inference for computational pipelines
+// (Lourenço, Freire, Shasha — SIGMOD'20).
+//
+// Iteratively fits a pass/fail decision tree over the sampled configurations,
+// explains the fault by the splits on the faulty configuration's decision
+// path, and proposes the configuration of the purest passing leaf. New
+// measurements from each proposal refine the tree.
+#ifndef UNICORN_BASELINES_BUGDOC_H_
+#define UNICORN_BASELINES_BUGDOC_H_
+
+#include "baselines/debug_common.h"
+
+namespace unicorn {
+
+BaselineDebugResult BugDocDebug(const PerformanceTask& task,
+                                const std::vector<double>& fault_config,
+                                const std::vector<ObjectiveGoal>& goals,
+                                const BaselineDebugOptions& options = {});
+
+}  // namespace unicorn
+
+#endif  // UNICORN_BASELINES_BUGDOC_H_

@@ -1,0 +1,163 @@
+#include "baselines/cbi.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "stats/discretize.h"
+
+namespace unicorn {
+
+bool DebugGoalsMet(const std::vector<double>& row, const std::vector<ObjectiveGoal>& goals) {
+  for (const auto& goal : goals) {
+    if (row[goal.var] > goal.threshold) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double DebugBadness(const std::vector<double>& row, const std::vector<ObjectiveGoal>& goals) {
+  double worst = -1e18;
+  for (const auto& goal : goals) {
+    const double denom = std::max(1e-9, std::fabs(goal.threshold));
+    worst = std::max(worst, (row[goal.var] - goal.threshold) / denom);
+  }
+  return worst;
+}
+
+BaselineDebugResult CbiDebug(const PerformanceTask& task,
+                             const std::vector<double>& fault_config,
+                             const std::vector<ObjectiveGoal>& goals,
+                             const BaselineDebugOptions& options) {
+  Rng rng(options.seed);
+  BaselineDebugResult result;
+
+  // Phase 1: gather labelled runs (80% of the budget).
+  const size_t explore = options.sample_budget * 4 / 5;
+  std::vector<std::vector<double>> configs;
+  std::vector<std::vector<double>> rows;
+  std::vector<bool> fail;
+  configs.push_back(fault_config);
+  rows.push_back(task.measure(fault_config));
+  ++result.measurements_used;
+  fail.push_back(true);
+  for (size_t i = 1; i < explore; ++i) {
+    auto config = task.sample_config(&rng);
+    auto row = task.measure(config);
+    ++result.measurements_used;
+    fail.push_back(!DebugGoalsMet(row, goals));
+    configs.push_back(std::move(config));
+    rows.push_back(std::move(row));
+  }
+
+  size_t total_fail = 0;
+  for (bool f : fail) {
+    total_fail += f ? 1 : 0;
+  }
+  const double context =
+      static_cast<double>(total_fail) / static_cast<double>(fail.size());
+
+  // Phase 2: score predicates (option == level).
+  struct Predicate {
+    size_t option_pos;
+    double level;
+    double importance;
+  };
+  std::vector<Predicate> predicates;
+  for (size_t i = 0; i < task.option_vars.size(); ++i) {
+    // Distinct observed values of this option.
+    std::map<double, std::pair<size_t, size_t>> counts;  // level -> (fail, pass)
+    for (size_t r = 0; r < configs.size(); ++r) {
+      auto& c = counts[configs[r][i]];
+      if (fail[r]) {
+        ++c.first;
+      } else {
+        ++c.second;
+      }
+    }
+    for (const auto& [level, fs] : counts) {
+      const auto [f, s] = fs;
+      if (f + s == 0 || f == 0) {
+        continue;
+      }
+      const double failure = static_cast<double>(f) / static_cast<double>(f + s);
+      const double increase = failure - context;
+      if (increase <= 0.0) {
+        continue;
+      }
+      // Importance: harmonic mean of Increase and normalized log-failures.
+      const double log_f =
+          total_fail > 1 ? std::log(static_cast<double>(f)) /
+                               std::log(static_cast<double>(total_fail))
+                         : 1.0;
+      const double importance = 2.0 / (1.0 / increase + 1.0 / std::max(log_f, 1e-6));
+      predicates.push_back({i, level, importance});
+    }
+  }
+  std::sort(predicates.begin(), predicates.end(),
+            [](const Predicate& a, const Predicate& b) { return a.importance > b.importance; });
+
+  // Root causes: options of the top predicates that also match the faulty
+  // configuration's values.
+  std::vector<size_t> cause_positions;
+  for (const auto& p : predicates) {
+    if (fault_config[p.option_pos] != p.level) {
+      continue;
+    }
+    if (std::find(cause_positions.begin(), cause_positions.end(), p.option_pos) ==
+        cause_positions.end()) {
+      cause_positions.push_back(p.option_pos);
+    }
+    if (cause_positions.size() >= 8) {
+      break;
+    }
+  }
+  for (size_t pos : cause_positions) {
+    result.predicted_root_causes.push_back(task.option_vars[pos]);
+  }
+  std::sort(result.predicted_root_causes.begin(), result.predicted_root_causes.end());
+
+  // Phase 3: fix = implicated options set to their most common value among
+  // passing runs; verify with the remaining budget.
+  std::vector<double> candidate = fault_config;
+  for (size_t pos : cause_positions) {
+    std::map<double, size_t> votes;
+    for (size_t r = 0; r < configs.size(); ++r) {
+      if (!fail[r]) {
+        ++votes[configs[r][pos]];
+      }
+    }
+    double best_value = fault_config[pos];
+    size_t best_votes = 0;
+    for (const auto& [value, n] : votes) {
+      if (n > best_votes) {
+        best_votes = n;
+        best_value = value;
+      }
+    }
+    candidate[pos] = best_value;
+  }
+  auto fixed_row = task.measure(candidate);
+  ++result.measurements_used;
+  result.fixed = DebugGoalsMet(fixed_row, goals);
+  result.fixed_config = candidate;
+  result.fixed_measurement = fixed_row;
+
+  // Fall back to the best passing sample if the constructed fix fails.
+  if (!result.fixed) {
+    double best_badness = DebugBadness(fixed_row, goals);
+    for (size_t r = 0; r < configs.size(); ++r) {
+      const double badness = DebugBadness(rows[r], goals);
+      if (badness < best_badness) {
+        best_badness = badness;
+        result.fixed_config = configs[r];
+        result.fixed_measurement = rows[r];
+        result.fixed = badness <= 0.0;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace unicorn

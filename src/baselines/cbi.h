@@ -1,0 +1,27 @@
+// CBI: statistical debugging via predicate ranking (Song & Lu, "Statistical
+// Debugging for Real-World Performance Problems", OOPSLA'14).
+//
+// Predicates are (option == level) atoms over the sampled runs; each is
+// scored with the classic CBI estimates
+//   Failure(P)  = F(P) / (F(P) + S(P))
+//   Context(P)  = F(P observed) / (F + S observed)   (= global failure rate
+//                 here, since configuration predicates are always observed)
+//   Increase(P) = Failure(P) - Context(P)
+// and ranked by the harmonic-mean Importance score. The top-ranked options
+// are reported as root causes, and the fix assigns them the values most
+// common among passing runs.
+#ifndef UNICORN_BASELINES_CBI_H_
+#define UNICORN_BASELINES_CBI_H_
+
+#include "baselines/debug_common.h"
+
+namespace unicorn {
+
+BaselineDebugResult CbiDebug(const PerformanceTask& task,
+                             const std::vector<double>& fault_config,
+                             const std::vector<ObjectiveGoal>& goals,
+                             const BaselineDebugOptions& options = {});
+
+}  // namespace unicorn
+
+#endif  // UNICORN_BASELINES_CBI_H_

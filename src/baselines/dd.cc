@@ -1,0 +1,120 @@
+#include "baselines/dd.h"
+
+#include <algorithm>
+
+namespace unicorn {
+namespace {
+
+// Applies the subset of diffs (indices into `diff_positions`) onto fault.
+std::vector<double> ApplyDiffs(const std::vector<double>& fault_config,
+                               const std::vector<double>& pass_config,
+                               const std::vector<size_t>& diff_positions,
+                               const std::vector<size_t>& subset) {
+  std::vector<double> out = fault_config;
+  for (size_t idx : subset) {
+    const size_t pos = diff_positions[idx];
+    out[pos] = pass_config[pos];
+  }
+  return out;
+}
+
+}  // namespace
+
+BaselineDebugResult DdDebug(const PerformanceTask& task,
+                            const std::vector<double>& fault_config,
+                            const std::vector<ObjectiveGoal>& goals,
+                            const BaselineDebugOptions& options) {
+  Rng rng(options.seed);
+  BaselineDebugResult result;
+
+  // Find a passing configuration.
+  std::vector<double> pass_config;
+  std::vector<double> pass_row;
+  while (result.measurements_used < options.sample_budget / 2) {
+    auto config = task.sample_config(&rng);
+    auto row = task.measure(config);
+    ++result.measurements_used;
+    if (DebugGoalsMet(row, goals)) {
+      pass_config = std::move(config);
+      pass_row = std::move(row);
+      break;
+    }
+    // Track the least-bad sample as fallback.
+    if (result.fixed_measurement.empty() ||
+        DebugBadness(row, goals) < DebugBadness(result.fixed_measurement, goals)) {
+      result.fixed_config = config;
+      result.fixed_measurement = row;
+    }
+  }
+  if (pass_config.empty()) {
+    // Budget exhausted without a passing run.
+    if (result.fixed_config.empty()) {
+      result.fixed_config = fault_config;
+      result.fixed_measurement = task.measure(fault_config);
+      ++result.measurements_used;
+    }
+    return result;
+  }
+
+  // Differing option positions.
+  std::vector<size_t> diffs;
+  for (size_t i = 0; i < fault_config.size(); ++i) {
+    if (fault_config[i] != pass_config[i]) {
+      diffs.push_back(i);
+    }
+  }
+
+  // ddmin over subsets of diffs: find a minimal subset whose application
+  // fixes the fault. Start with all diffs (known to pass).
+  std::vector<size_t> current(diffs.size());
+  for (size_t i = 0; i < diffs.size(); ++i) {
+    current[i] = i;
+  }
+  std::vector<double> current_row = pass_row;
+  size_t granularity = 2;
+  while (current.size() > 1 && result.measurements_used < options.sample_budget) {
+    const size_t chunk = std::max<size_t>(1, current.size() / granularity);
+    bool reduced = false;
+    // Try complements: remove one chunk at a time.
+    for (size_t start = 0; start < current.size() && !reduced; start += chunk) {
+      std::vector<size_t> complement;
+      for (size_t i = 0; i < current.size(); ++i) {
+        if (i < start || i >= start + chunk) {
+          complement.push_back(current[i]);
+        }
+      }
+      if (complement.empty()) {
+        continue;
+      }
+      const auto candidate = ApplyDiffs(fault_config, pass_config, diffs, complement);
+      const auto row = task.measure(candidate);
+      ++result.measurements_used;
+      if (DebugGoalsMet(row, goals)) {
+        current = complement;
+        current_row = row;
+        granularity = std::max<size_t>(2, granularity - 1);
+        reduced = true;
+      }
+      if (result.measurements_used >= options.sample_budget) {
+        break;
+      }
+    }
+    if (!reduced) {
+      if (granularity >= current.size()) {
+        break;
+      }
+      granularity = std::min(current.size(), granularity * 2);
+    }
+  }
+
+  result.fixed = true;
+  result.fixed_config = ApplyDiffs(fault_config, pass_config, diffs, current);
+  result.fixed_measurement = current_row;
+  for (size_t idx : current) {
+    result.predicted_root_causes.push_back(task.option_vars[diffs[idx]]);
+  }
+  std::sort(result.predicted_root_causes.begin(), result.predicted_root_causes.end());
+  return result;
+}
+
+}  // namespace unicorn

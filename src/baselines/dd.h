@@ -1,0 +1,20 @@
+// DD: iterative delta debugging (Artho 2011; Zeller's ddmin).
+//
+// Finds a passing configuration, then minimizes the set of option changes
+// between the faulty and the passing configuration that is needed to make
+// the fault disappear. Each candidate subset costs one measurement.
+#ifndef UNICORN_BASELINES_DD_H_
+#define UNICORN_BASELINES_DD_H_
+
+#include "baselines/debug_common.h"
+
+namespace unicorn {
+
+BaselineDebugResult DdDebug(const PerformanceTask& task,
+                            const std::vector<double>& fault_config,
+                            const std::vector<ObjectiveGoal>& goals,
+                            const BaselineDebugOptions& options = {});
+
+}  // namespace unicorn
+
+#endif  // UNICORN_BASELINES_DD_H_

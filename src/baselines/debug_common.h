@@ -1,0 +1,39 @@
+// Shared types for the debugging baselines (CBI, DD, EnCore, BugDoc).
+//
+// Every baseline gets the same interface as Unicorn's debugger — a
+// PerformanceTask, a faulty configuration, QoS goals, and a measurement
+// budget — and returns the same result shape so the evaluation harness can
+// compare them head-to-head (paper Table 2).
+#ifndef UNICORN_BASELINES_DEBUG_COMMON_H_
+#define UNICORN_BASELINES_DEBUG_COMMON_H_
+
+#include <vector>
+
+#include "causal/counterfactual.h"
+#include "unicorn/task.h"
+
+namespace unicorn {
+
+struct BaselineDebugOptions {
+  // Total measurement budget (the stand-in for the paper's 4-hour cap).
+  size_t sample_budget = 150;
+  uint64_t seed = 99;
+};
+
+struct BaselineDebugResult {
+  bool fixed = false;
+  std::vector<double> fixed_config;
+  std::vector<double> fixed_measurement;
+  std::vector<size_t> predicted_root_causes;  // global variable indices
+  size_t measurements_used = 0;
+};
+
+// True when `row` satisfies every goal.
+bool DebugGoalsMet(const std::vector<double>& row, const std::vector<ObjectiveGoal>& goals);
+
+// Max relative goal violation of `row` (<= 0 when all goals met).
+double DebugBadness(const std::vector<double>& row, const std::vector<ObjectiveGoal>& goals);
+
+}  // namespace unicorn
+
+#endif  // UNICORN_BASELINES_DEBUG_COMMON_H_

@@ -1,0 +1,192 @@
+#include "baselines/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <numeric>
+
+namespace unicorn {
+namespace {
+
+double Mean(const std::vector<double>& y, const std::vector<size_t>& rows) {
+  if (rows.empty()) {
+    return 0.0;
+  }
+  double acc = 0.0;
+  for (size_t r : rows) {
+    acc += y[r];
+  }
+  return acc / static_cast<double>(rows.size());
+}
+
+double Sse(const std::vector<double>& y, const std::vector<size_t>& rows, double mean) {
+  double acc = 0.0;
+  for (size_t r : rows) {
+    const double d = y[r] - mean;
+    acc += d * d;
+  }
+  return acc;
+}
+
+}  // namespace
+
+void DecisionTree::Fit(const std::vector<std::vector<double>>& x, const std::vector<double>& y,
+                       const std::vector<size_t>& rows, const TreeOptions& options, Rng* rng) {
+  nodes_.clear();
+  if (rows.empty()) {
+    return;
+  }
+  Build(x, y, rows, 0, options, rng);
+}
+
+int DecisionTree::Build(const std::vector<std::vector<double>>& x, const std::vector<double>& y,
+                        std::vector<size_t> rows, int depth, const TreeOptions& options,
+                        Rng* rng) {
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[static_cast<size_t>(node_id)].value = Mean(y, rows);
+  nodes_[static_cast<size_t>(node_id)].count = rows.size();
+
+  if (depth >= options.max_depth || rows.size() < options.min_samples_split) {
+    return node_id;
+  }
+  const double parent_sse = Sse(y, rows, nodes_[static_cast<size_t>(node_id)].value);
+  if (parent_sse <= 1e-12) {
+    return node_id;
+  }
+
+  const size_t num_features = x.empty() ? 0 : x[0].size();
+  std::vector<size_t> features(num_features);
+  std::iota(features.begin(), features.end(), size_t{0});
+  if (options.feature_subsample > 0 && options.feature_subsample < num_features &&
+      rng != nullptr) {
+    rng->Shuffle(&features);
+    features.resize(options.feature_subsample);
+  }
+
+  size_t best_feature = 0;
+  double best_threshold = 0.0;
+  double best_gain = 1e-9;
+  for (size_t f : features) {
+    // Candidate thresholds: midpoints between sorted distinct values.
+    std::vector<double> values;
+    values.reserve(rows.size());
+    for (size_t r : rows) {
+      values.push_back(x[r][f]);
+    }
+    std::sort(values.begin(), values.end());
+    values.erase(std::unique(values.begin(), values.end()), values.end());
+    if (values.size() < 2) {
+      continue;
+    }
+    for (size_t i = 0; i + 1 < values.size(); ++i) {
+      const double threshold = 0.5 * (values[i] + values[i + 1]);
+      double sum_l = 0.0;
+      double sum_r = 0.0;
+      size_t n_l = 0;
+      size_t n_r = 0;
+      for (size_t r : rows) {
+        if (x[r][f] <= threshold) {
+          sum_l += y[r];
+          ++n_l;
+        } else {
+          sum_r += y[r];
+          ++n_r;
+        }
+      }
+      if (n_l == 0 || n_r == 0) {
+        continue;
+      }
+      const double mean_l = sum_l / static_cast<double>(n_l);
+      const double mean_r = sum_r / static_cast<double>(n_r);
+      double sse = 0.0;
+      for (size_t r : rows) {
+        const double m = x[r][f] <= threshold ? mean_l : mean_r;
+        const double d = y[r] - m;
+        sse += d * d;
+      }
+      const double gain = parent_sse - sse;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = f;
+        best_threshold = threshold;
+      }
+    }
+  }
+  if (best_gain <= 1e-9) {
+    return node_id;
+  }
+
+  std::vector<size_t> left_rows;
+  std::vector<size_t> right_rows;
+  for (size_t r : rows) {
+    if (x[r][best_feature] <= best_threshold) {
+      left_rows.push_back(r);
+    } else {
+      right_rows.push_back(r);
+    }
+  }
+  rows.clear();
+  rows.shrink_to_fit();
+
+  nodes_[static_cast<size_t>(node_id)].feature = best_feature;
+  nodes_[static_cast<size_t>(node_id)].threshold = best_threshold;
+  const int left = Build(x, y, std::move(left_rows), depth + 1, options, rng);
+  nodes_[static_cast<size_t>(node_id)].left = left;
+  const int right = Build(x, y, std::move(right_rows), depth + 1, options, rng);
+  nodes_[static_cast<size_t>(node_id)].right = right;
+  return node_id;
+}
+
+double DecisionTree::Predict(const std::vector<double>& features) const {
+  if (nodes_.empty()) {
+    return 0.0;
+  }
+  int node = 0;
+  while (nodes_[static_cast<size_t>(node)].left != -1) {
+    const Node& n = nodes_[static_cast<size_t>(node)];
+    node = features[n.feature] <= n.threshold ? n.left : n.right;
+  }
+  return nodes_[static_cast<size_t>(node)].value;
+}
+
+std::vector<DecisionTree::Split> DecisionTree::DecisionPath(
+    const std::vector<double>& features) const {
+  std::vector<Split> path;
+  if (nodes_.empty()) {
+    return path;
+  }
+  int node = 0;
+  while (nodes_[static_cast<size_t>(node)].left != -1) {
+    const Node& n = nodes_[static_cast<size_t>(node)];
+    const bool left = features[n.feature] <= n.threshold;
+    path.push_back({n.feature, n.threshold, left});
+    node = left ? n.left : n.right;
+  }
+  return path;
+}
+
+std::vector<DecisionTree::LeafInfo> DecisionTree::Leaves() const {
+  std::vector<LeafInfo> leaves;
+  if (nodes_.empty()) {
+    return leaves;
+  }
+  std::vector<Split> path;
+  std::function<void(int)> walk = [&](int node) {
+    const Node& n = nodes_[static_cast<size_t>(node)];
+    if (n.left == -1) {
+      leaves.push_back({path, n.value, n.count});
+      return;
+    }
+    path.push_back({n.feature, n.threshold, true});
+    walk(n.left);
+    path.back().left = false;
+    walk(n.right);
+    path.pop_back();
+  };
+  walk(0);
+  return leaves;
+}
+
+}  // namespace unicorn

@@ -1,0 +1,67 @@
+// CART decision trees (substrate for BugDoc and the random forest).
+#ifndef UNICORN_BASELINES_DECISION_TREE_H_
+#define UNICORN_BASELINES_DECISION_TREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace unicorn {
+
+struct TreeOptions {
+  int max_depth = 8;
+  size_t min_samples_split = 4;
+  // Number of features tried per split; 0 = all.
+  size_t feature_subsample = 0;
+};
+
+// Binary-split regression/classification tree on dense double features.
+class DecisionTree {
+ public:
+  // Fits targets (regression; use 0/1 targets for classification by
+  // probability). `rows` indexes into x/y; rng used for feature subsampling
+  // (may be null when feature_subsample == 0).
+  void Fit(const std::vector<std::vector<double>>& x, const std::vector<double>& y,
+           const std::vector<size_t>& rows, const TreeOptions& options, Rng* rng);
+
+  double Predict(const std::vector<double>& features) const;
+
+  // The decision path for a prediction: list of (feature, threshold,
+  // went_left). Used by BugDoc to turn fail leaves into explanations.
+  struct Split {
+    size_t feature = 0;
+    double threshold = 0.0;
+    bool left = false;
+  };
+  std::vector<Split> DecisionPath(const std::vector<double>& features) const;
+
+  // Enumerates all leaves as (path, leaf value, leaf sample count).
+  struct LeafInfo {
+    std::vector<Split> path;
+    double value = 0.0;
+    size_t count = 0;
+  };
+  std::vector<LeafInfo> Leaves() const;
+
+  bool Empty() const { return nodes_.empty(); }
+
+ private:
+  struct Node {
+    int left = -1;   // -1 = leaf
+    int right = -1;
+    size_t feature = 0;
+    double threshold = 0.0;
+    double value = 0.0;
+    size_t count = 0;
+  };
+
+  int Build(const std::vector<std::vector<double>>& x, const std::vector<double>& y,
+            std::vector<size_t> rows, int depth, const TreeOptions& options, Rng* rng);
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace unicorn
+
+#endif  // UNICORN_BASELINES_DECISION_TREE_H_

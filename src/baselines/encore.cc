@@ -1,0 +1,154 @@
+#include "baselines/encore.h"
+
+#include <algorithm>
+#include <map>
+
+namespace unicorn {
+
+BaselineDebugResult EncoreDebug(const PerformanceTask& task,
+                                const std::vector<double>& fault_config,
+                                const std::vector<ObjectiveGoal>& goals,
+                                const BaselineDebugOptions& options) {
+  Rng rng(options.seed);
+  BaselineDebugResult result;
+
+  const size_t explore = options.sample_budget * 4 / 5;
+  std::vector<std::vector<double>> configs;
+  std::vector<std::vector<double>> rows;
+  std::vector<bool> fail;
+  configs.push_back(fault_config);
+  rows.push_back(task.measure(fault_config));
+  ++result.measurements_used;
+  fail.push_back(true);
+  for (size_t i = 1; i < explore; ++i) {
+    auto config = task.sample_config(&rng);
+    auto row = task.measure(config);
+    ++result.measurements_used;
+    fail.push_back(!DebugGoalsMet(row, goals));
+    configs.push_back(std::move(config));
+    rows.push_back(std::move(row));
+  }
+  const size_t n = configs.size();
+  size_t total_fail = 0;
+  for (bool f : fail) {
+    total_fail += f ? 1 : 0;
+  }
+  const double base_rate = static_cast<double>(total_fail) / static_cast<double>(n);
+
+  // Association rules: atom (option == value) -> fail, scored by lift
+  // confidence / base_rate, with a minimum support.
+  struct Rule {
+    std::vector<size_t> positions;  // 1 or 2 options
+    double lift;
+  };
+  std::vector<Rule> rules;
+  const size_t min_support = std::max<size_t>(2, n / 50);
+
+  auto score_atom = [&](const std::vector<size_t>& positions) {
+    size_t support = 0;
+    size_t fail_support = 0;
+    for (size_t r = 0; r < n; ++r) {
+      bool match = true;
+      for (size_t pos : positions) {
+        if (configs[r][pos] != fault_config[pos]) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        ++support;
+        fail_support += fail[r] ? 1 : 0;
+      }
+    }
+    if (support < min_support || base_rate <= 0.0) {
+      return 0.0;
+    }
+    const double confidence =
+        static_cast<double>(fail_support) / static_cast<double>(support);
+    return confidence / base_rate;
+  };
+
+  for (size_t i = 0; i < task.option_vars.size(); ++i) {
+    const double lift = score_atom({i});
+    if (lift > 1.2) {
+      rules.push_back({{i}, lift});
+    }
+  }
+  // Pairwise rules over the strongest singles.
+  std::vector<Rule> singles = rules;
+  std::sort(singles.begin(), singles.end(),
+            [](const Rule& a, const Rule& b) { return a.lift > b.lift; });
+  const size_t pair_pool = std::min<size_t>(10, singles.size());
+  for (size_t a = 0; a < pair_pool; ++a) {
+    for (size_t b = a + 1; b < pair_pool; ++b) {
+      const std::vector<size_t> pair = {singles[a].positions[0], singles[b].positions[0]};
+      const double lift = score_atom(pair);
+      if (lift > 1.5) {
+        rules.push_back({pair, lift});
+      }
+    }
+  }
+  std::sort(rules.begin(), rules.end(),
+            [](const Rule& a, const Rule& b) { return a.lift > b.lift; });
+
+  std::vector<size_t> cause_positions;
+  for (const auto& rule : rules) {
+    for (size_t pos : rule.positions) {
+      if (std::find(cause_positions.begin(), cause_positions.end(), pos) ==
+          cause_positions.end()) {
+        cause_positions.push_back(pos);
+      }
+    }
+    if (cause_positions.size() >= 8) {
+      break;
+    }
+  }
+  for (size_t pos : cause_positions) {
+    result.predicted_root_causes.push_back(task.option_vars[pos]);
+  }
+  std::sort(result.predicted_root_causes.begin(), result.predicted_root_causes.end());
+
+  // Fix: rewrite flagged options to the value with the highest pass rate.
+  std::vector<double> candidate = fault_config;
+  for (size_t pos : cause_positions) {
+    std::map<double, std::pair<size_t, size_t>> counts;  // value -> (pass, total)
+    for (size_t r = 0; r < n; ++r) {
+      auto& c = counts[configs[r][pos]];
+      c.second += 1;
+      c.first += fail[r] ? 0 : 1;
+    }
+    double best_value = fault_config[pos];
+    double best_rate = -1.0;
+    for (const auto& [value, pt] : counts) {
+      if (pt.second < min_support) {
+        continue;
+      }
+      const double rate = static_cast<double>(pt.first) / static_cast<double>(pt.second);
+      if (rate > best_rate) {
+        best_rate = rate;
+        best_value = value;
+      }
+    }
+    candidate[pos] = best_value;
+  }
+  auto fixed_row = task.measure(candidate);
+  ++result.measurements_used;
+  result.fixed = DebugGoalsMet(fixed_row, goals);
+  result.fixed_config = candidate;
+  result.fixed_measurement = fixed_row;
+  if (!result.fixed) {
+    double best_badness = DebugBadness(fixed_row, goals);
+    for (size_t r = 0; r < n; ++r) {
+      const double badness = DebugBadness(rows[r], goals);
+      if (badness < best_badness) {
+        best_badness = badness;
+        result.fixed_config = configs[r];
+        result.fixed_measurement = rows[r];
+        result.fixed = badness <= 0.0;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace unicorn

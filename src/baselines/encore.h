@@ -1,0 +1,22 @@
+// EnCore: misconfiguration detection from correlational rules (Zhang et al.,
+// ASPLOS'14).
+//
+// Learns association rules between option-value atoms (and pairs) and the
+// fail label from sampled runs; atoms whose rules have high confidence and
+// lift are flagged as misconfigurations. The fix rewrites flagged options to
+// the value with the highest pass-confidence.
+#ifndef UNICORN_BASELINES_ENCORE_H_
+#define UNICORN_BASELINES_ENCORE_H_
+
+#include "baselines/debug_common.h"
+
+namespace unicorn {
+
+BaselineDebugResult EncoreDebug(const PerformanceTask& task,
+                                const std::vector<double>& fault_config,
+                                const std::vector<ObjectiveGoal>& goals,
+                                const BaselineDebugOptions& options = {});
+
+}  // namespace unicorn
+
+#endif  // UNICORN_BASELINES_ENCORE_H_

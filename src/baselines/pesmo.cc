@@ -1,0 +1,92 @@
+#include "baselines/pesmo.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace unicorn {
+
+PesmoResult PesmoMinimize(const PerformanceTask& task,
+                          const std::vector<size_t>& objective_vars,
+                          const PesmoOptions& options) {
+  Rng rng(options.seed);
+  PesmoResult result;
+
+  std::vector<std::vector<double>> x;
+  std::vector<std::vector<double>> y;  // y[o] = values of objective o
+
+  y.resize(objective_vars.size());
+  auto evaluate = [&](const std::vector<double>& config) {
+    const auto row = task.measure(config);
+    ++result.measurements_used;
+    std::vector<double> objs;
+    for (size_t o = 0; o < objective_vars.size(); ++o) {
+      const double v = row[objective_vars[o]];
+      y[o].push_back(v);
+      objs.push_back(v);
+    }
+    x.push_back(config);
+    result.evaluated.push_back(std::move(objs));
+    result.configs.push_back(config);
+  };
+
+  for (size_t i = 0; i < options.initial_samples; ++i) {
+    evaluate(task.sample_config(&rng));
+  }
+
+  std::vector<RandomForest> forests(objective_vars.size());
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    for (size_t o = 0; o < objective_vars.size(); ++o) {
+      forests[o].Fit(x, y[o], options.forest, &rng);
+    }
+    // Random (Tchebycheff-flavoured) scalarization weights for this step.
+    std::vector<double> weights(objective_vars.size());
+    double total = 0.0;
+    for (auto& w : weights) {
+      w = rng.Uniform(0.05, 1.0);
+      total += w;
+    }
+    for (auto& w : weights) {
+      w /= total;
+    }
+    // Normalization scales so objectives are comparable.
+    std::vector<double> scale(objective_vars.size(), 1.0);
+    for (size_t o = 0; o < objective_vars.size(); ++o) {
+      const auto [mn, mx] = std::minmax_element(y[o].begin(), y[o].end());
+      scale[o] = std::max(1e-9, *mx - *mn);
+    }
+    // Incumbent under this scalarization.
+    double best_scalar = std::numeric_limits<double>::infinity();
+    for (size_t r = 0; r < x.size(); ++r) {
+      double s = 0.0;
+      for (size_t o = 0; o < objective_vars.size(); ++o) {
+        s += weights[o] * y[o][r] / scale[o];
+      }
+      best_scalar = std::min(best_scalar, s);
+    }
+    // EI over the candidate pool.
+    std::vector<double> best_candidate;
+    double best_ei = -1.0;
+    for (size_t c = 0; c < options.candidates_per_step; ++c) {
+      auto candidate = task.sample_config(&rng);
+      double mean = 0.0;
+      double variance = 0.0;
+      for (size_t o = 0; o < objective_vars.size(); ++o) {
+        double m = 0.0;
+        double v = 0.0;
+        forests[o].PredictWithVariance(candidate, &m, &v);
+        const double w = weights[o] / scale[o];
+        mean += w * m;
+        variance += w * w * v;
+      }
+      const double ei = ExpectedImprovement(mean, variance, best_scalar);
+      if (ei > best_ei) {
+        best_ei = ei;
+        best_candidate = std::move(candidate);
+      }
+    }
+    evaluate(best_candidate);
+  }
+  return result;
+}
+
+}  // namespace unicorn

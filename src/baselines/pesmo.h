@@ -1,0 +1,38 @@
+// PESMO-like multi-objective Bayesian optimization.
+//
+// The paper compares against PESMO (Hernández-Lobato et al., ICML'16), which
+// uses GP surrogates and predictive entropy search. GP machinery is
+// orthogonal to the comparison; this implementation keeps the architecture
+// (per-objective surrogate + information-driven acquisition over a candidate
+// pool + Pareto archive) with random-forest surrogates and random-scalarized
+// expected improvement (ParEGO-style) as the acquisition. See DESIGN.md
+// (substitution table).
+#ifndef UNICORN_BASELINES_PESMO_H_
+#define UNICORN_BASELINES_PESMO_H_
+
+#include "baselines/random_forest.h"
+#include "unicorn/task.h"
+
+namespace unicorn {
+
+struct PesmoOptions {
+  size_t initial_samples = 25;
+  size_t max_iterations = 200;
+  size_t candidates_per_step = 50;
+  ForestOptions forest;
+  uint64_t seed = 31;
+};
+
+struct PesmoResult {
+  std::vector<std::vector<double>> evaluated;  // objective vectors, in order
+  std::vector<std::vector<double>> configs;
+  size_t measurements_used = 0;
+};
+
+PesmoResult PesmoMinimize(const PerformanceTask& task,
+                          const std::vector<size_t>& objective_vars,
+                          const PesmoOptions& options = {});
+
+}  // namespace unicorn
+
+#endif  // UNICORN_BASELINES_PESMO_H_

@@ -1,0 +1,72 @@
+#include "baselines/random_forest.h"
+
+#include <cmath>
+
+#include "stats/special.h"
+
+namespace unicorn {
+
+void RandomForest::Fit(const std::vector<std::vector<double>>& x, const std::vector<double>& y,
+                       const ForestOptions& options, Rng* rng) {
+  trees_.assign(options.num_trees, DecisionTree());
+  const size_t n = x.size();
+  TreeOptions tree_options = options.tree;
+  if (tree_options.feature_subsample == 0 && !x.empty()) {
+    tree_options.feature_subsample =
+        static_cast<size_t>(std::max(1.0, std::sqrt(static_cast<double>(x[0].size()))));
+  }
+  for (auto& tree : trees_) {
+    // Bootstrap sample.
+    std::vector<size_t> rows(n);
+    for (size_t i = 0; i < n; ++i) {
+      rows[i] = static_cast<size_t>(rng->UniformInt(static_cast<uint64_t>(n)));
+    }
+    tree.Fit(x, y, rows, tree_options, rng);
+  }
+}
+
+double RandomForest::Predict(const std::vector<double>& features) const {
+  if (trees_.empty()) {
+    return 0.0;
+  }
+  double acc = 0.0;
+  for (const auto& tree : trees_) {
+    acc += tree.Predict(features);
+  }
+  return acc / static_cast<double>(trees_.size());
+}
+
+void RandomForest::PredictWithVariance(const std::vector<double>& features, double* mean,
+                                       double* variance) const {
+  *mean = 0.0;
+  *variance = 0.0;
+  if (trees_.empty()) {
+    return;
+  }
+  std::vector<double> preds;
+  preds.reserve(trees_.size());
+  for (const auto& tree : trees_) {
+    preds.push_back(tree.Predict(features));
+  }
+  double m = 0.0;
+  for (double p : preds) {
+    m += p;
+  }
+  m /= static_cast<double>(preds.size());
+  double v = 0.0;
+  for (double p : preds) {
+    v += (p - m) * (p - m);
+  }
+  v /= static_cast<double>(preds.size());
+  *mean = m;
+  *variance = v;
+}
+
+double ExpectedImprovement(double mean, double variance, double best) {
+  const double sigma = std::sqrt(std::max(variance, 1e-12));
+  const double z = (best - mean) / sigma;
+  const double phi = std::exp(-0.5 * z * z) / std::sqrt(2.0 * M_PI);
+  return (best - mean) * NormalCdf(z) + sigma * phi;
+}
+
+}  // namespace unicorn

@@ -1,0 +1,42 @@
+// Random-forest regression: the SMAC surrogate model (Hutter et al. 2011)
+// and the per-objective surrogate of the PESMO-like optimizer.
+#ifndef UNICORN_BASELINES_RANDOM_FOREST_H_
+#define UNICORN_BASELINES_RANDOM_FOREST_H_
+
+#include <vector>
+
+#include "baselines/decision_tree.h"
+#include "util/rng.h"
+
+namespace unicorn {
+
+struct ForestOptions {
+  size_t num_trees = 20;
+  TreeOptions tree;
+};
+
+class RandomForest {
+ public:
+  void Fit(const std::vector<std::vector<double>>& x, const std::vector<double>& y,
+           const ForestOptions& options, Rng* rng);
+
+  // Mean prediction across trees.
+  double Predict(const std::vector<double>& features) const;
+
+  // Mean and (tree-ensemble) variance — SMAC's uncertainty estimate.
+  void PredictWithVariance(const std::vector<double>& features, double* mean,
+                           double* variance) const;
+
+  bool Empty() const { return trees_.empty(); }
+
+ private:
+  std::vector<DecisionTree> trees_;
+};
+
+// Expected improvement of a Gaussian posterior (mean, variance) over the
+// incumbent `best` for minimization.
+double ExpectedImprovement(double mean, double variance, double best);
+
+}  // namespace unicorn
+
+#endif  // UNICORN_BASELINES_RANDOM_FOREST_H_

@@ -1,0 +1,86 @@
+#include "baselines/smac.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace unicorn {
+
+SmacResult SmacMinimize(const PerformanceTask& task, size_t objective_var,
+                        const SmacOptions& options,
+                        const std::vector<double>* warm_start_config) {
+  Rng rng(options.seed);
+  SmacResult result;
+
+  std::vector<std::vector<double>> x;  // configs
+  std::vector<double> y;               // objective values
+  double best_value = std::numeric_limits<double>::infinity();
+  std::vector<double> best_config;
+
+  auto evaluate = [&](const std::vector<double>& config) {
+    const auto row = task.measure(config);
+    ++result.measurements_used;
+    const double value = row[objective_var];
+    x.push_back(config);
+    y.push_back(value);
+    result.evaluated.push_back({value});
+    if (value < best_value) {
+      best_value = value;
+      best_config = config;
+    }
+    result.best_trajectory.push_back(best_value);
+  };
+
+  if (warm_start_config != nullptr) {
+    evaluate(*warm_start_config);
+  }
+  for (size_t i = 0; i < options.initial_samples; ++i) {
+    evaluate(task.sample_config(&rng));
+  }
+
+  // Mutates 1-3 options of a configuration to random domain values.
+  auto mutate = [&](const std::vector<double>& base) {
+    std::vector<double> out = base;
+    const size_t k = 1 + rng.UniformInt(static_cast<uint64_t>(3));
+    for (size_t m = 0; m < k; ++m) {
+      const size_t pos = rng.UniformInt(static_cast<uint64_t>(out.size()));
+      const Variable& var = task.variables[task.option_vars[pos]];
+      if (var.type == VarType::kContinuous) {
+        out[pos] = rng.Uniform(var.domain.front(), var.domain.back());
+      } else {
+        out[pos] = var.domain[rng.UniformInt(static_cast<uint64_t>(var.domain.size()))];
+      }
+    }
+    return out;
+  };
+
+  RandomForest forest;
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    if (rng.Bernoulli(options.random_interleave)) {
+      evaluate(task.sample_config(&rng));
+      continue;
+    }
+    forest.Fit(x, y, options.forest, &rng);
+    // Candidate pool: local mutations of the incumbent + random configs.
+    std::vector<double> best_candidate;
+    double best_ei = -1.0;
+    for (size_t c = 0; c < options.candidates_per_step; ++c) {
+      std::vector<double> candidate =
+          c < options.candidates_per_step / 2 ? mutate(best_config) : task.sample_config(&rng);
+      double mean = 0.0;
+      double variance = 0.0;
+      forest.PredictWithVariance(candidate, &mean, &variance);
+      const double ei = ExpectedImprovement(mean, variance, best_value);
+      if (ei > best_ei) {
+        best_ei = ei;
+        best_candidate = std::move(candidate);
+      }
+    }
+    evaluate(best_candidate);
+  }
+
+  result.best_config = best_config;
+  result.best_value = best_value;
+  return result;
+}
+
+}  // namespace unicorn

@@ -1,0 +1,36 @@
+// SMAC: sequential model-based algorithm configuration (Hutter, Hoos,
+// Leyton-Brown — LION'11). Random-forest surrogate, expected-improvement
+// acquisition over locally mutated + random candidates, with random
+// interleaving for theoretical convergence.
+#ifndef UNICORN_BASELINES_SMAC_H_
+#define UNICORN_BASELINES_SMAC_H_
+
+#include "baselines/random_forest.h"
+#include "unicorn/task.h"
+
+namespace unicorn {
+
+struct SmacOptions {
+  size_t initial_samples = 25;
+  size_t max_iterations = 200;
+  size_t candidates_per_step = 50;
+  double random_interleave = 0.25;  // fraction of steps that sample uniformly
+  ForestOptions forest;
+  uint64_t seed = 29;
+};
+
+struct SmacResult {
+  std::vector<double> best_config;
+  double best_value = 0.0;
+  std::vector<double> best_trajectory;       // best-so-far per measurement
+  std::vector<std::vector<double>> evaluated;  // objective vector per step
+  size_t measurements_used = 0;
+};
+
+SmacResult SmacMinimize(const PerformanceTask& task, size_t objective_var,
+                        const SmacOptions& options = {},
+                        const std::vector<double>* warm_start_config = nullptr);
+
+}  // namespace unicorn
+
+#endif  // UNICORN_BASELINES_SMAC_H_

@@ -1,0 +1,73 @@
+#include "causal/constraints.h"
+
+namespace unicorn {
+
+StructuralConstraints::StructuralConstraints(const std::vector<Variable>& variables) {
+  roles_.reserve(variables.size());
+  for (const auto& v : variables) {
+    roles_.push_back(v.role);
+  }
+}
+
+bool StructuralConstraints::EdgeAllowed(size_t a, size_t b) const {
+  const VarRole ra = roles_[a];
+  const VarRole rb = roles_[b];
+  // Options do not cause (or get caused by) other options.
+  if (ra == VarRole::kOption && rb == VarRole::kOption) {
+    return false;
+  }
+  for (const auto& [fa, fb] : forbidden_) {
+    if ((fa == a && fb == b) || (fa == b && fb == a)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void StructuralConstraints::ForbidEdge(size_t a, size_t b) { forbidden_.push_back({a, b}); }
+
+void StructuralConstraints::RequireEdge(size_t from, size_t to) {
+  required_.push_back({from, to});
+}
+
+bool StructuralConstraints::EdgeRequired(size_t a, size_t b) const {
+  for (const auto& [from, to] : required_) {
+    if ((from == a && to == b) || (from == b && to == a)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void StructuralConstraints::ApplyOrientations(MixedGraph* g) const {
+  const size_t n = g->NumNodes();
+  for (size_t a = 0; a < n; ++a) {
+    for (size_t b = 0; b < n; ++b) {
+      if (a == b || !g->HasEdge(a, b)) {
+        continue;
+      }
+      // Tail at option ends: options are exogenous.
+      if (roles_[a] == VarRole::kOption) {
+        g->SetEndMark(b, a, Mark::kTail);
+        // The far end of an option edge must be an effect.
+        g->SetEndMark(a, b, Mark::kArrow);
+      }
+      // Arrowhead into objectives: objectives are sinks.
+      if (roles_[b] == VarRole::kObjective && roles_[a] != VarRole::kObjective) {
+        g->SetEndMark(a, b, Mark::kArrow);
+      }
+      // Objectives never cause each other; residual dependence between two
+      // objectives is confounding by shared causes -> bidirected.
+      if (roles_[a] == VarRole::kObjective && roles_[b] == VarRole::kObjective) {
+        g->SetEndMark(a, b, Mark::kArrow);
+        g->SetEndMark(b, a, Mark::kArrow);
+      }
+    }
+  }
+  // Domain-knowledge edges: present and oriented as required.
+  for (const auto& [from, to] : required_) {
+    g->AddDirected(from, to);
+  }
+}
+
+}  // namespace unicorn

@@ -1,0 +1,53 @@
+// Structural constraints for causal performance models (paper §3).
+//
+// Performance modeling gives us hard background knowledge that both sparsifies
+// the search and orients edges for free:
+//   * configuration options do not cause other options (no option-option edge)
+//   * nothing causes an option (options are exogenous interventions), so any
+//     edge at an option gets a tail at the option end
+//   * performance objectives are sinks: any edge at an objective gets an
+//     arrowhead at the objective end, and objective->{option,event} is
+//     impossible.
+#ifndef UNICORN_CAUSAL_CONSTRAINTS_H_
+#define UNICORN_CAUSAL_CONSTRAINTS_H_
+
+#include <vector>
+
+#include "graph/mixed_graph.h"
+#include "stats/table.h"
+
+namespace unicorn {
+
+class StructuralConstraints {
+ public:
+  explicit StructuralConstraints(const std::vector<Variable>& variables);
+
+  // May variables a and b ever be adjacent?
+  bool EdgeAllowed(size_t a, size_t b) const;
+
+  // Applies the forced end-marks described above to every present edge.
+  void ApplyOrientations(MixedGraph* g) const;
+
+  // --- domain knowledge (paper §11) ---------------------------------------
+  // Forbids any edge between a and b (e.g. "swap memory cannot affect GPU
+  // frequency"). Symmetric.
+  void ForbidEdge(size_t a, size_t b);
+
+  // Requires a directed edge from `from` to `to`: the skeleton search never
+  // removes it and ApplyOrientations orients it from -> to.
+  void RequireEdge(size_t from, size_t to);
+
+  // True when the (a, b) pair is protected from removal by RequireEdge.
+  bool EdgeRequired(size_t a, size_t b) const;
+
+  const std::vector<VarRole>& roles() const { return roles_; }
+
+ private:
+  std::vector<VarRole> roles_;
+  std::vector<std::pair<size_t, size_t>> forbidden_;  // unordered pairs
+  std::vector<std::pair<size_t, size_t>> required_;   // (from, to)
+};
+
+}  // namespace unicorn
+
+#endif  // UNICORN_CAUSAL_CONSTRAINTS_H_

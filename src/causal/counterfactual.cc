@@ -1,0 +1,92 @@
+#include "causal/counterfactual.h"
+
+#include <algorithm>
+#include <set>
+
+namespace unicorn {
+
+std::vector<size_t> OptionsOnPaths(const std::vector<RankedPath>& paths,
+                                   const std::vector<VarRole>& roles) {
+  std::vector<size_t> out;
+  std::set<size_t> seen;
+  for (const auto& rp : paths) {
+    for (size_t v : rp.nodes) {
+      if (roles[v] == VarRole::kOption && seen.insert(v).second) {
+        out.push_back(v);
+      }
+    }
+  }
+  return out;
+}
+
+double RepairIce(const CausalEffectEstimator& estimator, const Repair& repair,
+                 const std::vector<ObjectiveGoal>& goals) {
+  double min_ice = 1.0;
+  for (const auto& goal : goals) {
+    const double p_good =
+        estimator.ProbabilityLeqDo(goal.var, goal.threshold, repair.assignments);
+    const double ice = 2.0 * p_good - 1.0;  // P(good) - P(bad)
+    min_ice = std::min(min_ice, ice);
+  }
+  return goals.empty() ? 0.0 : min_ice;
+}
+
+std::vector<Repair> GenerateRepairs(const CausalEffectEstimator& estimator,
+                                    const std::vector<RankedPath>& paths,
+                                    const std::vector<VarRole>& roles,
+                                    const std::vector<double>& fault_row,
+                                    const std::vector<ObjectiveGoal>& goals,
+                                    const RepairOptions& options) {
+  std::vector<Repair> repairs;
+  const std::vector<size_t> candidates = OptionsOnPaths(paths, roles);
+
+  // Single-option repairs: every alternative level of every candidate option.
+  for (size_t opt : candidates) {
+    const int fault_level = estimator.LevelOf(opt, fault_row[opt]);
+    const int levels = estimator.NumLevels(opt);
+    for (int l = 0; l < levels; ++l) {
+      if (l == fault_level) {
+        continue;
+      }
+      Repair r;
+      r.assignments = {{opt, l}};
+      r.ice = RepairIce(estimator, r, goals);
+      repairs.push_back(std::move(r));
+      if (repairs.size() >= options.max_single_repairs) {
+        break;
+      }
+    }
+    if (repairs.size() >= options.max_single_repairs) {
+      break;
+    }
+  }
+
+  // Stable sort: ICE ties keep the path-rank order (options on stronger
+  // causal paths first).
+  std::stable_sort(repairs.begin(), repairs.end(),
+                   [](const Repair& a, const Repair& b) { return a.ice > b.ice; });
+
+  // Pairwise combinations of the strongest single repairs (distinct options).
+  const size_t seeds = std::min(options.pair_seed_count, repairs.size());
+  std::vector<Repair> pairs;
+  for (size_t i = 0; i < seeds; ++i) {
+    for (size_t j = i + 1; j < seeds; ++j) {
+      if (repairs[i].assignments[0].first == repairs[j].assignments[0].first) {
+        continue;
+      }
+      Repair r;
+      r.assignments = {repairs[i].assignments[0], repairs[j].assignments[0]};
+      r.ice = RepairIce(estimator, r, goals);
+      pairs.push_back(std::move(r));
+    }
+  }
+  repairs.insert(repairs.end(), pairs.begin(), pairs.end());
+  std::stable_sort(repairs.begin(), repairs.end(),
+                   [](const Repair& a, const Repair& b) { return a.ice > b.ice; });
+  if (repairs.size() > options.max_total_repairs) {
+    repairs.resize(options.max_total_repairs);
+  }
+  return repairs;
+}
+
+}  // namespace unicorn

@@ -1,0 +1,62 @@
+// Counterfactual repair reasoning (paper appendix B.2, Eq. 2-5).
+//
+// Given a faulty configuration and the top-K causal paths, generates a repair
+// set — for every option on a top path, every permissible alternative level —
+// and scores each repair by its Individual Causal Effect:
+//   ICE(r) = P(Y good | do(r)) - P(Y bad | do(r))
+// estimated on the observational data alone (no new measurements), which is
+// the property that makes Unicorn fast (paper §5 "Remarks").
+#ifndef UNICORN_CAUSAL_COUNTERFACTUAL_H_
+#define UNICORN_CAUSAL_COUNTERFACTUAL_H_
+
+#include <string>
+#include <vector>
+
+#include "causal/effects.h"
+
+namespace unicorn {
+
+// One candidate repair: set the listed options to the listed coded levels,
+// keeping every other option at its fault value.
+struct Repair {
+  std::vector<std::pair<size_t, int>> assignments;  // (var index, coded level)
+  double ice = 0.0;  // in [-1, 1]; positive = likely fixes the fault
+};
+
+// A performance objective to improve, with the "good" threshold: the repair
+// aims for objective value <= threshold (all objectives in this repo are
+// lower-is-better; negate columns otherwise).
+struct ObjectiveGoal {
+  size_t var = 0;
+  double threshold = 0.0;
+};
+
+struct RepairOptions {
+  size_t max_single_repairs = 200;
+  // Also try pairs of the single repairs with the highest individual ICE.
+  size_t pair_seed_count = 6;
+  size_t max_total_repairs = 400;
+};
+
+// Options appearing on the given paths (deduplicated, path order preserved).
+std::vector<size_t> OptionsOnPaths(const std::vector<RankedPath>& paths,
+                                   const std::vector<VarRole>& roles);
+
+// Generates and scores the repair set. `fault_row` holds raw values of the
+// faulty configuration (full variable vector). Returned repairs are sorted by
+// descending ICE.
+std::vector<Repair> GenerateRepairs(const CausalEffectEstimator& estimator,
+                                    const std::vector<RankedPath>& paths,
+                                    const std::vector<VarRole>& roles,
+                                    const std::vector<double>& fault_row,
+                                    const std::vector<ObjectiveGoal>& goals,
+                                    const RepairOptions& options = {});
+
+// ICE of one repair against all goals (minimum across goals: a repair must
+// improve every objective of a multi-objective fault).
+double RepairIce(const CausalEffectEstimator& estimator, const Repair& repair,
+                 const std::vector<ObjectiveGoal>& goals);
+
+}  // namespace unicorn
+
+#endif  // UNICORN_CAUSAL_COUNTERFACTUAL_H_

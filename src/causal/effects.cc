@@ -1,0 +1,277 @@
+#include "causal/effects.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace unicorn {
+
+CausalEffectEstimator::CausalEffectEstimator(const MixedGraph& graph, const DataTable& data,
+                                             int max_bins)
+    : graph_(graph), data_(data), coded_(data, max_bins) {}
+
+std::vector<size_t> CausalEffectEstimator::MatchingRows(
+    const std::vector<std::pair<size_t, int>>& assignment) const {
+  std::vector<size_t> rows;
+  for (size_t r = 0; r < data_.NumRows(); ++r) {
+    bool match = true;
+    for (const auto& [v, level] : assignment) {
+      if (coded_.Col(v).codes[r] != level) {
+        match = false;
+        break;
+      }
+    }
+    if (match) {
+      rows.push_back(r);
+    }
+  }
+  return rows;
+}
+
+namespace {
+
+double MeanOf(const std::vector<double>& col, const std::vector<size_t>& rows) {
+  if (rows.empty()) {
+    return 0.0;
+  }
+  double acc = 0.0;
+  for (size_t r : rows) {
+    acc += col[r];
+  }
+  return acc / static_cast<double>(rows.size());
+}
+
+double FractionLeq(const std::vector<double>& col, const std::vector<size_t>& rows,
+                   double threshold) {
+  if (rows.empty()) {
+    return 0.0;
+  }
+  size_t count = 0;
+  for (size_t r : rows) {
+    if (col[r] <= threshold) {
+      ++count;
+    }
+  }
+  return static_cast<double>(count) / static_cast<double>(rows.size());
+}
+
+}  // namespace
+
+double CausalEffectEstimator::ExpectationDo(
+    size_t z, const std::vector<std::pair<size_t, int>>& treatments) const {
+  const size_t n = data_.NumRows();
+  if (n == 0 || treatments.empty()) {
+    return 0.0;
+  }
+  // Adjustment set: union of graph parents of all treated variables,
+  // excluding treated variables themselves.
+  std::set<size_t> treated;
+  for (const auto& [v, level] : treatments) {
+    treated.insert(v);
+  }
+  std::set<size_t> adjust;
+  for (const auto& [v, level] : treatments) {
+    for (size_t p : graph_.Parents(v)) {
+      if (!treated.count(p)) {
+        adjust.insert(p);
+      }
+    }
+  }
+  const auto& zcol = data_.Col(z);
+
+  // Fallback chain: treated-match rows, then whole sample.
+  const std::vector<size_t> treated_rows = MatchingRows(treatments);
+  if (treated_rows.empty()) {
+    std::vector<size_t> all(n);
+    for (size_t r = 0; r < n; ++r) {
+      all[r] = r;
+    }
+    return MeanOf(zcol, all);
+  }
+  if (adjust.empty()) {
+    return MeanOf(zcol, treated_rows);
+  }
+
+  // Stratify on the adjustment set.
+  const std::vector<int> adj_vars(adjust.begin(), adjust.end());
+  const CodedColumn strata = coded_.Strata(adj_vars);
+  // Stratum weights from the full sample.
+  std::vector<double> weight(static_cast<size_t>(std::max(1, strata.cardinality)), 0.0);
+  for (size_t r = 0; r < n; ++r) {
+    weight[static_cast<size_t>(strata.codes[r])] += 1.0;
+  }
+  // Per-stratum sums over treated rows.
+  std::vector<double> sum(weight.size(), 0.0);
+  std::vector<double> count(weight.size(), 0.0);
+  for (size_t r : treated_rows) {
+    const auto s = static_cast<size_t>(strata.codes[r]);
+    sum[s] += zcol[r];
+    count[s] += 1.0;
+  }
+  // Marginalize over the strata that actually contain treated rows
+  // (renormalized weights). Falling back to the unadjusted conditional for
+  // unsupported strata would re-introduce the confounding the adjustment is
+  // meant to remove.
+  const double unadjusted = MeanOf(zcol, treated_rows);
+  double total_w = 0.0;
+  double acc = 0.0;
+  for (size_t s = 0; s < weight.size(); ++s) {
+    if (weight[s] <= 0.0 || count[s] <= 0.0) {
+      continue;
+    }
+    acc += weight[s] * sum[s] / count[s];
+    total_w += weight[s];
+  }
+  return total_w > 0.0 ? acc / total_w : unadjusted;
+}
+
+double CausalEffectEstimator::ExpectationDo(size_t z, size_t x, int x_level) const {
+  return ExpectationDo(z, {{x, x_level}});
+}
+
+double CausalEffectEstimator::ProbabilityLeqDo(
+    size_t z, double threshold, const std::vector<std::pair<size_t, int>>& treatments) const {
+  const size_t n = data_.NumRows();
+  if (n == 0 || treatments.empty()) {
+    return 0.0;
+  }
+  std::set<size_t> treated;
+  for (const auto& [v, level] : treatments) {
+    treated.insert(v);
+  }
+  std::set<size_t> adjust;
+  for (const auto& [v, level] : treatments) {
+    for (size_t p : graph_.Parents(v)) {
+      if (!treated.count(p)) {
+        adjust.insert(p);
+      }
+    }
+  }
+  const auto& zcol = data_.Col(z);
+  const std::vector<size_t> treated_rows = MatchingRows(treatments);
+  if (treated_rows.empty()) {
+    std::vector<size_t> all(n);
+    for (size_t r = 0; r < n; ++r) {
+      all[r] = r;
+    }
+    return FractionLeq(zcol, all, threshold);
+  }
+  if (adjust.empty()) {
+    return FractionLeq(zcol, treated_rows, threshold);
+  }
+  const std::vector<int> adj_vars(adjust.begin(), adjust.end());
+  const CodedColumn strata = coded_.Strata(adj_vars);
+  std::vector<double> weight(static_cast<size_t>(std::max(1, strata.cardinality)), 0.0);
+  for (size_t r = 0; r < n; ++r) {
+    weight[static_cast<size_t>(strata.codes[r])] += 1.0;
+  }
+  std::vector<double> hits(weight.size(), 0.0);
+  std::vector<double> count(weight.size(), 0.0);
+  for (size_t r : treated_rows) {
+    const auto s = static_cast<size_t>(strata.codes[r]);
+    hits[s] += zcol[r] <= threshold ? 1.0 : 0.0;
+    count[s] += 1.0;
+  }
+  const double unadjusted = FractionLeq(zcol, treated_rows, threshold);
+  double total_w = 0.0;
+  double acc = 0.0;
+  for (size_t s = 0; s < weight.size(); ++s) {
+    if (weight[s] <= 0.0 || count[s] <= 0.0) {
+      continue;  // drop unsupported strata and renormalize (see above)
+    }
+    acc += weight[s] * hits[s] / count[s];
+    total_w += weight[s];
+  }
+  return total_w > 0.0 ? acc / total_w : unadjusted;
+}
+
+double CausalEffectEstimator::ProbabilityLeqDo(size_t z, double threshold, size_t x,
+                                               int x_level) const {
+  return ProbabilityLeqDo(z, threshold, {{x, x_level}});
+}
+
+double CausalEffectEstimator::Ace(size_t z, size_t x) const {
+  const int levels = NumLevels(x);
+  if (levels < 2) {
+    return 0.0;
+  }
+  std::vector<double> e(static_cast<size_t>(levels));
+  for (int l = 0; l < levels; ++l) {
+    e[static_cast<size_t>(l)] = ExpectationDo(z, x, l);
+  }
+  double acc = 0.0;
+  size_t pairs = 0;
+  for (int a = 0; a < levels; ++a) {
+    for (int b = a + 1; b < levels; ++b) {
+      acc += std::fabs(e[static_cast<size_t>(b)] - e[static_cast<size_t>(a)]);
+      ++pairs;
+    }
+  }
+  return pairs > 0 ? acc / static_cast<double>(pairs) : 0.0;
+}
+
+double CausalEffectEstimator::PathAce(const CausalPath& path) const {
+  if (path.size() < 2) {
+    return 0.0;
+  }
+  double acc = 0.0;
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    acc += Ace(path[i + 1], path[i]);
+  }
+  return acc / static_cast<double>(path.size() - 1);
+}
+
+std::vector<RankedPath> CausalEffectEstimator::RankPaths(const std::vector<size_t>& targets,
+                                                         size_t top_k) const {
+  std::vector<RankedPath> ranked;
+  for (size_t target : targets) {
+    for (auto& path : ExtractCausalPaths(graph_, target)) {
+      RankedPath rp;
+      rp.path_ace = PathAce(path);
+      rp.nodes = std::move(path);
+      ranked.push_back(std::move(rp));
+    }
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const RankedPath& a, const RankedPath& b) { return a.path_ace > b.path_ace; });
+  if (ranked.size() > top_k) {
+    ranked.resize(top_k);
+  }
+  return ranked;
+}
+
+int CausalEffectEstimator::LevelOf(size_t v, double value) const {
+  const auto& col = data_.Col(v);
+  if (col.empty()) {
+    return 0;
+  }
+  size_t best = 0;
+  double best_dist = std::fabs(col[0] - value);
+  for (size_t r = 1; r < col.size(); ++r) {
+    const double d = std::fabs(col[r] - value);
+    if (d < best_dist) {
+      best_dist = d;
+      best = r;
+    }
+  }
+  return coded_.Col(v).codes[best];
+}
+
+double CausalEffectEstimator::ValueOfLevel(size_t v, int level) const {
+  std::vector<double> values;
+  const auto& col = data_.Col(v);
+  const auto& codes = coded_.Col(v).codes;
+  for (size_t r = 0; r < col.size(); ++r) {
+    if (codes[r] == level) {
+      values.push_back(col[r]);
+    }
+  }
+  if (values.empty()) {
+    return 0.0;
+  }
+  std::nth_element(values.begin(), values.begin() + values.size() / 2, values.end());
+  return values[values.size() / 2];
+}
+
+}  // namespace unicorn

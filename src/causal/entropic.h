@@ -1,0 +1,56 @@
+// Entropic resolution of partially directed edges (paper §4, Stage II).
+//
+// FCI leaves circle end-marks wherever the conditional-independence structure
+// cannot decide orientation. For each such edge X *-o Y this module:
+//   1. runs LatentSearch; if a latent Z with H(Z) < 0.8 * min{H(X), H(Y)}
+//      renders X ⊥ Y | Z, the edge becomes bidirected (X <-> Y);
+//   2. otherwise picks the direction with the lower total entropic
+//      complexity: H(X) + H(E) for X -> Y vs H(Y) + H(E~) for Y -> X, where
+//      H(E) is approximated by the greedy minimum-entropy coupling of the
+//      conditionals {P(Y | X = x)}_x (Kocaoglu et al., AAAI'17).
+// The output is a fully resolved ADMG (directed + bidirected edges only);
+// orientations that would create a directed cycle are rejected in favour of
+// the opposite direction or a bidirected edge.
+#ifndef UNICORN_CAUSAL_ENTROPIC_H_
+#define UNICORN_CAUSAL_ENTROPIC_H_
+
+#include "causal/constraints.h"
+#include "causal/latent_search.h"
+#include "graph/mixed_graph.h"
+#include "stats/discretize.h"
+#include "stats/table.h"
+
+namespace unicorn {
+
+struct EntropicOptions {
+  double confounder_threshold = 0.8;  // theta_r multiplier on min entropy
+  int max_bins = 6;
+  LatentSearchOptions latent;
+};
+
+struct EdgeDecision {
+  enum class Kind { kForward, kBackward, kBidirected } kind = Kind::kForward;
+  double entropy_forward = 0.0;   // H(X) + H(E) for X -> Y
+  double entropy_backward = 0.0;  // H(Y) + H(E~) for Y -> X
+  double latent_entropy = 0.0;
+  bool latent_found = false;
+};
+
+// Scores one pair (x, y) in isolation (no graph context).
+EdgeDecision DecideEdgeDirection(const CodedColumn& x, const CodedColumn& y,
+                                 const EntropicOptions& options, Rng* rng);
+
+// Resolves all circle marks of `pag` in place, producing an ADMG. Respects
+// already-oriented marks and the structural constraints; never introduces a
+// directed cycle.
+void ResolveWithEntropy(const DataTable& data, const StructuralConstraints& constraints,
+                        const EntropicOptions& options, Rng* rng, MixedGraph* pag);
+
+// Entropy of the exogenous noise for the model x -> y, via greedy
+// minimum-entropy coupling of the conditional rows P(y | x). Exposed for
+// tests.
+double ExogenousNoiseEntropy(const CodedColumn& x, const CodedColumn& y);
+
+}  // namespace unicorn
+
+#endif  // UNICORN_CAUSAL_ENTROPIC_H_

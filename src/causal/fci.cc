@@ -1,0 +1,348 @@
+#include "causal/fci.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace unicorn {
+namespace {
+
+// Sets an arrowhead at z on edge (u, z) if not already an arrowhead.
+// Returns true when the mark changed.
+bool PutArrow(MixedGraph* g, size_t u, size_t z) {
+  if (g->EndMark(u, z) == Mark::kArrow) {
+    return false;
+  }
+  g->SetEndMark(u, z, Mark::kArrow);
+  return true;
+}
+
+// Sets a tail at z's end of edge (u, z). Returns true when changed.
+bool PutTail(MixedGraph* g, size_t u, size_t z) {
+  if (g->EndMark(u, z) == Mark::kTail) {
+    return false;
+  }
+  g->SetEndMark(u, z, Mark::kTail);
+  return true;
+}
+
+}  // namespace
+
+void OrientVStructures(const SepsetMap& sepsets, MixedGraph* g) {
+  const size_t n = g->NumNodes();
+  for (size_t z = 0; z < n; ++z) {
+    const auto adj = g->Adjacent(z);
+    for (size_t i = 0; i < adj.size(); ++i) {
+      for (size_t j = i + 1; j < adj.size(); ++j) {
+        const size_t x = adj[i];
+        const size_t y = adj[j];
+        if (g->HasEdge(x, y)) {
+          continue;  // shielded
+        }
+        if (!sepsets.Contains(x, y, z)) {
+          // x *-> z <-* y. Only upgrade circle marks; background-knowledge
+          // tails (options) stay tails to keep constraints satisfied.
+          if (g->HasCircleAt(x, z)) {
+            PutArrow(g, x, z);
+          }
+          if (g->HasCircleAt(y, z)) {
+            PutArrow(g, y, z);
+          }
+        }
+      }
+    }
+  }
+}
+
+std::vector<size_t> PossibleDSep(const MixedGraph& g, size_t x) {
+  const size_t n = g.NumNodes();
+  // BFS over edges (u, v): extendable to (v, w) when w is a collider on
+  // <u, v, w> or u and w are adjacent.
+  std::vector<std::vector<bool>> visited(n, std::vector<bool>(n, false));
+  std::vector<std::pair<size_t, size_t>> frontier;
+  std::vector<bool> in_result(n, false);
+  for (size_t v : g.Adjacent(x)) {
+    frontier.push_back({x, v});
+    visited[x][v] = true;
+    in_result[v] = true;
+  }
+  while (!frontier.empty()) {
+    auto [u, v] = frontier.back();
+    frontier.pop_back();
+    for (size_t w : g.Adjacent(v)) {
+      if (w == u || visited[v][w]) {
+        continue;
+      }
+      const bool collider = g.IsCollider(u, v, w);
+      const bool triangle = g.HasEdge(u, w);
+      if (collider || triangle) {
+        visited[v][w] = true;
+        in_result[w] = true;
+        frontier.push_back({v, w});
+      }
+    }
+  }
+  std::vector<size_t> out;
+  for (size_t v = 0; v < n; ++v) {
+    if (v != x && in_result[v]) {
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// R1: a *-> b o-* c, a and c non-adjacent  =>  b -> c (tail at b, arrow at c).
+bool RuleR1(MixedGraph* g) {
+  const size_t n = g->NumNodes();
+  bool changed = false;
+  for (size_t b = 0; b < n; ++b) {
+    for (size_t a : g->Adjacent(b)) {
+      if (!g->HasArrowAt(a, b)) {
+        continue;
+      }
+      for (size_t c : g->Adjacent(b)) {
+        if (c == a || g->HasEdge(a, c)) {
+          continue;
+        }
+        if (g->HasCircleAt(c, b)) {
+          // mark at b on edge b-c is circle -> make it tail; arrow at c.
+          changed |= PutTail(g, c, b);
+          if (g->HasCircleAt(b, c)) {
+            changed |= PutArrow(g, b, c);
+          }
+        }
+      }
+    }
+  }
+  return changed;
+}
+
+// R2: (a -> b *-> c) or (a *-> b -> c), and a *-o c  =>  arrow at c on a-c.
+bool RuleR2(MixedGraph* g) {
+  const size_t n = g->NumNodes();
+  bool changed = false;
+  for (size_t a = 0; a < n; ++a) {
+    for (size_t c : g->Adjacent(a)) {
+      if (!g->HasCircleAt(a, c)) {
+        continue;
+      }
+      for (size_t b : g->Adjacent(a)) {
+        if (b == c || !g->HasEdge(b, c)) {
+          continue;
+        }
+        const bool chain1 = g->IsDirected(a, b) && g->HasArrowAt(b, c);
+        const bool chain2 = g->HasArrowAt(a, b) && g->IsDirected(b, c);
+        if (chain1 || chain2) {
+          changed |= PutArrow(g, a, c);
+          break;
+        }
+      }
+    }
+  }
+  return changed;
+}
+
+// R3: a *-> b <-* c, a *-o d o-* c, a and c non-adjacent, d *-o b
+//     =>  arrow at b on d-b.
+bool RuleR3(MixedGraph* g) {
+  const size_t n = g->NumNodes();
+  bool changed = false;
+  for (size_t d = 0; d < n; ++d) {
+    for (size_t b : g->Adjacent(d)) {
+      if (!g->HasCircleAt(d, b)) {
+        continue;
+      }
+      const auto adj_d = g->Adjacent(d);
+      for (size_t a : adj_d) {
+        if (a == b || !g->HasCircleAt(a, d) || !g->HasEdge(a, b) || !g->HasArrowAt(a, b)) {
+          continue;
+        }
+        for (size_t c : adj_d) {
+          if (c == a || c == b || g->HasEdge(a, c)) {
+            continue;
+          }
+          if (g->HasCircleAt(c, d) && g->HasEdge(c, b) && g->HasArrowAt(c, b)) {
+            changed |= PutArrow(g, d, b);
+            break;
+          }
+        }
+      }
+    }
+  }
+  return changed;
+}
+
+// R4 (discriminating path): if p = <d, ..., a, b, c> is a discriminating path
+// for b (every interior vertex is a collider on p and a parent of c; d and c
+// non-adjacent) and b o-* c, then: if b in sepset(d, c) orient b -> c, else
+// orient a <-> b <-> c.
+//
+// We search discriminating paths with a bounded DFS extending backwards from
+// <a, b, c>.
+bool RuleR4(const SepsetMap& sepsets, MixedGraph* g) {
+  const size_t n = g->NumNodes();
+  bool changed = false;
+  constexpr size_t kMaxPathLen = 8;
+  for (size_t b = 0; b < n; ++b) {
+    for (size_t c : g->Adjacent(b)) {
+      if (!g->HasCircleAt(b, c) && !g->HasCircleAt(c, b)) {
+        continue;
+      }
+      for (size_t a : g->Adjacent(b)) {
+        if (a == c || !g->HasEdge(a, c)) {
+          continue;
+        }
+        // Interior vertices must be colliders on the path and parents of c.
+        if (!g->HasArrowAt(b, a) && !g->IsDirected(a, c)) {
+          continue;
+        }
+        if (!g->IsDirected(a, c) || !g->HasArrowAt(b, a)) {
+          continue;
+        }
+        // DFS backwards from a; the path so far is <v, ..., a, b, c>.
+        std::vector<bool> on_path(n, false);
+        on_path[a] = true;
+        on_path[b] = true;
+        on_path[c] = true;
+        std::function<bool(size_t, size_t)> extend = [&](size_t v, size_t depth) -> bool {
+          if (depth > kMaxPathLen) {
+            return false;
+          }
+          for (size_t d : g->Adjacent(v)) {
+            if (on_path[d]) {
+              continue;
+            }
+            if (!g->HasArrowAt(d, v)) {
+              continue;  // path edges must point into the collider chain
+            }
+            if (!g->HasEdge(d, c)) {
+              // Found a discriminating path <d, ..., b, c>.
+              if (sepsets.Contains(d, c, b)) {
+                bool local = false;
+                local |= PutTail(g, c, b);
+                local |= PutArrow(g, b, c);
+                return local;
+              }
+              bool local = false;
+              local |= PutArrow(g, b, a);
+              local |= PutArrow(g, a, b);
+              local |= PutArrow(g, c, b);
+              local |= PutArrow(g, b, c);
+              return local;
+            }
+            // d is adjacent to c: to stay discriminating it must be a
+            // collider on the path and a parent of c.
+            if (g->IsDirected(d, c) && g->HasArrowAt(v, d)) {
+              on_path[d] = true;
+              const bool found = extend(d, depth + 1);
+              on_path[d] = false;
+              if (found) {
+                return true;
+              }
+            }
+          }
+          return false;
+        };
+        if (extend(a, 3)) {
+          changed = true;
+        }
+      }
+    }
+  }
+  return changed;
+}
+
+}  // namespace
+
+size_t ApplyOrientationRules(const SepsetMap& sepsets, MixedGraph* g) {
+  size_t total = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    if (RuleR1(g)) {
+      changed = true;
+      ++total;
+    }
+    if (RuleR2(g)) {
+      changed = true;
+      ++total;
+    }
+    if (RuleR3(g)) {
+      changed = true;
+      ++total;
+    }
+    if (RuleR4(sepsets, g)) {
+      changed = true;
+      ++total;
+    }
+  }
+  return total;
+}
+
+FciResult RunFci(const CITest& test, const StructuralConstraints& constraints, size_t num_vars,
+                 const FciOptions& options) {
+  FciResult result;
+  SkeletonResult skel = LearnSkeleton(test, constraints, num_vars, options.skeleton);
+  result.tests_performed = skel.tests_performed;
+  result.sepsets = std::move(skel.sepsets);
+  MixedGraph& g = skel.graph;
+
+  constraints.ApplyOrientations(&g);
+  OrientVStructures(result.sepsets, &g);
+
+  if (options.use_possible_dsep) {
+    // Possible-D-SEP pruning: retest every remaining edge against subsets of
+    // pds(x) \ {x, y}; remove on independence.
+    const size_t n = num_vars;
+    for (size_t x = 0; x < n; ++x) {
+      const auto adj = g.Adjacent(x);
+      for (size_t y : adj) {
+        if (!g.HasEdge(x, y) || constraints.EdgeRequired(x, y)) {
+          continue;
+        }
+        std::vector<size_t> pds = PossibleDSep(g, x);
+        pds.erase(std::remove_if(pds.begin(), pds.end(),
+                                 [&](size_t v) {
+                                   return v == y ||
+                                          constraints.roles()[v] == VarRole::kObjective;
+                                 }),
+                  pds.end());
+        bool removed = false;
+        for (int d = 1; d <= options.max_pds_cond_size && !removed; ++d) {
+          for (const auto& subset :
+               Subsets(pds, static_cast<size_t>(d), options.max_pds_subsets)) {
+            std::vector<int> s(subset.begin(), subset.end());
+            ++result.tests_performed;
+            if (test.Independent(static_cast<int>(x), static_cast<int>(y), s,
+                                 options.skeleton.alpha)) {
+              g.RemoveEdge(x, y);
+              result.sepsets.Set(x, y, subset);
+              removed = true;
+              break;
+            }
+          }
+        }
+      }
+    }
+    // Reset remaining edges to circle-circle and re-orient with the final
+    // adjacency structure.
+    for (size_t a = 0; a < n; ++a) {
+      for (size_t b = a + 1; b < n; ++b) {
+        if (g.HasEdge(a, b)) {
+          g.AddCircleCircle(a, b);
+        }
+      }
+    }
+    constraints.ApplyOrientations(&g);
+    OrientVStructures(result.sepsets, &g);
+  }
+
+  ApplyOrientationRules(result.sepsets, &g);
+  constraints.ApplyOrientations(&g);
+
+  result.pag = std::move(g);
+  return result;
+}
+
+}  // namespace unicorn

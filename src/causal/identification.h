@@ -1,0 +1,38 @@
+// Identifiability checking for interventional queries on an ADMG.
+//
+// Stage V of Unicorn "provides a quantitative estimate for the identifiable
+// queries ... and may return some queries as unidentifiable". For a single
+// intervention do(X), the Tian-Pearl criterion applies: P(v | do(x)) is
+// identifiable iff no bidirected path connects X to any of its children
+// inside the subgraph induced by the descendants of X. When a query is not
+// identifiable the result names the offending confounded child, so the user
+// can decide to measure more variables or add assumptions (paper Fig. 7).
+#ifndef UNICORN_CAUSAL_IDENTIFICATION_H_
+#define UNICORN_CAUSAL_IDENTIFICATION_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/mixed_graph.h"
+
+namespace unicorn {
+
+struct IdentificationResult {
+  bool identifiable = true;
+  // When not identifiable: a child of X bidirectedly connected to X within
+  // the descendant subgraph (the witness of the Tian-Pearl violation).
+  size_t confounded_child = 0;
+  std::string reason;
+};
+
+// Checks identifiability of E[Y | do(X = x)] on the given ADMG.
+IdentificationResult CheckIdentifiability(const MixedGraph& admg, size_t x, size_t y);
+
+// The district (c-component) of `v` within the node subset `allowed`:
+// all nodes reachable from v via bidirected edges staying inside `allowed`.
+std::vector<size_t> DistrictOf(const MixedGraph& admg, size_t v,
+                               const std::vector<bool>& allowed);
+
+}  // namespace unicorn
+
+#endif  // UNICORN_CAUSAL_IDENTIFICATION_H_

@@ -1,0 +1,172 @@
+#include "causal/latent_search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "stats/entropy.h"
+
+namespace unicorn {
+namespace {
+
+constexpr double kEps = 1e-12;
+
+struct Coupling {
+  // q[z][x][y] = q(z | x, y)
+  std::vector<std::vector<std::vector<double>>> q;
+  int nz = 0;
+  int nx = 0;
+  int ny = 0;
+};
+
+// One LatentSearch fixed-point iteration:
+//   q_{t+1}(z|x,y) ∝ q_t(z|x) * q_t(z|y) / q_t(z)^{1-beta}
+// where the conditionals/marginal are induced by q_t and p(x,y). The beta
+// term trades conditional-independence fit against H(Z).
+void Iterate(const std::vector<std::vector<double>>& p_xy, double beta, Coupling* c) {
+  const int nz = c->nz;
+  const int nx = c->nx;
+  const int ny = c->ny;
+  std::vector<double> qz(nz, 0.0);
+  std::vector<std::vector<double>> qzx(nz, std::vector<double>(nx, 0.0));  // q(z, x)
+  std::vector<std::vector<double>> qzy(nz, std::vector<double>(ny, 0.0));  // q(z, y)
+  std::vector<double> px(nx, 0.0);
+  std::vector<double> py(ny, 0.0);
+  for (int x = 0; x < nx; ++x) {
+    for (int y = 0; y < ny; ++y) {
+      px[x] += p_xy[x][y];
+      py[y] += p_xy[x][y];
+      for (int z = 0; z < nz; ++z) {
+        const double mass = c->q[z][x][y] * p_xy[x][y];
+        qz[z] += mass;
+        qzx[z][x] += mass;
+        qzy[z][y] += mass;
+      }
+    }
+  }
+  for (int x = 0; x < nx; ++x) {
+    for (int y = 0; y < ny; ++y) {
+      if (p_xy[x][y] <= kEps) {
+        continue;
+      }
+      double norm = 0.0;
+      std::vector<double> next(nz, 0.0);
+      for (int z = 0; z < nz; ++z) {
+        const double qz_x = px[x] > kEps ? qzx[z][x] / px[x] : 0.0;
+        const double qz_y = py[y] > kEps ? qzy[z][y] / py[y] : 0.0;
+        const double denom = std::pow(std::max(qz[z], kEps), 1.0 - beta);
+        next[z] = qz_x * qz_y / denom;
+        norm += next[z];
+      }
+      if (norm <= kEps) {
+        continue;
+      }
+      for (int z = 0; z < nz; ++z) {
+        c->q[z][x][y] = next[z] / norm;
+      }
+    }
+  }
+}
+
+// H(Z) and I(X;Y|Z) of the joint induced by the coupling and p(x,y).
+void Evaluate(const std::vector<std::vector<double>>& p_xy, const Coupling& c, double* h_z,
+              double* cmi) {
+  const int nz = c.nz;
+  const int nx = c.nx;
+  const int ny = c.ny;
+  std::vector<double> qz(nz, 0.0);
+  std::vector<std::vector<double>> qzx(nz, std::vector<double>(nx, 0.0));
+  std::vector<std::vector<double>> qzy(nz, std::vector<double>(ny, 0.0));
+  double h_xyz = 0.0;
+  for (int z = 0; z < nz; ++z) {
+    for (int x = 0; x < nx; ++x) {
+      for (int y = 0; y < ny; ++y) {
+        const double mass = c.q[z][x][y] * p_xy[x][y];
+        if (mass > kEps) {
+          qz[z] += mass;
+          qzx[z][x] += mass;
+          qzy[z][y] += mass;
+          h_xyz -= mass * std::log(mass);
+        }
+      }
+    }
+  }
+  double h_zx = 0.0;
+  double h_zy = 0.0;
+  double hz = 0.0;
+  for (int z = 0; z < nz; ++z) {
+    if (qz[z] > kEps) {
+      hz -= qz[z] * std::log(qz[z]);
+    }
+    for (int x = 0; x < nx; ++x) {
+      if (qzx[z][x] > kEps) {
+        h_zx -= qzx[z][x] * std::log(qzx[z][x]);
+      }
+    }
+    for (int y = 0; y < ny; ++y) {
+      if (qzy[z][y] > kEps) {
+        h_zy -= qzy[z][y] * std::log(qzy[z][y]);
+      }
+    }
+  }
+  *h_z = hz;
+  // I(X;Y|Z) = H(X,Z) + H(Y,Z) - H(X,Y,Z) - H(Z)
+  *cmi = std::max(0.0, h_zx + h_zy - h_xyz - hz);
+}
+
+}  // namespace
+
+LatentSearchResult LatentSearch(const std::vector<std::vector<double>>& p_xy,
+                                const LatentSearchOptions& options, Rng* rng) {
+  LatentSearchResult best;
+  best.latent_entropy = std::numeric_limits<double>::infinity();
+  const int nx = static_cast<int>(p_xy.size());
+  const int ny = nx > 0 ? static_cast<int>(p_xy[0].size()) : 0;
+  if (nx == 0 || ny == 0) {
+    best.latent_entropy = 0.0;
+    return best;
+  }
+  const int nz =
+      options.latent_cardinality > 0 ? options.latent_cardinality : std::max(nx, ny);
+
+  for (int restart = 0; restart < options.restarts; ++restart) {
+    Coupling c;
+    c.nz = nz;
+    c.nx = nx;
+    c.ny = ny;
+    c.q.assign(nz, std::vector<std::vector<double>>(nx, std::vector<double>(ny, 0.0)));
+    // Random (Dirichlet-like) initialization of q(z|x,y).
+    for (int x = 0; x < nx; ++x) {
+      for (int y = 0; y < ny; ++y) {
+        double norm = 0.0;
+        for (int z = 0; z < nz; ++z) {
+          const double w = -std::log(std::max(rng->Uniform(), kEps));
+          c.q[z][x][y] = w;
+          norm += w;
+        }
+        for (int z = 0; z < nz; ++z) {
+          c.q[z][x][y] /= norm;
+        }
+      }
+    }
+    for (int it = 0; it < options.iterations; ++it) {
+      Iterate(p_xy, options.beta, &c);
+    }
+    double hz = 0.0;
+    double cmi = 0.0;
+    Evaluate(p_xy, c, &hz, &cmi);
+    const bool independent = cmi < options.cmi_tolerance;
+    // Prefer couplings that achieve conditional independence; among those,
+    // minimize H(Z).
+    const bool better = (independent && !best.independence_achieved) ||
+                        (independent == best.independence_achieved && hz < best.latent_entropy);
+    if (better) {
+      best.latent_entropy = hz;
+      best.achieved_cmi = cmi;
+      best.independence_achieved = independent;
+    }
+  }
+  return best;
+}
+
+}  // namespace unicorn

@@ -1,0 +1,37 @@
+// LatentSearch: low-entropy common-cause discovery (Kocaoglu et al.).
+//
+// Given the empirical joint p(x, y), searches for a latent variable Z that
+// renders X and Y conditionally independent while keeping H(Z) small. The
+// entropic edge-resolution step (paper §4, "Resolving partially directed
+// edges") declares an unmeasured confounder when H(Z) falls below
+// 0.8 * min{H(X), H(Y)}.
+#ifndef UNICORN_CAUSAL_LATENT_SEARCH_H_
+#define UNICORN_CAUSAL_LATENT_SEARCH_H_
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace unicorn {
+
+struct LatentSearchOptions {
+  int latent_cardinality = 0;  // 0 = max(|X|, |Y|)
+  int iterations = 60;
+  int restarts = 3;
+  double beta = 0.05;         // weight of the H(Z) penalty in the loss
+  double cmi_tolerance = 0.01;  // achieved I(X;Y|Z) must fall below this
+};
+
+struct LatentSearchResult {
+  double latent_entropy = 0.0;      // H(Z) of the best coupling found
+  double achieved_cmi = 0.0;        // I(X;Y|Z) at that coupling
+  bool independence_achieved = false;
+};
+
+// p_xy is the joint distribution matrix [|X|][|Y|] (sums to ~1).
+LatentSearchResult LatentSearch(const std::vector<std::vector<double>>& p_xy,
+                                const LatentSearchOptions& options, Rng* rng);
+
+}  // namespace unicorn
+
+#endif  // UNICORN_CAUSAL_LATENT_SEARCH_H_

@@ -1,0 +1,136 @@
+#include "causal/skeleton.h"
+
+#include <algorithm>
+
+namespace unicorn {
+
+void SepsetMap::Set(size_t a, size_t b, std::vector<size_t> s) {
+  if (a > b) {
+    std::swap(a, b);
+  }
+  std::sort(s.begin(), s.end());
+  sets_[{a, b}] = std::move(s);
+}
+
+const std::vector<size_t>* SepsetMap::Get(size_t a, size_t b) const {
+  if (a > b) {
+    std::swap(a, b);
+  }
+  auto it = sets_.find({a, b});
+  return it == sets_.end() ? nullptr : &it->second;
+}
+
+bool SepsetMap::Contains(size_t a, size_t b, size_t v) const {
+  const auto* s = Get(a, b);
+  return s != nullptr && std::binary_search(s->begin(), s->end(), v);
+}
+
+std::vector<std::vector<size_t>> Subsets(const std::vector<size_t>& pool, size_t k,
+                                         size_t max_subsets) {
+  std::vector<std::vector<size_t>> out;
+  if (k > pool.size()) {
+    return out;
+  }
+  if (k == 0) {
+    out.push_back({});
+    return out;
+  }
+  std::vector<size_t> idx(k);
+  for (size_t i = 0; i < k; ++i) {
+    idx[i] = i;
+  }
+  while (out.size() < max_subsets) {
+    std::vector<size_t> subset(k);
+    for (size_t i = 0; i < k; ++i) {
+      subset[i] = pool[idx[i]];
+    }
+    out.push_back(std::move(subset));
+    // Advance lexicographically.
+    size_t i = k;
+    while (i-- > 0) {
+      if (idx[i] != i + pool.size() - k) {
+        ++idx[i];
+        for (size_t j = i + 1; j < k; ++j) {
+          idx[j] = idx[j - 1] + 1;
+        }
+        break;
+      }
+      if (i == 0) {
+        return out;
+      }
+    }
+  }
+  return out;
+}
+
+SkeletonResult LearnSkeleton(const CITest& test, const StructuralConstraints& constraints,
+                             size_t num_vars, const SkeletonOptions& options) {
+  SkeletonResult result;
+  result.graph = MixedGraph(num_vars);
+  MixedGraph& g = result.graph;
+  for (size_t a = 0; a < num_vars; ++a) {
+    for (size_t b = a + 1; b < num_vars; ++b) {
+      if (constraints.EdgeAllowed(a, b)) {
+        g.AddCircleCircle(a, b);
+      }
+    }
+  }
+
+  for (int d = 0; d <= options.max_cond_size; ++d) {
+    // PC-stable: freeze adjacency for this level so removal order does not
+    // change which tests are run.
+    std::vector<std::vector<size_t>> adj(num_vars);
+    for (size_t v = 0; v < num_vars; ++v) {
+      adj[v] = g.Adjacent(v);
+    }
+    bool any_tested = false;
+    for (size_t x = 0; x < num_vars; ++x) {
+      for (size_t y : adj[x]) {
+        if (y <= x || !g.HasEdge(x, y)) {
+          continue;
+        }
+        if (constraints.EdgeRequired(x, y)) {
+          continue;  // domain knowledge: never test this edge away
+        }
+        // Candidate conditioning variables: adj(x)\{y} and adj(y)\{x}.
+        for (int side = 0; side < 2; ++side) {
+          const size_t from = side == 0 ? x : y;
+          const size_t other = side == 0 ? y : x;
+          // Objectives are sinks (structural constraint): conditioning on a
+          // pure sink can only open collider paths, never block one, and
+          // near-deterministic objectives otherwise destroy true edges.
+          std::vector<size_t> pool;
+          for (size_t v : adj[from]) {
+            if (v != other && constraints.roles()[v] != VarRole::kObjective) {
+              pool.push_back(v);
+            }
+          }
+          if (pool.size() < static_cast<size_t>(d)) {
+            continue;
+          }
+          any_tested = true;
+          bool removed = false;
+          for (const auto& subset : Subsets(pool, static_cast<size_t>(d), options.max_subsets)) {
+            std::vector<int> s(subset.begin(), subset.end());
+            ++result.tests_performed;
+            if (test.Independent(static_cast<int>(x), static_cast<int>(y), s, options.alpha)) {
+              g.RemoveEdge(x, y);
+              result.sepsets.Set(x, y, subset);
+              removed = true;
+              break;
+            }
+          }
+          if (removed) {
+            break;
+          }
+        }
+      }
+    }
+    if (!any_tested && d > 0) {
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace unicorn

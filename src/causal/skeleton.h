@@ -1,0 +1,53 @@
+// Skeleton recovery with separating sets (paper Fig. 9, steps 1-2).
+//
+// PC-stable adjacency search: start from the complete graph restricted by the
+// structural constraints, then for growing conditioning-set sizes remove the
+// edge (x, y) whenever x ⊥ y | S for some S drawn from the current adjacency
+// of x or y. The separating sets feed the v-structure orientation in FCI.
+#ifndef UNICORN_CAUSAL_SKELETON_H_
+#define UNICORN_CAUSAL_SKELETON_H_
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "causal/constraints.h"
+#include "graph/mixed_graph.h"
+#include "stats/independence.h"
+
+namespace unicorn {
+
+// Separating sets keyed by unordered node pair (stored with first < second).
+class SepsetMap {
+ public:
+  void Set(size_t a, size_t b, std::vector<size_t> s);
+  // Null when no separating set was recorded for (a, b).
+  const std::vector<size_t>* Get(size_t a, size_t b) const;
+  bool Contains(size_t a, size_t b, size_t v) const;
+
+ private:
+  std::map<std::pair<size_t, size_t>, std::vector<size_t>> sets_;
+};
+
+struct SkeletonOptions {
+  double alpha = 0.05;      // independence-test significance level
+  int max_cond_size = 3;    // largest conditioning set tried
+  size_t max_subsets = 64;  // cap on subsets tested per (pair, size)
+};
+
+struct SkeletonResult {
+  MixedGraph graph;  // all present edges carry circle-circle marks
+  SepsetMap sepsets;
+  long long tests_performed = 0;
+};
+
+SkeletonResult LearnSkeleton(const CITest& test, const StructuralConstraints& constraints,
+                             size_t num_vars, const SkeletonOptions& options = {});
+
+// Enumerates up to `max_subsets` size-k subsets of `pool` (lexicographic).
+std::vector<std::vector<size_t>> Subsets(const std::vector<size_t>& pool, size_t k,
+                                         size_t max_subsets);
+
+}  // namespace unicorn
+
+#endif  // UNICORN_CAUSAL_SKELETON_H_

@@ -1,0 +1,45 @@
+#include "eval/harness.h"
+
+#include <algorithm>
+
+namespace unicorn {
+
+PerformanceTask MakeSimulatedTask(std::shared_ptr<const SystemModel> model, Environment env,
+                                  Workload workload, uint64_t seed) {
+  PerformanceTask task;
+  task.variables = model->variables();
+  task.option_vars = model->OptionIndices();
+  auto rng = std::make_shared<Rng>(seed);
+  task.measure = [model, env, workload, rng](const std::vector<double>& config) {
+    return model->Measure(config, env, workload, rng.get());
+  };
+  auto sampler_model = model;
+  task.sample_config = [sampler_model](Rng* r) { return sampler_model->SampleConfig(r); };
+  return task;
+}
+
+std::vector<double> TrueAceWeights(const SystemModel& model, size_t objective,
+                                   const Environment& env, const Workload& workload,
+                                   uint64_t seed, int contexts) {
+  std::vector<double> weights(model.NumVars(), 0.0);
+  Rng rng(seed);
+  for (size_t opt : model.OptionIndices()) {
+    weights[opt] = model.TrueAce(objective, opt, env, workload, &rng, contexts);
+  }
+  return weights;
+}
+
+std::vector<ObjectiveGoal> GoalsForFault(const FaultCuration& curation, const Fault& fault,
+                                         double goal_percentile) {
+  std::vector<ObjectiveGoal> goals;
+  for (size_t obj : fault.objectives) {
+    std::vector<double> values = curation.samples.Col(obj);
+    std::sort(values.begin(), values.end());
+    const size_t idx = std::min(
+        values.size() - 1, static_cast<size_t>(goal_percentile * (values.size() - 1)));
+    goals.push_back({obj, values[idx]});
+  }
+  return goals;
+}
+
+}  // namespace unicorn

@@ -1,0 +1,40 @@
+// Glue between the simulated systems and the Unicorn/baseline interfaces:
+// wraps a SystemModel deployed in an (environment, workload) as a
+// PerformanceTask, and computes the ground-truth ACE weights used by the
+// accuracy metric (paper §6: weights derive from the ground-truth causal
+// performance model).
+#ifndef UNICORN_EVAL_HARNESS_H_
+#define UNICORN_EVAL_HARNESS_H_
+
+#include <memory>
+
+#include "sysmodel/faults.h"
+#include "sysmodel/system_model.h"
+#include "unicorn/task.h"
+
+namespace unicorn {
+
+// Builds a PerformanceTask backed by the simulator. The returned task owns a
+// measurement RNG stream seeded with `seed` (measurement noise is shared
+// state across calls, like a real testbed).
+PerformanceTask MakeSimulatedTask(std::shared_ptr<const SystemModel> model, Environment env,
+                                  Workload workload, uint64_t seed);
+
+// True interventional ACE of every option on `objective` (indexed by global
+// variable id; non-options get 0). These are the weights of the ACE-weighted
+// Jaccard accuracy.
+std::vector<double> TrueAceWeights(const SystemModel& model, size_t objective,
+                                   const Environment& env, const Workload& workload,
+                                   uint64_t seed, int contexts = 20);
+
+// QoS goals for debugging a fault: bring every violated objective back into
+// the healthy bulk of the performance distribution. `goal_percentile` picks
+// the target (0.6 = land at or below the 60th percentile of the curated
+// samples — the paper's repairs reach near-optimal performance, not merely
+// "just under the fault threshold").
+std::vector<ObjectiveGoal> GoalsForFault(const FaultCuration& curation, const Fault& fault,
+                                         double goal_percentile = 0.6);
+
+}  // namespace unicorn
+
+#endif  // UNICORN_EVAL_HARNESS_H_

@@ -1,0 +1,110 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+namespace unicorn {
+
+double AceWeightedJaccard(const std::vector<size_t>& predicted,
+                          const std::vector<size_t>& truth,
+                          const std::vector<double>& weights) {
+  std::set<size_t> a(predicted.begin(), predicted.end());
+  std::set<size_t> b(truth.begin(), truth.end());
+  double inter = 0.0;
+  double uni = 0.0;
+  std::set<size_t> all = a;
+  all.insert(b.begin(), b.end());
+  for (size_t v : all) {
+    const double w = v < weights.size() ? weights[v] : 1.0;
+    uni += w;
+    if (a.count(v) && b.count(v)) {
+      inter += w;
+    }
+  }
+  if (uni <= 0.0) {
+    return 1.0;
+  }
+  return inter / uni;
+}
+
+double Precision(const std::vector<size_t>& predicted, const std::vector<size_t>& truth) {
+  if (predicted.empty()) {
+    return truth.empty() ? 1.0 : 0.0;
+  }
+  std::set<size_t> t(truth.begin(), truth.end());
+  size_t hit = 0;
+  for (size_t v : predicted) {
+    if (t.count(v)) {
+      ++hit;
+    }
+  }
+  return static_cast<double>(hit) / static_cast<double>(predicted.size());
+}
+
+double Recall(const std::vector<size_t>& predicted, const std::vector<size_t>& truth) {
+  if (truth.empty()) {
+    return 1.0;
+  }
+  std::set<size_t> p(predicted.begin(), predicted.end());
+  size_t hit = 0;
+  for (size_t v : truth) {
+    if (p.count(v)) {
+      ++hit;
+    }
+  }
+  return static_cast<double>(hit) / static_cast<double>(truth.size());
+}
+
+double Gain(double fault_value, double fixed_value) {
+  if (fault_value == 0.0) {
+    return 0.0;
+  }
+  return (fault_value - fixed_value) / fault_value * 100.0;
+}
+
+std::vector<std::pair<double, double>> ParetoFront2D(
+    std::vector<std::pair<double, double>> points) {
+  std::sort(points.begin(), points.end());
+  std::vector<std::pair<double, double>> front;
+  double best_y = std::numeric_limits<double>::infinity();
+  for (const auto& p : points) {
+    if (p.second < best_y) {
+      front.push_back(p);
+      best_y = p.second;
+    }
+  }
+  return front;
+}
+
+double Hypervolume2D(const std::vector<std::pair<double, double>>& points, double ref_x,
+                     double ref_y) {
+  auto front = ParetoFront2D(points);
+  double hv = 0.0;
+  double prev_x = ref_x;
+  // Sweep right-to-left: each front point contributes a rectangle up to the
+  // previous x bound.
+  for (auto it = front.rbegin(); it != front.rend(); ++it) {
+    const double x = std::min(it->first, ref_x);
+    const double y = std::min(it->second, ref_y);
+    if (x >= prev_x) {
+      continue;
+    }
+    hv += (prev_x - x) * (ref_y - y);
+    prev_x = x;
+  }
+  return hv;
+}
+
+double HypervolumeError(const std::vector<std::pair<double, double>>& front,
+                        const std::vector<std::pair<double, double>>& reference_front,
+                        double ref_x, double ref_y) {
+  const double hv_ref = Hypervolume2D(reference_front, ref_x, ref_y);
+  if (hv_ref <= 0.0) {
+    return 0.0;
+  }
+  const double hv = Hypervolume2D(front, ref_x, ref_y);
+  return std::clamp(1.0 - hv / hv_ref, 0.0, 1.0);
+}
+
+}  // namespace unicorn

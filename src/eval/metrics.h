@@ -1,0 +1,49 @@
+// Evaluation metrics (paper §6 "Evaluation metrics").
+//
+//  * accuracy: ACE-weighted Jaccard similarity between predicted and true
+//    root causes — sum(ACE over A∩B) / sum(ACE over A∪B),
+//  * precision / recall on root-cause sets,
+//  * gain: percentage improvement of the fix over the fault,
+//  * hypervolume and hypervolume error for multi-objective fronts.
+#ifndef UNICORN_EVAL_METRICS_H_
+#define UNICORN_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace unicorn {
+
+// Weighted Jaccard: weights[v] is the (true) ACE of option v on the faulty
+// objective. Unweighted Jaccard falls out of weights = all ones.
+double AceWeightedJaccard(const std::vector<size_t>& predicted,
+                          const std::vector<size_t>& truth,
+                          const std::vector<double>& weights);
+
+// |predicted ∩ truth| / |predicted| (1.0 when predicted empty and truth empty).
+double Precision(const std::vector<size_t>& predicted, const std::vector<size_t>& truth);
+
+// |predicted ∩ truth| / |truth| (1.0 when truth empty).
+double Recall(const std::vector<size_t>& predicted, const std::vector<size_t>& truth);
+
+// Percentage improvement: (fault - fixed) / fault * 100 (lower-is-better
+// objectives).
+double Gain(double fault_value, double fixed_value);
+
+// Hypervolume of a 2-D minimization front w.r.t. a reference point that
+// dominates nothing (both coordinates above every point).
+double Hypervolume2D(const std::vector<std::pair<double, double>>& points, double ref_x,
+                     double ref_y);
+
+// Hypervolume error: 1 - HV(front) / HV(reference_front), clamped to [0, 1].
+double HypervolumeError(const std::vector<std::pair<double, double>>& front,
+                        const std::vector<std::pair<double, double>>& reference_front,
+                        double ref_x, double ref_y);
+
+// Non-dominated subset of a 2-D minimization point set.
+std::vector<std::pair<double, double>> ParetoFront2D(
+    std::vector<std::pair<double, double>> points);
+
+}  // namespace unicorn
+
+#endif  // UNICORN_EVAL_METRICS_H_

@@ -1,0 +1,183 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+
+namespace unicorn {
+
+std::optional<std::vector<size_t>> TopologicalOrder(const MixedGraph& g) {
+  const size_t n = g.NumNodes();
+  std::vector<size_t> indeg(n, 0);
+  for (size_t v = 0; v < n; ++v) {
+    indeg[v] = g.Parents(v).size();
+  }
+  std::vector<size_t> order;
+  order.reserve(n);
+  std::vector<size_t> stack;
+  for (size_t v = 0; v < n; ++v) {
+    if (indeg[v] == 0) {
+      stack.push_back(v);
+    }
+  }
+  while (!stack.empty()) {
+    const size_t v = stack.back();
+    stack.pop_back();
+    order.push_back(v);
+    for (size_t c : g.Children(v)) {
+      if (--indeg[c] == 0) {
+        stack.push_back(c);
+      }
+    }
+  }
+  if (order.size() != n) {
+    return std::nullopt;
+  }
+  return order;
+}
+
+namespace {
+
+std::vector<size_t> Closure(const MixedGraph& g, size_t v, bool up) {
+  std::vector<bool> seen(g.NumNodes(), false);
+  std::vector<size_t> stack = {v};
+  std::vector<size_t> out;
+  while (!stack.empty()) {
+    const size_t u = stack.back();
+    stack.pop_back();
+    const auto next = up ? g.Parents(u) : g.Children(u);
+    for (size_t w : next) {
+      if (!seen[w]) {
+        seen[w] = true;
+        out.push_back(w);
+        stack.push_back(w);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<size_t> Ancestors(const MixedGraph& g, size_t v) { return Closure(g, v, true); }
+
+std::vector<size_t> Descendants(const MixedGraph& g, size_t v) { return Closure(g, v, false); }
+
+bool DSeparated(const MixedGraph& dag, size_t x, size_t y, const std::vector<size_t>& z) {
+  const size_t n = dag.NumNodes();
+  std::vector<bool> in_z(n, false);
+  for (size_t v : z) {
+    in_z[v] = true;
+  }
+  // Nodes that are in Z or have a descendant in Z (colliders on active paths
+  // must satisfy this).
+  std::vector<bool> anc_of_z(n, false);
+  for (size_t v : z) {
+    anc_of_z[v] = true;
+    for (size_t a : Ancestors(dag, v)) {
+      anc_of_z[a] = true;
+    }
+  }
+  // Reachability with direction-of-approach state:
+  // state 0 = reached v from a child (moving "up"),
+  // state 1 = reached v from a parent (moving "down").
+  std::vector<std::vector<bool>> visited(n, std::vector<bool>(2, false));
+  std::deque<std::pair<size_t, int>> frontier;
+  frontier.push_back({x, 0});  // as if arriving from below
+  while (!frontier.empty()) {
+    auto [v, dir] = frontier.front();
+    frontier.pop_front();
+    if (visited[v][static_cast<size_t>(dir)]) {
+      continue;
+    }
+    visited[v][static_cast<size_t>(dir)] = true;
+    if (v == y) {
+      return false;  // active path found
+    }
+    if (dir == 0) {
+      // Arrived from a child: we may go up to parents and down to children,
+      // unless v is in Z (then the chain/fork is blocked).
+      if (!in_z[v]) {
+        for (size_t p : dag.Parents(v)) {
+          frontier.push_back({p, 0});
+        }
+        for (size_t c : dag.Children(v)) {
+          frontier.push_back({c, 1});
+        }
+      }
+    } else {
+      // Arrived from a parent: v is a potential collider for up-moves.
+      if (!in_z[v]) {
+        for (size_t c : dag.Children(v)) {
+          frontier.push_back({c, 1});
+        }
+      }
+      if (anc_of_z[v]) {
+        for (size_t p : dag.Parents(v)) {
+          frontier.push_back({p, 0});
+        }
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<CausalPath> ExtractCausalPaths(const MixedGraph& g, size_t target, size_t max_paths) {
+  std::vector<CausalPath> out;
+  CausalPath current = {target};
+  std::vector<bool> on_path(g.NumNodes(), false);
+  on_path[target] = true;
+
+  // Depth-first backtracking from the target through parents.
+  // `current` is stored target-first and reversed when emitted.
+  std::function<void(size_t)> visit = [&](size_t v) {
+    if (out.size() >= max_paths) {
+      return;
+    }
+    const auto parents = g.Parents(v);
+    bool extended = false;
+    for (size_t p : parents) {
+      if (on_path[p]) {
+        continue;  // guard against cycles in partially-oriented graphs
+      }
+      extended = true;
+      current.push_back(p);
+      on_path[p] = true;
+      visit(p);
+      on_path[p] = false;
+      current.pop_back();
+      if (out.size() >= max_paths) {
+        return;
+      }
+    }
+    if (!extended && current.size() > 1) {
+      CausalPath path(current.rbegin(), current.rend());
+      out.push_back(std::move(path));
+    }
+  };
+  visit(target);
+  return out;
+}
+
+size_t StructuralHammingDistance(const MixedGraph& a, const MixedGraph& b) {
+  const size_t n = std::min(a.NumNodes(), b.NumNodes());
+  size_t dist = 0;
+  // Node-set size mismatch counts as one unit per extra node's potential
+  // edges; in practice callers compare graphs on identical node sets.
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const bool ea = a.HasEdge(i, j);
+      const bool eb = b.HasEdge(i, j);
+      if (ea != eb) {
+        ++dist;
+      } else if (ea && eb) {
+        if (a.EndMark(i, j) != b.EndMark(i, j) || a.EndMark(j, i) != b.EndMark(j, i)) {
+          ++dist;
+        }
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace unicorn

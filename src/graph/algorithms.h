@@ -1,0 +1,46 @@
+// Graph algorithms over MixedGraph: topological order, ancestry,
+// d-separation (for DAG ground truth), causal-path extraction with
+// backtracking (paper §4 Stage III), and structural Hamming distance
+// (paper Fig. 11a convergence metric).
+#ifndef UNICORN_GRAPH_ALGORITHMS_H_
+#define UNICORN_GRAPH_ALGORITHMS_H_
+
+#include <optional>
+#include <vector>
+
+#include "graph/mixed_graph.h"
+
+namespace unicorn {
+
+// Topological order of the directed part. Empty optional when cyclic.
+std::optional<std::vector<size_t>> TopologicalOrder(const MixedGraph& g);
+
+// All ancestors of v (via directed edges), not including v.
+std::vector<size_t> Ancestors(const MixedGraph& g, size_t v);
+
+// All descendants of v (via directed edges), not including v.
+std::vector<size_t> Descendants(const MixedGraph& g, size_t v);
+
+// d-separation on a DAG: is x independent of y given z?
+// (Reachability / Bayes-ball formulation.)
+bool DSeparated(const MixedGraph& dag, size_t x, size_t y, const std::vector<size_t>& z);
+
+// A directed causal path: node sequence from a root cause to an objective.
+using CausalPath = std::vector<size_t>;
+
+// Extracts directed paths terminating at `target` by backtracking through
+// parents until nodes with no parents are reached (paper §4: "backtrack from
+// the nodes corresponding to each non-functional property until we reach a
+// node with no parents"). Paths are returned root-first. The search caps at
+// `max_paths` to avoid combinatorial explosion on dense graphs.
+std::vector<CausalPath> ExtractCausalPaths(const MixedGraph& g, size_t target,
+                                           size_t max_paths = 10000);
+
+// Structural Hamming distance between two graphs on the same node set:
+// +1 for each node pair whose edge existence differs, +1 for each shared edge
+// whose end-marks differ.
+size_t StructuralHammingDistance(const MixedGraph& a, const MixedGraph& b);
+
+}  // namespace unicorn
+
+#endif  // UNICORN_GRAPH_ALGORITHMS_H_

@@ -1,0 +1,180 @@
+#include "graph/mixed_graph.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace unicorn {
+
+char MarkChar(Mark mark) {
+  switch (mark) {
+    case Mark::kNone:
+      return ' ';
+    case Mark::kCircle:
+      return 'o';
+    case Mark::kArrow:
+      return '>';
+    case Mark::kTail:
+      return '-';
+  }
+  return '?';
+}
+
+MixedGraph::MixedGraph(size_t num_nodes)
+    : n_(num_nodes), marks_(num_nodes, std::vector<Mark>(num_nodes, Mark::kNone)) {}
+
+size_t MixedGraph::NumEdges() const {
+  size_t count = 0;
+  for (size_t a = 0; a < n_; ++a) {
+    for (size_t b = a + 1; b < n_; ++b) {
+      if (HasEdge(a, b)) {
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+void MixedGraph::SetEdge(size_t a, size_t b, Mark at_a, Mark at_b) {
+  assert(a != b);
+  marks_[b][a] = at_a;
+  marks_[a][b] = at_b;
+}
+
+void MixedGraph::RemoveEdge(size_t a, size_t b) {
+  marks_[a][b] = Mark::kNone;
+  marks_[b][a] = Mark::kNone;
+}
+
+void MixedGraph::SetEndMark(size_t a, size_t b, Mark at_b) {
+  assert(HasEdge(a, b));
+  marks_[a][b] = at_b;
+}
+
+std::vector<size_t> MixedGraph::Adjacent(size_t v) const {
+  std::vector<size_t> out;
+  for (size_t u = 0; u < n_; ++u) {
+    if (u != v && HasEdge(v, u)) {
+      out.push_back(u);
+    }
+  }
+  return out;
+}
+
+std::vector<size_t> MixedGraph::Parents(size_t v) const {
+  std::vector<size_t> out;
+  for (size_t u = 0; u < n_; ++u) {
+    if (u != v && IsDirected(u, v)) {
+      out.push_back(u);
+    }
+  }
+  return out;
+}
+
+std::vector<size_t> MixedGraph::Children(size_t v) const {
+  std::vector<size_t> out;
+  for (size_t u = 0; u < n_; ++u) {
+    if (u != v && IsDirected(v, u)) {
+      out.push_back(u);
+    }
+  }
+  return out;
+}
+
+std::vector<size_t> MixedGraph::Spouses(size_t v) const {
+  std::vector<size_t> out;
+  for (size_t u = 0; u < n_; ++u) {
+    if (u != v && IsBidirected(v, u)) {
+      out.push_back(u);
+    }
+  }
+  return out;
+}
+
+bool MixedGraph::IsAdmg() const {
+  for (size_t a = 0; a < n_; ++a) {
+    for (size_t b = a + 1; b < n_; ++b) {
+      if (!HasEdge(a, b)) {
+        continue;
+      }
+      if (!IsDirected(a, b) && !IsDirected(b, a) && !IsBidirected(a, b)) {
+        return false;
+      }
+    }
+  }
+  return !HasDirectedCycle();
+}
+
+bool MixedGraph::HasDirectedCycle() const {
+  // Kahn's algorithm over the directed sub-graph.
+  std::vector<size_t> indeg(n_, 0);
+  for (size_t v = 0; v < n_; ++v) {
+    indeg[v] = Parents(v).size();
+  }
+  std::vector<size_t> stack;
+  for (size_t v = 0; v < n_; ++v) {
+    if (indeg[v] == 0) {
+      stack.push_back(v);
+    }
+  }
+  size_t removed = 0;
+  while (!stack.empty()) {
+    const size_t v = stack.back();
+    stack.pop_back();
+    ++removed;
+    for (size_t c : Children(v)) {
+      if (--indeg[c] == 0) {
+        stack.push_back(c);
+      }
+    }
+  }
+  return removed != n_;
+}
+
+bool MixedGraph::IsDag() const {
+  for (size_t a = 0; a < n_; ++a) {
+    for (size_t b = a + 1; b < n_; ++b) {
+      if (!HasEdge(a, b)) {
+        continue;
+      }
+      if (!IsDirected(a, b) && !IsDirected(b, a)) {
+        return false;
+      }
+    }
+  }
+  return !HasDirectedCycle();
+}
+
+size_t MixedGraph::NumCircleMarks() const {
+  size_t count = 0;
+  for (size_t a = 0; a < n_; ++a) {
+    for (size_t b = 0; b < n_; ++b) {
+      if (marks_[a][b] == Mark::kCircle) {
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+double MixedGraph::AverageDegree() const {
+  if (n_ == 0) {
+    return 0.0;
+  }
+  return 2.0 * static_cast<double>(NumEdges()) / static_cast<double>(n_);
+}
+
+std::string MixedGraph::ToString(const std::vector<std::string>& names) const {
+  std::ostringstream oss;
+  for (size_t a = 0; a < n_; ++a) {
+    for (size_t b = a + 1; b < n_; ++b) {
+      if (!HasEdge(a, b)) {
+        continue;
+      }
+      const char left = MarkChar(EndMark(b, a)) == '>' ? '<' : MarkChar(EndMark(b, a));
+      oss << names[a] << ' ' << left << '-' << MarkChar(EndMark(a, b)) << ' ' << names[b] << '\n';
+    }
+  }
+  return oss.str();
+}
+
+}  // namespace unicorn

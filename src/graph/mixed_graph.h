@@ -1,0 +1,106 @@
+// Mixed graphs with FCI end-marks.
+//
+// A causal performance model passes through three graph classes while being
+// learned (paper §4, Fig. 9): a skeleton (all ends circle), a PAG (partial
+// ancestral graph: circle/arrow/tail ends), and finally an ADMG (directed +
+// bidirected edges only) once entropic orientation resolves the circles.
+// One type represents all three; predicates below distinguish edge kinds.
+#ifndef UNICORN_GRAPH_MIXED_GRAPH_H_
+#define UNICORN_GRAPH_MIXED_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace unicorn {
+
+// Mark at one end of an edge.
+enum class Mark : uint8_t {
+  kNone = 0,  // no edge
+  kCircle,    // o : undetermined (PAG only)
+  kArrow,     // > : arrowhead
+  kTail,      // - : tail
+};
+
+char MarkChar(Mark mark);
+
+class MixedGraph {
+ public:
+  explicit MixedGraph(size_t num_nodes = 0);
+
+  size_t NumNodes() const { return n_; }
+  size_t NumEdges() const;
+
+  // Edge existence & marks. EndMark(a, b) is the mark at b's end of edge a-b
+  // (kNone when the edge is absent).
+  bool HasEdge(size_t a, size_t b) const { return marks_[a][b] != Mark::kNone; }
+  Mark EndMark(size_t a, size_t b) const { return marks_[a][b]; }
+
+  // Adds/updates an edge with the given marks at each end.
+  void SetEdge(size_t a, size_t b, Mark at_a, Mark at_b);
+  void RemoveEdge(size_t a, size_t b);
+
+  // Sets only b's end of existing edge a-b.
+  void SetEndMark(size_t a, size_t b, Mark at_b);
+
+  // Convenience constructors for the common edge kinds.
+  void AddUndirected(size_t a, size_t b) { SetEdge(a, b, Mark::kTail, Mark::kTail); }
+  void AddCircleCircle(size_t a, size_t b) { SetEdge(a, b, Mark::kCircle, Mark::kCircle); }
+  void AddDirected(size_t from, size_t to) { SetEdge(from, to, Mark::kTail, Mark::kArrow); }
+  void AddBidirected(size_t a, size_t b) { SetEdge(a, b, Mark::kArrow, Mark::kArrow); }
+
+  // Edge-kind predicates.
+  bool IsDirected(size_t from, size_t to) const {
+    return marks_[from][to] == Mark::kArrow && marks_[to][from] == Mark::kTail;
+  }
+  bool IsBidirected(size_t a, size_t b) const {
+    return marks_[a][b] == Mark::kArrow && marks_[b][a] == Mark::kArrow;
+  }
+  bool HasArrowAt(size_t a, size_t b) const { return marks_[a][b] == Mark::kArrow; }
+  bool HasCircleAt(size_t a, size_t b) const { return marks_[a][b] == Mark::kCircle; }
+
+  // a *-> b <-* c with a, c adjacent to b (a != c). Does not require a-c
+  // non-adjacency.
+  bool IsCollider(size_t a, size_t b, size_t c) const {
+    return HasArrowAt(a, b) && HasArrowAt(c, b);
+  }
+
+  // Nodes adjacent to v (any edge kind).
+  std::vector<size_t> Adjacent(size_t v) const;
+
+  // Nodes p with p -> v.
+  std::vector<size_t> Parents(size_t v) const;
+
+  // Nodes c with v -> c.
+  std::vector<size_t> Children(size_t v) const;
+
+  // Nodes connected to v by a bidirected edge.
+  std::vector<size_t> Spouses(size_t v) const;
+
+  // True if every edge is directed or bidirected (valid ADMG marks).
+  bool IsAdmg() const;
+
+  // True if all edges are directed and the directed part is acyclic.
+  bool IsDag() const;
+
+  // True if the directed part contains a cycle.
+  bool HasDirectedCycle() const;
+
+  // Count of circle end-marks remaining (0 once fully resolved).
+  size_t NumCircleMarks() const;
+
+  // Average node degree (adjacency count / n); used by the scalability table.
+  double AverageDegree() const;
+
+  // Multi-line human-readable dump using the node names provided.
+  std::string ToString(const std::vector<std::string>& names) const;
+
+ private:
+  size_t n_;
+  // marks_[a][b]: mark at b's end of edge a-b; kNone when absent.
+  std::vector<std::vector<Mark>> marks_;
+};
+
+}  // namespace unicorn
+
+#endif  // UNICORN_GRAPH_MIXED_GRAPH_H_

@@ -1,0 +1,77 @@
+#include "stats/correlation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace unicorn {
+
+double PearsonCorrelation(const std::vector<double>& a, const std::vector<double>& b) {
+  const size_t n = std::min(a.size(), b.size());
+  if (n < 2) {
+    return 0.0;
+  }
+  double ma = 0.0;
+  double mb = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= n;
+  mb /= n;
+  double saa = 0.0;
+  double sbb = 0.0;
+  double sab = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    saa += da * da;
+    sbb += db * db;
+    sab += da * db;
+  }
+  if (saa <= 0.0 || sbb <= 0.0) {
+    return 0.0;
+  }
+  return sab / std::sqrt(saa * sbb);
+}
+
+std::vector<double> MidRanks(const std::vector<double>& v) {
+  const size_t n = v.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t i, size_t j) { return v[i] < v[j]; });
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && v[order[j + 1]] == v[order[i]]) {
+      ++j;
+    }
+    const double mid = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) {
+      ranks[order[k]] = mid;
+    }
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double SpearmanCorrelation(const std::vector<double>& a, const std::vector<double>& b) {
+  return PearsonCorrelation(MidRanks(a), MidRanks(b));
+}
+
+double Mape(const std::vector<double>& truth, const std::vector<double>& pred, double eps) {
+  const size_t n = std::min(truth.size(), pred.size());
+  double total = 0.0;
+  size_t used = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (std::fabs(truth[i]) < eps) {
+      continue;
+    }
+    total += std::fabs((truth[i] - pred[i]) / truth[i]);
+    ++used;
+  }
+  return used == 0 ? 0.0 : 100.0 * total / static_cast<double>(used);
+}
+
+}  // namespace unicorn

@@ -1,0 +1,26 @@
+// Rank and linear correlation helpers used by the transferability analyses
+// (Fig. 4: Spearman rank correlation between source/target model terms).
+#ifndef UNICORN_STATS_CORRELATION_H_
+#define UNICORN_STATS_CORRELATION_H_
+
+#include <vector>
+
+namespace unicorn {
+
+// Pearson linear correlation; 0 for degenerate input.
+double PearsonCorrelation(const std::vector<double>& a, const std::vector<double>& b);
+
+// Spearman rank correlation (Pearson on mid-ranks).
+double SpearmanCorrelation(const std::vector<double>& a, const std::vector<double>& b);
+
+// Mid-ranks of a vector (ties get averaged ranks).
+std::vector<double> MidRanks(const std::vector<double>& v);
+
+// Mean absolute percentage error of predictions vs. truth (percent).
+// Entries with |truth| < eps are skipped.
+double Mape(const std::vector<double>& truth, const std::vector<double>& pred,
+            double eps = 1e-9);
+
+}  // namespace unicorn
+
+#endif  // UNICORN_STATS_CORRELATION_H_

@@ -1,0 +1,106 @@
+#include "stats/discretize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace unicorn {
+
+CodedColumn DiscretizeColumn(const std::vector<double>& col, VarType type, int max_bins) {
+  CodedColumn out;
+  out.codes.resize(col.size());
+  if (col.empty()) {
+    return out;
+  }
+
+  // Map distinct values to codes directly when the alphabet is small. This
+  // covers binary/discrete columns and degenerate continuous columns.
+  std::map<double, int> levels;
+  bool small_alphabet = true;
+  for (double v : col) {
+    if (levels.emplace(v, 0).second && levels.size() > static_cast<size_t>(max_bins)) {
+      if (type != VarType::kContinuous) {
+        // Discrete variable with many levels: still map levels directly.
+        continue;
+      }
+      small_alphabet = false;
+      break;
+    }
+  }
+
+  if (type != VarType::kContinuous || small_alphabet) {
+    levels.clear();
+    for (double v : col) {
+      levels.emplace(v, 0);
+    }
+    int next = 0;
+    for (auto& [value, code] : levels) {
+      code = next++;
+    }
+    for (size_t i = 0; i < col.size(); ++i) {
+      out.codes[i] = levels[col[i]];
+    }
+    out.cardinality = next;
+    return out;
+  }
+
+  // Quantile binning for continuous columns.
+  std::vector<double> sorted = col;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> cuts;
+  cuts.reserve(max_bins - 1);
+  for (int b = 1; b < max_bins; ++b) {
+    size_t idx = static_cast<size_t>(
+        std::min<double>(sorted.size() - 1.0, std::floor(sorted.size() * b / double(max_bins))));
+    cuts.push_back(sorted[idx]);
+  }
+  // Deduplicate cut points (heavy ties collapse bins).
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+  for (size_t i = 0; i < col.size(); ++i) {
+    int code = 0;
+    for (double c : cuts) {
+      if (col[i] >= c) {
+        ++code;
+      } else {
+        break;
+      }
+    }
+    out.codes[i] = code;
+  }
+  out.cardinality = static_cast<int>(cuts.size()) + 1;
+  return out;
+}
+
+CodedTable::CodedTable(const DataTable& table, int max_bins) : num_rows_(table.NumRows()) {
+  columns_.reserve(table.NumVars());
+  for (size_t v = 0; v < table.NumVars(); ++v) {
+    columns_.push_back(DiscretizeColumn(table.Col(v), table.Var(v).type, max_bins));
+  }
+}
+
+CodedColumn CodedTable::Strata(const std::vector<int>& vars) const {
+  CodedColumn out;
+  out.codes.assign(num_rows_, 0);
+  if (vars.empty()) {
+    out.cardinality = num_rows_ == 0 ? 0 : 1;
+    return out;
+  }
+  // Build combined keys, then compress them to dense codes.
+  std::vector<long long> keys(num_rows_, 0);
+  for (int v : vars) {
+    const CodedColumn& c = columns_[static_cast<size_t>(v)];
+    const long long card = std::max(1, c.cardinality);
+    for (size_t r = 0; r < num_rows_; ++r) {
+      keys[r] = keys[r] * card + c.codes[r];
+    }
+  }
+  std::map<long long, int> dense;
+  for (size_t r = 0; r < num_rows_; ++r) {
+    auto [it, inserted] = dense.emplace(keys[r], static_cast<int>(dense.size()));
+    out.codes[r] = it->second;
+  }
+  out.cardinality = static_cast<int>(dense.size());
+  return out;
+}
+
+}  // namespace unicorn

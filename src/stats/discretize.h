@@ -1,0 +1,45 @@
+// Discretization of mixed-type columns into integer codes.
+//
+// Entropy/mutual-information machinery (G-test, LatentSearch, entropic edge
+// orientation) operates on small categorical alphabets. Discrete columns map
+// their observed levels to codes; continuous columns are binned by quantiles.
+#ifndef UNICORN_STATS_DISCRETIZE_H_
+#define UNICORN_STATS_DISCRETIZE_H_
+
+#include <vector>
+
+#include "stats/table.h"
+
+namespace unicorn {
+
+// One discretized column: integer codes in [0, cardinality).
+struct CodedColumn {
+  std::vector<int> codes;
+  int cardinality = 0;
+};
+
+// Discretizes one column. Continuous columns are split into at most
+// `max_bins` quantile bins (fewer if the data has few distinct values).
+CodedColumn DiscretizeColumn(const std::vector<double>& col, VarType type, int max_bins);
+
+// Discretized view of a whole table.
+class CodedTable {
+ public:
+  CodedTable(const DataTable& table, int max_bins = 5);
+
+  size_t NumVars() const { return columns_.size(); }
+  size_t NumRows() const { return num_rows_; }
+  const CodedColumn& Col(size_t v) const { return columns_[v]; }
+
+  // Combines the codes of several columns into a single stratum id per row;
+  // returns the codes plus the number of distinct observed strata.
+  CodedColumn Strata(const std::vector<int>& vars) const;
+
+ private:
+  std::vector<CodedColumn> columns_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace unicorn
+
+#endif  // UNICORN_STATS_DISCRETIZE_H_

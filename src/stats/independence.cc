@@ -1,0 +1,161 @@
+#include "stats/independence.h"
+
+#include <cmath>
+
+#include "stats/correlation.h"
+#include "stats/entropy.h"
+#include "stats/linalg.h"
+#include "stats/special.h"
+
+namespace unicorn {
+namespace {
+
+// Pearson correlation between two columns.
+double Pearson(const std::vector<double>& a, const std::vector<double>& b) {
+  const size_t n = a.size();
+  if (n < 2) {
+    return 0.0;
+  }
+  double ma = 0.0;
+  double mb = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= n;
+  mb /= n;
+  double saa = 0.0;
+  double sbb = 0.0;
+  double sab = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    saa += da * da;
+    sbb += db * db;
+    sab += da * db;
+  }
+  if (saa <= 0.0 || sbb <= 0.0) {
+    return 0.0;
+  }
+  return sab / std::sqrt(saa * sbb);
+}
+
+}  // namespace
+
+FisherZTest::FisherZTest(const DataTable& table) : n_(table.NumRows()) {
+  // Work on mid-ranks (Spearman-style): performance data has heavy-tailed
+  // objectives (fault cliffs) and monotone nonlinearities (saturation), both
+  // of which break plain Pearson correlations but leave ranks intact.
+  std::vector<std::vector<double>> ranked(table.NumVars());
+  for (size_t i = 0; i < table.NumVars(); ++i) {
+    ranked[i] = MidRanks(table.Col(i));
+  }
+  const size_t v = table.NumVars();
+  corr_.assign(v, std::vector<double>(v, 0.0));
+  for (size_t i = 0; i < v; ++i) {
+    corr_[i][i] = 1.0;
+    for (size_t j = i + 1; j < v; ++j) {
+      const double r = Pearson(ranked[i], ranked[j]);
+      corr_[i][j] = r;
+      corr_[j][i] = r;
+    }
+  }
+}
+
+double FisherZTest::PartialCorrelation(int x, int y, const std::vector<int>& s) const {
+  if (s.empty()) {
+    return corr_[static_cast<size_t>(x)][static_cast<size_t>(y)];
+  }
+  // Partial correlation via regression residuals in correlation space:
+  // solve Css * bx = Csx and Css * by = Csy, then
+  // r = (Cxy - bx'Csy) / sqrt((1 - bx'Csx)(1 - by'Csy)).
+  const size_t k = s.size();
+  std::vector<std::vector<double>> css(k, std::vector<double>(k));
+  std::vector<double> csx(k);
+  std::vector<double> csy(k);
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = 0; j < k; ++j) {
+      css[i][j] = corr_[static_cast<size_t>(s[i])][static_cast<size_t>(s[j])];
+    }
+    // Tiny ridge keeps near-duplicate conditioning variables solvable.
+    css[i][i] += 1e-9;
+    csx[i] = corr_[static_cast<size_t>(s[i])][static_cast<size_t>(x)];
+    csy[i] = corr_[static_cast<size_t>(s[i])][static_cast<size_t>(y)];
+  }
+  std::vector<double> bx;
+  std::vector<double> by;
+  if (!SolveLinearSystem(css, csx, &bx) || !SolveLinearSystem(css, csy, &by)) {
+    return 0.0;
+  }
+  double num = corr_[static_cast<size_t>(x)][static_cast<size_t>(y)];
+  double dx = 1.0;
+  double dy = 1.0;
+  for (size_t i = 0; i < k; ++i) {
+    num -= bx[i] * csy[i];
+    dx -= bx[i] * csx[i];
+    dy -= by[i] * csy[i];
+  }
+  if (dx <= 1e-12 || dy <= 1e-12) {
+    return 0.0;
+  }
+  double r = num / std::sqrt(dx * dy);
+  if (r > 1.0) {
+    r = 1.0;
+  }
+  if (r < -1.0) {
+    r = -1.0;
+  }
+  return r;
+}
+
+double FisherZTest::PValue(int x, int y, const std::vector<int>& s) const {
+  ++calls;
+  const double dof = static_cast<double>(n_) - static_cast<double>(s.size()) - 3.0;
+  if (dof <= 0.0) {
+    return 1.0;
+  }
+  const double r = PartialCorrelation(x, y, s);
+  if (std::fabs(r) >= 1.0 - 1e-12) {
+    return 0.0;
+  }
+  const double z = std::sqrt(dof) * 0.5 * std::log((1.0 + r) / (1.0 - r));
+  return NormalTwoSidedPValue(z);
+}
+
+GSquareTest::GSquareTest(const DataTable& table, int max_bins) : coded_(table, max_bins) {}
+
+double GSquareTest::PValue(int x, int y, const std::vector<int>& s) const {
+  ++calls;
+  const size_t n = coded_.NumRows();
+  if (n == 0) {
+    return 1.0;
+  }
+  const CodedColumn& cx = coded_.Col(static_cast<size_t>(x));
+  const CodedColumn& cy = coded_.Col(static_cast<size_t>(y));
+  const CodedColumn cz = coded_.Strata(s);
+  const double cmi = ConditionalMutualInformation(cx, cy, cz);
+  const double g = 2.0 * static_cast<double>(n) * cmi;
+  const double dof = std::max(
+      1.0, (cx.cardinality - 1.0) * (cy.cardinality - 1.0) * std::max(1, cz.cardinality));
+  return ChiSquareSurvival(g, dof);
+}
+
+CompositeTest::CompositeTest(const DataTable& table, int max_bins)
+    : fisher_(table), gsq_(table, max_bins) {
+  types_.reserve(table.NumVars());
+  for (size_t v = 0; v < table.NumVars(); ++v) {
+    types_.push_back(table.Var(v).type);
+  }
+}
+
+double CompositeTest::PValue(int x, int y, const std::vector<int>& s) const {
+  ++calls;
+  const bool continuous_pair = types_[static_cast<size_t>(x)] == VarType::kContinuous &&
+                               types_[static_cast<size_t>(y)] == VarType::kContinuous;
+  if (continuous_pair) {
+    return fisher_.PValue(x, y, s);
+  }
+  return gsq_.PValue(x, y, s);
+}
+
+}  // namespace unicorn

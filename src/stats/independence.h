@@ -1,0 +1,82 @@
+// Conditional-independence tests.
+//
+// The constraint-based causal discovery in src/causal consumes an abstract
+// CITest so that the skeleton search is agnostic to variable types. Two tests
+// are provided, mirroring the paper (§4 Stage II): Fisher's z on partial
+// correlation for continuous variables and a G-test (2N * conditional mutual
+// information, chi-square calibrated) for discrete/mixed variables. The
+// composite test dispatches per variable pair.
+#ifndef UNICORN_STATS_INDEPENDENCE_H_
+#define UNICORN_STATS_INDEPENDENCE_H_
+
+#include <memory>
+#include <vector>
+
+#include "stats/discretize.h"
+#include "stats/table.h"
+
+namespace unicorn {
+
+// Interface: p-value of the null hypothesis X ⊥ Y | S.
+class CITest {
+ public:
+  virtual ~CITest() = default;
+
+  virtual double PValue(int x, int y, const std::vector<int>& s) const = 0;
+
+  bool Independent(int x, int y, const std::vector<int>& s, double alpha) const {
+    return PValue(x, y, s) >= alpha;
+  }
+
+  // Number of tests issued so far (for scalability reporting).
+  mutable long long calls = 0;
+};
+
+// Fisher z-test on partial correlations. Assumes roughly Gaussian margins;
+// robust enough for monotone relationships, which is what the simulator and
+// real performance data produce.
+class FisherZTest : public CITest {
+ public:
+  explicit FisherZTest(const DataTable& table);
+
+  double PValue(int x, int y, const std::vector<int>& s) const override;
+
+  // Partial correlation of (x, y) given s (exposed for tests/diagnostics).
+  double PartialCorrelation(int x, int y, const std::vector<int>& s) const;
+
+ private:
+  size_t n_;
+  // Full correlation matrix, precomputed once.
+  std::vector<std::vector<double>> corr_;
+};
+
+// G-test of conditional independence on the discretized table:
+// G = 2 * N * CMI(X; Y | S); G ~ chi-square under H0.
+class GSquareTest : public CITest {
+ public:
+  explicit GSquareTest(const DataTable& table, int max_bins = 5);
+
+  double PValue(int x, int y, const std::vector<int>& s) const override;
+
+ private:
+  CodedTable coded_;
+};
+
+// Dispatches: Fisher z when both endpoints are continuous, G-test otherwise
+// ("mutual info for discrete variables and Fisher z-test for continuous",
+// paper §4 Stage II).
+class CompositeTest : public CITest {
+ public:
+  explicit CompositeTest(const DataTable& table, int max_bins = 5);
+
+  double PValue(int x, int y, const std::vector<int>& s) const override;
+
+ private:
+  std::vector<VarType> types_;
+  FisherZTest fisher_;
+  GSquareTest gsq_;
+};
+
+}  // namespace unicorn
+
+#endif  // UNICORN_STATS_INDEPENDENCE_H_

@@ -1,0 +1,45 @@
+#include "stats/linalg.h"
+
+#include <cmath>
+
+namespace unicorn {
+
+bool SolveLinearSystem(std::vector<std::vector<double>> m, std::vector<double> rhs,
+                       std::vector<double>* x) {
+  const size_t n = rhs.size();
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    for (size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(m[r][col]) > std::fabs(m[pivot][col])) {
+        pivot = r;
+      }
+    }
+    if (std::fabs(m[pivot][col]) < 1e-12) {
+      return false;
+    }
+    std::swap(m[pivot], m[col]);
+    std::swap(rhs[pivot], rhs[col]);
+    const double inv = 1.0 / m[col][col];
+    for (size_t r = col + 1; r < n; ++r) {
+      const double f = m[r][col] * inv;
+      if (f == 0.0) {
+        continue;
+      }
+      for (size_t c = col; c < n; ++c) {
+        m[r][c] -= f * m[col][c];
+      }
+      rhs[r] -= f * rhs[col];
+    }
+  }
+  x->assign(n, 0.0);
+  for (size_t ri = n; ri-- > 0;) {
+    double acc = rhs[ri];
+    for (size_t c = ri + 1; c < n; ++c) {
+      acc -= m[ri][c] * (*x)[c];
+    }
+    (*x)[ri] = acc / m[ri][ri];
+  }
+  return true;
+}
+
+}  // namespace unicorn

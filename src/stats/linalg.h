@@ -1,0 +1,17 @@
+// Small dense linear-algebra helpers (the problems here are tiny: conditioning
+// sets and regression designs of at most a few dozen columns).
+#ifndef UNICORN_STATS_LINALG_H_
+#define UNICORN_STATS_LINALG_H_
+
+#include <vector>
+
+namespace unicorn {
+
+// Solves M x = rhs by Gaussian elimination with partial pivoting.
+// Returns false when M is numerically singular.
+bool SolveLinearSystem(std::vector<std::vector<double>> m, std::vector<double> rhs,
+                       std::vector<double>* x);
+
+}  // namespace unicorn
+
+#endif  // UNICORN_STATS_LINALG_H_

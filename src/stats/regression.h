@@ -1,0 +1,62 @@
+// Performance-influence models: stepwise polynomial regression.
+//
+// This is the state-of-the-art baseline the paper argues against (§2):
+// f(c) = b0 + sum_i phi(o_i) + sum_ij phi(o_i .. o_j), learned with forward
+// selection and backward elimination. It is used by the motivating
+// transferability analyses (Fig. 4, 5, 21, 22) and by the EnCore-style
+// correlational baselines.
+#ifndef UNICORN_STATS_REGRESSION_H_
+#define UNICORN_STATS_REGRESSION_H_
+
+#include <string>
+#include <vector>
+
+#include "stats/table.h"
+
+namespace unicorn {
+
+// One model term: the product of the listed variable columns.
+struct RegressionTerm {
+  std::vector<size_t> vars;  // sorted variable indices; size 1..max_degree
+
+  bool operator==(const RegressionTerm& other) const { return vars == other.vars; }
+
+  // Human-readable name, e.g. "CPU Frequency x Bitrate".
+  std::string Name(const DataTable& table) const;
+};
+
+// A fitted linear model over polynomial terms.
+struct InfluenceModel {
+  std::vector<RegressionTerm> terms;  // excludes the intercept
+  std::vector<double> coefficients;   // coefficients[0] = intercept, then one per term
+  double train_rmse = 0.0;
+  double train_r2 = 0.0;
+
+  double Predict(const std::vector<double>& row) const;
+  std::vector<double> PredictAll(const DataTable& table) const;
+};
+
+// Configuration for the stepwise search.
+struct StepwiseOptions {
+  int max_degree = 2;      // highest interaction order considered
+  int max_terms = 30;      // cap on selected terms
+  double min_bic_gain = 1e-6;
+  double ridge = 1e-8;     // stabilizer on the normal equations
+  // Candidate pool cap: the pairwise/triple candidate set is pruned to the
+  // terms with the highest marginal |correlation| with the target.
+  int max_candidates = 400;
+};
+
+// Fits y ~ stepwise polynomial over `feature_vars` using forward selection by
+// BIC followed by backward elimination.
+InfluenceModel FitStepwiseRegression(const DataTable& table,
+                                     const std::vector<size_t>& feature_vars, size_t target_var,
+                                     const StepwiseOptions& options = {});
+
+// Ordinary least squares for a fixed term set (exposed for tests).
+InfluenceModel FitOls(const DataTable& table, const std::vector<RegressionTerm>& terms,
+                      size_t target_var, double ridge = 1e-8);
+
+}  // namespace unicorn
+
+#endif  // UNICORN_STATS_REGRESSION_H_

@@ -1,0 +1,157 @@
+#include "stats/special.h"
+
+#include <cmath>
+#include <limits>
+
+namespace unicorn {
+namespace {
+
+// Continued-fraction evaluation of the upper incomplete gamma Q(a, x)
+// (Numerical Recipes "gcf").
+double GammaQContinuedFraction(double a, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3e-12;
+  constexpr double kFpMin = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kFpMin;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= kMaxIter; ++i) {
+    const double an = -i * (i - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kFpMin) {
+      d = kFpMin;
+    }
+    c = b + an / c;
+    if (std::fabs(c) < kFpMin) {
+      c = kFpMin;
+    }
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) {
+      break;
+    }
+  }
+  return std::exp(-x + a * std::log(x) - std::lgamma(a)) * h;
+}
+
+// Series evaluation of the lower incomplete gamma P(a, x) ("gser").
+double GammaPSeries(double a, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3e-12;
+  double ap = a;
+  double sum = 1.0 / a;
+  double del = sum;
+  for (int i = 0; i < kMaxIter; ++i) {
+    ap += 1.0;
+    del *= x / ap;
+    sum += del;
+    if (std::fabs(del) < std::fabs(sum) * kEps) {
+      break;
+    }
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+// Continued fraction for the incomplete beta function ("betacf").
+double BetaContinuedFraction(double x, double a, double b) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3e-12;
+  constexpr double kFpMin = 1e-300;
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) {
+    d = kFpMin;
+  }
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) {
+      d = kFpMin;
+    }
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) {
+      c = kFpMin;
+    }
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) {
+      d = kFpMin;
+    }
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) {
+      c = kFpMin;
+    }
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) {
+      break;
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+double NormalCdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+double NormalTwoSidedPValue(double z) {
+  return std::erfc(std::fabs(z) / std::sqrt(2.0));
+}
+
+double RegularizedGammaP(double a, double x) {
+  if (x <= 0.0 || a <= 0.0) {
+    return x <= 0.0 ? 0.0 : 1.0;
+  }
+  if (x < a + 1.0) {
+    return GammaPSeries(a, x);
+  }
+  return 1.0 - GammaQContinuedFraction(a, x);
+}
+
+double ChiSquareSurvival(double x, double dof) {
+  if (dof <= 0.0) {
+    return 1.0;
+  }
+  if (x <= 0.0) {
+    return 1.0;
+  }
+  return 1.0 - RegularizedGammaP(dof / 2.0, x / 2.0);
+}
+
+double RegularizedBeta(double x, double a, double b) {
+  if (x <= 0.0) {
+    return 0.0;
+  }
+  if (x >= 1.0) {
+    return 1.0;
+  }
+  const double ln_front =
+      std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b) + a * std::log(x) + b * std::log1p(-x);
+  const double front = std::exp(ln_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(x, a, b) / a;
+  }
+  return 1.0 - front * BetaContinuedFraction(1.0 - x, b, a) / b;
+}
+
+double StudentTTwoSidedPValue(double t, double dof) {
+  if (dof <= 0.0) {
+    return 1.0;
+  }
+  const double x = dof / (dof + t * t);
+  return RegularizedBeta(x, dof / 2.0, 0.5);
+}
+
+}  // namespace unicorn

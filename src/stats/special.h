@@ -1,0 +1,28 @@
+// Special functions needed for p-value computation.
+#ifndef UNICORN_STATS_SPECIAL_H_
+#define UNICORN_STATS_SPECIAL_H_
+
+namespace unicorn {
+
+// Standard normal CDF.
+double NormalCdf(double x);
+
+// Two-sided p-value for a standard normal statistic.
+double NormalTwoSidedPValue(double z);
+
+// Regularized lower incomplete gamma P(a, x), a > 0, x >= 0.
+double RegularizedGammaP(double a, double x);
+
+// Survival function of the chi-square distribution with `dof` degrees of
+// freedom: Pr[X >= x].
+double ChiSquareSurvival(double x, double dof);
+
+// Survival function of Student's t distribution (two-sided p-value for |t|).
+double StudentTTwoSidedPValue(double t, double dof);
+
+// Regularized incomplete beta function I_x(a, b).
+double RegularizedBeta(double x, double a, double b);
+
+}  // namespace unicorn
+
+#endif  // UNICORN_STATS_SPECIAL_H_

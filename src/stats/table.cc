@@ -1,0 +1,104 @@
+#include "stats/table.h"
+
+#include <cassert>
+
+namespace unicorn {
+
+const char* VarTypeName(VarType type) {
+  switch (type) {
+    case VarType::kBinary:
+      return "binary";
+    case VarType::kDiscrete:
+      return "discrete";
+    case VarType::kContinuous:
+      return "continuous";
+  }
+  return "unknown";
+}
+
+const char* VarRoleName(VarRole role) {
+  switch (role) {
+    case VarRole::kOption:
+      return "option";
+    case VarRole::kEvent:
+      return "event";
+    case VarRole::kObjective:
+      return "objective";
+  }
+  return "unknown";
+}
+
+DataTable::DataTable(std::vector<Variable> variables)
+    : variables_(std::move(variables)), cols_(variables_.size()) {}
+
+std::optional<size_t> DataTable::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < variables_.size(); ++i) {
+    if (variables_[i].name == name) {
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+void DataTable::AddRow(const std::vector<double>& values) {
+  assert(values.size() == variables_.size());
+  for (size_t v = 0; v < variables_.size(); ++v) {
+    cols_[v].push_back(values[v]);
+  }
+  ++num_rows_;
+}
+
+std::vector<double> DataTable::Row(size_t row) const {
+  std::vector<double> out(variables_.size());
+  for (size_t v = 0; v < variables_.size(); ++v) {
+    out[v] = cols_[v][row];
+  }
+  return out;
+}
+
+DataTable DataTable::SelectVars(const std::vector<size_t>& vars) const {
+  std::vector<Variable> selected;
+  selected.reserve(vars.size());
+  for (size_t v : vars) {
+    selected.push_back(variables_[v]);
+  }
+  DataTable out(std::move(selected));
+  for (size_t i = 0; i < vars.size(); ++i) {
+    out.cols_[i] = cols_[vars[i]];
+  }
+  out.num_rows_ = num_rows_;
+  return out;
+}
+
+DataTable DataTable::SelectRows(const std::vector<size_t>& rows) const {
+  DataTable out(variables_);
+  for (size_t v = 0; v < variables_.size(); ++v) {
+    out.cols_[v].reserve(rows.size());
+    for (size_t r : rows) {
+      out.cols_[v].push_back(cols_[v][r]);
+    }
+  }
+  out.num_rows_ = rows.size();
+  return out;
+}
+
+void DataTable::AppendRows(const DataTable& other) {
+  assert(other.NumVars() == NumVars());
+  for (size_t v = 0; v < variables_.size(); ++v) {
+    const auto& src = other.cols_[v];
+    cols_[v].insert(cols_[v].end(), src.begin(), src.end());
+  }
+  num_rows_ += other.num_rows_;
+}
+
+std::vector<size_t> DataTable::IndicesWithRole(VarRole role) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < variables_.size(); ++i) {
+    if (variables_[i].role == role) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+}  // namespace unicorn

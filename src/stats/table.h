@@ -1,0 +1,92 @@
+// Typed, column-major data table.
+//
+// Every measurement pipeline in this repo produces a DataTable: one column per
+// variable (configuration option, system event, or performance objective), one
+// row per measured configuration. Causal discovery, independence testing, and
+// regression all consume this type.
+#ifndef UNICORN_STATS_TABLE_H_
+#define UNICORN_STATS_TABLE_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace unicorn {
+
+// Statistical type of a variable; drives the choice of independence test and
+// of discretization strategy.
+enum class VarType {
+  kBinary,      // two levels, encoded 0/1
+  kDiscrete,    // finite set of levels (nominal or ordinal)
+  kContinuous,  // real-valued
+};
+
+// Role of a variable in the system stack (paper §3: three variable types).
+enum class VarRole {
+  kOption,     // software/hardware/kernel configuration option (intervenable)
+  kEvent,      // intermediate system event (observable only)
+  kObjective,  // end-to-end performance objective (latency, energy, ...)
+};
+
+const char* VarTypeName(VarType type);
+const char* VarRoleName(VarRole role);
+
+// Metadata for one column.
+struct Variable {
+  std::string name;
+  VarType type = VarType::kContinuous;
+  VarRole role = VarRole::kEvent;
+  // For kBinary/kDiscrete: the permitted levels (ordered).
+  // For kContinuous options: {lo, hi} range. Empty for observables.
+  std::vector<double> domain;
+
+  bool Intervenable() const { return role == VarRole::kOption; }
+};
+
+// Column-major table of doubles with per-column metadata.
+class DataTable {
+ public:
+  DataTable() = default;
+  explicit DataTable(std::vector<Variable> variables);
+
+  size_t NumVars() const { return variables_.size(); }
+  size_t NumRows() const { return num_rows_; }
+
+  const Variable& Var(size_t v) const { return variables_[v]; }
+  const std::vector<Variable>& Variables() const { return variables_; }
+
+  // Index of the variable with this name, if present.
+  std::optional<size_t> IndexOf(const std::string& name) const;
+
+  const std::vector<double>& Col(size_t v) const { return cols_[v]; }
+  double At(size_t row, size_t v) const { return cols_[v][row]; }
+  void Set(size_t row, size_t v, double value) { cols_[v][row] = value; }
+
+  // Appends one row; `values` must have NumVars() entries.
+  void AddRow(const std::vector<double>& values);
+
+  // Returns one row as a vector.
+  std::vector<double> Row(size_t row) const;
+
+  // New table with only the given variables (in the given order).
+  DataTable SelectVars(const std::vector<size_t>& vars) const;
+
+  // New table with only the given rows.
+  DataTable SelectRows(const std::vector<size_t>& rows) const;
+
+  // Appends all rows of `other`; variable lists must match in size.
+  void AppendRows(const DataTable& other);
+
+  // All indices whose role matches.
+  std::vector<size_t> IndicesWithRole(VarRole role) const;
+
+ private:
+  std::vector<Variable> variables_;
+  std::vector<std::vector<double>> cols_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace unicorn
+
+#endif  // UNICORN_STATS_TABLE_H_

@@ -1,0 +1,78 @@
+#include "sysmodel/faults.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace unicorn {
+
+FaultCuration CurateFaults(const SystemModel& model, const Environment& env,
+                           const Workload& workload, size_t num_samples, Rng* rng,
+                           double percentile) {
+  FaultCuration out;
+  out.objective_vars = model.ObjectiveIndices();
+
+  // Sample and measure.
+  out.configs.reserve(num_samples);
+  for (size_t i = 0; i < num_samples; ++i) {
+    out.configs.push_back(model.SampleConfig(rng));
+  }
+  out.samples = model.MeasureMany(out.configs, env, workload, rng);
+
+  // Percentile thresholds per objective.
+  for (size_t obj : out.objective_vars) {
+    std::vector<double> values = out.samples.Col(obj);
+    std::sort(values.begin(), values.end());
+    const size_t idx = std::min(
+        values.size() - 1,
+        static_cast<size_t>(std::floor(percentile * static_cast<double>(values.size()))));
+    out.thresholds.push_back(values[idx]);
+  }
+
+  // Label faults.
+  for (size_t r = 0; r < out.samples.NumRows(); ++r) {
+    Fault fault;
+    for (size_t o = 0; o < out.objective_vars.size(); ++o) {
+      if (out.samples.At(r, out.objective_vars[o]) > out.thresholds[o]) {
+        fault.objectives.push_back(out.objective_vars[o]);
+      }
+    }
+    if (fault.objectives.empty()) {
+      continue;
+    }
+    fault.config = out.configs[r];
+    fault.measurement = out.samples.Row(r);
+    for (size_t obj : fault.objectives) {
+      for (size_t cause : model.TrueRootCauses(fault.config, obj)) {
+        if (std::find(fault.root_causes.begin(), fault.root_causes.end(), cause) ==
+            fault.root_causes.end()) {
+          fault.root_causes.push_back(cause);
+        }
+      }
+    }
+    std::sort(fault.root_causes.begin(), fault.root_causes.end());
+    out.faults.push_back(std::move(fault));
+  }
+  return out;
+}
+
+std::vector<Fault> FaultsOn(const FaultCuration& curation, size_t objective_var) {
+  std::vector<Fault> out;
+  for (const auto& fault : curation.faults) {
+    if (fault.objectives.size() == 1 && fault.objectives[0] == objective_var) {
+      out.push_back(fault);
+    }
+  }
+  return out;
+}
+
+std::vector<Fault> MultiObjectiveFaults(const FaultCuration& curation) {
+  std::vector<Fault> out;
+  for (const auto& fault : curation.faults) {
+    if (fault.objectives.size() > 1) {
+      out.push_back(fault);
+    }
+  }
+  return out;
+}
+
+}  // namespace unicorn

@@ -1,0 +1,41 @@
+// Non-functional fault curation (paper §6 "Ground truth").
+//
+// Faults live in the tail of the performance distribution: sample the
+// configuration space, measure, and label every configuration whose
+// objective value exceeds the 99th percentile as faulty. The simulator's
+// fault rules give each fault its true root-cause option set.
+#ifndef UNICORN_SYSMODEL_FAULTS_H_
+#define UNICORN_SYSMODEL_FAULTS_H_
+
+#include <vector>
+
+#include "sysmodel/system_model.h"
+
+namespace unicorn {
+
+struct Fault {
+  std::vector<double> config;        // option values (option order)
+  Measurement measurement;           // the faulty measurement
+  std::vector<size_t> objectives;    // objective vars above threshold
+  std::vector<size_t> root_causes;   // true root-cause option vars (global idx)
+};
+
+struct FaultCuration {
+  DataTable samples;                  // the ground-truth dataset
+  std::vector<std::vector<double>> configs;  // config per sample row
+  std::vector<size_t> objective_vars;
+  std::vector<double> thresholds;     // per objective (aligned with above)
+  std::vector<Fault> faults;
+};
+
+FaultCuration CurateFaults(const SystemModel& model, const Environment& env,
+                           const Workload& workload, size_t num_samples, Rng* rng,
+                           double percentile = 0.99);
+
+// Convenience filters.
+std::vector<Fault> FaultsOn(const FaultCuration& curation, size_t objective_var);
+std::vector<Fault> MultiObjectiveFaults(const FaultCuration& curation);
+
+}  // namespace unicorn
+
+#endif  // UNICORN_SYSMODEL_FAULTS_H_

@@ -1,0 +1,372 @@
+#include "sysmodel/system_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace unicorn {
+namespace {
+
+double Softplus(double x) {
+  if (x > 30.0) {
+    return x;
+  }
+  return std::log1p(std::exp(x));
+}
+
+bool IsEnergyObjective(const std::string& name) {
+  return name.find("energy") != std::string::npos;
+}
+
+bool IsHeatObjective(const std::string& name) {
+  return name.find("heat") != std::string::npos;
+}
+
+}  // namespace
+
+SystemModel::SystemModel(std::string name, std::vector<Variable> variables,
+                         std::vector<Mechanism> mechanisms, std::vector<FaultRule> fault_rules)
+    : name_(std::move(name)),
+      variables_(std::move(variables)),
+      mechanisms_(std::move(mechanisms)),
+      fault_rules_(std::move(fault_rules)) {
+  assert(mechanisms_.size() == variables_.size());
+  // Builders lay out variables so that mechanism inputs always precede their
+  // node; evaluation in index order is therefore a topological order.
+  for (size_t v = 0; v < variables_.size(); ++v) {
+    if (variables_[v].role != VarRole::kOption) {
+      eval_order_.push_back(v);
+      for (const auto& term : mechanisms_[v].terms) {
+        for (size_t in : term.inputs) {
+          assert(in < v && "mechanism inputs must precede the node");
+          (void)in;
+        }
+      }
+    }
+  }
+}
+
+std::vector<size_t> SystemModel::OptionIndices() const {
+  DataTable t(variables_);
+  return t.IndicesWithRole(VarRole::kOption);
+}
+
+std::vector<size_t> SystemModel::EventIndices() const {
+  DataTable t(variables_);
+  return t.IndicesWithRole(VarRole::kEvent);
+}
+
+std::vector<size_t> SystemModel::ObjectiveIndices() const {
+  DataTable t(variables_);
+  return t.IndicesWithRole(VarRole::kObjective);
+}
+
+double SystemModel::Normalize(size_t v, double raw) const {
+  const auto& domain = variables_[v].domain;
+  if (domain.empty()) {
+    return raw;
+  }
+  const double lo = domain.front();
+  const double hi = domain.back();
+  if (hi <= lo) {
+    return 0.0;
+  }
+  return std::clamp((raw - lo) / (hi - lo), 0.0, 1.0);
+}
+
+std::vector<double> SystemModel::SampleConfig(Rng* rng) const {
+  std::vector<double> config;
+  for (size_t v : OptionIndices()) {
+    const Variable& var = variables_[v];
+    if (var.type == VarType::kContinuous) {
+      config.push_back(rng->Uniform(var.domain.front(), var.domain.back()));
+    } else {
+      config.push_back(var.domain[rng->UniformInt(static_cast<uint64_t>(var.domain.size()))]);
+    }
+  }
+  return config;
+}
+
+std::vector<double> SystemModel::DefaultConfig() const {
+  std::vector<double> config;
+  for (size_t v : OptionIndices()) {
+    config.push_back(variables_[v].domain.front());
+  }
+  return config;
+}
+
+std::vector<double> SystemModel::EnvScales(const Environment& env) const {
+  // One deterministic multiplicative jitter per mechanism term, derived from
+  // the environment seed: environments share structure but not coefficients.
+  size_t total_terms = 0;
+  for (const auto& m : mechanisms_) {
+    total_terms += m.terms.size();
+  }
+  std::vector<double> scales;
+  scales.reserve(total_terms);
+  Rng rng(env.seed * 0x9E3779B97F4A7C15ULL + 17);
+  for (size_t i = 0; i < total_terms; ++i) {
+    scales.push_back(1.0 + env.coeff_jitter * (2.0 * rng.Uniform() - 1.0));
+  }
+  return scales;
+}
+
+double SystemModel::EvaluateNode(size_t v, const std::vector<double>& activations,
+                                 const std::vector<double>& env_scale_slice,
+                                 const Workload& workload, double noise) const {
+  (void)workload;
+  const Mechanism& m = mechanisms_[v];
+  double act = m.bias + noise;
+  for (size_t t = 0; t < m.terms.size(); ++t) {
+    const MechanismTerm& term = m.terms[t];
+    double prod = 1.0;
+    for (size_t in : term.inputs) {
+      prod *= activations[in];
+    }
+    if (term.saturating) {
+      prod = std::tanh(2.0 * prod);
+    }
+    act += term.coeff * env_scale_slice[t] * prod;
+  }
+  return act;
+}
+
+Measurement SystemModel::MeasureNoiseless(const std::vector<double>& config,
+                                          const Environment& env,
+                                          const Workload& workload) const {
+  Rng null_rng(1);
+  // Replicates = 1 and sigma scaled to zero via the dedicated path below.
+  const std::vector<double> env_scales = EnvScales(env);
+  std::vector<double> activations(variables_.size(), 0.0);
+  Measurement raw(variables_.size(), 0.0);
+
+  const auto options = OptionIndices();
+  for (size_t i = 0; i < options.size(); ++i) {
+    raw[options[i]] = config[i];
+    activations[options[i]] = Normalize(options[i], config[i]);
+  }
+  const auto active_rules = ActiveFaultRules(config);
+
+  size_t term_cursor = 0;
+  for (size_t v = 0; v < variables_.size(); ++v) {
+    const Mechanism& m = mechanisms_[v];
+    if (variables_[v].role == VarRole::kOption) {
+      term_cursor += m.terms.size();
+      continue;
+    }
+    const std::vector<double> slice(env_scales.begin() + static_cast<long>(term_cursor),
+                                    env_scales.begin() +
+                                        static_cast<long>(term_cursor + m.terms.size()));
+    term_cursor += m.terms.size();
+    const double act = EvaluateNode(v, activations, slice, workload, 0.0);
+    activations[v] = std::tanh(0.5 * act);  // bounded but far from saturation
+    double value = m.base * Softplus(act) * workload.scale;
+    if (variables_[v].role == VarRole::kObjective) {
+      if (IsEnergyObjective(variables_[v].name)) {
+        value *= env.energy_factor;
+      } else if (IsHeatObjective(variables_[v].name)) {
+        value *= 0.5 * (env.energy_factor + 1.0 / env.speed);
+      } else {
+        value /= env.speed;
+      }
+      for (size_t rule_idx : active_rules) {
+        if (fault_rules_[rule_idx].objective == v) {
+          value *= fault_rules_[rule_idx].penalty;
+        }
+      }
+    }
+    raw[v] = value;
+  }
+  return raw;
+}
+
+Measurement SystemModel::Measure(const std::vector<double>& config, const Environment& env,
+                                 const Workload& workload, Rng* rng, int replicates) const {
+  const std::vector<double> env_scales = EnvScales(env);
+  const auto options = OptionIndices();
+  const auto active_rules = ActiveFaultRules(config);
+
+  std::vector<Measurement> runs;
+  runs.reserve(static_cast<size_t>(replicates));
+  for (int rep = 0; rep < replicates; ++rep) {
+    std::vector<double> activations(variables_.size(), 0.0);
+    Measurement raw(variables_.size(), 0.0);
+    for (size_t i = 0; i < options.size(); ++i) {
+      raw[options[i]] = config[i];
+      activations[options[i]] = Normalize(options[i], config[i]);
+    }
+    size_t term_cursor = 0;
+    for (size_t v = 0; v < variables_.size(); ++v) {
+      const Mechanism& m = mechanisms_[v];
+      if (variables_[v].role == VarRole::kOption) {
+        term_cursor += m.terms.size();
+        continue;
+      }
+      const std::vector<double> slice(env_scales.begin() + static_cast<long>(term_cursor),
+                                      env_scales.begin() +
+                                          static_cast<long>(term_cursor + m.terms.size()));
+      term_cursor += m.terms.size();
+      const double noise = rng->Gaussian(0.0, m.noise_sigma);
+      const double act = EvaluateNode(v, activations, slice, workload, noise);
+      activations[v] = std::tanh(0.5 * act);
+      double value = m.base * Softplus(act) * workload.scale;
+      if (variables_[v].role == VarRole::kObjective) {
+        if (IsEnergyObjective(variables_[v].name)) {
+          value *= env.energy_factor;
+        } else if (IsHeatObjective(variables_[v].name)) {
+          value *= 0.5 * (env.energy_factor + 1.0 / env.speed);
+        } else {
+          value /= env.speed;
+        }
+        for (size_t rule_idx : active_rules) {
+          if (fault_rules_[rule_idx].objective == v) {
+            value *= fault_rules_[rule_idx].penalty;
+          }
+        }
+      }
+      raw[v] = value;
+    }
+    runs.push_back(std::move(raw));
+  }
+  // Per-variable median across replicates (paper §6 "Ground truth").
+  Measurement out(variables_.size(), 0.0);
+  std::vector<double> buf(runs.size());
+  for (size_t v = 0; v < variables_.size(); ++v) {
+    for (size_t r = 0; r < runs.size(); ++r) {
+      buf[r] = runs[r][v];
+    }
+    std::nth_element(buf.begin(), buf.begin() + static_cast<long>(buf.size() / 2), buf.end());
+    out[v] = buf[buf.size() / 2];
+  }
+  return out;
+}
+
+DataTable SystemModel::MeasureMany(const std::vector<std::vector<double>>& configs,
+                                   const Environment& env, const Workload& workload, Rng* rng,
+                                   int replicates) const {
+  DataTable table(variables_);
+  for (const auto& config : configs) {
+    table.AddRow(Measure(config, env, workload, rng, replicates));
+  }
+  return table;
+}
+
+MixedGraph SystemModel::GroundTruthGraph() const {
+  MixedGraph g(variables_.size());
+  for (size_t v = 0; v < variables_.size(); ++v) {
+    for (const auto& term : mechanisms_[v].terms) {
+      for (size_t in : term.inputs) {
+        if (!g.HasEdge(in, v)) {
+          g.AddDirected(in, v);
+        }
+      }
+    }
+  }
+  for (const auto& rule : fault_rules_) {
+    for (const auto& cond : rule.conditions) {
+      if (!g.HasEdge(cond.var, rule.objective)) {
+        g.AddDirected(cond.var, rule.objective);
+      }
+    }
+  }
+  return g;
+}
+
+std::vector<size_t> SystemModel::ActiveFaultRules(const std::vector<double>& config) const {
+  // Map global option index -> config position.
+  const auto options = OptionIndices();
+  std::vector<size_t> pos(variables_.size(), static_cast<size_t>(-1));
+  for (size_t i = 0; i < options.size(); ++i) {
+    pos[options[i]] = i;
+  }
+  std::vector<size_t> active;
+  for (size_t r = 0; r < fault_rules_.size(); ++r) {
+    bool holds = true;
+    for (const auto& cond : fault_rules_[r].conditions) {
+      const size_t p = pos[cond.var];
+      if (p == static_cast<size_t>(-1)) {
+        holds = false;
+        break;
+      }
+      const double norm = Normalize(cond.var, config[p]);
+      if (norm < cond.lo || norm > cond.hi) {
+        holds = false;
+        break;
+      }
+    }
+    if (holds) {
+      active.push_back(r);
+    }
+  }
+  return active;
+}
+
+std::vector<size_t> SystemModel::TrueRootCauses(const std::vector<double>& config,
+                                                size_t objective) const {
+  std::vector<size_t> causes;
+  for (size_t r : ActiveFaultRules(config)) {
+    if (fault_rules_[r].objective != objective) {
+      continue;
+    }
+    for (const auto& cond : fault_rules_[r].conditions) {
+      if (std::find(causes.begin(), causes.end(), cond.var) == causes.end()) {
+        causes.push_back(cond.var);
+      }
+    }
+  }
+  std::sort(causes.begin(), causes.end());
+  return causes;
+}
+
+double SystemModel::TrueAce(size_t z, size_t x, const Environment& env, const Workload& workload,
+                            Rng* rng, int num_contexts) const {
+  const Variable& var = variables_[x];
+  // Treatment levels: the domain for discrete options, 5 evenly spaced values
+  // for continuous ones.
+  std::vector<double> levels;
+  if (var.type == VarType::kContinuous) {
+    const double lo = var.domain.front();
+    const double hi = var.domain.back();
+    for (int i = 0; i < 5; ++i) {
+      levels.push_back(lo + (hi - lo) * i / 4.0);
+    }
+  } else {
+    levels = var.domain;
+  }
+  if (levels.size() < 2) {
+    return 0.0;
+  }
+  const auto options = OptionIndices();
+  size_t x_pos = 0;
+  for (size_t i = 0; i < options.size(); ++i) {
+    if (options[i] == x) {
+      x_pos = i;
+    }
+  }
+  // Common random contexts across levels for variance reduction.
+  std::vector<std::vector<double>> contexts;
+  contexts.reserve(static_cast<size_t>(num_contexts));
+  for (int c = 0; c < num_contexts; ++c) {
+    contexts.push_back(SampleConfig(rng));
+  }
+  std::vector<double> means(levels.size(), 0.0);
+  for (size_t l = 0; l < levels.size(); ++l) {
+    double acc = 0.0;
+    for (auto context : contexts) {
+      context[x_pos] = levels[l];
+      acc += MeasureNoiseless(context, env, workload)[z];
+    }
+    means[l] = acc / static_cast<double>(contexts.size());
+  }
+  double total = 0.0;
+  size_t pairs = 0;
+  for (size_t a = 0; a < levels.size(); ++a) {
+    for (size_t b = a + 1; b < levels.size(); ++b) {
+      total += std::fabs(means[b] - means[a]);
+      ++pairs;
+    }
+  }
+  return pairs > 0 ? total / static_cast<double>(pairs) : 0.0;
+}
+
+}  // namespace unicorn

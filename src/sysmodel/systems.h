@@ -1,0 +1,60 @@
+// Builders for the six configurable systems of the paper (Table 1) plus the
+// three Jetson-like hardware environments.
+//
+// Option spaces follow the paper's appendix:
+//   Table 8  - 22 Linux kernel options (shared by all systems)
+//   Table 9  - 4 hardware options (shared)
+//   Table 11 - Deepstream software options (27, per component)
+//   Table 5  - Xception/BERT/Deepspeech DNN options
+//   Table 6  - x264 options
+//   Table 7  - SQLite PRAGMA options (plus generated knobs in extended mode
+//              to reach the paper's 242-option scalability scenario)
+//   Table 10 - 19 perf events (extended mode generates tracepoint events up
+//              to 288, as in Table 3)
+// The causal wiring and mechanism coefficients are synthetic but
+// deterministic per system (see DESIGN.md, substitution table).
+#ifndef UNICORN_SYSMODEL_SYSTEMS_H_
+#define UNICORN_SYSMODEL_SYSTEMS_H_
+
+#include "sysmodel/system_model.h"
+
+namespace unicorn {
+
+enum class SystemId {
+  kDeepstream,
+  kXception,
+  kBert,
+  kDeepspeech,
+  kX264,
+  kSqlite,
+};
+
+const char* SystemName(SystemId id);
+
+struct SystemSpec {
+  int num_events = 19;            // 19 (curated) or up to 288 (with tracepoints)
+  bool extended_options = false;  // SQLite: 242-option scalability scenario
+  bool include_heat = true;       // third objective used by the appendix tables
+};
+
+SystemModel BuildSystem(SystemId id, const SystemSpec& spec = {});
+
+// Hardware environments (distinct microarchitectures: structure-preserving
+// coefficient changes plus speed/energy scaling).
+Environment Tx1();
+Environment Tx2();
+Environment Xavier();
+
+// Workloads. The Xception transfer experiment (Fig. 17) uses 5k/10k/20k/50k
+// test images.
+Workload DefaultWorkload();
+Workload ImageWorkload(int thousands_of_images);
+
+// Names of the objective columns produced by every builder.
+inline constexpr const char* kLatencyName = "latency";
+inline constexpr const char* kEnergyName = "energy";
+inline constexpr const char* kHeatName = "heat";
+
+}  // namespace unicorn
+
+#endif  // UNICORN_SYSMODEL_SYSTEMS_H_

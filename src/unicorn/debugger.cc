@@ -1,0 +1,197 @@
+#include "unicorn/debugger.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace unicorn {
+namespace {
+
+// All goals satisfied by this measurement row?
+bool GoalsMet(const std::vector<double>& row, const std::vector<ObjectiveGoal>& goals) {
+  for (const auto& goal : goals) {
+    if (row[goal.var] > goal.threshold) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Scalar "badness": max relative violation across goals (<= 0 means met).
+double Badness(const std::vector<double>& row, const std::vector<ObjectiveGoal>& goals) {
+  double worst = -1e18;
+  for (const auto& goal : goals) {
+    const double denom = std::max(1e-9, std::fabs(goal.threshold));
+    worst = std::max(worst, (row[goal.var] - goal.threshold) / denom);
+  }
+  return worst;
+}
+
+}  // namespace
+
+UnicornDebugger::UnicornDebugger(PerformanceTask task, DebugOptions options)
+    : task_(std::move(task)), options_(std::move(options)) {}
+
+DebugResult UnicornDebugger::Debug(const std::vector<double>& fault_config,
+                                   const std::vector<ObjectiveGoal>& goals,
+                                   const DataTable* warm_start) {
+  Rng rng(options_.seed);
+  DebugResult result;
+
+  // Stage II bootstrap: initial observational data.
+  DataTable data = warm_start != nullptr ? *warm_start : task_.EmptyTable();
+  for (size_t i = 0; i < options_.initial_samples; ++i) {
+    data.AddRow(task_.measure(task_.sample_config(&rng)));
+    ++result.measurements_used;
+  }
+  const std::vector<double> fault_row = task_.measure(fault_config);
+  ++result.measurements_used;
+  data.AddRow(fault_row);
+
+  const StructuralConstraints constraints(task_.variables);
+  const std::vector<VarRole>& roles = constraints.roles();
+  std::vector<size_t> goal_vars;
+  for (const auto& g : goals) {
+    goal_vars.push_back(g.var);
+  }
+
+  std::vector<double> current_config = fault_config;
+  std::vector<double> current_row = fault_row;
+  std::vector<double> best_row = fault_row;
+  std::vector<double> best_config = fault_config;
+  double best_badness = Badness(fault_row, goals);
+
+  std::set<std::vector<double>> tried_configs = {fault_config};
+  size_t stall = 0;
+  // Diagnosis from the most recent model: options on the top-ranked causal
+  // paths into the violated objectives (paper §4: "the configurations in
+  // this path are more likely to be associated with the root cause").
+  std::vector<size_t> path_diagnosis;
+
+  for (size_t iter = 0; iter < options_.max_iterations; ++iter) {
+    // Stage II/IV: (re)learn the causal performance model on all data.
+    CausalModelOptions model_options = options_.model;
+    model_options.seed = options_.seed + iter;
+    LearnedModel model = LearnCausalPerformanceModel(data, model_options);
+    CausalEffectEstimator estimator(model.admg, data);
+
+    // Stage III: rank causal paths into the violated objectives.
+    auto paths = estimator.RankPaths(goal_vars, options_.top_k_paths);
+
+    path_diagnosis = OptionsOnPaths(paths, roles);
+    constexpr size_t kMaxDiagnosis = 8;
+    if (path_diagnosis.size() > kMaxDiagnosis) {
+      path_diagnosis.resize(kMaxDiagnosis);
+    }
+
+    // Cold-start fallback: with few samples the learned paths may not reach
+    // back to any option yet. Augment with the options that have the highest
+    // direct ACE on the violated objectives (same heuristic, degenerate
+    // two-node paths) so the repair generator always has candidates.
+    size_t options_on_paths = OptionsOnPaths(paths, roles).size();
+    if (options_on_paths < 3) {
+      std::vector<std::pair<double, size_t>> scored;
+      for (size_t opt : task_.option_vars) {
+        double ace = 0.0;
+        for (size_t g : goal_vars) {
+          ace += estimator.Ace(g, opt);
+        }
+        scored.push_back({ace, opt});
+      }
+      std::sort(scored.begin(), scored.end(),
+                [](const auto& x, const auto& y) { return x.first > y.first; });
+      const size_t want = 6 - options_on_paths;
+      for (size_t i = 0; i < scored.size() && i < want; ++i) {
+        RankedPath pseudo;
+        pseudo.nodes = {scored[i].second, goal_vars.front()};
+        pseudo.path_ace = scored[i].first;
+        paths.push_back(std::move(pseudo));
+      }
+    }
+
+    // Stage V: counterfactual repair generation + ICE scoring.
+    auto repairs =
+        GenerateRepairs(estimator, paths, roles, current_row, goals, options_.repairs);
+
+    // Measure the highest-ICE untried repairs (a small batch per refresh).
+    bool applied = false;
+    size_t measured_this_iter = 0;
+    for (const auto& repair : repairs) {
+      if (measured_this_iter >= options_.repairs_per_iteration) {
+        break;
+      }
+      std::vector<double> candidate = current_config;
+      for (const auto& [var, level] : repair.assignments) {
+        // Map global option var -> config slot.
+        for (size_t i = 0; i < task_.option_vars.size(); ++i) {
+          if (task_.option_vars[i] == var) {
+            candidate[i] = estimator.ValueOfLevel(var, level);
+          }
+        }
+      }
+      if (tried_configs.count(candidate)) {
+        continue;
+      }
+      tried_configs.insert(candidate);
+      const std::vector<double> row = task_.measure(candidate);
+      ++result.measurements_used;
+      ++measured_this_iter;
+      data.AddRow(row);
+
+      std::vector<double> objective_values;
+      for (size_t g : goal_vars) {
+        objective_values.push_back(row[g]);
+      }
+      result.objective_trajectory.push_back(std::move(objective_values));
+      result.selected_options.push_back(repair.assignments.front().first);
+
+      const double badness = Badness(row, goals);
+      if (badness < best_badness) {
+        best_badness = badness;
+        best_row = row;
+        best_config = candidate;
+        current_config = candidate;  // greedy: continue from the improvement
+        current_row = row;
+        stall = 0;
+      } else {
+        ++stall;
+      }
+      applied = true;
+      if (GoalsMet(row, goals)) {
+        result.fixed = true;
+        result.final_graph = std::move(model.admg);
+        break;
+      }
+    }
+    if (result.fixed) {
+      break;
+    }
+    if (!applied || stall >= options_.stall_termination) {
+      result.final_graph = std::move(model.admg);
+      break;
+    }
+    if (iter + 1 == options_.max_iterations) {
+      result.final_graph = std::move(model.admg);
+    }
+  }
+
+  result.fixed_config = best_config;
+  result.fixed_measurement = best_row;
+  // Diagnosis: the options the fix changed, plus the options on the final
+  // model's top causal paths into the violated objectives.
+  for (size_t i = 0; i < task_.option_vars.size(); ++i) {
+    if (best_config[i] != fault_config[i]) {
+      result.predicted_root_causes.push_back(task_.option_vars[i]);
+    }
+  }
+  for (size_t v : path_diagnosis) {
+    if (std::find(result.predicted_root_causes.begin(), result.predicted_root_causes.end(),
+                  v) == result.predicted_root_causes.end()) {
+      result.predicted_root_causes.push_back(v);
+    }
+  }
+  std::sort(result.predicted_root_causes.begin(), result.predicted_root_causes.end());
+  return result;
+}
+
+}  // namespace unicorn

@@ -1,0 +1,65 @@
+// Unicorn performance debugging (paper §4, Stages I-V as one loop).
+//
+// Given a faulty configuration and QoS goals, iteratively:
+//   1. learn/refresh the causal performance model from all measurements,
+//   2. extract and rank causal paths into the violated objectives (ACE),
+//   3. generate counterfactual repairs over the options on the top-K paths
+//      and score them by ICE — purely on observational data,
+//   4. measure the best untried repair; stop when the goals are met, the
+//      same repair keeps being selected, or the budget is exhausted.
+#ifndef UNICORN_UNICORN_DEBUGGER_H_
+#define UNICORN_UNICORN_DEBUGGER_H_
+
+#include "causal/counterfactual.h"
+#include "causal/effects.h"
+#include "unicorn/model_learner.h"
+#include "unicorn/task.h"
+
+namespace unicorn {
+
+struct DebugOptions {
+  size_t initial_samples = 25;  // 10% of the sampling budget (paper §6)
+  size_t max_iterations = 40;
+  size_t top_k_paths = 10;          // K in [3, 25] per appendix B.2
+  size_t stall_termination = 4;     // stop after this many non-improving steps
+  size_t repairs_per_iteration = 2;  // repairs measured per model refresh
+  CausalModelOptions model;
+  RepairOptions repairs;
+  uint64_t seed = 7;
+};
+
+struct DebugResult {
+  bool fixed = false;
+  std::vector<double> fixed_config;       // best configuration found
+  std::vector<double> fixed_measurement;  // its measurement row
+  // Options whose value the fix changed relative to the fault (global index):
+  // Unicorn's root-cause diagnosis.
+  std::vector<size_t> predicted_root_causes;
+  size_t measurements_used = 0;
+  // Per-iteration objective values of the measured repair (for Fig. 11 b/c).
+  std::vector<std::vector<double>> objective_trajectory;
+  // Per-iteration repaired option (first option of the applied repair),
+  // for Fig. 11 (d).
+  std::vector<size_t> selected_options;
+  MixedGraph final_graph;
+};
+
+class UnicornDebugger {
+ public:
+  UnicornDebugger(PerformanceTask task, DebugOptions options);
+
+  // Debugs the fault described by `fault_config` against the goals. An
+  // optional warm-start table (transferability: model learned in a source
+  // environment) seeds the observational data.
+  DebugResult Debug(const std::vector<double>& fault_config,
+                    const std::vector<ObjectiveGoal>& goals,
+                    const DataTable* warm_start = nullptr);
+
+ private:
+  PerformanceTask task_;
+  DebugOptions options_;
+};
+
+}  // namespace unicorn
+
+#endif  // UNICORN_UNICORN_DEBUGGER_H_

@@ -1,0 +1,24 @@
+#include "unicorn/model_learner.h"
+
+#include "stats/independence.h"
+#include "util/rng.h"
+
+namespace unicorn {
+
+LearnedModel LearnCausalPerformanceModel(const DataTable& data,
+                                         const CausalModelOptions& options) {
+  LearnedModel out;
+  const StructuralConstraints constraints(data.Variables());
+  const CompositeTest test(data);
+
+  FciResult fci = RunFci(test, constraints, data.NumVars(), options.fci);
+  out.independence_tests = fci.tests_performed;
+  out.circle_marks_resolved = fci.pag.NumCircleMarks();
+
+  Rng rng(options.seed);
+  ResolveWithEntropy(data, constraints, options.entropic, &rng, &fci.pag);
+  out.admg = std::move(fci.pag);
+  return out;
+}
+
+}  // namespace unicorn

@@ -1,0 +1,38 @@
+// Stage II of Unicorn: learning the causal performance model.
+//
+// Chains FCI (skeleton + sepsets + orientation rules, tolerant of latent
+// confounders) with entropic resolution of the remaining circle marks,
+// producing a fully resolved ADMG ready for do-calculus queries.
+#ifndef UNICORN_UNICORN_MODEL_LEARNER_H_
+#define UNICORN_UNICORN_MODEL_LEARNER_H_
+
+#include "causal/constraints.h"
+#include "causal/entropic.h"
+#include "causal/fci.h"
+#include "graph/mixed_graph.h"
+#include "stats/table.h"
+
+namespace unicorn {
+
+struct CausalModelOptions {
+  FciOptions fci;
+  EntropicOptions entropic;
+  uint64_t seed = 42;
+};
+
+struct LearnedModel {
+  MixedGraph admg;
+  long long independence_tests = 0;
+  size_t circle_marks_resolved = 0;
+};
+
+// Learns the causal performance model from observational data. "Incremental
+// update" (Stage IV) re-invokes this on the grown dataset: with the sparse
+// graphs of this domain the skeleton search is cheap, and re-learning from
+// all data is statistically equivalent to the paper's incremental refresh.
+LearnedModel LearnCausalPerformanceModel(const DataTable& data,
+                                         const CausalModelOptions& options = {});
+
+}  // namespace unicorn
+
+#endif  // UNICORN_UNICORN_MODEL_LEARNER_H_

@@ -1,0 +1,148 @@
+#include "unicorn/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+
+namespace unicorn {
+
+UnicornOptimizer::UnicornOptimizer(PerformanceTask task, OptimizeOptions options)
+    : task_(std::move(task)), options_(std::move(options)) {}
+
+OptimizeResult UnicornOptimizer::Minimize(size_t objective_var, const DataTable* warm_start) {
+  return Run({objective_var}, warm_start);
+}
+
+OptimizeResult UnicornOptimizer::MinimizeMulti(const std::vector<size_t>& objective_vars,
+                                               const DataTable* warm_start) {
+  return Run(objective_vars, warm_start);
+}
+
+OptimizeResult UnicornOptimizer::Run(const std::vector<size_t>& objective_vars,
+                                     const DataTable* warm_start) {
+  Rng rng(options_.seed);
+  OptimizeResult result;
+
+  DataTable data = warm_start != nullptr ? *warm_start : task_.EmptyTable();
+  std::vector<std::vector<double>> configs;  // config per appended row
+
+  auto record = [&](const std::vector<double>& config, const std::vector<double>& row) {
+    std::vector<double> objs;
+    objs.reserve(objective_vars.size());
+    for (size_t v : objective_vars) {
+      objs.push_back(row[v]);
+    }
+    result.evaluated.push_back(objs);
+    configs.push_back(config);
+    ++result.measurements_used;
+  };
+
+  // Scalarization for "best": equal weights (the Pareto front is recovered
+  // from `evaluated` by the caller).
+  auto scalar = [&](const std::vector<double>& row) {
+    double acc = 0.0;
+    for (size_t v : objective_vars) {
+      acc += row[v];
+    }
+    return acc / static_cast<double>(objective_vars.size());
+  };
+
+  double best_value = std::numeric_limits<double>::infinity();
+  std::vector<double> best_config;
+  for (size_t i = 0; i < options_.initial_samples; ++i) {
+    const auto config = task_.sample_config(&rng);
+    const auto row = task_.measure(config);
+    data.AddRow(row);
+    record(config, row);
+    const double value = scalar(row);
+    if (value < best_value) {
+      best_value = value;
+      best_config = config;
+    }
+    result.best_trajectory.push_back(best_value);
+  }
+
+  std::unique_ptr<CausalEffectEstimator> estimator;
+  MixedGraph admg;
+  std::vector<double> option_ace(task_.option_vars.size(), 1.0);
+
+  for (size_t iter = 0; iter < options_.max_iterations; ++iter) {
+    if (iter % options_.relearn_every == 0 || estimator == nullptr) {
+      CausalModelOptions model_options = options_.model;
+      model_options.seed = options_.seed + iter;
+      LearnedModel model = LearnCausalPerformanceModel(data, model_options);
+      admg = std::move(model.admg);
+      estimator = std::make_unique<CausalEffectEstimator>(admg, data);
+      // ACE of each option on the (mean of the) objectives: the sampling
+      // weights of the active learner.
+      for (size_t i = 0; i < task_.option_vars.size(); ++i) {
+        double acc = 0.0;
+        for (size_t v : objective_vars) {
+          acc += estimator->Ace(v, task_.option_vars[i]);
+        }
+        option_ace[i] = acc / static_cast<double>(objective_vars.size());
+      }
+    }
+
+    std::vector<double> candidate;
+    if (rng.Bernoulli(options_.explore_probability) || best_config.empty()) {
+      candidate = task_.sample_config(&rng);
+    } else {
+      candidate = best_config;
+      // Random scalarization weights diversify the Pareto search direction.
+      std::vector<double> weights(objective_vars.size(), 1.0);
+      if (objective_vars.size() > 1) {
+        double total = 0.0;
+        for (auto& w : weights) {
+          w = rng.Uniform(0.05, 1.0);
+          total += w;
+        }
+        for (auto& w : weights) {
+          w /= total;
+        }
+      }
+      for (size_t m = 0; m < options_.mutations_per_step; ++m) {
+        // Option chosen proportionally to its causal effect.
+        const size_t pick = rng.Categorical(option_ace);
+        const size_t var = task_.option_vars[pick];
+        // Choose the level the interventional estimate prefers under the
+        // current scalarization (softmax-free: greedy with random ties).
+        const int levels = estimator->NumLevels(var);
+        int best_level = 0;
+        double best_pred = std::numeric_limits<double>::infinity();
+        for (int l = 0; l < levels; ++l) {
+          double pred = 0.0;
+          for (size_t o = 0; o < objective_vars.size(); ++o) {
+            pred += weights[o] * estimator->ExpectationDo(objective_vars[o], var, l);
+          }
+          if (pred < best_pred) {
+            best_pred = pred;
+            best_level = l;
+          }
+        }
+        // Occasionally explore a random level instead of the greedy one.
+        if (rng.Bernoulli(0.25) && levels > 1) {
+          best_level = static_cast<int>(rng.UniformInt(static_cast<uint64_t>(levels)));
+        }
+        candidate[pick] = estimator->ValueOfLevel(var, best_level);
+      }
+    }
+
+    const auto row = task_.measure(candidate);
+    data.AddRow(row);
+    record(candidate, row);
+    const double value = scalar(row);
+    if (value < best_value) {
+      best_value = value;
+      best_config = candidate;
+    }
+    result.best_trajectory.push_back(best_value);
+  }
+
+  result.best_config = best_config;
+  result.best_value = best_value;
+  return result;
+}
+
+}  // namespace unicorn

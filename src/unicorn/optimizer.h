@@ -1,0 +1,59 @@
+// Unicorn performance optimization (paper §7, Fig. 15).
+//
+// The same causal active-learning loop pointed at minimization instead of
+// repair: options are mutated with probability proportional to their average
+// causal effect on the objective(s), the new value is the level the
+// interventional estimate prefers, and the causal model is refreshed
+// periodically. Multi-objective mode keeps a Pareto archive and scalarizes
+// with fresh random weights each step.
+#ifndef UNICORN_UNICORN_OPTIMIZER_H_
+#define UNICORN_UNICORN_OPTIMIZER_H_
+
+#include "causal/effects.h"
+#include "unicorn/model_learner.h"
+#include "unicorn/task.h"
+
+namespace unicorn {
+
+struct OptimizeOptions {
+  size_t initial_samples = 25;
+  size_t max_iterations = 200;
+  size_t relearn_every = 10;       // causal model refresh period
+  size_t mutations_per_step = 3;   // options changed per candidate
+  double explore_probability = 0.15;  // chance of a uniform-random candidate
+  CausalModelOptions model;
+  uint64_t seed = 13;
+};
+
+struct OptimizeResult {
+  std::vector<double> best_config;
+  double best_value = 0.0;
+  // Best-so-far objective value after each measurement (for Fig. 15 a/b).
+  std::vector<double> best_trajectory;
+  // All measured objective vectors (for Pareto fronts / hypervolume traces).
+  std::vector<std::vector<double>> evaluated;
+  size_t measurements_used = 0;
+};
+
+class UnicornOptimizer {
+ public:
+  UnicornOptimizer(PerformanceTask task, OptimizeOptions options);
+
+  // Minimizes a single objective.
+  OptimizeResult Minimize(size_t objective_var, const DataTable* warm_start = nullptr);
+
+  // Minimizes several objectives jointly; `evaluated` rows follow
+  // `objective_vars` order and best_* track the last scalarization.
+  OptimizeResult MinimizeMulti(const std::vector<size_t>& objective_vars,
+                               const DataTable* warm_start = nullptr);
+
+ private:
+  OptimizeResult Run(const std::vector<size_t>& objective_vars, const DataTable* warm_start);
+
+  PerformanceTask task_;
+  OptimizeOptions options_;
+};
+
+}  // namespace unicorn
+
+#endif  // UNICORN_UNICORN_OPTIMIZER_H_

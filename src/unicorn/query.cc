@@ -1,0 +1,107 @@
+#include "unicorn/query.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace unicorn {
+
+QueryAnswer EstimateQuery(const CausalEffectEstimator& estimator,
+                          const PerformanceQuery& query) {
+  QueryAnswer answer;
+  const int level = estimator.LevelOf(query.option, query.option_value);
+  if (query.threshold.has_value()) {
+    answer.is_probability = true;
+    answer.value =
+        estimator.ProbabilityLeqDo(query.objective, *query.threshold, query.option, level);
+  } else {
+    answer.value = estimator.ExpectationDo(query.objective, query.option, level);
+  }
+  return answer;
+}
+
+namespace {
+
+std::string Strip(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) {
+    ++b;
+  }
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+}  // namespace
+
+std::optional<PerformanceQuery> ParseQuery(const std::string& text, const DataTable& data) {
+  // Grammar: ('P'|'E') '(' objective [ '<=' number ] '|' 'do' '(' option '=' number ')' ')'
+  const std::string s = Strip(text);
+  if (s.size() < 4 || (s[0] != 'P' && s[0] != 'E') || s[1] != '(') {
+    return std::nullopt;
+  }
+  const bool is_prob = s[0] == 'P';
+  const size_t bar = s.find('|');
+  if (bar == std::string::npos) {
+    return std::nullopt;
+  }
+  std::string lhs = Strip(s.substr(2, bar - 2));
+  PerformanceQuery query;
+
+  const size_t leq = lhs.find("<=");
+  if (leq != std::string::npos) {
+    if (!is_prob) {
+      return std::nullopt;
+    }
+    const std::string num = Strip(lhs.substr(leq + 2));
+    try {
+      query.threshold = std::stod(num);
+    } catch (...) {
+      return std::nullopt;
+    }
+    lhs = Strip(lhs.substr(0, leq));
+  } else if (is_prob) {
+    return std::nullopt;  // P-queries need a threshold
+  }
+  const auto obj = data.IndexOf(lhs);
+  if (!obj.has_value()) {
+    return std::nullopt;
+  }
+  query.objective = *obj;
+
+  // Right-hand side: do(option=value))
+  std::string rhs = Strip(s.substr(bar + 1));
+  if (rhs.rfind("do", 0) != 0) {
+    return std::nullopt;
+  }
+  const size_t open = rhs.find('(');
+  const size_t close = rhs.rfind(')');
+  if (open == std::string::npos || close == std::string::npos || close <= open) {
+    return std::nullopt;
+  }
+  // Trim the trailing outer ')' if present inside the captured span.
+  std::string inner = rhs.substr(open + 1, close - open - 1);
+  const size_t inner_close = inner.find(')');
+  if (inner_close != std::string::npos) {
+    inner = inner.substr(0, inner_close);
+  }
+  const size_t eq = inner.find('=');
+  if (eq == std::string::npos) {
+    return std::nullopt;
+  }
+  const auto opt = data.IndexOf(Strip(inner.substr(0, eq)));
+  if (!opt.has_value()) {
+    return std::nullopt;
+  }
+  query.option = *opt;
+  try {
+    query.option_value = std::stod(Strip(inner.substr(eq + 1)));
+  } catch (...) {
+    return std::nullopt;
+  }
+  return query;
+}
+
+}  // namespace unicorn

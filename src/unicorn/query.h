@@ -1,0 +1,44 @@
+// Stage I & V: the performance-query interface of the causal inference
+// engine (paper Fig. 7). Users phrase QoS questions such as
+//   "P(throughput > 40/s | do(BufferSize = 6k))"
+// which the engine translates to interventional estimates on the learned
+// causal performance model.
+#ifndef UNICORN_UNICORN_QUERY_H_
+#define UNICORN_UNICORN_QUERY_H_
+
+#include <optional>
+#include <string>
+
+#include "causal/effects.h"
+
+namespace unicorn {
+
+// One interventional probability / expectation query.
+struct PerformanceQuery {
+  // The intervention: set `option` to `option_value` (raw scale).
+  size_t option = 0;
+  double option_value = 0.0;
+  // The measured quantity.
+  size_t objective = 0;
+  // When set, asks P(objective <= threshold | do(option = value));
+  // otherwise asks E[objective | do(option = value)].
+  std::optional<double> threshold;
+};
+
+struct QueryAnswer {
+  double value = 0.0;  // probability or expectation
+  bool is_probability = false;
+};
+
+QueryAnswer EstimateQuery(const CausalEffectEstimator& estimator, const PerformanceQuery& query);
+
+// Parses a tiny textual query language (demonstrating the paper's "specify
+// performance query" stage):
+//   "P(latency <= 30 | do(buffer_size=6000))"
+//   "E(energy | do(bitrate=2000))"
+// Returns nullopt on malformed input or unknown variable names.
+std::optional<PerformanceQuery> ParseQuery(const std::string& text, const DataTable& data);
+
+}  // namespace unicorn
+
+#endif  // UNICORN_UNICORN_QUERY_H_

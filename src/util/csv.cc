@@ -1,0 +1,55 @@
+#include "util/csv.h"
+
+#include <sstream>
+
+namespace unicorn {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {}
+
+CsvWriter::~CsvWriter() = default;
+
+std::string CsvEscape(const std::string& field) {
+  bool needs_quotes = false;
+  for (char c : field) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) {
+    return field;
+  }
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') {
+      out += "\"\"";
+    } else {
+      out += c;
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i) {
+      out_ << ',';
+    }
+    out_ << CsvEscape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::WriteNumericRow(const std::vector<double>& values) {
+  std::ostringstream oss;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i) {
+      oss << ',';
+    }
+    oss << values[i];
+  }
+  out_ << oss.str() << '\n';
+}
+
+}  // namespace unicorn

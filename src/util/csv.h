@@ -1,0 +1,32 @@
+// Minimal CSV writer used by benchmarks to dump table/figure data.
+#ifndef UNICORN_UTIL_CSV_H_
+#define UNICORN_UTIL_CSV_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace unicorn {
+
+// Writes rows of strings/doubles to a CSV file. Quotes fields that contain
+// separators. Intentionally minimal: this project only writes CSVs.
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::string& path);
+  ~CsvWriter();
+
+  bool ok() const { return out_.good(); }
+
+  void WriteRow(const std::vector<std::string>& fields);
+  void WriteNumericRow(const std::vector<double>& values);
+
+ private:
+  std::ofstream out_;
+};
+
+// Escapes a single CSV field (adds quotes when needed).
+std::string CsvEscape(const std::string& field);
+
+}  // namespace unicorn
+
+#endif  // UNICORN_UTIL_CSV_H_

@@ -1,0 +1,62 @@
+#include "util/text_table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace unicorn {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::AddRow(const std::string& label, const std::vector<double>& values,
+                       int precision) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (double v : values) {
+    row.push_back(FormatDouble(v, precision));
+  }
+  AddRow(std::move(row));
+}
+
+std::string TextTable::Render() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream oss;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      oss << std::left << std::setw(static_cast<int>(widths[c]) + 2) << row[c];
+    }
+    oss << '\n';
+  };
+  emit_row(header_);
+  size_t total = 0;
+  for (size_t w : widths) {
+    total += w + 2;
+  }
+  oss << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return oss.str();
+}
+
+std::string FormatDouble(double v, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << v;
+  return oss.str();
+}
+
+}  // namespace unicorn

@@ -1,0 +1,33 @@
+// Fixed-width text table renderer. Benchmarks use this to print the
+// paper-shaped rows (Table 2, Table 3, ...) to stdout.
+#ifndef UNICORN_UTIL_TEXT_TABLE_H_
+#define UNICORN_UTIL_TEXT_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace unicorn {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  // Convenience: formats doubles with the given precision.
+  void AddRow(const std::string& label, const std::vector<double>& values, int precision = 2);
+
+  // Renders the table with aligned columns and a header rule.
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with fixed precision (helper shared by benches).
+std::string FormatDouble(double v, int precision = 2);
+
+}  // namespace unicorn
+
+#endif  // UNICORN_UTIL_TEXT_TABLE_H_

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "baselines/bugdoc.h"
+#include "baselines/cbi.h"
+#include "baselines/dd.h"
+#include "baselines/encore.h"
+#include "eval/harness.h"
+#include "sysmodel/faults.h"
+#include "sysmodel/systems.h"
+
+namespace unicorn {
+namespace {
+
+struct Scenario {
+  std::shared_ptr<SystemModel> model;
+  PerformanceTask task;
+  FaultCuration curation;
+  Fault fault;
+  std::vector<ObjectiveGoal> goals;
+};
+
+Scenario MakeScenario(uint64_t seed) {
+  Scenario s;
+  SystemSpec spec;
+  spec.num_events = 8;
+  s.model = std::make_shared<SystemModel>(BuildSystem(SystemId::kXception, spec));
+  Rng rng(seed);
+  s.curation = CurateFaults(*s.model, Tx2(), DefaultWorkload(), 1500, &rng, 0.97);
+  s.task = MakeSimulatedTask(s.model, Tx2(), DefaultWorkload(), seed + 1);
+  for (const auto& f : s.curation.faults) {
+    if (!f.root_causes.empty()) {
+      s.fault = f;
+      break;
+    }
+  }
+  s.goals = GoalsForFault(s.curation, s.fault);
+  return s;
+}
+
+using DebugFn = BaselineDebugResult (*)(const PerformanceTask&, const std::vector<double>&,
+                                        const std::vector<ObjectiveGoal>&,
+                                        const BaselineDebugOptions&);
+
+class BaselineSweep : public ::testing::TestWithParam<std::pair<const char*, DebugFn>> {};
+
+TEST_P(BaselineSweep, RespectsBudgetAndImproves) {
+  Scenario s = MakeScenario(300);
+  ASSERT_FALSE(s.fault.config.empty());
+  BaselineDebugOptions options;
+  options.sample_budget = 120;
+  const auto result = GetParam().second(s.task, s.fault.config, s.goals, options);
+  // Budget respected (small slack for the final verification measurement).
+  EXPECT_LE(result.measurements_used, options.sample_budget + 2);
+  // The proposed fix never makes things worse than the fault itself.
+  ASSERT_FALSE(result.fixed_measurement.empty());
+  for (const auto& goal : s.goals) {
+    EXPECT_LE(result.fixed_measurement[goal.var], s.fault.measurement[goal.var] * 1.05);
+  }
+}
+
+TEST_P(BaselineSweep, RootCausesAreOptionVars) {
+  Scenario s = MakeScenario(301);
+  ASSERT_FALSE(s.fault.config.empty());
+  BaselineDebugOptions options;
+  options.sample_budget = 100;
+  const auto result = GetParam().second(s.task, s.fault.config, s.goals, options);
+  for (size_t cause : result.predicted_root_causes) {
+    EXPECT_EQ(s.model->variables()[cause].role, VarRole::kOption);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBaselines, BaselineSweep,
+    ::testing::Values(std::make_pair("cbi", &CbiDebug), std::make_pair("dd", &DdDebug),
+                      std::make_pair("encore", &EncoreDebug),
+                      std::make_pair("bugdoc", &BugDocDebug)),
+    [](const ::testing::TestParamInfo<std::pair<const char*, DebugFn>>& info) {
+      return info.param.first;
+    });
+
+TEST(DdTest, MinimalDiffFixes) {
+  Scenario s = MakeScenario(302);
+  ASSERT_FALSE(s.fault.config.empty());
+  BaselineDebugOptions options;
+  options.sample_budget = 150;
+  const auto result = DdDebug(s.task, s.fault.config, s.goals, options);
+  if (result.fixed) {
+    // The returned fix with only the minimal diffs applied must pass.
+    bool met = true;
+    for (const auto& goal : s.goals) {
+      met &= result.fixed_measurement[goal.var] <= goal.threshold;
+    }
+    EXPECT_TRUE(met);
+    // Predicted causes = the applied diffs.
+    EXPECT_FALSE(result.predicted_root_causes.empty());
+  }
+}
+
+TEST(CbiTest, HandlesNoFailuresGracefully) {
+  // Goals so loose that nothing fails: CBI should not crash and should
+  // return the fault config (or better).
+  Scenario s = MakeScenario(303);
+  ASSERT_FALSE(s.fault.config.empty());
+  std::vector<ObjectiveGoal> loose;
+  for (const auto& g : s.goals) {
+    loose.push_back({g.var, g.threshold * 1000.0});
+  }
+  BaselineDebugOptions options;
+  options.sample_budget = 40;
+  const auto result = CbiDebug(s.task, s.fault.config, loose, options);
+  EXPECT_TRUE(result.fixed);
+}
+
+TEST(BugDocTest, ProducesExplanation) {
+  Scenario s = MakeScenario(304);
+  ASSERT_FALSE(s.fault.config.empty());
+  BaselineDebugOptions options;
+  options.sample_budget = 120;
+  const auto result = BugDocDebug(s.task, s.fault.config, s.goals, options);
+  // BugDoc explains via the decision path: for a real fault with failing
+  // samples in the pool the path is non-empty.
+  EXPECT_FALSE(result.predicted_root_causes.empty());
+}
+
+}  // namespace
+}  // namespace unicorn

@@ -1,0 +1,97 @@
+#include "causal/constraints.h"
+
+#include <gtest/gtest.h>
+
+#include "causal/skeleton.h"
+#include "stats/independence.h"
+#include "util/rng.h"
+
+namespace unicorn {
+namespace {
+
+std::vector<Variable> MakeVars() {
+  return {
+      {"o0", VarType::kContinuous, VarRole::kOption, {0, 1}},
+      {"o1", VarType::kContinuous, VarRole::kOption, {0, 1}},
+      {"e0", VarType::kContinuous, VarRole::kEvent, {}},
+      {"e1", VarType::kContinuous, VarRole::kEvent, {}},
+      {"y0", VarType::kContinuous, VarRole::kObjective, {}},
+      {"y1", VarType::kContinuous, VarRole::kObjective, {}},
+  };
+}
+
+TEST(ConstraintsTest, OptionPairsForbidden) {
+  const StructuralConstraints c(MakeVars());
+  EXPECT_FALSE(c.EdgeAllowed(0, 1));
+  EXPECT_TRUE(c.EdgeAllowed(0, 2));
+  EXPECT_TRUE(c.EdgeAllowed(2, 3));
+  EXPECT_TRUE(c.EdgeAllowed(2, 4));
+}
+
+TEST(ConstraintsTest, ForbidEdgeRespected) {
+  StructuralConstraints c(MakeVars());
+  EXPECT_TRUE(c.EdgeAllowed(0, 2));
+  c.ForbidEdge(0, 2);
+  EXPECT_FALSE(c.EdgeAllowed(0, 2));
+  EXPECT_FALSE(c.EdgeAllowed(2, 0));  // symmetric
+  EXPECT_TRUE(c.EdgeAllowed(0, 3));
+}
+
+TEST(ConstraintsTest, OrientationsOptionTailObjectiveArrow) {
+  const StructuralConstraints c(MakeVars());
+  MixedGraph g(6);
+  g.AddCircleCircle(0, 2);  // option - event
+  g.AddCircleCircle(2, 4);  // event - objective
+  g.AddCircleCircle(4, 5);  // objective - objective
+  c.ApplyOrientations(&g);
+  EXPECT_TRUE(g.IsDirected(0, 2));
+  EXPECT_EQ(g.EndMark(2, 4), Mark::kArrow);   // arrow into the objective
+  EXPECT_TRUE(g.IsBidirected(4, 5));          // objectives never cause each other
+}
+
+TEST(ConstraintsTest, RequiredEdgeOrientedAndKept) {
+  StructuralConstraints c(MakeVars());
+  c.RequireEdge(2, 3);  // domain knowledge: e0 causes e1
+  EXPECT_TRUE(c.EdgeRequired(2, 3));
+  EXPECT_TRUE(c.EdgeRequired(3, 2));  // protection is pair-wise
+  MixedGraph g(6);
+  c.ApplyOrientations(&g);
+  EXPECT_TRUE(g.IsDirected(2, 3));
+}
+
+TEST(ConstraintsTest, RequiredEdgeSurvivesSkeletonSearch) {
+  // e0 and e1 are independent in the data, but domain knowledge insists on
+  // the edge: the skeleton search must keep it.
+  Rng rng(1);
+  std::vector<Variable> vars = MakeVars();
+  DataTable data(vars);
+  for (int i = 0; i < 300; ++i) {
+    data.AddRow({rng.Uniform(), rng.Uniform(), rng.Gaussian(), rng.Gaussian(),
+                 rng.Gaussian(), rng.Gaussian()});
+  }
+  StructuralConstraints c(vars);
+  c.RequireEdge(2, 3);
+  const CompositeTest test(data);
+  const SkeletonResult result = LearnSkeleton(test, c, data.NumVars());
+  EXPECT_TRUE(result.graph.HasEdge(2, 3));
+}
+
+TEST(ConstraintsTest, ForbiddenEdgeNeverAppears) {
+  // e0 strongly drives e1, but the edge is forbidden: it must not appear.
+  Rng rng(2);
+  std::vector<Variable> vars = MakeVars();
+  DataTable data(vars);
+  for (int i = 0; i < 300; ++i) {
+    const double e0 = rng.Gaussian();
+    data.AddRow({rng.Uniform(), rng.Uniform(), e0, 2.0 * e0 + rng.Gaussian(0, 0.1),
+                 rng.Gaussian(), rng.Gaussian()});
+  }
+  StructuralConstraints c(vars);
+  c.ForbidEdge(2, 3);
+  const CompositeTest test(data);
+  const SkeletonResult result = LearnSkeleton(test, c, data.NumVars());
+  EXPECT_FALSE(result.graph.HasEdge(2, 3));
+}
+
+}  // namespace
+}  // namespace unicorn

@@ -1,0 +1,72 @@
+#include "stats/correlation.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace unicorn {
+namespace {
+
+TEST(CorrelationTest, PearsonPerfectPositive) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3, 4}, {2, 4, 6, 8}), 1.0, 1e-12);
+}
+
+TEST(CorrelationTest, PearsonPerfectNegative) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3, 4}, {8, 6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(CorrelationTest, PearsonDegenerateZero) {
+  EXPECT_EQ(PearsonCorrelation({1, 1, 1}, {2, 3, 4}), 0.0);
+  EXPECT_EQ(PearsonCorrelation({1}, {2}), 0.0);
+}
+
+TEST(CorrelationTest, PearsonApproxZeroForIndependent) {
+  Rng rng(1);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 20000; ++i) {
+    a.push_back(rng.Gaussian());
+    b.push_back(rng.Gaussian());
+  }
+  EXPECT_NEAR(PearsonCorrelation(a, b), 0.0, 0.02);
+}
+
+TEST(CorrelationTest, MidRanksSimple) {
+  EXPECT_EQ(MidRanks({10, 30, 20}), (std::vector<double>{1, 3, 2}));
+}
+
+TEST(CorrelationTest, MidRanksTiesAveraged) {
+  EXPECT_EQ(MidRanks({5, 5, 1}), (std::vector<double>{2.5, 2.5, 1}));
+}
+
+TEST(CorrelationTest, SpearmanMonotoneNonlinear) {
+  // Spearman is 1 for any strictly increasing transform.
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 1; i <= 50; ++i) {
+    x.push_back(i);
+    y.push_back(i * i * i);
+  }
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 1.0, 1e-12);
+}
+
+TEST(CorrelationTest, SpearmanReversed) {
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y = {5, 4, 3, 2, 1};
+  EXPECT_NEAR(SpearmanCorrelation(x, y), -1.0, 1e-12);
+}
+
+TEST(CorrelationTest, MapeBasic) {
+  EXPECT_NEAR(Mape({100, 200}, {90, 220}), 10.0, 1e-9);
+}
+
+TEST(CorrelationTest, MapePerfectPrediction) {
+  EXPECT_EQ(Mape({1, 2, 3}, {1, 2, 3}), 0.0);
+}
+
+TEST(CorrelationTest, MapeSkipsZeroTruth) {
+  EXPECT_NEAR(Mape({0.0, 100.0}, {50.0, 110.0}), 10.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace unicorn

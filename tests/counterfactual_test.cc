@@ -1,0 +1,148 @@
+#include "causal/counterfactual.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace unicorn {
+namespace {
+
+// Simple repairable system: o0 high makes y bad (threshold cliff),
+// o1 is noise.
+struct RepairSystem {
+  DataTable data;
+  MixedGraph graph;
+  std::vector<VarRole> roles;
+};
+
+RepairSystem MakeRepairSystem(size_t n, Rng* rng) {
+  RepairSystem s;
+  std::vector<Variable> vars = {
+      {"o0", VarType::kDiscrete, VarRole::kOption, {0, 1, 2}},
+      {"o1", VarType::kDiscrete, VarRole::kOption, {0, 1}},
+      {"e0", VarType::kContinuous, VarRole::kEvent, {}},
+      {"y", VarType::kContinuous, VarRole::kObjective, {}},
+  };
+  s.data = DataTable(vars);
+  for (size_t i = 0; i < n; ++i) {
+    const double o0 = static_cast<double>(rng->UniformInt(uint64_t{3}));
+    const double o1 = rng->Bernoulli(0.5) ? 1.0 : 0.0;
+    const double e0 = 10.0 * o0 + rng->Gaussian(0, 0.5);
+    const double y = (o0 >= 2.0 ? 100.0 : 10.0) + e0 * 0.1 + rng->Gaussian(0, 1.0);
+    s.data.AddRow({o0, o1, e0, y});
+  }
+  s.graph = MixedGraph(4);
+  s.graph.AddDirected(0, 2);
+  s.graph.AddDirected(2, 3);
+  s.graph.AddDirected(0, 3);
+  s.graph.AddDirected(1, 3);  // o1 is a (weak) direct parent of y
+  s.roles = {VarRole::kOption, VarRole::kOption, VarRole::kEvent, VarRole::kObjective};
+  return s;
+}
+
+TEST(CounterfactualTest, OptionsOnPathsDeduplicated) {
+  std::vector<RankedPath> paths;
+  paths.push_back({{0, 2, 3}, 1.0});
+  paths.push_back({{0, 3}, 0.5});
+  paths.push_back({{1, 3}, 0.2});
+  const std::vector<VarRole> roles = {VarRole::kOption, VarRole::kOption, VarRole::kEvent,
+                                      VarRole::kObjective};
+  const auto options = OptionsOnPaths(paths, roles);
+  EXPECT_EQ(options, (std::vector<size_t>{0, 1}));
+}
+
+TEST(CounterfactualTest, BestRepairFlipsCulprit) {
+  Rng rng(1);
+  const RepairSystem s = MakeRepairSystem(3000, &rng);
+  const CausalEffectEstimator est(s.graph, s.data);
+  const auto paths = est.RankPaths({3}, 5);
+  ASSERT_FALSE(paths.empty());
+
+  const std::vector<double> fault_row = {2.0, 0.0, 20.0, 102.0};  // o0 = 2 is the bug
+  const std::vector<ObjectiveGoal> goals = {{3, 30.0}};
+  const auto repairs = GenerateRepairs(est, paths, s.roles, fault_row, goals);
+  ASSERT_FALSE(repairs.empty());
+  // The best repair must move o0 off level 2.
+  const auto& best = repairs.front();
+  EXPECT_EQ(best.assignments[0].first, 0u);
+  EXPECT_LT(est.ValueOfLevel(0, best.assignments[0].second), 2.0);
+  EXPECT_GT(best.ice, 0.0);
+}
+
+TEST(CounterfactualTest, IceNegativeForHarmfulRepair) {
+  Rng rng(2);
+  const RepairSystem s = MakeRepairSystem(3000, &rng);
+  const CausalEffectEstimator est(s.graph, s.data);
+  // "Repair" that sets o0 to the faulty level: P(good) is small.
+  Repair bad;
+  bad.assignments = {{0, est.LevelOf(0, 2.0)}};
+  const std::vector<ObjectiveGoal> goals = {{3, 30.0}};
+  EXPECT_LT(RepairIce(est, bad, goals), 0.0);
+}
+
+TEST(CounterfactualTest, IceBoundedInUnitInterval) {
+  Rng rng(3);
+  const RepairSystem s = MakeRepairSystem(1000, &rng);
+  const CausalEffectEstimator est(s.graph, s.data);
+  const auto paths = est.RankPaths({3}, 5);
+  const std::vector<double> fault_row = {2.0, 1.0, 20.0, 101.0};
+  const std::vector<ObjectiveGoal> goals = {{3, 30.0}};
+  for (const auto& r : GenerateRepairs(est, paths, s.roles, fault_row, goals)) {
+    EXPECT_GE(r.ice, -1.0);
+    EXPECT_LE(r.ice, 1.0);
+  }
+}
+
+TEST(CounterfactualTest, RepairsSortedByIce) {
+  Rng rng(4);
+  const RepairSystem s = MakeRepairSystem(1500, &rng);
+  const CausalEffectEstimator est(s.graph, s.data);
+  const auto paths = est.RankPaths({3}, 5);
+  const std::vector<double> fault_row = {2.0, 1.0, 20.0, 101.0};
+  const std::vector<ObjectiveGoal> goals = {{3, 30.0}};
+  const auto repairs = GenerateRepairs(est, paths, s.roles, fault_row, goals);
+  for (size_t i = 1; i < repairs.size(); ++i) {
+    EXPECT_GE(repairs[i - 1].ice, repairs[i].ice);
+  }
+}
+
+TEST(CounterfactualTest, MultiObjectiveIceIsMinimum) {
+  Rng rng(5);
+  const RepairSystem s = MakeRepairSystem(1500, &rng);
+  const CausalEffectEstimator est(s.graph, s.data);
+  Repair r;
+  r.assignments = {{0, 0}};
+  const std::vector<ObjectiveGoal> easy = {{3, 1000.0}};
+  const std::vector<ObjectiveGoal> hard = {{3, 1000.0}, {3, -1000.0}};
+  EXPECT_GE(RepairIce(est, r, easy), RepairIce(est, r, hard));
+}
+
+TEST(CounterfactualTest, PairRepairsIncluded) {
+  Rng rng(6);
+  const RepairSystem s = MakeRepairSystem(1500, &rng);
+  const CausalEffectEstimator est(s.graph, s.data);
+  const auto paths = est.RankPaths({3}, 5);
+  const std::vector<double> fault_row = {2.0, 1.0, 20.0, 101.0};
+  const std::vector<ObjectiveGoal> goals = {{3, 30.0}};
+  RepairOptions options;
+  options.pair_seed_count = 6;
+  const auto repairs = GenerateRepairs(est, paths, s.roles, fault_row, goals, options);
+  bool has_pair = false;
+  for (const auto& r : repairs) {
+    has_pair |= r.assignments.size() == 2;
+  }
+  // With two options on the paths, pair repairs should be generated.
+  EXPECT_TRUE(has_pair);
+}
+
+TEST(CounterfactualTest, EmptyGoalsGiveZeroIce) {
+  Rng rng(7);
+  const RepairSystem s = MakeRepairSystem(500, &rng);
+  const CausalEffectEstimator est(s.graph, s.data);
+  Repair r;
+  r.assignments = {{0, 0}};
+  EXPECT_EQ(RepairIce(est, r, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace unicorn

@@ -1,0 +1,191 @@
+#include "baselines/decision_tree.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/random_forest.h"
+
+namespace unicorn {
+namespace {
+
+std::vector<size_t> AllRows(size_t n) {
+  std::vector<size_t> rows(n);
+  for (size_t i = 0; i < n; ++i) {
+    rows[i] = i;
+  }
+  return rows;
+}
+
+TEST(DecisionTreeTest, LearnsThresholdSplit) {
+  // y = 1 iff x0 > 0.5.
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const double v = rng.Uniform();
+    x.push_back({v});
+    y.push_back(v > 0.5 ? 1.0 : 0.0);
+  }
+  DecisionTree tree;
+  tree.Fit(x, y, AllRows(x.size()), {}, &rng);
+  EXPECT_NEAR(tree.Predict({0.1}), 0.0, 0.05);
+  EXPECT_NEAR(tree.Predict({0.9}), 1.0, 0.05);
+}
+
+TEST(DecisionTreeTest, LearnsXorWithDepth) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  Rng rng(2);
+  for (int i = 0; i < 400; ++i) {
+    const double a = rng.Bernoulli(0.5) ? 1.0 : 0.0;
+    const double b = rng.Bernoulli(0.5) ? 1.0 : 0.0;
+    x.push_back({a, b});
+    y.push_back(a != b ? 1.0 : 0.0);
+  }
+  DecisionTree tree;
+  tree.Fit(x, y, AllRows(x.size()), {}, &rng);
+  EXPECT_NEAR(tree.Predict({0.0, 1.0}), 1.0, 0.05);
+  EXPECT_NEAR(tree.Predict({1.0, 1.0}), 0.0, 0.05);
+}
+
+TEST(DecisionTreeTest, EmptyFitPredictsZero) {
+  DecisionTree tree;
+  tree.Fit({}, {}, {}, {}, nullptr);
+  EXPECT_TRUE(tree.Empty());
+  EXPECT_EQ(tree.Predict({1.0}), 0.0);
+}
+
+TEST(DecisionTreeTest, ConstantTargetSingleLeaf) {
+  std::vector<std::vector<double>> x = {{1}, {2}, {3}};
+  std::vector<double> y = {5, 5, 5};
+  DecisionTree tree;
+  Rng rng(3);
+  tree.Fit(x, y, AllRows(3), {}, &rng);
+  EXPECT_EQ(tree.Predict({2}), 5.0);
+  EXPECT_TRUE(tree.DecisionPath({2}).empty());  // root is a leaf
+}
+
+TEST(DecisionTreeTest, MaxDepthRespected) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  Rng rng(4);
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.Uniform();
+    x.push_back({v});
+    y.push_back(v);  // continuous target forces deep splits if allowed
+  }
+  TreeOptions options;
+  options.max_depth = 2;
+  DecisionTree tree;
+  tree.Fit(x, y, AllRows(x.size()), options, &rng);
+  EXPECT_LE(tree.DecisionPath({0.3}).size(), 2u);
+}
+
+TEST(DecisionTreeTest, DecisionPathConsistentWithPrediction) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  Rng rng(5);
+  for (int i = 0; i < 300; ++i) {
+    const double a = rng.Uniform();
+    const double b = rng.Uniform();
+    x.push_back({a, b});
+    y.push_back(a > 0.5 ? (b > 0.5 ? 3.0 : 2.0) : 1.0);
+  }
+  DecisionTree tree;
+  tree.Fit(x, y, AllRows(x.size()), {}, &rng);
+  const auto path = tree.DecisionPath({0.8, 0.8});
+  EXPECT_FALSE(path.empty());
+  for (const auto& split : path) {
+    const std::vector<double> probe = {0.8, 0.8};
+    EXPECT_EQ(probe[split.feature] <= split.threshold, split.left);
+  }
+}
+
+TEST(DecisionTreeTest, LeavesPartitionSamples) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  Rng rng(6);
+  for (int i = 0; i < 250; ++i) {
+    const double v = rng.Uniform();
+    x.push_back({v});
+    y.push_back(v > 0.3 ? 1.0 : 0.0);
+  }
+  DecisionTree tree;
+  tree.Fit(x, y, AllRows(x.size()), {}, &rng);
+  size_t total = 0;
+  for (const auto& leaf : tree.Leaves()) {
+    total += leaf.count;
+  }
+  EXPECT_EQ(total, x.size());
+}
+
+TEST(RandomForestTest, RegressionAccuracy) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  Rng rng(7);
+  for (int i = 0; i < 600; ++i) {
+    const double a = rng.Uniform();
+    const double b = rng.Uniform();
+    x.push_back({a, b});
+    y.push_back(3.0 * a - 2.0 * b);
+  }
+  RandomForest forest;
+  forest.Fit(x, y, {}, &rng);
+  double sse = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    const double a = rng.Uniform();
+    const double b = rng.Uniform();
+    const double pred = forest.Predict({a, b});
+    const double truth = 3.0 * a - 2.0 * b;
+    sse += (pred - truth) * (pred - truth);
+  }
+  EXPECT_LT(sse / 50.0, 0.3);
+}
+
+TEST(RandomForestTest, VarianceZeroOnDegenerateTarget) {
+  std::vector<std::vector<double>> x = {{1}, {2}, {3}, {4}};
+  std::vector<double> y = {7, 7, 7, 7};
+  RandomForest forest;
+  Rng rng(8);
+  forest.Fit(x, y, {}, &rng);
+  double mean = 0.0;
+  double variance = 1.0;
+  forest.PredictWithVariance({2.5}, &mean, &variance);
+  EXPECT_NEAR(mean, 7.0, 1e-9);
+  EXPECT_NEAR(variance, 0.0, 1e-9);
+}
+
+TEST(RandomForestTest, VariancePositiveOffManifold) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    const double v = rng.Uniform();
+    x.push_back({v});
+    y.push_back(std::sin(8.0 * v));
+  }
+  RandomForest forest;
+  forest.Fit(x, y, {}, &rng);
+  double mean = 0.0;
+  double variance = 0.0;
+  forest.PredictWithVariance({0.5}, &mean, &variance);
+  EXPECT_GE(variance, 0.0);
+}
+
+TEST(ExpectedImprovementTest, ZeroVarianceWorseMeanGivesZero) {
+  EXPECT_NEAR(ExpectedImprovement(10.0, 0.0, 5.0), 0.0, 1e-6);
+}
+
+TEST(ExpectedImprovementTest, BetterMeanPositive) {
+  EXPECT_GT(ExpectedImprovement(1.0, 0.5, 5.0), 0.0);
+}
+
+TEST(ExpectedImprovementTest, MoreUncertaintyMoreEi) {
+  const double low = ExpectedImprovement(5.0, 0.1, 5.0);
+  const double high = ExpectedImprovement(5.0, 2.0, 5.0);
+  EXPECT_GT(high, low);
+}
+
+}  // namespace
+}  // namespace unicorn

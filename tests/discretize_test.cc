@@ -1,0 +1,104 @@
+#include "stats/discretize.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace unicorn {
+namespace {
+
+TEST(DiscretizeTest, DiscreteLevelsMapDirectly) {
+  std::vector<double> col = {5.0, 1.0, 5.0, 3.0, 1.0};
+  const CodedColumn coded = DiscretizeColumn(col, VarType::kDiscrete, 5);
+  EXPECT_EQ(coded.cardinality, 3);
+  // Codes ordered by value: 1 -> 0, 3 -> 1, 5 -> 2.
+  EXPECT_EQ(coded.codes, (std::vector<int>{2, 0, 2, 1, 0}));
+}
+
+TEST(DiscretizeTest, BinaryColumn) {
+  std::vector<double> col = {0, 1, 1, 0};
+  const CodedColumn coded = DiscretizeColumn(col, VarType::kBinary, 5);
+  EXPECT_EQ(coded.cardinality, 2);
+}
+
+TEST(DiscretizeTest, ContinuousQuantileBins) {
+  std::vector<double> col;
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    col.push_back(rng.Uniform());
+  }
+  const CodedColumn coded = DiscretizeColumn(col, VarType::kContinuous, 4);
+  EXPECT_EQ(coded.cardinality, 4);
+  std::vector<int> counts(4, 0);
+  for (int c : coded.codes) {
+    ASSERT_GE(c, 0);
+    ASSERT_LT(c, 4);
+    ++counts[static_cast<size_t>(c)];
+  }
+  // Quantile bins should be roughly balanced.
+  for (int c : counts) {
+    EXPECT_NEAR(c, 250, 60);
+  }
+}
+
+TEST(DiscretizeTest, ContinuousWithFewDistinctValuesActsDiscrete) {
+  std::vector<double> col = {1.0, 2.0, 1.0, 2.0};
+  const CodedColumn coded = DiscretizeColumn(col, VarType::kContinuous, 5);
+  EXPECT_EQ(coded.cardinality, 2);
+}
+
+TEST(DiscretizeTest, ConstantColumnSingleBin) {
+  std::vector<double> col(100, 3.0);
+  const CodedColumn coded = DiscretizeColumn(col, VarType::kContinuous, 5);
+  EXPECT_EQ(coded.cardinality, 1);
+}
+
+TEST(DiscretizeTest, EmptyColumn) {
+  const CodedColumn coded = DiscretizeColumn({}, VarType::kContinuous, 5);
+  EXPECT_TRUE(coded.codes.empty());
+}
+
+TEST(DiscretizeTest, MonotoneCodes) {
+  // Codes must respect value order for ordinal use.
+  std::vector<double> col;
+  for (int i = 0; i < 100; ++i) {
+    col.push_back(i);
+  }
+  const CodedColumn coded = DiscretizeColumn(col, VarType::kContinuous, 5);
+  for (size_t i = 1; i < col.size(); ++i) {
+    EXPECT_LE(coded.codes[i - 1], coded.codes[i]);
+  }
+}
+
+TEST(CodedTableTest, StrataCombineColumns) {
+  std::vector<Variable> vars(2);
+  vars[0] = {"a", VarType::kDiscrete, VarRole::kOption, {0, 1}};
+  vars[1] = {"b", VarType::kDiscrete, VarRole::kOption, {0, 1}};
+  DataTable t(vars);
+  t.AddRow({0, 0});
+  t.AddRow({0, 1});
+  t.AddRow({1, 0});
+  t.AddRow({1, 1});
+  t.AddRow({0, 0});
+  const CodedTable coded(t);
+  const CodedColumn strata = coded.Strata({0, 1});
+  EXPECT_EQ(strata.cardinality, 4);
+  EXPECT_EQ(strata.codes[0], strata.codes[4]);
+  EXPECT_NE(strata.codes[0], strata.codes[1]);
+  EXPECT_NE(strata.codes[1], strata.codes[2]);
+}
+
+TEST(CodedTableTest, EmptyStrataIsSingleStratum) {
+  std::vector<Variable> vars(1);
+  vars[0] = {"a", VarType::kDiscrete, VarRole::kOption, {0, 1}};
+  DataTable t(vars);
+  t.AddRow({0});
+  t.AddRow({1});
+  const CodedTable coded(t);
+  const CodedColumn strata = coded.Strata({});
+  EXPECT_EQ(strata.cardinality, 1);
+  EXPECT_EQ(strata.codes, (std::vector<int>{0, 0}));
+}
+
+}  // namespace
+}  // namespace unicorn

@@ -1,0 +1,189 @@
+#include "stats/entropy.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace unicorn {
+namespace {
+
+CodedColumn MakeCoded(std::vector<int> codes, int card) {
+  CodedColumn c;
+  c.codes = std::move(codes);
+  c.cardinality = card;
+  return c;
+}
+
+TEST(EntropyTest, UniformDistributionEntropy) {
+  EXPECT_NEAR(DistributionEntropy({1, 1, 1, 1}), std::log(4.0), 1e-12);
+}
+
+TEST(EntropyTest, DegenerateDistributionZero) {
+  EXPECT_EQ(DistributionEntropy({1, 0, 0}), 0.0);
+}
+
+TEST(EntropyTest, UnnormalizedWeightsNormalized) {
+  EXPECT_NEAR(DistributionEntropy({10, 10}), std::log(2.0), 1e-12);
+}
+
+TEST(EntropyTest, NegativeWeightsIgnored) {
+  EXPECT_NEAR(DistributionEntropy({-3, 1, 1}), std::log(2.0), 1e-12);
+}
+
+TEST(EntropyTest, EmpiricalEntropyFairCoin) {
+  const auto x = MakeCoded({0, 1, 0, 1}, 2);
+  EXPECT_NEAR(Entropy(x), std::log(2.0), 1e-12);
+}
+
+TEST(EntropyTest, EntropyConstantColumnZero) {
+  const auto x = MakeCoded({1, 1, 1}, 2);
+  EXPECT_EQ(Entropy(x), 0.0);
+}
+
+TEST(EntropyTest, JointEntropyIndependent) {
+  // Two independent fair bits: H(X, Y) = 2 ln 2.
+  const auto x = MakeCoded({0, 0, 1, 1}, 2);
+  const auto y = MakeCoded({0, 1, 0, 1}, 2);
+  EXPECT_NEAR(JointEntropy(x, y), 2.0 * std::log(2.0), 1e-12);
+}
+
+TEST(EntropyTest, JointEntropyIdenticalEqualsMarginal) {
+  const auto x = MakeCoded({0, 1, 0, 1}, 2);
+  EXPECT_NEAR(JointEntropy(x, x), Entropy(x), 1e-12);
+}
+
+TEST(EntropyTest, MutualInformationIndependentZero) {
+  const auto x = MakeCoded({0, 0, 1, 1}, 2);
+  const auto y = MakeCoded({0, 1, 0, 1}, 2);
+  EXPECT_NEAR(MutualInformation(x, y), 0.0, 1e-12);
+}
+
+TEST(EntropyTest, MutualInformationIdenticalEqualsEntropy) {
+  const auto x = MakeCoded({0, 1, 0, 1, 1}, 2);
+  EXPECT_NEAR(MutualInformation(x, x), Entropy(x), 1e-12);
+}
+
+TEST(EntropyTest, MutualInformationNonNegativeRandom) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<int> xs(200);
+    std::vector<int> ys(200);
+    for (int i = 0; i < 200; ++i) {
+      xs[static_cast<size_t>(i)] = static_cast<int>(rng.UniformInt(uint64_t{3}));
+      ys[static_cast<size_t>(i)] = static_cast<int>(rng.UniformInt(uint64_t{3}));
+    }
+    EXPECT_GE(MutualInformation(MakeCoded(xs, 3), MakeCoded(ys, 3)), 0.0);
+  }
+}
+
+TEST(EntropyTest, ConditionalMiChainBlocked) {
+  // X -> Z -> Y with deterministic links: I(X;Y|Z) = 0, I(X;Y) > 0.
+  std::vector<int> xs;
+  std::vector<int> zs;
+  std::vector<int> ys;
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const int x = static_cast<int>(rng.UniformInt(uint64_t{2}));
+    const int z = x;
+    const int y = z;
+    xs.push_back(x);
+    zs.push_back(z);
+    ys.push_back(y);
+  }
+  const auto cx = MakeCoded(xs, 2);
+  const auto cz = MakeCoded(zs, 2);
+  const auto cy = MakeCoded(ys, 2);
+  EXPECT_GT(MutualInformation(cx, cy), 0.5);
+  EXPECT_NEAR(ConditionalMutualInformation(cx, cy, cz), 0.0, 1e-9);
+}
+
+TEST(EntropyTest, ConditionalMiColliderUnblocks) {
+  // X, Y independent; Z = X xor Y. Conditioning on Z couples X and Y.
+  std::vector<int> xs;
+  std::vector<int> ys;
+  std::vector<int> zs;
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const int x = static_cast<int>(rng.UniformInt(uint64_t{2}));
+    const int y = static_cast<int>(rng.UniformInt(uint64_t{2}));
+    xs.push_back(x);
+    ys.push_back(y);
+    zs.push_back(x ^ y);
+  }
+  const auto cx = MakeCoded(xs, 2);
+  const auto cy = MakeCoded(ys, 2);
+  const auto cz = MakeCoded(zs, 2);
+  EXPECT_LT(MutualInformation(cx, cy), 0.01);
+  EXPECT_GT(ConditionalMutualInformation(cx, cy, cz), 0.5);
+}
+
+TEST(EntropyTest, JointDistributionSumsToOne) {
+  const auto x = MakeCoded({0, 1, 1, 0, 1}, 2);
+  const auto y = MakeCoded({0, 0, 1, 1, 1}, 2);
+  const auto p = JointDistribution(x, y);
+  double total = 0.0;
+  for (const auto& row : p) {
+    for (double v : row) {
+      total += v;
+    }
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_NEAR(p[1][1], 0.4, 1e-12);
+}
+
+TEST(MinEntropyCouplingTest, IdenticalPointMassesZeroEntropy) {
+  // Both conditionals are the same point mass: coupling needs one atom.
+  std::vector<std::vector<double>> marginals = {{1.0, 0.0}, {1.0, 0.0}};
+  EXPECT_NEAR(GreedyMinimumEntropyCoupling(marginals), 0.0, 1e-12);
+}
+
+TEST(MinEntropyCouplingTest, DeterministicFunctionLowEntropy) {
+  // Y = f(X): every conditional P(Y|X=x) is a point mass at a different y.
+  // A deterministic relation needs zero exogenous noise.
+  std::vector<std::vector<double>> marginals = {{1, 0, 0}, {0, 1, 0}, {0, 0, 1}};
+  EXPECT_NEAR(GreedyMinimumEntropyCoupling(marginals), 0.0, 1e-12);
+}
+
+TEST(MinEntropyCouplingTest, UniformConditionalsFullEntropy) {
+  // P(Y|X=x) uniform for all x: noise must be uniform too, H = ln 2.
+  std::vector<std::vector<double>> marginals = {{0.5, 0.5}, {0.5, 0.5}};
+  EXPECT_NEAR(GreedyMinimumEntropyCoupling(marginals), std::log(2.0), 1e-9);
+}
+
+TEST(MinEntropyCouplingTest, SingleMarginalIsOwnEntropy) {
+  std::vector<std::vector<double>> marginals = {{0.25, 0.75}};
+  const double expected = -(0.25 * std::log(0.25) + 0.75 * std::log(0.75));
+  EXPECT_NEAR(GreedyMinimumEntropyCoupling(marginals), expected, 1e-9);
+}
+
+TEST(MinEntropyCouplingTest, BoundedByMaxMarginalEntropyPlusConstant) {
+  // Kocaoglu et al.: greedy coupling entropy <= max_i H(p_i) + 1 bit-ish.
+  Rng rng(9);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<std::vector<double>> marginals(3, std::vector<double>(4));
+    double max_h = 0.0;
+    for (auto& m : marginals) {
+      double total = 0.0;
+      for (auto& v : m) {
+        v = rng.Uniform(0.01, 1.0);
+        total += v;
+      }
+      for (auto& v : m) {
+        v /= total;
+      }
+      max_h = std::max(max_h, DistributionEntropy(m));
+    }
+    const double h = GreedyMinimumEntropyCoupling(marginals);
+    EXPECT_LE(h, max_h + std::log(4.0));
+    EXPECT_GE(h, 0.0);
+  }
+}
+
+TEST(MinEntropyCouplingTest, EmptyInputZero) {
+  EXPECT_EQ(GreedyMinimumEntropyCoupling({}), 0.0);
+}
+
+}  // namespace
+}  // namespace unicorn

@@ -1,0 +1,88 @@
+#include "sysmodel/faults.h"
+
+#include <gtest/gtest.h>
+
+#include "sysmodel/systems.h"
+
+namespace unicorn {
+namespace {
+
+FaultCuration Curate(size_t n = 1500, double pct = 0.97) {
+  SystemSpec spec;
+  spec.num_events = 10;
+  const SystemModel m = BuildSystem(SystemId::kXception, spec);
+  Rng rng(42);
+  return CurateFaults(m, Tx2(), DefaultWorkload(), n, &rng, pct);
+}
+
+TEST(FaultsTest, SamplesMatchRequestedCount) {
+  const auto c = Curate(500);
+  EXPECT_EQ(c.samples.NumRows(), 500u);
+  EXPECT_EQ(c.configs.size(), 500u);
+}
+
+TEST(FaultsTest, ThresholdsAtRequestedPercentile) {
+  const auto c = Curate(1000, 0.99);
+  ASSERT_EQ(c.thresholds.size(), c.objective_vars.size());
+  // ~1% of samples above each threshold.
+  for (size_t o = 0; o < c.objective_vars.size(); ++o) {
+    size_t above = 0;
+    for (size_t r = 0; r < c.samples.NumRows(); ++r) {
+      if (c.samples.At(r, c.objective_vars[o]) > c.thresholds[o]) {
+        ++above;
+      }
+    }
+    EXPECT_LE(above, 15u);
+  }
+}
+
+TEST(FaultsTest, FaultsAreTail) {
+  const auto c = Curate();
+  EXPECT_FALSE(c.faults.empty());
+  for (const auto& fault : c.faults) {
+    ASSERT_FALSE(fault.objectives.empty());
+    for (size_t obj : fault.objectives) {
+      // The faulty measurement must exceed the threshold of that objective.
+      size_t idx = 0;
+      for (size_t o = 0; o < c.objective_vars.size(); ++o) {
+        if (c.objective_vars[o] == obj) {
+          idx = o;
+        }
+      }
+      EXPECT_GT(fault.measurement[obj], c.thresholds[idx]);
+    }
+  }
+}
+
+TEST(FaultsTest, MostFaultsHaveRootCauses) {
+  const auto c = Curate(3000);
+  size_t with_causes = 0;
+  for (const auto& fault : c.faults) {
+    with_causes += fault.root_causes.empty() ? 0 : 1;
+  }
+  // The tail is dominated by rule-triggered cliffs.
+  EXPECT_GT(with_causes, c.faults.size() / 2);
+}
+
+TEST(FaultsTest, SingleAndMultiObjectiveSplit) {
+  const auto c = Curate(3000);
+  const auto single = FaultsOn(c, c.objective_vars[0]);
+  const auto multi = MultiObjectiveFaults(c);
+  for (const auto& f : single) {
+    EXPECT_EQ(f.objectives.size(), 1u);
+  }
+  for (const auto& f : multi) {
+    EXPECT_GT(f.objectives.size(), 1u);
+  }
+  EXPECT_LE(single.size() + multi.size(), c.faults.size());
+}
+
+TEST(FaultsTest, RootCausesSorted) {
+  const auto c = Curate(3000);
+  for (const auto& f : c.faults) {
+    EXPECT_TRUE(std::is_sorted(f.root_causes.begin(), f.root_causes.end()));
+  }
+}
+
+}  // namespace
+}  // namespace unicorn

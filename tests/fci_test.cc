@@ -1,0 +1,167 @@
+#include "causal/fci.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace unicorn {
+namespace {
+
+// Collider system: o0 -> e0 <- o1, e0 -> y.
+DataTable ColliderData(size_t n, Rng* rng) {
+  std::vector<Variable> vars = {
+      {"o0", VarType::kContinuous, VarRole::kOption, {0, 1}},
+      {"o1", VarType::kContinuous, VarRole::kOption, {0, 1}},
+      {"e0", VarType::kContinuous, VarRole::kEvent, {}},
+      {"y", VarType::kContinuous, VarRole::kObjective, {}},
+  };
+  DataTable t(vars);
+  for (size_t i = 0; i < n; ++i) {
+    const double o0 = rng->Uniform();
+    const double o1 = rng->Uniform();
+    const double e0 = 1.8 * o0 + 2.2 * o1 + rng->Gaussian(0, 0.05);
+    const double y = 2.5 * e0 + rng->Gaussian(0, 0.05);
+    t.AddRow({o0, o1, e0, y});
+  }
+  return t;
+}
+
+TEST(FciTest, OrientsOptionEdgesIntoEvents) {
+  Rng rng(21);
+  const DataTable data = ColliderData(1000, &rng);
+  const StructuralConstraints constraints(data.Variables());
+  const CompositeTest test(data);
+  const FciResult result = RunFci(test, constraints, data.NumVars());
+  // Background knowledge: options are exogenous -> tail at option, arrow at
+  // event.
+  EXPECT_TRUE(result.pag.HasEdge(0, 2));
+  EXPECT_EQ(result.pag.EndMark(2, 0), Mark::kTail);
+  EXPECT_EQ(result.pag.EndMark(0, 2), Mark::kArrow);
+}
+
+TEST(FciTest, ArrowIntoObjective) {
+  Rng rng(22);
+  const DataTable data = ColliderData(1000, &rng);
+  const StructuralConstraints constraints(data.Variables());
+  const CompositeTest test(data);
+  const FciResult result = RunFci(test, constraints, data.NumVars());
+  ASSERT_TRUE(result.pag.HasEdge(2, 3));
+  EXPECT_EQ(result.pag.EndMark(2, 3), Mark::kArrow);
+}
+
+TEST(FciTest, RemovesMediatedEdge) {
+  Rng rng(23);
+  const DataTable data = ColliderData(1500, &rng);
+  const StructuralConstraints constraints(data.Variables());
+  const CompositeTest test(data);
+  const FciResult result = RunFci(test, constraints, data.NumVars());
+  EXPECT_FALSE(result.pag.HasEdge(0, 3));
+  EXPECT_FALSE(result.pag.HasEdge(1, 3));
+}
+
+TEST(VStructureTest, OrientsCollider) {
+  // Hand-built skeleton x - z - y with sepset(x, y) = {} (z not in it).
+  MixedGraph g(3);
+  g.AddCircleCircle(0, 2);
+  g.AddCircleCircle(1, 2);
+  SepsetMap sepsets;
+  sepsets.Set(0, 1, {});
+  OrientVStructures(sepsets, &g);
+  EXPECT_EQ(g.EndMark(0, 2), Mark::kArrow);
+  EXPECT_EQ(g.EndMark(1, 2), Mark::kArrow);
+}
+
+TEST(VStructureTest, NoOrientationWhenInSepset) {
+  MixedGraph g(3);
+  g.AddCircleCircle(0, 2);
+  g.AddCircleCircle(1, 2);
+  SepsetMap sepsets;
+  sepsets.Set(0, 1, {2});  // z separates x and y -> chain, not collider
+  OrientVStructures(sepsets, &g);
+  EXPECT_EQ(g.EndMark(0, 2), Mark::kCircle);
+  EXPECT_EQ(g.EndMark(1, 2), Mark::kCircle);
+}
+
+TEST(PossibleDSepTest, CollidersExtendReach) {
+  // 0 *-> 1 <-* 2 (collider at 1): 2 is in pds(0) through the collider.
+  MixedGraph g(3);
+  g.SetEdge(0, 1, Mark::kCircle, Mark::kArrow);
+  g.SetEdge(2, 1, Mark::kCircle, Mark::kArrow);
+  const auto pds = PossibleDSep(g, 0);
+  EXPECT_NE(std::find(pds.begin(), pds.end(), 1u), pds.end());
+  EXPECT_NE(std::find(pds.begin(), pds.end(), 2u), pds.end());
+}
+
+TEST(PossibleDSepTest, NonColliderChainStops) {
+  // 0 o-o 1 o-o 2 with no collider and no triangle: 2 not reachable.
+  MixedGraph g(3);
+  g.AddCircleCircle(0, 1);
+  g.AddCircleCircle(1, 2);
+  const auto pds = PossibleDSep(g, 0);
+  EXPECT_NE(std::find(pds.begin(), pds.end(), 1u), pds.end());
+  EXPECT_EQ(std::find(pds.begin(), pds.end(), 2u), pds.end());
+}
+
+TEST(PossibleDSepTest, TriangleExtends) {
+  MixedGraph g(3);
+  g.AddCircleCircle(0, 1);
+  g.AddCircleCircle(1, 2);
+  g.AddCircleCircle(0, 2);
+  const auto pds = PossibleDSep(g, 0);
+  EXPECT_EQ(pds.size(), 2u);
+}
+
+TEST(RulesTest, R1OrientsChainAwayFromCollider) {
+  // a *-> b o-o c with a, c non-adjacent: R1 gives b -> c.
+  MixedGraph g(3);
+  g.SetEdge(0, 1, Mark::kCircle, Mark::kArrow);
+  g.AddCircleCircle(1, 2);
+  SepsetMap sepsets;
+  ApplyOrientationRules(sepsets, &g);
+  EXPECT_TRUE(g.IsDirected(1, 2));
+}
+
+TEST(RulesTest, R2OrientsTransitive) {
+  // a -> b -> c and a o-o c: arrow at c on a-c.
+  MixedGraph g(3);
+  g.AddDirected(0, 1);
+  g.AddDirected(1, 2);
+  g.AddCircleCircle(0, 2);
+  SepsetMap sepsets;
+  ApplyOrientationRules(sepsets, &g);
+  EXPECT_EQ(g.EndMark(0, 2), Mark::kArrow);
+}
+
+TEST(FciTest, LatentConfounderLeavesSharedEdgeStructure) {
+  // Two events share a hidden cause (not in the table): e0 <- L -> e1.
+  // FCI must keep e0 - e1 adjacent but cannot orient it as a clean
+  // directed edge from observational data alone.
+  Rng rng(24);
+  std::vector<Variable> vars = {
+      {"e0", VarType::kContinuous, VarRole::kEvent, {}},
+      {"e1", VarType::kContinuous, VarRole::kEvent, {}},
+  };
+  DataTable t(vars);
+  for (int i = 0; i < 800; ++i) {
+    const double latent = rng.Gaussian();
+    t.AddRow({latent + rng.Gaussian(0, 0.3), -latent + rng.Gaussian(0, 0.3)});
+  }
+  const StructuralConstraints constraints(t.Variables());
+  const CompositeTest test(t);
+  const FciResult result = RunFci(test, constraints, t.NumVars());
+  EXPECT_TRUE(result.pag.HasEdge(0, 1));
+}
+
+TEST(FciTest, PdsStageCanBeDisabled) {
+  Rng rng(25);
+  const DataTable data = ColliderData(500, &rng);
+  const StructuralConstraints constraints(data.Variables());
+  const CompositeTest test(data);
+  FciOptions options;
+  options.use_possible_dsep = false;
+  const FciResult result = RunFci(test, constraints, data.NumVars(), options);
+  EXPECT_TRUE(result.pag.HasEdge(0, 2));
+}
+
+}  // namespace
+}  // namespace unicorn

@@ -1,0 +1,175 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace unicorn {
+namespace {
+
+MixedGraph Diamond() {
+  // 0 -> 1 -> 3, 0 -> 2 -> 3
+  MixedGraph g(4);
+  g.AddDirected(0, 1);
+  g.AddDirected(0, 2);
+  g.AddDirected(1, 3);
+  g.AddDirected(2, 3);
+  return g;
+}
+
+TEST(TopoTest, ValidOrder) {
+  const auto order = TopologicalOrder(Diamond());
+  ASSERT_TRUE(order.has_value());
+  std::vector<size_t> pos(4);
+  for (size_t i = 0; i < order->size(); ++i) {
+    pos[(*order)[i]] = i;
+  }
+  EXPECT_LT(pos[0], pos[1]);
+  EXPECT_LT(pos[0], pos[2]);
+  EXPECT_LT(pos[1], pos[3]);
+  EXPECT_LT(pos[2], pos[3]);
+}
+
+TEST(TopoTest, CyclicReturnsNullopt) {
+  MixedGraph g(2);
+  g.AddDirected(0, 1);
+  g.SetEdge(1, 0, Mark::kTail, Mark::kArrow);  // also 1 -> 0 ... overwrites
+  // Build a real 3-cycle instead.
+  MixedGraph c(3);
+  c.AddDirected(0, 1);
+  c.AddDirected(1, 2);
+  c.AddDirected(2, 0);
+  EXPECT_FALSE(TopologicalOrder(c).has_value());
+}
+
+TEST(AncestryTest, AncestorsAndDescendants) {
+  const auto g = Diamond();
+  auto anc = Ancestors(g, 3);
+  std::sort(anc.begin(), anc.end());
+  EXPECT_EQ(anc, (std::vector<size_t>{0, 1, 2}));
+  auto desc = Descendants(g, 0);
+  std::sort(desc.begin(), desc.end());
+  EXPECT_EQ(desc, (std::vector<size_t>{1, 2, 3}));
+  EXPECT_TRUE(Ancestors(g, 0).empty());
+  EXPECT_TRUE(Descendants(g, 3).empty());
+}
+
+TEST(DSepTest, ChainBlockedByMiddle) {
+  MixedGraph g(3);
+  g.AddDirected(0, 1);
+  g.AddDirected(1, 2);
+  EXPECT_FALSE(DSeparated(g, 0, 2, {}));
+  EXPECT_TRUE(DSeparated(g, 0, 2, {1}));
+}
+
+TEST(DSepTest, ForkBlockedByRoot) {
+  MixedGraph g(3);
+  g.AddDirected(1, 0);
+  g.AddDirected(1, 2);
+  EXPECT_FALSE(DSeparated(g, 0, 2, {}));
+  EXPECT_TRUE(DSeparated(g, 0, 2, {1}));
+}
+
+TEST(DSepTest, ColliderBlockedUnlessConditioned) {
+  MixedGraph g(3);
+  g.AddDirected(0, 1);
+  g.AddDirected(2, 1);
+  EXPECT_TRUE(DSeparated(g, 0, 2, {}));
+  EXPECT_FALSE(DSeparated(g, 0, 2, {1}));
+}
+
+TEST(DSepTest, ColliderDescendantAlsoUnblocks) {
+  // 0 -> 1 <- 2, 1 -> 3: conditioning on 3 (descendant of the collider)
+  // unblocks the path.
+  MixedGraph g(4);
+  g.AddDirected(0, 1);
+  g.AddDirected(2, 1);
+  g.AddDirected(1, 3);
+  EXPECT_TRUE(DSeparated(g, 0, 2, {}));
+  EXPECT_FALSE(DSeparated(g, 0, 2, {3}));
+}
+
+TEST(DSepTest, DiamondNeedsBothMiddleNodes) {
+  const auto g = Diamond();
+  EXPECT_FALSE(DSeparated(g, 0, 3, {}));
+  EXPECT_FALSE(DSeparated(g, 0, 3, {1}));
+  EXPECT_FALSE(DSeparated(g, 0, 3, {2}));
+  EXPECT_TRUE(DSeparated(g, 0, 3, {1, 2}));
+}
+
+TEST(DSepTest, DisconnectedNodesSeparated) {
+  MixedGraph g(4);
+  g.AddDirected(0, 1);
+  EXPECT_TRUE(DSeparated(g, 0, 3, {}));
+}
+
+TEST(PathsTest, DiamondHasTwoPaths) {
+  const auto paths = ExtractCausalPaths(Diamond(), 3);
+  ASSERT_EQ(paths.size(), 2u);
+  for (const auto& p : paths) {
+    EXPECT_EQ(p.front(), 0u);  // paths start at the root
+    EXPECT_EQ(p.back(), 3u);   // and end at the target
+    EXPECT_EQ(p.size(), 3u);
+  }
+}
+
+TEST(PathsTest, RootFirstOrdering) {
+  MixedGraph g(3);
+  g.AddDirected(0, 1);
+  g.AddDirected(1, 2);
+  const auto paths = ExtractCausalPaths(g, 2);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0], (CausalPath{0, 1, 2}));
+}
+
+TEST(PathsTest, NoParentsNoPaths) {
+  MixedGraph g(2);
+  EXPECT_TRUE(ExtractCausalPaths(g, 1).empty());
+}
+
+TEST(PathsTest, MaxPathsCap) {
+  // Layered graph with exponentially many paths: 2 layers of 3 nodes each.
+  MixedGraph g(8);
+  for (size_t a = 0; a < 3; ++a) {
+    for (size_t b = 3; b < 6; ++b) {
+      g.AddDirected(a, b);
+    }
+  }
+  for (size_t b = 3; b < 6; ++b) {
+    g.AddDirected(b, 6);
+  }
+  const auto capped = ExtractCausalPaths(g, 6, 4);
+  EXPECT_LE(capped.size(), 4u);
+  const auto all = ExtractCausalPaths(g, 6);
+  EXPECT_EQ(all.size(), 9u);
+}
+
+TEST(ShdTest, IdenticalGraphsZero) {
+  EXPECT_EQ(StructuralHammingDistance(Diamond(), Diamond()), 0u);
+}
+
+TEST(ShdTest, MissingEdgeCountsOne) {
+  auto a = Diamond();
+  auto b = Diamond();
+  b.RemoveEdge(0, 1);
+  EXPECT_EQ(StructuralHammingDistance(a, b), 1u);
+}
+
+TEST(ShdTest, FlippedOrientationCountsOne) {
+  MixedGraph a(2);
+  a.AddDirected(0, 1);
+  MixedGraph b(2);
+  b.AddDirected(1, 0);
+  EXPECT_EQ(StructuralHammingDistance(a, b), 1u);
+}
+
+TEST(ShdTest, MarkDifferenceCountsOne) {
+  MixedGraph a(2);
+  a.AddDirected(0, 1);
+  MixedGraph b(2);
+  b.AddBidirected(0, 1);
+  EXPECT_EQ(StructuralHammingDistance(a, b), 1u);
+}
+
+}  // namespace
+}  // namespace unicorn

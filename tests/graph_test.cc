@@ -1,0 +1,122 @@
+#include "graph/mixed_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace unicorn {
+namespace {
+
+TEST(MixedGraphTest, EmptyGraph) {
+  MixedGraph g(4);
+  EXPECT_EQ(g.NumNodes(), 4u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+  EXPECT_FALSE(g.HasEdge(0, 1));
+}
+
+TEST(MixedGraphTest, DirectedEdgeMarks) {
+  MixedGraph g(3);
+  g.AddDirected(0, 1);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));  // existence is symmetric
+  EXPECT_TRUE(g.IsDirected(0, 1));
+  EXPECT_FALSE(g.IsDirected(1, 0));
+  EXPECT_EQ(g.EndMark(0, 1), Mark::kArrow);
+  EXPECT_EQ(g.EndMark(1, 0), Mark::kTail);
+}
+
+TEST(MixedGraphTest, BidirectedEdge) {
+  MixedGraph g(3);
+  g.AddBidirected(0, 2);
+  EXPECT_TRUE(g.IsBidirected(0, 2));
+  EXPECT_TRUE(g.IsBidirected(2, 0));
+  EXPECT_FALSE(g.IsDirected(0, 2));
+}
+
+TEST(MixedGraphTest, CircleEdgeAndResolution) {
+  MixedGraph g(2);
+  g.AddCircleCircle(0, 1);
+  EXPECT_TRUE(g.HasCircleAt(0, 1));
+  EXPECT_TRUE(g.HasCircleAt(1, 0));
+  EXPECT_EQ(g.NumCircleMarks(), 2u);
+  g.SetEndMark(0, 1, Mark::kArrow);
+  EXPECT_EQ(g.NumCircleMarks(), 1u);
+  EXPECT_TRUE(g.HasArrowAt(0, 1));
+}
+
+TEST(MixedGraphTest, RemoveEdge) {
+  MixedGraph g(3);
+  g.AddDirected(0, 1);
+  g.RemoveEdge(0, 1);
+  EXPECT_FALSE(g.HasEdge(0, 1));
+  EXPECT_EQ(g.NumEdges(), 0u);
+}
+
+TEST(MixedGraphTest, ParentsChildrenSpouses) {
+  MixedGraph g(5);
+  g.AddDirected(0, 2);
+  g.AddDirected(1, 2);
+  g.AddDirected(2, 3);
+  g.AddBidirected(2, 4);
+  EXPECT_EQ(g.Parents(2), (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(g.Children(2), (std::vector<size_t>{3}));
+  EXPECT_EQ(g.Spouses(2), (std::vector<size_t>{4}));
+  EXPECT_EQ(g.Adjacent(2).size(), 4u);
+}
+
+TEST(MixedGraphTest, ColliderDetection) {
+  MixedGraph g(3);
+  g.AddDirected(0, 1);
+  g.AddDirected(2, 1);
+  EXPECT_TRUE(g.IsCollider(0, 1, 2));
+  MixedGraph chain(3);
+  chain.AddDirected(0, 1);
+  chain.AddDirected(1, 2);
+  EXPECT_FALSE(chain.IsCollider(0, 1, 2));
+}
+
+TEST(MixedGraphTest, IsDagDetectsCycle) {
+  MixedGraph g(3);
+  g.AddDirected(0, 1);
+  g.AddDirected(1, 2);
+  EXPECT_TRUE(g.IsDag());
+  g.AddDirected(2, 0);
+  EXPECT_FALSE(g.IsDag());
+  EXPECT_TRUE(g.HasDirectedCycle());
+}
+
+TEST(MixedGraphTest, IsAdmgAcceptsBidirected) {
+  MixedGraph g(3);
+  g.AddDirected(0, 1);
+  g.AddBidirected(1, 2);
+  EXPECT_TRUE(g.IsAdmg());
+  EXPECT_FALSE(g.IsDag());  // bidirected edge is not allowed in a DAG
+}
+
+TEST(MixedGraphTest, IsAdmgRejectsCircle) {
+  MixedGraph g(2);
+  g.AddCircleCircle(0, 1);
+  EXPECT_FALSE(g.IsAdmg());
+}
+
+TEST(MixedGraphTest, AverageDegree) {
+  MixedGraph g(4);
+  g.AddDirected(0, 1);
+  g.AddDirected(2, 3);
+  EXPECT_DOUBLE_EQ(g.AverageDegree(), 1.0);
+}
+
+TEST(MixedGraphTest, ToStringContainsEdges) {
+  MixedGraph g(2);
+  g.AddDirected(0, 1);
+  const std::string s = g.ToString({"a", "b"});
+  EXPECT_NE(s.find("a"), std::string::npos);
+  EXPECT_NE(s.find("b"), std::string::npos);
+}
+
+TEST(MixedGraphTest, MarkChars) {
+  EXPECT_EQ(MarkChar(Mark::kArrow), '>');
+  EXPECT_EQ(MarkChar(Mark::kTail), '-');
+  EXPECT_EQ(MarkChar(Mark::kCircle), 'o');
+}
+
+}  // namespace
+}  // namespace unicorn

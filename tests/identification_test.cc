@@ -1,0 +1,85 @@
+#include "causal/identification.h"
+
+#include <gtest/gtest.h>
+
+namespace unicorn {
+namespace {
+
+TEST(IdentificationTest, PlainDagAlwaysIdentifiable) {
+  // x -> m -> y: no latent confounding anywhere.
+  MixedGraph g(3);
+  g.AddDirected(0, 1);
+  g.AddDirected(1, 2);
+  const auto result = CheckIdentifiability(g, 0, 2);
+  EXPECT_TRUE(result.identifiable);
+}
+
+TEST(IdentificationTest, FrontDoorLikeChainIdentifiable) {
+  // 0 -> 1 -> 2 with 0 <-> 2: the bidirected edge reaches a descendant that
+  // is not a child; the district of 0 within De(0) = {0, 2} does not contain
+  // the child 1 -> identifiable (front-door-flavoured).
+  MixedGraph chain(3);
+  chain.AddDirected(0, 1);
+  chain.AddDirected(1, 2);
+  chain.AddBidirected(0, 2);
+  EXPECT_TRUE(CheckIdentifiability(chain, 0, 2).identifiable);
+}
+
+TEST(IdentificationTest, ConfoundedChildNotIdentifiable) {
+  // 0 -> 1 (child), 0 -> 2 -> 3 (3 a descendant), 0 <-> 3 and 3 <-> 1:
+  // the district of 0 within De(0) = {0, 1, 2, 3} contains the child 1 via
+  // 0 <-> 3 <-> 1 -> NOT identifiable (Tian-Pearl).
+  MixedGraph h(4);
+  h.AddDirected(0, 1);
+  h.AddDirected(0, 2);
+  h.AddDirected(2, 3);
+  h.AddBidirected(0, 3);
+  h.AddBidirected(3, 1);
+  const auto result = CheckIdentifiability(h, 0, 1);
+  EXPECT_FALSE(result.identifiable);
+  EXPECT_EQ(result.confounded_child, 1u);
+  EXPECT_FALSE(result.reason.empty());
+}
+
+TEST(IdentificationTest, SiblingOutsideDescendantsHarmless) {
+  // 0 <-> 1 where 1 is NOT a descendant of 0, plus 0 -> 2: the district of 0
+  // restricted to De(0) = {0, 2} is just {0} -> identifiable.
+  MixedGraph g(3);
+  g.AddBidirected(0, 1);
+  g.AddDirected(0, 2);
+  EXPECT_TRUE(CheckIdentifiability(g, 0, 2).identifiable);
+}
+
+TEST(IdentificationTest, NonDescendantTriviallyIdentifiable) {
+  MixedGraph g(3);
+  g.AddDirected(1, 0);  // y -> x: x cannot affect y
+  const auto result = CheckIdentifiability(g, 0, 1);
+  EXPECT_TRUE(result.identifiable);
+  EXPECT_NE(result.reason.find("not a descendant"), std::string::npos);
+}
+
+TEST(IdentificationTest, DistrictComputation) {
+  MixedGraph g(5);
+  g.AddBidirected(0, 1);
+  g.AddBidirected(1, 2);
+  g.AddBidirected(3, 4);
+  std::vector<bool> all(5, true);
+  EXPECT_EQ(DistrictOf(g, 0, all), (std::vector<size_t>{0, 1, 2}));
+  EXPECT_EQ(DistrictOf(g, 3, all), (std::vector<size_t>{3, 4}));
+  // Restriction breaks the chain.
+  std::vector<bool> restricted = {true, false, true, true, true};
+  EXPECT_EQ(DistrictOf(g, 0, restricted), (std::vector<size_t>{0}));
+}
+
+TEST(IdentificationTest, BidirectedToNonDescendantHarmless) {
+  // x <-> z where z is upstream: confounding on the backdoor, handled by
+  // adjustment; still identifiable per the criterion.
+  MixedGraph g(3);
+  g.AddBidirected(0, 2);
+  g.AddDirected(0, 1);
+  const auto result = CheckIdentifiability(g, 0, 1);
+  EXPECT_TRUE(result.identifiable);
+}
+
+}  // namespace
+}  // namespace unicorn

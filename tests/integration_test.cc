@@ -1,0 +1,185 @@
+// Cross-module integration and property tests: the full pipeline
+// (simulate -> learn -> estimate -> repair) exercised over all six systems.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "causal/identification.h"
+#include "eval/harness.h"
+#include "eval/metrics.h"
+#include "graph/algorithms.h"
+#include "sysmodel/faults.h"
+#include "sysmodel/systems.h"
+#include "unicorn/debugger.h"
+#include "unicorn/model_learner.h"
+
+namespace unicorn {
+namespace {
+
+class SystemSweep : public ::testing::TestWithParam<SystemId> {};
+
+TEST_P(SystemSweep, LearnedModelIsValidAdmgWithConstraints) {
+  SystemSpec spec;
+  spec.num_events = 8;
+  auto model = std::make_shared<SystemModel>(BuildSystem(GetParam(), spec));
+  Rng rng(500 + static_cast<uint64_t>(GetParam()));
+  std::vector<std::vector<double>> configs;
+  for (int i = 0; i < 200; ++i) {
+    configs.push_back(model->SampleConfig(&rng));
+  }
+  const DataTable data = model->MeasureMany(configs, Tx2(), DefaultWorkload(), &rng);
+  CausalModelOptions options;
+  options.fci.skeleton.max_cond_size = 2;
+  options.fci.skeleton.max_subsets = 16;
+  options.fci.max_pds_cond_size = 1;
+  options.entropic.latent.restarts = 1;
+  const LearnedModel learned = LearnCausalPerformanceModel(data, options);
+  EXPECT_TRUE(learned.admg.IsAdmg());
+  for (size_t opt : model->OptionIndices()) {
+    EXPECT_TRUE(learned.admg.Parents(opt).empty());
+    EXPECT_TRUE(learned.admg.Spouses(opt).empty());
+  }
+  for (size_t obj : model->ObjectiveIndices()) {
+    EXPECT_TRUE(learned.admg.Children(obj).empty());
+  }
+}
+
+TEST_P(SystemSweep, LearnedGraphSparserThanComplete) {
+  SystemSpec spec;
+  spec.num_events = 8;
+  auto model = std::make_shared<SystemModel>(BuildSystem(GetParam(), spec));
+  Rng rng(510 + static_cast<uint64_t>(GetParam()));
+  std::vector<std::vector<double>> configs;
+  for (int i = 0; i < 150; ++i) {
+    configs.push_back(model->SampleConfig(&rng));
+  }
+  const DataTable data = model->MeasureMany(configs, Xavier(), DefaultWorkload(), &rng);
+  CausalModelOptions options;
+  options.fci.skeleton.max_cond_size = 1;
+  options.entropic.latent.restarts = 1;
+  const LearnedModel learned = LearnCausalPerformanceModel(data, options);
+  // Paper Table 3: degrees in the low single digits.
+  EXPECT_LT(learned.admg.AverageDegree(), 8.0);
+}
+
+TEST_P(SystemSweep, InterventionalQueriesFiniteForAllOptions) {
+  SystemSpec spec;
+  spec.num_events = 6;
+  auto model = std::make_shared<SystemModel>(BuildSystem(GetParam(), spec));
+  Rng rng(520 + static_cast<uint64_t>(GetParam()));
+  std::vector<std::vector<double>> configs;
+  for (int i = 0; i < 120; ++i) {
+    configs.push_back(model->SampleConfig(&rng));
+  }
+  const DataTable data = model->MeasureMany(configs, Tx2(), DefaultWorkload(), &rng);
+  const MixedGraph truth = model->GroundTruthGraph();
+  const CausalEffectEstimator estimator(truth, data);
+  const size_t latency = model->ObjectiveIndices()[0];
+  for (size_t opt : model->OptionIndices()) {
+    const double ace = estimator.Ace(latency, opt);
+    EXPECT_TRUE(std::isfinite(ace));
+    EXPECT_GE(ace, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSystems, SystemSweep,
+                         ::testing::Values(SystemId::kDeepstream, SystemId::kXception,
+                                           SystemId::kBert, SystemId::kDeepspeech,
+                                           SystemId::kX264, SystemId::kSqlite),
+                         [](const ::testing::TestParamInfo<SystemId>& info) {
+                           return SystemName(info.param);
+                         });
+
+TEST(IntegrationTest, GroundTruthQueriesIdentifiable) {
+  // The ground-truth graphs contain no bidirected edges, so every
+  // option -> objective query must be identifiable.
+  SystemSpec spec;
+  spec.num_events = 8;
+  const SystemModel model = BuildSystem(SystemId::kX264, spec);
+  const MixedGraph truth = model.GroundTruthGraph();
+  const size_t latency = model.ObjectiveIndices()[0];
+  for (size_t opt : model.OptionIndices()) {
+    EXPECT_TRUE(CheckIdentifiability(truth, opt, latency).identifiable);
+  }
+}
+
+TEST(IntegrationTest, HarnessTaskRoundTrip) {
+  SystemSpec spec;
+  spec.num_events = 6;
+  auto model = std::make_shared<SystemModel>(BuildSystem(SystemId::kBert, spec));
+  const PerformanceTask task = MakeSimulatedTask(model, Tx2(), DefaultWorkload(), 530);
+  Rng rng(531);
+  const auto config = task.sample_config(&rng);
+  const auto row = task.measure(config);
+  ASSERT_EQ(row.size(), model->NumVars());
+  EXPECT_EQ(task.ConfigOf(row), config);
+  EXPECT_EQ(task.EmptyTable().NumVars(), model->NumVars());
+}
+
+TEST(IntegrationTest, TrueAceWeightsPositiveForInfluentialOptions) {
+  SystemSpec spec;
+  spec.num_events = 8;
+  const SystemModel model = BuildSystem(SystemId::kXception, spec);
+  const size_t latency = model.ObjectiveIndices()[0];
+  const auto weights = TrueAceWeights(model, latency, Tx2(), DefaultWorkload(), 532, 8);
+  double total = 0.0;
+  for (size_t opt : model.OptionIndices()) {
+    EXPECT_GE(weights[opt], 0.0);
+    total += weights[opt];
+  }
+  EXPECT_GT(total, 0.0);
+  // Non-options carry no weight.
+  for (size_t e : model.EventIndices()) {
+    EXPECT_EQ(weights[e], 0.0);
+  }
+}
+
+TEST(IntegrationTest, GoalsForFaultMatchPercentile) {
+  SystemSpec spec;
+  spec.num_events = 6;
+  const SystemModel model = BuildSystem(SystemId::kX264, spec);
+  Rng rng(533);
+  const FaultCuration curation =
+      CurateFaults(model, Tx2(), DefaultWorkload(), 800, &rng, 0.97);
+  ASSERT_FALSE(curation.faults.empty());
+  const auto goals = GoalsForFault(curation, curation.faults.front(), 0.5);
+  for (const auto& goal : goals) {
+    // The median goal must sit below the fault threshold.
+    for (size_t o = 0; o < curation.objective_vars.size(); ++o) {
+      if (curation.objective_vars[o] == goal.var) {
+        EXPECT_LT(goal.threshold, curation.thresholds[o]);
+      }
+    }
+  }
+}
+
+TEST(IntegrationTest, DeterministicEndToEnd) {
+  // The same seeds produce byte-identical debugging results.
+  SystemSpec spec;
+  spec.num_events = 6;
+  auto model = std::make_shared<SystemModel>(BuildSystem(SystemId::kX264, spec));
+  Rng rng(534);
+  const FaultCuration curation =
+      CurateFaults(*model, Tx2(), DefaultWorkload(), 800, &rng, 0.97);
+  ASSERT_FALSE(curation.faults.empty());
+  const Fault& fault = curation.faults.front();
+  const auto goals = GoalsForFault(curation, fault);
+  DebugOptions options;
+  options.initial_samples = 15;
+  options.max_iterations = 6;
+  options.model.fci.skeleton.max_cond_size = 1;
+  options.model.entropic.latent.restarts = 1;
+  auto run = [&] {
+    const PerformanceTask task = MakeSimulatedTask(model, Tx2(), DefaultWorkload(), 535);
+    UnicornDebugger debugger(task, options);
+    return debugger.Debug(fault.config, goals);
+  };
+  const DebugResult a = run();
+  const DebugResult b = run();
+  EXPECT_EQ(a.fixed_config, b.fixed_config);
+  EXPECT_EQ(a.predicted_root_causes, b.predicted_root_causes);
+  EXPECT_EQ(a.measurements_used, b.measurements_used);
+}
+
+}  // namespace
+}  // namespace unicorn

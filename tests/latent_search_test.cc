@@ -1,0 +1,103 @@
+#include "causal/latent_search.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/entropy.h"
+
+namespace unicorn {
+namespace {
+
+TEST(LatentSearchTest, IndependentPairNeedsNoLatent) {
+  // p(x, y) = p(x) p(y): a constant Z (H = 0) renders them independent.
+  std::vector<std::vector<double>> p = {{0.25, 0.25}, {0.25, 0.25}};
+  Rng rng(1);
+  LatentSearchOptions options;
+  const auto result = LatentSearch(p, options, &rng);
+  EXPECT_TRUE(result.independence_achieved);
+  EXPECT_LT(result.latent_entropy, 0.2);
+}
+
+TEST(LatentSearchTest, CommonCauseRecovered) {
+  // Z fair coin, X = Z, Y = Z: common entropy is exactly H(Z) = ln 2;
+  // p(x, y) is diagonal.
+  std::vector<std::vector<double>> p = {{0.5, 0.0}, {0.0, 0.5}};
+  Rng rng(2);
+  LatentSearchOptions options;
+  const auto result = LatentSearch(p, options, &rng);
+  EXPECT_TRUE(result.independence_achieved);
+  EXPECT_NEAR(result.latent_entropy, std::log(2.0), 0.15);
+}
+
+TEST(LatentSearchTest, NoisyCommonCause) {
+  // X, Y noisy copies of a fair coin Z.
+  const double e = 0.1;
+  std::vector<std::vector<double>> p(2, std::vector<double>(2, 0.0));
+  for (int z = 0; z < 2; ++z) {
+    for (int x = 0; x < 2; ++x) {
+      for (int y = 0; y < 2; ++y) {
+        const double px = x == z ? 1 - e : e;
+        const double py = y == z ? 1 - e : e;
+        p[static_cast<size_t>(x)][static_cast<size_t>(y)] += 0.5 * px * py;
+      }
+    }
+  }
+  Rng rng(3);
+  LatentSearchOptions options;
+  options.cmi_tolerance = 0.02;
+  const auto result = LatentSearch(p, options, &rng);
+  EXPECT_TRUE(result.independence_achieved);
+  // H(Z) should be close to ln 2 (can be a bit above due to noise).
+  EXPECT_LT(result.latent_entropy, std::log(2.0) + 0.35);
+}
+
+TEST(LatentSearchTest, AchievedCmiReported) {
+  std::vector<std::vector<double>> p = {{0.4, 0.1}, {0.1, 0.4}};
+  Rng rng(4);
+  LatentSearchOptions options;
+  const auto result = LatentSearch(p, options, &rng);
+  EXPECT_GE(result.achieved_cmi, 0.0);
+}
+
+TEST(LatentSearchTest, EmptyJointHandled) {
+  Rng rng(5);
+  LatentSearchOptions options;
+  const auto result = LatentSearch({}, options, &rng);
+  EXPECT_EQ(result.latent_entropy, 0.0);
+}
+
+TEST(LatentSearchTest, DeterministicRelationHasHighCommonEntropy) {
+  // Y = X (uniform X over 4 values): any Z making X ⊥ Y | Z must carry all
+  // the information, so H(Z) ~ H(X) = ln 4 — well above the 0.8 * min
+  // entropy threshold used for confounder detection.
+  std::vector<std::vector<double>> p(4, std::vector<double>(4, 0.0));
+  for (int i = 0; i < 4; ++i) {
+    p[static_cast<size_t>(i)][static_cast<size_t>(i)] = 0.25;
+  }
+  Rng rng(6);
+  LatentSearchOptions options;
+  options.latent_cardinality = 4;
+  const auto result = LatentSearch(p, options, &rng);
+  if (result.independence_achieved) {
+    EXPECT_GT(result.latent_entropy, 0.8 * std::log(4.0));
+  }
+}
+
+// Sweep over beta: larger beta pushes harder on H(Z).
+class BetaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BetaSweep, RunsAndReturnsFinite) {
+  std::vector<std::vector<double>> p = {{0.3, 0.2}, {0.2, 0.3}};
+  Rng rng(7);
+  LatentSearchOptions options;
+  options.beta = GetParam();
+  const auto result = LatentSearch(p, options, &rng);
+  EXPECT_TRUE(std::isfinite(result.latent_entropy));
+  EXPECT_GE(result.latent_entropy, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Betas, BetaSweep, ::testing::Values(0.0, 0.05, 0.2, 0.5));
+
+}  // namespace
+}  // namespace unicorn

@@ -1,0 +1,102 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace unicorn {
+namespace {
+
+TEST(JaccardTest, PerfectMatch) {
+  const std::vector<double> w = {1, 1, 1, 1};
+  EXPECT_EQ(AceWeightedJaccard({0, 2}, {0, 2}, w), 1.0);
+}
+
+TEST(JaccardTest, Disjoint) {
+  const std::vector<double> w = {1, 1, 1, 1};
+  EXPECT_EQ(AceWeightedJaccard({0}, {1}, w), 0.0);
+}
+
+TEST(JaccardTest, WeightsMatter) {
+  // Predicted hits the heavy-weight cause, misses a light one.
+  const std::vector<double> w = {10.0, 1.0, 0.0};
+  EXPECT_NEAR(AceWeightedJaccard({0}, {0, 1}, w), 10.0 / 11.0, 1e-12);
+}
+
+TEST(JaccardTest, BothEmptyIsOne) {
+  EXPECT_EQ(AceWeightedJaccard({}, {}, {}), 1.0);
+}
+
+TEST(JaccardTest, MissingWeightDefaultsToOne) {
+  EXPECT_NEAR(AceWeightedJaccard({5}, {5, 6}, {}), 0.5, 1e-12);
+}
+
+TEST(PrecisionRecallTest, Basics) {
+  EXPECT_NEAR(Precision({1, 2, 3}, {1, 2}), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(Recall({1, 2, 3}, {1, 2}), 1.0, 1e-12);
+  EXPECT_NEAR(Recall({1}, {1, 2, 3, 4}), 0.25, 1e-12);
+}
+
+TEST(PrecisionRecallTest, EmptyEdgeCases) {
+  EXPECT_EQ(Precision({}, {}), 1.0);
+  EXPECT_EQ(Precision({}, {1}), 0.0);
+  EXPECT_EQ(Recall({1}, {}), 1.0);
+}
+
+TEST(GainTest, Improvement) {
+  EXPECT_NEAR(Gain(100.0, 25.0), 75.0, 1e-12);
+  EXPECT_NEAR(Gain(100.0, 100.0), 0.0, 1e-12);
+}
+
+TEST(GainTest, Deterioration) { EXPECT_NEAR(Gain(100.0, 150.0), -50.0, 1e-12); }
+
+TEST(GainTest, ZeroFault) { EXPECT_EQ(Gain(0.0, 10.0), 0.0); }
+
+TEST(ParetoTest, FrontExtraction) {
+  const auto front = ParetoFront2D({{1, 5}, {2, 4}, {3, 3}, {2, 6}, {4, 4}});
+  // Dominated points (2,6) and (4,4) must vanish.
+  EXPECT_EQ(front.size(), 3u);
+  EXPECT_EQ(front[0], (std::pair<double, double>{1, 5}));
+  EXPECT_EQ(front[2], (std::pair<double, double>{3, 3}));
+}
+
+TEST(ParetoTest, SinglePoint) {
+  const auto front = ParetoFront2D({{2, 2}});
+  EXPECT_EQ(front.size(), 1u);
+}
+
+TEST(HypervolumeTest, SingleRectangle) {
+  // Point (1, 1) with reference (3, 3): HV = 2 * 2 = 4.
+  EXPECT_NEAR(Hypervolume2D({{1, 1}}, 3, 3), 4.0, 1e-12);
+}
+
+TEST(HypervolumeTest, TwoPointsUnion) {
+  // Points (1, 2) and (2, 1), ref (3, 3): union area = 2*1 + 1*2 + 1*1 = 3+...
+  // compute: (3-1)(3-2)=2 for (1,2); (3-2)(3-1)=2 for (2,1); overlap (1..3 x
+  // ...) sweep formula gives 3.
+  EXPECT_NEAR(Hypervolume2D({{1, 2}, {2, 1}}, 3, 3), 3.0, 1e-12);
+}
+
+TEST(HypervolumeTest, DominatedPointAddsNothing) {
+  const double hv1 = Hypervolume2D({{1, 1}}, 3, 3);
+  const double hv2 = Hypervolume2D({{1, 1}, {2, 2}}, 3, 3);
+  EXPECT_NEAR(hv1, hv2, 1e-12);
+}
+
+TEST(HypervolumeTest, PointsBeyondReferenceClamped) {
+  EXPECT_NEAR(Hypervolume2D({{5, 5}}, 3, 3), 0.0, 1e-12);
+}
+
+TEST(HypervolumeErrorTest, PerfectFrontZeroError) {
+  const std::vector<std::pair<double, double>> front = {{1, 2}, {2, 1}};
+  EXPECT_NEAR(HypervolumeError(front, front, 3, 3), 0.0, 1e-12);
+}
+
+TEST(HypervolumeErrorTest, WorseFrontPositiveError) {
+  const std::vector<std::pair<double, double>> ref = {{1, 1}};
+  const std::vector<std::pair<double, double>> worse = {{2, 2}};
+  const double err = HypervolumeError(worse, ref, 3, 3);
+  EXPECT_GT(err, 0.0);
+  EXPECT_LE(err, 1.0);
+}
+
+}  // namespace
+}  // namespace unicorn

@@ -1,0 +1,104 @@
+#include "unicorn/model_learner.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/harness.h"
+#include "graph/algorithms.h"
+#include "sysmodel/systems.h"
+
+namespace unicorn {
+namespace {
+
+TEST(ModelLearnerTest, ProducesValidAdmg) {
+  SystemSpec spec;
+  spec.num_events = 8;
+  const auto model = std::make_shared<SystemModel>(BuildSystem(SystemId::kXception, spec));
+  Rng rng(1);
+  std::vector<std::vector<double>> configs;
+  for (int i = 0; i < 300; ++i) {
+    configs.push_back(model->SampleConfig(&rng));
+  }
+  const DataTable data = model->MeasureMany(configs, Tx2(), DefaultWorkload(), &rng);
+  const LearnedModel learned = LearnCausalPerformanceModel(data);
+  EXPECT_TRUE(learned.admg.IsAdmg());
+  EXPECT_EQ(learned.admg.NumCircleMarks(), 0u);
+  EXPECT_GT(learned.independence_tests, 0);
+}
+
+TEST(ModelLearnerTest, OptionsStayExogenous) {
+  SystemSpec spec;
+  spec.num_events = 6;
+  const auto model = std::make_shared<SystemModel>(BuildSystem(SystemId::kX264, spec));
+  Rng rng(2);
+  std::vector<std::vector<double>> configs;
+  for (int i = 0; i < 250; ++i) {
+    configs.push_back(model->SampleConfig(&rng));
+  }
+  const DataTable data = model->MeasureMany(configs, Tx2(), DefaultWorkload(), &rng);
+  const LearnedModel learned = LearnCausalPerformanceModel(data);
+  for (size_t opt : model->OptionIndices()) {
+    EXPECT_TRUE(learned.admg.Parents(opt).empty()) << "option " << opt << " has parents";
+    EXPECT_TRUE(learned.admg.Spouses(opt).empty());
+  }
+}
+
+TEST(ModelLearnerTest, ObjectivesAreSinks) {
+  SystemSpec spec;
+  spec.num_events = 6;
+  const auto model = std::make_shared<SystemModel>(BuildSystem(SystemId::kBert, spec));
+  Rng rng(3);
+  std::vector<std::vector<double>> configs;
+  for (int i = 0; i < 250; ++i) {
+    configs.push_back(model->SampleConfig(&rng));
+  }
+  const DataTable data = model->MeasureMany(configs, Xavier(), DefaultWorkload(), &rng);
+  const LearnedModel learned = LearnCausalPerformanceModel(data);
+  for (size_t obj : model->ObjectiveIndices()) {
+    EXPECT_TRUE(learned.admg.Children(obj).empty()) << "objective " << obj << " has children";
+  }
+}
+
+TEST(ModelLearnerTest, MoreDataImprovesStructure) {
+  // SHD to ground truth should not get (much) worse with 4x the data —
+  // the paper's Fig. 11a convergence property.
+  SystemSpec spec;
+  spec.num_events = 6;
+  const auto model = std::make_shared<SystemModel>(BuildSystem(SystemId::kX264, spec));
+  const MixedGraph truth = model->GroundTruthGraph();
+  Rng rng(4);
+  std::vector<std::vector<double>> configs;
+  for (int i = 0; i < 600; ++i) {
+    configs.push_back(model->SampleConfig(&rng));
+  }
+  const DataTable all = model->MeasureMany(configs, Tx2(), DefaultWorkload(), &rng);
+  std::vector<size_t> head;
+  for (size_t r = 0; r < 100; ++r) {
+    head.push_back(r);
+  }
+  const DataTable small = all.SelectRows(head);
+  const size_t shd_small =
+      StructuralHammingDistance(LearnCausalPerformanceModel(small).admg, truth);
+  const size_t shd_large =
+      StructuralHammingDistance(LearnCausalPerformanceModel(all).admg, truth);
+  EXPECT_LE(shd_large, shd_small + 5);
+}
+
+TEST(ModelLearnerTest, DeterministicGivenSeed) {
+  SystemSpec spec;
+  spec.num_events = 5;
+  const auto model = std::make_shared<SystemModel>(BuildSystem(SystemId::kX264, spec));
+  Rng rng(5);
+  std::vector<std::vector<double>> configs;
+  for (int i = 0; i < 150; ++i) {
+    configs.push_back(model->SampleConfig(&rng));
+  }
+  const DataTable data = model->MeasureMany(configs, Tx2(), DefaultWorkload(), &rng);
+  CausalModelOptions options;
+  options.seed = 77;
+  const LearnedModel a = LearnCausalPerformanceModel(data, options);
+  const LearnedModel b = LearnCausalPerformanceModel(data, options);
+  EXPECT_EQ(StructuralHammingDistance(a.admg, b.admg), 0u);
+}
+
+}  // namespace
+}  // namespace unicorn

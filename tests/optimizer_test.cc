@@ -1,0 +1,104 @@
+#include "unicorn/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/harness.h"
+#include "eval/metrics.h"
+#include "sysmodel/systems.h"
+
+namespace unicorn {
+namespace {
+
+PerformanceTask MakeTask(std::shared_ptr<SystemModel>* model_out, uint64_t seed) {
+  SystemSpec spec;
+  spec.num_events = 8;
+  auto model = std::make_shared<SystemModel>(BuildSystem(SystemId::kXception, spec));
+  *model_out = model;
+  return MakeSimulatedTask(model, Tx2(), DefaultWorkload(), seed);
+}
+
+OptimizeOptions FastOptions(size_t iterations = 30) {
+  OptimizeOptions options;
+  options.initial_samples = 20;
+  options.max_iterations = iterations;
+  options.relearn_every = 10;
+  options.model.fci.skeleton.max_cond_size = 2;
+  options.model.fci.skeleton.max_subsets = 16;
+  options.model.fci.max_pds_cond_size = 1;
+  options.model.entropic.latent.restarts = 1;
+  options.model.entropic.latent.iterations = 25;
+  return options;
+}
+
+TEST(OptimizerTest, TrajectoryMonotoneNonIncreasing) {
+  std::shared_ptr<SystemModel> model;
+  const PerformanceTask task = MakeTask(&model, 200);
+  UnicornOptimizer optimizer(task, FastOptions());
+  const auto result = optimizer.Minimize(model->ObjectiveIndices()[0]);
+  ASSERT_FALSE(result.best_trajectory.empty());
+  for (size_t i = 1; i < result.best_trajectory.size(); ++i) {
+    EXPECT_LE(result.best_trajectory[i], result.best_trajectory[i - 1] + 1e-12);
+  }
+}
+
+TEST(OptimizerTest, BeatsInitialSamples) {
+  std::shared_ptr<SystemModel> model;
+  const PerformanceTask task = MakeTask(&model, 201);
+  OptimizeOptions options = FastOptions(60);
+  UnicornOptimizer optimizer(task, options);
+  const auto result = optimizer.Minimize(model->ObjectiveIndices()[0]);
+  // The optimum found must improve on the best of the initial random batch.
+  const double best_initial =
+      result.best_trajectory[options.initial_samples - 1];
+  EXPECT_LE(result.best_value, best_initial);
+  EXPECT_EQ(result.measurements_used, options.initial_samples + options.max_iterations);
+}
+
+TEST(OptimizerTest, BestConfigReproducesBestValue) {
+  std::shared_ptr<SystemModel> model;
+  const PerformanceTask task = MakeTask(&model, 202);
+  UnicornOptimizer optimizer(task, FastOptions());
+  const size_t latency = model->ObjectiveIndices()[0];
+  const auto result = optimizer.Minimize(latency);
+  // Re-measuring the best config lands near the recorded best value
+  // (measurement noise allows slack).
+  const auto row = task.measure(result.best_config);
+  EXPECT_LT(row[latency], result.best_value * 1.5 + 1.0);
+}
+
+TEST(OptimizerTest, MultiObjectiveProducesFront) {
+  std::shared_ptr<SystemModel> model;
+  const PerformanceTask task = MakeTask(&model, 203);
+  UnicornOptimizer optimizer(task, FastOptions(40));
+  const auto objectives = model->ObjectiveIndices();
+  const auto result = optimizer.MinimizeMulti({objectives[0], objectives[1]});
+  ASSERT_FALSE(result.evaluated.empty());
+  std::vector<std::pair<double, double>> points;
+  for (const auto& objs : result.evaluated) {
+    ASSERT_EQ(objs.size(), 2u);
+    points.push_back({objs[0], objs[1]});
+  }
+  const auto front = ParetoFront2D(points);
+  EXPECT_GE(front.size(), 1u);
+  EXPECT_LE(front.size(), points.size());
+}
+
+TEST(OptimizerTest, WarmStartAccepted) {
+  std::shared_ptr<SystemModel> model;
+  const PerformanceTask task = MakeTask(&model, 204);
+  // Warm-start table measured separately.
+  Rng rng(205);
+  std::vector<std::vector<double>> configs;
+  for (int i = 0; i < 60; ++i) {
+    configs.push_back(model->SampleConfig(&rng));
+  }
+  const DataTable warm = model->MeasureMany(configs, Tx2(), DefaultWorkload(), &rng);
+  OptimizeOptions options = FastOptions(20);
+  options.initial_samples = 5;
+  UnicornOptimizer optimizer(task, options);
+  const auto result = optimizer.Minimize(model->ObjectiveIndices()[0], &warm);
+  EXPECT_EQ(result.measurements_used, options.initial_samples + options.max_iterations);
+}
+
+}  // namespace
+}  // namespace unicorn

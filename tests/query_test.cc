@@ -1,0 +1,90 @@
+#include "unicorn/query.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace unicorn {
+namespace {
+
+DataTable QueryData(Rng* rng) {
+  std::vector<Variable> vars = {
+      {"buffer_size", VarType::kDiscrete, VarRole::kOption, {6000, 8000, 20000}},
+      {"latency", VarType::kContinuous, VarRole::kObjective, {}},
+  };
+  DataTable t(vars);
+  for (int i = 0; i < 600; ++i) {
+    const double buf =
+        std::vector<double>{6000, 8000, 20000}[rng->UniformInt(uint64_t{3})];
+    t.AddRow({buf, buf / 400.0 + rng->Gaussian(0, 0.5)});
+  }
+  return t;
+}
+
+TEST(QueryParseTest, ProbabilityQuery) {
+  Rng rng(1);
+  const DataTable t = QueryData(&rng);
+  const auto q = ParseQuery("P(latency <= 30 | do(buffer_size=6000))", t);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->objective, 1u);
+  EXPECT_EQ(q->option, 0u);
+  EXPECT_EQ(q->option_value, 6000.0);
+  ASSERT_TRUE(q->threshold.has_value());
+  EXPECT_EQ(*q->threshold, 30.0);
+}
+
+TEST(QueryParseTest, ExpectationQuery) {
+  Rng rng(2);
+  const DataTable t = QueryData(&rng);
+  const auto q = ParseQuery("E(latency | do(buffer_size=20000))", t);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_FALSE(q->threshold.has_value());
+}
+
+TEST(QueryParseTest, RejectsUnknownVariable) {
+  Rng rng(3);
+  const DataTable t = QueryData(&rng);
+  EXPECT_FALSE(ParseQuery("E(nonexistent | do(buffer_size=6000))", t).has_value());
+  EXPECT_FALSE(ParseQuery("E(latency | do(nope=6000))", t).has_value());
+}
+
+TEST(QueryParseTest, RejectsMalformed) {
+  Rng rng(4);
+  const DataTable t = QueryData(&rng);
+  EXPECT_FALSE(ParseQuery("", t).has_value());
+  EXPECT_FALSE(ParseQuery("latency <= 30", t).has_value());
+  EXPECT_FALSE(ParseQuery("P(latency | do(buffer_size=6000))", t).has_value());
+  EXPECT_FALSE(ParseQuery("E(latency | buffer_size=6000)", t).has_value());
+  EXPECT_FALSE(ParseQuery("P(latency <= xyz | do(buffer_size=6000))", t).has_value());
+}
+
+TEST(QueryEstimateTest, ProbabilityAnswer) {
+  Rng rng(5);
+  const DataTable t = QueryData(&rng);
+  MixedGraph g(2);
+  g.AddDirected(0, 1);
+  const CausalEffectEstimator est(g, t);
+  const auto q = ParseQuery("P(latency <= 30 | do(buffer_size=6000))", t);
+  ASSERT_TRUE(q.has_value());
+  const auto answer = EstimateQuery(est, *q);
+  EXPECT_TRUE(answer.is_probability);
+  // latency | buf=6000 ~ 15 << 30: probability near 1.
+  EXPECT_GT(answer.value, 0.9);
+}
+
+TEST(QueryEstimateTest, ExpectationAnswerTracksIntervention) {
+  Rng rng(6);
+  const DataTable t = QueryData(&rng);
+  MixedGraph g(2);
+  g.AddDirected(0, 1);
+  const CausalEffectEstimator est(g, t);
+  const auto low = EstimateQuery(est, *ParseQuery("E(latency | do(buffer_size=6000))", t));
+  const auto high = EstimateQuery(est, *ParseQuery("E(latency | do(buffer_size=20000))", t));
+  EXPECT_FALSE(low.is_probability);
+  EXPECT_LT(low.value, high.value);
+  EXPECT_NEAR(low.value, 15.0, 1.5);
+  EXPECT_NEAR(high.value, 50.0, 1.5);
+}
+
+}  // namespace
+}  // namespace unicorn

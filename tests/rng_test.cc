@@ -1,0 +1,203 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace unicorn {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    equal += a.NextU64() == b.NextU64() ? 1 : 0;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformMeanNearHalf) {
+  Rng rng(11);
+  double acc = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    acc += rng.Uniform();
+  }
+  EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(13);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.UniformInt(uint64_t{7});
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(15);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInt(int64_t{-2}, int64_t{2});
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(17);
+  const int n = 200000;
+  double mean = 0.0;
+  double var = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    mean += g;
+    var += g * g;
+  }
+  mean /= n;
+  var = var / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.01);
+  EXPECT_NEAR(var, 1.0, 0.02);
+}
+
+TEST(RngTest, GaussianShifted) {
+  Rng rng(19);
+  double mean = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    mean += rng.Gaussian(5.0, 0.1);
+  }
+  EXPECT_NEAR(mean / n, 5.0, 0.01);
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(21);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    hits += rng.Bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, CategoricalProportional) {
+  Rng rng(25);
+  std::vector<double> weights = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[rng.Categorical(weights)];
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(RngTest, CategoricalAllZeroFallsBackToUniform) {
+  Rng rng(27);
+  std::vector<double> weights = {0.0, 0.0, 0.0, 0.0};
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 40000; ++i) {
+    ++counts[rng.Categorical(weights)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c / 40000.0, 0.25, 0.02);
+  }
+}
+
+TEST(RngTest, CategoricalIgnoresNegativeWeights) {
+  Rng rng(29);
+  std::vector<double> weights = {-5.0, 1.0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.Categorical(weights), 1u);
+  }
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(31);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto original = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, ShuffleActuallyPermutes) {
+  Rng rng(33);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) {
+    v[static_cast<size_t>(i)] = i;
+  }
+  auto original = v;
+  rng.Shuffle(&v);
+  EXPECT_NE(v, original);
+}
+
+TEST(RngTest, ShuffleEmptyAndSingleton) {
+  Rng rng(35);
+  std::vector<int> empty;
+  rng.Shuffle(&empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one = {42};
+  rng.Shuffle(&one);
+  EXPECT_EQ(one[0], 42);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(37);
+  Rng child = parent.Fork();
+  // Child stream differs from the parent's continued stream.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    equal += parent.NextU64() == child.NextU64() ? 1 : 0;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+}  // namespace
+}  // namespace unicorn

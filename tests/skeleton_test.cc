@@ -1,0 +1,150 @@
+#include "causal/skeleton.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace unicorn {
+namespace {
+
+TEST(SepsetTest, SetGetSymmetric) {
+  SepsetMap m;
+  m.Set(3, 1, {5, 2});
+  const auto* s = m.Get(1, 3);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(*s, (std::vector<size_t>{2, 5}));  // stored sorted
+  EXPECT_TRUE(m.Contains(1, 3, 5));
+  EXPECT_FALSE(m.Contains(1, 3, 7));
+  EXPECT_EQ(m.Get(0, 1), nullptr);
+}
+
+TEST(SubsetsTest, SizeZero) {
+  const auto subs = Subsets({1, 2, 3}, 0, 10);
+  ASSERT_EQ(subs.size(), 1u);
+  EXPECT_TRUE(subs[0].empty());
+}
+
+TEST(SubsetsTest, ChooseTwoOfThree) {
+  const auto subs = Subsets({1, 2, 3}, 2, 10);
+  EXPECT_EQ(subs.size(), 3u);
+}
+
+TEST(SubsetsTest, TooLargeEmpty) { EXPECT_TRUE(Subsets({1, 2}, 3, 10).empty()); }
+
+TEST(SubsetsTest, CapRespected) {
+  const auto subs = Subsets({1, 2, 3, 4, 5, 6}, 3, 5);
+  EXPECT_EQ(subs.size(), 5u);
+}
+
+// A synthetic linear SCM: o0 -> e0 -> y, o1 -> e0, o2 independent.
+DataTable ChainData(size_t n, Rng* rng) {
+  std::vector<Variable> vars = {
+      {"o0", VarType::kContinuous, VarRole::kOption, {0, 1}},
+      {"o1", VarType::kContinuous, VarRole::kOption, {0, 1}},
+      {"o2", VarType::kContinuous, VarRole::kOption, {0, 1}},
+      {"e0", VarType::kContinuous, VarRole::kEvent, {}},
+      {"y", VarType::kContinuous, VarRole::kObjective, {}},
+  };
+  DataTable t(vars);
+  for (size_t i = 0; i < n; ++i) {
+    const double o0 = rng->Uniform();
+    const double o1 = rng->Uniform();
+    const double o2 = rng->Uniform();
+    // Realistic noise: near-deterministic links leak through rank-based
+    // partial correlations (monotone transforms are only approximately
+    // partialled out).
+    const double e0 = 2.0 * o0 - 1.5 * o1 + rng->Gaussian(0, 0.25);
+    const double y = 3.0 * e0 + rng->Gaussian(0, 0.25);
+    t.AddRow({o0, o1, o2, e0, y});
+  }
+  return t;
+}
+
+TEST(SkeletonTest, RecoversChainAdjacency) {
+  Rng rng(11);
+  const DataTable data = ChainData(1200, &rng);
+  const StructuralConstraints constraints(data.Variables());
+  const CompositeTest test(data);
+  const SkeletonResult result = LearnSkeleton(test, constraints, data.NumVars());
+  const MixedGraph& g = result.graph;
+  // True adjacencies present.
+  EXPECT_TRUE(g.HasEdge(0, 3));  // o0 - e0
+  EXPECT_TRUE(g.HasEdge(1, 3));  // o1 - e0
+  EXPECT_TRUE(g.HasEdge(3, 4));  // e0 - y
+  // Chain link o0 - y removed given e0.
+  EXPECT_FALSE(g.HasEdge(0, 4));
+  // Independent option isolated.
+  EXPECT_FALSE(g.HasEdge(2, 3));
+  EXPECT_FALSE(g.HasEdge(2, 4));
+}
+
+TEST(SkeletonTest, OptionOptionEdgesForbidden) {
+  Rng rng(12);
+  const DataTable data = ChainData(500, &rng);
+  const StructuralConstraints constraints(data.Variables());
+  const CompositeTest test(data);
+  const SkeletonResult result = LearnSkeleton(test, constraints, data.NumVars());
+  EXPECT_FALSE(result.graph.HasEdge(0, 1));
+  EXPECT_FALSE(result.graph.HasEdge(0, 2));
+  EXPECT_FALSE(result.graph.HasEdge(1, 2));
+}
+
+TEST(SkeletonTest, SepsetRecordedForRemovedEdge) {
+  Rng rng(13);
+  const DataTable data = ChainData(1200, &rng);
+  const StructuralConstraints constraints(data.Variables());
+  const CompositeTest test(data);
+  const SkeletonResult result = LearnSkeleton(test, constraints, data.NumVars());
+  // o0 and y are separated by e0.
+  const auto* sepset = result.sepsets.Get(0, 4);
+  ASSERT_NE(sepset, nullptr);
+  EXPECT_TRUE(result.sepsets.Contains(0, 4, 3));
+}
+
+TEST(SkeletonTest, TestsCounted) {
+  Rng rng(14);
+  const DataTable data = ChainData(300, &rng);
+  const StructuralConstraints constraints(data.Variables());
+  const CompositeTest test(data);
+  const SkeletonResult result = LearnSkeleton(test, constraints, data.NumVars());
+  EXPECT_GT(result.tests_performed, 0);
+}
+
+TEST(SkeletonTest, AllEdgesCircleMarked) {
+  Rng rng(15);
+  const DataTable data = ChainData(400, &rng);
+  const StructuralConstraints constraints(data.Variables());
+  const CompositeTest test(data);
+  const SkeletonResult result = LearnSkeleton(test, constraints, data.NumVars());
+  const MixedGraph& g = result.graph;
+  for (size_t a = 0; a < g.NumNodes(); ++a) {
+    for (size_t b = a + 1; b < g.NumNodes(); ++b) {
+      if (g.HasEdge(a, b)) {
+        EXPECT_TRUE(g.HasCircleAt(a, b));
+        EXPECT_TRUE(g.HasCircleAt(b, a));
+      }
+    }
+  }
+}
+
+// Property sweep: tighter alpha never yields more edges.
+class AlphaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(AlphaSweep, EdgeCountMonotoneInAlpha) {
+  Rng rng(16);
+  const DataTable data = ChainData(600, &rng);
+  const StructuralConstraints constraints(data.Variables());
+  const CompositeTest test(data);
+  SkeletonOptions tight;
+  tight.alpha = GetParam();
+  SkeletonOptions loose;
+  loose.alpha = GetParam() * 10.0;
+  const auto g_tight = LearnSkeleton(test, constraints, data.NumVars(), tight);
+  const auto g_loose = LearnSkeleton(test, constraints, data.NumVars(), loose);
+  EXPECT_LE(g_tight.graph.NumEdges(), g_loose.graph.NumEdges());
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, AlphaSweep, ::testing::Values(0.001, 0.005, 0.01));
+
+}  // namespace
+}  // namespace unicorn

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "baselines/pesmo.h"
+#include "baselines/smac.h"
+#include "eval/harness.h"
+#include "eval/metrics.h"
+#include "sysmodel/systems.h"
+
+namespace unicorn {
+namespace {
+
+PerformanceTask MakeTask(std::shared_ptr<SystemModel>* model_out, uint64_t seed) {
+  SystemSpec spec;
+  spec.num_events = 6;
+  auto model = std::make_shared<SystemModel>(BuildSystem(SystemId::kX264, spec));
+  *model_out = model;
+  return MakeSimulatedTask(model, Tx2(), DefaultWorkload(), seed);
+}
+
+TEST(SmacTest, TrajectoryMonotone) {
+  std::shared_ptr<SystemModel> model;
+  const PerformanceTask task = MakeTask(&model, 400);
+  SmacOptions options;
+  options.initial_samples = 15;
+  options.max_iterations = 25;
+  options.forest.num_trees = 10;
+  const auto result = SmacMinimize(task, model->ObjectiveIndices()[0], options);
+  for (size_t i = 1; i < result.best_trajectory.size(); ++i) {
+    EXPECT_LE(result.best_trajectory[i], result.best_trajectory[i - 1] + 1e-12);
+  }
+  EXPECT_EQ(result.measurements_used, options.initial_samples + options.max_iterations);
+}
+
+TEST(SmacTest, ImprovesOverRandomInit) {
+  std::shared_ptr<SystemModel> model;
+  const PerformanceTask task = MakeTask(&model, 401);
+  SmacOptions options;
+  options.initial_samples = 15;
+  options.max_iterations = 40;
+  options.forest.num_trees = 10;
+  const auto result = SmacMinimize(task, model->ObjectiveIndices()[0], options);
+  EXPECT_LE(result.best_value, result.best_trajectory[options.initial_samples - 1]);
+}
+
+TEST(SmacTest, WarmStartEvaluatedFirst) {
+  std::shared_ptr<SystemModel> model;
+  const PerformanceTask task = MakeTask(&model, 402);
+  Rng rng(403);
+  const auto warm = model->SampleConfig(&rng);
+  SmacOptions options;
+  options.initial_samples = 5;
+  options.max_iterations = 5;
+  options.forest.num_trees = 5;
+  const auto result = SmacMinimize(task, model->ObjectiveIndices()[0], options, &warm);
+  EXPECT_EQ(result.measurements_used, 1 + options.initial_samples + options.max_iterations);
+}
+
+TEST(PesmoTest, EvaluatesBudget) {
+  std::shared_ptr<SystemModel> model;
+  const PerformanceTask task = MakeTask(&model, 404);
+  PesmoOptions options;
+  options.initial_samples = 15;
+  options.max_iterations = 20;
+  options.forest.num_trees = 8;
+  const auto objectives = model->ObjectiveIndices();
+  const auto result = PesmoMinimize(task, {objectives[0], objectives[1]}, options);
+  EXPECT_EQ(result.measurements_used, options.initial_samples + options.max_iterations);
+  EXPECT_EQ(result.evaluated.size(), result.configs.size());
+}
+
+TEST(PesmoTest, FrontNonTrivial) {
+  std::shared_ptr<SystemModel> model;
+  const PerformanceTask task = MakeTask(&model, 405);
+  PesmoOptions options;
+  options.initial_samples = 20;
+  options.max_iterations = 30;
+  options.forest.num_trees = 8;
+  const auto objectives = model->ObjectiveIndices();
+  const auto result = PesmoMinimize(task, {objectives[0], objectives[1]}, options);
+  std::vector<std::pair<double, double>> points;
+  for (const auto& objs : result.evaluated) {
+    points.push_back({objs[0], objs[1]});
+  }
+  const auto front = ParetoFront2D(points);
+  EXPECT_GE(front.size(), 1u);
+}
+
+}  // namespace
+}  // namespace unicorn

@@ -1,0 +1,90 @@
+#include "stats/special.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace unicorn {
+namespace {
+
+TEST(SpecialTest, NormalCdfKnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.959963985), 0.975, 1e-6);
+  EXPECT_NEAR(NormalCdf(-1.959963985), 0.025, 1e-6);
+  EXPECT_NEAR(NormalCdf(3.0), 0.9986501, 1e-6);
+}
+
+TEST(SpecialTest, NormalCdfMonotone) {
+  double prev = 0.0;
+  for (double x = -5.0; x <= 5.0; x += 0.25) {
+    const double c = NormalCdf(x);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+TEST(SpecialTest, NormalTwoSidedPValue) {
+  EXPECT_NEAR(NormalTwoSidedPValue(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(NormalTwoSidedPValue(1.959963985), 0.05, 1e-6);
+  EXPECT_NEAR(NormalTwoSidedPValue(-1.959963985), 0.05, 1e-6);
+}
+
+TEST(SpecialTest, RegularizedGammaBoundaries) {
+  EXPECT_EQ(RegularizedGammaP(2.0, 0.0), 0.0);
+  EXPECT_NEAR(RegularizedGammaP(1.0, 1e9), 1.0, 1e-9);
+}
+
+TEST(SpecialTest, RegularizedGammaExponentialCase) {
+  // P(1, x) = 1 - exp(-x).
+  for (double x : {0.1, 0.5, 1.0, 2.0, 5.0}) {
+    EXPECT_NEAR(RegularizedGammaP(1.0, x), 1.0 - std::exp(-x), 1e-9);
+  }
+}
+
+TEST(SpecialTest, ChiSquareSurvivalKnownValues) {
+  // Chi-square with 1 dof: Pr[X >= 3.841] ~= 0.05.
+  EXPECT_NEAR(ChiSquareSurvival(3.841458821, 1.0), 0.05, 1e-5);
+  // 2 dof: survival is exp(-x/2).
+  EXPECT_NEAR(ChiSquareSurvival(4.0, 2.0), std::exp(-2.0), 1e-9);
+  // 5 dof at 11.070 ~ 0.05.
+  EXPECT_NEAR(ChiSquareSurvival(11.0705, 5.0), 0.05, 1e-4);
+}
+
+TEST(SpecialTest, ChiSquareSurvivalEdges) {
+  EXPECT_EQ(ChiSquareSurvival(-1.0, 3.0), 1.0);
+  EXPECT_EQ(ChiSquareSurvival(5.0, 0.0), 1.0);
+}
+
+TEST(SpecialTest, RegularizedBetaBoundaries) {
+  EXPECT_EQ(RegularizedBeta(0.0, 2.0, 3.0), 0.0);
+  EXPECT_EQ(RegularizedBeta(1.0, 2.0, 3.0), 1.0);
+}
+
+TEST(SpecialTest, RegularizedBetaSymmetry) {
+  // I_x(a, b) = 1 - I_{1-x}(b, a).
+  for (double x : {0.1, 0.3, 0.5, 0.7}) {
+    EXPECT_NEAR(RegularizedBeta(x, 2.0, 5.0), 1.0 - RegularizedBeta(1.0 - x, 5.0, 2.0), 1e-9);
+  }
+}
+
+TEST(SpecialTest, RegularizedBetaUniformCase) {
+  // I_x(1, 1) = x.
+  for (double x : {0.2, 0.5, 0.9}) {
+    EXPECT_NEAR(RegularizedBeta(x, 1.0, 1.0), x, 1e-9);
+  }
+}
+
+TEST(SpecialTest, StudentTKnownQuantile) {
+  // t with 10 dof: |t| = 2.228 gives p ~= 0.05.
+  EXPECT_NEAR(StudentTTwoSidedPValue(2.228138852, 10.0), 0.05, 1e-4);
+  EXPECT_NEAR(StudentTTwoSidedPValue(0.0, 10.0), 1.0, 1e-12);
+}
+
+TEST(SpecialTest, StudentTLargeDofApproachesNormal) {
+  const double p_t = StudentTTwoSidedPValue(1.96, 100000.0);
+  const double p_n = NormalTwoSidedPValue(1.96);
+  EXPECT_NEAR(p_t, p_n, 1e-4);
+}
+
+}  // namespace
+}  // namespace unicorn

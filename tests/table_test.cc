@@ -1,0 +1,99 @@
+#include "stats/table.h"
+
+#include <gtest/gtest.h>
+
+namespace unicorn {
+namespace {
+
+std::vector<Variable> MakeVars() {
+  Variable opt{"opt", VarType::kDiscrete, VarRole::kOption, {0, 1, 2}};
+  Variable ev{"event", VarType::kContinuous, VarRole::kEvent, {}};
+  Variable obj{"latency", VarType::kContinuous, VarRole::kObjective, {}};
+  return {opt, ev, obj};
+}
+
+TEST(TableTest, EmptyTable) {
+  DataTable t(MakeVars());
+  EXPECT_EQ(t.NumVars(), 3u);
+  EXPECT_EQ(t.NumRows(), 0u);
+}
+
+TEST(TableTest, AddAndReadRows) {
+  DataTable t(MakeVars());
+  t.AddRow({1.0, 10.0, 100.0});
+  t.AddRow({2.0, 20.0, 200.0});
+  EXPECT_EQ(t.NumRows(), 2u);
+  EXPECT_EQ(t.At(0, 0), 1.0);
+  EXPECT_EQ(t.At(1, 2), 200.0);
+  EXPECT_EQ(t.Row(1), (std::vector<double>{2.0, 20.0, 200.0}));
+}
+
+TEST(TableTest, SetMutatesCell) {
+  DataTable t(MakeVars());
+  t.AddRow({0.0, 0.0, 0.0});
+  t.Set(0, 1, 42.0);
+  EXPECT_EQ(t.At(0, 1), 42.0);
+}
+
+TEST(TableTest, IndexOfFindsByName) {
+  DataTable t(MakeVars());
+  EXPECT_EQ(t.IndexOf("event").value(), 1u);
+  EXPECT_FALSE(t.IndexOf("missing").has_value());
+}
+
+TEST(TableTest, SelectVarsReorders) {
+  DataTable t(MakeVars());
+  t.AddRow({1.0, 2.0, 3.0});
+  DataTable s = t.SelectVars({2, 0});
+  EXPECT_EQ(s.NumVars(), 2u);
+  EXPECT_EQ(s.Var(0).name, "latency");
+  EXPECT_EQ(s.At(0, 0), 3.0);
+  EXPECT_EQ(s.At(0, 1), 1.0);
+}
+
+TEST(TableTest, SelectRowsSubsets) {
+  DataTable t(MakeVars());
+  for (int i = 0; i < 5; ++i) {
+    t.AddRow({static_cast<double>(i), 0.0, 0.0});
+  }
+  DataTable s = t.SelectRows({4, 1});
+  EXPECT_EQ(s.NumRows(), 2u);
+  EXPECT_EQ(s.At(0, 0), 4.0);
+  EXPECT_EQ(s.At(1, 0), 1.0);
+}
+
+TEST(TableTest, AppendRowsConcatenates) {
+  DataTable a(MakeVars());
+  DataTable b(MakeVars());
+  a.AddRow({1.0, 1.0, 1.0});
+  b.AddRow({2.0, 2.0, 2.0});
+  b.AddRow({3.0, 3.0, 3.0});
+  a.AppendRows(b);
+  EXPECT_EQ(a.NumRows(), 3u);
+  EXPECT_EQ(a.At(2, 0), 3.0);
+}
+
+TEST(TableTest, IndicesWithRole) {
+  DataTable t(MakeVars());
+  EXPECT_EQ(t.IndicesWithRole(VarRole::kOption), (std::vector<size_t>{0}));
+  EXPECT_EQ(t.IndicesWithRole(VarRole::kEvent), (std::vector<size_t>{1}));
+  EXPECT_EQ(t.IndicesWithRole(VarRole::kObjective), (std::vector<size_t>{2}));
+}
+
+TEST(TableTest, VariableIntervenable) {
+  DataTable t(MakeVars());
+  EXPECT_TRUE(t.Var(0).Intervenable());
+  EXPECT_FALSE(t.Var(1).Intervenable());
+}
+
+TEST(TableTest, TypeAndRoleNames) {
+  EXPECT_STREQ(VarTypeName(VarType::kBinary), "binary");
+  EXPECT_STREQ(VarTypeName(VarType::kDiscrete), "discrete");
+  EXPECT_STREQ(VarTypeName(VarType::kContinuous), "continuous");
+  EXPECT_STREQ(VarRoleName(VarRole::kOption), "option");
+  EXPECT_STREQ(VarRoleName(VarRole::kEvent), "event");
+  EXPECT_STREQ(VarRoleName(VarRole::kObjective), "objective");
+}
+
+}  // namespace
+}  // namespace unicorn

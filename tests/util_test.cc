@@ -1,0 +1,70 @@
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/csv.h"
+#include "util/text_table.h"
+
+namespace unicorn {
+namespace {
+
+TEST(CsvTest, EscapePlainFieldUnchanged) { EXPECT_EQ(CsvEscape("hello"), "hello"); }
+
+TEST(CsvTest, EscapeCommaQuotes) { EXPECT_EQ(CsvEscape("a,b"), "\"a,b\""); }
+
+TEST(CsvTest, EscapeEmbeddedQuote) { EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\""); }
+
+TEST(CsvTest, EscapeNewline) { EXPECT_EQ(CsvEscape("a\nb"), "\"a\nb\""); }
+
+TEST(CsvTest, WritesRowsToFile) {
+  const std::string path = "/tmp/unicorn_csv_test.csv";
+  {
+    CsvWriter writer(path);
+    ASSERT_TRUE(writer.ok());
+    writer.WriteRow({"x", "y"});
+    writer.WriteNumericRow({1.5, 2.25});
+  }
+  std::ifstream in(path);
+  std::string line1;
+  std::string line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(line1, "x,y");
+  EXPECT_EQ(line2, "1.5,2.25");
+  std::remove(path.c_str());
+}
+
+TEST(TextTableTest, RendersHeaderAndRows) {
+  TextTable table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"beta", "2"});
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("beta"), std::string::npos);
+}
+
+TEST(TextTableTest, NumericRowFormatting) {
+  TextTable table({"label", "a", "b"});
+  table.AddRow("row", {1.234, 5.678}, 1);
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("1.2"), std::string::npos);
+  EXPECT_NE(out.find("5.7"), std::string::npos);
+}
+
+TEST(TextTableTest, ShortRowsPadded) {
+  TextTable table({"a", "b", "c"});
+  table.AddRow({"only"});
+  EXPECT_NE(table.Render().find("only"), std::string::npos);
+}
+
+TEST(TextTableTest, FormatDoublePrecision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(3.14159, 0), "3");
+  EXPECT_EQ(FormatDouble(-1.5, 1), "-1.5");
+}
+
+}  // namespace
+}  // namespace unicorn
