@@ -41,6 +41,11 @@ DebugOptions BenchDebugOptions() {
   options.model.fci.max_pds_cond_size = 1;
   options.model.entropic.latent.restarts = 1;
   options.model.entropic.latent.iterations = 30;
+  // Threads and the CI cache are exactness-preserving, so the accuracy
+  // tables stay apples-to-apples with a from-scratch relearn. The
+  // approximate warm-start knobs (stale_epsilon) are enabled only where
+  // their effect is what's being measured (table3's incremental study).
+  options.engine.num_threads = 4;
   return options;
 }
 
@@ -134,6 +139,8 @@ std::vector<MethodScore> RunDebugComparison(const DebugExperimentSpec& spec) {
       scores[0].recall += Recall(result.predicted_root_causes, fault.root_causes);
       scores[0].gain += MeanGain(fault, result.fixed_measurement);
       scores[0].samples += static_cast<double>(result.measurements_used);
+      scores[0].ci_tests += static_cast<double>(result.engine_stats.total_tests_requested);
+      scores[0].cache_hit_rate += result.engine_stats.CacheHitRate();
       ++scores[0].faults;
     }
 
@@ -174,6 +181,8 @@ std::vector<MethodScore> RunDebugComparison(const DebugExperimentSpec& spec) {
       score.gain /= n;
       score.seconds /= n;
       score.samples /= n;
+      score.ci_tests /= n;
+      score.cache_hit_rate /= n;
     }
   }
   return scores;

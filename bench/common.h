@@ -31,6 +31,10 @@ struct MethodScore {
   double seconds = 0.0;    // wallclock per fault
   double samples = 0.0;    // measurements per fault
   size_t faults = 0;
+  // Discovery-cost accounting (Unicorn only; from DebugResult::engine_stats):
+  // CI tests requested per fault and the engine's cumulative cache-hit rate.
+  double ci_tests = 0.0;
+  double cache_hit_rate = 0.0;
 };
 
 enum class FaultKind { kLatency, kEnergy, kHeat, kMulti };

@@ -113,6 +113,97 @@ void BM_Discovery242Options(benchmark::State& state) {
 }
 BENCHMARK(BM_Discovery242Options)->Iterations(1);
 
+// Incremental engine vs. from-scratch relearning: a 40-iteration
+// UnicornDebugger::Debug run on the largest seeded system model (SQLite with
+// 242 options and 288 events), once with the stateful engine (warm starts +
+// CI cache + threaded sweep) and once with every iteration relearning from
+// scratch (the seed's behavior: no cache, no warm start, serial sweep).
+// Goals are set near the distribution's floor so neither run terminates
+// early and both execute exactly max_iterations model refreshes.
+void RunIncrementalComparison() {
+  SystemSpec spec;
+  spec.num_events = 288;
+  spec.extended_options = true;
+  auto model = std::make_shared<SystemModel>(BuildSystem(SystemId::kSqlite, spec));
+  std::printf("\n=== Incremental engine vs from-scratch (SQLite %zu opts / %zu events) ===\n",
+              model->OptionIndices().size(), model->EventIndices().size());
+
+  Rng rng(700);
+  const FaultCuration curation =
+      CurateFaults(*model, Xavier(), DefaultWorkload(), 600, &rng, 0.97);
+  const auto faults = bench::SelectFaults(*model, curation, bench::FaultKind::kLatency, 1);
+  if (faults.empty()) {
+    std::printf("(no curated latency fault; skipping)\n");
+    return;
+  }
+  // Near-unreachable goals keep the loop running for all 40 iterations.
+  const auto goals = GoalsForFault(curation, faults[0], 0.02);
+
+  DebugOptions base = bench::BenchDebugOptions();
+  base.max_iterations = 40;
+  base.stall_termination = 1000;
+  base.model.fci.skeleton.alpha = 0.1;
+  base.model.fci.skeleton.max_cond_size = 1;
+  base.model.fci.skeleton.max_subsets = 8;
+  base.model.fci.max_pds_cond_size = 1;
+  base.model.fci.use_possible_dsep = false;  // cap the n^2 stage at this size
+  base.model.entropic.latent.restarts = 1;
+  base.model.entropic.latent.iterations = 20;
+
+  struct LoopCost {
+    double seconds = 0.0;
+    double per_refresh = 0.0;
+  };
+  auto run = [&](const char* label, const DebugOptions& options, uint64_t seed) {
+    const PerformanceTask task = MakeSimulatedTask(model, Xavier(), DefaultWorkload(), seed);
+    UnicornDebugger debugger(task, options);
+    const auto start = Clock::now();
+    DebugResult result = debugger.Debug(faults[0].config, goals);
+    const double seconds = std::chrono::duration<double>(Clock::now() - start).count();
+    const EngineStats& stats = result.engine_stats;
+    std::printf("%-14s %6.2fs end-to-end | %5.2fs discovery | %zu refreshes | "
+                "%lld CI tests requested | %lld evaluated | cache-hit %4.1f%%\n",
+                label, seconds, stats.total_seconds, stats.refreshes,
+                stats.total_tests_requested, stats.total_tests_evaluated,
+                100.0 * stats.CacheHitRate());
+    std::printf("  per-iteration CI tests:");
+    for (size_t i = 0; i < result.tests_per_iteration.size(); ++i) {
+      std::printf(" %lld", result.tests_per_iteration[i]);
+    }
+    std::printf("\n");
+    LoopCost cost;
+    cost.seconds = seconds;
+    cost.per_refresh =
+        stats.refreshes > 0 ? stats.total_seconds / static_cast<double>(stats.refreshes) : 0.0;
+    return cost;
+  };
+
+  DebugOptions scratch = base;
+  scratch.engine = EngineOptions{};  // exact relearn every iteration
+  scratch.engine.use_ci_cache = false;
+  scratch.engine.num_threads = 1;
+
+  DebugOptions incremental = base;
+  incremental.engine.stale_epsilon = 0.05;
+  incremental.engine.full_refresh_every = 8;
+  incremental.engine.num_threads = 4;
+  incremental.engine.use_ci_cache = true;
+
+  const LoopCost t_scratch = run("from-scratch", scratch, 900);
+  // Serial incremental too: the speedup comes from warm starts + caching,
+  // not from threads (which only help further on multicore hosts).
+  DebugOptions incremental_serial = incremental;
+  incremental_serial.engine.num_threads = 1;
+  run("incr-serial", incremental_serial, 900);
+  const LoopCost t_incremental = run("incremental", incremental, 900);
+  std::printf("end-to-end speedup: %.2fx (acceptance target: >= 2x); "
+              "per-refresh discovery: %.3fs -> %.3fs (%.2fx)\n",
+              t_incremental.seconds > 0.0 ? t_scratch.seconds / t_incremental.seconds : 0.0,
+              t_scratch.per_refresh, t_incremental.per_refresh,
+              t_incremental.per_refresh > 0.0 ? t_scratch.per_refresh / t_incremental.per_refresh
+                                              : 0.0);
+}
+
 void RunTable() {
   TextTable table({"scenario", "options", "events", "paths", "queries", "avg degree",
                    "gain%", "discovery(s)", "query eval(s)", "total(s)"});
@@ -153,12 +244,19 @@ void RunTable() {
   std::printf("\n=== Table 3: scalability ===\n%s", table.Render().c_str());
   std::printf("(expected shape: runtime grows polynomially, not exponentially, with\n"
               " options/events, because the learned graphs stay sparse — low degree)\n");
+  RunIncrementalComparison();
 }
 
 }  // namespace
 }  // namespace unicorn
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--incremental-only") {
+      unicorn::RunIncrementalComparison();
+      return 0;
+    }
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   unicorn::RunTable();

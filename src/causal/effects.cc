@@ -14,7 +14,11 @@ CausalEffectEstimator::CausalEffectEstimator(const MixedGraph& graph, const Data
 std::vector<size_t> CausalEffectEstimator::MatchingRows(
     const std::vector<std::pair<size_t, int>>& assignment) const {
   std::vector<size_t> rows;
-  for (size_t r = 0; r < data_.NumRows(); ++r) {
+  // coded_.NumRows(), not data_.NumRows(): the estimator reasons on its
+  // construction-time snapshot, and the active-learning loops append rows to
+  // the live table while still holding the estimator. Rows beyond the
+  // snapshot have no codes.
+  for (size_t r = 0; r < coded_.NumRows(); ++r) {
     bool match = true;
     for (const auto& [v, level] : assignment) {
       if (coded_.Col(v).codes[r] != level) {
@@ -60,7 +64,7 @@ double FractionLeq(const std::vector<double>& col, const std::vector<size_t>& ro
 
 double CausalEffectEstimator::ExpectationDo(
     size_t z, const std::vector<std::pair<size_t, int>>& treatments) const {
-  const size_t n = data_.NumRows();
+  const size_t n = coded_.NumRows();  // snapshot, see MatchingRows
   if (n == 0 || treatments.empty()) {
     return 0.0;
   }
@@ -132,7 +136,7 @@ double CausalEffectEstimator::ExpectationDo(size_t z, size_t x, int x_level) con
 
 double CausalEffectEstimator::ProbabilityLeqDo(
     size_t z, double threshold, const std::vector<std::pair<size_t, int>>& treatments) const {
-  const size_t n = data_.NumRows();
+  const size_t n = coded_.NumRows();  // snapshot, see MatchingRows
   if (n == 0 || treatments.empty()) {
     return 0.0;
   }
@@ -243,12 +247,13 @@ std::vector<RankedPath> CausalEffectEstimator::RankPaths(const std::vector<size_
 
 int CausalEffectEstimator::LevelOf(size_t v, double value) const {
   const auto& col = data_.Col(v);
-  if (col.empty()) {
+  const size_t n = std::min(col.size(), coded_.NumRows());  // snapshot
+  if (n == 0) {
     return 0;
   }
   size_t best = 0;
   double best_dist = std::fabs(col[0] - value);
-  for (size_t r = 1; r < col.size(); ++r) {
+  for (size_t r = 1; r < n; ++r) {
     const double d = std::fabs(col[r] - value);
     if (d < best_dist) {
       best_dist = d;
@@ -262,7 +267,7 @@ double CausalEffectEstimator::ValueOfLevel(size_t v, int level) const {
   std::vector<double> values;
   const auto& col = data_.Col(v);
   const auto& codes = coded_.Col(v).codes;
-  for (size_t r = 0; r < col.size(); ++r) {
+  for (size_t r = 0; r < std::min(col.size(), coded_.NumRows()); ++r) {
     if (codes[r] == level) {
       values.push_back(col[r]);
     }

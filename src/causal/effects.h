@@ -9,6 +9,11 @@
 // Estimation is non-parametric on the discretized sample: strata are the
 // joint parent configurations; empty strata fall back to the unadjusted
 // conditional, and unseen treatment levels fall back to the marginal mean.
+//
+// The estimator reasons on a *snapshot* of the data taken at construction:
+// the active-learning loops keep appending measurements to the live table
+// while still holding an estimator, and rows past the snapshot are ignored
+// until the next model refresh rebuilds it.
 #ifndef UNICORN_CAUSAL_EFFECTS_H_
 #define UNICORN_CAUSAL_EFFECTS_H_
 

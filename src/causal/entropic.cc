@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "stats/entropy.h"
 
@@ -81,10 +82,40 @@ bool CreatesCycle(const MixedGraph& g, size_t from, size_t to) {
 }  // namespace
 
 void ResolveWithEntropy(const DataTable& data, const StructuralConstraints& constraints,
-                        const EntropicOptions& options, Rng* rng, MixedGraph* pag) {
+                        const EntropicOptions& options, Rng* rng, MixedGraph* pag,
+                        const EdgeDecisionMap* reuse, EdgeDecisionMap* decisions_out) {
   const size_t n = pag->NumNodes();
-  const CodedTable coded(data, options.max_bins);
   const auto& roles = constraints.roles();
+
+  // Columns are discretized on first use: a warm refresh that reuses every
+  // pair decision never pays for coding the table at all.
+  std::vector<std::unique_ptr<CodedColumn>> coded(data.NumVars());
+  auto col = [&](size_t v) -> const CodedColumn& {
+    if (coded[v] == nullptr) {
+      coded[v] = std::make_unique<CodedColumn>(
+          DiscretizeColumn(data.Col(v), data.Var(v).type, options.max_bins));
+    }
+    return *coded[v];
+  };
+
+  // Decision for the pair, from the reuse map when offered, computed fresh
+  // otherwise; always recorded for the next refresh.
+  auto decide = [&](size_t a, size_t b) {
+    if (reuse != nullptr) {
+      auto it = reuse->find({a, b});
+      if (it != reuse->end()) {
+        if (decisions_out != nullptr) {
+          (*decisions_out)[{a, b}] = it->second;
+        }
+        return it->second;
+      }
+    }
+    const EdgeDecision d = DecideEdgeDirection(col(a), col(b), options, rng);
+    if (decisions_out != nullptr) {
+      (*decisions_out)[{a, b}] = d;
+    }
+    return d;
+  };
 
   for (size_t a = 0; a < n; ++a) {
     for (size_t b = a + 1; b < n; ++b) {
@@ -98,7 +129,7 @@ void ResolveWithEntropy(const DataTable& data, const StructuralConstraints& cons
         // directed edge chosen entropically (tail-tail is not a valid ADMG
         // edge and can only arise from degenerate rule interactions).
         if (at_a == Mark::kTail && at_b == Mark::kTail) {
-          const EdgeDecision d = DecideEdgeDirection(coded.Col(a), coded.Col(b), options, rng);
+          const EdgeDecision d = decide(a, b);
           const bool fwd_allowed =
               roles[b] != VarRole::kOption && roles[a] != VarRole::kObjective;
           const bool bwd_allowed =
@@ -126,7 +157,7 @@ void ResolveWithEntropy(const DataTable& data, const StructuralConstraints& cons
       const bool backward_ok = (at_a == Mark::kCircle || at_a == Mark::kArrow) &&
                                roles[a] != VarRole::kOption && roles[b] != VarRole::kObjective;
 
-      const EdgeDecision d = DecideEdgeDirection(coded.Col(a), coded.Col(b), options, rng);
+      const EdgeDecision d = decide(a, b);
 
       if (d.latent_found && a_can_be_head && b_can_be_head) {
         pag->AddBidirected(a, b);

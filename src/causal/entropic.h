@@ -14,6 +14,9 @@
 #ifndef UNICORN_CAUSAL_ENTROPIC_H_
 #define UNICORN_CAUSAL_ENTROPIC_H_
 
+#include <map>
+#include <utility>
+
 #include "causal/constraints.h"
 #include "causal/latent_search.h"
 #include "graph/mixed_graph.h"
@@ -40,11 +43,22 @@ struct EdgeDecision {
 EdgeDecision DecideEdgeDirection(const CodedColumn& x, const CodedColumn& y,
                                  const EntropicOptions& options, Rng* rng);
 
+// Per-pair entropic decisions keyed by unordered pair (first < second).
+using EdgeDecisionMap = std::map<std::pair<size_t, size_t>, EdgeDecision>;
+
 // Resolves all circle marks of `pag` in place, producing an ADMG. Respects
 // already-oriented marks and the structural constraints; never introduces a
 // directed cycle.
+//
+// `reuse` (optional) supplies previously computed per-pair decisions; pairs
+// found there skip the LatentSearch + coupling computation — the engine
+// passes the decisions of its last refresh for pairs whose statistics did
+// not change materially. `decisions_out` (optional) collects this run's
+// decision for every resolved pair so the next refresh can reuse them.
 void ResolveWithEntropy(const DataTable& data, const StructuralConstraints& constraints,
-                        const EntropicOptions& options, Rng* rng, MixedGraph* pag);
+                        const EntropicOptions& options, Rng* rng, MixedGraph* pag,
+                        const EdgeDecisionMap* reuse = nullptr,
+                        EdgeDecisionMap* decisions_out = nullptr);
 
 // Entropy of the exogenous noise for the model x -> y, via greedy
 // minimum-entropy coupling of the conditional rows P(y | x). Exposed for

@@ -281,10 +281,10 @@ size_t ApplyOrientationRules(const SepsetMap& sepsets, MixedGraph* g) {
 }
 
 FciResult RunFci(const CITest& test, const StructuralConstraints& constraints, size_t num_vars,
-                 const FciOptions& options) {
+                 const FciOptions& options, const SkeletonWarmStart& warm, ThreadPool* pool) {
+  const long long calls_at_entry = test.calls;
   FciResult result;
-  SkeletonResult skel = LearnSkeleton(test, constraints, num_vars, options.skeleton);
-  result.tests_performed = skel.tests_performed;
+  SkeletonResult skel = LearnSkeleton(test, constraints, num_vars, options.skeleton, warm, pool);
   result.sepsets = std::move(skel.sepsets);
   MixedGraph& g = skel.graph;
 
@@ -295,13 +295,23 @@ FciResult RunFci(const CITest& test, const StructuralConstraints& constraints, s
     // Possible-D-SEP pruning: retest every remaining edge against subsets of
     // pds(x) \ {x, y}; remove on independence.
     const size_t n = num_vars;
+    const bool warm_active = warm.Active();
     for (size_t x = 0; x < n; ++x) {
       const auto adj = g.Adjacent(x);
+      // PossibleDSep depends only on the graph, which changes only on edge
+      // removal: compute it once per x and refresh after removals instead of
+      // re-running the O(n^2) BFS for every neighbor.
+      std::vector<size_t> pds_base = PossibleDSep(g, x);
       for (size_t y : adj) {
         if (!g.HasEdge(x, y) || constraints.EdgeRequired(x, y)) {
           continue;
         }
-        std::vector<size_t> pds = PossibleDSep(g, x);
+        if (warm_active && !warm.Dirty(x, y, num_vars)) {
+          // Clean pair: its adoption already reflects the previous refresh's
+          // Possible-D-SEP pruning; re-testing it would be redundant.
+          continue;
+        }
+        std::vector<size_t> pds = pds_base;
         pds.erase(std::remove_if(pds.begin(), pds.end(),
                                  [&](size_t v) {
                                    return v == y ||
@@ -313,7 +323,6 @@ FciResult RunFci(const CITest& test, const StructuralConstraints& constraints, s
           for (const auto& subset :
                Subsets(pds, static_cast<size_t>(d), options.max_pds_subsets)) {
             std::vector<int> s(subset.begin(), subset.end());
-            ++result.tests_performed;
             if (test.Independent(static_cast<int>(x), static_cast<int>(y), s,
                                  options.skeleton.alpha)) {
               g.RemoveEdge(x, y);
@@ -322,6 +331,9 @@ FciResult RunFci(const CITest& test, const StructuralConstraints& constraints, s
               break;
             }
           }
+        }
+        if (removed) {
+          pds_base = PossibleDSep(g, x);  // graph changed; refresh for later y
         }
       }
     }
@@ -341,6 +353,7 @@ FciResult RunFci(const CITest& test, const StructuralConstraints& constraints, s
   ApplyOrientationRules(result.sepsets, &g);
   constraints.ApplyOrientations(&g);
 
+  result.tests_performed = test.calls - calls_at_entry;
   result.pag = std::move(g);
   return result;
 }

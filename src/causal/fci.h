@@ -28,11 +28,18 @@ struct FciOptions {
 struct FciResult {
   MixedGraph pag;
   SepsetMap sepsets;
+  // CI tests requested across the skeleton and Possible-D-SEP phases,
+  // derived from CITest::calls (single source of truth for test accounting).
   long long tests_performed = 0;
 };
 
+// `warm` (see skeleton.h) restricts both the skeleton sweep and the
+// Possible-D-SEP re-tests to pairs whose statistics changed since the
+// engine's previous refresh; clean pairs keep their previous adjacency.
+// `pool` optionally supplies worker threads for the skeleton sweep.
 FciResult RunFci(const CITest& test, const StructuralConstraints& constraints, size_t num_vars,
-                 const FciOptions& options = {});
+                 const FciOptions& options = {}, const SkeletonWarmStart& warm = {},
+                 ThreadPool* pool = nullptr);
 
 // Exposed for tests --------------------------------------------------------
 

@@ -1,6 +1,7 @@
 #include "causal/skeleton.h"
 
 #include <algorithm>
+#include <memory>
 
 namespace unicorn {
 
@@ -63,17 +64,83 @@ std::vector<std::vector<size_t>> Subsets(const std::vector<size_t>& pool, size_t
   return out;
 }
 
+namespace {
+
+// Outcome of examining one (x, y) pair at one conditioning-set size.
+struct PairOutcome {
+  bool tested = false;   // some conditioning pool was large enough
+  bool removed = false;
+  std::vector<size_t> sepset;
+};
+
+// The per-pair body of the PC-stable level sweep. Reads only the frozen
+// adjacency and the (thread-safe) CI test, so pairs can run concurrently and
+// the outcome is independent of sweep order.
+PairOutcome ExaminePair(const CITest& test, const StructuralConstraints& constraints,
+                        const std::vector<std::vector<size_t>>& adj, size_t x, size_t y,
+                        int d, const SkeletonOptions& options) {
+  PairOutcome out;
+  // Candidate conditioning variables: adj(x)\{y} and adj(y)\{x}.
+  for (int side = 0; side < 2; ++side) {
+    const size_t from = side == 0 ? x : y;
+    const size_t other = side == 0 ? y : x;
+    // Objectives are sinks (structural constraint): conditioning on a
+    // pure sink can only open collider paths, never block one, and
+    // near-deterministic objectives otherwise destroy true edges.
+    std::vector<size_t> pool;
+    for (size_t v : adj[from]) {
+      if (v != other && constraints.roles()[v] != VarRole::kObjective) {
+        pool.push_back(v);
+      }
+    }
+    if (pool.size() < static_cast<size_t>(d)) {
+      continue;
+    }
+    out.tested = true;
+    for (const auto& subset : Subsets(pool, static_cast<size_t>(d), options.max_subsets)) {
+      std::vector<int> s(subset.begin(), subset.end());
+      if (test.Independent(static_cast<int>(x), static_cast<int>(y), s, options.alpha)) {
+        out.removed = true;
+        out.sepset = subset;
+        return out;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 SkeletonResult LearnSkeleton(const CITest& test, const StructuralConstraints& constraints,
-                             size_t num_vars, const SkeletonOptions& options) {
+                             size_t num_vars, const SkeletonOptions& options,
+                             const SkeletonWarmStart& warm, ThreadPool* pool) {
+  const long long calls_at_entry = test.calls;
   SkeletonResult result;
   result.graph = MixedGraph(num_vars);
   MixedGraph& g = result.graph;
+  const bool warm_active = warm.Active();
   for (size_t a = 0; a < num_vars; ++a) {
     for (size_t b = a + 1; b < num_vars; ++b) {
-      if (constraints.EdgeAllowed(a, b)) {
-        g.AddCircleCircle(a, b);
+      if (!constraints.EdgeAllowed(a, b)) {
+        continue;
       }
+      if (warm_active && !warm.Dirty(a, b, num_vars)) {
+        // Clean pair: adopt the previous refresh's decision verbatim.
+        if (warm.graph->HasEdge(a, b)) {
+          g.AddCircleCircle(a, b);
+        } else if (const auto* s = warm.sepsets->Get(a, b)) {
+          result.sepsets.Set(a, b, *s);
+        }
+        continue;
+      }
+      g.AddCircleCircle(a, b);
     }
+  }
+
+  std::unique_ptr<ThreadPool> local_pool;
+  if (pool == nullptr && options.num_threads > 1) {
+    local_pool = std::make_unique<ThreadPool>(options.num_threads);
+    pool = local_pool.get();
   }
 
   for (int d = 0; d <= options.max_cond_size; ++d) {
@@ -83,7 +150,9 @@ SkeletonResult LearnSkeleton(const CITest& test, const StructuralConstraints& co
     for (size_t v = 0; v < num_vars; ++v) {
       adj[v] = g.Adjacent(v);
     }
-    bool any_tested = false;
+    // Work list in deterministic pair order; warm starts only sweep pairs
+    // whose statistics changed.
+    std::vector<std::pair<size_t, size_t>> pairs;
     for (size_t x = 0; x < num_vars; ++x) {
       for (size_t y : adj[x]) {
         if (y <= x || !g.HasEdge(x, y)) {
@@ -92,44 +161,41 @@ SkeletonResult LearnSkeleton(const CITest& test, const StructuralConstraints& co
         if (constraints.EdgeRequired(x, y)) {
           continue;  // domain knowledge: never test this edge away
         }
-        // Candidate conditioning variables: adj(x)\{y} and adj(y)\{x}.
-        for (int side = 0; side < 2; ++side) {
-          const size_t from = side == 0 ? x : y;
-          const size_t other = side == 0 ? y : x;
-          // Objectives are sinks (structural constraint): conditioning on a
-          // pure sink can only open collider paths, never block one, and
-          // near-deterministic objectives otherwise destroy true edges.
-          std::vector<size_t> pool;
-          for (size_t v : adj[from]) {
-            if (v != other && constraints.roles()[v] != VarRole::kObjective) {
-              pool.push_back(v);
-            }
-          }
-          if (pool.size() < static_cast<size_t>(d)) {
-            continue;
-          }
-          any_tested = true;
-          bool removed = false;
-          for (const auto& subset : Subsets(pool, static_cast<size_t>(d), options.max_subsets)) {
-            std::vector<int> s(subset.begin(), subset.end());
-            ++result.tests_performed;
-            if (test.Independent(static_cast<int>(x), static_cast<int>(y), s, options.alpha)) {
-              g.RemoveEdge(x, y);
-              result.sepsets.Set(x, y, subset);
-              removed = true;
-              break;
-            }
-          }
-          if (removed) {
-            break;
-          }
+        if (warm_active && !warm.Dirty(x, y, num_vars)) {
+          continue;
         }
+        pairs.push_back({x, y});
+      }
+    }
+
+    std::vector<PairOutcome> outcomes(pairs.size());
+    auto body = [&](size_t i) {
+      outcomes[i] =
+          ExaminePair(test, constraints, adj, pairs[i].first, pairs[i].second, d, options);
+    };
+    if (pool != nullptr && pairs.size() > 1) {
+      pool->ParallelFor(pairs.size(), body);
+    } else {
+      for (size_t i = 0; i < pairs.size(); ++i) {
+        body(i);
+      }
+    }
+
+    // Deterministic merge: same-level pairs are independent under PC-stable,
+    // so applying the removals in pair order reproduces the serial result.
+    bool any_tested = false;
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      any_tested |= outcomes[i].tested;
+      if (outcomes[i].removed) {
+        g.RemoveEdge(pairs[i].first, pairs[i].second);
+        result.sepsets.Set(pairs[i].first, pairs[i].second, outcomes[i].sepset);
       }
     }
     if (!any_tested && d > 0) {
       break;
     }
   }
+  result.tests_performed = test.calls - calls_at_entry;
   return result;
 }
 

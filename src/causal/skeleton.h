@@ -4,6 +4,15 @@
 // structural constraints, then for growing conditioning-set sizes remove the
 // edge (x, y) whenever x ⊥ y | S for some S drawn from the current adjacency
 // of x or y. The separating sets feed the v-structure orientation in FCI.
+//
+// Two engine-oriented extensions over the textbook algorithm:
+//   * The per-level edge sweep can run on a thread pool. PC-stable freezes
+//     adjacency within a level, so same-level pairs are independent; per-pair
+//     outcomes are merged in deterministic pair order and the result is
+//     bit-identical to the serial sweep for any thread count.
+//   * A warm start adopts the previous refresh's decision (edge present or
+//     absent + separating set) for every pair whose endpoint statistics did
+//     not change materially, and re-tests only the dirty pairs.
 #ifndef UNICORN_CAUSAL_SKELETON_H_
 #define UNICORN_CAUSAL_SKELETON_H_
 
@@ -14,6 +23,7 @@
 #include "causal/constraints.h"
 #include "graph/mixed_graph.h"
 #include "stats/independence.h"
+#include "util/thread_pool.h"
 
 namespace unicorn {
 
@@ -33,16 +43,42 @@ struct SkeletonOptions {
   double alpha = 0.05;      // independence-test significance level
   int max_cond_size = 3;    // largest conditioning set tried
   size_t max_subsets = 64;  // cap on subsets tested per (pair, size)
+  int num_threads = 1;      // workers for the per-level edge sweep
+};
+
+// Warm-start state from the engine's previous model refresh. All three
+// pointers must be set for the warm start to be active; `pair_dirty` is
+// indexed a * num_vars + b (a < b) and marks pairs that must be re-tested.
+// Clean pairs adopt the previous adjacency decision and separating set
+// without issuing any CI test.
+struct SkeletonWarmStart {
+  const MixedGraph* graph = nullptr;      // previous final adjacency
+  const SepsetMap* sepsets = nullptr;     // previous separating sets
+  const std::vector<char>* pair_dirty = nullptr;
+
+  bool Active() const {
+    return graph != nullptr && sepsets != nullptr && pair_dirty != nullptr;
+  }
+  bool Dirty(size_t a, size_t b, size_t num_vars) const {
+    if (a > b) {
+      std::swap(a, b);
+    }
+    return (*pair_dirty)[a * num_vars + b] != 0;
+  }
 };
 
 struct SkeletonResult {
   MixedGraph graph;  // all present edges carry circle-circle marks
   SepsetMap sepsets;
+  // CI tests requested during the search (derived from CITest::calls, so it
+  // can never disagree with the test's own accounting).
   long long tests_performed = 0;
 };
 
+// `pool` may be null; with options.num_threads > 1 a local pool is created.
 SkeletonResult LearnSkeleton(const CITest& test, const StructuralConstraints& constraints,
-                             size_t num_vars, const SkeletonOptions& options = {});
+                             size_t num_vars, const SkeletonOptions& options = {},
+                             const SkeletonWarmStart& warm = {}, ThreadPool* pool = nullptr);
 
 // Enumerates up to `max_subsets` size-k subsets of `pool` (lexicographic).
 std::vector<std::vector<size_t>> Subsets(const std::vector<size_t>& pool, size_t k,

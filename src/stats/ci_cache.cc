@@ -1,0 +1,95 @@
+#include "stats/ci_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace unicorn {
+
+CICache::Key CICache::MakeKey(int x, int y, const std::vector<int>& s, uint64_t n_rows) {
+  Key key;
+  key.x = std::min(x, y);
+  key.y = std::max(x, y);
+  key.n_rows = n_rows;
+  key.s_size = static_cast<uint32_t>(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    key.s[i] = s[i];
+  }
+  // Insertion sort: conditioning sets are tiny (<= kMaxConditioning) and
+  // usually already sorted, so this is a handful of compares.
+  for (uint32_t i = 1; i < key.s_size; ++i) {
+    const int32_t v = key.s[i];
+    uint32_t j = i;
+    while (j > 0 && key.s[j - 1] > v) {
+      key.s[j] = key.s[j - 1];
+      --j;
+    }
+    key.s[j] = v;
+  }
+  return key;
+}
+
+size_t CICache::KeyHash::operator()(const Key& k) const {
+  // FNV-style mix over the key fields.
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  mix(static_cast<uint64_t>(static_cast<uint32_t>(k.x)) |
+      (static_cast<uint64_t>(static_cast<uint32_t>(k.y)) << 32));
+  mix(k.n_rows);
+  mix(k.s_size);
+  for (uint32_t i = 0; i < k.s_size; ++i) {
+    mix(static_cast<uint64_t>(static_cast<uint32_t>(k.s[i])) + 0x9e3779b97f4a7c15ULL);
+  }
+  return static_cast<size_t>(h);
+}
+
+std::optional<double> CICache::Lookup(const Key& key) {
+  ++lookups_;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void CICache::Store(const Key& key, double p_value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.emplace(key, p_value);
+}
+
+size_t CICache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+void CICache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+}
+
+void CICache::ResetCounters() {
+  hits_ = 0;
+  lookups_ = 0;
+}
+
+double CachedCITest::PValue(int x, int y, const std::vector<int>& s) const {
+  ++calls;
+  if (cache_ == nullptr || !CICache::Cacheable(s)) {
+    return inner_.PValue(x, y, s);
+  }
+  const CICache::Key key = CICache::MakeKey(x, y, s, n_rows_);
+  if (const auto cached = cache_->Lookup(key)) {
+    return *cached;
+  }
+  // Concurrent misses on the same key may both evaluate; the test is
+  // deterministic, so both store the same value.
+  const double p = inner_.PValue(x, y, s);
+  cache_->Store(key, p);
+  return p;
+}
+
+}  // namespace unicorn

@@ -1,0 +1,98 @@
+// Memoization of conditional-independence test results.
+//
+// One iteration of the Unicorn loop issues thousands of CI tests, and the
+// skeleton search, the Possible-D-SEP pruning, and warm-started refreshes ask
+// for many (x, y | S) combinations repeatedly. The cache keys a p-value on
+// the unordered pair, the sorted conditioning set, and the number of rows the
+// test saw: data tables are append-only, so equal row counts imply the exact
+// same data and the cached value is bit-identical to a fresh evaluation.
+#ifndef UNICORN_STATS_CI_CACHE_H_
+#define UNICORN_STATS_CI_CACHE_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "stats/independence.h"
+
+namespace unicorn {
+
+class CICache {
+ public:
+  // Conditioning sets larger than this are not cached (a size-9 set is
+  // effectively never requested twice anyway).
+  static constexpr size_t kMaxConditioning = 8;
+
+  // Plain-old-data key: no heap allocation on the lookup fast path. The hot
+  // loop issues millions of lookups, so key construction must cost nothing
+  // beyond a few register moves.
+  struct Key {
+    int32_t x = 0;  // stored with x <= y
+    int32_t y = 0;
+    uint64_t n_rows = 0;
+    uint32_t s_size = 0;
+    std::array<int32_t, kMaxConditioning> s{};  // sorted; first s_size valid
+
+    bool operator==(const Key& o) const {
+      if (x != o.x || y != o.y || n_rows != o.n_rows || s_size != o.s_size) {
+        return false;
+      }
+      for (uint32_t i = 0; i < s_size; ++i) {
+        if (s[i] != o.s[i]) {
+          return false;
+        }
+      }
+      return true;
+    }
+  };
+
+  // Canonical key: unordered pair + sorted conditioning set. `Cacheable`
+  // must be checked first; MakeKey assumes s fits.
+  static bool Cacheable(const std::vector<int>& s) { return s.size() <= kMaxConditioning; }
+  static Key MakeKey(int x, int y, const std::vector<int>& s, uint64_t n_rows);
+
+  std::optional<double> Lookup(const Key& key);
+  void Store(const Key& key, double p_value);
+
+  long long hits() const { return hits_.load(); }
+  long long lookups() const { return lookups_.load(); }
+  size_t size() const;
+  void Clear();
+  void ResetCounters();
+
+ private:
+  struct KeyHash {
+    size_t operator()(const Key& k) const;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<Key, double, KeyHash> map_;
+  std::atomic<long long> hits_{0};
+  std::atomic<long long> lookups_{0};
+};
+
+// CITest decorator that consults a (shared) CICache before delegating.
+// `calls` on this object counts requested tests (hits + misses); `calls` on
+// the inner test counts the p-values actually evaluated.
+class CachedCITest : public CITest {
+ public:
+  CachedCITest(const CITest& inner, CICache* cache, uint64_t n_rows)
+      : inner_(inner), cache_(cache), n_rows_(n_rows) {}
+
+  double PValue(int x, int y, const std::vector<int>& s) const override;
+
+  const CITest& inner() const { return inner_; }
+
+ private:
+  const CITest& inner_;
+  CICache* cache_;
+  uint64_t n_rows_;
+};
+
+}  // namespace unicorn
+
+#endif  // UNICORN_STATS_CI_CACHE_H_

@@ -60,6 +60,63 @@ double SpearmanCorrelation(const std::vector<double>& a, const std::vector<doubl
   return PearsonCorrelation(MidRanks(a), MidRanks(b));
 }
 
+StreamingMoments::StreamingMoments(size_t num_vars)
+    : num_vars_(num_vars),
+      sum_(num_vars, 0.0),
+      cross_(num_vars * (num_vars + 1) / 2, 0.0) {}
+
+size_t StreamingMoments::TriIndex(size_t a, size_t b) const {
+  if (a > b) {
+    std::swap(a, b);
+  }
+  return a * num_vars_ - a * (a - 1) / 2 + (b - a);
+}
+
+void StreamingMoments::AddRow(const std::vector<double>& row) {
+  if (n_ == 0) {
+    offset_ = row;  // shift origin to the first row (see header)
+  }
+  for (size_t a = 0; a < num_vars_; ++a) {
+    const double va = row[a] - offset_[a];
+    sum_[a] += va;
+    double* cross = &cross_[TriIndex(a, a)];
+    for (size_t b = a; b < num_vars_; ++b) {
+      cross[b - a] += va * (row[b] - offset_[b]);
+    }
+  }
+  ++n_;
+}
+
+double StreamingMoments::Mean(size_t v) const {
+  return n_ == 0 ? 0.0 : offset_[v] + sum_[v] / static_cast<double>(n_);
+}
+
+double StreamingMoments::Variance(size_t v) const {
+  if (n_ == 0) {
+    return 0.0;
+  }
+  const double shifted_mean = sum_[v] / static_cast<double>(n_);
+  const double var =
+      cross_[TriIndex(v, v)] / static_cast<double>(n_) - shifted_mean * shifted_mean;
+  return var > 0.0 ? var : 0.0;
+}
+
+double StreamingMoments::Pearson(size_t a, size_t b) const {
+  if (n_ < 2) {
+    return 0.0;
+  }
+  const double ma = sum_[a] / static_cast<double>(n_);
+  const double mb = sum_[b] / static_cast<double>(n_);
+  const double cov = cross_[TriIndex(a, b)] / static_cast<double>(n_) - ma * mb;
+  const double va = Variance(a);
+  const double vb = Variance(b);
+  if (va <= 1e-15 || vb <= 1e-15) {
+    return 0.0;
+  }
+  double r = cov / std::sqrt(va * vb);
+  return std::max(-1.0, std::min(1.0, r));
+}
+
 double Mape(const std::vector<double>& truth, const std::vector<double>& pred, double eps) {
   const size_t n = std::min(truth.size(), pred.size());
   double total = 0.0;

@@ -1,8 +1,10 @@
 // Rank and linear correlation helpers used by the transferability analyses
-// (Fig. 4: Spearman rank correlation between source/target model terms).
+// (Fig. 4: Spearman rank correlation between source/target model terms) and
+// the incremental statistics of the causal-model engine.
 #ifndef UNICORN_STATS_CORRELATION_H_
 #define UNICORN_STATS_CORRELATION_H_
 
+#include <cstddef>
 #include <vector>
 
 namespace unicorn {
@@ -20,6 +22,43 @@ std::vector<double> MidRanks(const std::vector<double>& v);
 // Entries with |truth| < eps are skipped.
 double Mape(const std::vector<double>& truth, const std::vector<double>& pred,
             double eps = 1e-9);
+
+// Streaming first and second moments over a fixed set of variables.
+//
+// AddRow is a rank-1 update of the per-variable sums and the pairwise
+// cross-moment matrix, so appending measurements never rebuilds anything.
+// The causal-model engine uses the implied Pearson correlations to decide
+// which variables' statistics "changed materially" since the last model
+// refresh (paper §4 Stage IV, incremental update).
+class StreamingMoments {
+ public:
+  explicit StreamingMoments(size_t num_vars = 0);
+
+  void AddRow(const std::vector<double>& row);
+
+  size_t NumVars() const { return num_vars_; }
+  size_t NumRows() const { return n_; }
+
+  double Mean(size_t v) const;
+  double Variance(size_t v) const;  // population variance
+
+  // Pearson correlation of (a, b) from the streaming moments; 0 when
+  // degenerate or fewer than two rows.
+  double Pearson(size_t a, size_t b) const;
+
+ private:
+  size_t TriIndex(size_t a, size_t b) const;  // upper triangle incl. diagonal
+
+  size_t num_vars_ = 0;
+  size_t n_ = 0;
+  // Moments accumulate on values shifted by the first observed row: E[x^2]
+  // minus mean^2 on raw values cancels catastrophically for large-offset,
+  // low-relative-variance columns (saturated counters), and the dirty-pair
+  // detection built on these correlations would go blind there.
+  std::vector<double> offset_;
+  std::vector<double> sum_;
+  std::vector<double> cross_;  // flattened upper-triangular sum of products
+};
 
 }  // namespace unicorn
 

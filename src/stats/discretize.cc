@@ -78,29 +78,37 @@ CodedTable::CodedTable(const DataTable& table, int max_bins) : num_rows_(table.N
   }
 }
 
-CodedColumn CodedTable::Strata(const std::vector<int>& vars) const {
+CodedColumn CombineStrata(const std::vector<const CodedColumn*>& cols, size_t num_rows) {
   CodedColumn out;
-  out.codes.assign(num_rows_, 0);
-  if (vars.empty()) {
-    out.cardinality = num_rows_ == 0 ? 0 : 1;
+  out.codes.assign(num_rows, 0);
+  if (cols.empty()) {
+    out.cardinality = num_rows == 0 ? 0 : 1;
     return out;
   }
   // Build combined keys, then compress them to dense codes.
-  std::vector<long long> keys(num_rows_, 0);
-  for (int v : vars) {
-    const CodedColumn& c = columns_[static_cast<size_t>(v)];
-    const long long card = std::max(1, c.cardinality);
-    for (size_t r = 0; r < num_rows_; ++r) {
-      keys[r] = keys[r] * card + c.codes[r];
+  std::vector<long long> keys(num_rows, 0);
+  for (const CodedColumn* c : cols) {
+    const long long card = std::max(1, c->cardinality);
+    for (size_t r = 0; r < num_rows; ++r) {
+      keys[r] = keys[r] * card + c->codes[r];
     }
   }
   std::map<long long, int> dense;
-  for (size_t r = 0; r < num_rows_; ++r) {
+  for (size_t r = 0; r < num_rows; ++r) {
     auto [it, inserted] = dense.emplace(keys[r], static_cast<int>(dense.size()));
     out.codes[r] = it->second;
   }
   out.cardinality = static_cast<int>(dense.size());
   return out;
+}
+
+CodedColumn CodedTable::Strata(const std::vector<int>& vars) const {
+  std::vector<const CodedColumn*> cols;
+  cols.reserve(vars.size());
+  for (int v : vars) {
+    cols.push_back(&columns_[static_cast<size_t>(v)]);
+  }
+  return CombineStrata(cols, num_rows_);
 }
 
 }  // namespace unicorn

@@ -22,6 +22,12 @@ struct CodedColumn {
 // `max_bins` quantile bins (fewer if the data has few distinct values).
 CodedColumn DiscretizeColumn(const std::vector<double>& col, VarType type, int max_bins);
 
+// Combines several coded columns into one stratum id per row (mixed-radix
+// key, then dense renumbering). All callers that stratify — CodedTable and
+// the G-square test's memoized strata — share this one implementation so the
+// codes stay bit-identical. Every column must have at least `num_rows` codes.
+CodedColumn CombineStrata(const std::vector<const CodedColumn*>& cols, size_t num_rows);
+
 // Discretized view of a whole table.
 class CodedTable {
  public:

@@ -1,6 +1,8 @@
 #include "stats/independence.h"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "stats/correlation.h"
 #include "stats/entropy.h"
@@ -8,63 +10,72 @@
 #include "stats/special.h"
 
 namespace unicorn {
-namespace {
 
-// Pearson correlation between two columns.
-double Pearson(const std::vector<double>& a, const std::vector<double>& b) {
-  const size_t n = a.size();
-  if (n < 2) {
-    return 0.0;
-  }
-  double ma = 0.0;
-  double mb = 0.0;
-  for (size_t i = 0; i < n; ++i) {
-    ma += a[i];
-    mb += b[i];
-  }
-  ma /= n;
-  mb /= n;
-  double saa = 0.0;
-  double sbb = 0.0;
-  double sab = 0.0;
-  for (size_t i = 0; i < n; ++i) {
-    const double da = a[i] - ma;
-    const double db = b[i] - mb;
-    saa += da * da;
-    sbb += db * db;
-    sab += da * db;
-  }
-  if (saa <= 0.0 || sbb <= 0.0) {
-    return 0.0;
-  }
-  return sab / std::sqrt(saa * sbb);
-}
+// --- FisherZTest ------------------------------------------------------------
 
-}  // namespace
+FisherZTest::FisherZTest(const DataTable& table) { Update(table); }
 
-FisherZTest::FisherZTest(const DataTable& table) : n_(table.NumRows()) {
+void FisherZTest::Update(const DataTable& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  n_ = table.NumRows();
+  num_vars_ = table.NumVars();
   // Work on mid-ranks (Spearman-style): performance data has heavy-tailed
   // objectives (fault cliffs) and monotone nonlinearities (saturation), both
   // of which break plain Pearson correlations but leave ranks intact.
-  std::vector<std::vector<double>> ranked(table.NumVars());
-  for (size_t i = 0; i < table.NumVars(); ++i) {
-    ranked[i] = MidRanks(table.Col(i));
+  centered_.assign(num_vars_, {});
+  norm_.assign(num_vars_, 0.0);
+  for (size_t v = 0; v < num_vars_; ++v) {
+    std::vector<double> ranks = MidRanks(table.Col(v));
+    double mean = 0.0;
+    for (double r : ranks) {
+      mean += r;
+    }
+    mean = ranks.empty() ? 0.0 : mean / static_cast<double>(ranks.size());
+    double ss = 0.0;
+    for (double& r : ranks) {
+      r -= mean;
+      ss += r * r;
+    }
+    centered_[v] = std::move(ranks);
+    norm_[v] = std::sqrt(ss);
   }
-  const size_t v = table.NumVars();
-  corr_.assign(v, std::vector<double>(v, 0.0));
-  for (size_t i = 0; i < v; ++i) {
-    corr_[i][i] = 1.0;
-    for (size_t j = i + 1; j < v; ++j) {
-      const double r = Pearson(ranked[i], ranked[j]);
-      corr_[i][j] = r;
-      corr_[j][i] = r;
+  corr_.assign(num_vars_ * num_vars_, std::numeric_limits<double>::quiet_NaN());
+}
+
+double FisherZTest::Correlation(size_t a, size_t b) const {
+  if (a == b) {
+    return 1.0;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const double memo = corr_[a * num_vars_ + b];
+    if (!std::isnan(memo)) {
+      return memo;
     }
   }
+  // Compute outside the lock so parallel sweep workers do not serialize on
+  // the O(n) dot product; concurrent misses compute the same deterministic
+  // value and both stores are identical (same policy as the CI cache).
+  double r = 0.0;
+  if (n_ >= 2 && norm_[a] > 0.0 && norm_[b] > 0.0) {
+    const std::vector<double>& ca = centered_[a];
+    const std::vector<double>& cb = centered_[b];
+    double dot = 0.0;
+    for (size_t i = 0; i < n_; ++i) {
+      dot += ca[i] * cb[i];
+    }
+    r = dot / (norm_[a] * norm_[b]);
+    r = std::max(-1.0, std::min(1.0, r));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  corr_[a * num_vars_ + b] = r;
+  corr_[b * num_vars_ + a] = r;
+  return r;
 }
 
 double FisherZTest::PartialCorrelation(int x, int y, const std::vector<int>& s) const {
   if (s.empty()) {
-    return corr_[static_cast<size_t>(x)][static_cast<size_t>(y)];
+    return Correlation(static_cast<size_t>(x), static_cast<size_t>(y));
   }
   // Partial correlation via regression residuals in correlation space:
   // solve Css * bx = Csx and Css * by = Csy, then
@@ -75,19 +86,19 @@ double FisherZTest::PartialCorrelation(int x, int y, const std::vector<int>& s) 
   std::vector<double> csy(k);
   for (size_t i = 0; i < k; ++i) {
     for (size_t j = 0; j < k; ++j) {
-      css[i][j] = corr_[static_cast<size_t>(s[i])][static_cast<size_t>(s[j])];
+      css[i][j] = Correlation(static_cast<size_t>(s[i]), static_cast<size_t>(s[j]));
     }
     // Tiny ridge keeps near-duplicate conditioning variables solvable.
     css[i][i] += 1e-9;
-    csx[i] = corr_[static_cast<size_t>(s[i])][static_cast<size_t>(x)];
-    csy[i] = corr_[static_cast<size_t>(s[i])][static_cast<size_t>(y)];
+    csx[i] = Correlation(static_cast<size_t>(s[i]), static_cast<size_t>(x));
+    csy[i] = Correlation(static_cast<size_t>(s[i]), static_cast<size_t>(y));
   }
   std::vector<double> bx;
   std::vector<double> by;
   if (!SolveLinearSystem(css, csx, &bx) || !SolveLinearSystem(css, csy, &by)) {
     return 0.0;
   }
-  double num = corr_[static_cast<size_t>(x)][static_cast<size_t>(y)];
+  double num = Correlation(static_cast<size_t>(x), static_cast<size_t>(y));
   double dx = 1.0;
   double dy = 1.0;
   for (size_t i = 0; i < k; ++i) {
@@ -122,17 +133,82 @@ double FisherZTest::PValue(int x, int y, const std::vector<int>& s) const {
   return NormalTwoSidedPValue(z);
 }
 
-GSquareTest::GSquareTest(const DataTable& table, int max_bins) : coded_(table, max_bins) {}
+// --- GSquareTest ------------------------------------------------------------
+
+GSquareTest::GSquareTest(const DataTable& table, int max_bins)
+    : table_(&table), max_bins_(max_bins), rows_(table.NumRows()), coded_(table.NumVars()) {}
+
+void GSquareTest::Update(const DataTable& table) {
+  std::lock_guard<std::mutex> coded_lock(coded_mu_);
+  std::lock_guard<std::mutex> strata_lock(strata_mu_);
+  table_ = &table;
+  rows_ = table.NumRows();
+  coded_.clear();
+  coded_.resize(table.NumVars());
+  strata_.clear();
+}
+
+const CodedColumn& GSquareTest::Coded(size_t v) const {
+  {
+    std::lock_guard<std::mutex> lock(coded_mu_);
+    if (coded_[v] != nullptr) {
+      return *coded_[v];
+    }
+  }
+  // Discretize outside the lock so sweep workers do not serialize on the
+  // O(n log n) coding; concurrent misses produce identical columns and the
+  // first store wins (same policy as the CI cache).
+  const std::vector<double>& col = table_->Col(v);
+  std::unique_ptr<CodedColumn> fresh;
+  if (col.size() == rows_) {
+    fresh = std::make_unique<CodedColumn>(
+        DiscretizeColumn(col, table_->Var(v).type, max_bins_));
+  } else {
+    // Rows appended after the snapshot are ignored until Update().
+    const std::vector<double> prefix(col.begin(), col.begin() + rows_);
+    fresh = std::make_unique<CodedColumn>(
+        DiscretizeColumn(prefix, table_->Var(v).type, max_bins_));
+  }
+  std::lock_guard<std::mutex> lock(coded_mu_);
+  if (coded_[v] == nullptr) {
+    coded_[v] = std::move(fresh);
+  }
+  return *coded_[v];
+}
+
+const CodedColumn& GSquareTest::Strata(const std::vector<int>& s) const {
+  std::vector<int> key = s;
+  std::sort(key.begin(), key.end());
+  {
+    std::lock_guard<std::mutex> lock(strata_mu_);
+    auto it = strata_.find(key);
+    if (it != strata_.end()) {
+      return it->second;
+    }
+  }
+  // Materialize the member columns outside the strata lock (Coded takes its
+  // own lock), then combine their codes into dense stratum ids.
+  std::vector<const CodedColumn*> cols;
+  cols.reserve(key.size());
+  for (int v : key) {
+    cols.push_back(&Coded(static_cast<size_t>(v)));
+  }
+  CodedColumn combined = CombineStrata(cols, rows_);
+  std::lock_guard<std::mutex> lock(strata_mu_);
+  // Another worker may have inserted the same key meanwhile; emplace keeps
+  // the first copy and both are identical.
+  return strata_.emplace(std::move(key), std::move(combined)).first->second;
+}
 
 double GSquareTest::PValue(int x, int y, const std::vector<int>& s) const {
   ++calls;
-  const size_t n = coded_.NumRows();
+  const size_t n = rows_;  // snapshot, see class comment
   if (n == 0) {
     return 1.0;
   }
-  const CodedColumn& cx = coded_.Col(static_cast<size_t>(x));
-  const CodedColumn& cy = coded_.Col(static_cast<size_t>(y));
-  const CodedColumn cz = coded_.Strata(s);
+  const CodedColumn& cx = Coded(static_cast<size_t>(x));
+  const CodedColumn& cy = Coded(static_cast<size_t>(y));
+  const CodedColumn& cz = Strata(s);
   const double cmi = ConditionalMutualInformation(cx, cy, cz);
   const double g = 2.0 * static_cast<double>(n) * cmi;
   const double dof = std::max(
@@ -140,12 +216,19 @@ double GSquareTest::PValue(int x, int y, const std::vector<int>& s) const {
   return ChiSquareSurvival(g, dof);
 }
 
+// --- CompositeTest ----------------------------------------------------------
+
 CompositeTest::CompositeTest(const DataTable& table, int max_bins)
     : fisher_(table), gsq_(table, max_bins) {
   types_.reserve(table.NumVars());
   for (size_t v = 0; v < table.NumVars(); ++v) {
     types_.push_back(table.Var(v).type);
   }
+}
+
+void CompositeTest::Update(const DataTable& table) {
+  fisher_.Update(table);
+  gsq_.Update(table);
 }
 
 double CompositeTest::PValue(int x, int y, const std::vector<int>& s) const {

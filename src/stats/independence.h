@@ -6,10 +6,20 @@
 // correlation for continuous variables and a G-test (2N * conditional mutual
 // information, chi-square calibrated) for discrete/mixed variables. The
 // composite test dispatches per variable pair.
+//
+// Both tests are *updatable*: `Update(table)` refreshes the internal
+// statistics after rows were appended without rebuilding eagerly. Derived
+// quantities (rank correlations, coded columns, conditioning strata) are
+// computed lazily per pair / per conditioning set and memoized, so a sparse
+// warm-started skeleton search touching few pairs pays only for those pairs.
+// All tests are safe to call concurrently from the parallel skeleton sweep.
 #ifndef UNICORN_STATS_INDEPENDENCE_H_
 #define UNICORN_STATS_INDEPENDENCE_H_
 
+#include <atomic>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "stats/discretize.h"
@@ -28,38 +38,71 @@ class CITest {
     return PValue(x, y, s) >= alpha;
   }
 
-  // Number of tests issued so far (for scalability reporting).
-  mutable long long calls = 0;
+  // Number of tests issued so far (for scalability reporting). All discovery
+  // code derives its test counts from this counter — never by hand — so the
+  // numbers in the scalability tables cannot disagree.
+  mutable std::atomic<long long> calls{0};
 };
 
 // Fisher z-test on partial correlations. Assumes roughly Gaussian margins;
 // robust enough for monotone relationships, which is what the simulator and
-// real performance data produce.
+// real performance data produce. Correlations are Spearman-style (Pearson on
+// mid-ranks), computed lazily per pair and memoized.
 class FisherZTest : public CITest {
  public:
   explicit FisherZTest(const DataTable& table);
+
+  // Refreshes ranks after the table grew (or changed); drops the memo.
+  void Update(const DataTable& table);
 
   double PValue(int x, int y, const std::vector<int>& s) const override;
 
   // Partial correlation of (x, y) given s (exposed for tests/diagnostics).
   double PartialCorrelation(int x, int y, const std::vector<int>& s) const;
 
+  // Rank correlation of a pair (lazy, memoized).
+  double Correlation(size_t a, size_t b) const;
+
  private:
-  size_t n_;
-  // Full correlation matrix, precomputed once.
-  std::vector<std::vector<double>> corr_;
+  size_t n_ = 0;
+  size_t num_vars_ = 0;
+  // Centered mid-rank columns and their L2 norms: corr = dot / (norm*norm).
+  std::vector<std::vector<double>> centered_;
+  std::vector<double> norm_;
+  // Flattened memo of pairwise correlations; NaN = not yet computed.
+  mutable std::vector<double> corr_;
+  mutable std::mutex mu_;
 };
 
 // G-test of conditional independence on the discretized table:
 // G = 2 * N * CMI(X; Y | S); G ~ chi-square under H0.
+//
+// Holds a pointer to the data table (which must outlive the test); columns
+// are discretized on first use and conditioning strata are memoized per
+// conditioning set. Like the effect estimator, the test reasons on the
+// *snapshot* of rows present at construction (or the last Update): rows
+// appended afterwards are ignored until Update() is called, so the memoized
+// codes can never be indexed past their length.
 class GSquareTest : public CITest {
  public:
   explicit GSquareTest(const DataTable& table, int max_bins = 5);
 
+  // Re-binds the (grown) table and invalidates codes and strata.
+  void Update(const DataTable& table);
+
   double PValue(int x, int y, const std::vector<int>& s) const override;
 
  private:
-  CodedTable coded_;
+  const CodedColumn& Coded(size_t v) const;
+  const CodedColumn& Strata(const std::vector<int>& s) const;
+
+  const DataTable* table_;
+  int max_bins_;
+  size_t rows_ = 0;  // snapshot row count; codes/strata all have this length
+  mutable std::vector<std::unique_ptr<CodedColumn>> coded_;
+  mutable std::map<std::vector<int>, CodedColumn> strata_;
+  mutable std::mutex coded_mu_;
+  mutable std::mutex strata_mu_;
 };
 
 // Dispatches: Fisher z when both endpoints are continuous, G-test otherwise
@@ -68,6 +111,9 @@ class GSquareTest : public CITest {
 class CompositeTest : public CITest {
  public:
   explicit CompositeTest(const DataTable& table, int max_bins = 5);
+
+  // Refreshes both member tests after the table grew.
+  void Update(const DataTable& table);
 
   double PValue(int x, int y, const std::vector<int>& s) const override;
 

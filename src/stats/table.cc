@@ -48,6 +48,12 @@ void DataTable::AddRow(const std::vector<double>& values) {
   ++num_rows_;
 }
 
+void DataTable::Reserve(size_t rows) {
+  for (auto& col : cols_) {
+    col.reserve(rows);
+  }
+}
+
 std::vector<double> DataTable::Row(size_t row) const {
   std::vector<double> out(variables_.size());
   for (size_t v = 0; v < variables_.size(); ++v) {

@@ -66,6 +66,10 @@ class DataTable {
   // Appends one row; `values` must have NumVars() entries.
   void AddRow(const std::vector<double>& values);
 
+  // Pre-allocates column storage for `rows` total rows (appending stays
+  // amortized O(vars) either way; this avoids reallocation in tight loops).
+  void Reserve(size_t rows);
+
   // Returns one row as a vector.
   std::vector<double> Row(size_t row) const;
 

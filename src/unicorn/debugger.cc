@@ -38,15 +38,23 @@ DebugResult UnicornDebugger::Debug(const std::vector<double>& fault_config,
   Rng rng(options_.seed);
   DebugResult result;
 
+  // The engine is the loop's long-lived state: it owns the growing
+  // measurement table and re-learns the model incrementally each iteration.
+  CausalModelEngine engine(task_.variables, options_.model, options_.engine);
+  engine.Reserve(options_.initial_samples +
+                 options_.repairs_per_iteration * options_.max_iterations + 2);
+
   // Stage II bootstrap: initial observational data.
-  DataTable data = warm_start != nullptr ? *warm_start : task_.EmptyTable();
+  if (warm_start != nullptr) {
+    engine.AppendRows(*warm_start);
+  }
   for (size_t i = 0; i < options_.initial_samples; ++i) {
-    data.AddRow(task_.measure(task_.sample_config(&rng)));
+    engine.AddRow(task_.measure(task_.sample_config(&rng)));
     ++result.measurements_used;
   }
   const std::vector<double> fault_row = task_.measure(fault_config);
   ++result.measurements_used;
-  data.AddRow(fault_row);
+  engine.AddRow(fault_row);
 
   const StructuralConstraints constraints(task_.variables);
   const std::vector<VarRole>& roles = constraints.roles();
@@ -69,11 +77,11 @@ DebugResult UnicornDebugger::Debug(const std::vector<double>& fault_config,
   std::vector<size_t> path_diagnosis;
 
   for (size_t iter = 0; iter < options_.max_iterations; ++iter) {
-    // Stage II/IV: (re)learn the causal performance model on all data.
-    CausalModelOptions model_options = options_.model;
-    model_options.seed = options_.seed + iter;
-    LearnedModel model = LearnCausalPerformanceModel(data, model_options);
-    CausalEffectEstimator estimator(model.admg, data);
+    // Stage II/IV: incrementally refresh the causal performance model on all
+    // data (warm-started from the previous iteration's model when enabled).
+    engine.Refresh(options_.seed + iter);
+    result.tests_per_iteration.push_back(engine.stats().tests_requested);
+    const CausalEffectEstimator& estimator = engine.Estimator();
 
     // Stage III: rank causal paths into the violated objectives.
     auto paths = estimator.RankPaths(goal_vars, options_.top_k_paths);
@@ -136,7 +144,7 @@ DebugResult UnicornDebugger::Debug(const std::vector<double>& fault_config,
       const std::vector<double> row = task_.measure(candidate);
       ++result.measurements_used;
       ++measured_this_iter;
-      data.AddRow(row);
+      engine.AddRow(row);
 
       std::vector<double> objective_values;
       for (size_t g : goal_vars) {
@@ -159,7 +167,6 @@ DebugResult UnicornDebugger::Debug(const std::vector<double>& fault_config,
       applied = true;
       if (GoalsMet(row, goals)) {
         result.fixed = true;
-        result.final_graph = std::move(model.admg);
         break;
       }
     }
@@ -167,14 +174,15 @@ DebugResult UnicornDebugger::Debug(const std::vector<double>& fault_config,
       break;
     }
     if (!applied || stall >= options_.stall_termination) {
-      result.final_graph = std::move(model.admg);
       break;
     }
-    if (iter + 1 == options_.max_iterations) {
-      result.final_graph = std::move(model.admg);
-    }
+  }
+  // The engine outlives the loop, so one capture covers every exit path.
+  if (engine.HasModel()) {
+    result.final_graph = engine.model().admg;
   }
 
+  result.engine_stats = engine.stats();
   result.fixed_config = best_config;
   result.fixed_measurement = best_row;
   // Diagnosis: the options the fix changed, plus the options on the final

@@ -24,6 +24,9 @@ struct DebugOptions {
   size_t stall_termination = 4;     // stop after this many non-improving steps
   size_t repairs_per_iteration = 2;  // repairs measured per model refresh
   CausalModelOptions model;
+  // Incremental-discovery knobs (warm starts, CI cache, skeleton threads)
+  // for the engine held across the debug loop's iterations.
+  EngineOptions engine;
   RepairOptions repairs;
   uint64_t seed = 7;
 };
@@ -42,6 +45,12 @@ struct DebugResult {
   // for Fig. 11 (d).
   std::vector<size_t> selected_options;
   MixedGraph final_graph;
+  // Discovery-cost accounting of the engine that ran the loop: CI tests
+  // requested/evaluated, cache hits, warm-start reuse, and wall time.
+  EngineStats engine_stats;
+  // CI tests requested by each iteration's model refresh (Table 3 reports
+  // how warm starts shrink these after the first few iterations).
+  std::vector<long long> tests_per_iteration;
 };
 
 class UnicornDebugger {

@@ -1,24 +1,186 @@
 #include "unicorn/model_learner.h"
 
-#include "stats/independence.h"
+#include <chrono>
+#include <cmath>
+
 #include "util/rng.h"
 
 namespace unicorn {
 
+CausalModelEngine::CausalModelEngine(std::vector<Variable> variables,
+                                     CausalModelOptions model_options,
+                                     EngineOptions engine_options)
+    : model_options_(std::move(model_options)),
+      engine_options_(std::move(engine_options)),
+      constraints_(variables),
+      data_(std::move(variables)),
+      moments_(data_.NumVars()) {
+  stats_.pairs_total = data_.NumVars() * (data_.NumVars() - 1) / 2;
+  if (engine_options_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(engine_options_.num_threads);
+  }
+}
+
+void CausalModelEngine::AddRow(const std::vector<double>& row) {
+  data_.AddRow(row);
+  moments_.AddRow(row);
+}
+
+void CausalModelEngine::AppendRows(const DataTable& rows) {
+  for (size_t r = 0; r < rows.NumRows(); ++r) {
+    AddRow(rows.Row(r));
+  }
+}
+
+void CausalModelEngine::Reserve(size_t rows) { data_.Reserve(rows); }
+
+size_t CausalModelEngine::ComputeDirtyPairs(std::vector<char>* dirty) const {
+  const size_t n = data_.NumVars();
+  dirty->assign(n * n, 0);
+  // Per-variable staleness: the largest move of any streaming Pearson
+  // correlation involving the variable since the last refresh. The streaming
+  // raw-value correlations are a cheap O(1)-per-pair proxy for the rank
+  // correlations and contingency tables the CI tests actually use.
+  std::vector<double> delta(n, 0.0);
+  size_t tri = 0;
+  for (size_t a = 0; a < n; ++a) {
+    for (size_t b = a; b < n; ++b, ++tri) {
+      if (a == b) {
+        continue;
+      }
+      const double d = std::fabs(moments_.Pearson(a, b) - corr_snapshot_[tri]);
+      if (d > delta[a]) {
+        delta[a] = d;
+      }
+      if (d > delta[b]) {
+        delta[b] = d;
+      }
+    }
+  }
+  // Correlation shifts below the sampling noise of the estimate are not
+  // evidence of change; the floor keeps early refreshes (small n, noisy
+  // correlations) from re-testing everything.
+  const double noise_floor =
+      data_.NumRows() > 0 && engine_options_.noise_floor_scale > 0.0
+          ? engine_options_.noise_floor_scale / std::sqrt(static_cast<double>(data_.NumRows()))
+          : 0.0;
+  const double threshold = std::max(engine_options_.stale_epsilon, noise_floor);
+  size_t clean = 0;
+  for (size_t a = 0; a < n; ++a) {
+    for (size_t b = a + 1; b < n; ++b) {
+      if (delta[a] > threshold || delta[b] > threshold) {
+        (*dirty)[a * n + b] = 1;
+      } else {
+        ++clean;
+      }
+    }
+  }
+  return clean;
+}
+
+void CausalModelEngine::SnapshotCorrelations() {
+  const size_t n = data_.NumVars();
+  corr_snapshot_.resize(n * (n + 1) / 2);
+  size_t tri = 0;
+  for (size_t a = 0; a < n; ++a) {
+    for (size_t b = a; b < n; ++b, ++tri) {
+      corr_snapshot_[tri] = a == b ? 1.0 : moments_.Pearson(a, b);
+    }
+  }
+}
+
+const LearnedModel& CausalModelEngine::Refresh() {
+  return Refresh(model_options_.seed + static_cast<uint64_t>(stats_.refreshes));
+}
+
+const LearnedModel& CausalModelEngine::Refresh(uint64_t seed) {
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+  const size_t n = data_.NumVars();
+
+  const bool warm = has_model_ && engine_options_.stale_epsilon > 0.0 &&
+                    (engine_options_.full_refresh_every == 0 ||
+                     stats_.refreshes % engine_options_.full_refresh_every != 0);
+
+  std::vector<char> dirty;
+  SkeletonWarmStart warm_start;
+  EdgeDecisionMap entropic_reuse;
+  size_t reused = 0;
+  if (warm) {
+    reused = ComputeDirtyPairs(&dirty);
+    warm_start.graph = &model_.admg;
+    warm_start.sepsets = &sepsets_;
+    warm_start.pair_dirty = &dirty;
+    for (const auto& [pair, decision] : entropic_decisions_) {
+      if (dirty[pair.first * n + pair.second] == 0) {
+        entropic_reuse.emplace(pair, decision);
+      }
+    }
+  }
+
+  // Bring the CI tests up to date with the appended rows (streaming /
+  // lazy: ranks are recomputed, codes and strata re-derive on demand).
+  if (test_ == nullptr) {
+    test_ = std::make_unique<CompositeTest>(data_);
+  } else if (test_rows_ != data_.NumRows()) {
+    test_->Update(data_);
+    // Cached p-values are keyed on the row count, so every entry from the
+    // previous size is now unreachable; dropping them keeps the cache at one
+    // refresh's working set.
+    cache_.Clear();
+  }
+  test_rows_ = data_.NumRows();
+
+  const long long evaluated_before = test_->calls;
+  const long long hits_before = cache_.hits();
+
+  CachedCITest cached(*test_, engine_options_.use_ci_cache ? &cache_ : nullptr,
+                      data_.NumRows());
+  FciOptions fci_options = model_options_.fci;
+  fci_options.skeleton.num_threads = engine_options_.num_threads;
+  FciResult fci = RunFci(cached, constraints_, n, fci_options, warm_start, pool_.get());
+
+  model_.independence_tests = fci.tests_performed;
+  model_.circle_marks_resolved = fci.pag.NumCircleMarks();
+
+  Rng rng(seed);
+  EdgeDecisionMap decisions;
+  ResolveWithEntropy(data_, constraints_, model_options_.entropic, &rng, &fci.pag,
+                     warm ? &entropic_reuse : nullptr, &decisions);
+
+  model_.admg = std::move(fci.pag);
+  sepsets_ = std::move(fci.sepsets);
+  entropic_decisions_ = std::move(decisions);
+  SnapshotCorrelations();
+  estimator_.reset();
+  has_model_ = true;
+
+  stats_.warm = warm;
+  stats_.tests_requested = cached.calls;
+  stats_.tests_evaluated = test_->calls - evaluated_before;
+  stats_.cache_hits = cache_.hits() - hits_before;
+  stats_.pairs_reused = reused;
+  stats_.refresh_seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  ++stats_.refreshes;
+  stats_.total_tests_requested += stats_.tests_requested;
+  stats_.total_tests_evaluated += stats_.tests_evaluated;
+  stats_.total_cache_hits += stats_.cache_hits;
+  stats_.total_seconds += stats_.refresh_seconds;
+  return model_;
+}
+
+const CausalEffectEstimator& CausalModelEngine::Estimator() {
+  if (estimator_ == nullptr) {
+    estimator_ = std::make_unique<CausalEffectEstimator>(model_.admg, data_);
+  }
+  return *estimator_;
+}
+
 LearnedModel LearnCausalPerformanceModel(const DataTable& data,
                                          const CausalModelOptions& options) {
-  LearnedModel out;
-  const StructuralConstraints constraints(data.Variables());
-  const CompositeTest test(data);
-
-  FciResult fci = RunFci(test, constraints, data.NumVars(), options.fci);
-  out.independence_tests = fci.tests_performed;
-  out.circle_marks_resolved = fci.pag.NumCircleMarks();
-
-  Rng rng(options.seed);
-  ResolveWithEntropy(data, constraints, options.entropic, &rng, &fci.pag);
-  out.admg = std::move(fci.pag);
-  return out;
+  CausalModelEngine engine(data.Variables(), options);
+  engine.AppendRows(data);
+  return engine.Refresh(options.seed);
 }
 
 }  // namespace unicorn

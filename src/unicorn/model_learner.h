@@ -3,14 +3,30 @@
 // Chains FCI (skeleton + sepsets + orientation rules, tolerant of latent
 // confounders) with entropic resolution of the remaining circle marks,
 // producing a fully resolved ADMG ready for do-calculus queries.
+//
+// The CausalModelEngine is the stateful heart of the iterative loop (paper
+// §4, Stage IV): it owns the growing measurement table and re-learns the
+// model *incrementally* — appended rows update streaming statistics instead
+// of rebuilding them, p-values are memoized in a CI cache shared by the
+// skeleton, Possible-D-SEP, and warm-start phases, warm-started refreshes
+// re-test only the edges whose endpoint statistics changed materially, and
+// the per-level skeleton sweep runs on a thread pool with results
+// bit-identical to the serial search.
 #ifndef UNICORN_UNICORN_MODEL_LEARNER_H_
 #define UNICORN_UNICORN_MODEL_LEARNER_H_
 
+#include <memory>
+#include <vector>
+
 #include "causal/constraints.h"
+#include "causal/effects.h"
 #include "causal/entropic.h"
 #include "causal/fci.h"
 #include "graph/mixed_graph.h"
+#include "stats/ci_cache.h"
+#include "stats/correlation.h"
 #include "stats/table.h"
+#include "util/thread_pool.h"
 
 namespace unicorn {
 
@@ -20,16 +36,130 @@ struct CausalModelOptions {
   uint64_t seed = 42;
 };
 
+// Engine-level knobs, orthogonal to the statistical options above.
+struct EngineOptions {
+  // Warm-start staleness threshold on the streaming Pearson correlations:
+  // a refresh re-tests only pairs with an endpoint whose correlation profile
+  // moved by more than this since the last refresh; clean pairs keep their
+  // previous adjacency, separating set, and entropic orientation. 0 disables
+  // warm starts entirely — every refresh is a full, exact relearn (the
+  // default: incremental mode is an explicit opt-in because it trades exact
+  // PC-stable semantics for speed, as the paper's Stage IV does).
+  double stale_epsilon = 0.0;
+  // The sampling noise of a correlation estimate is ~1/sqrt(n): with warm
+  // starts enabled, the effective staleness threshold is
+  // max(stale_epsilon, noise_floor_scale / sqrt(n_rows)), so shifts
+  // indistinguishable from noise never mark a pair dirty. 0 disables the
+  // floor (the fixed epsilon alone decides).
+  double noise_floor_scale = 1.0;
+  // With warm starts enabled, every k-th refresh is still a full relearn so
+  // approximation error cannot accumulate across iterations.
+  size_t full_refresh_every = 8;
+  // Worker threads for the per-level skeleton sweep (1 = serial). Results
+  // are bit-identical for any value.
+  int num_threads = 1;
+  // Memoize p-values in the engine's CI cache (sound: keys include the row
+  // count). Off only for apples-to-apples "from-scratch" baselines.
+  bool use_ci_cache = true;
+};
+
 struct LearnedModel {
   MixedGraph admg;
   long long independence_tests = 0;
   size_t circle_marks_resolved = 0;
 };
 
-// Learns the causal performance model from observational data. "Incremental
-// update" (Stage IV) re-invokes this on the grown dataset: with the sparse
-// graphs of this domain the skeleton search is cheap, and re-learning from
-// all data is statistically equivalent to the paper's incremental refresh.
+// Discovery-cost accounting of an engine. "Requested" counts every CI test
+// the search asked for; "evaluated" counts the p-values actually computed
+// (requested minus cache hits). All numbers derive from CITest::calls and
+// the CICache counters — there is no second, hand-maintained count anywhere.
+struct EngineStats {
+  // Last refresh.
+  bool warm = false;                 // was it warm-started?
+  long long tests_requested = 0;
+  long long tests_evaluated = 0;
+  long long cache_hits = 0;
+  size_t pairs_total = 0;            // unordered variable pairs
+  size_t pairs_reused = 0;           // adopted from the previous refresh
+  double refresh_seconds = 0.0;
+  // Cumulative over the engine's lifetime.
+  size_t refreshes = 0;
+  long long total_tests_requested = 0;
+  long long total_tests_evaluated = 0;
+  long long total_cache_hits = 0;
+  double total_seconds = 0.0;
+
+  double CacheHitRate() const {
+    return total_tests_requested == 0
+               ? 0.0
+               : static_cast<double>(total_cache_hits) /
+                     static_cast<double>(total_tests_requested);
+  }
+};
+
+// Stateful, cached, parallel causal-discovery engine. Held by the debugger
+// and the optimizer across loop iterations; measurements stream in through
+// AddRow and Refresh() re-learns the model on everything seen so far.
+class CausalModelEngine {
+ public:
+  explicit CausalModelEngine(std::vector<Variable> variables,
+                             CausalModelOptions model_options = {},
+                             EngineOptions engine_options = {});
+
+  // Appends one measurement row (rank-1 update of the streaming moments).
+  void AddRow(const std::vector<double>& row);
+  // Appends all rows of `rows` (variables must match the engine's).
+  void AppendRows(const DataTable& rows);
+  // Pre-allocates storage for `rows` total measurements.
+  void Reserve(size_t rows);
+
+  const DataTable& data() const { return data_; }
+
+  // Re-learns the causal performance model on all data seen so far. The
+  // overload without a seed derives one from the base seed and the refresh
+  // count, so repeated refreshes vary the entropic tie-breaking the same way
+  // the old per-iteration relearn did.
+  const LearnedModel& Refresh();
+  const LearnedModel& Refresh(uint64_t seed);
+
+  bool HasModel() const { return has_model_; }
+  const LearnedModel& model() const { return model_; }
+
+  // Effect estimator bound to the current model and data; built lazily after
+  // a refresh and kept until the next one.
+  const CausalEffectEstimator& Estimator();
+
+  const EngineStats& stats() const { return stats_; }
+
+ private:
+  // Marks pairs whose endpoints' streaming correlation profile moved more
+  // than stale_epsilon since the last refresh. Returns the clean-pair count.
+  size_t ComputeDirtyPairs(std::vector<char>* dirty) const;
+  void SnapshotCorrelations();
+
+  CausalModelOptions model_options_;
+  EngineOptions engine_options_;
+  StructuralConstraints constraints_;
+  DataTable data_;
+  StreamingMoments moments_;
+
+  std::unique_ptr<CompositeTest> test_;  // updated in place as data grows
+  size_t test_rows_ = 0;                 // rows test_ was last updated for
+  CICache cache_;                        // persists across refreshes
+  std::unique_ptr<ThreadPool> pool_;
+
+  LearnedModel model_;
+  bool has_model_ = false;
+  SepsetMap sepsets_;                    // last refresh's separating sets
+  EdgeDecisionMap entropic_decisions_;   // last refresh's edge orientations
+  std::vector<double> corr_snapshot_;    // streaming Pearson at last refresh
+  std::unique_ptr<CausalEffectEstimator> estimator_;
+  EngineStats stats_;
+};
+
+// Learns the causal performance model from observational data in one shot
+// (a fresh engine fed `data` and refreshed once). The iterative loop should
+// hold a CausalModelEngine instead and let it update incrementally.
 LearnedModel LearnCausalPerformanceModel(const DataTable& data,
                                          const CausalModelOptions& options = {});
 

@@ -24,7 +24,13 @@ OptimizeResult UnicornOptimizer::Run(const std::vector<size_t>& objective_vars,
   Rng rng(options_.seed);
   OptimizeResult result;
 
-  DataTable data = warm_start != nullptr ? *warm_start : task_.EmptyTable();
+  // Long-lived discovery state: measurements stream into the engine and the
+  // periodic relearn below is an incremental refresh, not a from-scratch fit.
+  CausalModelEngine engine(task_.variables, options_.model, options_.engine);
+  engine.Reserve(options_.initial_samples + options_.max_iterations);
+  if (warm_start != nullptr) {
+    engine.AppendRows(*warm_start);
+  }
   std::vector<std::vector<double>> configs;  // config per appended row
 
   auto record = [&](const std::vector<double>& config, const std::vector<double>& row) {
@@ -53,7 +59,7 @@ OptimizeResult UnicornOptimizer::Run(const std::vector<size_t>& objective_vars,
   for (size_t i = 0; i < options_.initial_samples; ++i) {
     const auto config = task_.sample_config(&rng);
     const auto row = task_.measure(config);
-    data.AddRow(row);
+    engine.AddRow(row);
     record(config, row);
     const double value = scalar(row);
     if (value < best_value) {
@@ -63,17 +69,13 @@ OptimizeResult UnicornOptimizer::Run(const std::vector<size_t>& objective_vars,
     result.best_trajectory.push_back(best_value);
   }
 
-  std::unique_ptr<CausalEffectEstimator> estimator;
-  MixedGraph admg;
+  const CausalEffectEstimator* estimator = nullptr;
   std::vector<double> option_ace(task_.option_vars.size(), 1.0);
 
   for (size_t iter = 0; iter < options_.max_iterations; ++iter) {
     if (iter % options_.relearn_every == 0 || estimator == nullptr) {
-      CausalModelOptions model_options = options_.model;
-      model_options.seed = options_.seed + iter;
-      LearnedModel model = LearnCausalPerformanceModel(data, model_options);
-      admg = std::move(model.admg);
-      estimator = std::make_unique<CausalEffectEstimator>(admg, data);
+      engine.Refresh(options_.seed + iter);
+      estimator = &engine.Estimator();
       // ACE of each option on the (mean of the) objectives: the sampling
       // weights of the active learner.
       for (size_t i = 0; i < task_.option_vars.size(); ++i) {
@@ -130,7 +132,7 @@ OptimizeResult UnicornOptimizer::Run(const std::vector<size_t>& objective_vars,
     }
 
     const auto row = task_.measure(candidate);
-    data.AddRow(row);
+    engine.AddRow(row);
     record(candidate, row);
     const double value = scalar(row);
     if (value < best_value) {
@@ -140,6 +142,7 @@ OptimizeResult UnicornOptimizer::Run(const std::vector<size_t>& objective_vars,
     result.best_trajectory.push_back(best_value);
   }
 
+  result.engine_stats = engine.stats();
   result.best_config = best_config;
   result.best_value = best_value;
   return result;

@@ -22,6 +22,8 @@ struct OptimizeOptions {
   size_t mutations_per_step = 3;   // options changed per candidate
   double explore_probability = 0.15;  // chance of a uniform-random candidate
   CausalModelOptions model;
+  // Incremental-discovery knobs for the engine held across refreshes.
+  EngineOptions engine;
   uint64_t seed = 13;
 };
 
@@ -33,6 +35,8 @@ struct OptimizeResult {
   // All measured objective vectors (for Pareto fronts / hypervolume traces).
   std::vector<std::vector<double>> evaluated;
   size_t measurements_used = 0;
+  // Discovery-cost accounting of the engine across all model refreshes.
+  EngineStats engine_stats;
 };
 
 class UnicornOptimizer {

@@ -20,6 +20,10 @@ QueryAnswer EstimateQuery(const CausalEffectEstimator& estimator,
   return answer;
 }
 
+QueryAnswer EstimateQuery(CausalModelEngine& engine, const PerformanceQuery& query) {
+  return EstimateQuery(engine.Estimator(), query);
+}
+
 namespace {
 
 std::string Strip(const std::string& s) {

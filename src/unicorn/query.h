@@ -10,6 +10,7 @@
 #include <string>
 
 #include "causal/effects.h"
+#include "unicorn/model_learner.h"
 
 namespace unicorn {
 
@@ -31,6 +32,11 @@ struct QueryAnswer {
 };
 
 QueryAnswer EstimateQuery(const CausalEffectEstimator& estimator, const PerformanceQuery& query);
+
+// Convenience: answers against an engine's current model (the engine must
+// have refreshed at least once). Uses the engine's lazily built estimator,
+// so repeated queries between refreshes share one discretization.
+QueryAnswer EstimateQuery(CausalModelEngine& engine, const PerformanceQuery& query);
 
 // Parses a tiny textual query language (demonstrating the paper's "specify
 // performance query" stage):

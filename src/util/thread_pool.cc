@@ -1,0 +1,81 @@
+#include "util/thread_pool.h"
+
+namespace unicorn {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int workers = num_threads - 1;
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) {
+    w.join();
+  }
+}
+
+void ThreadPool::RunBatch() {
+  const std::function<void(size_t)>& body = *body_;
+  const size_t count = count_;
+  while (true) {
+    const size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count) {
+      break;
+    }
+    body(i);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
+      if (stop_) {
+        return;
+      }
+      seen_generation = generation_;
+    }
+    RunBatch();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--active_ == 0) {
+        done_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t count, const std::function<void(size_t)>& body) {
+  if (count == 0) {
+    return;
+  }
+  if (workers_.empty() || count == 1) {
+    for (size_t i = 0; i < count; ++i) {
+      body(i);
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    body_ = &body;
+    count_ = count;
+    next_.store(0, std::memory_order_relaxed);
+    active_ = workers_.size();
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  RunBatch();  // the caller pulls items too
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return active_ == 0; });
+  body_ = nullptr;
+}
+
+}  // namespace unicorn

@@ -1,0 +1,56 @@
+// A small fixed-size thread pool with a blocking parallel-for.
+//
+// Built for the per-level edge sweep of the PC-stable skeleton search: the
+// caller hands over `count` independent work items, workers pull indices from
+// a shared atomic counter, and ParallelFor returns once every item ran. The
+// calling thread participates, so ThreadPool(1) degenerates to an inline
+// loop and a pool is always safe to use regardless of hardware.
+#ifndef UNICORN_UTIL_THREAD_POOL_H_
+#define UNICORN_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace unicorn {
+
+class ThreadPool {
+ public:
+  // `num_threads` <= 1 keeps no worker threads (ParallelFor runs inline).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Runs body(i) for every i in [0, count). Blocks until all items finished.
+  // The body must not call ParallelFor on the same pool. Items run in
+  // unspecified order and concurrently; they must be independent.
+  void ParallelFor(size_t count, const std::function<void(size_t)>& body);
+
+  // Worker threads plus the calling thread.
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+ private:
+  void WorkerLoop();
+  void RunBatch();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers: new batch or shutdown
+  std::condition_variable done_cv_;   // caller: batch finished
+  const std::function<void(size_t)>* body_ = nullptr;
+  size_t count_ = 0;
+  std::atomic<size_t> next_{0};
+  size_t active_ = 0;       // workers still inside the current batch
+  uint64_t generation_ = 0;  // bumped per batch so workers never re-run one
+  bool stop_ = false;
+};
+
+}  // namespace unicorn
+
+#endif  // UNICORN_UTIL_THREAD_POOL_H_

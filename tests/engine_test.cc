@@ -1,0 +1,226 @@
+// CausalModelEngine: the incremental path must be trustworthy.
+//
+// Two hard guarantees anchor the engine's correctness:
+//   * exact mode (stale_epsilon = 0, the default): a refresh after streaming
+//     rows in one at a time yields a model bit-identical to a from-scratch
+//     relearn on the final table — caching and lazy statistics are pure
+//     memoization, never approximation;
+//   * any thread count: the parallel skeleton sweep merges per-pair outcomes
+//     deterministically, so threads=4 equals threads=1 mark for mark.
+// Warm-started (approximate) refreshes are only exercised for their own
+// contract: periodic full refreshes re-anchor to the exact result, test
+// counts shrink, and the output stays a valid ADMG.
+#include "unicorn/model_learner.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "sysmodel/systems.h"
+#include "util/rng.h"
+
+namespace unicorn {
+namespace {
+
+DataTable MeasuredData(SystemId id, size_t rows, uint64_t seed, int num_events = 6) {
+  SystemSpec spec;
+  spec.num_events = num_events;
+  const auto model = std::make_shared<SystemModel>(BuildSystem(id, spec));
+  Rng rng(seed);
+  std::vector<std::vector<double>> configs;
+  for (size_t i = 0; i < rows; ++i) {
+    configs.push_back(model->SampleConfig(&rng));
+  }
+  return model->MeasureMany(configs, Tx2(), DefaultWorkload(), &rng);
+}
+
+CausalModelOptions SmallModelOptions() {
+  CausalModelOptions options;
+  options.fci.skeleton.max_cond_size = 2;
+  options.fci.skeleton.max_subsets = 16;
+  options.fci.max_pds_cond_size = 1;
+  options.entropic.latent.restarts = 1;
+  options.entropic.latent.iterations = 20;
+  return options;
+}
+
+::testing::AssertionResult GraphsIdentical(const MixedGraph& a, const MixedGraph& b) {
+  if (a.NumNodes() != b.NumNodes()) {
+    return ::testing::AssertionFailure()
+           << "node counts differ: " << a.NumNodes() << " vs " << b.NumNodes();
+  }
+  for (size_t i = 0; i < a.NumNodes(); ++i) {
+    for (size_t j = 0; j < a.NumNodes(); ++j) {
+      if (a.EndMark(i, j) != b.EndMark(i, j)) {
+        return ::testing::AssertionFailure()
+               << "end-mark differs at (" << i << ", " << j << ")";
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+TEST(EngineTest, RowByRowAppendMatchesFromScratchRelearn) {
+  const DataTable all = MeasuredData(SystemId::kX264, 70, 11, 5);
+  const CausalModelOptions model_options = SmallModelOptions();
+
+  // Stream every measurement through the engine one row at a time,
+  // refreshing after each append (exact mode: the default EngineOptions).
+  CausalModelEngine engine(all.Variables(), model_options);
+  for (size_t r = 0; r < all.NumRows(); ++r) {
+    engine.AddRow(all.Row(r));
+    engine.Refresh(model_options.seed);
+  }
+
+  const LearnedModel scratch = LearnCausalPerformanceModel(all, model_options);
+  EXPECT_TRUE(GraphsIdentical(engine.model().admg, scratch.admg));
+  EXPECT_EQ(engine.model().independence_tests, scratch.independence_tests);
+  EXPECT_EQ(engine.model().circle_marks_resolved, scratch.circle_marks_resolved);
+}
+
+TEST(EngineTest, ParallelRefreshBitIdenticalToSerial) {
+  const DataTable data = MeasuredData(SystemId::kXception, 200, 12);
+  const CausalModelOptions model_options = SmallModelOptions();
+
+  EngineOptions serial;
+  serial.num_threads = 1;
+  CausalModelEngine one(data.Variables(), model_options, serial);
+  one.AppendRows(data);
+  one.Refresh(model_options.seed);
+
+  EngineOptions parallel;
+  parallel.num_threads = 4;
+  CausalModelEngine four(data.Variables(), model_options, parallel);
+  four.AppendRows(data);
+  four.Refresh(model_options.seed);
+
+  EXPECT_TRUE(GraphsIdentical(one.model().admg, four.model().admg));
+  EXPECT_EQ(one.model().independence_tests, four.model().independence_tests);
+}
+
+TEST(EngineTest, RepeatedRefreshOnUnchangedDataIsAllCacheHits) {
+  const DataTable data = MeasuredData(SystemId::kBert, 150, 13);
+  CausalModelEngine engine(data.Variables(), SmallModelOptions());
+  engine.AppendRows(data);
+  engine.Refresh(99);
+  const long long first_evaluated = engine.stats().tests_evaluated;
+  EXPECT_GT(first_evaluated, 0);
+  EXPECT_EQ(engine.stats().tests_requested,
+            engine.stats().tests_evaluated + engine.stats().cache_hits);
+
+  const MixedGraph before = engine.model().admg;
+  engine.Refresh(99);  // no new rows: every p-value must come from the cache
+  EXPECT_EQ(engine.stats().tests_evaluated, 0);
+  EXPECT_EQ(engine.stats().cache_hits, engine.stats().tests_requested);
+  EXPECT_TRUE(GraphsIdentical(before, engine.model().admg));
+}
+
+TEST(EngineTest, WarmRefreshShrinksTestsAndAnchorsRestoreExactness) {
+  const DataTable all = MeasuredData(SystemId::kX264, 160, 14);
+  const CausalModelOptions model_options = SmallModelOptions();
+
+  EngineOptions incremental;
+  incremental.stale_epsilon = 0.05;
+  incremental.full_refresh_every = 4;
+  CausalModelEngine engine(all.Variables(), model_options, incremental);
+
+  std::vector<size_t> head;
+  for (size_t r = 0; r < 120; ++r) {
+    head.push_back(r);
+  }
+  engine.AppendRows(all.SelectRows(head));
+  engine.Refresh(7);  // refresh 0: full (anchor)
+  const long long full_requested = engine.stats().tests_requested;
+  EXPECT_FALSE(engine.stats().warm);
+
+  long long warm_requested_total = 0;
+  size_t warm_refreshes = 0;
+  for (size_t r = 120; r < all.NumRows(); ++r) {
+    engine.AddRow(all.Row(r));
+    engine.Refresh(7 + r);
+    if (engine.stats().warm) {
+      ++warm_refreshes;
+      warm_requested_total += engine.stats().tests_requested;
+      EXPECT_GT(engine.stats().pairs_reused, 0u);
+    }
+    EXPECT_TRUE(engine.model().admg.IsAdmg());
+  }
+  ASSERT_GT(warm_refreshes, 0u);
+  // Warm refreshes must re-test far fewer pairs than the full anchor sweep.
+  EXPECT_LT(warm_requested_total / static_cast<long long>(warm_refreshes), full_requested);
+
+  // An anchor refresh (refresh count divisible by full_refresh_every) is a
+  // full relearn: identical to from-scratch on the same data and seed.
+  while (engine.stats().refreshes % incremental.full_refresh_every != 0) {
+    engine.Refresh(42);
+  }
+  engine.Refresh(42);
+  EXPECT_FALSE(engine.stats().warm);
+  CausalModelOptions scratch_options = model_options;
+  scratch_options.seed = 42;
+  const LearnedModel scratch = LearnCausalPerformanceModel(engine.data(), scratch_options);
+  EXPECT_TRUE(GraphsIdentical(engine.model().admg, scratch.admg));
+}
+
+TEST(EngineTest, CITestsSnapshotRowsUntilUpdate) {
+  const DataTable all = MeasuredData(SystemId::kX264, 120, 16);
+  std::vector<size_t> head;
+  for (size_t r = 0; r < 100; ++r) {
+    head.push_back(r);
+  }
+  DataTable grown = all.SelectRows(head);
+  CompositeTest test(grown);
+  const double fisher_before = test.PValue(0, 1, {2});
+  const double gsq_before = test.PValue(0, 2, {1});
+  // Appending rows without Update() must not change (or crash) the test:
+  // it reasons on the construction-time snapshot.
+  for (size_t r = 100; r < all.NumRows(); ++r) {
+    grown.AddRow(all.Row(r));
+  }
+  EXPECT_DOUBLE_EQ(test.PValue(0, 1, {2}), fisher_before);
+  EXPECT_DOUBLE_EQ(test.PValue(0, 2, {1}), gsq_before);
+  // After Update the new rows are visible and p-values stay well-formed.
+  test.Update(grown);
+  const double after = test.PValue(0, 1, {2});
+  EXPECT_GE(after, 0.0);
+  EXPECT_LE(after, 1.0);
+}
+
+TEST(EngineTest, StreamingMomentsMatchBatchStatistics) {
+  Rng rng(21);
+  StreamingMoments moments(3);
+  std::vector<std::vector<double>> cols(3);
+  for (int i = 0; i < 500; ++i) {
+    const double a = rng.Uniform(-2.0, 2.0);
+    const double b = 0.7 * a + 0.1 * rng.Uniform();
+    const double c = rng.Uniform();
+    moments.AddRow({a, b, c});
+    cols[0].push_back(a);
+    cols[1].push_back(b);
+    cols[2].push_back(c);
+  }
+  EXPECT_EQ(moments.NumRows(), 500u);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = i + 1; j < 3; ++j) {
+      EXPECT_NEAR(moments.Pearson(i, j), PearsonCorrelation(cols[i], cols[j]), 1e-9);
+    }
+  }
+  EXPECT_GT(moments.Pearson(0, 1), 0.9);
+  EXPECT_LT(std::fabs(moments.Pearson(0, 2)), 0.2);
+}
+
+TEST(EngineTest, EstimatorAndQueryRideTheCurrentModel) {
+  const DataTable data = MeasuredData(SystemId::kX264, 150, 15);
+  CausalModelEngine engine(data.Variables(), SmallModelOptions());
+  engine.AppendRows(data);
+  engine.Refresh();
+  const CausalEffectEstimator& estimator = engine.Estimator();
+  // The lazily built estimator is cached until the next refresh.
+  EXPECT_EQ(&estimator, &engine.Estimator());
+  engine.Refresh();
+  EXPECT_TRUE(engine.HasModel());
+  EXPECT_GT(engine.stats().refreshes, 1u);
+}
+
+}  // namespace
+}  // namespace unicorn
