@@ -7,6 +7,7 @@
 #include <limits>
 
 #include "bench/common.h"
+#include "unicorn/measurement_broker.h"
 #include "unicorn/optimizer.h"
 #include "util/text_table.h"
 
@@ -54,12 +55,20 @@ void RunAblation() {
       UnicornOptimizer optimizer(task_g, options);
       const auto guided = optimizer.Minimize(latency);
 
-      // Uniform random with the identical budget.
+      // Uniform random with the identical budget, measured as one batch
+      // through the measurement plane (rows identical to a serial loop).
       const PerformanceTask task_r = MakeSimulatedTask(model, Tx2(), DefaultWorkload(), 441);
+      BrokerOptions broker_options;
+      broker_options.num_threads = 4;
+      MeasurementBroker broker(task_r, broker_options);
       Rng rng(442);
-      double best_random = std::numeric_limits<double>::infinity();
+      std::vector<std::vector<double>> batch;
+      batch.reserve(budget);
       for (size_t i = 0; i < budget; ++i) {
-        const auto row = task_r.measure(task_r.sample_config(&rng));
+        batch.push_back(task_r.sample_config(&rng));
+      }
+      double best_random = std::numeric_limits<double>::infinity();
+      for (const auto& row : broker.MeasureBatch(batch)) {
         best_random = std::min(best_random, row[latency]);
       }
       table.AddRow({bench::SystemLabel(id), std::to_string(budget),

@@ -46,6 +46,9 @@ DebugOptions BenchDebugOptions() {
   // approximate warm-start knobs (stale_epsilon) are enabled only where
   // their effect is what's being measured (table3's incremental study).
   options.engine.num_threads = 4;
+  // Measurement plane: batches fan out over 4 threads with rows
+  // bit-identical to serial, so this is exactness-preserving too.
+  options.broker.num_threads = 4;
   return options;
 }
 
@@ -141,6 +144,7 @@ std::vector<MethodScore> RunDebugComparison(const DebugExperimentSpec& spec) {
       scores[0].samples += static_cast<double>(result.measurements_used);
       scores[0].ci_tests += static_cast<double>(result.engine_stats.total_tests_requested);
       scores[0].cache_hit_rate += result.engine_stats.CacheHitRate();
+      scores[0].meas_cache_hit_rate += result.broker_stats.CacheHitRate();
       ++scores[0].faults;
     }
 
@@ -183,6 +187,7 @@ std::vector<MethodScore> RunDebugComparison(const DebugExperimentSpec& spec) {
       score.samples /= n;
       score.ci_tests /= n;
       score.cache_hit_rate /= n;
+      score.meas_cache_hit_rate /= n;
     }
   }
   return scores;

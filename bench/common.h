@@ -35,6 +35,9 @@ struct MethodScore {
   // CI tests requested per fault and the engine's cumulative cache-hit rate.
   double ci_tests = 0.0;
   double cache_hit_rate = 0.0;
+  // Measurement-plane accounting (Unicorn only; from
+  // DebugResult::broker_stats): dedup-cache hit rate of the broker.
+  double meas_cache_hit_rate = 0.0;
 };
 
 enum class FaultKind { kLatency, kEnergy, kHeat, kMulti };

@@ -49,6 +49,9 @@ int main() {
   options.model.fci.skeleton.max_cond_size = 2;
   options.model.fci.max_pds_cond_size = 1;
   options.model.entropic.latent.restarts = 1;
+  // Measurement plane: fan each bootstrap/repair batch out over 4 threads
+  // (rows are bit-identical to a serial run) and dedup repeat configs.
+  options.broker.num_threads = 4;
   UnicornDebugger debugger(task, options);
   const auto goals = GoalsForFault(curation, fault);
   std::printf("QoS goal: latency <= %.1f\n", goals[0].threshold);
@@ -65,5 +68,10 @@ int main() {
   }
   std::printf("\nrecall vs ground truth: %.0f%%\n",
               100.0 * Recall(result.predicted_root_causes, fault.root_causes));
+  std::printf("measurement plane: %zu requests, %zu measured, %.0f%% cache hits, "
+              "%.2fs measuring\n",
+              result.broker_stats.requests, result.broker_stats.measured,
+              100.0 * result.broker_stats.CacheHitRate(),
+              result.broker_stats.measure_seconds);
   return 0;
 }

@@ -5,25 +5,18 @@
 #include <map>
 
 #include "stats/discretize.h"
+#include "unicorn/campaign.h"
 
 namespace unicorn {
 
+// Thin aliases onto the campaign layer's shared goal predicates (the
+// baselines predate them and every caller uses these names).
 bool DebugGoalsMet(const std::vector<double>& row, const std::vector<ObjectiveGoal>& goals) {
-  for (const auto& goal : goals) {
-    if (row[goal.var] > goal.threshold) {
-      return false;
-    }
-  }
-  return true;
+  return GoalsMet(row, goals);
 }
 
 double DebugBadness(const std::vector<double>& row, const std::vector<ObjectiveGoal>& goals) {
-  double worst = -1e18;
-  for (const auto& goal : goals) {
-    const double denom = std::max(1e-9, std::fabs(goal.threshold));
-    worst = std::max(worst, (row[goal.var] - goal.threshold) / denom);
-  }
-  return worst;
+  return GoalViolation(row, goals);
 }
 
 BaselineDebugResult CbiDebug(const PerformanceTask& task,

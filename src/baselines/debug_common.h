@@ -28,10 +28,12 @@ struct BaselineDebugResult {
   size_t measurements_used = 0;
 };
 
-// True when `row` satisfies every goal.
+// True when `row` satisfies every goal. Alias of the campaign layer's
+// GoalsMet (unicorn/campaign.h), kept under the baseline naming.
 bool DebugGoalsMet(const std::vector<double>& row, const std::vector<ObjectiveGoal>& goals);
 
-// Max relative goal violation of `row` (<= 0 when all goals met).
+// Max relative goal violation of `row` (<= 0 when all goals met). Alias of
+// the campaign layer's GoalViolation.
 double DebugBadness(const std::vector<double>& row, const std::vector<ObjectiveGoal>& goals);
 
 }  // namespace unicorn

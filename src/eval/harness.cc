@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/hash.h"
+
 namespace unicorn {
 
 PerformanceTask MakeSimulatedTask(std::shared_ptr<const SystemModel> model, Environment env,
@@ -9,12 +11,17 @@ PerformanceTask MakeSimulatedTask(std::shared_ptr<const SystemModel> model, Envi
   PerformanceTask task;
   task.variables = model->variables();
   task.option_vars = model->OptionIndices();
-  auto rng = std::make_shared<Rng>(seed);
-  task.measure = [model, env, workload, rng](const std::vector<double>& config) {
-    return model->Measure(config, env, workload, rng.get());
+  // Each call derives its noise stream from (seed, config hash), so
+  // measuring is a pure function of the configuration: safe to fan out on
+  // broker pool threads, and the measured row is independent of call order.
+  // The previous shared-RNG capture was a data race the moment measurements
+  // ran on pool threads, and made results depend on call interleaving even
+  // serially.
+  task.measure = [model, env, workload, seed](const std::vector<double>& config) {
+    Rng call_rng(HashDoubles(config, seed));
+    return model->Measure(config, env, workload, &call_rng);
   };
-  auto sampler_model = model;
-  task.sample_config = [sampler_model](Rng* r) { return sampler_model->SampleConfig(r); };
+  task.sample_config = [model](Rng* r) { return model->SampleConfig(r); };
   return task;
 }
 

@@ -14,9 +14,11 @@
 
 namespace unicorn {
 
-// Builds a PerformanceTask backed by the simulator. The returned task owns a
-// measurement RNG stream seeded with `seed` (measurement noise is shared
-// state across calls, like a real testbed).
+// Builds a PerformanceTask backed by the simulator. Measurement noise is a
+// pure function of (seed, configuration): repeat measurements of one config
+// return the identical row (the simulator already medians over replicates),
+// and measure() is safe to call concurrently from measurement-broker pool
+// threads.
 PerformanceTask MakeSimulatedTask(std::shared_ptr<const SystemModel> model, Environment env,
                                   Workload workload, uint64_t seed);
 

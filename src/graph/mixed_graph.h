@@ -95,6 +95,14 @@ class MixedGraph {
   // Multi-line human-readable dump using the node names provided.
   std::string ToString(const std::vector<std::string>& names) const;
 
+  // Exact structural equality (same nodes, edges, and end-marks); the
+  // bit-identity checks of the parallel sweep and the measurement plane
+  // compare learned models with this.
+  bool operator==(const MixedGraph& other) const {
+    return n_ == other.n_ && marks_ == other.marks_;
+  }
+  bool operator!=(const MixedGraph& other) const { return !(*this == other); }
+
  private:
   size_t n_;
   // marks_[a][b]: mark at b's end of edge a-b; kNone when absent.

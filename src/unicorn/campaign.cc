@@ -1,0 +1,108 @@
+#include "unicorn/campaign.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace unicorn {
+
+bool GoalsMet(const std::vector<double>& row, const std::vector<ObjectiveGoal>& goals) {
+  for (const auto& goal : goals) {
+    if (row[goal.var] > goal.threshold) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double GoalViolation(const std::vector<double>& row, const std::vector<ObjectiveGoal>& goals) {
+  double worst = -1e18;
+  for (const auto& goal : goals) {
+    const double denom = std::max(1e-9, std::fabs(goal.threshold));
+    worst = std::max(worst, (row[goal.var] - goal.threshold) / denom);
+  }
+  return worst;
+}
+
+CampaignRunner::CampaignRunner(PerformanceTask task, CampaignOptions options)
+    : options_(std::move(options)),
+      broker_(std::move(task), options_.broker),
+      engine_(broker_.task().variables, options_.model, options_.engine) {}
+
+std::vector<std::vector<double>> CampaignRunner::SampleConfigs(size_t count, Rng* rng) const {
+  std::vector<std::vector<double>> configs;
+  configs.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    configs.push_back(broker_.task().sample_config(rng));
+  }
+  return configs;
+}
+
+std::vector<std::vector<double>> CampaignRunner::MeasureUniform(size_t count, Rng* rng) {
+  return broker_.MeasureBatch(SampleConfigs(count, rng));
+}
+
+void CampaignRunner::Run(const std::vector<CampaignPolicy*>& policies) {
+  CampaignContext ctx{broker_.task(), engine_, broker_, 0};
+  std::vector<CampaignPolicy*> active;
+  for (CampaignPolicy* policy : policies) {
+    if (policy->Finished()) {
+      policy->Finalize(ctx);
+    } else {
+      active.push_back(policy);
+    }
+  }
+
+  for (size_t round = 0; !active.empty(); ++round) {
+    ctx.round = round;
+    bool refresh = false;
+    for (CampaignPolicy* policy : active) {
+      refresh = policy->WantsRefresh(ctx) || refresh;
+    }
+    if (refresh && engine_.data().NumRows() > 0) {
+      // Round 0 is the bootstrap round, so the r-th refreshing round reseeds
+      // with seed + (r - 1): the same seed + iteration stream the sequential
+      // debugger (refresh every iteration) and optimizer (every
+      // relearn_every-th) used.
+      engine_.Refresh(options_.seed + (round > 0 ? round - 1 : 0));
+    }
+
+    // Collect every policy's proposal and measure them as one batch: one
+    // fan-out over the pool, and a config two policies propose in the same
+    // round is measured once.
+    std::vector<std::vector<std::vector<double>>> proposals;
+    std::vector<std::vector<double>> combined;
+    proposals.reserve(active.size());
+    for (CampaignPolicy* policy : active) {
+      proposals.push_back(policy->Propose(ctx));
+      combined.insert(combined.end(), proposals.back().begin(), proposals.back().end());
+    }
+    const auto rows = broker_.MeasureBatch(combined);
+
+    size_t offset = 0;
+    for (size_t p = 0; p < active.size(); ++p) {
+      if (proposals[p].empty()) {
+        continue;
+      }
+      const std::vector<std::vector<double>> slice(
+          rows.begin() + static_cast<long>(offset),
+          rows.begin() + static_cast<long>(offset + proposals[p].size()));
+      active[p]->Absorb(proposals[p], slice, ctx);
+      offset += proposals[p].size();
+    }
+
+    // Retire finished policies — and any policy that proposed nothing while
+    // claiming to continue, which could otherwise spin forever.
+    std::vector<CampaignPolicy*> still_active;
+    for (size_t p = 0; p < active.size(); ++p) {
+      if (active[p]->Finished() || proposals[p].empty() ||
+          round + 1 >= options_.max_rounds) {
+        active[p]->Finalize(ctx);
+      } else {
+        still_active.push_back(active[p]);
+      }
+    }
+    active = std::move(still_active);
+  }
+}
+
+}  // namespace unicorn

@@ -1,0 +1,118 @@
+// The shared campaign runner: the generic propose → measure(batch) →
+// absorb → refresh loop under every Unicorn policy.
+//
+// A campaign decouples the reasoning plane (the causal-discovery engine plus
+// whatever policy proposes the next configurations) from the experiment
+// plane (the measurement broker). UnicornDebugger and UnicornOptimizer are
+// thin policies over this runner, and several policies — multi-fault,
+// multi-objective, transfer source+target — can run concurrently against one
+// shared engine (one measurement table, one model) and one shared
+// measurement cache: every row any policy measures teaches the model all of
+// them reason on, and a configuration one policy already paid for is free
+// for the rest.
+#ifndef UNICORN_UNICORN_CAMPAIGN_H_
+#define UNICORN_UNICORN_CAMPAIGN_H_
+
+#include <vector>
+
+#include "causal/counterfactual.h"
+#include "unicorn/measurement_broker.h"
+#include "unicorn/model_learner.h"
+#include "unicorn/task.h"
+
+namespace unicorn {
+
+// Goal predicates shared by the debugger, the baselines, and the benches
+// (previously copy-pasted in each).
+//
+// All goals satisfied by this measurement row?
+bool GoalsMet(const std::vector<double>& row, const std::vector<ObjectiveGoal>& goals);
+// Scalar "badness": max relative violation across goals (<= 0 means met).
+double GoalViolation(const std::vector<double>& row, const std::vector<ObjectiveGoal>& goals);
+
+// What a policy sees each round: the shared engine, the shared broker, the
+// task metadata, and the round counter.
+struct CampaignContext {
+  const PerformanceTask& task;
+  CausalModelEngine& engine;
+  MeasurementBroker& broker;
+  size_t round = 0;
+};
+
+// A reasoning policy driven by the CampaignRunner. Give concurrent policies
+// distinct seeds unless shared bootstrap configurations are intended: the
+// broker makes repeat measurements free, but each accepting policy still
+// appends its rows to the shared table, and exact duplicate rows inflate the
+// CI tests' effective sample size. Per-round contract:
+// Propose() returns the configurations to measure this round; Absorb()
+// receives the measured rows in proposal order and appends whatever it
+// accepts to ctx.engine (so speculative batch rows a sequential loop would
+// never have measured can be dropped, keeping batched == serial). A policy
+// that proposes an empty batch must report Finished() — the runner retires
+// it either way, since a policy proposing nothing can never finish itself.
+class CampaignPolicy {
+ public:
+  virtual ~CampaignPolicy() = default;
+
+  // Should the runner refresh the shared engine before this round's
+  // Propose()? Refreshes are shared: one refresh serves every policy.
+  virtual bool WantsRefresh(const CampaignContext& ctx) = 0;
+
+  virtual std::vector<std::vector<double>> Propose(CampaignContext& ctx) = 0;
+
+  virtual void Absorb(const std::vector<std::vector<double>>& configs,
+                      const std::vector<std::vector<double>>& rows,
+                      CampaignContext& ctx) = 0;
+
+  virtual bool Finished() const = 0;
+
+  // Called exactly once, when the policy leaves the campaign (finished or
+  // round cap hit): capture result state from the shared engine/broker.
+  virtual void Finalize(CampaignContext& ctx) = 0;
+};
+
+struct CampaignOptions {
+  CausalModelOptions model;
+  EngineOptions engine;
+  BrokerOptions broker;
+  // Refresh-seed stream: the round-r refresh uses seed + (r - 1) (round 0
+  // is the bootstrap round), matching the per-iteration reseeding the
+  // sequential loops did.
+  uint64_t seed = 17;
+  // Runaway guard; policies normally terminate themselves.
+  size_t max_rounds = 100000;
+};
+
+// Owns the shared CausalModelEngine and MeasurementBroker of a campaign and
+// drives its policies' rounds to completion.
+class CampaignRunner {
+ public:
+  CampaignRunner(PerformanceTask task, CampaignOptions options = {});
+
+  CausalModelEngine& engine() { return engine_; }
+  MeasurementBroker& broker() { return broker_; }
+  const PerformanceTask& task() const { return broker_.task(); }
+
+  // Runs rounds until every policy is finished. Each round: refresh the
+  // engine if any active policy asks, collect every policy's proposal (in
+  // the given order), measure them as ONE combined broker batch (shared
+  // dedup, maximal fan-out), and hand each policy its slice of rows.
+  void Run(const std::vector<CampaignPolicy*>& policies);
+
+  // Shared initial-sampling helper (the stage every loop and bench used to
+  // hand-roll): `count` uniform-random configurations drawn with `rng`.
+  std::vector<std::vector<double>> SampleConfigs(size_t count, Rng* rng) const;
+
+  // Samples `count` configurations and measures them as one batch; rows come
+  // back in draw order.
+  std::vector<std::vector<double>> MeasureUniform(size_t count, Rng* rng);
+
+ private:
+  CampaignOptions options_;
+  MeasurementBroker broker_;  // owns the task
+  CausalModelEngine engine_;
+};
+
+}  // namespace unicorn
+
+#endif  // UNICORN_UNICORN_CAMPAIGN_H_

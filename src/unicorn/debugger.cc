@@ -1,33 +1,206 @@
 #include "unicorn/debugger.h"
 
 #include <algorithm>
-#include <cmath>
-#include <set>
+
+#include "causal/constraints.h"
 
 namespace unicorn {
-namespace {
 
-// All goals satisfied by this measurement row?
-bool GoalsMet(const std::vector<double>& row, const std::vector<ObjectiveGoal>& goals) {
-  for (const auto& goal : goals) {
-    if (row[goal.var] > goal.threshold) {
-      return false;
+DebugPolicy::DebugPolicy(DebugOptions options, std::vector<double> fault_config,
+                         std::vector<ObjectiveGoal> goals, const DataTable* warm_start)
+    : options_(std::move(options)),
+      fault_config_(std::move(fault_config)),
+      goals_(std::move(goals)),
+      warm_start_(warm_start),
+      rng_(options_.seed) {
+  for (const auto& goal : goals_) {
+    goal_vars_.push_back(goal.var);
+  }
+}
+
+bool DebugPolicy::WantsRefresh(const CampaignContext&) {
+  // No model is needed for the bootstrap batch, and none after the budget is
+  // spent; every repair round reasons on a fresh (incremental) refresh.
+  return bootstrapped_ && !finished_ && iter_ < options_.max_iterations;
+}
+
+std::vector<std::vector<double>> DebugPolicy::Propose(CampaignContext& ctx) {
+  if (!bootstrapped_) {
+    // Stage II bootstrap: initial observational data plus the fault itself,
+    // proposed as one batch so the broker can fan it out.
+    ctx.engine.Reserve(ctx.engine.data().NumRows() +
+                       (warm_start_ != nullptr ? warm_start_->NumRows() : 0) +
+                       options_.initial_samples +
+                       options_.repairs_per_iteration * options_.max_iterations + 2);
+    if (warm_start_ != nullptr) {
+      ctx.engine.AppendRows(*warm_start_);
+    }
+    roles_ = StructuralConstraints(ctx.task.variables).roles();
+    std::vector<std::vector<double>> batch;
+    batch.reserve(options_.initial_samples + 1);
+    for (size_t i = 0; i < options_.initial_samples; ++i) {
+      batch.push_back(ctx.task.sample_config(&rng_));
+    }
+    batch.push_back(fault_config_);
+    return batch;
+  }
+
+  if (iter_ >= options_.max_iterations) {
+    finished_ = true;
+    return {};
+  }
+
+  result_.tests_per_iteration.push_back(ctx.engine.stats().tests_requested);
+  const CausalEffectEstimator& estimator = ctx.engine.Estimator();
+
+  // Stage III: rank causal paths into the violated objectives.
+  auto paths = estimator.RankPaths(goal_vars_, options_.top_k_paths);
+
+  path_diagnosis_ = OptionsOnPaths(paths, roles_);
+  const size_t options_on_paths = path_diagnosis_.size();
+  constexpr size_t kMaxDiagnosis = 8;
+  if (path_diagnosis_.size() > kMaxDiagnosis) {
+    path_diagnosis_.resize(kMaxDiagnosis);
+  }
+
+  // Cold-start fallback: with few samples the learned paths may not reach
+  // back to any option yet. Augment with the options that have the highest
+  // direct ACE on the violated objectives (same heuristic, degenerate
+  // two-node paths) so the repair generator always has candidates.
+  if (options_on_paths < 3) {
+    std::vector<std::pair<double, size_t>> scored;
+    for (size_t opt : ctx.task.option_vars) {
+      double ace = 0.0;
+      for (size_t g : goal_vars_) {
+        ace += estimator.Ace(g, opt);
+      }
+      scored.push_back({ace, opt});
+    }
+    std::sort(scored.begin(), scored.end(),
+              [](const auto& x, const auto& y) { return x.first > y.first; });
+    const size_t want = 6 - options_on_paths;
+    for (size_t i = 0; i < scored.size() && i < want; ++i) {
+      RankedPath pseudo;
+      pseudo.nodes = {scored[i].second, goal_vars_.front()};
+      pseudo.path_ace = scored[i].first;
+      paths.push_back(std::move(pseudo));
     }
   }
-  return true;
-}
 
-// Scalar "badness": max relative violation across goals (<= 0 means met).
-double Badness(const std::vector<double>& row, const std::vector<ObjectiveGoal>& goals) {
-  double worst = -1e18;
-  for (const auto& goal : goals) {
-    const double denom = std::max(1e-9, std::fabs(goal.threshold));
-    worst = std::max(worst, (row[goal.var] - goal.threshold) / denom);
+  // Stage V: counterfactual repair generation + ICE scoring, then the
+  // highest-ICE untried repairs become this round's measurement batch.
+  const auto repairs =
+      GenerateRepairs(estimator, paths, roles_, current_row_, goals_, options_.repairs);
+
+  pending_.clear();
+  std::vector<std::vector<double>> batch;
+  for (const auto& repair : repairs) {
+    if (pending_.size() >= options_.repairs_per_iteration) {
+      break;
+    }
+    std::vector<double> candidate = current_config_;
+    for (const auto& [var, level] : repair.assignments) {
+      // Map global option var -> config slot.
+      for (size_t i = 0; i < ctx.task.option_vars.size(); ++i) {
+        if (ctx.task.option_vars[i] == var) {
+          candidate[i] = estimator.ValueOfLevel(var, level);
+        }
+      }
+    }
+    if (tried_configs_.count(candidate)) {
+      continue;
+    }
+    tried_configs_.insert(candidate);
+    pending_.push_back({candidate, repair.assignments.front().first});
+    batch.push_back(std::move(candidate));
   }
-  return worst;
+  if (batch.empty()) {
+    // No untried repair left to measure: the loop cannot make progress.
+    finished_ = true;
+  }
+  return batch;
 }
 
-}  // namespace
+void DebugPolicy::Absorb(const std::vector<std::vector<double>>&,
+                         const std::vector<std::vector<double>>& rows,
+                         CampaignContext& ctx) {
+  if (!bootstrapped_) {
+    for (const auto& row : rows) {
+      ctx.engine.AddRow(row);
+      ++result_.measurements_used;
+    }
+    fault_row_ = rows.back();
+    current_config_ = fault_config_;
+    current_row_ = fault_row_;
+    best_config_ = fault_config_;
+    best_row_ = fault_row_;
+    best_badness_ = GoalViolation(fault_row_, goals_);
+    tried_configs_ = {fault_config_};
+    bootstrapped_ = true;
+    return;
+  }
+
+  ++iter_;
+  for (size_t k = 0; k < rows.size(); ++k) {
+    const auto& row = rows[k];
+    ctx.engine.AddRow(row);
+    ++result_.measurements_used;
+
+    std::vector<double> objective_values;
+    for (size_t g : goal_vars_) {
+      objective_values.push_back(row[g]);
+    }
+    result_.objective_trajectory.push_back(std::move(objective_values));
+    result_.selected_options.push_back(pending_[k].first_option);
+
+    const double badness = GoalViolation(row, goals_);
+    if (badness < best_badness_) {
+      best_badness_ = badness;
+      best_row_ = row;
+      best_config_ = pending_[k].config;
+      current_config_ = pending_[k].config;  // greedy: continue from the improvement
+      current_row_ = row;
+      stall_ = 0;
+    } else {
+      ++stall_;
+    }
+    if (GoalsMet(row, goals_)) {
+      result_.fixed = true;
+      // The broker may have speculatively measured the rest of the batch; a
+      // sequential loop would have stopped here, so drop the remainder
+      // (neither appended nor counted) to keep batched == serial.
+      break;
+    }
+  }
+  if (result_.fixed || stall_ >= options_.stall_termination ||
+      iter_ >= options_.max_iterations) {
+    finished_ = true;
+  }
+}
+
+void DebugPolicy::Finalize(CampaignContext& ctx) {
+  if (ctx.engine.HasModel()) {
+    result_.final_graph = ctx.engine.model().admg;
+  }
+  result_.engine_stats = ctx.engine.stats();
+  result_.broker_stats = ctx.broker.stats();
+  result_.fixed_config = best_config_;
+  result_.fixed_measurement = best_row_;
+  // Diagnosis: the options the fix changed, plus the options on the final
+  // model's top causal paths into the violated objectives.
+  for (size_t i = 0; i < ctx.task.option_vars.size(); ++i) {
+    if (!best_config_.empty() && best_config_[i] != fault_config_[i]) {
+      result_.predicted_root_causes.push_back(ctx.task.option_vars[i]);
+    }
+  }
+  for (size_t v : path_diagnosis_) {
+    if (std::find(result_.predicted_root_causes.begin(), result_.predicted_root_causes.end(),
+                  v) == result_.predicted_root_causes.end()) {
+      result_.predicted_root_causes.push_back(v);
+    }
+  }
+  std::sort(result_.predicted_root_causes.begin(), result_.predicted_root_causes.end());
+}
 
 UnicornDebugger::UnicornDebugger(PerformanceTask task, DebugOptions options)
     : task_(std::move(task)), options_(std::move(options)) {}
@@ -35,171 +208,15 @@ UnicornDebugger::UnicornDebugger(PerformanceTask task, DebugOptions options)
 DebugResult UnicornDebugger::Debug(const std::vector<double>& fault_config,
                                    const std::vector<ObjectiveGoal>& goals,
                                    const DataTable* warm_start) {
-  Rng rng(options_.seed);
-  DebugResult result;
-
-  // The engine is the loop's long-lived state: it owns the growing
-  // measurement table and re-learns the model incrementally each iteration.
-  CausalModelEngine engine(task_.variables, options_.model, options_.engine);
-  engine.Reserve(options_.initial_samples +
-                 options_.repairs_per_iteration * options_.max_iterations + 2);
-
-  // Stage II bootstrap: initial observational data.
-  if (warm_start != nullptr) {
-    engine.AppendRows(*warm_start);
-  }
-  for (size_t i = 0; i < options_.initial_samples; ++i) {
-    engine.AddRow(task_.measure(task_.sample_config(&rng)));
-    ++result.measurements_used;
-  }
-  const std::vector<double> fault_row = task_.measure(fault_config);
-  ++result.measurements_used;
-  engine.AddRow(fault_row);
-
-  const StructuralConstraints constraints(task_.variables);
-  const std::vector<VarRole>& roles = constraints.roles();
-  std::vector<size_t> goal_vars;
-  for (const auto& g : goals) {
-    goal_vars.push_back(g.var);
-  }
-
-  std::vector<double> current_config = fault_config;
-  std::vector<double> current_row = fault_row;
-  std::vector<double> best_row = fault_row;
-  std::vector<double> best_config = fault_config;
-  double best_badness = Badness(fault_row, goals);
-
-  std::set<std::vector<double>> tried_configs = {fault_config};
-  size_t stall = 0;
-  // Diagnosis from the most recent model: options on the top-ranked causal
-  // paths into the violated objectives (paper §4: "the configurations in
-  // this path are more likely to be associated with the root cause").
-  std::vector<size_t> path_diagnosis;
-
-  for (size_t iter = 0; iter < options_.max_iterations; ++iter) {
-    // Stage II/IV: incrementally refresh the causal performance model on all
-    // data (warm-started from the previous iteration's model when enabled).
-    engine.Refresh(options_.seed + iter);
-    result.tests_per_iteration.push_back(engine.stats().tests_requested);
-    const CausalEffectEstimator& estimator = engine.Estimator();
-
-    // Stage III: rank causal paths into the violated objectives.
-    auto paths = estimator.RankPaths(goal_vars, options_.top_k_paths);
-
-    path_diagnosis = OptionsOnPaths(paths, roles);
-    constexpr size_t kMaxDiagnosis = 8;
-    if (path_diagnosis.size() > kMaxDiagnosis) {
-      path_diagnosis.resize(kMaxDiagnosis);
-    }
-
-    // Cold-start fallback: with few samples the learned paths may not reach
-    // back to any option yet. Augment with the options that have the highest
-    // direct ACE on the violated objectives (same heuristic, degenerate
-    // two-node paths) so the repair generator always has candidates.
-    size_t options_on_paths = OptionsOnPaths(paths, roles).size();
-    if (options_on_paths < 3) {
-      std::vector<std::pair<double, size_t>> scored;
-      for (size_t opt : task_.option_vars) {
-        double ace = 0.0;
-        for (size_t g : goal_vars) {
-          ace += estimator.Ace(g, opt);
-        }
-        scored.push_back({ace, opt});
-      }
-      std::sort(scored.begin(), scored.end(),
-                [](const auto& x, const auto& y) { return x.first > y.first; });
-      const size_t want = 6 - options_on_paths;
-      for (size_t i = 0; i < scored.size() && i < want; ++i) {
-        RankedPath pseudo;
-        pseudo.nodes = {scored[i].second, goal_vars.front()};
-        pseudo.path_ace = scored[i].first;
-        paths.push_back(std::move(pseudo));
-      }
-    }
-
-    // Stage V: counterfactual repair generation + ICE scoring.
-    auto repairs =
-        GenerateRepairs(estimator, paths, roles, current_row, goals, options_.repairs);
-
-    // Measure the highest-ICE untried repairs (a small batch per refresh).
-    bool applied = false;
-    size_t measured_this_iter = 0;
-    for (const auto& repair : repairs) {
-      if (measured_this_iter >= options_.repairs_per_iteration) {
-        break;
-      }
-      std::vector<double> candidate = current_config;
-      for (const auto& [var, level] : repair.assignments) {
-        // Map global option var -> config slot.
-        for (size_t i = 0; i < task_.option_vars.size(); ++i) {
-          if (task_.option_vars[i] == var) {
-            candidate[i] = estimator.ValueOfLevel(var, level);
-          }
-        }
-      }
-      if (tried_configs.count(candidate)) {
-        continue;
-      }
-      tried_configs.insert(candidate);
-      const std::vector<double> row = task_.measure(candidate);
-      ++result.measurements_used;
-      ++measured_this_iter;
-      engine.AddRow(row);
-
-      std::vector<double> objective_values;
-      for (size_t g : goal_vars) {
-        objective_values.push_back(row[g]);
-      }
-      result.objective_trajectory.push_back(std::move(objective_values));
-      result.selected_options.push_back(repair.assignments.front().first);
-
-      const double badness = Badness(row, goals);
-      if (badness < best_badness) {
-        best_badness = badness;
-        best_row = row;
-        best_config = candidate;
-        current_config = candidate;  // greedy: continue from the improvement
-        current_row = row;
-        stall = 0;
-      } else {
-        ++stall;
-      }
-      applied = true;
-      if (GoalsMet(row, goals)) {
-        result.fixed = true;
-        break;
-      }
-    }
-    if (result.fixed) {
-      break;
-    }
-    if (!applied || stall >= options_.stall_termination) {
-      break;
-    }
-  }
-  // The engine outlives the loop, so one capture covers every exit path.
-  if (engine.HasModel()) {
-    result.final_graph = engine.model().admg;
-  }
-
-  result.engine_stats = engine.stats();
-  result.fixed_config = best_config;
-  result.fixed_measurement = best_row;
-  // Diagnosis: the options the fix changed, plus the options on the final
-  // model's top causal paths into the violated objectives.
-  for (size_t i = 0; i < task_.option_vars.size(); ++i) {
-    if (best_config[i] != fault_config[i]) {
-      result.predicted_root_causes.push_back(task_.option_vars[i]);
-    }
-  }
-  for (size_t v : path_diagnosis) {
-    if (std::find(result.predicted_root_causes.begin(), result.predicted_root_causes.end(),
-                  v) == result.predicted_root_causes.end()) {
-      result.predicted_root_causes.push_back(v);
-    }
-  }
-  std::sort(result.predicted_root_causes.begin(), result.predicted_root_causes.end());
-  return result;
+  CampaignOptions campaign;
+  campaign.model = options_.model;
+  campaign.engine = options_.engine;
+  campaign.broker = options_.broker;
+  campaign.seed = options_.seed;
+  CampaignRunner runner(task_, campaign);
+  DebugPolicy policy(options_, fault_config, goals, warm_start);
+  runner.Run({&policy});
+  return policy.TakeResult();
 }
 
 }  // namespace unicorn

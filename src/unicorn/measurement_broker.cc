@@ -1,0 +1,81 @@
+#include "unicorn/measurement_broker.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+namespace unicorn {
+namespace {
+
+// Marks a request already resolved from the cross-batch cache.
+constexpr size_t kResolved = std::numeric_limits<size_t>::max();
+
+}  // namespace
+
+MeasurementBroker::MeasurementBroker(PerformanceTask task, BrokerOptions options)
+    : task_(std::move(task)), options_(options) {
+  if (options_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+}
+
+std::vector<double> MeasurementBroker::Measure(const std::vector<double>& config) {
+  return MeasureBatch({config}).front();
+}
+
+std::vector<std::vector<double>> MeasurementBroker::MeasureBatch(
+    const std::vector<std::vector<double>>& configs) {
+  using Clock = std::chrono::steady_clock;
+  ++stats_.batches;
+  stats_.requests += configs.size();
+  stats_.largest_batch = std::max(stats_.largest_batch, configs.size());
+
+  // Resolve every request to either a cached row or a slot in the unique
+  // work list; duplicates within the batch share one slot.
+  std::vector<std::vector<double>> out(configs.size());
+  std::vector<size_t> unique_of(configs.size(), kResolved);
+  std::vector<const std::vector<double>*> unique;
+  std::unordered_map<std::vector<double>, size_t, ConfigHash> pending;
+  for (size_t i = 0; i < configs.size(); ++i) {
+    if (!options_.dedup_cache) {
+      unique_of[i] = unique.size();
+      unique.push_back(&configs[i]);
+      continue;
+    }
+    const auto hit = cache_.find(configs[i]);
+    if (hit != cache_.end()) {
+      out[i] = hit->second;
+      ++stats_.cache_hits;
+      continue;
+    }
+    const auto [it, inserted] = pending.emplace(configs[i], unique.size());
+    if (inserted) {
+      unique.push_back(&configs[i]);
+    } else {
+      ++stats_.cache_hits;  // within-batch duplicate: measured once
+    }
+    unique_of[i] = it->second;
+  }
+
+  // Fan out. Rows land in unique order, so request order (and thus the rows
+  // the caller sees) is independent of thread interleaving.
+  const auto start = Clock::now();
+  const auto rows = ParallelMap(pool_.get(), unique.size(),
+                                [&](size_t u) { return task_.measure(*unique[u]); });
+  stats_.measure_seconds += std::chrono::duration<double>(Clock::now() - start).count();
+  stats_.measured += unique.size();
+
+  for (size_t i = 0; i < configs.size(); ++i) {
+    if (unique_of[i] != kResolved) {
+      out[i] = rows[unique_of[i]];
+    }
+  }
+  if (options_.dedup_cache) {
+    for (size_t u = 0; u < unique.size(); ++u) {
+      cache_.emplace(*unique[u], rows[u]);
+    }
+  }
+  return out;
+}
+
+}  // namespace unicorn

@@ -1,0 +1,79 @@
+// The measurement plane (paper §4 Stage II/V: the operation the active
+// learning loop budgets).
+//
+// Every Unicorn loop — debugging, optimization, transfer, and the benches —
+// used to call PerformanceTask::measure one configuration at a time from the
+// reasoning thread. The broker makes measurement a first-class batched
+// subsystem: it accepts batches of configuration requests, deduplicates
+// repeat configurations through a canonical-config hash cache (within a
+// batch and across a whole campaign), fans evaluations out over a thread
+// pool, and returns rows in deterministic request order. Because harness
+// tasks measure as a pure function of the configuration (per-call RNG
+// derived from the config hash), a batch of N is bit-identical to N serial
+// calls at any thread count — the same guarantee the skeleton sweep makes.
+#ifndef UNICORN_UNICORN_MEASUREMENT_BROKER_H_
+#define UNICORN_UNICORN_MEASUREMENT_BROKER_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "unicorn/task.h"
+#include "util/hash.h"
+#include "util/thread_pool.h"
+
+namespace unicorn {
+
+struct BrokerOptions {
+  // Threads measuring one batch (<= 1: requests run inline, in order).
+  int num_threads = 1;
+  // Serve repeat configurations from the canonical-config cache instead of
+  // re-measuring. Sound whenever task.measure is deterministic per
+  // configuration (every harness task is); disable only for baselines where
+  // each request must hit the system.
+  bool dedup_cache = true;
+};
+
+// EngineStats-style accounting of the measurement plane.
+struct BrokerStats {
+  size_t requests = 0;    // configurations requested (incl. duplicates)
+  size_t measured = 0;    // task.measure invocations actually made
+  size_t cache_hits = 0;  // requests served without measuring
+  size_t batches = 0;     // MeasureBatch calls
+  size_t largest_batch = 0;
+  double measure_seconds = 0.0;  // wall time inside the measuring fan-out
+
+  double CacheHitRate() const {
+    return requests == 0 ? 0.0
+                         : static_cast<double>(cache_hits) / static_cast<double>(requests);
+  }
+};
+
+class MeasurementBroker {
+ public:
+  explicit MeasurementBroker(PerformanceTask task, BrokerOptions options = {});
+
+  const PerformanceTask& task() const { return task_; }
+
+  // Measures one configuration (a batch of one, through the cache).
+  std::vector<double> Measure(const std::vector<double>& config);
+
+  // Measures a batch, returning rows in request order. Duplicate
+  // configurations — within the batch or already measured by this broker —
+  // are measured once and counted as cache hits.
+  std::vector<std::vector<double>> MeasureBatch(
+      const std::vector<std::vector<double>>& configs);
+
+  const BrokerStats& stats() const { return stats_; }
+
+ private:
+  PerformanceTask task_;
+  BrokerOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unordered_map<std::vector<double>, std::vector<double>, ConfigHash> cache_;
+  BrokerStats stats_;
+};
+
+}  // namespace unicorn
+
+#endif  // UNICORN_UNICORN_MEASUREMENT_BROKER_H_

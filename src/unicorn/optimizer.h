@@ -6,10 +6,18 @@
 // interventional estimate prefers, and the causal model is refreshed
 // periodically. Multi-objective mode keeps a Pareto archive and scalarizes
 // with fresh random weights each step.
+//
+// The loop lives in OptimizePolicy, a CampaignPolicy over the shared
+// CampaignRunner (bootstrap batch + one or more candidates per round through
+// the measurement broker); UnicornOptimizer is the thin single-policy
+// wrapper.
 #ifndef UNICORN_UNICORN_OPTIMIZER_H_
 #define UNICORN_UNICORN_OPTIMIZER_H_
 
+#include <vector>
+
 #include "causal/effects.h"
+#include "unicorn/campaign.h"
 #include "unicorn/model_learner.h"
 #include "unicorn/task.h"
 
@@ -17,13 +25,16 @@ namespace unicorn {
 
 struct OptimizeOptions {
   size_t initial_samples = 25;
-  size_t max_iterations = 200;
-  size_t relearn_every = 10;       // causal model refresh period
+  size_t max_iterations = 200;     // total candidate measurements after bootstrap
+  size_t relearn_every = 10;       // causal model refresh period (in candidates)
   size_t mutations_per_step = 3;   // options changed per candidate
+  size_t candidates_per_round = 1;  // candidates measured as one broker batch
   double explore_probability = 0.15;  // chance of a uniform-random candidate
   CausalModelOptions model;
   // Incremental-discovery knobs for the engine held across refreshes.
   EngineOptions engine;
+  // Measurement-plane knobs (bootstrap + candidate batches).
+  BrokerOptions broker;
   uint64_t seed = 13;
 };
 
@@ -37,6 +48,52 @@ struct OptimizeResult {
   size_t measurements_used = 0;
   // Discovery-cost accounting of the engine across all model refreshes.
   EngineStats engine_stats;
+  // Measurement-plane accounting of the campaign's broker.
+  BrokerStats broker_stats;
+};
+
+// The optimization loop as a campaign policy: round 0 proposes the bootstrap
+// batch, every later round proposes `candidates_per_round` candidates
+// (mutations of the incumbent, or uniform exploration) and absorbs their
+// rows. ACE sampling weights are rebuilt whenever the shared engine was
+// refreshed since they were last computed — including refreshes another
+// policy in the campaign triggered.
+class OptimizePolicy : public CampaignPolicy {
+ public:
+  OptimizePolicy(OptimizeOptions options, std::vector<size_t> objective_vars,
+                 const DataTable* warm_start = nullptr);
+
+  bool WantsRefresh(const CampaignContext& ctx) override;
+  std::vector<std::vector<double>> Propose(CampaignContext& ctx) override;
+  void Absorb(const std::vector<std::vector<double>>& configs,
+              const std::vector<std::vector<double>>& rows, CampaignContext& ctx) override;
+  bool Finished() const override { return finished_; }
+  void Finalize(CampaignContext& ctx) override;
+
+  const OptimizeResult& result() const { return result_; }
+  OptimizeResult TakeResult() { return std::move(result_); }
+
+ private:
+  double Scalarize(const std::vector<double>& row) const;
+  void Record(const std::vector<double>& config, const std::vector<double>& row);
+  std::vector<double> MakeCandidate(const CampaignContext& ctx,
+                                    const CausalEffectEstimator& estimator);
+
+  OptimizeOptions options_;
+  std::vector<size_t> objective_vars_;
+  const DataTable* warm_start_;
+  Rng rng_;
+
+  bool bootstrapped_ = false;
+  bool finished_ = false;
+  size_t iter_ = 0;           // candidates absorbed so far
+  size_t next_relearn_ = 0;   // iter_ at which the next refresh is due
+  size_t refreshes_seen_ = 0;  // engine refresh count when weights were built
+  bool have_weights_ = false;
+  std::vector<double> option_ace_;
+  double best_value_ = 0.0;
+  std::vector<double> best_config_;
+  OptimizeResult result_;
 };
 
 class UnicornOptimizer {

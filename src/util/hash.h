@@ -1,0 +1,49 @@
+// Deterministic value hashing for canonical-configuration keys.
+//
+// The measurement plane keys its dedup cache on the exact bit pattern of a
+// configuration vector, and the simulated harness derives each measurement's
+// noise stream from (task seed, config hash) so that measuring is a pure
+// function of the configuration — safe on pool threads and independent of
+// call order. Both need the same cheap, deterministic, well-mixed hash.
+#ifndef UNICORN_UTIL_HASH_H_
+#define UNICORN_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace unicorn {
+
+// splitmix64 finalizer: a cheap full-avalanche 64-bit mixer.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Order-sensitive hash of a double vector by bit pattern. Configurations come
+// from finite option domains, so bitwise identity is the right notion of
+// "same configuration" (0.0 and -0.0 hash differently, which is fine: both
+// sides of a comparison always produce values the same way).
+inline uint64_t HashDoubles(const std::vector<double>& values, uint64_t seed = 0) {
+  uint64_t h = Mix64(seed ^ (0xa0761d6478bd642fULL + values.size()));
+  for (double v : values) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    h = Mix64(h ^ bits);
+  }
+  return h;
+}
+
+// Hasher for containers keyed on full configuration vectors.
+struct ConfigHash {
+  size_t operator()(const std::vector<double>& v) const {
+    return static_cast<size_t>(HashDoubles(v));
+  }
+};
+
+}  // namespace unicorn
+
+#endif  // UNICORN_UTIL_HASH_H_

@@ -1,0 +1,196 @@
+// Campaign-layer behavior: batched measurement is row-for-row equivalent to
+// serial driving of the same policies, and several policies can share one
+// engine + measurement cache.
+#include "unicorn/campaign.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/harness.h"
+#include "sysmodel/faults.h"
+#include "sysmodel/systems.h"
+#include "unicorn/debugger.h"
+#include "unicorn/optimizer.h"
+
+namespace unicorn {
+namespace {
+
+struct Scenario {
+  std::shared_ptr<SystemModel> model;
+  PerformanceTask task;
+  FaultCuration curation;
+};
+
+Scenario MakeScenario(SystemId id, uint64_t seed, size_t samples = 1200) {
+  Scenario s;
+  SystemSpec spec;
+  spec.num_events = 10;
+  s.model = std::make_shared<SystemModel>(BuildSystem(id, spec));
+  Rng rng(seed);
+  s.curation = CurateFaults(*s.model, Tx2(), DefaultWorkload(), samples, &rng, 0.97);
+  s.task = MakeSimulatedTask(s.model, Tx2(), DefaultWorkload(), seed + 1);
+  return s;
+}
+
+DebugOptions FastDebugOptions() {
+  DebugOptions options;
+  options.initial_samples = 20;
+  options.max_iterations = 12;
+  options.stall_termination = 20;
+  options.repairs_per_iteration = 3;  // batches bigger than one repair
+  options.model.fci.skeleton.max_cond_size = 2;
+  options.model.fci.skeleton.max_subsets = 16;
+  options.model.fci.max_pds_cond_size = 1;
+  options.model.entropic.latent.restarts = 1;
+  options.model.entropic.latent.iterations = 25;
+  return options;
+}
+
+const Fault* PickFault(const FaultCuration& curation, size_t skip = 0) {
+  size_t seen = 0;
+  for (const auto& f : curation.faults) {
+    if (!f.root_causes.empty()) {
+      if (seen == skip) {
+        return &f;
+      }
+      ++seen;
+    }
+  }
+  return nullptr;
+}
+
+// The debugger-equivalence guarantee: with `repairs_per_iteration` repairs
+// measured as one broker batch, a threads=4 run is row-for-row identical to
+// the serial (threads=1) run — measurement is pure per configuration, so
+// fan-out order cannot leak into the result.
+TEST(CampaignTest, DebuggerBatchedMatchesSerialRowForRow) {
+  Scenario s = MakeScenario(SystemId::kXception, 300);
+  const Fault* fault = PickFault(s.curation);
+  ASSERT_NE(fault, nullptr);
+  const auto goals = GoalsForFault(s.curation, *fault);
+
+  auto run = [&](int broker_threads) {
+    DebugOptions options = FastDebugOptions();
+    options.broker.num_threads = broker_threads;
+    UnicornDebugger debugger(s.task, options);
+    return debugger.Debug(fault->config, goals);
+  };
+  const DebugResult serial = run(1);
+  const DebugResult batched = run(4);
+
+  EXPECT_EQ(batched.fixed, serial.fixed);
+  EXPECT_EQ(batched.measurements_used, serial.measurements_used);
+  EXPECT_EQ(batched.fixed_config, serial.fixed_config);
+  EXPECT_EQ(batched.fixed_measurement, serial.fixed_measurement);
+  EXPECT_EQ(batched.objective_trajectory, serial.objective_trajectory);
+  EXPECT_EQ(batched.selected_options, serial.selected_options);
+  EXPECT_EQ(batched.predicted_root_causes, serial.predicted_root_causes);
+  EXPECT_EQ(batched.tests_per_iteration, serial.tests_per_iteration);
+  EXPECT_TRUE(batched.final_graph == serial.final_graph);
+}
+
+TEST(CampaignTest, OptimizerBatchedMatchesSerial) {
+  Scenario s = MakeScenario(SystemId::kBert, 301);
+  const size_t objective = s.model->ObjectiveIndices()[0];
+
+  auto run = [&](int broker_threads) {
+    OptimizeOptions options;
+    options.initial_samples = 20;
+    options.max_iterations = 25;
+    options.relearn_every = 10;
+    options.model.fci.skeleton.max_cond_size = 1;
+    options.model.entropic.latent.restarts = 1;
+    options.broker.num_threads = broker_threads;
+    UnicornOptimizer optimizer(s.task, options);
+    return optimizer.Minimize(objective);
+  };
+  const OptimizeResult serial = run(1);
+  const OptimizeResult batched = run(4);
+
+  EXPECT_EQ(batched.best_config, serial.best_config);
+  EXPECT_EQ(batched.best_value, serial.best_value);
+  EXPECT_EQ(batched.best_trajectory, serial.best_trajectory);
+  EXPECT_EQ(batched.evaluated, serial.evaluated);
+  EXPECT_EQ(batched.measurements_used, serial.measurements_used);
+}
+
+// Two faults debugged concurrently against one shared engine and one shared
+// measurement cache: every row either policy measures lands in the one
+// table both models learn from, and the second policy's bootstrap (same
+// sampling seed) is served entirely from the broker cache.
+TEST(CampaignTest, MultiFaultCampaignSharesEngineAndCache) {
+  Scenario s = MakeScenario(SystemId::kXception, 302);
+  const Fault* fault_a = PickFault(s.curation, 0);
+  const Fault* fault_b = PickFault(s.curation, 1);
+  ASSERT_NE(fault_a, nullptr);
+  if (fault_b == nullptr) {
+    fault_b = fault_a;  // one curated fault is enough: dedup still kicks in
+  }
+
+  DebugOptions options = FastDebugOptions();
+  CampaignOptions campaign;
+  campaign.model = options.model;
+  campaign.engine = options.engine;
+  campaign.seed = options.seed;
+  campaign.broker.num_threads = 4;
+
+  CampaignRunner runner(s.task, campaign);
+  DebugPolicy policy_a(options, fault_a->config, GoalsForFault(s.curation, *fault_a));
+  DebugPolicy policy_b(options, fault_b->config, GoalsForFault(s.curation, *fault_b));
+  runner.Run({&policy_a, &policy_b});
+
+  const DebugResult& a = policy_a.result();
+  const DebugResult& b = policy_b.result();
+  ASSERT_FALSE(a.fixed_config.empty());
+  ASSERT_FALSE(b.fixed_config.empty());
+  // Shared table: exactly the rows the two policies accepted, nothing else.
+  EXPECT_EQ(runner.engine().data().NumRows(), a.measurements_used + b.measurements_used);
+  // Shared measurement cache: both policies draw bootstrap samples with the
+  // same seed, so the second bootstrap is all cache hits.
+  EXPECT_GE(runner.broker().stats().cache_hits, options.initial_samples);
+  // One engine served every refresh either policy requested (each policy
+  // snapshots the shared stats when it finishes, so both see a prefix of
+  // the same refresh history).
+  const size_t total_refreshes = runner.engine().stats().refreshes;
+  EXPECT_GT(total_refreshes, 0u);
+  EXPECT_LE(a.engine_stats.refreshes, total_refreshes);
+  EXPECT_LE(b.engine_stats.refreshes, total_refreshes);
+}
+
+// A debugging policy and an optimization policy sharing one campaign: the
+// multi-objective/transfer shape from the issue — different reasoning loops,
+// one measurement table, one broker.
+TEST(CampaignTest, MixedDebugAndOptimizePoliciesShareOneCampaign) {
+  Scenario s = MakeScenario(SystemId::kXception, 303);
+  const Fault* fault = PickFault(s.curation);
+  ASSERT_NE(fault, nullptr);
+
+  DebugOptions debug_options = FastDebugOptions();
+  debug_options.max_iterations = 8;
+
+  OptimizeOptions optimize_options;
+  optimize_options.initial_samples = 10;
+  optimize_options.max_iterations = 15;
+  optimize_options.relearn_every = 5;
+  optimize_options.model = debug_options.model;
+
+  CampaignOptions campaign;
+  campaign.model = debug_options.model;
+  campaign.broker.num_threads = 4;
+
+  CampaignRunner runner(s.task, campaign);
+  DebugPolicy debug_policy(debug_options, fault->config, GoalsForFault(s.curation, *fault));
+  OptimizePolicy optimize_policy(optimize_options, {s.model->ObjectiveIndices()[0]});
+  runner.Run({&debug_policy, &optimize_policy});
+
+  EXPECT_FALSE(debug_policy.result().fixed_config.empty());
+  EXPECT_EQ(optimize_policy.result().measurements_used,
+            optimize_options.initial_samples + optimize_options.max_iterations);
+  EXPECT_EQ(optimize_policy.result().best_trajectory.size(),
+            optimize_policy.result().measurements_used);
+  EXPECT_EQ(runner.engine().data().NumRows(),
+            debug_policy.result().measurements_used +
+                optimize_policy.result().measurements_used);
+}
+
+}  // namespace
+}  // namespace unicorn

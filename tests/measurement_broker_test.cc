@@ -1,0 +1,116 @@
+#include "unicorn/measurement_broker.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/harness.h"
+#include "sysmodel/systems.h"
+
+namespace unicorn {
+namespace {
+
+PerformanceTask MakeTask(uint64_t seed) {
+  SystemSpec spec;
+  spec.num_events = 8;
+  auto model = std::make_shared<SystemModel>(BuildSystem(SystemId::kXception, spec));
+  return MakeSimulatedTask(model, Tx2(), DefaultWorkload(), seed);
+}
+
+std::vector<std::vector<double>> SampleBatch(const PerformanceTask& task, size_t count,
+                                             uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> configs;
+  for (size_t i = 0; i < count; ++i) {
+    configs.push_back(task.sample_config(&rng));
+  }
+  return configs;
+}
+
+TEST(MeasurementBrokerTest, HarnessMeasurementIsPurePerConfig) {
+  // The broker's guarantees rest on this: measuring is a pure function of
+  // the configuration (per-call RNG from the config hash), so repeat calls
+  // are bit-identical regardless of what was measured in between.
+  const PerformanceTask task = MakeTask(1);
+  const auto configs = SampleBatch(task, 3, 2);
+  const auto first = task.measure(configs[0]);
+  task.measure(configs[1]);
+  task.measure(configs[2]);
+  EXPECT_EQ(task.measure(configs[0]), first);
+}
+
+TEST(MeasurementBrokerTest, BatchMatchesSerialAtAnyThreadCount) {
+  const PerformanceTask task = MakeTask(3);
+  auto configs = SampleBatch(task, 40, 4);
+  // Duplicates sprinkled in to exercise the dedup path too.
+  for (size_t i = 0; i < 10; ++i) {
+    configs.push_back(configs[i * 3]);
+  }
+
+  // Serial ground truth: one direct measure call per request, in order.
+  std::vector<std::vector<double>> reference;
+  for (const auto& config : configs) {
+    reference.push_back(task.measure(config));
+  }
+
+  for (int threads : {1, 2, 4}) {
+    for (bool dedup : {true, false}) {
+      BrokerOptions options;
+      options.num_threads = threads;
+      options.dedup_cache = dedup;
+      MeasurementBroker broker(task, options);
+      EXPECT_EQ(broker.MeasureBatch(configs), reference)
+          << "threads=" << threads << " dedup=" << dedup;
+    }
+  }
+}
+
+TEST(MeasurementBrokerTest, DuplicatesMeasuredOnceWithAccounting) {
+  const PerformanceTask task = MakeTask(5);
+  auto configs = SampleBatch(task, 20, 6);
+  for (size_t i = 0; i < 10; ++i) {
+    configs.push_back(configs[i]);  // within-batch duplicates
+  }
+
+  BrokerOptions options;
+  options.num_threads = 4;
+  MeasurementBroker broker(task, options);
+  broker.MeasureBatch(configs);
+  EXPECT_EQ(broker.stats().requests, 30u);
+  EXPECT_EQ(broker.stats().measured, 20u);
+  EXPECT_EQ(broker.stats().cache_hits, 10u);
+
+  // The same batch again: everything is in the canonical-config cache now.
+  broker.MeasureBatch(configs);
+  EXPECT_EQ(broker.stats().requests, 60u);
+  EXPECT_EQ(broker.stats().measured, 20u);
+  EXPECT_EQ(broker.stats().cache_hits, 40u);
+  EXPECT_DOUBLE_EQ(broker.stats().CacheHitRate(), 40.0 / 60.0);
+  EXPECT_EQ(broker.stats().batches, 2u);
+  EXPECT_EQ(broker.stats().largest_batch, 30u);
+}
+
+TEST(MeasurementBrokerTest, SingleMeasureSharesTheCache) {
+  const PerformanceTask task = MakeTask(7);
+  const auto configs = SampleBatch(task, 1, 8);
+  MeasurementBroker broker(task);
+  const auto row = broker.Measure(configs[0]);
+  EXPECT_EQ(broker.Measure(configs[0]), row);
+  EXPECT_EQ(broker.stats().measured, 1u);
+  EXPECT_EQ(broker.stats().cache_hits, 1u);
+}
+
+TEST(MeasurementBrokerTest, DedupDisabledMeasuresEveryRequest) {
+  const PerformanceTask task = MakeTask(9);
+  auto configs = SampleBatch(task, 5, 10);
+  configs.push_back(configs[0]);
+
+  BrokerOptions options;
+  options.dedup_cache = false;
+  MeasurementBroker broker(task, options);
+  broker.MeasureBatch(configs);
+  broker.MeasureBatch(configs);
+  EXPECT_EQ(broker.stats().measured, 12u);
+  EXPECT_EQ(broker.stats().cache_hits, 0u);
+}
+
+}  // namespace
+}  // namespace unicorn

@@ -83,6 +83,26 @@ TEST(OptimizerTest, MultiObjectiveProducesFront) {
   EXPECT_LE(front.size(), points.size());
 }
 
+TEST(OptimizerTest, WarmStartOnlyTransferRuns) {
+  // initial_samples = 0 with a warm-start table (pure transfer): the loop
+  // must still run its full candidate budget on the transferred model.
+  std::shared_ptr<SystemModel> model;
+  const PerformanceTask task = MakeTask(&model, 206);
+  Rng rng(207);
+  std::vector<std::vector<double>> configs;
+  for (int i = 0; i < 60; ++i) {
+    configs.push_back(model->SampleConfig(&rng));
+  }
+  const DataTable warm = model->MeasureMany(configs, Tx2(), DefaultWorkload(), &rng);
+  OptimizeOptions options = FastOptions(15);
+  options.initial_samples = 0;
+  UnicornOptimizer optimizer(task, options);
+  const auto result = optimizer.Minimize(model->ObjectiveIndices()[0], &warm);
+  EXPECT_EQ(result.measurements_used, options.max_iterations);
+  EXPECT_FALSE(result.best_config.empty());
+  EXPECT_EQ(result.best_trajectory.size(), options.max_iterations);
+}
+
 TEST(OptimizerTest, WarmStartAccepted) {
   std::shared_ptr<SystemModel> model;
   const PerformanceTask task = MakeTask(&model, 204);
