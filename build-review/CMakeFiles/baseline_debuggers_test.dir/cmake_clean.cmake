@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_debuggers_test.dir/tests/baseline_debuggers_test.cc.o"
+  "CMakeFiles/baseline_debuggers_test.dir/tests/baseline_debuggers_test.cc.o.d"
+  "baseline_debuggers_test"
+  "baseline_debuggers_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_debuggers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_orientation.dir/bench/ablation_orientation.cc.o"
+  "CMakeFiles/bench_ablation_orientation.dir/bench/ablation_orientation.cc.o.d"
+  "bench_ablation_orientation"
+  "bench_ablation_orientation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_orientation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

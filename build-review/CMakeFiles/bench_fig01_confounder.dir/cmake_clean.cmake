@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_confounder.dir/bench/fig01_confounder.cc.o"
+  "CMakeFiles/bench_fig01_confounder.dir/bench/fig01_confounder.cc.o.d"
+  "bench_fig01_confounder"
+  "bench_fig01_confounder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_confounder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig01_confounder.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_optimization.dir/bench/fig15_optimization.cc.o"
+  "CMakeFiles/bench_fig15_optimization.dir/bench/fig15_optimization.cc.o.d"
+  "bench_fig15_optimization"
+  "bench_fig15_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

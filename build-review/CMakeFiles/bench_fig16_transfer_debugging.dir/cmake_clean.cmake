@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_transfer_debugging.dir/bench/fig16_transfer_debugging.cc.o"
+  "CMakeFiles/bench_fig16_transfer_debugging.dir/bench/fig16_transfer_debugging.cc.o.d"
+  "bench_fig16_transfer_debugging"
+  "bench_fig16_transfer_debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_transfer_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

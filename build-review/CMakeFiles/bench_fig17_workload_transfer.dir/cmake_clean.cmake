@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_workload_transfer.dir/bench/fig17_workload_transfer.cc.o"
+  "CMakeFiles/bench_fig17_workload_transfer.dir/bench/fig17_workload_transfer.cc.o.d"
+  "bench_fig17_workload_transfer"
+  "bench_fig17_workload_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_workload_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

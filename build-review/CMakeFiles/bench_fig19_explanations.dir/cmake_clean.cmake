@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_explanations.dir/bench/fig19_explanations.cc.o"
+  "CMakeFiles/bench_fig19_explanations.dir/bench/fig19_explanations.cc.o.d"
+  "bench_fig19_explanations"
+  "bench_fig19_explanations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_explanations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig21_stability.dir/bench/fig21_stability.cc.o"
+  "CMakeFiles/bench_fig21_stability.dir/bench/fig21_stability.cc.o.d"
+  "bench_fig21_stability"
+  "bench_fig21_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

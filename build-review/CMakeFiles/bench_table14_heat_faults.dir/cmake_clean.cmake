@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table14_heat_faults.dir/bench/table14_heat_faults.cc.o"
+  "CMakeFiles/bench_table14_heat_faults.dir/bench/table14_heat_faults.cc.o.d"
+  "bench_table14_heat_faults"
+  "bench_table14_heat_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table14_heat_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

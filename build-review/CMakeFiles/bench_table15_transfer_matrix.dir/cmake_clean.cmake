@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table15_transfer_matrix.dir/bench/table15_transfer_matrix.cc.o"
+  "CMakeFiles/bench_table15_transfer_matrix.dir/bench/table15_transfer_matrix.cc.o.d"
+  "bench_table15_transfer_matrix"
+  "bench_table15_transfer_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table15_transfer_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2a_debugging.dir/bench/table2a_debugging.cc.o"
+  "CMakeFiles/bench_table2a_debugging.dir/bench/table2a_debugging.cc.o.d"
+  "bench_table2a_debugging"
+  "bench_table2a_debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2a_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table2a_debugging.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debugger_test.dir/tests/debugger_test.cc.o"
+  "CMakeFiles/debugger_test.dir/tests/debugger_test.cc.o.d"
+  "debugger_test"
+  "debugger_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debugger_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discretize_test.dir/tests/discretize_test.cc.o"
+  "CMakeFiles/discretize_test.dir/tests/discretize_test.cc.o.d"
+  "discretize_test"
+  "discretize_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discretize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

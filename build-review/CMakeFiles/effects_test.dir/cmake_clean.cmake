@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/effects_test.dir/tests/effects_test.cc.o"
+  "CMakeFiles/effects_test.dir/tests/effects_test.cc.o.d"
+  "effects_test"
+  "effects_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/effects_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/entropic_test.dir/tests/entropic_test.cc.o"
+  "CMakeFiles/entropic_test.dir/tests/entropic_test.cc.o.d"
+  "entropic_test"
+  "entropic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/entropic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_debug_latency_fault.dir/examples/debug_latency_fault.cpp.o"
+  "CMakeFiles/example_debug_latency_fault.dir/examples/debug_latency_fault.cpp.o.d"
+  "example_debug_latency_fault"
+  "example_debug_latency_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_debug_latency_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_debug_latency_fault.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_optimize_energy.dir/examples/optimize_energy.cpp.o"
+  "CMakeFiles/example_optimize_energy.dir/examples/optimize_energy.cpp.o.d"
+  "example_optimize_energy"
+  "example_optimize_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_optimize_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_transfer_model.dir/examples/transfer_model.cpp.o"
+  "CMakeFiles/example_transfer_model.dir/examples/transfer_model.cpp.o.d"
+  "example_transfer_model"
+  "example_transfer_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_transfer_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

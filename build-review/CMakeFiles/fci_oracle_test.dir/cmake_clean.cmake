@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fci_oracle_test.dir/tests/fci_oracle_test.cc.o"
+  "CMakeFiles/fci_oracle_test.dir/tests/fci_oracle_test.cc.o.d"
+  "fci_oracle_test"
+  "fci_oracle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fci_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fci_test.dir/tests/fci_test.cc.o"
+  "CMakeFiles/fci_test.dir/tests/fci_test.cc.o.d"
+  "fci_test"
+  "fci_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fci_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

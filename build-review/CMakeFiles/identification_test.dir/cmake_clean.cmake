@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/identification_test.dir/tests/identification_test.cc.o"
+  "CMakeFiles/identification_test.dir/tests/identification_test.cc.o.d"
+  "identification_test"
+  "identification_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/identification_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latent_search_test.dir/tests/latent_search_test.cc.o"
+  "CMakeFiles/latent_search_test.dir/tests/latent_search_test.cc.o.d"
+  "latent_search_test"
+  "latent_search_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latent_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measurement_broker_test.dir/tests/measurement_broker_test.cc.o"
+  "CMakeFiles/measurement_broker_test.dir/tests/measurement_broker_test.cc.o.d"
+  "measurement_broker_test"
+  "measurement_broker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measurement_broker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

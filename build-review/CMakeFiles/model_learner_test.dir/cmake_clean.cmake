@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_learner_test.dir/tests/model_learner_test.cc.o"
+  "CMakeFiles/model_learner_test.dir/tests/model_learner_test.cc.o.d"
+  "model_learner_test"
+  "model_learner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_learner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skeleton_test.dir/tests/skeleton_test.cc.o"
+  "CMakeFiles/skeleton_test.dir/tests/skeleton_test.cc.o.d"
+  "skeleton_test"
+  "skeleton_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skeleton_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smac_pesmo_test.dir/tests/smac_pesmo_test.cc.o"
+  "CMakeFiles/smac_pesmo_test.dir/tests/smac_pesmo_test.cc.o.d"
+  "smac_pesmo_test"
+  "smac_pesmo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smac_pesmo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

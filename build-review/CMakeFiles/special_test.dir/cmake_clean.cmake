@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/special_test.dir/tests/special_test.cc.o"
+  "CMakeFiles/special_test.dir/tests/special_test.cc.o.d"
+  "special_test"
+  "special_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/special_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

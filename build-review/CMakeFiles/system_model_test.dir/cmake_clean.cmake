@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/system_model_test.dir/tests/system_model_test.cc.o"
+  "CMakeFiles/system_model_test.dir/tests/system_model_test.cc.o.d"
+  "system_model_test"
+  "system_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/system_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/systems_test.dir/tests/systems_test.cc.o"
+  "CMakeFiles/systems_test.dir/tests/systems_test.cc.o.d"
+  "systems_test"
+  "systems_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/systems_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

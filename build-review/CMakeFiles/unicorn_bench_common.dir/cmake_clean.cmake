@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unicorn_bench_common.dir/bench/common.cc.o"
+  "CMakeFiles/unicorn_bench_common.dir/bench/common.cc.o.d"
+  "libunicorn_bench_common.a"
+  "libunicorn_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unicorn_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/bugdoc.cc" "CMakeFiles/unicorn_core.dir/src/baselines/bugdoc.cc.o" "gcc" "CMakeFiles/unicorn_core.dir/src/baselines/bugdoc.cc.o.d"
+  "/root/repo/src/baselines/cbi.cc" "CMakeFiles/unicorn_core.dir/src/baselines/cbi.cc.o" "gcc" "CMakeFiles/unicorn_core.dir/src/baselines/cbi.cc.o.d"
+  "/root/repo/src/baselines/dd.cc" "CMakeFiles/unicorn_core.dir/src/baselines/dd.cc.o" "gcc" "CMakeFiles/unicorn_core.dir/src/baselines/dd.cc.o.d"
+  "/root/repo/src/baselines/decision_tree.cc" "CMakeFiles/unicorn_core.dir/src/baselines/decision_tree.cc.o" "gcc" "CMakeFiles/unicorn_core.dir/src/baselines/decision_tree.cc.o.d"
+  "/root/repo/src/baselines/encore.cc" "CMakeFiles/unicorn_core.dir/src/baselines/encore.cc.o" "gcc" "CMakeFiles/unicorn_core.dir/src/baselines/encore.cc.o.d"
+  "/root/repo/src/baselines/pesmo.cc" "CMakeFiles/unicorn_core.dir/src/baselines/pesmo.cc.o" "gcc" "CMakeFiles/unicorn_core.dir/src/baselines/pesmo.cc.o.d"
+  "/root/repo/src/baselines/random_forest.cc" "CMakeFiles/unicorn_core.dir/src/baselines/random_forest.cc.o" "gcc" "CMakeFiles/unicorn_core.dir/src/baselines/random_forest.cc.o.d"
+  "/root/repo/src/baselines/smac.cc" "CMakeFiles/unicorn_core.dir/src/baselines/smac.cc.o" "gcc" "CMakeFiles/unicorn_core.dir/src/baselines/smac.cc.o.d"
+  "/root/repo/src/causal/constraints.cc" "CMakeFiles/unicorn_core.dir/src/causal/constraints.cc.o" "gcc" "CMakeFiles/unicorn_core.dir/src/causal/constraints.cc.o.d"
+  "/root/repo/src/causal/counterfactual.cc" "CMakeFiles/unicorn_core.dir/src/causal/counterfactual.cc.o" "gcc" "CMakeFiles/unicorn_core.dir/src/causal/counterfactual.cc.o.d"
+  "/root/repo/src/causal/effects.cc" "CMakeFiles/unicorn_core.dir/src/causal/effects.cc.o" "gcc" "CMakeFiles/unicorn_core.dir/src/causal/effects.cc.o.d"
+  "/root/repo/src/causal/entropic.cc" "CMakeFiles/unicorn_core.dir/src/causal/entropic.cc.o" "gcc" "CMakeFiles/unicorn_core.dir/src/causal/entropic.cc.o.d"
+  "/root/repo/src/causal/fci.cc" "CMakeFiles/unicorn_core.dir/src/causal/fci.cc.o" "gcc" "CMakeFiles/unicorn_core.dir/src/causal/fci.cc.o.d"
+  "/root/repo/src/causal/identification.cc" "CMakeFiles/unicorn_core.dir/src/causal/identification.cc.o" "gcc" "CMakeFiles/unicorn_core.dir/src/causal/identification.cc.o.d"
+  "/root/repo/src/causal/latent_search.cc" "CMakeFiles/unicorn_core.dir/src/causal/latent_search.cc.o" "gcc" "CMakeFiles/unicorn_core.dir/src/causal/latent_search.cc.o.d"
+  "/root/repo/src/causal/skeleton.cc" "CMakeFiles/unicorn_core.dir/src/causal/skeleton.cc.o" "gcc" "CMakeFiles/unicorn_core.dir/src/causal/skeleton.cc.o.d"
+  "/root/repo/src/eval/harness.cc" "CMakeFiles/unicorn_core.dir/src/eval/harness.cc.o" "gcc" "CMakeFiles/unicorn_core.dir/src/eval/harness.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "CMakeFiles/unicorn_core.dir/src/eval/metrics.cc.o" "gcc" "CMakeFiles/unicorn_core.dir/src/eval/metrics.cc.o.d"
+  "/root/repo/src/graph/algorithms.cc" "CMakeFiles/unicorn_core.dir/src/graph/algorithms.cc.o" "gcc" "CMakeFiles/unicorn_core.dir/src/graph/algorithms.cc.o.d"
+  "/root/repo/src/graph/mixed_graph.cc" "CMakeFiles/unicorn_core.dir/src/graph/mixed_graph.cc.o" "gcc" "CMakeFiles/unicorn_core.dir/src/graph/mixed_graph.cc.o.d"
+  "/root/repo/src/stats/ci_cache.cc" "CMakeFiles/unicorn_core.dir/src/stats/ci_cache.cc.o" "gcc" "CMakeFiles/unicorn_core.dir/src/stats/ci_cache.cc.o.d"
+  "/root/repo/src/stats/correlation.cc" "CMakeFiles/unicorn_core.dir/src/stats/correlation.cc.o" "gcc" "CMakeFiles/unicorn_core.dir/src/stats/correlation.cc.o.d"
+  "/root/repo/src/stats/discretize.cc" "CMakeFiles/unicorn_core.dir/src/stats/discretize.cc.o" "gcc" "CMakeFiles/unicorn_core.dir/src/stats/discretize.cc.o.d"
+  "/root/repo/src/stats/entropy.cc" "CMakeFiles/unicorn_core.dir/src/stats/entropy.cc.o" "gcc" "CMakeFiles/unicorn_core.dir/src/stats/entropy.cc.o.d"
+  "/root/repo/src/stats/independence.cc" "CMakeFiles/unicorn_core.dir/src/stats/independence.cc.o" "gcc" "CMakeFiles/unicorn_core.dir/src/stats/independence.cc.o.d"
+  "/root/repo/src/stats/linalg.cc" "CMakeFiles/unicorn_core.dir/src/stats/linalg.cc.o" "gcc" "CMakeFiles/unicorn_core.dir/src/stats/linalg.cc.o.d"
+  "/root/repo/src/stats/regression.cc" "CMakeFiles/unicorn_core.dir/src/stats/regression.cc.o" "gcc" "CMakeFiles/unicorn_core.dir/src/stats/regression.cc.o.d"
+  "/root/repo/src/stats/special.cc" "CMakeFiles/unicorn_core.dir/src/stats/special.cc.o" "gcc" "CMakeFiles/unicorn_core.dir/src/stats/special.cc.o.d"
+  "/root/repo/src/stats/table.cc" "CMakeFiles/unicorn_core.dir/src/stats/table.cc.o" "gcc" "CMakeFiles/unicorn_core.dir/src/stats/table.cc.o.d"
+  "/root/repo/src/sysmodel/faults.cc" "CMakeFiles/unicorn_core.dir/src/sysmodel/faults.cc.o" "gcc" "CMakeFiles/unicorn_core.dir/src/sysmodel/faults.cc.o.d"
+  "/root/repo/src/sysmodel/system_model.cc" "CMakeFiles/unicorn_core.dir/src/sysmodel/system_model.cc.o" "gcc" "CMakeFiles/unicorn_core.dir/src/sysmodel/system_model.cc.o.d"
+  "/root/repo/src/sysmodel/systems.cc" "CMakeFiles/unicorn_core.dir/src/sysmodel/systems.cc.o" "gcc" "CMakeFiles/unicorn_core.dir/src/sysmodel/systems.cc.o.d"
+  "/root/repo/src/unicorn/campaign.cc" "CMakeFiles/unicorn_core.dir/src/unicorn/campaign.cc.o" "gcc" "CMakeFiles/unicorn_core.dir/src/unicorn/campaign.cc.o.d"
+  "/root/repo/src/unicorn/debugger.cc" "CMakeFiles/unicorn_core.dir/src/unicorn/debugger.cc.o" "gcc" "CMakeFiles/unicorn_core.dir/src/unicorn/debugger.cc.o.d"
+  "/root/repo/src/unicorn/measurement_broker.cc" "CMakeFiles/unicorn_core.dir/src/unicorn/measurement_broker.cc.o" "gcc" "CMakeFiles/unicorn_core.dir/src/unicorn/measurement_broker.cc.o.d"
+  "/root/repo/src/unicorn/model_learner.cc" "CMakeFiles/unicorn_core.dir/src/unicorn/model_learner.cc.o" "gcc" "CMakeFiles/unicorn_core.dir/src/unicorn/model_learner.cc.o.d"
+  "/root/repo/src/unicorn/optimizer.cc" "CMakeFiles/unicorn_core.dir/src/unicorn/optimizer.cc.o" "gcc" "CMakeFiles/unicorn_core.dir/src/unicorn/optimizer.cc.o.d"
+  "/root/repo/src/unicorn/query.cc" "CMakeFiles/unicorn_core.dir/src/unicorn/query.cc.o" "gcc" "CMakeFiles/unicorn_core.dir/src/unicorn/query.cc.o.d"
+  "/root/repo/src/util/csv.cc" "CMakeFiles/unicorn_core.dir/src/util/csv.cc.o" "gcc" "CMakeFiles/unicorn_core.dir/src/util/csv.cc.o.d"
+  "/root/repo/src/util/rng.cc" "CMakeFiles/unicorn_core.dir/src/util/rng.cc.o" "gcc" "CMakeFiles/unicorn_core.dir/src/util/rng.cc.o.d"
+  "/root/repo/src/util/text_table.cc" "CMakeFiles/unicorn_core.dir/src/util/text_table.cc.o" "gcc" "CMakeFiles/unicorn_core.dir/src/util/text_table.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "CMakeFiles/unicorn_core.dir/src/util/thread_pool.cc.o" "gcc" "CMakeFiles/unicorn_core.dir/src/util/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libunicorn_core.a"
+)
