@@ -310,11 +310,11 @@ void RunMeasurementPlaneComparison(bool smoke) {
     const auto start = Clock::now();
     DebugResult result = debugger.Debug(faults[0].config, goals);
     const double seconds = std::chrono::duration<double>(Clock::now() - start).count();
-    std::printf("%-18s %6.2fs end-to-end | %5.2fs measuring | %zu requests | "
-                "%zu measured | broker cache-hit %4.1f%%\n",
-                label, seconds, result.broker_stats.measure_seconds,
-                result.broker_stats.requests, result.broker_stats.measured,
-                100.0 * result.broker_stats.CacheHitRate());
+    std::printf("%-18s %6.2fs end-to-end | %5.2fs measuring wall (%5.2fs busy) | "
+                "%zu requests | %zu measured | broker cache-hit %4.1f%%\n",
+                label, seconds, result.broker_stats.batch_wall_seconds,
+                result.broker_stats.busy_seconds, result.broker_stats.requests,
+                result.broker_stats.measured, 100.0 * result.broker_stats.CacheHitRate());
     return result;
   };
   const DebugResult serial = run_debug("serial-measure", 1);
@@ -326,8 +326,9 @@ void RunMeasurementPlaneComparison(bool smoke) {
   std::printf("measurement-phase speedup: %.2fx (threads=4 vs threads=1, scales with\n"
               "  available cores — single-core hosts bound this at ~1x); "
               "final models bit-identical: %s\n",
-              batched.broker_stats.measure_seconds > 0.0
-                  ? serial.broker_stats.measure_seconds / batched.broker_stats.measure_seconds
+              batched.broker_stats.batch_wall_seconds > 0.0
+                  ? serial.broker_stats.batch_wall_seconds /
+                        batched.broker_stats.batch_wall_seconds
                   : 0.0,
               identical ? "yes" : "NO (bug)");
 }

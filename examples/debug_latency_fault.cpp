@@ -69,9 +69,9 @@ int main() {
   std::printf("\nrecall vs ground truth: %.0f%%\n",
               100.0 * Recall(result.predicted_root_causes, fault.root_causes));
   std::printf("measurement plane: %zu requests, %zu measured, %.0f%% cache hits, "
-              "%.2fs measuring\n",
+              "%.2fs measuring wall (%.2fs busy across threads)\n",
               result.broker_stats.requests, result.broker_stats.measured,
               100.0 * result.broker_stats.CacheHitRate(),
-              result.broker_stats.measure_seconds);
+              result.broker_stats.batch_wall_seconds, result.broker_stats.busy_seconds);
   return 0;
 }

@@ -25,6 +25,14 @@ PerformanceTask MakeSimulatedTask(std::shared_ptr<const SystemModel> model, Envi
   return task;
 }
 
+std::unique_ptr<SimulatedDeviceBackend> MakeDeviceBackend(
+    std::shared_ptr<const SystemModel> model, const Environment& env, Workload workload,
+    uint64_t task_seed, DeviceProfile profile) {
+  return std::make_unique<SimulatedDeviceBackend>(
+      MakeSimulatedTask(std::move(model), env, std::move(workload), task_seed),
+      std::move(profile));
+}
+
 std::vector<double> TrueAceWeights(const SystemModel& model, size_t objective,
                                    const Environment& env, const Workload& workload,
                                    uint64_t seed, int contexts) {

@@ -10,6 +10,7 @@
 
 #include "sysmodel/faults.h"
 #include "sysmodel/system_model.h"
+#include "unicorn/backend/simulated_device_backend.h"
 #include "unicorn/task.h"
 
 namespace unicorn {
@@ -21,6 +22,17 @@ namespace unicorn {
 // threads.
 PerformanceTask MakeSimulatedTask(std::shared_ptr<const SystemModel> model, Environment env,
                                   Workload workload, uint64_t seed);
+
+// Deploys `model` on one simulated device: the task carries the device's
+// Environment (per-backend hardware override — TX1 vs TX2 vs Xavier), the
+// profile adds seeded service-time and failure injection. A fleet of these
+// is the paper's heterogeneous Jetson rack; give every backend the same
+// environment and task seed when bit-identity with a serial broker is the
+// point (homogeneous backends), distinct environments when modeling
+// source/target hardware for the transfer benches.
+std::unique_ptr<SimulatedDeviceBackend> MakeDeviceBackend(
+    std::shared_ptr<const SystemModel> model, const Environment& env, Workload workload,
+    uint64_t task_seed, DeviceProfile profile);
 
 // True interventional ACE of every option on `objective` (indexed by global
 // variable id; non-options get 0). These are the weights of the ACE-weighted

@@ -1,10 +1,24 @@
 #include "stats/special.h"
 
+#include <math.h>
+
 #include <cmath>
 #include <limits>
 
 namespace unicorn {
 namespace {
+
+// std::lgamma writes the process-global `signgam` (POSIX), a data race once
+// CI tests run on skeleton-sweep / measurement pool threads. lgamma_r keeps
+// the sign in a local instead; we never need it.
+inline double LGamma(double x) {
+#if defined(__GLIBC__) || defined(__APPLE__)
+  int sign = 0;
+  return lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
 
 // Continued-fraction evaluation of the upper incomplete gamma Q(a, x)
 // (Numerical Recipes "gcf").
@@ -34,7 +48,7 @@ double GammaQContinuedFraction(double a, double x) {
       break;
     }
   }
-  return std::exp(-x + a * std::log(x) - std::lgamma(a)) * h;
+  return std::exp(-x + a * std::log(x) - LGamma(a)) * h;
 }
 
 // Series evaluation of the lower incomplete gamma P(a, x) ("gser").
@@ -52,7 +66,7 @@ double GammaPSeries(double a, double x) {
       break;
     }
   }
-  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+  return sum * std::exp(-x + a * std::log(x) - LGamma(a));
 }
 
 // Continued fraction for the incomplete beta function ("betacf").
@@ -138,7 +152,7 @@ double RegularizedBeta(double x, double a, double b) {
     return 1.0;
   }
   const double ln_front =
-      std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b) + a * std::log(x) + b * std::log1p(-x);
+      LGamma(a + b) - LGamma(a) - LGamma(b) + a * std::log(x) + b * std::log1p(-x);
   const double front = std::exp(ln_front);
   if (x < (a + 1.0) / (a + b + 2.0)) {
     return front * BetaContinuedFraction(x, a, b) / a;

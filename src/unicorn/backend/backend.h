@@ -1,0 +1,87 @@
+// The measurement backend abstraction: one executor the fleet can dispatch
+// configuration measurements to.
+//
+// The paper's experiment plane is a handful of NVIDIA Jetson boards, each a
+// distinct hardware environment, each slow and occasionally flaky. A
+// MeasurementBackend models one such executor: it takes a configuration and
+// returns either the full measurement row or a *typed* failure — transient
+// (retry, preferably elsewhere) or permanent (this backend is unhealthy or
+// structurally cannot serve the request). The BackendFleet owns routing,
+// queues, retries, and circuit-breaking on top of this interface; backends
+// stay dumb and single-purpose:
+//
+//   InProcessBackend        today's PerformanceTask::measure, in this process
+//   SimulatedDeviceBackend  a Jetson-like device profile: its own
+//                           Environment-specific task, seeded service-time
+//                           and failure injection
+//   RecordedBackend         replays a persisted measurement table (cross-
+//                           session reuse; supports only recorded configs)
+#ifndef UNICORN_UNICORN_BACKEND_BACKEND_H_
+#define UNICORN_UNICORN_BACKEND_BACKEND_H_
+
+#include <string>
+#include <vector>
+
+namespace unicorn {
+
+enum class MeasureStatus {
+  kOk,         // row is the full measurement
+  kTransient,  // this attempt failed; the request is retryable (elsewhere)
+  kPermanent,  // this backend cannot serve the request; counts toward its
+               // circuit-breaker
+};
+
+// What one measurement attempt on one backend produced.
+struct MeasureOutcome {
+  MeasureStatus status = MeasureStatus::kOk;
+  std::vector<double> row;  // valid iff status == kOk
+  std::string error;        // diagnostic for failures
+
+  static MeasureOutcome Ok(std::vector<double> row) {
+    MeasureOutcome outcome;
+    outcome.row = std::move(row);
+    return outcome;
+  }
+  static MeasureOutcome Transient(std::string error) {
+    MeasureOutcome outcome;
+    outcome.status = MeasureStatus::kTransient;
+    outcome.error = std::move(error);
+    return outcome;
+  }
+  static MeasureOutcome Permanent(std::string error) {
+    MeasureOutcome outcome;
+    outcome.status = MeasureStatus::kPermanent;
+    outcome.error = std::move(error);
+    return outcome;
+  }
+};
+
+class MeasurementBackend {
+ public:
+  virtual ~MeasurementBackend() = default;
+
+  virtual const std::string& name() const = 0;
+
+  // Worker threads the fleet runs against this backend (a device that can
+  // measure two configurations at once reports 2).
+  virtual int concurrency() const { return 1; }
+
+  // Capability check used by the fleet's routing: can this backend measure
+  // this configuration at all? (A RecordedBackend only supports recorded
+  // configurations.) Must be cheap and safe to call under the fleet lock.
+  virtual bool Supports(const std::vector<double>& config) const {
+    (void)config;
+    return true;
+  }
+
+  // Measures one configuration. `attempt` is the request's 1-based global
+  // try number — simulated backends derive deterministic failure/service
+  // draws from (backend seed, config, attempt), so a retry rolls fresh
+  // randomness instead of failing forever. Called concurrently from up to
+  // concurrency() fleet worker threads; implementations must be thread-safe.
+  virtual MeasureOutcome Measure(const std::vector<double>& config, int attempt) = 0;
+};
+
+}  // namespace unicorn
+
+#endif  // UNICORN_UNICORN_BACKEND_BACKEND_H_

@@ -1,0 +1,271 @@
+#include "unicorn/backend/backend_fleet.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <utility>
+
+namespace unicorn {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Exclusion is a 64-bit mask; fleets larger than that simply stop excluding
+// the overflow backends (routing still works, retries may revisit them).
+uint64_t BackendBit(size_t slot) { return slot < 64 ? (uint64_t{1} << slot) : 0; }
+
+}  // namespace
+
+BackendFleet::BackendFleet(std::vector<std::unique_ptr<MeasurementBackend>> backends,
+                           FleetOptions options)
+    : options_(options),
+      // The completion stream never exceeds the number of outstanding
+      // requests; its capacity only matters as a ForcePush-free fast path.
+      completions_(options.queue_capacity * (backends.empty() ? 1 : backends.size()) + 1) {
+  slots_.reserve(backends.size());
+  for (auto& backend : backends) {
+    auto slot = std::make_unique<Slot>();
+    slot->counters.name = backend->name();
+    slot->backend = std::move(backend);
+    slots_.push_back(std::move(slot));
+  }
+  for (size_t s = 0; s < slots_.size(); ++s) {
+    // At least one worker per slot: a zero-worker backend would still be
+    // routable and swallow requests forever.
+    const int workers = std::max(1, slots_[s]->backend->concurrency());
+    for (int w = 0; w < workers; ++w) {
+      workers_.emplace_back([this, s] { WorkerLoop(s); });
+    }
+  }
+}
+
+BackendFleet::~BackendFleet() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    for (auto& slot : slots_) {
+      slot->work_cv.notify_all();
+    }
+    space_cv_.notify_all();
+  }
+  completions_.Close();
+  for (auto& worker : workers_) {
+    worker.join();
+  }
+}
+
+int BackendFleet::Route(const Request& request, bool respect_excluded,
+                        bool respect_capacity) const {
+  int best = -1;
+  size_t best_load = std::numeric_limits<size_t>::max();
+  for (size_t s = 0; s < slots_.size(); ++s) {
+    const Slot& slot = *slots_[s];
+    if (slot.broken) {
+      continue;
+    }
+    if (respect_excluded && (request.excluded & BackendBit(s)) != 0) {
+      continue;
+    }
+    if (respect_capacity && slot.queue.size() >= options_.queue_capacity) {
+      continue;
+    }
+    if (!slot.backend->Supports(request.config)) {
+      continue;
+    }
+    const size_t load = slot.queue.size() + slot.in_flight;
+    if (load < best_load) {  // ties go to the lowest index
+      best_load = load;
+      best = static_cast<int>(s);
+    }
+  }
+  return best;
+}
+
+void BackendFleet::Enqueue(size_t slot_index, Request request) {
+  Slot& slot = *slots_[slot_index];
+  ++slot.counters.dispatched;
+  slot.queue.push_back(std::move(request));
+  slot.counters.max_queue_depth = std::max(slot.counters.max_queue_depth, slot.queue.size());
+  slot.work_cv.notify_one();
+}
+
+bool BackendFleet::Redispatch(Request request, size_t from_slot) {
+  int target = Route(request, /*respect_excluded=*/true, /*respect_capacity=*/false);
+  if (target < 0) {
+    // Everything preferable is excluded: retrying on an excluded backend
+    // (fresh attempt number, fresh failure draw) beats giving up.
+    target = Route(request, /*respect_excluded=*/false, /*respect_capacity=*/false);
+  }
+  if (target < 0) {
+    CompleteFailure(request, -1,
+                    MeasureOutcome::Permanent("no eligible backend (all circuit-broken, "
+                                              "excluded, or unsupporting)"),
+                    0.0);
+    return false;
+  }
+  if (static_cast<size_t>(target) != from_slot) {
+    ++totals_.rerouted;
+  }
+  Enqueue(static_cast<size_t>(target), std::move(request));
+  return true;
+}
+
+void BackendFleet::CompleteOk(const Request& request, size_t slot_index,
+                              std::vector<double> row, double seconds) {
+  ++slots_[slot_index]->counters.completed;
+  ++totals_.completed;
+  FleetCompletion done;
+  done.ticket = request.ticket;
+  done.config = request.config;
+  done.outcome = MeasureOutcome::Ok(std::move(row));
+  done.attempts = request.attempt;
+  done.backend = static_cast<int>(slot_index);
+  done.measure_seconds = seconds;
+  --outstanding_;
+  completions_.ForcePush(std::move(done));
+}
+
+void BackendFleet::CompleteFailure(const Request& request, int slot_index,
+                                   MeasureOutcome outcome, double seconds) {
+  ++totals_.failed;
+  FleetCompletion done;
+  done.ticket = request.ticket;
+  done.config = request.config;
+  done.outcome = std::move(outcome);
+  done.attempts = request.attempt;
+  done.backend = slot_index;
+  done.measure_seconds = seconds;
+  --outstanding_;
+  completions_.ForcePush(std::move(done));
+}
+
+void BackendFleet::BreakCircuit(size_t slot_index) {
+  Slot& slot = *slots_[slot_index];
+  slot.broken = true;
+  slot.counters.circuit_broken = true;
+  ++totals_.circuit_breaks;
+  // Nothing queued behind a retired backend is lost: migrate every pending
+  // request (no attempt spent — they were never measured here).
+  std::deque<Request> pending;
+  pending.swap(slot.queue);
+  for (auto& request : pending) {
+    request.excluded |= BackendBit(slot_index);
+    Redispatch(std::move(request), slot_index);
+  }
+  space_cv_.notify_all();
+}
+
+uint64_t BackendFleet::Submit(std::vector<double> config) {
+  std::unique_lock<std::mutex> lock(mu_);
+  Request request;
+  const uint64_t ticket = next_ticket_++;
+  request.ticket = ticket;
+  request.config = std::move(config);
+  ++totals_.submitted;
+  ++outstanding_;
+  for (;;) {
+    if (stop_) {
+      CompleteFailure(request, -1, MeasureOutcome::Permanent("fleet shut down"), 0.0);
+      return ticket;
+    }
+    const int target = Route(request, /*respect_excluded=*/true, /*respect_capacity=*/true);
+    if (target >= 0) {
+      Enqueue(static_cast<size_t>(target), std::move(request));
+      return ticket;
+    }
+    if (Route(request, /*respect_excluded=*/true, /*respect_capacity=*/false) < 0) {
+      // Not a capacity problem: no backend can ever serve this request.
+      CompleteFailure(request, -1,
+                      MeasureOutcome::Permanent("no eligible backend (all circuit-broken "
+                                                "or unsupporting)"),
+                      0.0);
+      return ticket;
+    }
+    space_cv_.wait(lock);  // eligible backends exist but their queues are full
+  }
+}
+
+bool BackendFleet::WaitCompletion(FleetCompletion* out) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (outstanding_ == 0 && completions_.size() == 0) {
+      return false;
+    }
+  }
+  return completions_.Pop(out);
+}
+
+size_t BackendFleet::Outstanding() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return outstanding_;
+}
+
+FleetStats BackendFleet::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  FleetStats stats = totals_;
+  stats.backends.reserve(slots_.size());
+  for (const auto& slot : slots_) {
+    BackendCounters counters = slot->counters;
+    counters.queue_depth = slot->queue.size();
+    counters.in_flight = slot->in_flight;
+    stats.backends.push_back(std::move(counters));
+  }
+  return stats;
+}
+
+void BackendFleet::WorkerLoop(size_t slot_index) {
+  Slot& slot = *slots_[slot_index];
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    slot.work_cv.wait(lock, [&] { return stop_ || !slot.queue.empty(); });
+    if (stop_) {
+      return;
+    }
+    Request request = std::move(slot.queue.front());
+    slot.queue.pop_front();
+    ++slot.in_flight;
+    space_cv_.notify_all();
+    lock.unlock();
+
+    const auto start = Clock::now();
+    MeasureOutcome outcome = slot.backend->Measure(request.config, request.attempt);
+    const double seconds = std::chrono::duration<double>(Clock::now() - start).count();
+
+    lock.lock();
+    --slot.in_flight;
+    slot.counters.busy_seconds += seconds;
+    if (stop_) {
+      return;  // shutdown mid-flight: the outcome is abandoned with the rest
+    }
+    switch (outcome.status) {
+      case MeasureStatus::kOk:
+        CompleteOk(request, slot_index, std::move(outcome.row), seconds);
+        break;
+      case MeasureStatus::kTransient:
+      case MeasureStatus::kPermanent: {
+        if (outcome.status == MeasureStatus::kTransient) {
+          ++slot.counters.transient_failures;
+        } else {
+          ++slot.counters.permanent_failures;
+          if (!slot.broken &&
+              slot.counters.permanent_failures >=
+                  static_cast<size_t>(options_.circuit_break_after)) {
+            BreakCircuit(slot_index);
+          }
+        }
+        if (request.attempt >= options_.max_attempts) {
+          outcome.error += " (gave up after " + std::to_string(request.attempt) + " attempts)";
+          CompleteFailure(request, static_cast<int>(slot_index), std::move(outcome), seconds);
+          break;
+        }
+        ++request.attempt;
+        request.excluded |= BackendBit(slot_index);
+        ++totals_.retries;
+        Redispatch(std::move(request), slot_index);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace unicorn

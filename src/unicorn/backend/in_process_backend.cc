@@ -1,0 +1,17 @@
+#include "unicorn/backend/in_process_backend.h"
+
+#include <utility>
+
+namespace unicorn {
+
+InProcessBackend::InProcessBackend(PerformanceTask task, std::string name, int concurrency)
+    : task_(std::move(task)),
+      name_(std::move(name)),
+      concurrency_(concurrency < 1 ? 1 : concurrency) {}
+
+MeasureOutcome InProcessBackend::Measure(const std::vector<double>& config, int attempt) {
+  (void)attempt;
+  return MeasureOutcome::Ok(task_.measure(config));
+}
+
+}  // namespace unicorn

@@ -1,0 +1,33 @@
+// The trivial backend: PerformanceTask::measure in this process — exactly
+// what the flat thread-pool broker did, behind the fleet interface.
+#ifndef UNICORN_UNICORN_BACKEND_IN_PROCESS_BACKEND_H_
+#define UNICORN_UNICORN_BACKEND_IN_PROCESS_BACKEND_H_
+
+#include <string>
+#include <vector>
+
+#include "unicorn/backend/backend.h"
+#include "unicorn/task.h"
+
+namespace unicorn {
+
+class InProcessBackend : public MeasurementBackend {
+ public:
+  // `concurrency` is how many fleet workers may call task.measure at once
+  // (harness tasks are pure per configuration, so any value is safe).
+  explicit InProcessBackend(PerformanceTask task, std::string name = "in-process",
+                            int concurrency = 1);
+
+  const std::string& name() const override { return name_; }
+  int concurrency() const override { return concurrency_; }
+  MeasureOutcome Measure(const std::vector<double>& config, int attempt) override;
+
+ private:
+  PerformanceTask task_;
+  std::string name_;
+  int concurrency_;
+};
+
+}  // namespace unicorn
+
+#endif  // UNICORN_UNICORN_BACKEND_IN_PROCESS_BACKEND_H_

@@ -1,0 +1,84 @@
+#include "unicorn/backend/measurement_table.h"
+
+#include <cstdlib>
+
+#include "util/csv.h"
+
+namespace unicorn {
+namespace {
+
+constexpr const char* kMagic = "unicorn-measurement-table-v1";
+
+bool ParseDoubles(const std::vector<std::string>& fields, size_t begin, size_t count,
+                  std::vector<double>* out) {
+  out->clear();
+  out->reserve(count);
+  for (size_t i = begin; i < begin + count; ++i) {
+    const char* text = fields[i].c_str();
+    char* end = nullptr;
+    const double value = std::strtod(text, &end);
+    if (end == text || *end != '\0') {
+      return false;
+    }
+    out->push_back(value);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool SaveMeasurementTable(const std::string& path, const MeasurementTable& table) {
+  return SaveMeasurementTable(path, table.num_options, table.num_vars, table.entries);
+}
+
+bool SaveMeasurementTable(
+    const std::string& path, size_t num_options, size_t num_vars,
+    const std::vector<std::pair<std::vector<double>, std::vector<double>>>& entries) {
+  CsvWriter writer(path);
+  if (!writer.ok()) {
+    return false;
+  }
+  writer.WriteRow({kMagic, std::to_string(num_options), std::to_string(num_vars)});
+  std::vector<double> record;
+  for (const auto& [config, row] : entries) {
+    record.clear();
+    record.insert(record.end(), config.begin(), config.end());
+    record.insert(record.end(), row.begin(), row.end());
+    writer.WriteNumericRow(record, 17);  // max_digits10: bit-exact round trip
+  }
+  return writer.ok();
+}
+
+bool LoadMeasurementTable(const std::string& path, MeasurementTable* table) {
+  CsvReader reader(path);
+  if (!reader.ok()) {
+    return false;
+  }
+  std::vector<std::string> fields;
+  if (!reader.ReadRow(&fields) || fields.size() != 3 || fields[0] != kMagic) {
+    return false;
+  }
+  table->num_options = std::strtoul(fields[1].c_str(), nullptr, 10);
+  table->num_vars = std::strtoul(fields[2].c_str(), nullptr, 10);
+  table->entries.clear();
+  if (table->num_options == 0 || table->num_vars < table->num_options) {
+    return false;
+  }
+  while (reader.ReadRow(&fields)) {
+    if (fields.size() == 1 && fields[0].empty()) {
+      continue;  // trailing newline
+    }
+    if (fields.size() != table->num_options + table->num_vars) {
+      return false;
+    }
+    std::pair<std::vector<double>, std::vector<double>> entry;
+    if (!ParseDoubles(fields, 0, table->num_options, &entry.first) ||
+        !ParseDoubles(fields, table->num_options, table->num_vars, &entry.second)) {
+      return false;
+    }
+    table->entries.push_back(std::move(entry));
+  }
+  return true;
+}
+
+}  // namespace unicorn

@@ -1,0 +1,44 @@
+// The one on-disk format of the measurement plane: a persisted map from
+// configuration to full measurement row.
+//
+// MeasurementBroker::SaveCache dumps its dedup cache here, RecordedBackend
+// replays it, and a warm-started campaign loads it back — the ROADMAP's
+// "cross-campaign table sharing" in one CSV. Values are written with 17
+// significant digits so doubles round-trip bit-exactly: the broker keys its
+// cache on the exact bit pattern of a configuration, and replay identity
+// depends on getting those bits back.
+//
+// Layout: a header row `unicorn-measurement-table-v1,<num options>,<num
+// vars>`, then one record per measurement — the option values followed by
+// the full variable row.
+#ifndef UNICORN_UNICORN_BACKEND_MEASUREMENT_TABLE_H_
+#define UNICORN_UNICORN_BACKEND_MEASUREMENT_TABLE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace unicorn {
+
+struct MeasurementTable {
+  size_t num_options = 0;
+  size_t num_vars = 0;
+  // (configuration, full measurement row) pairs, in insertion order.
+  std::vector<std::pair<std::vector<double>, std::vector<double>>> entries;
+};
+
+// Returns false (and writes nothing useful) on I/O failure.
+bool SaveMeasurementTable(const std::string& path, const MeasurementTable& table);
+
+// Same, streaming from a caller-owned entry list (no copy into a
+// MeasurementTable — the broker's cache can be large).
+bool SaveMeasurementTable(
+    const std::string& path, size_t num_options, size_t num_vars,
+    const std::vector<std::pair<std::vector<double>, std::vector<double>>>& entries);
+
+// Returns false on I/O failure, a bad header, or a malformed record.
+bool LoadMeasurementTable(const std::string& path, MeasurementTable* table);
+
+}  // namespace unicorn
+
+#endif  // UNICORN_UNICORN_BACKEND_MEASUREMENT_TABLE_H_

@@ -1,0 +1,35 @@
+#include "unicorn/backend/recorded_backend.h"
+
+#include <utility>
+
+namespace unicorn {
+
+RecordedBackend::RecordedBackend(MeasurementTable table, std::string name, int concurrency)
+    : name_(std::move(name)), concurrency_(concurrency < 1 ? 1 : concurrency) {
+  for (auto& [config, row] : table.entries) {
+    rows_.emplace(std::move(config), std::move(row));
+  }
+}
+
+RecordedBackend RecordedBackend::FromFile(const std::string& path, std::string name) {
+  MeasurementTable table;
+  LoadMeasurementTable(path, &table);  // failure leaves the table empty
+  return RecordedBackend(std::move(table), std::move(name));
+}
+
+bool RecordedBackend::Supports(const std::vector<double>& config) const {
+  return rows_.count(config) > 0;
+}
+
+MeasureOutcome RecordedBackend::Measure(const std::vector<double>& config, int attempt) {
+  (void)attempt;
+  const auto it = rows_.find(config);
+  if (it == rows_.end()) {
+    // Routing should never send an unrecorded configuration here; if it
+    // does, the failure is structural, not retryable-on-this-backend.
+    return MeasureOutcome::Permanent(name_ + ": configuration not recorded");
+  }
+  return MeasureOutcome::Ok(it->second);
+}
+
+}  // namespace unicorn

@@ -1,0 +1,46 @@
+// Replays a persisted measurement table: cross-session reuse as a backend.
+//
+// A RecordedBackend serves exactly the configurations some earlier campaign
+// measured (loaded from the MeasurementTable CSV a broker SaveCache wrote).
+// It is the capability-aware fleet member: Supports() is false for anything
+// unrecorded, so routing sends known configurations here for free and novel
+// ones to live backends — the transfer benches' "source hardware we already
+// measured" modeled directly.
+#ifndef UNICORN_UNICORN_BACKEND_RECORDED_BACKEND_H_
+#define UNICORN_UNICORN_BACKEND_RECORDED_BACKEND_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "unicorn/backend/backend.h"
+#include "unicorn/backend/measurement_table.h"
+#include "util/hash.h"
+
+namespace unicorn {
+
+class RecordedBackend : public MeasurementBackend {
+ public:
+  explicit RecordedBackend(MeasurementTable table, std::string name = "recorded",
+                           int concurrency = 1);
+
+  // Loads `path`; a missing/corrupt file yields an empty backend that
+  // supports nothing (check size()).
+  static RecordedBackend FromFile(const std::string& path, std::string name = "recorded");
+
+  const std::string& name() const override { return name_; }
+  int concurrency() const override { return concurrency_; }
+  bool Supports(const std::vector<double>& config) const override;
+  MeasureOutcome Measure(const std::vector<double>& config, int attempt) override;
+
+  size_t size() const { return rows_.size(); }
+
+ private:
+  std::string name_;
+  int concurrency_;
+  std::unordered_map<std::vector<double>, std::vector<double>, ConfigHash> rows_;
+};
+
+}  // namespace unicorn
+
+#endif  // UNICORN_UNICORN_BACKEND_RECORDED_BACKEND_H_

@@ -1,0 +1,64 @@
+// A Jetson-like simulated device: a real fleet member in miniature.
+//
+// The paper measures on physical TX1/TX2/Xavier boards — slow, occasionally
+// flaky, each its own hardware environment. This backend reproduces that
+// texture deterministically: the wrapped PerformanceTask carries the
+// device's Environment (built via eval/harness MakeDeviceBackend), and the
+// profile adds a seeded service-time distribution plus injectable
+// transient/permanent failure rates. Every draw derives from
+// (profile seed, config hash, attempt), so a fleet run's failure pattern is
+// reproducible from seeds alone no matter how threads interleave — and a
+// retry of the same configuration rolls fresh randomness instead of hitting
+// the same failure forever.
+#ifndef UNICORN_UNICORN_BACKEND_SIMULATED_DEVICE_BACKEND_H_
+#define UNICORN_UNICORN_BACKEND_SIMULATED_DEVICE_BACKEND_H_
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "unicorn/backend/backend.h"
+#include "unicorn/task.h"
+
+namespace unicorn {
+
+struct DeviceProfile {
+  std::string name = "device";
+  uint64_t seed = 1;  // drives failure and service-time draws
+  // Service-time model: seconds = mean * (1 ± jitter), drawn per
+  // (config, attempt). With `sleep` the worker actually sleeps it (bench
+  // realism: heterogeneous fleet wall clocks); otherwise it is accounted in
+  // simulated_busy_seconds() only, keeping tests fast.
+  double service_time_mean = 0.0;
+  double service_time_jitter = 0.0;  // relative, in [0, 1]
+  bool sleep = false;
+  // Failure injection, per measurement attempt.
+  double transient_failure_rate = 0.0;
+  double permanent_failure_rate = 0.0;
+  int concurrency = 1;  // fleet workers this device serves at once
+};
+
+class SimulatedDeviceBackend : public MeasurementBackend {
+ public:
+  SimulatedDeviceBackend(PerformanceTask task, DeviceProfile profile);
+
+  const std::string& name() const override { return profile_.name; }
+  int concurrency() const override { return profile_.concurrency; }
+  MeasureOutcome Measure(const std::vector<double>& config, int attempt) override;
+
+  const DeviceProfile& profile() const { return profile_; }
+  const PerformanceTask& task() const { return task_; }
+
+  // Total simulated service time across all attempts (whether slept or only
+  // accounted) — the device-side view of busy time.
+  double simulated_busy_seconds() const { return busy_us_.load() * 1e-6; }
+
+ private:
+  PerformanceTask task_;
+  DeviceProfile profile_;
+  std::atomic<long long> busy_us_{0};
+};
+
+}  // namespace unicorn
+
+#endif  // UNICORN_UNICORN_BACKEND_SIMULATED_DEVICE_BACKEND_H_

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
 
 namespace unicorn {
 
@@ -26,6 +29,12 @@ double GoalViolation(const std::vector<double>& row, const std::vector<Objective
 CampaignRunner::CampaignRunner(PerformanceTask task, CampaignOptions options)
     : options_(std::move(options)),
       broker_(std::move(task), options_.broker),
+      engine_(broker_.task().variables, options_.model, options_.engine) {}
+
+CampaignRunner::CampaignRunner(PerformanceTask task, CampaignOptions options,
+                               std::unique_ptr<BackendFleet> fleet)
+    : options_(std::move(options)),
+      broker_(std::move(task), std::move(fleet), options_.broker),
       engine_(broker_.task().variables, options_.model, options_.engine) {}
 
 std::vector<std::vector<double>> CampaignRunner::SampleConfigs(size_t count, Rng* rng) const {
@@ -59,11 +68,9 @@ void CampaignRunner::Run(const std::vector<CampaignPolicy*>& policies) {
       refresh = policy->WantsRefresh(ctx) || refresh;
     }
     if (refresh && engine_.data().NumRows() > 0) {
-      // Round 0 is the bootstrap round, so the r-th refreshing round reseeds
-      // with seed + (r - 1): the same seed + iteration stream the sequential
-      // debugger (refresh every iteration) and optimizer (every
-      // relearn_every-th) used.
-      engine_.Refresh(options_.seed + (round > 0 ? round - 1 : 0));
+      // The same seed + iteration stream the sequential debugger (refresh
+      // every iteration) and optimizer (every relearn_every-th) used.
+      engine_.Refresh(RefreshSeed(round));
     }
 
     // Collect every policy's proposal and measure them as one batch: one
@@ -103,6 +110,106 @@ void CampaignRunner::Run(const std::vector<CampaignPolicy*>& policies) {
     }
     active = std::move(still_active);
   }
+}
+
+void CampaignRunner::RunAsync(const std::vector<CampaignPolicy*>& policies) {
+  CampaignContext ctx{broker_.task(), engine_, broker_, 0};
+
+  // Per-policy pipeline state: each policy is always either retired or
+  // waiting on exactly one outstanding broker batch.
+  struct PolicyState {
+    CampaignPolicy* policy = nullptr;
+    size_t round = 0;
+    std::vector<std::vector<double>> proposal;
+    std::vector<std::vector<double>> rows;
+    size_t received = 0;
+  };
+  std::vector<PolicyState> states;
+  std::unordered_map<uint64_t, size_t> batch_owner;  // broker batch id -> state
+  size_t active = 0;
+
+  // Refresh (per-policy round, same seed stream as Run), propose, submit.
+  // Returns false when the policy retired instead of launching a round.
+  const auto launch_round = [&](size_t state_index) {
+    PolicyState& state = states[state_index];
+    ctx.round = state.round;
+    if (state.policy->WantsRefresh(ctx) && engine_.data().NumRows() > 0) {
+      engine_.Refresh(RefreshSeed(state.round));
+    }
+    state.proposal = state.policy->Propose(ctx);
+    if (state.proposal.empty()) {
+      // A policy proposing nothing can never finish itself (same guard as
+      // the synchronous loop).
+      state.policy->Finalize(ctx);
+      return false;
+    }
+    state.rows.assign(state.proposal.size(), {});
+    state.received = 0;
+    const BatchTicket ticket = broker_.SubmitBatch(state.proposal);
+    batch_owner.emplace(ticket.id, state_index);
+    return true;
+  };
+
+  states.reserve(policies.size());
+  for (CampaignPolicy* policy : policies) {
+    if (policy->Finished()) {
+      policy->Finalize(ctx);
+      continue;
+    }
+    states.push_back(PolicyState{policy, 0, {}, {}, 0});
+    if (launch_round(states.size() - 1)) {
+      ++active;
+    }
+  }
+
+  // Drain the completion stream: whichever policy's batch fills first
+  // absorbs first and immediately pipelines its next round — no barrier on
+  // the other policies' in-flight measurements. Completions of batches
+  // someone else submitted through the shared broker are set aside and
+  // requeued for their own consumer once the campaign is done.
+  std::vector<BrokerCompletion> foreign;
+  const auto requeue_foreign = [&] {
+    for (auto it = foreign.rbegin(); it != foreign.rend(); ++it) {
+      broker_.Requeue(std::move(*it));
+    }
+    foreign.clear();
+  };
+  while (active > 0) {
+    BrokerCompletion done;
+    if (!broker_.WaitCompletion(&done)) {
+      requeue_foreign();
+      throw std::runtime_error("async campaign: completion stream ended with active policies");
+    }
+    const auto owner = batch_owner.find(done.batch);
+    if (owner == batch_owner.end()) {
+      foreign.push_back(std::move(done));
+      continue;
+    }
+    if (!done.ok) {
+      requeue_foreign();
+      throw std::runtime_error("async campaign: measurement failed permanently: " + done.error);
+    }
+    PolicyState& state = states[owner->second];
+    state.rows[done.index] = std::move(done.row);
+    if (++state.received < state.proposal.size()) {
+      continue;
+    }
+    const size_t state_index = owner->second;
+    batch_owner.erase(owner);
+
+    ctx.round = state.round;
+    state.policy->Absorb(state.proposal, state.rows, ctx);
+    if (state.policy->Finished() || state.round + 1 >= options_.max_rounds) {
+      state.policy->Finalize(ctx);
+      --active;
+      continue;
+    }
+    ++state.round;
+    if (!launch_round(state_index)) {
+      --active;
+    }
+  }
+  requeue_foreign();
 }
 
 }  // namespace unicorn

@@ -13,6 +13,7 @@
 #ifndef UNICORN_UNICORN_CAMPAIGN_H_
 #define UNICORN_UNICORN_CAMPAIGN_H_
 
+#include <memory>
 #include <vector>
 
 #include "causal/counterfactual.h"
@@ -88,6 +89,12 @@ struct CampaignOptions {
 class CampaignRunner {
  public:
   CampaignRunner(PerformanceTask task, CampaignOptions options = {});
+  // Fleet-backed campaign: measurements dispatch through `fleet`
+  // (per-backend queues, retries, circuit breaking) instead of the flat
+  // thread pool. `task` still provides variable metadata and must match
+  // what the backends measure.
+  CampaignRunner(PerformanceTask task, CampaignOptions options,
+                 std::unique_ptr<BackendFleet> fleet);
 
   CausalModelEngine& engine() { return engine_; }
   MeasurementBroker& broker() { return broker_; }
@@ -99,6 +106,18 @@ class CampaignRunner {
   // dedup, maximal fan-out), and hand each policy its slice of rows.
   void Run(const std::vector<CampaignPolicy*>& policies);
 
+  // The barrier-free variant (ROADMAP "async campaign rounds"): each policy
+  // submits its round as its own broker batch and absorbs it the moment its
+  // rows land, so a fast policy refreshes the model and proposes again while
+  // a slow policy's measurements are still in flight on the fleet — no
+  // per-round barrier across policies. Round counters, refresh seeds, and
+  // the propose/absorb contract are per policy and unchanged; with a single
+  // policy (any broker mode, homogeneous backends) this is bit-identical to
+  // Run. With several policies the interleaving of shared-engine refreshes
+  // follows measurement completion order, which on a real fleet is timing-
+  // dependent — results stay valid but are not run-to-run deterministic.
+  void RunAsync(const std::vector<CampaignPolicy*>& policies);
+
   // Shared initial-sampling helper (the stage every loop and bench used to
   // hand-roll): `count` uniform-random configurations drawn with `rng`.
   std::vector<std::vector<double>> SampleConfigs(size_t count, Rng* rng) const;
@@ -108,6 +127,15 @@ class CampaignRunner {
   std::vector<std::vector<double>> MeasureUniform(size_t count, Rng* rng);
 
  private:
+  // Refresh-seed stream shared by Run and RunAsync: the round-r refreshing
+  // round reseeds with seed + (r - 1); round 0 is the bootstrap round and
+  // aliases to seed + 0 (it only refreshes when the engine already has
+  // rows). The single-policy async == sync bit-identity rests on both
+  // loops drawing from this one formula.
+  uint64_t RefreshSeed(size_t round) const {
+    return options_.seed + (round > 0 ? round - 1 : 0);
+  }
+
   CampaignOptions options_;
   MeasurementBroker broker_;  // owns the task
   CausalModelEngine engine_;

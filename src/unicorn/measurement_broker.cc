@@ -3,9 +3,15 @@
 #include <algorithm>
 #include <chrono>
 #include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "unicorn/backend/measurement_table.h"
 
 namespace unicorn {
 namespace {
+
+using Clock = std::chrono::steady_clock;
 
 // Marks a request already resolved from the cross-batch cache.
 constexpr size_t kResolved = std::numeric_limits<size_t>::max();
@@ -19,13 +25,33 @@ MeasurementBroker::MeasurementBroker(PerformanceTask task, BrokerOptions options
   }
 }
 
+MeasurementBroker::MeasurementBroker(PerformanceTask task, std::unique_ptr<BackendFleet> fleet,
+                                     BrokerOptions options)
+    : task_(std::move(task)), options_(options), fleet_(std::move(fleet)) {}
+
 std::vector<double> MeasurementBroker::Measure(const std::vector<double>& config) {
   return MeasureBatch({config}).front();
 }
 
-std::vector<std::vector<double>> MeasurementBroker::MeasureBatch(
+const std::vector<double>* MeasurementBroker::CachedRow(
+    const std::vector<double>& config) const {
+  if (!options_.dedup_cache) {
+    return nullptr;
+  }
+  const auto it = cache_index_.find(config);
+  return it == cache_index_.end() ? nullptr : &cache_entries_[it->second].second;
+}
+
+void MeasurementBroker::InsertCache(const std::vector<double>& config,
+                                    std::vector<double> row) {
+  const auto [it, inserted] = cache_index_.emplace(config, cache_entries_.size());
+  if (inserted) {
+    cache_entries_.emplace_back(config, std::move(row));
+  }
+}
+
+std::vector<std::vector<double>> MeasurementBroker::MeasureBatchOnPool(
     const std::vector<std::vector<double>>& configs) {
-  using Clock = std::chrono::steady_clock;
   ++stats_.batches;
   stats_.requests += configs.size();
   stats_.largest_batch = std::max(stats_.largest_batch, configs.size());
@@ -42,9 +68,8 @@ std::vector<std::vector<double>> MeasurementBroker::MeasureBatch(
       unique.push_back(&configs[i]);
       continue;
     }
-    const auto hit = cache_.find(configs[i]);
-    if (hit != cache_.end()) {
-      out[i] = hit->second;
+    if (const std::vector<double>* row = CachedRow(configs[i])) {
+      out[i] = *row;
       ++stats_.cache_hits;
       continue;
     }
@@ -58,11 +83,20 @@ std::vector<std::vector<double>> MeasurementBroker::MeasureBatch(
   }
 
   // Fan out. Rows land in unique order, so request order (and thus the rows
-  // the caller sees) is independent of thread interleaving.
+  // the caller sees) is independent of thread interleaving. Per-item timing
+  // lands in its own slot: busy time sums exactly once per measurement.
+  std::vector<double> item_seconds(unique.size(), 0.0);
   const auto start = Clock::now();
-  const auto rows = ParallelMap(pool_.get(), unique.size(),
-                                [&](size_t u) { return task_.measure(*unique[u]); });
-  stats_.measure_seconds += std::chrono::duration<double>(Clock::now() - start).count();
+  const auto rows = ParallelMap(pool_.get(), unique.size(), [&](size_t u) {
+    const auto item_start = Clock::now();
+    auto row = task_.measure(*unique[u]);
+    item_seconds[u] = std::chrono::duration<double>(Clock::now() - item_start).count();
+    return row;
+  });
+  stats_.batch_wall_seconds += std::chrono::duration<double>(Clock::now() - start).count();
+  for (double seconds : item_seconds) {
+    stats_.busy_seconds += seconds;
+  }
   stats_.measured += unique.size();
 
   for (size_t i = 0; i < configs.size(); ++i) {
@@ -72,10 +106,202 @@ std::vector<std::vector<double>> MeasurementBroker::MeasureBatch(
   }
   if (options_.dedup_cache) {
     for (size_t u = 0; u < unique.size(); ++u) {
-      cache_.emplace(*unique[u], rows[u]);
+      InsertCache(*unique[u], rows[u]);
     }
   }
   return out;
+}
+
+std::vector<std::vector<double>> MeasurementBroker::MeasureBatch(
+    const std::vector<std::vector<double>>& configs) {
+  if (!fleet_) {
+    return MeasureBatchOnPool(configs);
+  }
+
+  // Fleet mode rides the async path: submit, then drain our ticket's
+  // completions, deferring any stale async completions for their own
+  // consumers. Reassembly by index keeps request order deterministic no
+  // matter how the fleet routed or retried.
+  const auto start = Clock::now();
+  const BatchTicket ticket = SubmitBatch(configs);
+  std::vector<std::vector<double>> out(configs.size());
+  std::vector<BrokerCompletion> deferred;
+  const auto restore_deferred = [&] {
+    for (auto it = deferred.rbegin(); it != deferred.rend(); ++it) {
+      Requeue(std::move(*it));
+    }
+  };
+  // Drain the WHOLE batch even when a request fails: leaving its remaining
+  // completions in flight would pollute every later batch on this broker.
+  std::string first_error;
+  size_t resolved = 0;
+  while (resolved < ticket.size) {
+    BrokerCompletion done;
+    if (!WaitCompletion(&done)) {
+      restore_deferred();
+      throw std::runtime_error("measurement completion stream ended mid-batch");
+    }
+    if (done.batch != ticket.id) {
+      deferred.push_back(std::move(done));
+      continue;
+    }
+    ++resolved;
+    if (!done.ok) {
+      if (first_error.empty()) {
+        first_error = done.error;
+      }
+      continue;
+    }
+    out[done.index] = std::move(done.row);
+  }
+  restore_deferred();
+  stats_.batch_wall_seconds += std::chrono::duration<double>(Clock::now() - start).count();
+  if (!first_error.empty()) {
+    throw std::runtime_error("batch measurement failed permanently: " + first_error);
+  }
+  return out;
+}
+
+BatchTicket MeasurementBroker::SubmitBatch(const std::vector<std::vector<double>>& configs) {
+  if (!fleet_) {
+    // Pool mode has no completion engine: measure now (same dedup/stats
+    // path), queue the completions. The async API stays mode-independent.
+    auto rows = MeasureBatchOnPool(configs);
+    BatchTicket ticket{next_batch_++, configs.size()};
+    for (size_t i = 0; i < configs.size(); ++i) {
+      BrokerCompletion done;
+      done.batch = ticket.id;
+      done.index = i;
+      done.config = configs[i];
+      done.row = std::move(rows[i]);
+      ready_.push_back(std::move(done));
+    }
+    outstanding_requests_ += configs.size();
+    return ticket;
+  }
+
+  ++stats_.batches;
+  stats_.requests += configs.size();
+  stats_.largest_batch = std::max(stats_.largest_batch, configs.size());
+  BatchTicket ticket{next_batch_++, configs.size()};
+  outstanding_requests_ += configs.size();
+  for (size_t i = 0; i < configs.size(); ++i) {
+    if (const std::vector<double>* row = CachedRow(configs[i])) {
+      BrokerCompletion done;
+      done.batch = ticket.id;
+      done.index = i;
+      done.config = configs[i];
+      done.row = *row;
+      ready_.push_back(std::move(done));
+      ++stats_.cache_hits;
+      continue;
+    }
+    if (options_.dedup_cache) {
+      const auto in_flight = in_flight_.find(configs[i]);
+      if (in_flight != in_flight_.end()) {
+        // Already on a backend (this batch or an earlier one): wait on the
+        // same fleet ticket instead of measuring twice.
+        fleet_waiters_[in_flight->second].push_back(Waiter{ticket.id, i});
+        ++stats_.cache_hits;
+        continue;
+      }
+    }
+    const uint64_t fleet_ticket = fleet_->Submit(configs[i]);
+    fleet_waiters_[fleet_ticket].push_back(Waiter{ticket.id, i});
+    if (options_.dedup_cache) {
+      in_flight_.emplace(configs[i], fleet_ticket);
+    }
+    ++stats_.measured;
+  }
+  return ticket;
+}
+
+void MeasurementBroker::DrainOneFleetCompletion() {
+  FleetCompletion done;
+  if (!fleet_->WaitCompletion(&done)) {
+    // Waiters exist but the fleet has nothing outstanding: every remaining
+    // waiter is unservable (should not happen — Submit always completes).
+    fleet_waiters_.clear();
+    return;
+  }
+  stats_.busy_seconds += done.measure_seconds;
+  const auto waiters_it = fleet_waiters_.find(done.ticket);
+  if (waiters_it == fleet_waiters_.end()) {
+    return;  // a completion nobody asked for (impossible by construction)
+  }
+  const std::vector<Waiter> waiters = std::move(waiters_it->second);
+  fleet_waiters_.erase(waiters_it);
+  if (options_.dedup_cache) {
+    in_flight_.erase(done.config);
+  }
+
+  const bool ok = done.outcome.status == MeasureStatus::kOk;
+  if (ok && options_.dedup_cache) {
+    InsertCache(done.config, done.outcome.row);
+  }
+  if (!ok) {
+    stats_.failures += waiters.size();
+  }
+  for (const Waiter& waiter : waiters) {
+    BrokerCompletion completion;
+    completion.batch = waiter.batch;
+    completion.index = waiter.index;
+    completion.config = done.config;
+    if (ok) {
+      completion.row = done.outcome.row;
+    } else {
+      completion.ok = false;
+      completion.error = done.outcome.error;
+    }
+    ready_.push_back(std::move(completion));
+  }
+}
+
+void MeasurementBroker::Requeue(BrokerCompletion completion) {
+  ready_.push_front(std::move(completion));
+  ++outstanding_requests_;
+}
+
+bool MeasurementBroker::WaitCompletion(BrokerCompletion* out) {
+  for (;;) {
+    if (!ready_.empty()) {
+      *out = std::move(ready_.front());
+      ready_.pop_front();
+      --outstanding_requests_;
+      return true;
+    }
+    if (fleet_ && !fleet_waiters_.empty()) {
+      DrainOneFleetCompletion();
+      continue;
+    }
+    return false;
+  }
+}
+
+size_t MeasurementBroker::OutstandingRequests() const { return outstanding_requests_; }
+
+bool MeasurementBroker::SaveCache(const std::string& path) const {
+  return SaveMeasurementTable(path, task_.option_vars.size(), task_.variables.size(),
+                              cache_entries_);
+}
+
+size_t MeasurementBroker::LoadCache(const std::string& path) {
+  MeasurementTable table;
+  if (!LoadMeasurementTable(path, &table)) {
+    return 0;
+  }
+  if (table.num_options != task_.option_vars.size() ||
+      table.num_vars != task_.variables.size()) {
+    return 0;  // a table for a different task shape would poison the cache
+  }
+  size_t added = 0;
+  for (auto& [config, row] : table.entries) {
+    if (cache_index_.count(config) == 0) {
+      InsertCache(config, std::move(row));
+      ++added;
+    }
+  }
+  return added;
 }
 
 }  // namespace unicorn

@@ -6,18 +6,36 @@
 // reasoning thread. The broker makes measurement a first-class batched
 // subsystem: it accepts batches of configuration requests, deduplicates
 // repeat configurations through a canonical-config hash cache (within a
-// batch and across a whole campaign), fans evaluations out over a thread
-// pool, and returns rows in deterministic request order. Because harness
-// tasks measure as a pure function of the configuration (per-call RNG
-// derived from the config hash), a batch of N is bit-identical to N serial
-// calls at any thread count — the same guarantee the skeleton sweep makes.
+// batch and across a whole campaign), and executes them on one of two
+// engines:
+//
+//   * a flat in-process thread pool (the original mode), or
+//   * a BackendFleet — several MeasurementBackends (in-process, simulated
+//     Jetson devices, recorded replays) with per-backend queues, least-
+//     loaded + capability-aware routing, typed-failure retry, and circuit
+//     breaking (src/unicorn/backend/).
+//
+// Synchronous MeasureBatch returns rows in deterministic request order in
+// both modes. Because harness tasks measure as a pure function of the
+// configuration (per-call RNG derived from the config hash), a batch of N
+// through either engine — including a fleet of homogeneous backends with
+// injected transient failures — is bit-identical to N serial calls: the
+// dedup cache sits in front of the fleet and reassembly is ticket-ordered.
+//
+// The asynchronous path (SubmitBatch + WaitCompletion) exposes the fleet's
+// completion stream: rows surface as they land, so a campaign can absorb
+// one policy's batch while another's is still in flight instead of blocking
+// every policy on a per-round barrier.
 #ifndef UNICORN_UNICORN_MEASUREMENT_BROKER_H_
 #define UNICORN_UNICORN_MEASUREMENT_BROKER_H_
 
+#include <deque>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "unicorn/backend/backend_fleet.h"
 #include "unicorn/task.h"
 #include "util/hash.h"
 #include "util/thread_pool.h"
@@ -25,7 +43,9 @@
 namespace unicorn {
 
 struct BrokerOptions {
-  // Threads measuring one batch (<= 1: requests run inline, in order).
+  // Threads measuring one batch in pool mode (<= 1: requests run inline, in
+  // order). Ignored when the broker is fleet-backed — concurrency then comes
+  // from the backends.
   int num_threads = 1;
   // Serve repeat configurations from the canonical-config cache instead of
   // re-measuring. Sound whenever task.measure is deterministic per
@@ -37,11 +57,19 @@ struct BrokerOptions {
 // EngineStats-style accounting of the measurement plane.
 struct BrokerStats {
   size_t requests = 0;    // configurations requested (incl. duplicates)
-  size_t measured = 0;    // task.measure invocations actually made
+  size_t measured = 0;    // measurements actually dispatched
   size_t cache_hits = 0;  // requests served without measuring
-  size_t batches = 0;     // MeasureBatch calls
+  size_t batches = 0;     // MeasureBatch + SubmitBatch calls
   size_t largest_batch = 0;
-  double measure_seconds = 0.0;  // wall time inside the measuring fan-out
+  // Wall-clock of synchronous measuring fan-outs, recorded once per batch on
+  // the calling thread — the number end-to-end speedup claims divide by.
+  double batch_wall_seconds = 0.0;
+  // Per-measurement time summed across pool threads / fleet backends. With
+  // N-way concurrency this exceeds the wall clock by up to Nx — keeping the
+  // two separate is what makes utilization (busy/wall) reportable instead of
+  // silently overstating the fan-out wall time.
+  double busy_seconds = 0.0;
+  size_t failures = 0;  // requests whose measurement ultimately failed
 
   double CacheHitRate() const {
     return requests == 0 ? 0.0
@@ -49,28 +77,120 @@ struct BrokerStats {
   }
 };
 
+// Handle for an asynchronous batch.
+struct BatchTicket {
+  uint64_t id = 0;
+  size_t size = 0;
+};
+
+// One finished request on the broker's completion stream.
+struct BrokerCompletion {
+  uint64_t batch = 0;  // BatchTicket::id it belongs to
+  size_t index = 0;    // request index within that batch
+  std::vector<double> config;
+  std::vector<double> row;  // valid iff ok
+  bool ok = true;
+  std::string error;
+};
+
 class MeasurementBroker {
  public:
+  // Pool mode: measurements fan out over an in-process thread pool.
   explicit MeasurementBroker(PerformanceTask task, BrokerOptions options = {});
+  // Fleet mode: measurements dispatch through the given backend fleet.
+  // `task` still provides the variable/option metadata (and must match what
+  // the backends measure).
+  MeasurementBroker(PerformanceTask task, std::unique_ptr<BackendFleet> fleet,
+                    BrokerOptions options = {});
 
   const PerformanceTask& task() const { return task_; }
+  bool fleet_backed() const { return fleet_ != nullptr; }
+  // Null in pool mode.
+  const BackendFleet* fleet() const { return fleet_.get(); }
 
   // Measures one configuration (a batch of one, through the cache).
   std::vector<double> Measure(const std::vector<double>& config);
 
   // Measures a batch, returning rows in request order. Duplicate
   // configurations — within the batch or already measured by this broker —
-  // are measured once and counted as cache hits.
+  // are measured once and counted as cache hits. In fleet mode a request
+  // that ultimately fails (retries exhausted, no eligible backend) throws
+  // std::runtime_error: the synchronous contract has no partial result.
   std::vector<std::vector<double>> MeasureBatch(
       const std::vector<std::vector<double>>& configs);
 
+  // --- asynchronous path ---------------------------------------------------
+  //
+  // Submits a batch without waiting. Completions surface through
+  // WaitCompletion as rows land (out of order across and within batches;
+  // BrokerCompletion carries batch + index for reassembly). Cache hits
+  // complete immediately; a configuration already in flight is not
+  // re-submitted — its completion fans out to every waiting request. In
+  // pool mode the batch is measured synchronously during SubmitBatch and
+  // the completions queued, so the API is mode-independent.
+  BatchTicket SubmitBatch(const std::vector<std::vector<double>>& configs);
+
+  // Blocks for the next completed request of any outstanding batch; false
+  // when nothing is outstanding. Failed requests come back ok=false (the
+  // async path reports failures instead of throwing). Not thread-safe —
+  // one thread drains the stream, like every other broker entry point.
+  bool WaitCompletion(BrokerCompletion* out);
+
+  // Hands a completion back to the stream (front of the queue). For
+  // consumers that popped a completion belonging to a batch someone else is
+  // draining — put it back instead of dropping the measured row.
+  void Requeue(BrokerCompletion completion);
+
+  // Requests submitted asynchronously and not yet handed out.
+  size_t OutstandingRequests() const;
+
+  // --- cache persistence (cross-campaign table sharing) --------------------
+  //
+  // Saves the dedup cache — every (configuration, row) this broker ever
+  // measured or loaded — as a MeasurementTable CSV, in insertion order (the
+  // same format RecordedBackend replays). False on I/O failure.
+  bool SaveCache(const std::string& path) const;
+  // Pre-warms the dedup cache from a MeasurementTable CSV. Entries whose
+  // shape does not match the task (option/variable counts) are rejected
+  // wholesale. Returns the number of entries added (0 on failure/mismatch).
+  size_t LoadCache(const std::string& path);
+
   const BrokerStats& stats() const { return stats_; }
+  // Fleet-side ledger (dispatch/retry/circuit-break accounting); empty in
+  // pool mode.
+  FleetStats fleet_stats() const { return fleet_ ? fleet_->stats() : FleetStats{}; }
 
  private:
+  struct Waiter {
+    uint64_t batch = 0;
+    size_t index = 0;
+  };
+
+  std::vector<std::vector<double>> MeasureBatchOnPool(
+      const std::vector<std::vector<double>>& configs);
+  const std::vector<double>* CachedRow(const std::vector<double>& config) const;
+  void InsertCache(const std::vector<double>& config, std::vector<double> row);
+  // Blocks on the fleet stream for one completion and resolves its waiters
+  // into ready_. Requires outstanding fleet work.
+  void DrainOneFleetCompletion();
+
   PerformanceTask task_;
   BrokerOptions options_;
   std::unique_ptr<ThreadPool> pool_;
-  std::unordered_map<std::vector<double>, std::vector<double>, ConfigHash> cache_;
+  std::unique_ptr<BackendFleet> fleet_;
+
+  // Dedup cache, insertion-ordered so SaveCache output is deterministic.
+  std::vector<std::pair<std::vector<double>, std::vector<double>>> cache_entries_;
+  std::unordered_map<std::vector<double>, size_t, ConfigHash> cache_index_;
+
+  // Async bookkeeping: fleet ticket -> requests waiting on it, and which
+  // configs are in flight (so repeat requests attach instead of re-submit).
+  std::unordered_map<uint64_t, std::vector<Waiter>> fleet_waiters_;
+  std::unordered_map<std::vector<double>, uint64_t, ConfigHash> in_flight_;
+  std::deque<BrokerCompletion> ready_;
+  uint64_t next_batch_ = 1;
+  size_t outstanding_requests_ = 0;
+
   BrokerStats stats_;
 };
 

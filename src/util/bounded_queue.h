@@ -1,0 +1,130 @@
+// A bounded MPMC blocking queue.
+//
+// Push blocks while the queue is at capacity, giving producers natural
+// backpressure against a slow consumer; ForcePush bypasses the bound for
+// paths where blocking the producer could deadlock and dropping the item is
+// worse than briefly exceeding the bound. Close() wakes every waiter:
+// pushes fail from then on, pops drain what is left and then fail.
+//
+// The backend fleet uses one of these as its completion stream (workers
+// ForcePush finished requests, the broker Pops them). The fleet's
+// per-backend WORK queues are plain deques under the fleet mutex instead:
+// routing needs atomic load comparisons across all queues, which no
+// per-queue lock can provide.
+#ifndef UNICORN_UTIL_BOUNDED_QUEUE_H_
+#define UNICORN_UTIL_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace unicorn {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  // Blocks while the queue is full. Returns false (item not enqueued) once
+  // the queue is closed.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    space_cv_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) {
+      return false;
+    }
+    items_.push_back(std::move(item));
+    item_cv_.notify_one();
+    return true;
+  }
+
+  // Enqueues regardless of capacity (never blocks). Returns false only if
+  // the queue is closed.
+  bool ForcePush(T item) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) {
+      return false;
+    }
+    items_.push_back(std::move(item));
+    item_cv_.notify_one();
+    return true;
+  }
+
+  // Blocks until an item is available or the queue is closed and drained.
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    item_cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) {
+      return false;  // closed and drained
+    }
+    *out = std::move(items_.front());
+    items_.pop_front();
+    space_cv_.notify_one();
+    return true;
+  }
+
+  // Non-blocking pop; false when empty (or closed and drained).
+  bool TryPop(T* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) {
+      return false;
+    }
+    *out = std::move(items_.front());
+    items_.pop_front();
+    space_cv_.notify_one();
+    return true;
+  }
+
+  // Removes and returns everything currently queued (for circuit-break
+  // migration: a retired backend's queue is drained and rerouted).
+  std::vector<T> DrainNow() {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<T> drained;
+    drained.reserve(items_.size());
+    for (auto& item : items_) {
+      drained.push_back(std::move(item));
+    }
+    items_.clear();
+    space_cv_.notify_all();
+    return drained;
+  }
+
+  // After Close(): Push/ForcePush fail, Pop drains remaining items then
+  // fails. Idempotent.
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    item_cv_.notify_all();
+    space_cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable item_cv_;   // consumers: item available or closed
+  std::condition_variable space_cv_;  // producers: space available or closed
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace unicorn
+
+#endif  // UNICORN_UTIL_BOUNDED_QUEUE_H_

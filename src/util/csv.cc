@@ -1,5 +1,6 @@
 #include "util/csv.h"
 
+#include <cstdio>
 #include <sstream>
 
 namespace unicorn {
@@ -41,15 +42,74 @@ void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
   out_ << '\n';
 }
 
-void CsvWriter::WriteNumericRow(const std::vector<double>& values) {
+void CsvWriter::WriteNumericRow(const std::vector<double>& values, int precision) {
   std::ostringstream oss;
+  char buffer[64];
   for (size_t i = 0; i < values.size(); ++i) {
     if (i) {
       oss << ',';
     }
-    oss << values[i];
+    std::snprintf(buffer, sizeof(buffer), "%.*g", precision, values[i]);
+    oss << buffer;
   }
   out_ << oss.str() << '\n';
+}
+
+CsvReader::CsvReader(const std::string& path) : in_(path) {}
+
+CsvReader::~CsvReader() = default;
+
+std::vector<std::string> CsvSplit(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (c != '\r') {
+      field += c;
+    }
+  }
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+bool CsvReader::ReadRow(std::vector<std::string>* fields) {
+  std::string line;
+  if (!std::getline(in_, line)) {
+    return false;
+  }
+  // A quoted field may span physical lines: keep appending while the quote
+  // count is odd (escaped quotes contribute pairs, so parity is right).
+  size_t quotes = 0;
+  for (char c : line) {
+    quotes += (c == '"');
+  }
+  std::string next;
+  while (quotes % 2 == 1 && std::getline(in_, next)) {
+    line += '\n';
+    line += next;
+    for (char c : next) {
+      quotes += (c == '"');
+    }
+  }
+  *fields = CsvSplit(line);
+  return true;
 }
 
 }  // namespace unicorn

@@ -1,4 +1,6 @@
-// Minimal CSV writer used by benchmarks to dump table/figure data.
+// Minimal CSV writer/reader: benchmarks dump table/figure data, and the
+// measurement plane persists/replays measurement tables (broker cache,
+// RecordedBackend) through one on-disk format.
 #ifndef UNICORN_UTIL_CSV_H_
 #define UNICORN_UTIL_CSV_H_
 
@@ -9,7 +11,7 @@
 namespace unicorn {
 
 // Writes rows of strings/doubles to a CSV file. Quotes fields that contain
-// separators. Intentionally minimal: this project only writes CSVs.
+// separators.
 class CsvWriter {
  public:
   explicit CsvWriter(const std::string& path);
@@ -18,7 +20,10 @@ class CsvWriter {
   bool ok() const { return out_.good(); }
 
   void WriteRow(const std::vector<std::string>& fields);
-  void WriteNumericRow(const std::vector<double>& values);
+  // `precision` is the printf %.*g significant-digit count. The default
+  // keeps bench output compact; persistence paths that must round-trip
+  // doubles bit-exactly pass 17 (max_digits10).
+  void WriteNumericRow(const std::vector<double>& values, int precision = 6);
 
  private:
   std::ofstream out_;
@@ -26,6 +31,24 @@ class CsvWriter {
 
 // Escapes a single CSV field (adds quotes when needed).
 std::string CsvEscape(const std::string& field);
+
+// Streaming CSV reader matching CsvWriter's dialect (RFC-4180-style quoting,
+// LF or CRLF line ends). ReadRow returns false at end of input.
+class CsvReader {
+ public:
+  explicit CsvReader(const std::string& path);
+  ~CsvReader();
+
+  bool ok() const { return static_cast<bool>(in_); }
+
+  bool ReadRow(std::vector<std::string>* fields);
+
+ private:
+  std::ifstream in_;
+};
+
+// Splits one CSV record into fields (exposed for tests).
+std::vector<std::string> CsvSplit(const std::string& line);
 
 }  // namespace unicorn
 

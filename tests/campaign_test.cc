@@ -192,5 +192,126 @@ TEST(CampaignTest, MixedDebugAndOptimizePoliciesShareOneCampaign) {
                 optimize_policy.result().measurements_used);
 }
 
+// With a single policy the async runner degenerates to the same
+// refresh/propose/absorb sequence as the barrier loop (one batch in flight
+// at a time, same per-round refresh seeds), so the results must be
+// bit-identical — the async plumbing cannot leak into the reasoning.
+TEST(CampaignTest, AsyncSinglePolicyMatchesSyncBitForBit) {
+  Scenario s = MakeScenario(SystemId::kXception, 304);
+  const Fault* fault = PickFault(s.curation);
+  ASSERT_NE(fault, nullptr);
+  const auto goals = GoalsForFault(s.curation, *fault);
+  const DebugOptions options = FastDebugOptions();
+
+  auto run = [&](bool async) {
+    CampaignOptions campaign;
+    campaign.model = options.model;
+    campaign.engine = options.engine;
+    campaign.seed = options.seed;
+    CampaignRunner runner(s.task, campaign);
+    DebugPolicy policy(options, fault->config, goals);
+    if (async) {
+      runner.RunAsync({&policy});
+    } else {
+      runner.Run({&policy});
+    }
+    return policy.result();
+  };
+  const DebugResult sync_result = run(false);
+  const DebugResult async_result = run(true);
+
+  EXPECT_EQ(async_result.fixed, sync_result.fixed);
+  EXPECT_EQ(async_result.measurements_used, sync_result.measurements_used);
+  EXPECT_EQ(async_result.fixed_config, sync_result.fixed_config);
+  EXPECT_EQ(async_result.fixed_measurement, sync_result.fixed_measurement);
+  EXPECT_EQ(async_result.objective_trajectory, sync_result.objective_trajectory);
+  EXPECT_EQ(async_result.predicted_root_causes, sync_result.predicted_root_causes);
+  EXPECT_EQ(async_result.tests_per_iteration, sync_result.tests_per_iteration);
+  EXPECT_TRUE(async_result.final_graph == sync_result.final_graph);
+}
+
+// The full acceptance stack at once: an async campaign over a fleet of
+// homogeneous simulated Jetson devices with injected transient failures
+// still reproduces the serial single-broker run row-for-row, while the
+// fleet ledger shows the retries really happened.
+TEST(CampaignTest, AsyncFleetCampaignWithFailuresMatchesSerial) {
+  Scenario s = MakeScenario(SystemId::kXception, 305);
+  const Fault* fault = PickFault(s.curation);
+  ASSERT_NE(fault, nullptr);
+  const auto goals = GoalsForFault(s.curation, *fault);
+  const DebugOptions options = FastDebugOptions();
+
+  CampaignOptions campaign;
+  campaign.model = options.model;
+  campaign.engine = options.engine;
+  campaign.seed = options.seed;
+
+  // Serial oracle: pool mode, one thread.
+  CampaignRunner serial_runner(s.task, campaign);
+  DebugPolicy serial_policy(options, fault->config, goals);
+  serial_runner.Run({&serial_policy});
+
+  // Fleet: three devices, same model/environment/task seed as s.task (built
+  // with seed 305 + 1 in MakeScenario), 25% transient failure rate.
+  std::vector<std::unique_ptr<MeasurementBackend>> backends;
+  for (int b = 0; b < 3; ++b) {
+    DeviceProfile profile;
+    profile.name = "jetson-" + std::to_string(b);
+    profile.seed = 500 + static_cast<uint64_t>(b);
+    profile.transient_failure_rate = 0.25;
+    backends.push_back(
+        MakeDeviceBackend(s.model, Tx2(), DefaultWorkload(), 306, std::move(profile)));
+  }
+  FleetOptions fleet_options;
+  fleet_options.max_attempts = 8;
+  CampaignRunner fleet_runner(
+      s.task, campaign, std::make_unique<BackendFleet>(std::move(backends), fleet_options));
+  DebugPolicy fleet_policy(options, fault->config, goals);
+  fleet_runner.RunAsync({&fleet_policy});
+
+  const DebugResult& serial = serial_policy.result();
+  const DebugResult& fleet = fleet_policy.result();
+  EXPECT_EQ(fleet.fixed, serial.fixed);
+  EXPECT_EQ(fleet.measurements_used, serial.measurements_used);
+  EXPECT_EQ(fleet.fixed_config, serial.fixed_config);
+  EXPECT_EQ(fleet.fixed_measurement, serial.fixed_measurement);
+  EXPECT_EQ(fleet.objective_trajectory, serial.objective_trajectory);
+  EXPECT_TRUE(fleet.final_graph == serial.final_graph);
+
+  const FleetStats stats = fleet_runner.broker().fleet_stats();
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_GT(stats.retries, 0u);  // the failures were real, and absorbed
+  EXPECT_EQ(stats.completed + fleet_runner.broker().stats().cache_hits,
+            fleet_runner.broker().stats().requests);
+}
+
+// Two policies pipelined asynchronously against one shared engine: both
+// finish, and the shared table holds exactly the rows the policies accepted.
+TEST(CampaignTest, AsyncMultiPolicyCampaignCompletes) {
+  Scenario s = MakeScenario(SystemId::kXception, 307);
+  const Fault* fault_a = PickFault(s.curation, 0);
+  const Fault* fault_b = PickFault(s.curation, 1);
+  ASSERT_NE(fault_a, nullptr);
+  if (fault_b == nullptr) {
+    fault_b = fault_a;
+  }
+
+  DebugOptions options = FastDebugOptions();
+  CampaignOptions campaign;
+  campaign.model = options.model;
+  campaign.engine = options.engine;
+  campaign.seed = options.seed;
+
+  CampaignRunner runner(s.task, campaign);
+  DebugPolicy policy_a(options, fault_a->config, GoalsForFault(s.curation, *fault_a));
+  DebugPolicy policy_b(options, fault_b->config, GoalsForFault(s.curation, *fault_b));
+  runner.RunAsync({&policy_a, &policy_b});
+
+  ASSERT_FALSE(policy_a.result().fixed_config.empty());
+  ASSERT_FALSE(policy_b.result().fixed_config.empty());
+  EXPECT_EQ(runner.engine().data().NumRows(),
+            policy_a.result().measurements_used + policy_b.result().measurements_used);
+}
+
 }  // namespace
 }  // namespace unicorn

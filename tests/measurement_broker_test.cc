@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
+
 #include "eval/harness.h"
 #include "sysmodel/systems.h"
 
@@ -96,6 +99,92 @@ TEST(MeasurementBrokerTest, SingleMeasureSharesTheCache) {
   EXPECT_EQ(broker.Measure(configs[0]), row);
   EXPECT_EQ(broker.stats().measured, 1u);
   EXPECT_EQ(broker.stats().cache_hits, 1u);
+}
+
+TEST(MeasurementBrokerTest, WallAndBusyTimeAreAccountedSeparately) {
+  const PerformanceTask task = MakeTask(11);
+  const auto configs = SampleBatch(task, 16, 12);
+  BrokerOptions options;
+  options.num_threads = 4;
+  MeasurementBroker broker(task, options);
+  broker.MeasureBatch(configs);
+  // Busy time sums one timing per measurement; wall time is recorded once
+  // per batch on the calling thread. On a multi-core host busy can exceed
+  // wall (that was the old bug, fanned out the other way); both are always
+  // positive once something measured.
+  EXPECT_GT(broker.stats().batch_wall_seconds, 0.0);
+  EXPECT_GT(broker.stats().busy_seconds, 0.0);
+}
+
+TEST(MeasurementBrokerTest, SaveCacheLoadCacheRoundTripsBitExactly) {
+  const PerformanceTask task = MakeTask(13);
+  const auto configs = SampleBatch(task, 20, 14);
+  const std::string path = ::testing::TempDir() + "broker_cache_roundtrip.csv";
+
+  MeasurementBroker first(task);
+  const auto reference = first.MeasureBatch(configs);
+  ASSERT_TRUE(first.SaveCache(path));
+
+  // A fresh broker warm-started from the file serves the whole batch from
+  // cache: zero live measurements, rows bit-identical.
+  MeasurementBroker second(task);
+  EXPECT_EQ(second.LoadCache(path), configs.size());
+  EXPECT_EQ(second.MeasureBatch(configs), reference);
+  EXPECT_EQ(second.stats().measured, 0u);
+  EXPECT_EQ(second.stats().cache_hits, configs.size());
+
+  // Loading again adds nothing (entries already present).
+  EXPECT_EQ(second.LoadCache(path), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(MeasurementBrokerTest, LoadCacheRejectsMismatchedTaskShape) {
+  const PerformanceTask task = MakeTask(15);
+  const std::string path = ::testing::TempDir() + "broker_cache_mismatch.csv";
+  {
+    MeasurementBroker broker(task);
+    broker.MeasureBatch(SampleBatch(task, 5, 16));
+    ASSERT_TRUE(broker.SaveCache(path));
+  }
+  // A task with a different variable layout must not absorb the file.
+  SystemSpec spec;
+  spec.num_events = 4;
+  auto other_model = std::make_shared<SystemModel>(BuildSystem(SystemId::kSqlite, spec));
+  const PerformanceTask other = MakeSimulatedTask(other_model, Tx2(), DefaultWorkload(), 17);
+  MeasurementBroker broker(other);
+  EXPECT_EQ(broker.LoadCache(path), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(MeasurementBrokerTest, AsyncSubmitBatchStreamsCompletions) {
+  const PerformanceTask task = MakeTask(19);
+  auto configs = SampleBatch(task, 12, 20);
+  configs.push_back(configs[0]);  // dedup works on the async path too
+
+  MeasurementBroker reference_broker(task);
+  const auto reference = reference_broker.MeasureBatch(configs);
+
+  MeasurementBroker broker(task);
+  const BatchTicket first = broker.SubmitBatch(configs);
+  const BatchTicket second = broker.SubmitBatch(configs);  // all cache hits
+  EXPECT_EQ(first.size, configs.size());
+  EXPECT_EQ(broker.OutstandingRequests(), 2 * configs.size());
+
+  std::vector<std::vector<double>> rows_first(configs.size());
+  std::vector<std::vector<double>> rows_second(configs.size());
+  BrokerCompletion done;
+  size_t received = 0;
+  while (broker.WaitCompletion(&done)) {
+    ASSERT_TRUE(done.ok);
+    ASSERT_LT(done.index, configs.size());
+    (done.batch == first.id ? rows_first : rows_second)[done.index] = done.row;
+    ++received;
+  }
+  EXPECT_EQ(received, 2 * configs.size());
+  EXPECT_EQ(broker.OutstandingRequests(), 0u);
+  EXPECT_EQ(rows_first, reference);
+  EXPECT_EQ(rows_second, reference);
+  EXPECT_EQ(broker.stats().measured, 12u);  // one live measurement per unique config
 }
 
 TEST(MeasurementBrokerTest, DedupDisabledMeasuresEveryRequest) {

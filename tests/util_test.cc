@@ -1,9 +1,12 @@
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include <gtest/gtest.h>
 
+#include "util/bounded_queue.h"
 #include "util/csv.h"
 #include "util/text_table.h"
 
@@ -34,6 +37,103 @@ TEST(CsvTest, WritesRowsToFile) {
   EXPECT_EQ(line1, "x,y");
   EXPECT_EQ(line2, "1.5,2.25");
   std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReaderRoundTripsWriterOutput) {
+  const std::string path = "/tmp/unicorn_csv_roundtrip_test.csv";
+  {
+    CsvWriter writer(path);
+    ASSERT_TRUE(writer.ok());
+    writer.WriteRow({"plain", "with,comma", "with \"quote\"", "multi\nline"});
+    writer.WriteNumericRow({0.1, -2.5e-17, 3.0}, 17);
+  }
+  CsvReader reader(path);
+  ASSERT_TRUE(reader.ok());
+  std::vector<std::string> row;
+  ASSERT_TRUE(reader.ReadRow(&row));
+  EXPECT_EQ(row, (std::vector<std::string>{"plain", "with,comma", "with \"quote\"",
+                                           "multi\nline"}));
+  ASSERT_TRUE(reader.ReadRow(&row));
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(std::stod(row[0]), 0.1);  // 17 digits round-trip bit-exactly
+  EXPECT_EQ(std::stod(row[1]), -2.5e-17);
+  EXPECT_FALSE(reader.ReadRow(&row));
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, SplitHandlesEmptyAndQuotedFields) {
+  EXPECT_EQ(CsvSplit("a,,c"), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(CsvSplit("\"a,b\",c"), (std::vector<std::string>{"a,b", "c"}));
+  EXPECT_EQ(CsvSplit(""), (std::vector<std::string>{""}));
+}
+
+TEST(BoundedQueueTest, FifoOrderAndTryPop) {
+  BoundedQueue<int> queue(4);
+  EXPECT_TRUE(queue.Push(1));
+  EXPECT_TRUE(queue.Push(2));
+  int value = 0;
+  EXPECT_TRUE(queue.TryPop(&value));
+  EXPECT_EQ(value, 1);
+  EXPECT_TRUE(queue.Pop(&value));
+  EXPECT_EQ(value, 2);
+  EXPECT_FALSE(queue.TryPop(&value));
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(BoundedQueueTest, PushBlocksAtCapacityUntilPopped) {
+  BoundedQueue<int> queue(2);
+  ASSERT_TRUE(queue.Push(1));
+  ASSERT_TRUE(queue.Push(2));
+  std::atomic<bool> third_pushed{false};
+  std::thread producer([&] {
+    queue.Push(3);  // must block until the consumer makes room
+    third_pushed = true;
+  });
+  EXPECT_FALSE(third_pushed.load());
+  int value = 0;
+  ASSERT_TRUE(queue.Pop(&value));
+  producer.join();
+  EXPECT_TRUE(third_pushed.load());
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(BoundedQueueTest, ForcePushExceedsCapacity) {
+  BoundedQueue<int> queue(1);
+  EXPECT_TRUE(queue.Push(1));
+  EXPECT_TRUE(queue.ForcePush(2));  // beyond the bound, without blocking
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(BoundedQueueTest, CloseDrainsThenFails) {
+  BoundedQueue<int> queue(4);
+  queue.Push(7);
+  queue.Close();
+  EXPECT_FALSE(queue.Push(8));
+  EXPECT_FALSE(queue.ForcePush(9));
+  int value = 0;
+  EXPECT_TRUE(queue.Pop(&value));  // drains what was queued before the close
+  EXPECT_EQ(value, 7);
+  EXPECT_FALSE(queue.Pop(&value));
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedConsumer) {
+  BoundedQueue<int> queue(2);
+  std::thread consumer([&] {
+    int value = 0;
+    EXPECT_FALSE(queue.Pop(&value));  // blocked empty, then closed
+  });
+  queue.Close();
+  consumer.join();
+}
+
+TEST(BoundedQueueTest, DrainNowEmptiesTheQueue) {
+  BoundedQueue<int> queue(8);
+  for (int i = 0; i < 5; ++i) {
+    queue.Push(i);
+  }
+  const std::vector<int> drained = queue.DrainNow();
+  EXPECT_EQ(drained, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(queue.size(), 0u);
 }
 
 TEST(TextTableTest, RendersHeaderAndRows) {
