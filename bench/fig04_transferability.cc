@@ -12,22 +12,43 @@
 #include <cstdio>
 #include <map>
 
+#include "eval/harness.h"
 #include "stats/correlation.h"
 #include "stats/regression.h"
 #include "sysmodel/systems.h"
+#include "unicorn/measurement_broker.h"
 #include "unicorn/model_learner.h"
 #include "util/text_table.h"
 
 namespace unicorn {
 namespace {
 
-DataTable SampleEnv(const SystemModel& model, const Environment& env, size_t n, uint64_t seed) {
+// Samples `n` configurations in `env` through the measurement plane (the
+// seed bench called SystemModel::MeasureMany directly, so its sample counts
+// were invisible to BrokerStats). Requests are tagged with the environment
+// name, so the persisted/cached rows carry their provenance.
+DataTable SampleEnv(const std::shared_ptr<SystemModel>& model, const Environment& env,
+                    size_t n, uint64_t seed) {
+  const PerformanceTask task = MakeSimulatedTask(model, env, DefaultWorkload(), seed);
+  BrokerOptions broker_options;
+  broker_options.num_threads = 4;  // rows are bit-identical to serial
+  MeasurementBroker broker(task, broker_options);
   Rng rng(seed);
   std::vector<std::vector<double>> configs;
   for (size_t i = 0; i < n; ++i) {
-    configs.push_back(model.SampleConfig(&rng));
+    configs.push_back(model->SampleConfig(&rng));
   }
-  return model.MeasureMany(configs, env, DefaultWorkload(), &rng);
+  const auto rows =
+      broker.MeasureBatch(configs, std::vector<std::string>(configs.size(), env.name));
+  DataTable data(model->variables());
+  data.Reserve(rows.size());
+  for (const auto& row : rows) {
+    data.AddRow(row);
+  }
+  std::printf("[measurement plane] %-6s: %zu requests, %zu measured, %.0f%% cache hits\n",
+              env.name.c_str(), broker.stats().requests, broker.stats().measured,
+              100 * broker.stats().CacheHitRate());
+  return data;
 }
 
 // MAPE on the non-faulty bulk of the distribution (below the 95th
@@ -152,28 +173,28 @@ ModelReport CausalReport(const DataTable& source, const DataTable& target, size_
 }
 
 void BM_StepwiseRegression(benchmark::State& state) {
-  const SystemModel model = BuildSystem(SystemId::kDeepstream);
+  auto model = std::make_shared<SystemModel>(BuildSystem(SystemId::kDeepstream));
   const DataTable data = SampleEnv(model, Xavier(), 200, 4);
-  DataTable meta(model.variables());
+  DataTable meta(model->variables());
   const size_t latency = *meta.IndexOf(kLatencyName);
   StepwiseOptions options;
   options.max_terms = 10;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        FitStepwiseRegression(data, model.OptionIndices(), latency, options));
+        FitStepwiseRegression(data, model->OptionIndices(), latency, options));
   }
 }
 BENCHMARK(BM_StepwiseRegression)->Iterations(2);
 
 void RunFigure() {
-  const SystemModel model = BuildSystem(SystemId::kDeepstream);
-  DataTable meta(model.variables());
+  auto model = std::make_shared<SystemModel>(BuildSystem(SystemId::kDeepstream));
+  DataTable meta(model->variables());
   const size_t latency = *meta.IndexOf(kLatencyName);
   const DataTable source = SampleEnv(model, Xavier(), 1000, 41);
   const DataTable target = SampleEnv(model, Tx2(), 1000, 42);
 
   std::vector<std::pair<std::string, double>> drift;
-  const ModelReport reg = RegressionReport(model, source, target, latency, &drift);
+  const ModelReport reg = RegressionReport(*model, source, target, latency, &drift);
   const ModelReport causal = CausalReport(source, target, latency);
 
   std::printf("\n=== Fig. 4: transferability, Xavier (source) -> TX2 (target) ===\n");

@@ -1,14 +1,33 @@
 // Fig. 16: transferring the causal performance model across hardware
-// (Xavier source -> TX2 target) for debugging energy faults on Xception.
-// Scenarios: Unicorn (Reuse) / Unicorn + 25 / Unicorn (Rerun) vs the same
-// three variants of BugDoc.
+// (Xavier source -> TX2 target) for debugging energy faults on Xception —
+// run as a first-class transfer campaign on a heterogeneous fleet:
+//
+//   1. record on the source: measure observational samples through a fleet
+//      whose only member is a live simulated Xavier device, persist the
+//      broker cache as a MeasurementTable CSV (provenance column "Xavier");
+//   2. replay into the target fleet: RecordedBackend (the already-measured
+//      source hardware) + live simulated TX2 devices, with environment-
+//      aware routing pinning replayed rows to the recording and fresh
+//      measurements to TX2;
+//   3. debug through TransferPolicy: the shared engine warm-starts from
+//      source-provenance rows and refreshes incrementally as target rows
+//      stream in.
+//
+// Scenarios: Unicorn (Reuse) / Unicorn + 25 / Unicorn (Rerun) vs BugDoc
+// rerun from scratch. The "Reuse" scenario issues ZERO fresh source-
+// hardware measurements — every source row is served by the recording, and
+// the fleet ledger printed at the end proves it. `--smoke` shrinks
+// everything to CI scale.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 
 #include "baselines/bugdoc.h"
 #include "bench/common.h"
+#include "unicorn/backend/recorded_backend.h"
+#include "unicorn/campaign.h"
 #include "util/text_table.h"
 
 namespace unicorn {
@@ -35,80 +54,176 @@ void BM_WarmStartDebug(benchmark::State& state) {
 }
 BENCHMARK(BM_WarmStartDebug)->Iterations(1);
 
-void RunFigure() {
+// Builds the per-fault heterogeneous fleet: the source recording + two live
+// TX2 devices. `task_seed` must match the target task so fleet rows equal
+// what a pool-mode broker would have measured.
+std::unique_ptr<BackendFleet> MakeTransferFleet(
+    const std::shared_ptr<SystemModel>& model, const MeasurementTable& source_table,
+    uint64_t task_seed) {
+  std::vector<std::unique_ptr<MeasurementBackend>> backends;
+  backends.push_back(
+      std::make_unique<RecordedBackend>(source_table, "xavier-recorded", 1));
+  for (int b = 0; b < 2; ++b) {
+    DeviceProfile profile;
+    profile.name = "tx2-" + std::to_string(b);
+    profile.seed = 700 + static_cast<uint64_t>(b);
+    backends.push_back(
+        MakeDeviceBackend(model, Tx2(), DefaultWorkload(), task_seed, std::move(profile)));
+  }
+  return std::make_unique<BackendFleet>(std::move(backends));
+}
+
+// Returns false when the replay-accounting invariant (every source row
+// served by the recording, none measured fresh) broke — main turns that
+// into a non-zero exit so the CI smoke job fails instead of logging a
+// warning nobody reads.
+bool RunFigure(bool smoke) {
   using Clock = std::chrono::steady_clock;
   SystemSpec spec;
   spec.num_events = 12;
   auto model = std::make_shared<SystemModel>(BuildSystem(SystemId::kXception, spec));
 
-  // Source data: Xavier measurements (the transferred model's training set).
-  Rng src_rng(161);
-  std::vector<std::vector<double>> src_configs;
-  for (int i = 0; i < 150; ++i) {
-    src_configs.push_back(model->SampleConfig(&src_rng));
-  }
-  const DataTable source = model->MeasureMany(src_configs, Xavier(), DefaultWorkload(), &src_rng);
+  // --- Stage 1: record on the source hardware, through the plane ----------
+  const size_t source_samples = smoke ? 40 : 150;
+  const std::string table_path = "bench_fig16_source_table.csv";
+  {
+    const PerformanceTask src_task = MakeSimulatedTask(model, Xavier(), DefaultWorkload(), 161);
+    std::vector<std::unique_ptr<MeasurementBackend>> backends;
+    DeviceProfile profile;
+    profile.name = "xavier-0";
+    profile.seed = 600;
+    backends.push_back(
+        MakeDeviceBackend(model, Xavier(), DefaultWorkload(), 161, std::move(profile)));
+    MeasurementBroker recorder(src_task, std::make_unique<BackendFleet>(std::move(backends)));
 
-  // Target faults: energy faults on TX2.
+    Rng src_rng(161);
+    std::vector<std::vector<double>> src_configs;
+    for (size_t i = 0; i < source_samples; ++i) {
+      src_configs.push_back(model->SampleConfig(&src_rng));
+    }
+    recorder.MeasureBatch(src_configs,
+                          std::vector<std::string>(src_configs.size(), Xavier().name));
+    recorder.SaveCache(table_path);
+    std::printf("recorded %zu Xavier samples through the measurement plane "
+                "(broker: %zu requests, %zu measured)\n",
+                source_samples, recorder.stats().requests, recorder.stats().measured);
+  }
+  MeasurementTable source_table;
+  if (!LoadMeasurementTable(table_path, &source_table)) {
+    std::printf("failed to load the source recording\n");
+    return false;
+  }
+
+  // --- Stage 2: target faults on TX2 ---------------------------------------
   Rng tgt_rng(162);
   const FaultCuration curation =
-      CurateFaults(*model, Tx2(), DefaultWorkload(), 2000, &tgt_rng, 0.97);
-  const auto faults = bench::SelectFaults(*model, curation, bench::FaultKind::kEnergy, 3);
+      CurateFaults(*model, Tx2(), DefaultWorkload(), smoke ? 600 : 2000, &tgt_rng, 0.97);
+  const auto faults =
+      bench::SelectFaults(*model, curation, bench::FaultKind::kEnergy, smoke ? 1 : 3);
   if (faults.empty()) {
     std::printf("no energy faults found\n");
-    return;
+    return false;
   }
   std::vector<double> weights(model->NumVars(), 0.0);
   {
     DataTable meta(model->variables());
     weights = TrueAceWeights(*model, *meta.IndexOf(kEnergyName), Tx2(), DefaultWorkload(), 163,
-                             12);
+                             smoke ? 4 : 12);
   }
 
   struct Scenario {
     std::string name;
     size_t initial_samples;
-    bool warm;
+    bool transfer;
   };
   const Scenario scenarios[] = {
-      {"Unicorn (Reuse)", 0, true},   // reuse source data, no fresh samples
-      {"Unicorn + 25", 25, true},     // source data + 25 target samples
-      {"Unicorn (Rerun)", 25, false}  // from scratch on the target
+      {"Unicorn (Reuse)", 0, true},   // replayed source rows, no fresh samples
+      {"Unicorn + 25", 25, true},     // replayed source rows + 25 target samples
+      {"Unicorn (Rerun)", 25, false}  // from scratch on the target fleet
   };
 
   TextTable table({"scenario", "accuracy", "precision", "recall", "gain%", "time(s)",
-                   "target samples"});
+                   "src rows", "tgt rows", "replay-served"});
+  bool all_scenarios_ok = true;
   for (const auto& scenario : scenarios) {
     double accuracy = 0.0;
     double precision = 0.0;
     double recall = 0.0;
     double gain = 0.0;
     double seconds = 0.0;
-    double samples = 0.0;
+    double src_rows = 0.0;
+    double tgt_rows = 0.0;
+    double replay_served = 0.0;
+    bool replay_accounting_ok = true;
     for (size_t f = 0; f < faults.size(); ++f) {
       const auto& fault = faults[f];
+      const uint64_t task_seed = 164 + f;
       const PerformanceTask task =
-          MakeSimulatedTask(model, Tx2(), DefaultWorkload(), 164 + f);
+          MakeSimulatedTask(model, Tx2(), DefaultWorkload(), task_seed);
       DebugOptions options = bench::BenchDebugOptions();
       options.initial_samples = scenario.initial_samples;
       options.seed = 165 + f;
-      UnicornDebugger debugger(task, options);
+      // Pin this policy's fresh measurements to live TX2 devices: they can
+      // never be answered from the source recording.
+      options.environment = Tx2().name;
+      if (smoke) {
+        options.max_iterations = 10;
+      }
+
+      CampaignRunner runner(task, ToCampaignOptions(options),
+                            MakeTransferFleet(model, source_table, task_seed));
+      DebugPolicy inner(options, fault.config, GoalsForFault(curation, fault));
       const auto start = Clock::now();
-      const DebugResult result = debugger.Debug(fault.config, GoalsForFault(curation, fault),
-                                                scenario.warm ? &source : nullptr);
+      if (scenario.transfer) {
+        TransferOptions transfer_options;
+        transfer_options.source_environment = Xavier().name;
+        transfer_options.target_environment = Tx2().name;
+        TransferPolicy transfer(transfer_options, source_table, &inner);
+        runner.Run({&transfer});
+      } else {
+        runner.Run({&inner});
+      }
       seconds += std::chrono::duration<double>(Clock::now() - start).count();
+
+      const DebugResult& result = inner.result();
       accuracy += AceWeightedJaccard(result.predicted_root_causes, fault.root_causes, weights);
       precision += Precision(result.predicted_root_causes, fault.root_causes);
       recall += Recall(result.predicted_root_causes, fault.root_causes);
       const size_t obj = fault.objectives[0];
       gain += Gain(fault.measurement[obj], result.fixed_measurement[obj]);
-      samples += static_cast<double>(result.measurements_used);
+      src_rows += static_cast<double>(result.source_rows);
+      tgt_rows += static_cast<double>(result.target_rows);
+
+      // The acceptance invariant: source-hardware rows only ever come from
+      // the recording. Transfer scenarios must have the RecordedBackend
+      // serve the WHOLE recording (and the live TX2 members everything
+      // else); Rerun must never touch it.
+      const FleetStats fleet_stats = runner.broker().fleet_stats();
+      size_t recorded_completed = 0;
+      for (const auto& backend : fleet_stats.backends) {
+        if (backend.name == "xavier-recorded") {
+          recorded_completed = backend.completed;
+        }
+      }
+      replay_served += static_cast<double>(recorded_completed);
+      const size_t expected =
+          scenario.transfer ? source_table.entries.size() : 0;
+      replay_accounting_ok =
+          replay_accounting_ok && recorded_completed == expected &&
+          result.source_rows == expected && fleet_stats.failed == 0;
     }
     const double n = static_cast<double>(faults.size());
     table.AddRow({scenario.name, FormatDouble(100 * accuracy / n, 0),
                   FormatDouble(100 * precision / n, 0), FormatDouble(100 * recall / n, 0),
                   FormatDouble(gain / n, 0), FormatDouble(seconds / n, 2),
-                  FormatDouble(samples / n, 0)});
+                  FormatDouble(src_rows / n, 0), FormatDouble(tgt_rows / n, 0),
+                  FormatDouble(replay_served / n, 0)});
+    if (!replay_accounting_ok) {
+      all_scenarios_ok = false;
+      std::printf("FAILED: %s — replay accounting broken (expected every source row\n"
+                  " served by the recording in transfer scenarios, none in Rerun)\n",
+                  scenario.name.c_str());
+    }
   }
 
   // BugDoc comparison: rerun from scratch in the target (its reuse story
@@ -122,7 +237,7 @@ void RunFigure() {
       const PerformanceTask task =
           MakeSimulatedTask(model, Tx2(), DefaultWorkload(), 170 + f);
       BaselineDebugOptions options;
-      options.sample_budget = 125;
+      options.sample_budget = smoke ? 60 : 125;
       options.seed = 171 + f;
       const auto start = Clock::now();
       const auto result = BugDocDebug(task, fault.config, GoalsForFault(curation, fault), options);
@@ -133,21 +248,40 @@ void RunFigure() {
     }
     const double n = static_cast<double>(faults.size());
     table.AddRow({"BugDoc (Rerun)", FormatDouble(100 * accuracy / n, 0), "-", "-",
-                  FormatDouble(gain / n, 0), FormatDouble(seconds / n, 2), "125"});
+                  FormatDouble(gain / n, 0), FormatDouble(seconds / n, 2), "0", "-",
+                  "0"});
   }
 
-  std::printf("\n=== Fig. 16: Xavier -> TX2 transfer, Xception energy faults ===\n%s",
+  std::printf("\n=== Fig. 16: Xavier -> TX2 transfer campaign on a heterogeneous fleet ===\n%s",
               table.Render().c_str());
-  std::printf("(expected shape: Unicorn+25 approaches Unicorn(Rerun) at a fraction of\n"
-              " the fresh samples; Reuse alone degrades gracefully)\n");
+  std::printf("(src rows = engine rows replayed from the Xavier recording; tgt rows =\n"
+              " fresh TX2 measurements; replay-served = requests the RecordedBackend\n"
+              " answered. Zero fresh source-hardware measurements in every scenario.\n"
+              " Expected shape: Unicorn+25 approaches Unicorn(Rerun) at a fraction of\n"
+              " the fresh samples; Reuse alone degrades gracefully.)\n");
+  std::remove(table_path.c_str());
+  return all_scenarios_ok;
 }
 
 }  // namespace
 }  // namespace unicorn
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  unicorn::RunFigure();
-  return 0;
+  bool smoke = false;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      argv[kept++] = argv[i];  // leave only benchmark-library flags in argv
+    }
+  }
+  argc = kept;
+  if (!smoke) {
+    // The CI smoke run skips the registered microbenchmark: the campaign
+    // itself is the coverage.
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  return unicorn::RunFigure(smoke) ? 0 : 1;
 }

@@ -1,12 +1,20 @@
-// Table 15 (appendix): transferring causal models across hardware platforms.
-// Three scenarios: TX1->TX2 (latency), TX2->Xavier (energy),
-// Xavier->TX1 (heat); each with Unicorn (Reuse) / Unicorn+25 /
-// Unicorn (Rerun).
+// Table 15 (appendix): transferring causal models across hardware
+// platforms, each cell a transfer campaign on a heterogeneous fleet. Three
+// scenarios: TX1->TX2 (latency), TX2->Xavier (energy), Xavier->TX1 (heat);
+// each with Unicorn (Reuse) / Unicorn+25 / Unicorn (Rerun). Per (scenario,
+// system): record observational samples on a live simulated source device
+// through the measurement plane, persist the table, then debug every fault
+// on a fleet of the source recording (RecordedBackend) + live target
+// devices — environment-aware routing guarantees zero fresh source-hardware
+// measurements in every variant.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
 
 #include "bench/common.h"
+#include "unicorn/backend/recorded_backend.h"
+#include "unicorn/campaign.h"
 #include "util/text_table.h"
 
 namespace unicorn {
@@ -32,6 +40,7 @@ struct TransferSpec {
 };
 
 void RunScenario(const TransferSpec& ts, TextTable* table) {
+  const std::string table_path = "bench_table15_source_table.csv";
   const SystemId systems[] = {SystemId::kXception, SystemId::kBert, SystemId::kDeepspeech,
                               SystemId::kX264};
   for (SystemId id : systems) {
@@ -41,14 +50,38 @@ void RunScenario(const TransferSpec& ts, TextTable* table) {
     DataTable meta(model->variables());
     const size_t objective = *meta.IndexOf(ts.objective_name);
 
-    // Source data for warm starts.
-    Rng src_rng(150 + static_cast<uint64_t>(id));
-    std::vector<std::vector<double>> src_configs;
-    for (int i = 0; i < 120; ++i) {
-      src_configs.push_back(model->SampleConfig(&src_rng));
+    // Record the source hardware through the measurement plane: one live
+    // simulated device of the source environment, persisted with its
+    // environment as the provenance column.
+    {
+      const PerformanceTask src_task =
+          MakeSimulatedTask(model, ts.source, DefaultWorkload(), 150 + static_cast<uint64_t>(id));
+      std::vector<std::unique_ptr<MeasurementBackend>> backends;
+      DeviceProfile profile;
+      profile.name = std::string(ts.source.name) + "-dev";
+      profile.seed = 900 + static_cast<uint64_t>(id);
+      backends.push_back(MakeDeviceBackend(model, ts.source, DefaultWorkload(),
+                                           150 + static_cast<uint64_t>(id), std::move(profile)));
+      MeasurementBroker recorder(src_task, std::make_unique<BackendFleet>(std::move(backends)));
+      Rng src_rng(150 + static_cast<uint64_t>(id));
+      std::vector<std::vector<double>> src_configs;
+      for (int i = 0; i < 120; ++i) {
+        src_configs.push_back(model->SampleConfig(&src_rng));
+      }
+      recorder.MeasureBatch(src_configs,
+                            std::vector<std::string>(src_configs.size(), ts.source.name));
+      if (!recorder.SaveCache(table_path)) {
+        std::printf("WARNING: %s/%s skipped — could not persist the source recording\n",
+                    ts.label, bench::SystemLabel(id).c_str());
+        continue;
+      }
     }
-    const DataTable source =
-        model->MeasureMany(src_configs, ts.source, DefaultWorkload(), &src_rng);
+    MeasurementTable source_table;
+    if (!LoadMeasurementTable(table_path, &source_table)) {
+      std::printf("WARNING: %s/%s skipped — could not load the source recording\n",
+                  ts.label, bench::SystemLabel(id).c_str());
+      continue;
+    }
 
     Rng tgt_rng(160 + static_cast<uint64_t>(id));
     const FaultCuration curation =
@@ -63,37 +96,69 @@ void RunScenario(const TransferSpec& ts, TextTable* table) {
     struct Scenario {
       const char* name;
       size_t initial;
-      bool warm;
+      bool transfer;
     };
-    const Scenario scenarios[] = {{"Reuse", 0, true}, {"+25", 25, true}, {"Rerun", 25, false}};
+    const Scenario scenarios[] = {
+        {"Reuse", 0, true}, {"+25", 25, true}, {"Rerun", 25, false}};
     for (const auto& scenario : scenarios) {
       double accuracy = 0.0;
       double recall = 0.0;
       double precision = 0.0;
       double gain = 0.0;
+      double src_rows = 0.0;
+      double tgt_rows = 0.0;
       for (size_t f = 0; f < faults.size(); ++f) {
         const auto& fault = faults[f];
+        const uint64_t task_seed = 170 + f;
         const PerformanceTask task =
-            MakeSimulatedTask(model, ts.target, DefaultWorkload(), 170 + f);
+            MakeSimulatedTask(model, ts.target, DefaultWorkload(), task_seed);
         DebugOptions options = bench::BenchDebugOptions();
         options.initial_samples = scenario.initial;
         options.seed = 171 + f;
-        UnicornDebugger debugger(task, options);
-        const DebugResult result = debugger.Debug(
-            fault.config, GoalsForFault(curation, fault), scenario.warm ? &source : nullptr);
+        options.environment = ts.target.name;
+
+        // Heterogeneous fleet: source recording + two live target devices.
+        std::vector<std::unique_ptr<MeasurementBackend>> backends;
+        backends.push_back(std::make_unique<RecordedBackend>(
+            source_table, std::string(ts.source.name) + "-recorded"));
+        for (int b = 0; b < 2; ++b) {
+          DeviceProfile profile;
+          profile.name = std::string(ts.target.name) + "-" + std::to_string(b);
+          profile.seed = 950 + static_cast<uint64_t>(b);
+          backends.push_back(MakeDeviceBackend(model, ts.target, DefaultWorkload(), task_seed,
+                                               std::move(profile)));
+        }
+
+        CampaignRunner runner(task, ToCampaignOptions(options),
+                              std::make_unique<BackendFleet>(std::move(backends)));
+        DebugPolicy inner(options, fault.config, GoalsForFault(curation, fault));
+        if (scenario.transfer) {
+          TransferOptions transfer_options;
+          transfer_options.source_environment = ts.source.name;
+          transfer_options.target_environment = ts.target.name;
+          TransferPolicy transfer(transfer_options, source_table, &inner);
+          runner.Run({&transfer});
+        } else {
+          runner.Run({&inner});
+        }
+        const DebugResult& result = inner.result();
         accuracy +=
             AceWeightedJaccard(result.predicted_root_causes, fault.root_causes, weights);
         precision += Precision(result.predicted_root_causes, fault.root_causes);
         recall += Recall(result.predicted_root_causes, fault.root_causes);
         const size_t obj = fault.objectives[0];
         gain += Gain(fault.measurement[obj], result.fixed_measurement[obj]);
+        src_rows += static_cast<double>(result.source_rows);
+        tgt_rows += static_cast<double>(result.target_rows);
       }
       const double n = static_cast<double>(faults.size());
       table->AddRow({ts.label, bench::SystemLabel(id), scenario.name,
                      FormatDouble(100 * accuracy / n, 0), FormatDouble(100 * recall / n, 0),
-                     FormatDouble(100 * precision / n, 0), FormatDouble(gain / n, 0)});
+                     FormatDouble(100 * precision / n, 0), FormatDouble(gain / n, 0),
+                     FormatDouble(src_rows / n, 0), FormatDouble(tgt_rows / n, 0)});
     }
   }
+  std::remove(table_path.c_str());
 }
 
 }  // namespace
@@ -103,8 +168,8 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   using unicorn::bench::FaultKind;
-  unicorn::TextTable table(
-      {"scenario", "system", "variant", "accuracy", "recall", "precision", "gain%"});
+  unicorn::TextTable table({"scenario", "system", "variant", "accuracy", "recall", "precision",
+                            "gain%", "src rows", "tgt rows"});
   unicorn::RunScenario({"TX1->TX2 latency", unicorn::Tx1(), unicorn::Tx2(),
                         FaultKind::kLatency, unicorn::kLatencyName},
                        &table);
@@ -114,7 +179,10 @@ int main(int argc, char** argv) {
   unicorn::RunScenario({"Xavier->TX1 heat", unicorn::Xavier(), unicorn::Tx1(),
                         FaultKind::kHeat, unicorn::kHeatName},
                        &table);
-  std::printf("\n=== Table 15: cross-hardware transfer matrix ===\n%s", table.Render().c_str());
-  std::printf("(expected shape: +25 close to Rerun; Reuse degrades but stays useful)\n");
+  std::printf("\n=== Table 15: cross-hardware transfer matrix (fleet campaigns) ===\n%s",
+              table.Render().c_str());
+  std::printf("(every cell ran on a fleet of {source recording, 2 live target devices};\n"
+              " src/tgt rows = engine provenance split. Expected shape: +25 close to\n"
+              " Rerun; Reuse degrades but stays useful)\n");
   return 0;
 }

@@ -58,6 +58,8 @@ int main() {
 
   std::printf("fixed: %s with %zu fresh target measurements\n", result.fixed ? "yes" : "no",
               result.measurements_used);
+  std::printf("model provenance: %zu reused source rows, %zu fresh target rows\n",
+              result.source_rows, result.target_rows);
   std::printf("energy after fix: %.1f (gain %.0f%%)\n", result.fixed_measurement[energy],
               Gain(fault.measurement[energy], result.fixed_measurement[energy]));
   std::printf("diagnosis recall vs ground truth: %.0f%%\n",

@@ -28,6 +28,11 @@ PerformanceTask MakeSimulatedTask(std::shared_ptr<const SystemModel> model, Envi
 std::unique_ptr<SimulatedDeviceBackend> MakeDeviceBackend(
     std::shared_ptr<const SystemModel> model, const Environment& env, Workload workload,
     uint64_t task_seed, DeviceProfile profile) {
+  if (profile.environment.empty()) {
+    // Default routing tag: the hardware environment's name, so the members
+    // of a heterogeneous fleet are distinguishable without extra setup.
+    profile.environment = env.name;
+  }
   return std::make_unique<SimulatedDeviceBackend>(
       MakeSimulatedTask(std::move(model), env, std::move(workload), task_seed),
       std::move(profile));

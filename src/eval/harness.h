@@ -25,8 +25,10 @@ PerformanceTask MakeSimulatedTask(std::shared_ptr<const SystemModel> model, Envi
 
 // Deploys `model` on one simulated device: the task carries the device's
 // Environment (per-backend hardware override — TX1 vs TX2 vs Xavier), the
-// profile adds seeded service-time and failure injection. A fleet of these
-// is the paper's heterogeneous Jetson rack; give every backend the same
+// profile adds seeded service-time and failure injection. When
+// profile.environment is empty it defaults to env.name, so the backend is
+// routable by environment tag out of the box. A fleet of these is the
+// paper's heterogeneous Jetson rack; give every backend the same
 // environment and task seed when bit-identity with a serial broker is the
 // point (homogeneous backends), distinct environments when modeling
 // source/target hardware for the transfer benches.

@@ -24,18 +24,20 @@
 
 namespace unicorn {
 
+/// Outcome classification of one measurement attempt.
 enum class MeasureStatus {
-  kOk,         // row is the full measurement
-  kTransient,  // this attempt failed; the request is retryable (elsewhere)
-  kPermanent,  // this backend cannot serve the request; counts toward its
-               // circuit-breaker
+  kOk,         ///< row is the full measurement
+  kTransient,  ///< this attempt failed; the request is retryable (elsewhere)
+  kPermanent,  ///< this backend cannot serve the request; counts toward its
+               ///< circuit-breaker
 };
 
-// What one measurement attempt on one backend produced.
+/// What one measurement attempt on one backend produced. Plain value type;
+/// no thread-safety concerns of its own.
 struct MeasureOutcome {
   MeasureStatus status = MeasureStatus::kOk;
-  std::vector<double> row;  // valid iff status == kOk
-  std::string error;        // diagnostic for failures
+  std::vector<double> row;  ///< valid iff status == kOk
+  std::string error;        ///< diagnostic for failures; empty on success
 
   static MeasureOutcome Ok(std::vector<double> row) {
     MeasureOutcome outcome;
@@ -56,29 +58,56 @@ struct MeasureOutcome {
   }
 };
 
+/// One measurement executor behind the fleet. Implementations are
+/// constructed, handed to a BackendFleet, and from then on called only by
+/// the fleet's worker threads; every method below states what it must
+/// tolerate under that regime.
 class MeasurementBackend {
  public:
   virtual ~MeasurementBackend() = default;
 
+  /// Stable human-readable identifier (FleetStats rows key on it).
+  /// Thread-safety: must be safe to call concurrently with Measure; the
+  /// returned reference must stay valid for the backend's lifetime.
   virtual const std::string& name() const = 0;
 
-  // Worker threads the fleet runs against this backend (a device that can
-  // measure two configurations at once reports 2).
+  /// Worker threads the fleet runs against this backend (a device that can
+  /// measure two configurations at once reports 2). Values < 1 are treated
+  /// as 1 by the fleet. Must be constant for the backend's lifetime.
   virtual int concurrency() const { return 1; }
 
-  // Capability check used by the fleet's routing: can this backend measure
-  // this configuration at all? (A RecordedBackend only supports recorded
-  // configurations.) Must be cheap and safe to call under the fleet lock.
+  /// Environment tag for environment-aware routing: a request submitted with
+  /// a non-empty environment is served only by backends whose tag matches
+  /// exactly. The default (empty) means "unspecified": such a backend serves
+  /// only untagged requests, and untagged requests may land anywhere. For a
+  /// transfer fleet this is how source-hardware requests are pinned to the
+  /// source recording and target requests to live target devices.
+  /// Thread-safety: called under the fleet lock — must be cheap, non-
+  /// blocking, and constant for the backend's lifetime.
+  virtual const std::string& environment() const {
+    static const std::string kUnspecified;
+    return kUnspecified;
+  }
+
+  /// Capability check used by the fleet's routing: can this backend measure
+  /// this configuration at all? (A RecordedBackend only supports recorded
+  /// configurations.)
+  /// Thread-safety: called under the fleet lock — must be cheap, non-
+  /// blocking, and must not call back into the fleet.
   virtual bool Supports(const std::vector<double>& config) const {
     (void)config;
     return true;
   }
 
-  // Measures one configuration. `attempt` is the request's 1-based global
-  // try number — simulated backends derive deterministic failure/service
-  // draws from (backend seed, config, attempt), so a retry rolls fresh
-  // randomness instead of failing forever. Called concurrently from up to
-  // concurrency() fleet worker threads; implementations must be thread-safe.
+  /// Measures one configuration. `attempt` is the request's 1-based global
+  /// try number — simulated backends derive deterministic failure/service
+  /// draws from (backend seed, config, attempt), so a retry rolls fresh
+  /// randomness instead of failing forever.
+  /// Failure: report failures through the returned MeasureOutcome (typed
+  /// transient/permanent), never by throwing — an exception escaping
+  /// Measure terminates the fleet worker (and the process).
+  /// Thread-safety: called concurrently from up to concurrency() fleet
+  /// worker threads; implementations must be thread-safe.
   virtual MeasureOutcome Measure(const std::vector<double>& config, int attempt) = 0;
 };
 

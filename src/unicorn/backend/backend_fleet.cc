@@ -26,6 +26,7 @@ BackendFleet::BackendFleet(std::vector<std::unique_ptr<MeasurementBackend>> back
   for (auto& backend : backends) {
     auto slot = std::make_unique<Slot>();
     slot->counters.name = backend->name();
+    slot->counters.environment = backend->environment();
     slot->backend = std::move(backend);
     slots_.push_back(std::move(slot));
   }
@@ -69,6 +70,13 @@ int BackendFleet::Route(const Request& request, bool respect_excluded,
     if (respect_capacity && slot.queue.size() >= options_.queue_capacity) {
       continue;
     }
+    // Environment-aware routing: a tagged request binds to exactly-matching
+    // backends (a recorded source row must come from the source recording,
+    // a target measurement from a target device); untagged goes anywhere.
+    if (!request.environment.empty() &&
+        slot.backend->environment() != request.environment) {
+      continue;
+    }
     if (!slot.backend->Supports(request.config)) {
       continue;
     }
@@ -99,7 +107,8 @@ bool BackendFleet::Redispatch(Request request, size_t from_slot) {
   if (target < 0) {
     CompleteFailure(request, -1,
                     MeasureOutcome::Permanent("no eligible backend (all circuit-broken, "
-                                              "excluded, or unsupporting)"),
+                                              "excluded, environment-mismatched, or "
+                                              "unsupporting)"),
                     0.0);
     return false;
   }
@@ -117,6 +126,7 @@ void BackendFleet::CompleteOk(const Request& request, size_t slot_index,
   FleetCompletion done;
   done.ticket = request.ticket;
   done.config = request.config;
+  done.environment = request.environment;
   done.outcome = MeasureOutcome::Ok(std::move(row));
   done.attempts = request.attempt;
   done.backend = static_cast<int>(slot_index);
@@ -131,6 +141,7 @@ void BackendFleet::CompleteFailure(const Request& request, int slot_index,
   FleetCompletion done;
   done.ticket = request.ticket;
   done.config = request.config;
+  done.environment = request.environment;
   done.outcome = std::move(outcome);
   done.attempts = request.attempt;
   done.backend = slot_index;
@@ -155,12 +166,13 @@ void BackendFleet::BreakCircuit(size_t slot_index) {
   space_cv_.notify_all();
 }
 
-uint64_t BackendFleet::Submit(std::vector<double> config) {
+uint64_t BackendFleet::Submit(std::vector<double> config, std::string environment) {
   std::unique_lock<std::mutex> lock(mu_);
   Request request;
   const uint64_t ticket = next_ticket_++;
   request.ticket = ticket;
   request.config = std::move(config);
+  request.environment = std::move(environment);
   ++totals_.submitted;
   ++outstanding_;
   for (;;) {
@@ -176,8 +188,8 @@ uint64_t BackendFleet::Submit(std::vector<double> config) {
     if (Route(request, /*respect_excluded=*/true, /*respect_capacity=*/false) < 0) {
       // Not a capacity problem: no backend can ever serve this request.
       CompleteFailure(request, -1,
-                      MeasureOutcome::Permanent("no eligible backend (all circuit-broken "
-                                                "or unsupporting)"),
+                      MeasureOutcome::Permanent("no eligible backend (all circuit-broken, "
+                                                "environment-mismatched, or unsupporting)"),
                       0.0);
       return ticket;
     }

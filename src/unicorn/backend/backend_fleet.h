@@ -4,9 +4,10 @@
 //
 // Each backend gets a bounded work queue and `concurrency()` worker threads.
 // Submission routes to the least-loaded backend that supports the
-// configuration, is not circuit-broken, and is not in the request's
-// excluded set; Submit blocks when every eligible queue is full (bounded
-// backpressure toward the caller). Failures are typed:
+// configuration, matches the request's environment tag, is not
+// circuit-broken, and is not in the request's excluded set; Submit blocks
+// when every eligible queue is full (bounded backpressure toward the
+// caller). Failures are typed:
 //
 //   transient  — the attempt is retried, preferably on a different backend
 //                (the failing backend joins the request's excluded set),
@@ -20,6 +21,14 @@
 // the submit ticket; callers reassemble order from tickets. The FleetStats
 // ledger tracks per-backend dispatched/completed/failure counts, queue
 // depths, and busy time.
+//
+// Environment-aware routing: a request submitted with a non-empty
+// environment is eligible only for backends whose environment() matches it
+// exactly; an untagged request may land on any backend. This is how a
+// transfer campaign pins source-hardware requests to the RecordedBackend
+// replaying the source recording while target requests go to live target
+// devices — and why "Unicorn (Reuse)" can guarantee zero fresh
+// source-hardware measurements.
 //
 // Determinism: routing reacts to live queue depths, so WHICH backend
 // measures a configuration depends on timing — but with homogeneous
@@ -44,39 +53,43 @@
 
 namespace unicorn {
 
+/// Fleet-wide knobs, fixed at construction. Plain value type.
 struct FleetOptions {
-  // Per-backend queue bound; Submit blocks while every eligible backend's
-  // queue is full. Internal re-dispatches (retries, circuit-break
-  // migration) bypass the bound rather than risk deadlocking a worker.
+  /// Per-backend queue bound; Submit blocks while every eligible backend's
+  /// queue is full. Internal re-dispatches (retries, circuit-break
+  /// migration) bypass the bound rather than risk deadlocking a worker.
   size_t queue_capacity = 64;
-  // Total measurement tries per request across all backends.
+  /// Total measurement tries per request across all backends.
   int max_attempts = 4;
-  // Permanent failures a backend may produce before it is retired.
+  /// Permanent failures a backend may produce before it is retired.
   int circuit_break_after = 3;
 };
 
-// Per-backend slice of the FleetStats ledger.
+/// Per-backend slice of the FleetStats ledger. Snapshot value type: returned
+/// by BackendFleet::stats(), never shared live.
 struct BackendCounters {
   std::string name;
-  size_t dispatched = 0;          // requests enqueued to this backend
-  size_t completed = 0;           // successful measurements
-  size_t transient_failures = 0;  // attempts lost to transient faults here
-  size_t permanent_failures = 0;  // permanent faults here
-  size_t queue_depth = 0;         // at snapshot time
-  size_t max_queue_depth = 0;     // high-water mark
-  size_t in_flight = 0;           // measuring right now, at snapshot time
-  double busy_seconds = 0.0;      // wall time inside Measure on this backend
+  std::string environment;        ///< routing tag ("" = untagged)
+  size_t dispatched = 0;          ///< requests enqueued to this backend
+  size_t completed = 0;           ///< successful measurements
+  size_t transient_failures = 0;  ///< attempts lost to transient faults here
+  size_t permanent_failures = 0;  ///< permanent faults here
+  size_t queue_depth = 0;         ///< at snapshot time
+  size_t max_queue_depth = 0;     ///< high-water mark
+  size_t in_flight = 0;           ///< measuring right now, at snapshot time
+  double busy_seconds = 0.0;      ///< wall time inside Measure on this backend
   bool circuit_broken = false;
 };
 
+/// Consistent snapshot of the fleet ledger (see BackendFleet::stats()).
 struct FleetStats {
   std::vector<BackendCounters> backends;
   size_t submitted = 0;
-  size_t completed = 0;       // requests that ultimately succeeded
-  size_t retries = 0;         // re-dispatches after a failed attempt
-  size_t rerouted = 0;        // re-dispatches that moved to another backend
-  size_t failed = 0;          // requests that ultimately failed
-  size_t circuit_breaks = 0;  // backends retired
+  size_t completed = 0;       ///< requests that ultimately succeeded
+  size_t retries = 0;         ///< re-dispatches after a failed attempt
+  size_t rerouted = 0;        ///< re-dispatches that moved to another backend
+  size_t failed = 0;          ///< requests that ultimately failed
+  size_t circuit_breaks = 0;  ///< backends retired
 
   size_t TotalMeasured() const {
     size_t total = 0;
@@ -87,48 +100,62 @@ struct FleetStats {
   }
 };
 
-// One finished request on the completion stream.
+/// One finished request on the completion stream. Value type.
 struct FleetCompletion {
   uint64_t ticket = 0;
   std::vector<double> config;
-  MeasureOutcome outcome;  // kOk with the row, or the final typed failure
-  int attempts = 0;        // measurement tries spent
-  int backend = -1;        // backend index of the final outcome (-1: none)
-  double measure_seconds = 0.0;  // busy time of the final attempt
+  std::string environment;  ///< the tag the request was submitted with
+  MeasureOutcome outcome;   ///< kOk with the row, or the final typed failure
+  int attempts = 0;         ///< measurement tries spent
+  int backend = -1;         ///< backend index of the final outcome (-1: none)
+  double measure_seconds = 0.0;  ///< busy time of the final attempt
 };
 
+/// The dispatcher. Thread-safety: Submit and stats() may be called from any
+/// thread concurrently with the worker threads; WaitCompletion is
+/// single-consumer (exactly one thread drains the stream). The destructor
+/// must not race a concurrent Submit/WaitCompletion by the owner's design.
 class BackendFleet {
  public:
   BackendFleet(std::vector<std::unique_ptr<MeasurementBackend>> backends,
                FleetOptions options = {});
-  ~BackendFleet();  // stops workers; outstanding requests are abandoned
+  /// Stops workers; outstanding requests are abandoned (their completions
+  /// never surface — drain before destroying if you need them).
+  ~BackendFleet();
 
   BackendFleet(const BackendFleet&) = delete;
   BackendFleet& operator=(const BackendFleet&) = delete;
 
-  // Routes and enqueues one request, returning its ticket. Blocks while
-  // every eligible backend's queue is at capacity. A request no backend can
-  // serve (all broken or unsupported) completes immediately with a
-  // permanent failure on the stream.
-  uint64_t Submit(std::vector<double> config);
+  /// Routes and enqueues one request, returning its ticket. `environment`
+  /// non-empty restricts routing to exactly-matching backends. Blocks while
+  /// every eligible backend's queue is at capacity.
+  /// Failure: a request no backend can serve (all broken, unsupported, or
+  /// environment-mismatched) never blocks and never throws — it completes
+  /// immediately with a typed permanent failure on the stream.
+  /// Thread-safety: safe from multiple threads.
+  uint64_t Submit(std::vector<double> config, std::string environment = "");
 
-  // Blocks for the next completed request. Returns false when nothing is
-  // outstanding (every submitted request already streamed out) or the fleet
-  // is shutting down. Single-consumer: one thread drains the stream.
+  /// Blocks for the next completed request. Returns false when nothing is
+  /// outstanding (every submitted request already streamed out) or the
+  /// fleet is shutting down.
+  /// Thread-safety: single-consumer — one thread drains the stream.
   bool WaitCompletion(FleetCompletion* out);
 
   size_t Outstanding() const;
   size_t num_backends() const { return slots_.size(); }
   const MeasurementBackend& backend(size_t i) const { return *slots_[i]->backend; }
 
-  FleetStats stats() const;  // consistent snapshot
+  /// Consistent snapshot of every counter (one lock acquisition).
+  /// Thread-safety: safe from any thread.
+  FleetStats stats() const;
 
  private:
   struct Request {
     uint64_t ticket = 0;
     std::vector<double> config;
-    int attempt = 1;        // the try number the next dispatch will be
-    uint64_t excluded = 0;  // bitmask of backends this request should avoid
+    std::string environment;  // "" = any backend may serve it
+    int attempt = 1;          // the try number the next dispatch will be
+    uint64_t excluded = 0;    // bitmask of backends this request should avoid
   };
 
   struct Slot {

@@ -4,10 +4,12 @@
 
 namespace unicorn {
 
-InProcessBackend::InProcessBackend(PerformanceTask task, std::string name, int concurrency)
+InProcessBackend::InProcessBackend(PerformanceTask task, std::string name, int concurrency,
+                                   std::string environment)
     : task_(std::move(task)),
       name_(std::move(name)),
-      concurrency_(concurrency < 1 ? 1 : concurrency) {}
+      concurrency_(concurrency < 1 ? 1 : concurrency),
+      environment_(std::move(environment)) {}
 
 MeasureOutcome InProcessBackend::Measure(const std::vector<double>& config, int attempt) {
   (void)attempt;

@@ -11,21 +11,33 @@
 
 namespace unicorn {
 
+/// Wraps a PerformanceTask as a fleet member. Stateless beyond the task;
+/// never fails on its own (failures can only come from task.measure
+/// throwing, which the backend contract forbids — harness tasks don't).
 class InProcessBackend : public MeasurementBackend {
  public:
-  // `concurrency` is how many fleet workers may call task.measure at once
-  // (harness tasks are pure per configuration, so any value is safe).
+  /// `concurrency` is how many fleet workers may call task.measure at once
+  /// (harness tasks are pure per configuration, so any value is safe; values
+  /// < 1 clamp to 1). `environment` is the routing tag — set it when this
+  /// process stands in for one specific hardware environment of a
+  /// heterogeneous fleet, leave empty for an untagged capacity member.
   explicit InProcessBackend(PerformanceTask task, std::string name = "in-process",
-                            int concurrency = 1);
+                            int concurrency = 1, std::string environment = "");
 
   const std::string& name() const override { return name_; }
   int concurrency() const override { return concurrency_; }
+  const std::string& environment() const override { return environment_; }
+
+  /// Always returns kOk with task.measure's row; `attempt` is ignored.
+  /// Thread-safety: safe from concurrency() workers iff task.measure is
+  /// (every harness task is — pure per configuration).
   MeasureOutcome Measure(const std::vector<double>& config, int attempt) override;
 
  private:
   PerformanceTask task_;
   std::string name_;
   int concurrency_;
+  std::string environment_;
 };
 
 }  // namespace unicorn

@@ -7,7 +7,8 @@
 namespace unicorn {
 namespace {
 
-constexpr const char* kMagic = "unicorn-measurement-table-v1";
+constexpr const char* kMagicV1 = "unicorn-measurement-table-v1";
+constexpr const char* kMagicV2 = "unicorn-measurement-table-v2";
 
 bool ParseDoubles(const std::vector<std::string>& fields, size_t begin, size_t count,
                   std::vector<double>* out) {
@@ -25,26 +26,48 @@ bool ParseDoubles(const std::vector<std::string>& fields, size_t begin, size_t c
   return true;
 }
 
+void FormatDoubles(const std::vector<double>& values, std::vector<std::string>* out) {
+  char buffer[64];
+  for (double v : values) {
+    // max_digits10: the bit-exact round-trip guarantee of the format.
+    std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+    out->push_back(buffer);
+  }
+}
+
 }  // namespace
+
+std::string MeasurementTable::UniformProvenance() const {
+  if (entries.empty()) {
+    return "";
+  }
+  const std::string& first = entries.front().provenance;
+  for (const Entry& entry : entries) {
+    if (entry.provenance != first) {
+      return "";
+    }
+  }
+  return first;
+}
 
 bool SaveMeasurementTable(const std::string& path, const MeasurementTable& table) {
   return SaveMeasurementTable(path, table.num_options, table.num_vars, table.entries);
 }
 
-bool SaveMeasurementTable(
-    const std::string& path, size_t num_options, size_t num_vars,
-    const std::vector<std::pair<std::vector<double>, std::vector<double>>>& entries) {
+bool SaveMeasurementTable(const std::string& path, size_t num_options, size_t num_vars,
+                          const std::vector<MeasurementTable::Entry>& entries) {
   CsvWriter writer(path);
   if (!writer.ok()) {
     return false;
   }
-  writer.WriteRow({kMagic, std::to_string(num_options), std::to_string(num_vars)});
-  std::vector<double> record;
-  for (const auto& [config, row] : entries) {
+  writer.WriteRow({kMagicV2, std::to_string(num_options), std::to_string(num_vars)});
+  std::vector<std::string> record;
+  for (const auto& entry : entries) {
     record.clear();
-    record.insert(record.end(), config.begin(), config.end());
-    record.insert(record.end(), row.begin(), row.end());
-    writer.WriteNumericRow(record, 17);  // max_digits10: bit-exact round trip
+    FormatDoubles(entry.config, &record);
+    FormatDoubles(entry.row, &record);
+    record.push_back(entry.provenance);
+    writer.WriteRow(record);
   }
   return writer.ok();
 }
@@ -55,7 +78,11 @@ bool LoadMeasurementTable(const std::string& path, MeasurementTable* table) {
     return false;
   }
   std::vector<std::string> fields;
-  if (!reader.ReadRow(&fields) || fields.size() != 3 || fields[0] != kMagic) {
+  if (!reader.ReadRow(&fields) || fields.size() != 3) {
+    return false;
+  }
+  const bool v2 = fields[0] == kMagicV2;
+  if (!v2 && fields[0] != kMagicV1) {
     return false;
   }
   table->num_options = std::strtoul(fields[1].c_str(), nullptr, 10);
@@ -64,17 +91,21 @@ bool LoadMeasurementTable(const std::string& path, MeasurementTable* table) {
   if (table->num_options == 0 || table->num_vars < table->num_options) {
     return false;
   }
+  const size_t numeric_fields = table->num_options + table->num_vars;
   while (reader.ReadRow(&fields)) {
     if (fields.size() == 1 && fields[0].empty()) {
       continue;  // trailing newline
     }
-    if (fields.size() != table->num_options + table->num_vars) {
+    if (fields.size() != numeric_fields + (v2 ? 1 : 0)) {
       return false;
     }
-    std::pair<std::vector<double>, std::vector<double>> entry;
-    if (!ParseDoubles(fields, 0, table->num_options, &entry.first) ||
-        !ParseDoubles(fields, table->num_options, table->num_vars, &entry.second)) {
+    MeasurementTable::Entry entry;
+    if (!ParseDoubles(fields, 0, table->num_options, &entry.config) ||
+        !ParseDoubles(fields, table->num_options, table->num_vars, &entry.row)) {
       return false;
+    }
+    if (v2) {
+      entry.provenance = fields[numeric_fields];
     }
     table->entries.push_back(std::move(entry));
   }

@@ -1,42 +1,69 @@
 // The one on-disk format of the measurement plane: a persisted map from
-// configuration to full measurement row.
+// configuration to full measurement row, with per-row provenance.
 //
 // MeasurementBroker::SaveCache dumps its dedup cache here, RecordedBackend
-// replays it, and a warm-started campaign loads it back — the ROADMAP's
-// "cross-campaign table sharing" in one CSV. Values are written with 17
-// significant digits so doubles round-trip bit-exactly: the broker keys its
-// cache on the exact bit pattern of a configuration, and replay identity
-// depends on getting those bits back.
+// replays it, and CausalModelEngine::SeedFromTable warm-starts a model from
+// it — the ROADMAP's "cross-campaign table sharing" in one CSV. The full
+// column schema, round-trip guarantee, and rejection rules are documented in
+// docs/MEASUREMENT_PLANE.md; in short:
 //
-// Layout: a header row `unicorn-measurement-table-v1,<num options>,<num
-// vars>`, then one record per measurement — the option values followed by
-// the full variable row.
+//   header  `unicorn-measurement-table-v2,<num options>,<num vars>`
+//   record  <option values...>,<full variable row...>,<provenance>
+//
+// Values are written with 17 significant digits so doubles round-trip
+// bit-exactly: the broker keys its cache on the exact bit pattern of a
+// configuration, and replay identity depends on getting those bits back.
+// `provenance` is the environment label of the backend that measured the row
+// (empty when unknown) — the column that lets a transfer campaign tell
+// source-hardware rows from target-hardware rows. v1 files (no provenance
+// field) still load; their provenance reads back empty.
 #ifndef UNICORN_UNICORN_BACKEND_MEASUREMENT_TABLE_H_
 #define UNICORN_UNICORN_BACKEND_MEASUREMENT_TABLE_H_
 
 #include <string>
-#include <utility>
 #include <vector>
 
 namespace unicorn {
 
+/// A persisted measurement table: (configuration, row, provenance) records
+/// in insertion order. Plain data — copyable, no hidden state.
+/// Thread-safety: none (value type; guard concurrent mutation yourself).
 struct MeasurementTable {
+  /// One persisted measurement.
+  struct Entry {
+    std::vector<double> config;  ///< option values, in option order
+    std::vector<double> row;     ///< the full variable row (options echoed)
+    /// Environment label of the backend that measured the row; empty when
+    /// unknown (v1 files, pool-mode brokers with untagged requests).
+    std::string provenance;
+  };
+
   size_t num_options = 0;
   size_t num_vars = 0;
-  // (configuration, full measurement row) pairs, in insertion order.
-  std::vector<std::pair<std::vector<double>, std::vector<double>>> entries;
+  std::vector<Entry> entries;
+
+  /// The single provenance label shared by every entry, or "" when the table
+  /// is empty or entries disagree. RecordedBackend uses this to adopt the
+  /// recording's environment tag automatically.
+  /// Thread-safety: const, safe concurrently with other readers.
+  std::string UniformProvenance() const;
 };
 
-// Returns false (and writes nothing useful) on I/O failure.
+/// Writes `table` to `path` in the v2 CSV format above.
+/// Failure: returns false on I/O failure (nothing useful was written).
+/// Thread-safety: safe for distinct paths; callers serialize same-path use.
 bool SaveMeasurementTable(const std::string& path, const MeasurementTable& table);
 
-// Same, streaming from a caller-owned entry list (no copy into a
-// MeasurementTable — the broker's cache can be large).
-bool SaveMeasurementTable(
-    const std::string& path, size_t num_options, size_t num_vars,
-    const std::vector<std::pair<std::vector<double>, std::vector<double>>>& entries);
+/// Same, streaming from a caller-owned entry list (no copy into a
+/// MeasurementTable — the broker's cache can be large).
+/// Failure: returns false on I/O failure.
+bool SaveMeasurementTable(const std::string& path, size_t num_options, size_t num_vars,
+                          const std::vector<MeasurementTable::Entry>& entries);
 
-// Returns false on I/O failure, a bad header, or a malformed record.
+/// Loads a v1 or v2 table from `path` into `*table`.
+/// Failure: returns false — and leaves `*table` unspecified — on I/O
+/// failure, a bad header, a malformed record, or an impossible shape
+/// (zero options, or fewer variables than options).
 bool LoadMeasurementTable(const std::string& path, MeasurementTable* table);
 
 }  // namespace unicorn

@@ -4,17 +4,21 @@
 
 namespace unicorn {
 
-RecordedBackend::RecordedBackend(MeasurementTable table, std::string name, int concurrency)
-    : name_(std::move(name)), concurrency_(concurrency < 1 ? 1 : concurrency) {
-  for (auto& [config, row] : table.entries) {
-    rows_.emplace(std::move(config), std::move(row));
+RecordedBackend::RecordedBackend(MeasurementTable table, std::string name, int concurrency,
+                                 std::string environment)
+    : name_(std::move(name)),
+      concurrency_(concurrency < 1 ? 1 : concurrency),
+      environment_(environment.empty() ? table.UniformProvenance() : std::move(environment)) {
+  for (auto& entry : table.entries) {
+    rows_.emplace(std::move(entry.config), std::move(entry.row));
   }
 }
 
-RecordedBackend RecordedBackend::FromFile(const std::string& path, std::string name) {
+RecordedBackend RecordedBackend::FromFile(const std::string& path, std::string name,
+                                          std::string environment) {
   MeasurementTable table;
   LoadMeasurementTable(path, &table);  // failure leaves the table empty
-  return RecordedBackend(std::move(table), std::move(name));
+  return RecordedBackend(std::move(table), std::move(name), 1, std::move(environment));
 }
 
 bool RecordedBackend::Supports(const std::vector<double>& config) const {

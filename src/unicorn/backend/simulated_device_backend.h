@@ -22,35 +22,52 @@
 
 namespace unicorn {
 
+/// Static description of one simulated device. Plain value type; fixed at
+/// backend construction.
 struct DeviceProfile {
   std::string name = "device";
-  uint64_t seed = 1;  // drives failure and service-time draws
+  uint64_t seed = 1;  ///< drives failure and service-time draws
+  /// Routing tag (see MeasurementBackend::environment). MakeDeviceBackend
+  /// defaults it to the device Environment's name when left empty, so a
+  /// heterogeneous fleet's members are distinguishable without extra setup.
+  std::string environment;
   // Service-time model: seconds = mean * (1 ± jitter), drawn per
   // (config, attempt). With `sleep` the worker actually sleeps it (bench
   // realism: heterogeneous fleet wall clocks); otherwise it is accounted in
   // simulated_busy_seconds() only, keeping tests fast.
   double service_time_mean = 0.0;
-  double service_time_jitter = 0.0;  // relative, in [0, 1]
+  double service_time_jitter = 0.0;  ///< relative, in [0, 1]
   bool sleep = false;
   // Failure injection, per measurement attempt.
   double transient_failure_rate = 0.0;
   double permanent_failure_rate = 0.0;
-  int concurrency = 1;  // fleet workers this device serves at once
+  int concurrency = 1;  ///< fleet workers this device serves at once
 };
 
+/// One simulated device. All mutable state is the atomic busy-time counter,
+/// so every method is safe from concurrency() fleet workers at once.
 class SimulatedDeviceBackend : public MeasurementBackend {
  public:
   SimulatedDeviceBackend(PerformanceTask task, DeviceProfile profile);
 
   const std::string& name() const override { return profile_.name; }
   int concurrency() const override { return profile_.concurrency; }
+  const std::string& environment() const override { return profile_.environment; }
+
+  /// Draws the attempt's service time and failure outcome from
+  /// (profile seed, config, attempt). Failure: returns kTransient/kPermanent
+  /// per the injected rates (typed, never throws); at rate 0 it always
+  /// returns kOk with the device task's row.
+  /// Thread-safety: safe from concurrency() workers (task.measure is pure
+  /// per configuration; the busy counter is atomic).
   MeasureOutcome Measure(const std::vector<double>& config, int attempt) override;
 
   const DeviceProfile& profile() const { return profile_; }
   const PerformanceTask& task() const { return task_; }
 
-  // Total simulated service time across all attempts (whether slept or only
-  // accounted) — the device-side view of busy time.
+  /// Total simulated service time across all attempts (whether slept or only
+  /// accounted) — the device-side view of busy time.
+  /// Thread-safety: atomic read; safe any time.
   double simulated_busy_seconds() const { return busy_us_.load() * 1e-6; }
 
  private:

@@ -26,6 +26,86 @@ double GoalViolation(const std::vector<double>& row, const std::vector<Objective
   return worst;
 }
 
+TransferPolicy::TransferPolicy(TransferOptions options, MeasurementTable source,
+                               CampaignPolicy* inner)
+    : options_(std::move(options)), source_(std::move(source)), inner_(inner) {
+  if (options_.max_source_rows > 0 && source_.entries.size() > options_.max_source_rows) {
+    source_.entries.resize(options_.max_source_rows);
+  }
+  // Nothing to replay: degrade to pure delegation from round 0 on.
+  replayed_ = source_.entries.empty();
+}
+
+bool TransferPolicy::WantsRefresh(const CampaignContext& ctx) {
+  return inner_->WantsRefresh(ctx);
+}
+
+std::vector<std::vector<double>> TransferPolicy::Propose(CampaignContext& ctx) {
+  std::vector<std::vector<double>> batch;
+  if (!replayed_) {
+    // Round 0: the source recording's configurations, then the inner
+    // policy's own bootstrap — ONE combined batch, so the inner policy sees
+    // the same round numbering (and thus the same refresh-seed stream) as a
+    // legacy warm-table run.
+    batch.reserve(source_.entries.size());
+    for (const auto& entry : source_.entries) {
+      batch.push_back(entry.config);
+    }
+    replay_count_ = batch.size();
+  } else {
+    replay_count_ = 0;
+  }
+  std::vector<std::vector<double>> inner_batch = inner_->Propose(ctx);
+  inner_proposed_ = inner_batch.size();
+  batch.insert(batch.end(), std::make_move_iterator(inner_batch.begin()),
+               std::make_move_iterator(inner_batch.end()));
+  return batch;
+}
+
+std::vector<std::string> TransferPolicy::ProposalEnvironments(size_t proposal_size) {
+  std::vector<std::string> envs(replay_count_, options_.source_environment);
+  std::vector<std::string> inner_envs = inner_->ProposalEnvironments(inner_proposed_);
+  if (inner_envs.empty()) {
+    // Backstop: an untagged fresh request could otherwise be routed to the
+    // source recording if its configuration happens to be recorded.
+    envs.resize(proposal_size, options_.target_environment);
+  } else {
+    envs.insert(envs.end(), std::make_move_iterator(inner_envs.begin()),
+                std::make_move_iterator(inner_envs.end()));
+  }
+  return envs;
+}
+
+void TransferPolicy::Absorb(const std::vector<std::vector<double>>& configs,
+                            const std::vector<std::vector<double>>& rows,
+                            CampaignContext& ctx) {
+  if (replayed_) {
+    inner_->Absorb(configs, rows, ctx);  // every round after the replay
+    return;
+  }
+  // The replayed slice: straight into the shared engine, tagged as
+  // source-provenance rows (the warm model's training set).
+  size_t offset = 0;
+  for (; offset < replay_count_; ++offset) {
+    ctx.engine.AddRow(rows[offset], RowProvenance::kSource);
+    ++stats_.source_rows;
+  }
+  replayed_ = true;
+  if (inner_proposed_ == 0) {
+    return;  // the runner never hands empty slices to a policy
+  }
+  const std::vector<std::vector<double>> inner_configs(configs.begin() + offset, configs.end());
+  const std::vector<std::vector<double>> inner_rows(rows.begin() + offset, rows.end());
+  inner_->Absorb(inner_configs, inner_rows, ctx);
+}
+
+bool TransferPolicy::Finished() const { return replayed_ && inner_->Finished(); }
+
+void TransferPolicy::Finalize(CampaignContext& ctx) {
+  inner_->Finalize(ctx);
+  stats_.target_rows = ctx.engine.ProvenanceRows(RowProvenance::kTarget);
+}
+
 CampaignRunner::CampaignRunner(PerformanceTask task, CampaignOptions options)
     : options_(std::move(options)),
       broker_(std::move(task), options_.broker),
@@ -73,17 +153,32 @@ void CampaignRunner::Run(const std::vector<CampaignPolicy*>& policies) {
       engine_.Refresh(RefreshSeed(round));
     }
 
-    // Collect every policy's proposal and measure them as one batch: one
-    // fan-out over the pool, and a config two policies propose in the same
-    // round is measured once.
+    // Collect every policy's proposal (and its environment routing tags)
+    // and measure them as one batch: one fan-out over the pool/fleet, and a
+    // (environment, config) request two policies propose in the same round
+    // is measured once.
     std::vector<std::vector<std::vector<double>>> proposals;
     std::vector<std::vector<double>> combined;
+    std::vector<std::string> combined_envs;
+    bool any_env = false;
     proposals.reserve(active.size());
     for (CampaignPolicy* policy : active) {
       proposals.push_back(policy->Propose(ctx));
       combined.insert(combined.end(), proposals.back().begin(), proposals.back().end());
+      std::vector<std::string> envs = policy->ProposalEnvironments(proposals.back().size());
+      if (!envs.empty() && envs.size() != proposals.back().size()) {
+        throw std::logic_error("campaign: ProposalEnvironments must parallel the proposal");
+      }
+      if (envs.empty()) {
+        combined_envs.resize(combined_envs.size() + proposals.back().size());
+      } else {
+        any_env = true;
+        combined_envs.insert(combined_envs.end(), std::make_move_iterator(envs.begin()),
+                             std::make_move_iterator(envs.end()));
+      }
     }
-    const auto rows = broker_.MeasureBatch(combined);
+    const auto rows =
+        broker_.MeasureBatch(combined, any_env ? combined_envs : std::vector<std::string>{});
 
     size_t offset = 0;
     for (size_t p = 0; p < active.size(); ++p) {
@@ -143,9 +238,13 @@ void CampaignRunner::RunAsync(const std::vector<CampaignPolicy*>& policies) {
       state.policy->Finalize(ctx);
       return false;
     }
+    std::vector<std::string> envs = state.policy->ProposalEnvironments(state.proposal.size());
+    if (!envs.empty() && envs.size() != state.proposal.size()) {
+      throw std::logic_error("campaign: ProposalEnvironments must parallel the proposal");
+    }
     state.rows.assign(state.proposal.size(), {});
     state.received = 0;
-    const BatchTicket ticket = broker_.SubmitBatch(state.proposal);
+    const BatchTicket ticket = broker_.SubmitBatch(state.proposal, envs);
     batch_owner.emplace(ticket.id, state_index);
     return true;
   };

@@ -10,13 +10,23 @@
 // measurement cache: every row any policy measures teaches the model all of
 // them reason on, and a configuration one policy already paid for is free
 // for the rest.
+//
+// Cross-environment transfer is a first-class campaign scenario:
+// TransferPolicy replays a recorded source-hardware table through the
+// measurement plane (served by the fleet's RecordedBackend — zero fresh
+// source measurements), warm-starting the shared engine with
+// source-provenance rows, then hands the rounds to an inner debug/optimize
+// policy whose fresh measurements route to live target-environment
+// backends.
 #ifndef UNICORN_UNICORN_CAMPAIGN_H_
 #define UNICORN_UNICORN_CAMPAIGN_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "causal/counterfactual.h"
+#include "unicorn/backend/measurement_table.h"
 #include "unicorn/measurement_broker.h"
 #include "unicorn/model_learner.h"
 #include "unicorn/task.h"
@@ -26,13 +36,16 @@ namespace unicorn {
 // Goal predicates shared by the debugger, the baselines, and the benches
 // (previously copy-pasted in each).
 //
-// All goals satisfied by this measurement row?
+/// All goals satisfied by this measurement row?
+/// Thread-safety: pure function. Failure: `row` must cover every goal.var.
 bool GoalsMet(const std::vector<double>& row, const std::vector<ObjectiveGoal>& goals);
-// Scalar "badness": max relative violation across goals (<= 0 means met).
+/// Scalar "badness": max relative violation across goals (<= 0 means met).
+/// Thread-safety: pure function.
 double GoalViolation(const std::vector<double>& row, const std::vector<ObjectiveGoal>& goals);
 
-// What a policy sees each round: the shared engine, the shared broker, the
-// task metadata, and the round counter.
+/// What a policy sees each round: the shared engine, the shared broker, the
+/// task metadata, and the round counter. Borrowed references — valid only
+/// for the duration of the callback that received the context.
 struct CampaignContext {
   const PerformanceTask& task;
   CausalModelEngine& engine;
@@ -40,59 +53,152 @@ struct CampaignContext {
   size_t round = 0;
 };
 
-// A reasoning policy driven by the CampaignRunner. Give concurrent policies
-// distinct seeds unless shared bootstrap configurations are intended: the
-// broker makes repeat measurements free, but each accepting policy still
-// appends its rows to the shared table, and exact duplicate rows inflate the
-// CI tests' effective sample size. Per-round contract:
-// Propose() returns the configurations to measure this round; Absorb()
-// receives the measured rows in proposal order and appends whatever it
-// accepts to ctx.engine (so speculative batch rows a sequential loop would
-// never have measured can be dropped, keeping batched == serial). A policy
-// that proposes an empty batch must report Finished() — the runner retires
-// it either way, since a policy proposing nothing can never finish itself.
+/// A reasoning policy driven by the CampaignRunner. Give concurrent policies
+/// distinct seeds unless shared bootstrap configurations are intended: the
+/// broker makes repeat measurements free, but each accepting policy still
+/// appends its rows to the shared table, and exact duplicate rows inflate
+/// the CI tests' effective sample size.
+///
+/// Per-round contract: Propose() returns the configurations to measure this
+/// round; ProposalEnvironments() (called immediately after, with the
+/// proposal's size) returns their routing tags; Absorb() receives the
+/// measured rows in proposal order and appends whatever it accepts to
+/// ctx.engine (so speculative batch rows a sequential loop would never have
+/// measured can be dropped, keeping batched == serial). A policy that
+/// proposes an empty batch must report Finished() — the runner retires it
+/// either way, since a policy proposing nothing can never finish itself.
+///
+/// Thread-safety: none required or provided. The runner invokes every
+/// callback from the one thread driving the campaign, never concurrently —
+/// policies may keep plain mutable state.
 class CampaignPolicy {
  public:
   virtual ~CampaignPolicy() = default;
 
-  // Should the runner refresh the shared engine before this round's
-  // Propose()? Refreshes are shared: one refresh serves every policy.
+  /// Should the runner refresh the shared engine before this round's
+  /// Propose()? Refreshes are shared: one refresh serves every policy.
   virtual bool WantsRefresh(const CampaignContext& ctx) = 0;
 
+  /// The configurations to measure this round (possibly empty: see the
+  /// class contract). Failure: exceptions propagate out of the runner.
   virtual std::vector<std::vector<double>> Propose(CampaignContext& ctx) = 0;
 
+  /// Environment routing tags for the proposal just returned by Propose()
+  /// (`proposal_size` entries, parallel). Return {} — the default — when
+  /// every request may run on any backend. Called exactly once per round,
+  /// immediately after Propose().
+  virtual std::vector<std::string> ProposalEnvironments(size_t proposal_size) {
+    (void)proposal_size;
+    return {};
+  }
+
+  /// Receives the measured rows of this policy's proposal, in proposal
+  /// order. Not called for rounds where the policy proposed nothing.
   virtual void Absorb(const std::vector<std::vector<double>>& configs,
                       const std::vector<std::vector<double>>& rows,
                       CampaignContext& ctx) = 0;
 
   virtual bool Finished() const = 0;
 
-  // Called exactly once, when the policy leaves the campaign (finished or
-  // round cap hit): capture result state from the shared engine/broker.
+  /// Called exactly once, when the policy leaves the campaign (finished or
+  /// round cap hit): capture result state from the shared engine/broker.
   virtual void Finalize(CampaignContext& ctx) = 0;
 };
 
+/// Options of the transfer wrapper (see TransferPolicy). Plain value type.
+struct TransferOptions {
+  /// Routing tag the replayed source configurations are submitted with; it
+  /// must match the fleet's recorded-source member (RecordedBackend adopts
+  /// the table's provenance label automatically). Empty = untagged: the
+  /// replay may then land on any backend that Supports() the config, which
+  /// is only correct in single-environment fleets.
+  std::string source_environment;
+  /// Backstop routing tag for the inner policy's requests: applied to every
+  /// round for which the inner policy returns no tags of its own. Without
+  /// it, an untagged fresh request whose configuration happens to exist in
+  /// the recording could be answered by the source RecordedBackend and be
+  /// silently absorbed as a "target" row. Inner-policy tags (e.g.
+  /// DebugOptions::environment) take precedence; empty = no backstop.
+  std::string target_environment;
+  /// Replay at most this many recorded rows (0 = the whole recording).
+  size_t max_source_rows = 0;
+};
+
+/// How much of a transfer campaign's model rests on reused source rows
+/// versus fresh target measurements (paper Fig. 16/17, Table 15 reporting).
+struct TransferStats {
+  size_t source_rows = 0;  ///< recorded rows replayed into the engine
+  size_t target_rows = 0;  ///< rows in the shared engine measured live
+};
+
+/// Cross-environment transfer as a campaign policy: wraps an inner
+/// debug/optimize policy. Its first round proposes the recorded source
+/// table's configurations (tagged with the source environment, so the
+/// fleet's RecordedBackend answers them — zero fresh source-hardware
+/// measurements) concatenated with the inner policy's own first-round
+/// batch; the replayed rows are absorbed into the shared engine with
+/// RowProvenance::kSource. Every later round delegates to the inner policy
+/// unchanged. Because the replay and the inner bootstrap share round 0, the
+/// refresh-seed stream the inner policy sees is identical to a legacy
+/// warm-table run — with matching source rows and a target fleet matching
+/// the legacy task, results are bit-identical (pinned by
+/// tests/transfer_campaign_test.cc).
+///
+/// Thread-safety: as CampaignPolicy (single campaign thread). The inner
+/// policy is borrowed, must outlive the TransferPolicy, and must not be
+/// driven by anything else during the campaign.
+/// Failure: an empty or shape-mismatched recording replays nothing (the
+/// wrapper degrades to pure delegation); replay requests no fleet member
+/// can serve surface as broker measurement failures.
+class TransferPolicy : public CampaignPolicy {
+ public:
+  TransferPolicy(TransferOptions options, MeasurementTable source, CampaignPolicy* inner);
+
+  bool WantsRefresh(const CampaignContext& ctx) override;
+  std::vector<std::vector<double>> Propose(CampaignContext& ctx) override;
+  std::vector<std::string> ProposalEnvironments(size_t proposal_size) override;
+  void Absorb(const std::vector<std::vector<double>>& configs,
+              const std::vector<std::vector<double>>& rows, CampaignContext& ctx) override;
+  bool Finished() const override;
+  void Finalize(CampaignContext& ctx) override;
+
+  /// Valid once the campaign has run (Finalize was called).
+  const TransferStats& stats() const { return stats_; }
+
+ private:
+  TransferOptions options_;
+  MeasurementTable source_;
+  CampaignPolicy* inner_;
+  bool replayed_ = false;       // source configs already proposed?
+  size_t replay_count_ = 0;     // replay slice of the round-0 proposal
+  size_t inner_proposed_ = 0;   // inner slice of the current proposal
+  TransferStats stats_;
+};
+
+/// Campaign-wide knobs. Plain value type.
 struct CampaignOptions {
   CausalModelOptions model;
   EngineOptions engine;
   BrokerOptions broker;
-  // Refresh-seed stream: the round-r refresh uses seed + (r - 1) (round 0
-  // is the bootstrap round), matching the per-iteration reseeding the
-  // sequential loops did.
+  /// Refresh-seed stream: the round-r refresh uses seed + (r - 1) (round 0
+  /// is the bootstrap round), matching the per-iteration reseeding the
+  /// sequential loops did.
   uint64_t seed = 17;
-  // Runaway guard; policies normally terminate themselves.
+  /// Runaway guard; policies normally terminate themselves.
   size_t max_rounds = 100000;
 };
 
-// Owns the shared CausalModelEngine and MeasurementBroker of a campaign and
-// drives its policies' rounds to completion.
+/// Owns the shared CausalModelEngine and MeasurementBroker of a campaign and
+/// drives its policies' rounds to completion.
+/// Thread-safety: a runner is driven by one thread; concurrency lives below
+/// it (broker pool threads, fleet workers), never in the runner itself.
 class CampaignRunner {
  public:
   CampaignRunner(PerformanceTask task, CampaignOptions options = {});
-  // Fleet-backed campaign: measurements dispatch through `fleet`
-  // (per-backend queues, retries, circuit breaking) instead of the flat
-  // thread pool. `task` still provides variable metadata and must match
-  // what the backends measure.
+  /// Fleet-backed campaign: measurements dispatch through `fleet`
+  /// (per-backend queues, retries, circuit breaking) instead of the flat
+  /// thread pool. `task` still provides variable metadata and must match
+  /// what the backends measure.
   CampaignRunner(PerformanceTask task, CampaignOptions options,
                  std::unique_ptr<BackendFleet> fleet);
 
@@ -100,30 +206,35 @@ class CampaignRunner {
   MeasurementBroker& broker() { return broker_; }
   const PerformanceTask& task() const { return broker_.task(); }
 
-  // Runs rounds until every policy is finished. Each round: refresh the
-  // engine if any active policy asks, collect every policy's proposal (in
-  // the given order), measure them as ONE combined broker batch (shared
-  // dedup, maximal fan-out), and hand each policy its slice of rows.
+  /// Runs rounds until every policy is finished. Each round: refresh the
+  /// engine if any active policy asks, collect every policy's proposal (in
+  /// the given order) and its environment tags, measure them as ONE
+  /// combined broker batch (shared dedup, maximal fan-out), and hand each
+  /// policy its slice of rows.
+  /// Failure: measurement failures (fleet retries exhausted) and policy
+  /// exceptions propagate; the campaign is then abandoned mid-round.
   void Run(const std::vector<CampaignPolicy*>& policies);
 
-  // The barrier-free variant (ROADMAP "async campaign rounds"): each policy
-  // submits its round as its own broker batch and absorbs it the moment its
-  // rows land, so a fast policy refreshes the model and proposes again while
-  // a slow policy's measurements are still in flight on the fleet — no
-  // per-round barrier across policies. Round counters, refresh seeds, and
-  // the propose/absorb contract are per policy and unchanged; with a single
-  // policy (any broker mode, homogeneous backends) this is bit-identical to
-  // Run. With several policies the interleaving of shared-engine refreshes
-  // follows measurement completion order, which on a real fleet is timing-
-  // dependent — results stay valid but are not run-to-run deterministic.
+  /// The barrier-free variant (ROADMAP "async campaign rounds"): each
+  /// policy submits its round as its own broker batch and absorbs it the
+  /// moment its rows land, so a fast policy refreshes the model and
+  /// proposes again while a slow policy's measurements are still in flight
+  /// on the fleet — no per-round barrier across policies. Round counters,
+  /// refresh seeds, and the propose/absorb contract are per policy and
+  /// unchanged; with a single policy (any broker mode, homogeneous
+  /// backends) this is bit-identical to Run. With several policies the
+  /// interleaving of shared-engine refreshes follows measurement completion
+  /// order, which on a real fleet is timing-dependent — results stay valid
+  /// but are not run-to-run deterministic.
+  /// Failure: as Run; a permanently failed measurement throws.
   void RunAsync(const std::vector<CampaignPolicy*>& policies);
 
-  // Shared initial-sampling helper (the stage every loop and bench used to
-  // hand-roll): `count` uniform-random configurations drawn with `rng`.
+  /// Shared initial-sampling helper (the stage every loop and bench used to
+  /// hand-roll): `count` uniform-random configurations drawn with `rng`.
   std::vector<std::vector<double>> SampleConfigs(size_t count, Rng* rng) const;
 
-  // Samples `count` configurations and measures them as one batch; rows come
-  // back in draw order.
+  /// Samples `count` configurations and measures them as one batch; rows
+  /// come back in draw order.
   std::vector<std::vector<double>> MeasureUniform(size_t count, Rng* rng);
 
  private:

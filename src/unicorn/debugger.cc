@@ -6,6 +6,15 @@
 
 namespace unicorn {
 
+CampaignOptions ToCampaignOptions(const DebugOptions& options) {
+  CampaignOptions campaign;
+  campaign.model = options.model;
+  campaign.engine = options.engine;
+  campaign.broker = options.broker;
+  campaign.seed = options.seed;
+  return campaign;
+}
+
 DebugPolicy::DebugPolicy(DebugOptions options, std::vector<double> fault_config,
                          std::vector<ObjectiveGoal> goals, const DataTable* warm_start)
     : options_(std::move(options)),
@@ -16,6 +25,12 @@ DebugPolicy::DebugPolicy(DebugOptions options, std::vector<double> fault_config,
   for (const auto& goal : goals_) {
     goal_vars_.push_back(goal.var);
   }
+}
+
+std::vector<std::string> DebugPolicy::ProposalEnvironments(size_t proposal_size) {
+  return options_.environment.empty()
+             ? std::vector<std::string>{}
+             : std::vector<std::string>(proposal_size, options_.environment);
 }
 
 bool DebugPolicy::WantsRefresh(const CampaignContext&) {
@@ -33,7 +48,10 @@ std::vector<std::vector<double>> DebugPolicy::Propose(CampaignContext& ctx) {
                        options_.initial_samples +
                        options_.repairs_per_iteration * options_.max_iterations + 2);
     if (warm_start_ != nullptr) {
-      ctx.engine.AppendRows(*warm_start_);
+      // Transferred observational data: tag it as source provenance so
+      // DebugResult reports the reuse split the same way the fleet-backed
+      // TransferPolicy path does.
+      ctx.engine.AppendRows(*warm_start_, RowProvenance::kSource);
     }
     roles_ = StructuralConstraints(ctx.task.variables).roles();
     std::vector<std::vector<double>> batch;
@@ -184,6 +202,8 @@ void DebugPolicy::Finalize(CampaignContext& ctx) {
   }
   result_.engine_stats = ctx.engine.stats();
   result_.broker_stats = ctx.broker.stats();
+  result_.source_rows = ctx.engine.ProvenanceRows(RowProvenance::kSource);
+  result_.target_rows = ctx.engine.ProvenanceRows(RowProvenance::kTarget);
   result_.fixed_config = best_config_;
   result_.fixed_measurement = best_row_;
   // Diagnosis: the options the fix changed, plus the options on the final
@@ -208,12 +228,7 @@ UnicornDebugger::UnicornDebugger(PerformanceTask task, DebugOptions options)
 DebugResult UnicornDebugger::Debug(const std::vector<double>& fault_config,
                                    const std::vector<ObjectiveGoal>& goals,
                                    const DataTable* warm_start) {
-  CampaignOptions campaign;
-  campaign.model = options_.model;
-  campaign.engine = options_.engine;
-  campaign.broker = options_.broker;
-  campaign.seed = options_.seed;
-  CampaignRunner runner(task_, campaign);
+  CampaignRunner runner(task_, ToCampaignOptions(options_));
   DebugPolicy policy(options_, fault_config, goals, warm_start);
   runner.Run({&policy});
   return policy.TakeResult();

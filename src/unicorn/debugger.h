@@ -42,8 +42,18 @@ struct DebugOptions {
   // thread count (harness measurement is pure per configuration).
   BrokerOptions broker;
   RepairOptions repairs;
+  // Environment routing tag for every measurement this policy requests
+  // (bootstrap and repairs). Empty = any backend. On a heterogeneous fleet
+  // set it to the target hardware's tag so fresh measurements can never be
+  // answered by a recorded source member or a wrong-environment device.
+  std::string environment;
   uint64_t seed = 7;
 };
+
+// The campaign-level slice of DebugOptions (model/engine/broker knobs and
+// the refresh-seed stream), for building a CampaignRunner that hosts a
+// DebugPolicy. One definition instead of a hand-copied block per call site.
+CampaignOptions ToCampaignOptions(const DebugOptions& options);
 
 struct DebugResult {
   bool fixed = false;
@@ -59,6 +69,12 @@ struct DebugResult {
   // for Fig. 11 (d).
   std::vector<size_t> selected_options;
   MixedGraph final_graph;
+  // Row-provenance split of the engine's table when the policy finalized:
+  // how much of the model rests on replayed source-hardware rows versus
+  // fresh measurements (transfer campaigns; equal to the engine-wide counts
+  // when this was the only policy).
+  size_t source_rows = 0;
+  size_t target_rows = 0;
   // Discovery-cost accounting of the engine that ran the loop: CI tests
   // requested/evaluated, cache hits, warm-start reuse, and wall time.
   EngineStats engine_stats;
@@ -87,6 +103,7 @@ class DebugPolicy : public CampaignPolicy {
 
   bool WantsRefresh(const CampaignContext& ctx) override;
   std::vector<std::vector<double>> Propose(CampaignContext& ctx) override;
+  std::vector<std::string> ProposalEnvironments(size_t proposal_size) override;
   void Absorb(const std::vector<std::vector<double>>& configs,
               const std::vector<std::vector<double>>& rows, CampaignContext& ctx) override;
   bool Finished() const override { return finished_; }

@@ -6,8 +6,6 @@
 #include <stdexcept>
 #include <utility>
 
-#include "unicorn/backend/measurement_table.h"
-
 namespace unicorn {
 namespace {
 
@@ -29,29 +27,41 @@ MeasurementBroker::MeasurementBroker(PerformanceTask task, std::unique_ptr<Backe
                                      BrokerOptions options)
     : task_(std::move(task)), options_(options), fleet_(std::move(fleet)) {}
 
-std::vector<double> MeasurementBroker::Measure(const std::vector<double>& config) {
-  return MeasureBatch({config}).front();
+std::vector<double> MeasurementBroker::Measure(const std::vector<double>& config,
+                                               const std::string& environment) {
+  return MeasureBatch({config}, environment.empty()
+                                    ? std::vector<std::string>{}
+                                    : std::vector<std::string>{environment})
+      .front();
 }
 
-const std::vector<double>* MeasurementBroker::CachedRow(
-    const std::vector<double>& config) const {
+const std::string& MeasurementBroker::EnvOf(const std::vector<std::string>& environments,
+                                            size_t i) {
+  static const std::string kUntagged;
+  return environments.empty() ? kUntagged : environments[i];
+}
+
+const std::vector<double>* MeasurementBroker::CachedRow(const std::vector<double>& config,
+                                                        const std::string& environment) const {
   if (!options_.dedup_cache) {
     return nullptr;
   }
-  const auto it = cache_index_.find(config);
-  return it == cache_index_.end() ? nullptr : &cache_entries_[it->second].second;
+  const auto it = cache_index_.find(EnvConfig{environment, config});
+  return it == cache_index_.end() ? nullptr : &cache_entries_[it->second].row;
 }
 
 void MeasurementBroker::InsertCache(const std::vector<double>& config,
-                                    std::vector<double> row) {
-  const auto [it, inserted] = cache_index_.emplace(config, cache_entries_.size());
+                                    const std::string& environment, std::vector<double> row) {
+  const auto [it, inserted] =
+      cache_index_.emplace(EnvConfig{environment, config}, cache_entries_.size());
   if (inserted) {
-    cache_entries_.emplace_back(config, std::move(row));
+    cache_entries_.push_back(MeasurementTable::Entry{config, std::move(row), environment});
   }
 }
 
 std::vector<std::vector<double>> MeasurementBroker::MeasureBatchOnPool(
-    const std::vector<std::vector<double>>& configs) {
+    const std::vector<std::vector<double>>& configs,
+    const std::vector<std::string>& environments) {
   ++stats_.batches;
   stats_.requests += configs.size();
   stats_.largest_batch = std::max(stats_.largest_batch, configs.size());
@@ -60,22 +70,23 @@ std::vector<std::vector<double>> MeasurementBroker::MeasureBatchOnPool(
   // work list; duplicates within the batch share one slot.
   std::vector<std::vector<double>> out(configs.size());
   std::vector<size_t> unique_of(configs.size(), kResolved);
-  std::vector<const std::vector<double>*> unique;
-  std::unordered_map<std::vector<double>, size_t, ConfigHash> pending;
+  std::vector<size_t> unique;  // request index of each unique work item
+  std::unordered_map<EnvConfig, size_t, EnvConfigHash> pending;
   for (size_t i = 0; i < configs.size(); ++i) {
     if (!options_.dedup_cache) {
       unique_of[i] = unique.size();
-      unique.push_back(&configs[i]);
+      unique.push_back(i);
       continue;
     }
-    if (const std::vector<double>* row = CachedRow(configs[i])) {
+    const std::string& env = EnvOf(environments, i);
+    if (const std::vector<double>* row = CachedRow(configs[i], env)) {
       out[i] = *row;
       ++stats_.cache_hits;
       continue;
     }
-    const auto [it, inserted] = pending.emplace(configs[i], unique.size());
+    const auto [it, inserted] = pending.emplace(EnvConfig{env, configs[i]}, unique.size());
     if (inserted) {
-      unique.push_back(&configs[i]);
+      unique.push_back(i);
     } else {
       ++stats_.cache_hits;  // within-batch duplicate: measured once
     }
@@ -89,7 +100,7 @@ std::vector<std::vector<double>> MeasurementBroker::MeasureBatchOnPool(
   const auto start = Clock::now();
   const auto rows = ParallelMap(pool_.get(), unique.size(), [&](size_t u) {
     const auto item_start = Clock::now();
-    auto row = task_.measure(*unique[u]);
+    auto row = task_.measure(configs[unique[u]]);
     item_seconds[u] = std::chrono::duration<double>(Clock::now() - item_start).count();
     return row;
   });
@@ -106,16 +117,20 @@ std::vector<std::vector<double>> MeasurementBroker::MeasureBatchOnPool(
   }
   if (options_.dedup_cache) {
     for (size_t u = 0; u < unique.size(); ++u) {
-      InsertCache(*unique[u], rows[u]);
+      InsertCache(configs[unique[u]], EnvOf(environments, unique[u]), rows[u]);
     }
   }
   return out;
 }
 
 std::vector<std::vector<double>> MeasurementBroker::MeasureBatch(
-    const std::vector<std::vector<double>>& configs) {
+    const std::vector<std::vector<double>>& configs,
+    const std::vector<std::string>& environments) {
+  if (!environments.empty() && environments.size() != configs.size()) {
+    throw std::invalid_argument("MeasureBatch: environments must be empty or match configs");
+  }
   if (!fleet_) {
-    return MeasureBatchOnPool(configs);
+    return MeasureBatchOnPool(configs, environments);
   }
 
   // Fleet mode rides the async path: submit, then drain our ticket's
@@ -123,7 +138,7 @@ std::vector<std::vector<double>> MeasurementBroker::MeasureBatch(
   // consumers. Reassembly by index keeps request order deterministic no
   // matter how the fleet routed or retried.
   const auto start = Clock::now();
-  const BatchTicket ticket = SubmitBatch(configs);
+  const BatchTicket ticket = SubmitBatch(configs, environments);
   std::vector<std::vector<double>> out(configs.size());
   std::vector<BrokerCompletion> deferred;
   const auto restore_deferred = [&] {
@@ -162,17 +177,22 @@ std::vector<std::vector<double>> MeasurementBroker::MeasureBatch(
   return out;
 }
 
-BatchTicket MeasurementBroker::SubmitBatch(const std::vector<std::vector<double>>& configs) {
+BatchTicket MeasurementBroker::SubmitBatch(const std::vector<std::vector<double>>& configs,
+                                           const std::vector<std::string>& environments) {
+  if (!environments.empty() && environments.size() != configs.size()) {
+    throw std::invalid_argument("SubmitBatch: environments must be empty or match configs");
+  }
   if (!fleet_) {
     // Pool mode has no completion engine: measure now (same dedup/stats
     // path), queue the completions. The async API stays mode-independent.
-    auto rows = MeasureBatchOnPool(configs);
+    auto rows = MeasureBatchOnPool(configs, environments);
     BatchTicket ticket{next_batch_++, configs.size()};
     for (size_t i = 0; i < configs.size(); ++i) {
       BrokerCompletion done;
       done.batch = ticket.id;
       done.index = i;
       done.config = configs[i];
+      done.environment = EnvOf(environments, i);
       done.row = std::move(rows[i]);
       ready_.push_back(std::move(done));
     }
@@ -186,18 +206,20 @@ BatchTicket MeasurementBroker::SubmitBatch(const std::vector<std::vector<double>
   BatchTicket ticket{next_batch_++, configs.size()};
   outstanding_requests_ += configs.size();
   for (size_t i = 0; i < configs.size(); ++i) {
-    if (const std::vector<double>* row = CachedRow(configs[i])) {
+    const std::string& env = EnvOf(environments, i);
+    if (const std::vector<double>* row = CachedRow(configs[i], env)) {
       BrokerCompletion done;
       done.batch = ticket.id;
       done.index = i;
       done.config = configs[i];
+      done.environment = env;
       done.row = *row;
       ready_.push_back(std::move(done));
       ++stats_.cache_hits;
       continue;
     }
     if (options_.dedup_cache) {
-      const auto in_flight = in_flight_.find(configs[i]);
+      const auto in_flight = in_flight_.find(EnvConfig{env, configs[i]});
       if (in_flight != in_flight_.end()) {
         // Already on a backend (this batch or an earlier one): wait on the
         // same fleet ticket instead of measuring twice.
@@ -206,10 +228,10 @@ BatchTicket MeasurementBroker::SubmitBatch(const std::vector<std::vector<double>
         continue;
       }
     }
-    const uint64_t fleet_ticket = fleet_->Submit(configs[i]);
+    const uint64_t fleet_ticket = fleet_->Submit(configs[i], env);
     fleet_waiters_[fleet_ticket].push_back(Waiter{ticket.id, i});
     if (options_.dedup_cache) {
-      in_flight_.emplace(configs[i], fleet_ticket);
+      in_flight_.emplace(EnvConfig{env, configs[i]}, fleet_ticket);
     }
     ++stats_.measured;
   }
@@ -232,12 +254,12 @@ void MeasurementBroker::DrainOneFleetCompletion() {
   const std::vector<Waiter> waiters = std::move(waiters_it->second);
   fleet_waiters_.erase(waiters_it);
   if (options_.dedup_cache) {
-    in_flight_.erase(done.config);
+    in_flight_.erase(EnvConfig{done.environment, done.config});
   }
 
   const bool ok = done.outcome.status == MeasureStatus::kOk;
   if (ok && options_.dedup_cache) {
-    InsertCache(done.config, done.outcome.row);
+    InsertCache(done.config, done.environment, done.outcome.row);
   }
   if (!ok) {
     stats_.failures += waiters.size();
@@ -247,6 +269,7 @@ void MeasurementBroker::DrainOneFleetCompletion() {
     completion.batch = waiter.batch;
     completion.index = waiter.index;
     completion.config = done.config;
+    completion.environment = done.environment;
     if (ok) {
       completion.row = done.outcome.row;
     } else {
@@ -295,9 +318,9 @@ size_t MeasurementBroker::LoadCache(const std::string& path) {
     return 0;  // a table for a different task shape would poison the cache
   }
   size_t added = 0;
-  for (auto& [config, row] : table.entries) {
-    if (cache_index_.count(config) == 0) {
-      InsertCache(config, std::move(row));
+  for (auto& entry : table.entries) {
+    if (cache_index_.count(EnvConfig{entry.provenance, entry.config}) == 0) {
+      InsertCache(entry.config, entry.provenance, std::move(entry.row));
       ++added;
     }
   }

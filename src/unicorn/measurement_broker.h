@@ -26,16 +26,28 @@
 // completion stream: rows surface as they land, so a campaign can absorb
 // one policy's batch while another's is still in flight instead of blocking
 // every policy on a per-round barrier.
+//
+// Environments: every request optionally carries an environment tag. In
+// fleet mode the tag restricts routing to exactly-matching backends (see
+// BackendFleet) — the transfer campaigns' source/target split. The dedup
+// cache is keyed on (environment, configuration), because the same
+// configuration measures differently on different hardware; SaveCache
+// persists the tag as the table's provenance column. In pool mode the tag
+// does not change what is measured (task.measure is the only engine) — it
+// only partitions the cache and labels the persisted rows, so use a fleet
+// whenever tags must bind to genuinely distinct hardware.
 #ifndef UNICORN_UNICORN_MEASUREMENT_BROKER_H_
 #define UNICORN_UNICORN_MEASUREMENT_BROKER_H_
 
 #include <deque>
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "unicorn/backend/backend_fleet.h"
+#include "unicorn/backend/measurement_table.h"
 #include "unicorn/task.h"
 #include "util/hash.h"
 #include "util/thread_pool.h"
@@ -88,6 +100,7 @@ struct BrokerCompletion {
   uint64_t batch = 0;  // BatchTicket::id it belongs to
   size_t index = 0;    // request index within that batch
   std::vector<double> config;
+  std::string environment;  // the tag the request was submitted with
   std::vector<double> row;  // valid iff ok
   bool ok = true;
   std::string error;
@@ -109,15 +122,21 @@ class MeasurementBroker {
   const BackendFleet* fleet() const { return fleet_.get(); }
 
   // Measures one configuration (a batch of one, through the cache).
-  std::vector<double> Measure(const std::vector<double>& config);
+  // `environment` non-empty routes it to exactly-matching fleet backends.
+  std::vector<double> Measure(const std::vector<double>& config,
+                              const std::string& environment = "");
 
   // Measures a batch, returning rows in request order. Duplicate
-  // configurations — within the batch or already measured by this broker —
-  // are measured once and counted as cache hits. In fleet mode a request
-  // that ultimately fails (retries exhausted, no eligible backend) throws
-  // std::runtime_error: the synchronous contract has no partial result.
+  // (environment, configuration) requests — within the batch or already
+  // measured by this broker — are measured once and counted as cache hits.
+  // `environments` is parallel to `configs` (or empty: every request
+  // untagged); a size mismatch throws std::invalid_argument. In fleet mode
+  // a request that ultimately fails (retries exhausted, no eligible
+  // backend) throws std::runtime_error: the synchronous contract has no
+  // partial result.
   std::vector<std::vector<double>> MeasureBatch(
-      const std::vector<std::vector<double>>& configs);
+      const std::vector<std::vector<double>>& configs,
+      const std::vector<std::string>& environments = {});
 
   // --- asynchronous path ---------------------------------------------------
   //
@@ -127,8 +146,10 @@ class MeasurementBroker {
   // complete immediately; a configuration already in flight is not
   // re-submitted — its completion fans out to every waiting request. In
   // pool mode the batch is measured synchronously during SubmitBatch and
-  // the completions queued, so the API is mode-independent.
-  BatchTicket SubmitBatch(const std::vector<std::vector<double>>& configs);
+  // the completions queued, so the API is mode-independent. `environments`
+  // as in MeasureBatch.
+  BatchTicket SubmitBatch(const std::vector<std::vector<double>>& configs,
+                          const std::vector<std::string>& environments = {});
 
   // Blocks for the next completed request of any outstanding batch; false
   // when nothing is outstanding. Failed requests come back ok=false (the
@@ -148,10 +169,12 @@ class MeasurementBroker {
   //
   // Saves the dedup cache — every (configuration, row) this broker ever
   // measured or loaded — as a MeasurementTable CSV, in insertion order (the
-  // same format RecordedBackend replays). False on I/O failure.
+  // same format RecordedBackend replays). Each entry's environment tag is
+  // persisted as the table's provenance column. False on I/O failure.
   bool SaveCache(const std::string& path) const;
-  // Pre-warms the dedup cache from a MeasurementTable CSV. Entries whose
-  // shape does not match the task (option/variable counts) are rejected
+  // Pre-warms the dedup cache from a MeasurementTable CSV; loaded entries
+  // key on their provenance label as the environment. Entries whose shape
+  // does not match the task (option/variable counts) are rejected
   // wholesale. Returns the number of entries added (0 on failure/mismatch).
   size_t LoadCache(const std::string& path);
 
@@ -166,10 +189,30 @@ class MeasurementBroker {
     size_t index = 0;
   };
 
+  // Cache/in-flight key: the same configuration measured in two
+  // environments is two distinct rows.
+  struct EnvConfig {
+    std::string environment;
+    std::vector<double> config;
+    bool operator==(const EnvConfig& other) const {
+      return environment == other.environment && config == other.config;
+    }
+  };
+  struct EnvConfigHash {
+    size_t operator()(const EnvConfig& key) const {
+      return static_cast<size_t>(
+          HashDoubles(key.config, std::hash<std::string>{}(key.environment)));
+    }
+  };
+
+  static const std::string& EnvOf(const std::vector<std::string>& environments, size_t i);
   std::vector<std::vector<double>> MeasureBatchOnPool(
-      const std::vector<std::vector<double>>& configs);
-  const std::vector<double>* CachedRow(const std::vector<double>& config) const;
-  void InsertCache(const std::vector<double>& config, std::vector<double> row);
+      const std::vector<std::vector<double>>& configs,
+      const std::vector<std::string>& environments);
+  const std::vector<double>* CachedRow(const std::vector<double>& config,
+                                       const std::string& environment) const;
+  void InsertCache(const std::vector<double>& config, const std::string& environment,
+                   std::vector<double> row);
   // Blocks on the fleet stream for one completion and resolves its waiters
   // into ready_. Requires outstanding fleet work.
   void DrainOneFleetCompletion();
@@ -180,13 +223,15 @@ class MeasurementBroker {
   std::unique_ptr<BackendFleet> fleet_;
 
   // Dedup cache, insertion-ordered so SaveCache output is deterministic.
-  std::vector<std::pair<std::vector<double>, std::vector<double>>> cache_entries_;
-  std::unordered_map<std::vector<double>, size_t, ConfigHash> cache_index_;
+  // Entry::provenance carries the environment tag.
+  std::vector<MeasurementTable::Entry> cache_entries_;
+  std::unordered_map<EnvConfig, size_t, EnvConfigHash> cache_index_;
 
   // Async bookkeeping: fleet ticket -> requests waiting on it, and which
-  // configs are in flight (so repeat requests attach instead of re-submit).
+  // (environment, config) requests are in flight (so repeats attach
+  // instead of re-submit).
   std::unordered_map<uint64_t, std::vector<Waiter>> fleet_waiters_;
-  std::unordered_map<std::vector<double>, uint64_t, ConfigHash> in_flight_;
+  std::unordered_map<EnvConfig, uint64_t, EnvConfigHash> in_flight_;
   std::deque<BrokerCompletion> ready_;
   uint64_t next_batch_ = 1;
   size_t outstanding_requests_ = 0;

@@ -21,15 +21,48 @@ CausalModelEngine::CausalModelEngine(std::vector<Variable> variables,
   }
 }
 
-void CausalModelEngine::AddRow(const std::vector<double>& row) {
+void CausalModelEngine::AddRow(const std::vector<double>& row, RowProvenance provenance) {
   data_.AddRow(row);
   moments_.AddRow(row);
+  row_provenance_.push_back(static_cast<uint8_t>(provenance));
+  ++provenance_rows_[static_cast<size_t>(provenance)];
 }
 
-void CausalModelEngine::AppendRows(const DataTable& rows) {
+void CausalModelEngine::AppendRows(const DataTable& rows, RowProvenance provenance) {
   for (size_t r = 0; r < rows.NumRows(); ++r) {
-    AddRow(rows.Row(r));
+    AddRow(rows.Row(r), provenance);
   }
+}
+
+size_t CausalModelEngine::SeedFromTable(const MeasurementTable& table,
+                                        RowProvenance provenance) {
+  if (table.num_vars != data_.NumVars()) {
+    return 0;  // a row of the wrong width would corrupt the streaming moments
+  }
+  size_t options = 0;
+  for (VarRole role : constraints_.roles()) {
+    options += role == VarRole::kOption ? 1 : 0;
+  }
+  if (table.num_options != options) {
+    return 0;  // same width, different task: reject rather than mislearn
+  }
+  for (const auto& entry : table.entries) {
+    if (entry.row.size() != table.num_vars) {
+      return 0;  // malformed entry; loads normally catch this earlier
+    }
+  }
+  for (const auto& entry : table.entries) {
+    AddRow(entry.row, provenance);
+  }
+  return table.entries.size();
+}
+
+size_t CausalModelEngine::SeedFromFile(const std::string& path, RowProvenance provenance) {
+  MeasurementTable table;
+  if (!LoadMeasurementTable(path, &table)) {
+    return 0;
+  }
+  return SeedFromTable(table, provenance);
 }
 
 void CausalModelEngine::Reserve(size_t rows) { data_.Reserve(rows); }

@@ -16,6 +16,7 @@
 #define UNICORN_UNICORN_MODEL_LEARNER_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "causal/constraints.h"
@@ -26,9 +27,20 @@
 #include "stats/ci_cache.h"
 #include "stats/correlation.h"
 #include "stats/table.h"
+#include "unicorn/backend/measurement_table.h"
 #include "util/thread_pool.h"
 
 namespace unicorn {
+
+// Where a measurement row in the engine's table came from. The learned model
+// is provenance-blind (a row is a row), but transfer campaigns report how
+// much of the model rests on reused source-hardware data versus fresh
+// target measurements — the paper's Fig. 16/17 "Reuse / +25" accounting.
+enum class RowProvenance : uint8_t {
+  kTarget = 0,  // measured live by this campaign (the default)
+  kSource = 1,  // imported from a recorded table / source environment
+};
+inline constexpr size_t kNumRowProvenances = 2;
 
 struct CausalModelOptions {
   FciOptions fci;
@@ -106,14 +118,39 @@ class CausalModelEngine {
                              CausalModelOptions model_options = {},
                              EngineOptions engine_options = {});
 
-  // Appends one measurement row (rank-1 update of the streaming moments).
-  void AddRow(const std::vector<double>& row);
+  // Appends one measurement row (rank-1 update of the streaming moments),
+  // tagged with its provenance.
+  void AddRow(const std::vector<double>& row,
+              RowProvenance provenance = RowProvenance::kTarget);
   // Appends all rows of `rows` (variables must match the engine's).
-  void AppendRows(const DataTable& rows);
+  void AppendRows(const DataTable& rows,
+                  RowProvenance provenance = RowProvenance::kTarget);
+  // Engine-table warm start: seeds the engine straight from a persisted
+  // MeasurementTable (the broker/RecordedBackend on-disk format), so a
+  // transferred model refreshes incrementally on top of the recorded rows
+  // instead of re-learning from scratch. Rows are appended in table order
+  // with `provenance`. Shape is validated at this layer: a table whose
+  // variable or option count does not match the engine's is rejected
+  // wholesale. Returns the number of rows added (0 on mismatch or an empty
+  // table; the engine is untouched on rejection).
+  size_t SeedFromTable(const MeasurementTable& table,
+                       RowProvenance provenance = RowProvenance::kSource);
+  // Convenience: LoadMeasurementTable + SeedFromTable. Returns 0 on I/O or
+  // parse failure too.
+  size_t SeedFromFile(const std::string& path,
+                      RowProvenance provenance = RowProvenance::kSource);
   // Pre-allocates storage for `rows` total measurements.
   void Reserve(size_t rows);
 
   const DataTable& data() const { return data_; }
+  // Provenance tag of row `r` (parallel to data()).
+  RowProvenance provenance_of(size_t r) const {
+    return static_cast<RowProvenance>(row_provenance_[r]);
+  }
+  // How many rows carry the given provenance.
+  size_t ProvenanceRows(RowProvenance provenance) const {
+    return provenance_rows_[static_cast<size_t>(provenance)];
+  }
 
   // Re-learns the causal performance model on all data seen so far. The
   // overload without a seed derives one from the base seed and the refresh
@@ -141,6 +178,8 @@ class CausalModelEngine {
   EngineOptions engine_options_;
   StructuralConstraints constraints_;
   DataTable data_;
+  std::vector<uint8_t> row_provenance_;  // parallel to data_'s rows
+  size_t provenance_rows_[kNumRowProvenances] = {0, 0};
   StreamingMoments moments_;
 
   std::unique_ptr<CompositeTest> test_;  // updated in place as data grows

@@ -5,6 +5,15 @@
 
 namespace unicorn {
 
+CampaignOptions ToCampaignOptions(const OptimizeOptions& options) {
+  CampaignOptions campaign;
+  campaign.model = options.model;
+  campaign.engine = options.engine;
+  campaign.broker = options.broker;
+  campaign.seed = options.seed;
+  return campaign;
+}
+
 OptimizePolicy::OptimizePolicy(OptimizeOptions options, std::vector<size_t> objective_vars,
                                const DataTable* warm_start)
     : options_(std::move(options)),
@@ -38,6 +47,12 @@ void OptimizePolicy::Record(const std::vector<double>& config,
     best_config_ = config;
   }
   result_.best_trajectory.push_back(best_value_);
+}
+
+std::vector<std::string> OptimizePolicy::ProposalEnvironments(size_t proposal_size) {
+  return options_.environment.empty()
+             ? std::vector<std::string>{}
+             : std::vector<std::string>(proposal_size, options_.environment);
 }
 
 bool OptimizePolicy::WantsRefresh(const CampaignContext& ctx) {
@@ -94,18 +109,18 @@ std::vector<std::vector<double>> OptimizePolicy::Propose(CampaignContext& ctx) {
                        (warm_start_ != nullptr ? warm_start_->NumRows() : 0) +
                        options_.initial_samples + options_.max_iterations);
     if (warm_start_ != nullptr) {
-      ctx.engine.AppendRows(*warm_start_);
+      ctx.engine.AppendRows(*warm_start_, RowProvenance::kSource);
     }
-    if (options_.initial_samples == 0) {
+    std::vector<std::vector<double>> batch = options_.anchor_configs;
+    batch.reserve(batch.size() + options_.initial_samples);
+    for (size_t i = 0; i < options_.initial_samples; ++i) {
+      batch.push_back(ctx.task.sample_config(&rng_));
+    }
+    if (batch.empty()) {
       // Warm-start-only transfer: nothing to bootstrap, go straight to
       // candidates (an empty proposal would retire the policy).
       bootstrapped_ = true;
     } else {
-      std::vector<std::vector<double>> batch;
-      batch.reserve(options_.initial_samples);
-      for (size_t i = 0; i < options_.initial_samples; ++i) {
-        batch.push_back(ctx.task.sample_config(&rng_));
-      }
       return batch;
     }
   }
@@ -172,6 +187,8 @@ void OptimizePolicy::Absorb(const std::vector<std::vector<double>>& configs,
 void OptimizePolicy::Finalize(CampaignContext& ctx) {
   result_.engine_stats = ctx.engine.stats();
   result_.broker_stats = ctx.broker.stats();
+  result_.source_rows = ctx.engine.ProvenanceRows(RowProvenance::kSource);
+  result_.target_rows = ctx.engine.ProvenanceRows(RowProvenance::kTarget);
   result_.best_config = best_config_;
   result_.best_value = best_value_;
 }
@@ -190,12 +207,7 @@ OptimizeResult UnicornOptimizer::MinimizeMulti(const std::vector<size_t>& object
 
 OptimizeResult UnicornOptimizer::Run(const std::vector<size_t>& objective_vars,
                                      const DataTable* warm_start) {
-  CampaignOptions campaign;
-  campaign.model = options_.model;
-  campaign.engine = options_.engine;
-  campaign.broker = options_.broker;
-  campaign.seed = options_.seed;
-  CampaignRunner runner(task_, campaign);
+  CampaignRunner runner(task_, ToCampaignOptions(options_));
   OptimizePolicy policy(options_, objective_vars, warm_start);
   runner.Run({&policy});
   return policy.TakeResult();

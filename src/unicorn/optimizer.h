@@ -24,6 +24,11 @@
 namespace unicorn {
 
 struct OptimizeOptions {
+  // Configurations measured (and eligible as incumbents) ahead of the
+  // random bootstrap samples — e.g. a source campaign's optimum when
+  // refining it under a transferred model. Unlike a warm-start table, these
+  // are measured fresh in THIS task's environment.
+  std::vector<std::vector<double>> anchor_configs;
   size_t initial_samples = 25;
   size_t max_iterations = 200;     // total candidate measurements after bootstrap
   size_t relearn_every = 10;       // causal model refresh period (in candidates)
@@ -35,8 +40,15 @@ struct OptimizeOptions {
   EngineOptions engine;
   // Measurement-plane knobs (bootstrap + candidate batches).
   BrokerOptions broker;
+  // Environment routing tag for every measurement this policy requests
+  // (see DebugOptions::environment). Empty = any backend.
+  std::string environment;
   uint64_t seed = 13;
 };
+
+// The campaign-level slice of OptimizeOptions (see the DebugOptions
+// counterpart in debugger.h).
+CampaignOptions ToCampaignOptions(const OptimizeOptions& options);
 
 struct OptimizeResult {
   std::vector<double> best_config;
@@ -46,6 +58,10 @@ struct OptimizeResult {
   // All measured objective vectors (for Pareto fronts / hypervolume traces).
   std::vector<std::vector<double>> evaluated;
   size_t measurements_used = 0;
+  // Row-provenance split of the engine's table at finalize (see
+  // DebugResult::source_rows/target_rows).
+  size_t source_rows = 0;
+  size_t target_rows = 0;
   // Discovery-cost accounting of the engine across all model refreshes.
   EngineStats engine_stats;
   // Measurement-plane accounting of the campaign's broker.
@@ -65,6 +81,7 @@ class OptimizePolicy : public CampaignPolicy {
 
   bool WantsRefresh(const CampaignContext& ctx) override;
   std::vector<std::vector<double>> Propose(CampaignContext& ctx) override;
+  std::vector<std::string> ProposalEnvironments(size_t proposal_size) override;
   void Absorb(const std::vector<std::vector<double>>& configs,
               const std::vector<std::vector<double>>& rows, CampaignContext& ctx) override;
   bool Finished() const override { return finished_; }

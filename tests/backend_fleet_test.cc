@@ -269,6 +269,58 @@ TEST(BackendFleetTest, CapabilityRoutingSendsUnrecordedConfigsToLiveBackends) {
   std::remove(path.c_str());
 }
 
+// Environment-aware routing: a tagged request is served only by the
+// exactly-matching backend — even when an untagged backend is idle — and a
+// request whose environment no backend carries fails with a typed permanent
+// failure instead of landing on the wrong hardware.
+TEST(BackendFleetTest, EnvironmentAwareRoutingPinsTaggedRequests) {
+  const Scenario s = MakeScenario(101);
+  const auto configs = SampleBatch(s.task, 12, 102);
+
+  std::vector<std::unique_ptr<MeasurementBackend>> backends;
+  DeviceProfile tx2_profile;
+  tx2_profile.name = "tx2-dev";
+  tx2_profile.seed = 5000;
+  backends.push_back(
+      MakeDeviceBackend(s.model, Tx2(), DefaultWorkload(), 101, std::move(tx2_profile)));
+  DeviceProfile xavier_profile;
+  xavier_profile.name = "xavier-dev";
+  xavier_profile.seed = 5001;
+  backends.push_back(
+      MakeDeviceBackend(s.model, Xavier(), DefaultWorkload(), 101, std::move(xavier_profile)));
+  // MakeDeviceBackend defaults the routing tag to the Environment name.
+  BackendFleet fleet(std::move(backends));
+  EXPECT_EQ(fleet.backend(0).environment(), "TX2");
+  EXPECT_EQ(fleet.backend(1).environment(), "Xavier");
+
+  for (const auto& config : configs) {
+    fleet.Submit(config, "TX2");
+  }
+  fleet.Submit(configs[0], "Xavier");
+  fleet.Submit(configs[0], "TX1");  // no such backend in this fleet
+
+  size_t ok = 0;
+  size_t failed = 0;
+  FleetCompletion done;
+  while (fleet.WaitCompletion(&done)) {
+    if (done.outcome.status == MeasureStatus::kOk) {
+      ++ok;
+    } else {
+      ++failed;
+      EXPECT_EQ(done.environment, "TX1");
+      EXPECT_EQ(done.outcome.status, MeasureStatus::kPermanent);
+    }
+  }
+  EXPECT_EQ(ok, configs.size() + 1);
+  EXPECT_EQ(failed, 1u);
+
+  const FleetStats stats = fleet.stats();
+  EXPECT_EQ(stats.backends[0].completed, configs.size());  // every TX2 tag
+  EXPECT_EQ(stats.backends[1].completed, 1u);              // the Xavier tag
+  EXPECT_EQ(stats.backends[0].environment, "TX2");
+  EXPECT_EQ(stats.backends[1].environment, "Xavier");
+}
+
 TEST(BackendFleetTest, SyncBatchDefersAnOutstandingAsyncBatchsCompletions) {
   // A sync MeasureBatch draining the shared fleet stream must hand back —
   // not swallow — completions that belong to an earlier async batch.

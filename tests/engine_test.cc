@@ -78,6 +78,80 @@ TEST(EngineTest, RowByRowAppendMatchesFromScratchRelearn) {
   EXPECT_EQ(engine.model().circle_marks_resolved, scratch.circle_marks_resolved);
 }
 
+// Engine-table warm starts: an engine seeded straight from a persisted
+// MeasurementTable must be indistinguishable (bit-identical graph, same
+// test counts) from one that absorbed the identical rows live — seeding is
+// plumbing, never approximation. Provenance is accounting only.
+TEST(EngineTest, SeedFromTableMatchesLiveAbsorbBitForBit) {
+  const DataTable all = MeasuredData(SystemId::kX264, 60, 21, 5);
+  const CausalModelOptions model_options = SmallModelOptions();
+
+  MeasurementTable table;
+  table.num_vars = all.NumVars();
+  for (const Variable& v : all.Variables()) {
+    table.num_options += v.role == VarRole::kOption ? 1 : 0;
+  }
+  for (size_t r = 0; r < all.NumRows(); ++r) {
+    MeasurementTable::Entry entry;
+    entry.row = all.Row(r);
+    entry.config.assign(entry.row.begin(),
+                        entry.row.begin() + static_cast<long>(table.num_options));
+    entry.provenance = "Xavier";
+    table.entries.push_back(std::move(entry));
+  }
+
+  CausalModelEngine seeded(all.Variables(), model_options);
+  ASSERT_EQ(seeded.SeedFromTable(table), all.NumRows());
+  seeded.Refresh(model_options.seed);
+
+  CausalModelEngine live(all.Variables(), model_options);
+  for (size_t r = 0; r < all.NumRows(); ++r) {
+    live.AddRow(all.Row(r));
+  }
+  live.Refresh(model_options.seed);
+
+  EXPECT_TRUE(GraphsIdentical(seeded.model().admg, live.model().admg));
+  EXPECT_EQ(seeded.model().independence_tests, live.model().independence_tests);
+  EXPECT_EQ(seeded.model().circle_marks_resolved, live.model().circle_marks_resolved);
+
+  // Provenance split: seeded rows are source, live rows are target.
+  EXPECT_EQ(seeded.ProvenanceRows(RowProvenance::kSource), all.NumRows());
+  EXPECT_EQ(seeded.ProvenanceRows(RowProvenance::kTarget), 0u);
+  EXPECT_EQ(live.ProvenanceRows(RowProvenance::kTarget), all.NumRows());
+  EXPECT_EQ(seeded.provenance_of(0), RowProvenance::kSource);
+}
+
+// Shape validation happens at the engine layer too: a table for a different
+// task must be rejected wholesale, leaving the engine untouched.
+TEST(EngineTest, SeedFromTableRejectsShapeMismatch) {
+  const DataTable all = MeasuredData(SystemId::kX264, 10, 22, 5);
+  size_t options = 0;
+  for (const Variable& v : all.Variables()) {
+    options += v.role == VarRole::kOption ? 1 : 0;
+  }
+
+  CausalModelEngine engine(all.Variables(), SmallModelOptions());
+  {
+    MeasurementTable wrong_width;  // variable count off by one
+    wrong_width.num_vars = all.NumVars() + 1;
+    wrong_width.num_options = options;
+    wrong_width.entries.push_back(
+        {std::vector<double>(options, 0.0), std::vector<double>(all.NumVars() + 1, 0.0), ""});
+    EXPECT_EQ(engine.SeedFromTable(wrong_width), 0u);
+  }
+  {
+    MeasurementTable wrong_options;  // same width, different task shape
+    wrong_options.num_vars = all.NumVars();
+    wrong_options.num_options = options + 1;
+    wrong_options.entries.push_back(
+        {std::vector<double>(options + 1, 0.0), std::vector<double>(all.NumVars(), 0.0), ""});
+    EXPECT_EQ(engine.SeedFromTable(wrong_options), 0u);
+  }
+  EXPECT_EQ(engine.SeedFromFile("/nonexistent/path.csv"), 0u);
+  EXPECT_EQ(engine.data().NumRows(), 0u);
+  EXPECT_EQ(engine.ProvenanceRows(RowProvenance::kSource), 0u);
+}
+
 TEST(EngineTest, ParallelRefreshBitIdenticalToSerial) {
   const DataTable data = MeasuredData(SystemId::kXception, 200, 12);
   const CausalModelOptions model_options = SmallModelOptions();

@@ -138,6 +138,44 @@ TEST(MeasurementBrokerTest, SaveCacheLoadCacheRoundTripsBitExactly) {
   std::remove(path.c_str());
 }
 
+// Environment tags partition the dedup cache — the same configuration in
+// two environments is two requests — and SaveCache persists each entry's
+// tag as the v2 provenance column, which survives a load round trip and
+// which RecordedBackend adopts as its routing tag.
+TEST(MeasurementBrokerTest, EnvironmentTagsPartitionCacheAndPersistAsProvenance) {
+  const PerformanceTask task = MakeTask(41);
+  const auto configs = SampleBatch(task, 6, 42);
+  const std::string path = ::testing::TempDir() + "broker_cache_provenance.csv";
+
+  MeasurementBroker broker(task);
+  broker.MeasureBatch(configs, std::vector<std::string>(configs.size(), "Xavier"));
+  EXPECT_EQ(broker.stats().measured, configs.size());
+  // Same configs, different tag: measured again, not served from cache.
+  broker.MeasureBatch(configs, std::vector<std::string>(configs.size(), "TX2"));
+  EXPECT_EQ(broker.stats().measured, 2 * configs.size());
+  EXPECT_EQ(broker.stats().cache_hits, 0u);
+  // Same configs, same tag: pure cache hits.
+  broker.MeasureBatch(configs, std::vector<std::string>(configs.size(), "Xavier"));
+  EXPECT_EQ(broker.stats().cache_hits, configs.size());
+  ASSERT_TRUE(broker.SaveCache(path));
+
+  MeasurementTable table;
+  ASSERT_TRUE(LoadMeasurementTable(path, &table));
+  ASSERT_EQ(table.entries.size(), 2 * configs.size());
+  EXPECT_EQ(table.entries.front().provenance, "Xavier");
+  EXPECT_EQ(table.entries.back().provenance, "TX2");
+  EXPECT_EQ(table.UniformProvenance(), "");  // mixed labels
+
+  // A fresh broker warm-started from the file keeps the partition.
+  MeasurementBroker second(task);
+  EXPECT_EQ(second.LoadCache(path), 2 * configs.size());
+  second.MeasureBatch(configs, std::vector<std::string>(configs.size(), "Xavier"));
+  EXPECT_EQ(second.stats().measured, 0u);
+  second.MeasureBatch(configs);  // untagged: not in cache, measured fresh
+  EXPECT_EQ(second.stats().measured, configs.size());
+  std::remove(path.c_str());
+}
+
 TEST(MeasurementBrokerTest, LoadCacheRejectsMismatchedTaskShape) {
   const PerformanceTask task = MakeTask(15);
   const std::string path = ::testing::TempDir() + "broker_cache_mismatch.csv";

@@ -54,6 +54,34 @@ TEST(OptimizerTest, BeatsInitialSamples) {
   EXPECT_EQ(result.measurements_used, options.initial_samples + options.max_iterations);
 }
 
+// Anchor configs are measured as part of the bootstrap, counted, and
+// eligible as incumbents: with a zero candidate budget, the known-good
+// anchor must come back as best_config (transfer's "refine from the reused
+// optimum" mechanism).
+TEST(OptimizerTest, AnchorConfigsSeedTheIncumbent) {
+  std::shared_ptr<SystemModel> model;
+  const PerformanceTask task = MakeTask(&model, 205);
+  const size_t objective = model->ObjectiveIndices()[0];
+
+  // Find a good config with a normal run, then hand it to a fresh
+  // optimizer as an anchor next to a handful of random samples.
+  UnicornOptimizer scout(task, FastOptions(40));
+  const auto scouted = scout.Minimize(objective);
+
+  OptimizeOptions options = FastOptions(1);
+  options.initial_samples = 5;
+  options.anchor_configs = {scouted.best_config};
+  UnicornOptimizer optimizer(task, options);
+  const auto result = optimizer.Minimize(objective);
+
+  // Anchor + 5 random samples + 1 candidate, all counted.
+  EXPECT_EQ(result.measurements_used, 1 + options.initial_samples + options.max_iterations);
+  // The anchor's value is on the trajectory first and can only be improved.
+  EXPECT_EQ(result.best_trajectory.front(),
+            task.measure(scouted.best_config)[objective]);
+  EXPECT_LE(result.best_value, result.best_trajectory.front() + 1e-12);
+}
+
 TEST(OptimizerTest, BestConfigReproducesBestValue) {
   std::shared_ptr<SystemModel> model;
   const PerformanceTask task = MakeTask(&model, 202);
