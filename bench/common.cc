@@ -1,6 +1,9 @@
 #include "bench/common.h"
 
 #include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 
 #include "baselines/bugdoc.h"
 #include "baselines/cbi.h"
@@ -191,6 +194,47 @@ std::vector<MethodScore> RunDebugComparison(const DebugExperimentSpec& spec) {
     }
   }
   return scores;
+}
+
+void JsonResults::Add(const std::string& section, const std::string& name, double value) {
+  for (Section& s : sections_) {
+    if (s.name == section) {
+      s.metrics.push_back({name, value});
+      return;
+    }
+  }
+  sections_.push_back(Section{section, {{name, value}}});
+}
+
+std::string JsonResults::Serialize(const std::string& bench_name) const {
+  std::ostringstream out;
+  // %.17g round-trips doubles; integers print without an exponent.
+  const auto number = [](double v) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+    return std::string(buffer);
+  };
+  out << "{\"bench\": \"" << bench_name << "\", \"sections\": {";
+  for (size_t s = 0; s < sections_.size(); ++s) {
+    out << (s > 0 ? ", " : "") << "\"" << sections_[s].name << "\": {";
+    for (size_t m = 0; m < sections_[s].metrics.size(); ++m) {
+      out << (m > 0 ? ", " : "") << "\"" << sections_[s].metrics[m].first
+          << "\": " << number(sections_[s].metrics[m].second);
+    }
+    out << "}";
+  }
+  out << "}}\n";
+  return out.str();
+}
+
+bool JsonResults::WriteFile(const std::string& path, const std::string& bench_name) const {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "json results: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  out << Serialize(bench_name);
+  return static_cast<bool>(out);
 }
 
 std::string SystemLabel(SystemId id) {

@@ -71,6 +71,27 @@ std::vector<Fault> SelectFaults(const SystemModel& model, const FaultCuration& c
 // Pretty system name for table rows.
 std::string SystemLabel(SystemId id);
 
+// Machine-readable bench results (the perf trajectory: `--json <path>`
+// writes a BENCH_*.json next to the human tables, so successive runs can be
+// diffed by tooling instead of by eye). Metrics accumulate as
+// (section, name, value) and serialize as one nested JSON object:
+//   {"bench": "<name>", "sections": {"<section>": {"<name>": value, ...}}}
+// Sections and names keep insertion order. No external JSON dependency.
+class JsonResults {
+ public:
+  void Add(const std::string& section, const std::string& name, double value);
+  std::string Serialize(const std::string& bench_name) const;
+  // Returns false (and prints to stderr) when the file cannot be written.
+  bool WriteFile(const std::string& path, const std::string& bench_name) const;
+
+ private:
+  struct Section {
+    std::string name;
+    std::vector<std::pair<std::string, double>> metrics;
+  };
+  std::vector<Section> sections_;
+};
+
 }  // namespace bench
 }  // namespace unicorn
 

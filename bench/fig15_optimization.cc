@@ -5,11 +5,15 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <memory>
 
 #include "baselines/pesmo.h"
 #include "baselines/smac.h"
 #include "bench/common.h"
+#include "unicorn/backend/backend_fleet.h"
+#include "unicorn/backend/simulated_device_backend.h"
 #include "unicorn/optimizer.h"
 #include "util/text_table.h"
 
@@ -147,6 +151,104 @@ void RunFigure() {
   print_front("PESMO", pesmo_result.evaluated);
 }
 
+// Batched candidate scoring study (ROADMAP): how much wall time does
+// speculative batching buy per unit of extra measurement budget?
+//
+// candidates_per_round = k proposes k candidates per round as ONE broker
+// batch, all derived from the round-start incumbent — the loop trades
+// incumbent-rebasing granularity (k=1 is the exact greedy loop) for
+// measurement fan-out. The trade is only visible on hardware that takes
+// real time per measurement, so each setting runs against a fleet of four
+// simulated devices that genuinely sleep their service times: a k-candidate
+// round costs ~ceil(k/4) service times instead of k.
+//
+// Fixed total budget (max_iterations candidates) per setting. Quality is
+// compared two ways: the best value at full budget, and "meas to serial
+// mid-budget quality" — how many measurements each setting needed to match
+// what the serial loop had already reached halfway through its budget (the
+// extra measurement budget speculation costs; n/r = not reached at all).
+void RunCandidatesPerRoundStudy() {
+  SystemSpec spec;
+  spec.num_events = 12;
+  auto model = std::make_shared<SystemModel>(BuildSystem(SystemId::kXception, spec));
+  DataTable meta(model->variables());
+  const size_t latency = *meta.IndexOf(kLatencyName);
+  const size_t iterations = 150;
+
+  struct Row {
+    size_t k = 0;
+    double wall_s = 0.0;
+    double measure_wall_s = 0.0;
+    size_t refreshes = 0;
+    double best = 0.0;
+    size_t measurements = 0;
+    std::vector<double> trajectory;
+  };
+  std::vector<Row> rows;
+  for (const size_t k : {1u, 2u, 4u, 8u}) {
+    OptimizeOptions options = BenchOptimizeOptions(iterations);
+    options.candidates_per_round = k;
+    const PerformanceTask task = MakeSimulatedTask(model, Tx2(), DefaultWorkload(), 155);
+    // Four homogeneous devices (same measurement seed as `task`) that sleep
+    // a seeded ~4ms service time per measurement.
+    std::vector<std::unique_ptr<MeasurementBackend>> backends;
+    for (int b = 0; b < 4; ++b) {
+      DeviceProfile profile;
+      profile.name = "tx2-" + std::to_string(b);
+      profile.seed = 700 + static_cast<uint64_t>(b);
+      profile.service_time_mean = 0.004;
+      profile.service_time_jitter = 0.3;
+      profile.sleep = true;
+      backends.push_back(
+          MakeDeviceBackend(model, Tx2(), DefaultWorkload(), 155, std::move(profile)));
+    }
+    CampaignRunner runner(task, ToCampaignOptions(options),
+                          std::make_unique<BackendFleet>(std::move(backends)));
+    OptimizePolicy policy(options, {latency});
+    const auto start = std::chrono::steady_clock::now();
+    runner.Run({&policy});
+    const OptimizeResult result = policy.TakeResult();
+    Row row;
+    row.k = k;
+    row.wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    row.measure_wall_s = result.broker_stats.batch_wall_seconds;
+    row.refreshes = result.engine_stats.refreshes;
+    row.best = result.best_value;
+    row.measurements = result.measurements_used;
+    row.trajectory = result.best_trajectory;
+    rows.push_back(std::move(row));
+  }
+
+  // Quality target: what the serial loop had reached by mid-budget.
+  const std::vector<double>& serial_traj = rows[0].trajectory;
+  const double target = serial_traj[serial_traj.size() / 2];
+  std::printf("\n=== candidates_per_round study: speculative batching vs budget "
+              "(4 sleeping devices, ~4ms/measurement) ===\n");
+  TextTable table({"k", "wall(s)", "measure wall(s)", "refreshes", "best@budget",
+                   "meas used", "meas to serial mid-budget quality"});
+  for (const Row& row : rows) {
+    size_t to_quality = 0;
+    bool reached = false;
+    for (size_t i = 0; i < row.trajectory.size(); ++i) {
+      if (row.trajectory[i] <= target) {
+        to_quality = i + 1;
+        reached = true;
+        break;
+      }
+    }
+    table.AddRow({std::to_string(row.k), FormatDouble(row.wall_s, 2),
+                  FormatDouble(row.measure_wall_s, 2), std::to_string(row.refreshes),
+                  FormatDouble(row.best, 2), std::to_string(row.measurements),
+                  reached ? std::to_string(to_quality) : std::string("n/r")});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf("(a k-candidate round costs ~ceil(k/4) device service times instead of k,\n"
+              " so 'measure wall' falls with k; candidates within a round cannot rebase\n"
+              " on each other, so 'meas to serial mid-budget quality' above the k=1 row\n"
+              " is the premium paid in measurement budget for that wall-time win)\n");
+}
+
 }  // namespace
 }  // namespace unicorn
 
@@ -154,5 +256,6 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   unicorn::RunFigure();
+  unicorn::RunCandidatesPerRoundStudy();
   return 0;
 }

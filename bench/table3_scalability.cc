@@ -123,8 +123,9 @@ BENCHMARK(BM_Discovery242Options)->Iterations(1);
 // Goals are set near the distribution's floor so neither run terminates
 // early and both execute exactly max_iterations model refreshes.
 // Smoke mode (CI) shrinks the system and the budget so the binary proves it
-// still runs end-to-end in seconds.
-void RunIncrementalComparison(bool smoke) {
+// still runs end-to-end in seconds. `json` (optional) additionally records
+// the headline numbers machine-readably.
+void RunIncrementalComparison(bool smoke, bench::JsonResults* json = nullptr) {
   SystemSpec spec;
   spec.num_events = smoke ? 19 : 288;
   spec.extended_options = true;
@@ -198,7 +199,7 @@ void RunIncrementalComparison(bool smoke) {
   // not from threads (which only help further on multicore hosts).
   DebugOptions incremental_serial = incremental;
   incremental_serial.engine.num_threads = 1;
-  run("incr-serial", incremental_serial, 900);
+  const LoopCost t_serial = run("incr-serial", incremental_serial, 900);
   const LoopCost t_incremental = run("incremental", incremental, 900);
   std::printf("end-to-end speedup: %.2fx (acceptance target: >= 2x); "
               "per-refresh discovery: %.3fs -> %.3fs (%.2fx)\n",
@@ -206,6 +207,16 @@ void RunIncrementalComparison(bool smoke) {
               t_scratch.per_refresh, t_incremental.per_refresh,
               t_incremental.per_refresh > 0.0 ? t_scratch.per_refresh / t_incremental.per_refresh
                                               : 0.0);
+  if (json != nullptr) {
+    json->Add("incremental_engine", "scratch_seconds", t_scratch.seconds);
+    json->Add("incremental_engine", "scratch_per_refresh_seconds", t_scratch.per_refresh);
+    json->Add("incremental_engine", "incr_serial_seconds", t_serial.seconds);
+    json->Add("incremental_engine", "incremental_seconds", t_incremental.seconds);
+    json->Add("incremental_engine", "incremental_per_refresh_seconds",
+              t_incremental.per_refresh);
+    json->Add("incremental_engine", "end_to_end_speedup",
+              t_incremental.seconds > 0.0 ? t_scratch.seconds / t_incremental.seconds : 0.0);
+  }
 }
 
 // The measurement plane: batched measurement (threads=4) vs serial
@@ -217,7 +228,7 @@ void RunIncrementalComparison(bool smoke) {
 //   (b) a full debugging loop whose bootstrap/repair batches fan out over
 //       the broker — final models checked bit-identical, measurement-phase
 //       wall time and the broker's dedup cache-hit rate reported.
-void RunMeasurementPlaneComparison(bool smoke) {
+void RunMeasurementPlaneComparison(bool smoke, bench::JsonResults* json = nullptr) {
   SystemSpec spec;
   spec.num_events = smoke ? 19 : 288;
   spec.extended_options = true;
@@ -271,10 +282,17 @@ void RunMeasurementPlaneComparison(bool smoke) {
               parallel_batch.seconds,
               parallel_batch.seconds > 0.0 ? naive.seconds / parallel_batch.seconds : 0.0,
               parallel_batch.seconds > 0.0 ? serial_batch.seconds / parallel_batch.seconds : 0.0);
+  const bool batch_identical =
+      naive.rows == serial_batch.rows && serial_batch.rows == parallel_batch.rows;
   std::printf("  rows bit-identical across all three: %s\n",
-              naive.rows == serial_batch.rows && serial_batch.rows == parallel_batch.rows
-                  ? "yes"
-                  : "NO (bug)");
+              batch_identical ? "yes" : "NO (bug)");
+  if (json != nullptr) {
+    json->Add("measurement_batch", "naive_serial_seconds", naive.seconds);
+    json->Add("measurement_batch", "broker_serial_seconds", serial_batch.seconds);
+    json->Add("measurement_batch", "broker_threads4_seconds", parallel_batch.seconds);
+    json->Add("measurement_batch", "cache_hit_rate", parallel_batch.cache_hit_rate);
+    json->Add("measurement_batch", "rows_bit_identical", batch_identical ? 1.0 : 0.0);
+  }
   if (std::thread::hardware_concurrency() <= 1) {
     std::printf("  (single-core host: thread fan-out cannot improve wall clock here; the\n"
                 "   dedup saving and the bit-identity guarantee are what's measurable)\n");
@@ -331,9 +349,18 @@ void RunMeasurementPlaneComparison(bool smoke) {
                         batched.broker_stats.batch_wall_seconds
                   : 0.0,
               identical ? "yes" : "NO (bug)");
+  if (json != nullptr) {
+    json->Add("measurement_loop", "serial_measuring_wall_seconds",
+              serial.broker_stats.batch_wall_seconds);
+    json->Add("measurement_loop", "batched_measuring_wall_seconds",
+              batched.broker_stats.batch_wall_seconds);
+    json->Add("measurement_loop", "broker_cache_hit_rate",
+              batched.broker_stats.CacheHitRate());
+    json->Add("measurement_loop", "models_bit_identical", identical ? 1.0 : 0.0);
+  }
 }
 
-void RunTable(bool smoke) {
+void RunTable(bool smoke, bench::JsonResults* json = nullptr) {
   TextTable table({"scenario", "options", "events", "paths", "queries", "avg degree",
                    "gain%", "discovery(s)", "query eval(s)", "total(s)"});
   auto add = [&](const ScalabilityRow& row) {
@@ -373,8 +400,8 @@ void RunTable(bool smoke) {
   std::printf("\n=== Table 3: scalability ===\n%s", table.Render().c_str());
   std::printf("(expected shape: runtime grows polynomially, not exponentially, with\n"
               " options/events, because the learned graphs stay sparse — low degree)\n");
-  RunIncrementalComparison(smoke);
-  RunMeasurementPlaneComparison(smoke);
+  RunIncrementalComparison(smoke, json);
+  RunMeasurementPlaneComparison(smoke, json);
 }
 
 }  // namespace
@@ -383,26 +410,37 @@ void RunTable(bool smoke) {
 int main(int argc, char** argv) {
   bool incremental_only = false;
   bool smoke = false;
+  std::string json_path;
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--incremental-only") {
       incremental_only = true;
     } else if (std::string(argv[i]) == "--smoke") {
       smoke = true;
+    } else if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
     } else {
       argv[kept++] = argv[i];  // leave only benchmark-library flags in argv
     }
   }
   argc = kept;
+  unicorn::bench::JsonResults json;
+  unicorn::bench::JsonResults* json_ptr = json_path.empty() ? nullptr : &json;
   if (incremental_only) {
     // The two engine studies without the full Table 3 sweep (CI smoke mode
     // shrinks them further so perf binaries can't silently rot).
-    unicorn::RunIncrementalComparison(smoke);
-    unicorn::RunMeasurementPlaneComparison(smoke);
+    unicorn::RunIncrementalComparison(smoke, json_ptr);
+    unicorn::RunMeasurementPlaneComparison(smoke, json_ptr);
+    if (json_ptr != nullptr && !json.WriteFile(json_path, "table3_scalability")) {
+      return 1;
+    }
     return 0;
   }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  unicorn::RunTable(smoke);
+  unicorn::RunTable(smoke, json_ptr);
+  if (json_ptr != nullptr && !json.WriteFile(json_path, "table3_scalability")) {
+    return 1;
+  }
   return 0;
 }

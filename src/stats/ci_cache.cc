@@ -5,8 +5,10 @@
 
 namespace unicorn {
 
-CICache::Key CICache::MakeKey(int x, int y, const std::vector<int>& s, uint64_t n_rows) {
+CICache::Key CICache::MakeKey(int x, int y, const std::vector<int>& s, uint64_t n_rows,
+                              uint64_t table_tag) {
   Key key;
+  key.table_tag = table_tag;
   key.x = std::min(x, y);
   key.y = std::max(x, y);
   key.n_rows = n_rows;
@@ -35,6 +37,7 @@ size_t CICache::KeyHash::operator()(const Key& k) const {
     h ^= v;
     h *= 1099511628211ULL;
   };
+  mix(k.table_tag);
   mix(static_cast<uint64_t>(static_cast<uint32_t>(k.x)) |
       (static_cast<uint64_t>(static_cast<uint32_t>(k.y)) << 32));
   mix(k.n_rows);
@@ -45,35 +48,57 @@ size_t CICache::KeyHash::operator()(const Key& k) const {
   return static_cast<size_t>(h);
 }
 
-std::optional<double> CICache::Lookup(const Key& key) {
+std::optional<CICache::Hit> CICache::LookupFrom(const Key& key, uint32_t shard) {
   ++lookups_;
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = map_.find(key);
-  if (it == map_.end()) {
+  Stripe& stripe = StripeFor(key);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.map.find(key);
+  if (it == stripe.map.end()) {
     return std::nullopt;
   }
   ++hits_;
-  return it->second;
+  Hit hit;
+  hit.p_value = it->second.p_value;
+  hit.cross_shard = it->second.shard != shard;
+  if (hit.cross_shard) {
+    ++cross_shard_hits_;
+  }
+  return hit;
 }
 
-void CICache::Store(const Key& key, double p_value) {
-  std::lock_guard<std::mutex> lock(mu_);
-  map_.emplace(key, p_value);
+void CICache::Store(const Key& key, double p_value, uint32_t shard) {
+  Stripe& stripe = StripeFor(key);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  if (max_entries_ > 0 && stripe.map.size() >= std::max<size_t>(1, max_entries_ / kStripes)) {
+    // Coarse per-stripe eviction: drop the stripe and start over. Entries
+    // are pure memoization, so losing them costs re-evaluation, never
+    // correctness; tracking recency on the hot path would cost more than
+    // the occasional refill.
+    stripe.map.clear();
+  }
+  stripe.map.emplace(key, Entry{p_value, shard});
 }
 
 size_t CICache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return map_.size();
+  size_t total = 0;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    total += stripe.map.size();
+  }
+  return total;
 }
 
 void CICache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  map_.clear();
+  for (Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.map.clear();
+  }
 }
 
 void CICache::ResetCounters() {
   hits_ = 0;
   lookups_ = 0;
+  cross_shard_hits_ = 0;
 }
 
 double CachedCITest::PValue(int x, int y, const std::vector<int>& s) const {
@@ -81,14 +106,18 @@ double CachedCITest::PValue(int x, int y, const std::vector<int>& s) const {
   if (cache_ == nullptr || !CICache::Cacheable(s)) {
     return inner_.PValue(x, y, s);
   }
-  const CICache::Key key = CICache::MakeKey(x, y, s, n_rows_);
-  if (const auto cached = cache_->Lookup(key)) {
-    return *cached;
+  const CICache::Key key = CICache::MakeKey(x, y, s, n_rows_, table_tag_);
+  if (const auto cached = cache_->LookupFrom(key, shard_)) {
+    ++hits_;
+    if (cached->cross_shard) {
+      ++cross_shard_hits_;
+    }
+    return cached->p_value;
   }
   // Concurrent misses on the same key may both evaluate; the test is
   // deterministic, so both store the same value.
   const double p = inner_.PValue(x, y, s);
-  cache_->Store(key, p);
+  cache_->Store(key, p, shard_);
   return p;
 }
 

@@ -106,16 +106,29 @@ void TransferPolicy::Finalize(CampaignContext& ctx) {
   stats_.target_rows = ctx.engine.ProvenanceRows(RowProvenance::kTarget);
 }
 
+ShardPoolOptions CampaignRunner::MakePoolOptions(const CampaignOptions& options) {
+  ShardPoolOptions pool;
+  pool.model = options.model;
+  pool.engine = options.engine;
+  pool.refresh_threads = options.refresh_threads;
+  pool.share_ci_cache = options.share_ci_cache;
+  return pool;
+}
+
 CampaignRunner::CampaignRunner(PerformanceTask task, CampaignOptions options)
     : options_(std::move(options)),
       broker_(std::move(task), options_.broker),
-      engine_(broker_.task().variables, options_.model, options_.engine) {}
+      pool_(broker_.task().variables, MakePoolOptions(options_)) {
+  pool_.ShardForGroup("");  // the default group's shard is always shard 0
+}
 
 CampaignRunner::CampaignRunner(PerformanceTask task, CampaignOptions options,
                                std::unique_ptr<BackendFleet> fleet)
     : options_(std::move(options)),
       broker_(std::move(task), std::move(fleet), options_.broker),
-      engine_(broker_.task().variables, options_.model, options_.engine) {}
+      pool_(broker_.task().variables, MakePoolOptions(options_)) {
+  pool_.ShardForGroup("");
+}
 
 std::vector<std::vector<double>> CampaignRunner::SampleConfigs(size_t count, Rng* rng) const {
   std::vector<std::vector<double>> configs;
@@ -131,41 +144,59 @@ std::vector<std::vector<double>> CampaignRunner::MeasureUniform(size_t count, Rn
 }
 
 void CampaignRunner::Run(const std::vector<CampaignPolicy*>& policies) {
-  CampaignContext ctx{broker_.task(), engine_, broker_, 0};
-  std::vector<CampaignPolicy*> active;
+  std::vector<GroupedPolicy> grouped;
+  grouped.reserve(policies.size());
   for (CampaignPolicy* policy : policies) {
-    if (policy->Finished()) {
-      policy->Finalize(ctx);
+    grouped.push_back(GroupedPolicy{policy, ""});
+  }
+  RunGrouped(grouped);
+}
+
+void CampaignRunner::RunGrouped(const std::vector<GroupedPolicy>& policies) {
+  std::vector<size_t> shard_of(policies.size());
+  for (size_t p = 0; p < policies.size(); ++p) {
+    shard_of[p] = pool_.ShardForGroup(policies[p].group);
+  }
+
+  std::vector<size_t> active;  // indices into `policies`
+  for (size_t p = 0; p < policies.size(); ++p) {
+    if (policies[p].policy->Finished()) {
+      CampaignContext ctx = ContextFor(shard_of[p], 0);
+      policies[p].policy->Finalize(ctx);
     } else {
-      active.push_back(policy);
+      active.push_back(p);
     }
   }
 
   for (size_t round = 0; !active.empty(); ++round) {
-    ctx.round = round;
-    bool refresh = false;
-    for (CampaignPolicy* policy : active) {
-      refresh = policy->WantsRefresh(ctx) || refresh;
+    // A shard is dirty when any of its active policies asks for a refresh;
+    // dirty shards refresh in parallel, all with this round's seed (the
+    // same seed + iteration stream the sequential debugger — refresh every
+    // iteration — and optimizer — every relearn_every-th — used).
+    std::vector<size_t> dirty;
+    for (const size_t p : active) {
+      CampaignContext ctx = ContextFor(shard_of[p], round);
+      if (policies[p].policy->WantsRefresh(ctx)) {
+        dirty.push_back(shard_of[p]);
+      }
     }
-    if (refresh && engine_.data().NumRows() > 0) {
-      // The same seed + iteration stream the sequential debugger (refresh
-      // every iteration) and optimizer (every relearn_every-th) used.
-      engine_.Refresh(RefreshSeed(round));
-    }
+    pool_.RefreshShards(std::move(dirty), RefreshSeed(round));
 
     // Collect every policy's proposal (and its environment routing tags)
     // and measure them as one batch: one fan-out over the pool/fleet, and a
     // (environment, config) request two policies propose in the same round
-    // is measured once.
+    // is measured once — even across objective groups.
     std::vector<std::vector<std::vector<double>>> proposals;
     std::vector<std::vector<double>> combined;
     std::vector<std::string> combined_envs;
     bool any_env = false;
     proposals.reserve(active.size());
-    for (CampaignPolicy* policy : active) {
-      proposals.push_back(policy->Propose(ctx));
+    for (const size_t p : active) {
+      CampaignContext ctx = ContextFor(shard_of[p], round);
+      proposals.push_back(policies[p].policy->Propose(ctx));
       combined.insert(combined.end(), proposals.back().begin(), proposals.back().end());
-      std::vector<std::string> envs = policy->ProposalEnvironments(proposals.back().size());
+      std::vector<std::string> envs =
+          policies[p].policy->ProposalEnvironments(proposals.back().size());
       if (!envs.empty() && envs.size() != proposals.back().size()) {
         throw std::logic_error("campaign: ProposalEnvironments must parallel the proposal");
       }
@@ -181,26 +212,29 @@ void CampaignRunner::Run(const std::vector<CampaignPolicy*>& policies) {
         broker_.MeasureBatch(combined, any_env ? combined_envs : std::vector<std::string>{});
 
     size_t offset = 0;
-    for (size_t p = 0; p < active.size(); ++p) {
-      if (proposals[p].empty()) {
+    for (size_t a = 0; a < active.size(); ++a) {
+      if (proposals[a].empty()) {
         continue;
       }
       const std::vector<std::vector<double>> slice(
           rows.begin() + static_cast<long>(offset),
-          rows.begin() + static_cast<long>(offset + proposals[p].size()));
-      active[p]->Absorb(proposals[p], slice, ctx);
-      offset += proposals[p].size();
+          rows.begin() + static_cast<long>(offset + proposals[a].size()));
+      CampaignContext ctx = ContextFor(shard_of[active[a]], round);
+      policies[active[a]].policy->Absorb(proposals[a], slice, ctx);
+      offset += proposals[a].size();
     }
 
     // Retire finished policies — and any policy that proposed nothing while
     // claiming to continue, which could otherwise spin forever.
-    std::vector<CampaignPolicy*> still_active;
-    for (size_t p = 0; p < active.size(); ++p) {
-      if (active[p]->Finished() || proposals[p].empty() ||
+    std::vector<size_t> still_active;
+    for (size_t a = 0; a < active.size(); ++a) {
+      const size_t p = active[a];
+      if (policies[p].policy->Finished() || proposals[a].empty() ||
           round + 1 >= options_.max_rounds) {
-        active[p]->Finalize(ctx);
+        CampaignContext ctx = ContextFor(shard_of[p], round);
+        policies[p].policy->Finalize(ctx);
       } else {
-        still_active.push_back(active[p]);
+        still_active.push_back(p);
       }
     }
     active = std::move(still_active);
@@ -208,12 +242,20 @@ void CampaignRunner::Run(const std::vector<CampaignPolicy*>& policies) {
 }
 
 void CampaignRunner::RunAsync(const std::vector<CampaignPolicy*>& policies) {
-  CampaignContext ctx{broker_.task(), engine_, broker_, 0};
+  std::vector<GroupedPolicy> grouped;
+  grouped.reserve(policies.size());
+  for (CampaignPolicy* policy : policies) {
+    grouped.push_back(GroupedPolicy{policy, ""});
+  }
+  RunAsyncGrouped(grouped);
+}
 
+void CampaignRunner::RunAsyncGrouped(const std::vector<GroupedPolicy>& policies) {
   // Per-policy pipeline state: each policy is always either retired or
   // waiting on exactly one outstanding broker batch.
   struct PolicyState {
     CampaignPolicy* policy = nullptr;
+    size_t shard = 0;
     size_t round = 0;
     std::vector<std::vector<double>> proposal;
     std::vector<std::vector<double>> rows;
@@ -223,13 +265,16 @@ void CampaignRunner::RunAsync(const std::vector<CampaignPolicy*>& policies) {
   std::unordered_map<uint64_t, size_t> batch_owner;  // broker batch id -> state
   size_t active = 0;
 
-  // Refresh (per-policy round, same seed stream as Run), propose, submit.
-  // Returns false when the policy retired instead of launching a round.
+  // Refresh (the policy's own shard, per-policy round, same seed stream as
+  // Run), propose, submit. Returns false when the policy retired instead of
+  // launching a round.
   const auto launch_round = [&](size_t state_index) {
     PolicyState& state = states[state_index];
-    ctx.round = state.round;
-    if (state.policy->WantsRefresh(ctx) && engine_.data().NumRows() > 0) {
-      engine_.Refresh(RefreshSeed(state.round));
+    CampaignContext ctx = ContextFor(state.shard, state.round);
+    if (state.policy->WantsRefresh(ctx)) {
+      // Single-shard batch: the empty-table guard and the refresh ledger
+      // live in the pool.
+      pool_.RefreshShards({state.shard}, RefreshSeed(state.round));
     }
     state.proposal = state.policy->Propose(ctx);
     if (state.proposal.empty()) {
@@ -250,12 +295,14 @@ void CampaignRunner::RunAsync(const std::vector<CampaignPolicy*>& policies) {
   };
 
   states.reserve(policies.size());
-  for (CampaignPolicy* policy : policies) {
-    if (policy->Finished()) {
-      policy->Finalize(ctx);
+  for (const GroupedPolicy& entry : policies) {
+    const size_t shard = pool_.ShardForGroup(entry.group);
+    if (entry.policy->Finished()) {
+      CampaignContext ctx = ContextFor(shard, 0);
+      entry.policy->Finalize(ctx);
       continue;
     }
-    states.push_back(PolicyState{policy, 0, {}, {}, 0});
+    states.push_back(PolicyState{entry.policy, shard, 0, {}, {}, 0});
     if (launch_round(states.size() - 1)) {
       ++active;
     }
@@ -296,7 +343,7 @@ void CampaignRunner::RunAsync(const std::vector<CampaignPolicy*>& policies) {
     const size_t state_index = owner->second;
     batch_owner.erase(owner);
 
-    ctx.round = state.round;
+    CampaignContext ctx = ContextFor(state.shard, state.round);
     state.policy->Absorb(state.proposal, state.rows, ctx);
     if (state.policy->Finished() || state.round + 1 >= options_.max_rounds) {
       state.policy->Finalize(ctx);

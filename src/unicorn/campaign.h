@@ -5,11 +5,18 @@
 // whatever policy proposes the next configurations) from the experiment
 // plane (the measurement broker). UnicornDebugger and UnicornOptimizer are
 // thin policies over this runner, and several policies — multi-fault,
-// multi-objective, transfer source+target — can run concurrently against one
-// shared engine (one measurement table, one model) and one shared
-// measurement cache: every row any policy measures teaches the model all of
-// them reason on, and a configuration one policy already paid for is free
-// for the rest.
+// multi-objective, transfer source+target — can run concurrently.
+//
+// The reasoning plane is *sharded* (unicorn/engine_pool): every policy is
+// assigned to an objective group, each group owns one CausalModelEngine
+// shard (its own measurement table, model, and warm-start state), and dirty
+// shards refresh in parallel each round instead of serializing on one
+// engine. Policies of the same group still share everything — every row one
+// of them measures teaches the model all of them reason on — and all groups
+// share the broker's measurement cache plus one process-wide CI-result
+// cache, so a configuration or a p-value one group already paid for is free
+// for the rest. The plain Run/RunAsync overloads put every policy in one
+// default group, which is exactly the old single-engine campaign.
 //
 // Cross-environment transfer is a first-class campaign scenario:
 // TransferPolicy replays a recorded source-hardware table through the
@@ -27,6 +34,7 @@
 
 #include "causal/counterfactual.h"
 #include "unicorn/backend/measurement_table.h"
+#include "unicorn/engine_pool.h"
 #include "unicorn/measurement_broker.h"
 #include "unicorn/model_learner.h"
 #include "unicorn/task.h"
@@ -43,14 +51,21 @@ bool GoalsMet(const std::vector<double>& row, const std::vector<ObjectiveGoal>& 
 /// Thread-safety: pure function.
 double GoalViolation(const std::vector<double>& row, const std::vector<ObjectiveGoal>& goals);
 
-/// What a policy sees each round: the shared engine, the shared broker, the
-/// task metadata, and the round counter. Borrowed references — valid only
-/// for the duration of the callback that received the context.
+/// What a policy sees each round: its objective group's engine shard, the
+/// shared broker, the task metadata, and the round counter. Borrowed
+/// references — valid only for the duration of the callback that received
+/// the context. `engine` is the policy's shard: policies written against the
+/// old single-engine campaign keep working unchanged, they just reason on
+/// (and absorb into) their group's table. `pool` exposes the whole shard
+/// pool for fleet-style accounting (aggregate stats, cross-shard cache
+/// hits); policies must not refresh other groups' shards from callbacks.
 struct CampaignContext {
   const PerformanceTask& task;
   CausalModelEngine& engine;
   MeasurementBroker& broker;
   size_t round = 0;
+  size_t shard = 0;                    // index of `engine` in `pool`
+  EngineShardPool* pool = nullptr;     // owned by the runner; never null there
 };
 
 /// A reasoning policy driven by the CampaignRunner. Give concurrent policies
@@ -75,8 +90,10 @@ class CampaignPolicy {
  public:
   virtual ~CampaignPolicy() = default;
 
-  /// Should the runner refresh the shared engine before this round's
-  /// Propose()? Refreshes are shared: one refresh serves every policy.
+  /// Should the runner refresh this policy's engine shard before this
+  /// round's Propose()? Refreshes are per shard: one refresh serves every
+  /// policy of the same objective group, and the runner refreshes all dirty
+  /// shards of a round in parallel.
   virtual bool WantsRefresh(const CampaignContext& ctx) = 0;
 
   /// The configurations to measure this round (possibly empty: see the
@@ -175,6 +192,14 @@ class TransferPolicy : public CampaignPolicy {
   TransferStats stats_;
 };
 
+/// A policy plus the objective group whose engine shard it reasons on.
+/// Policies with equal group strings share one shard (one table, one model);
+/// distinct groups get distinct shards that refresh in parallel.
+struct GroupedPolicy {
+  CampaignPolicy* policy = nullptr;
+  std::string group;  // "" = the default group (shard 0)
+};
+
 /// Campaign-wide knobs. Plain value type.
 struct CampaignOptions {
   CausalModelOptions model;
@@ -182,16 +207,27 @@ struct CampaignOptions {
   BrokerOptions broker;
   /// Refresh-seed stream: the round-r refresh uses seed + (r - 1) (round 0
   /// is the bootstrap round), matching the per-iteration reseeding the
-  /// sequential loops did.
+  /// sequential loops did. All shards of a round refresh with the same
+  /// seed, so a group's stream is independent of how many other groups run.
   uint64_t seed = 17;
   /// Runaway guard; policies normally terminate themselves.
   size_t max_rounds = 100000;
+  /// Worker threads for parallel refreshes of dirty engine shards (see
+  /// ShardPoolOptions::refresh_threads). 1 = serial; results bit-identical
+  /// for any value.
+  int refresh_threads = 1;
+  /// One process-wide CI cache across all shards (cross-shard p-value
+  /// reuse); see ShardPoolOptions::share_ci_cache.
+  bool share_ci_cache = true;
 };
 
-/// Owns the shared CausalModelEngine and MeasurementBroker of a campaign and
-/// drives its policies' rounds to completion.
+/// Owns the reasoning plane (an EngineShardPool: per-objective-group engine
+/// shards over one shared CI cache) and the experiment plane (the
+/// MeasurementBroker) of a campaign, and drives its policies' rounds to
+/// completion.
 /// Thread-safety: a runner is driven by one thread; concurrency lives below
-/// it (broker pool threads, fleet workers), never in the runner itself.
+/// it (broker pool threads, fleet workers, parallel shard refreshes), never
+/// in the runner itself.
 class CampaignRunner {
  public:
   CampaignRunner(PerformanceTask task, CampaignOptions options = {});
@@ -202,31 +238,43 @@ class CampaignRunner {
   CampaignRunner(PerformanceTask task, CampaignOptions options,
                  std::unique_ptr<BackendFleet> fleet);
 
-  CausalModelEngine& engine() { return engine_; }
+  /// The default group's engine shard (shard 0) — the engine every policy
+  /// of a plain Run(policies) call shares, and the campaign's only engine
+  /// unless grouped overloads created more shards.
+  CausalModelEngine& engine() { return pool_.shard(0); }
+  /// The whole sharded reasoning plane (per-group shards, shared CI cache,
+  /// aggregate ShardPoolStats).
+  EngineShardPool& pool() { return pool_; }
   MeasurementBroker& broker() { return broker_; }
   const PerformanceTask& task() const { return broker_.task(); }
 
-  /// Runs rounds until every policy is finished. Each round: refresh the
-  /// engine if any active policy asks, collect every policy's proposal (in
-  /// the given order) and its environment tags, measure them as ONE
-  /// combined broker batch (shared dedup, maximal fan-out), and hand each
-  /// policy its slice of rows.
+  /// Runs rounds until every policy is finished. Each round: refresh every
+  /// shard whose active policies ask (dirty shards refresh in parallel on
+  /// the pool's refresh threads), collect every policy's proposal (in the
+  /// given order) and its environment tags, measure them as ONE combined
+  /// broker batch (shared dedup, maximal fan-out), and hand each policy its
+  /// slice of rows.
   /// Failure: measurement failures (fleet retries exhausted) and policy
   /// exceptions propagate; the campaign is then abandoned mid-round.
+  void RunGrouped(const std::vector<GroupedPolicy>& policies);
+  /// Ungrouped variant: every policy in the default group — one shared
+  /// shard, the exact pre-sharding campaign.
   void Run(const std::vector<CampaignPolicy*>& policies);
 
   /// The barrier-free variant (ROADMAP "async campaign rounds"): each
   /// policy submits its round as its own broker batch and absorbs it the
-  /// moment its rows land, so a fast policy refreshes the model and
+  /// moment its rows land, so a fast policy refreshes its shard and
   /// proposes again while a slow policy's measurements are still in flight
   /// on the fleet — no per-round barrier across policies. Round counters,
   /// refresh seeds, and the propose/absorb contract are per policy and
   /// unchanged; with a single policy (any broker mode, homogeneous
-  /// backends) this is bit-identical to Run. With several policies the
-  /// interleaving of shared-engine refreshes follows measurement completion
-  /// order, which on a real fleet is timing-dependent — results stay valid
-  /// but are not run-to-run deterministic.
+  /// backends) this is bit-identical to Run. With several policies sharing
+  /// a group, the interleaving of that shard's refreshes follows
+  /// measurement completion order, which on a real fleet is
+  /// timing-dependent — results stay valid but are not run-to-run
+  /// deterministic. Policies in distinct groups do not contend at all.
   /// Failure: as Run; a permanently failed measurement throws.
+  void RunAsyncGrouped(const std::vector<GroupedPolicy>& policies);
   void RunAsync(const std::vector<CampaignPolicy*>& policies);
 
   /// Shared initial-sampling helper (the stage every loop and bench used to
@@ -240,16 +288,24 @@ class CampaignRunner {
  private:
   // Refresh-seed stream shared by Run and RunAsync: the round-r refreshing
   // round reseeds with seed + (r - 1); round 0 is the bootstrap round and
-  // aliases to seed + 0 (it only refreshes when the engine already has
+  // aliases to seed + 0 (it only refreshes when the shard already has
   // rows). The single-policy async == sync bit-identity rests on both
-  // loops drawing from this one formula.
+  // loops drawing from this one formula; shards share the stream, so a
+  // single-group campaign sees the exact pre-sharding seeds.
   uint64_t RefreshSeed(size_t round) const {
     return options_.seed + (round > 0 ? round - 1 : 0);
   }
 
+  // The policy's context for one callback: its shard, the shared broker.
+  CampaignContext ContextFor(size_t shard, size_t round) {
+    return CampaignContext{broker_.task(), pool_.shard(shard), broker_, round, shard, &pool_};
+  }
+
+  static ShardPoolOptions MakePoolOptions(const CampaignOptions& options);
+
   CampaignOptions options_;
   MeasurementBroker broker_;  // owns the task
-  CausalModelEngine engine_;
+  EngineShardPool pool_;      // shard 0 (default group) exists from birth
 };
 
 }  // namespace unicorn

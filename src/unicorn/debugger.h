@@ -75,9 +75,18 @@ struct DebugResult {
   // when this was the only policy).
   size_t source_rows = 0;
   size_t target_rows = 0;
-  // Discovery-cost accounting of the engine that ran the loop: CI tests
-  // requested/evaluated, cache hits, warm-start reuse, and wall time.
+  // Discovery-cost accounting of the engine shard that ran the loop: CI
+  // tests requested/evaluated, cache hits (cross-shard ones split out),
+  // warm-start reuse, and wall time. Per-shard numbers — in a sharded
+  // campaign this covers only this policy's objective group.
   EngineStats engine_stats;
+  // Index of the objective group's shard in the campaign's EngineShardPool
+  // (0 for single-group campaigns).
+  size_t shard = 0;
+  // Fleet-style aggregate over every shard of the campaign's pool at the
+  // moment this policy finalized: total refreshes, the parallel-refresh
+  // ledger, and the cross-shard cache-hit count the shared CI cache bought.
+  ShardPoolStats pool_stats;
   // Measurement-plane accounting of the campaign's broker: requests,
   // dedup-cache hits, batch sizes, measuring wall time.
   BrokerStats broker_stats;

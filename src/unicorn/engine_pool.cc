@@ -1,0 +1,110 @@
+#include "unicorn/engine_pool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <utility>
+
+namespace unicorn {
+
+EngineShardPool::EngineShardPool(std::vector<Variable> variables, ShardPoolOptions options)
+    : variables_(std::move(variables)),
+      options_(std::move(options)),
+      shared_cache_(options_.shared_cache_entries) {
+  if (options_.refresh_threads > 1) {
+    refresh_pool_ = std::make_unique<ThreadPool>(options_.refresh_threads);
+  }
+}
+
+size_t EngineShardPool::ShardForGroup(const std::string& group) {
+  const auto it = group_index_.find(group);
+  if (it != group_index_.end()) {
+    return it->second;
+  }
+  const size_t index = shards_.size();
+  shards_.push_back(
+      std::make_unique<CausalModelEngine>(variables_, options_.model, options_.engine));
+  // Sharing kicks in lazily, from the second shard on: a lone shard keeps
+  // its engine-private cache (cleared whenever its table grows — the
+  // pre-sharding working-set behavior), because with nobody to share with
+  // the process-wide cache would only accumulate unreachable entries.
+  if (options_.share_ci_cache && shards_.size() >= 2) {
+    shards_.back()->ShareCICache(&shared_cache_, static_cast<uint32_t>(index));
+    if (shards_.size() == 2) {
+      shards_.front()->ShareCICache(&shared_cache_, 0);
+    }
+  }
+  groups_.push_back(group);
+  group_index_.emplace(group, index);
+  return index;
+}
+
+void EngineShardPool::RefreshShards(std::vector<size_t> shards, uint64_t seed) {
+  // Dedup (two policies of one group may both mark their shard dirty) and
+  // drop empty shards — a refresh needs at least one row.
+  std::sort(shards.begin(), shards.end());
+  shards.erase(std::unique(shards.begin(), shards.end()), shards.end());
+  shards.erase(std::remove_if(shards.begin(), shards.end(),
+                              [&](size_t s) { return shard(s).data().NumRows() == 0; }),
+               shards.end());
+  if (shards.empty()) {
+    return;
+  }
+
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+  if (shards.size() == 1 || refresh_pool_ == nullptr) {
+    for (const size_t s : shards) {
+      shard(s).Refresh(seed);
+    }
+  } else {
+    // Fan the dirty shards out over the refresh pool. Engines are mutually
+    // independent and the shared cache is concurrent, so the only cross-item
+    // coupling is memoization — pure, deterministic reuse. Exceptions are
+    // captured per item and the first one rethrown after the barrier
+    // (ParallelFor must never unwind from a worker thread).
+    std::vector<std::exception_ptr> errors(shards.size());
+    refresh_pool_->ParallelFor(shards.size(), [&](size_t i) {
+      try {
+        shard(shards[i]).Refresh(seed);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    });
+    for (const std::exception_ptr& error : errors) {
+      if (error != nullptr) {
+        std::rethrow_exception(error);
+      }
+    }
+  }
+  ++refresh_batches_;
+  // Observed concurrency is the batch width clamped to the workers that
+  // actually ran it — a serial pool refreshing 16 dirty shards must report
+  // 1, not 16, or the bench's no-serialization acceptance check would pass
+  // on a regressed (serialized) refresh path.
+  const size_t concurrency = std::min(
+      shards.size(),
+      static_cast<size_t>(refresh_pool_ != nullptr ? refresh_pool_->num_threads() : 1));
+  max_concurrent_ = std::max(max_concurrent_, concurrency);
+  batch_wall_seconds_ += std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+ShardPoolStats EngineShardPool::stats() const {
+  ShardPoolStats stats;
+  stats.shards = shards_.size();
+  for (const auto& engine : shards_) {
+    const EngineStats& s = engine->stats();
+    stats.refreshes += s.refreshes;
+    stats.tests_requested += s.total_tests_requested;
+    stats.tests_evaluated += s.total_tests_evaluated;
+    stats.cache_hits += s.total_cache_hits;
+    stats.cross_shard_hits += s.total_cross_shard_hits;
+    stats.refresh_seconds += s.total_seconds;
+  }
+  stats.refresh_batches = refresh_batches_;
+  stats.max_concurrent_refreshes = max_concurrent_;
+  stats.batch_wall_seconds = batch_wall_seconds_;
+  return stats;
+}
+
+}  // namespace unicorn

@@ -1,0 +1,144 @@
+// The sharded reasoning plane: per-objective-group CausalModelEngine shards
+// over one shared, concurrent CI-result cache.
+//
+// PR 2-4 scaled the *experiment* plane (batched broker, backend fleet,
+// recorded-transfer replay); this layer scales the *reasoning* plane. A
+// many-policy campaign used to serialize every policy on one shared engine —
+// one table, one refresh per round — so adding policies made each policy's
+// rounds slower. The pool instead assigns policies to objective groups, each
+// group owns its own engine shard (its own table, streaming moments,
+// warm-start state, per-shard EngineStats), and dirty shards refresh *in
+// parallel* on the pool's util/thread_pool.
+//
+// What stays shared is the CI-result cache: all shards consult one
+// process-wide CICache keyed on each shard's table fingerprint, so shards
+// whose tables are bit-identical at refresh time (transfer campaigns seeded
+// from the same source recording, replicated policies absorbing a common
+// bootstrap) reuse each other's p-values. Cross-shard hits are accounted
+// separately from shard-local ones, so "the shared cache bought X% of the
+// tests" is a reportable number, not a belief.
+//
+// Determinism contract: a shard's refresh is the exact same computation a
+// standalone engine would run — the shared cache is pure memoization of a
+// deterministic test, so shard results are bit-identical to a monolithic
+// engine fed the same rows, for any refresh_threads (pinned by
+// tests/engine_pool_test.cc).
+#ifndef UNICORN_UNICORN_ENGINE_POOL_H_
+#define UNICORN_UNICORN_ENGINE_POOL_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "stats/ci_cache.h"
+#include "unicorn/model_learner.h"
+#include "util/thread_pool.h"
+
+namespace unicorn {
+
+struct ShardPoolOptions {
+  // Statistical and engine knobs every shard is built with. `engine.num_threads`
+  // is the *per-shard* skeleton sweep; with many shards refreshing in
+  // parallel, keep it at 1 and spend the cores on refresh_threads instead.
+  CausalModelOptions model;
+  EngineOptions engine;
+  // Worker threads for parallel shard refreshes (1 = refresh dirty shards
+  // one after another). Results are bit-identical for any value.
+  int refresh_threads = 1;
+  // All shards consult one process-wide CI cache (fingerprint-keyed; see
+  // stats/ci_cache.h). Sharing engages lazily from the second shard on — a
+  // single-shard pool keeps the engine-private cache and its clear-on-growth
+  // working-set behavior, since there is nobody to share with. Off = every
+  // shard keeps its private cache and the cross-shard counters stay zero.
+  bool share_ci_cache = true;
+  // Entry budget of the shared cache before coarse eviction kicks in
+  // (~80 bytes/entry, so the default bounds it near 20 MB). Entries are
+  // pure memoization, so eviction costs re-evaluation, never correctness.
+  // Only meaningful with share_ci_cache.
+  size_t shared_cache_entries = 1 << 18;
+};
+
+// Fleet-style aggregate over every shard's EngineStats, plus the pool-level
+// refresh-concurrency ledger. Cross-shard cache hits are reported separately
+// so the shared-cache dividend is visible next to the ordinary hit rate.
+struct ShardPoolStats {
+  size_t shards = 0;
+  size_t refreshes = 0;                 // summed over shards
+  long long tests_requested = 0;
+  long long tests_evaluated = 0;
+  long long cache_hits = 0;             // shard-local + cross-shard
+  long long cross_shard_hits = 0;       // hits on entries another shard stored
+  double refresh_seconds = 0.0;         // per-shard refresh time, summed
+  // Parallel-refresh ledger: batches dispatched through RefreshShards, the
+  // observed refresh concurrency (widest batch clamped to the refresh
+  // threads that actually ran it — a serial pool reports 1 however many
+  // shards were dirty), and the wall time the batches actually took
+  // (refresh_seconds / batch_wall_seconds = the speedup parallel shard
+  // refreshes bought).
+  size_t refresh_batches = 0;
+  size_t max_concurrent_refreshes = 0;
+  double batch_wall_seconds = 0.0;
+
+  double CacheHitRate() const {
+    return tests_requested == 0
+               ? 0.0
+               : static_cast<double>(cache_hits) / static_cast<double>(tests_requested);
+  }
+  double CrossShardHitRate() const {
+    return tests_requested == 0
+               ? 0.0
+               : static_cast<double>(cross_shard_hits) / static_cast<double>(tests_requested);
+  }
+};
+
+// Owns the engine shards of a campaign (one per objective group, created on
+// first use) and the shared CI cache they consult.
+//
+// Thread-safety: shard creation and RefreshShards are driven by one thread
+// (the campaign runner); the concurrency lives *inside* RefreshShards, which
+// fans the listed shards out over the pool's threads. Different shards may
+// also be refreshed concurrently by external threads as long as no shard is
+// refreshed twice at once — engines never touch each other, and the shared
+// cache is concurrent. Shard references stay valid for the pool's lifetime.
+class EngineShardPool {
+ public:
+  EngineShardPool(std::vector<Variable> variables, ShardPoolOptions options = {});
+
+  // Index of the shard owning `group`, creating the shard on first use.
+  size_t ShardForGroup(const std::string& group);
+
+  size_t num_shards() const { return shards_.size(); }
+  CausalModelEngine& shard(size_t index) { return *shards_[index]; }
+  const CausalModelEngine& shard(size_t index) const { return *shards_[index]; }
+  const std::string& group_name(size_t index) const { return groups_[index]; }
+
+  CICache& shared_cache() { return shared_cache_; }
+
+  // Refreshes every listed shard with `seed`, in parallel on the pool's
+  // refresh threads. Shards without rows are skipped (same guard the
+  // single-engine runner applied); duplicate indices are refreshed once.
+  // Failure: exceptions from a shard refresh propagate; other shards of the
+  // batch may or may not have refreshed.
+  void RefreshShards(std::vector<size_t> shards, uint64_t seed);
+
+  // Aggregate of every shard's EngineStats plus the pool refresh ledger.
+  ShardPoolStats stats() const;
+
+ private:
+  std::vector<Variable> variables_;
+  ShardPoolOptions options_;
+  CICache shared_cache_;
+  std::unique_ptr<ThreadPool> refresh_pool_;
+  std::vector<std::unique_ptr<CausalModelEngine>> shards_;
+  std::vector<std::string> groups_;
+  std::unordered_map<std::string, size_t> group_index_;
+  // Pool-level refresh ledger (see ShardPoolStats).
+  size_t refresh_batches_ = 0;
+  size_t max_concurrent_ = 0;
+  double batch_wall_seconds_ = 0.0;
+};
+
+}  // namespace unicorn
+
+#endif  // UNICORN_UNICORN_ENGINE_POOL_H_

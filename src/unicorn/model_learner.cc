@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cmath>
 
+#include "util/hash.h"
 #include "util/rng.h"
 
 namespace unicorn {
@@ -26,6 +27,14 @@ void CausalModelEngine::AddRow(const std::vector<double>& row, RowProvenance pro
   moments_.AddRow(row);
   row_provenance_.push_back(static_cast<uint8_t>(provenance));
   ++provenance_rows_[static_cast<size_t>(provenance)];
+  // Chain the row into the table fingerprint: engines that absorbed the same
+  // rows in the same order agree, and any divergence is permanent.
+  data_fingerprint_ = HashDoubles(row, data_fingerprint_);
+}
+
+void CausalModelEngine::ShareCICache(CICache* shared, uint32_t shard_id) {
+  shared_cache_ = shared;
+  shard_id_ = shard_id;
 }
 
 void CausalModelEngine::AppendRows(const DataTable& rows, RowProvenance provenance) {
@@ -157,18 +166,22 @@ const LearnedModel& CausalModelEngine::Refresh(uint64_t seed) {
     test_ = std::make_unique<CompositeTest>(data_);
   } else if (test_rows_ != data_.NumRows()) {
     test_->Update(data_);
-    // Cached p-values are keyed on the row count, so every entry from the
-    // previous size is now unreachable; dropping them keeps the cache at one
-    // refresh's working set.
-    cache_.Clear();
+    // Cached p-values are keyed on the table fingerprint, so every private
+    // entry from the previous size is now unreachable; dropping them keeps
+    // the cache at one refresh's working set. A shared cache is left alone:
+    // other shards may still sit at a prefix this engine has grown past,
+    // and it bounds its own memory.
+    if (shared_cache_ == nullptr) {
+      cache_.Clear();
+    }
   }
   test_rows_ = data_.NumRows();
 
   const long long evaluated_before = test_->calls;
-  const long long hits_before = cache_.hits();
 
-  CachedCITest cached(*test_, engine_options_.use_ci_cache ? &cache_ : nullptr,
-                      data_.NumRows());
+  CICache* cache = shared_cache_ != nullptr ? shared_cache_ : &cache_;
+  CachedCITest cached(*test_, engine_options_.use_ci_cache ? cache : nullptr,
+                      data_.NumRows(), data_fingerprint_, shard_id_);
   FciOptions fci_options = model_options_.fci;
   fci_options.skeleton.num_threads = engine_options_.num_threads;
   FciResult fci = RunFci(cached, constraints_, n, fci_options, warm_start, pool_.get());
@@ -191,13 +204,15 @@ const LearnedModel& CausalModelEngine::Refresh(uint64_t seed) {
   stats_.warm = warm;
   stats_.tests_requested = cached.calls;
   stats_.tests_evaluated = test_->calls - evaluated_before;
-  stats_.cache_hits = cache_.hits() - hits_before;
+  stats_.cache_hits = cached.hits();
+  stats_.cross_shard_hits = cached.cross_shard_hits();
   stats_.pairs_reused = reused;
   stats_.refresh_seconds = std::chrono::duration<double>(Clock::now() - start).count();
   ++stats_.refreshes;
   stats_.total_tests_requested += stats_.tests_requested;
   stats_.total_tests_evaluated += stats_.tests_evaluated;
   stats_.total_cache_hits += stats_.cache_hits;
+  stats_.total_cross_shard_hits += stats_.cross_shard_hits;
   stats_.total_seconds += stats_.refresh_seconds;
   return model_;
 }

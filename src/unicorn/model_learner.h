@@ -84,13 +84,17 @@ struct LearnedModel {
 // Discovery-cost accounting of an engine. "Requested" counts every CI test
 // the search asked for; "evaluated" counts the p-values actually computed
 // (requested minus cache hits). All numbers derive from CITest::calls and
-// the CICache counters — there is no second, hand-maintained count anywhere.
+// the CachedCITest counters — there is no second, hand-maintained count
+// anywhere. Hits are counted on the engine's own decorator, so they stay
+// exact even when the engine shares a process-wide CICache with other
+// shards refreshing concurrently.
 struct EngineStats {
   // Last refresh.
   bool warm = false;                 // was it warm-started?
   long long tests_requested = 0;
   long long tests_evaluated = 0;
   long long cache_hits = 0;
+  long long cross_shard_hits = 0;    // hits on entries another shard stored
   size_t pairs_total = 0;            // unordered variable pairs
   size_t pairs_reused = 0;           // adopted from the previous refresh
   double refresh_seconds = 0.0;
@@ -99,6 +103,7 @@ struct EngineStats {
   long long total_tests_requested = 0;
   long long total_tests_evaluated = 0;
   long long total_cache_hits = 0;
+  long long total_cross_shard_hits = 0;
   double total_seconds = 0.0;
 
   double CacheHitRate() const {
@@ -142,6 +147,20 @@ class CausalModelEngine {
   // Pre-allocates storage for `rows` total measurements.
   void Reserve(size_t rows);
 
+  // Shared-cache mode (the sharded reasoning plane, see unicorn/engine_pool):
+  // from the next refresh on, CI results are memoized in `shared` instead of
+  // the engine-private cache, attributed to `shard_id`. Entries are keyed on
+  // data_fingerprint(), so two engines whose tables are bit-identical share
+  // hits and diverged tables can never serve each other stale values. The
+  // cache must outlive the engine; pass nullptr to return to private mode.
+  void ShareCICache(CICache* shared, uint32_t shard_id);
+
+  // Order-sensitive fingerprint chained over every absorbed row: two engines
+  // have equal fingerprints iff their tables hold bit-identical rows in the
+  // same order (modulo 64-bit hash collisions). The shared CI cache's
+  // table_tag.
+  uint64_t data_fingerprint() const { return data_fingerprint_; }
+
   const DataTable& data() const { return data_; }
   // Provenance tag of row `r` (parallel to data()).
   RowProvenance provenance_of(size_t r) const {
@@ -184,7 +203,10 @@ class CausalModelEngine {
 
   std::unique_ptr<CompositeTest> test_;  // updated in place as data grows
   size_t test_rows_ = 0;                 // rows test_ was last updated for
-  CICache cache_;                        // persists across refreshes
+  CICache cache_;                        // private: persists across refreshes
+  CICache* shared_cache_ = nullptr;      // shard mode: process-wide cache
+  uint32_t shard_id_ = 0;                // this engine's tag in the shared cache
+  uint64_t data_fingerprint_ = 0x5eed0fca11c0de01ULL;  // chained row hash
   std::unique_ptr<ThreadPool> pool_;
 
   LearnedModel model_;

@@ -62,8 +62,12 @@ struct OptimizeResult {
   // DebugResult::source_rows/target_rows).
   size_t source_rows = 0;
   size_t target_rows = 0;
-  // Discovery-cost accounting of the engine across all model refreshes.
+  // Discovery-cost accounting of the engine shard across all its model
+  // refreshes (see DebugResult::engine_stats).
   EngineStats engine_stats;
+  // Shard index and pool-wide aggregate (see DebugResult counterparts).
+  size_t shard = 0;
+  ShardPoolStats pool_stats;
   // Measurement-plane accounting of the campaign's broker.
   BrokerStats broker_stats;
 };

@@ -313,5 +313,62 @@ TEST(CampaignTest, AsyncMultiPolicyCampaignCompletes) {
             policy_a.result().measurements_used + policy_b.result().measurements_used);
 }
 
+// Distinct objective groups isolate policies completely: a policy debugged
+// in its own shard next to an unrelated co-policy is bit-identical to the
+// same policy run alone — in the pre-sharding single-engine campaign the
+// co-policy's rows would have leaked into the shared table and changed the
+// model.
+TEST(CampaignTest, DistinctGroupsIsolatePoliciesBitForBit) {
+  Scenario s = MakeScenario(SystemId::kXception, 308);
+  const Fault* fault_a = PickFault(s.curation, 0);
+  const Fault* fault_b = PickFault(s.curation, 1);
+  ASSERT_NE(fault_a, nullptr);
+  if (fault_b == nullptr) {
+    fault_b = fault_a;
+  }
+  const DebugOptions options = FastDebugOptions();
+  const auto goals_a = GoalsForFault(s.curation, *fault_a);
+
+  CampaignRunner solo_runner(s.task, ToCampaignOptions(options));
+  DebugPolicy solo(options, fault_a->config, goals_a);
+  solo_runner.Run({&solo});
+
+  CampaignOptions campaign = ToCampaignOptions(options);
+  campaign.refresh_threads = 4;
+  CampaignRunner runner(s.task, campaign);
+  DebugPolicy policy_a(options, fault_a->config, goals_a);
+  DebugPolicy policy_b(options, fault_b->config, GoalsForFault(s.curation, *fault_b));
+  runner.RunGrouped({GroupedPolicy{&policy_a, "fault-a"}, GroupedPolicy{&policy_b, "fault-b"}});
+
+  const DebugResult& isolated = policy_a.result();
+  const DebugResult& alone = solo.result();
+  EXPECT_EQ(isolated.fixed, alone.fixed);
+  EXPECT_EQ(isolated.measurements_used, alone.measurements_used);
+  EXPECT_EQ(isolated.fixed_config, alone.fixed_config);
+  EXPECT_EQ(isolated.objective_trajectory, alone.objective_trajectory);
+  EXPECT_EQ(isolated.tests_per_iteration, alone.tests_per_iteration);
+  EXPECT_TRUE(isolated.final_graph == alone.final_graph);
+
+  // Per-shard tables hold exactly their own policy's rows.
+  EXPECT_EQ(runner.pool().shard(policy_a.result().shard).data().NumRows(),
+            policy_a.result().measurements_used);
+  EXPECT_EQ(runner.pool().shard(policy_b.result().shard).data().NumRows(),
+            policy_b.result().measurements_used);
+  EXPECT_NE(policy_a.result().shard, policy_b.result().shard);
+
+  // Pool aggregate: the default shard plus one per group, and rounds where
+  // both policies wanted a refresh ran as one parallel batch.
+  const ShardPoolStats stats = runner.pool().stats();
+  EXPECT_EQ(stats.shards, 3u);
+  EXPECT_EQ(stats.refreshes,
+            policy_a.result().engine_stats.refreshes +
+                policy_b.result().engine_stats.refreshes);
+  EXPECT_GE(stats.max_concurrent_refreshes, 2u);
+  // Both policies draw their bootstrap with the same seed, so the combined
+  // round-0 batch dedups the second bootstrap at the broker even though the
+  // rows land in different shards.
+  EXPECT_GE(runner.broker().stats().cache_hits, options.initial_samples);
+}
+
 }  // namespace
 }  // namespace unicorn
