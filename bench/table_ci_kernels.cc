@@ -1,0 +1,432 @@
+// Raw-speed study of the reasoning-core CI kernels, with determinism gates.
+//
+// Three parts:
+//   1. Kernel self-check (always runs, deterministic): the fused/batched
+//      kernels against the legacy reference arithmetic
+//      (simd::SetReferenceKernels) — G-square p-values must be
+//      BIT-IDENTICAL, Fisher-z correlations within 4 ulps, FirstIndependent
+//      serially equivalent, and a full model discovery must produce the same
+//      graph either way. Any divergence exits non-zero.
+//   2. Per-refresh speed: the Table-3 incremental debugging workload (SQLite
+//      242 options, stateful engine with warm starts + CI cache), reporting
+//      seconds per model refresh against the recorded
+//      BENCH_table3_scalability.json baseline. Wall-clock ratios are
+//      reported, not gated (timing is hosted-CI noise; the determinism
+//      checks are the gates).
+//   3. Warm-cache campaign: a cold engine run persists its CI cache
+//      (CICache::SaveTo) and its table (binary format); a fresh process-like
+//      warm engine restores both and must serve >= 80% of its first
+//      refresh's tests from the cache, with rows and model bit-identical to
+//      the cold run. Violations exit non-zero (this is a determinism
+//      property, not a timing one).
+//
+// Flags: --smoke (CI-sized workload), --json <path> (machine-readable
+// results, bench name "table_ci_kernels").
+#include <charconv>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "stats/ci_cache.h"
+#include "stats/independence.h"
+#include "stats/simd.h"
+#include "unicorn/backend/binary_table.h"
+#include "unicorn/model_learner.h"
+
+namespace unicorn {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// The recorded per-refresh cost of the incremental engine before this
+// kernel pass (BENCH_table3_scalability.json at the repo root). The
+// constant fallback is that file's value at the time the kernels landed,
+// for runs from outside the repo root.
+constexpr double kFallbackBaselinePerRefresh = 0.39761345679999993;
+
+double ReadBaselinePerRefresh(const std::string& path, double fallback) {
+  std::ifstream in(path);
+  if (!in) {
+    return fallback;
+  }
+  std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  const std::string key = "\"incremental_per_refresh_seconds\": ";
+  const size_t pos = text.find(key);
+  if (pos == std::string::npos) {
+    return fallback;
+  }
+  const char* begin = text.data() + pos + key.size();
+  const char* end = text.data() + text.size();
+  double value = 0.0;
+  const auto result = std::from_chars(begin, end, value);
+  return result.ec == std::errc() && value > 0.0 ? value : fallback;
+}
+
+int64_t UlpDistance(double a, double b) {
+  int64_t ia;
+  int64_t ib;
+  std::memcpy(&ia, &a, sizeof(a));
+  std::memcpy(&ib, &b, sizeof(b));
+  if (ia < 0) ia = INT64_MIN - ia;
+  if (ib < 0) ib = INT64_MIN - ib;
+  const int64_t d = ia - ib;
+  return d < 0 ? -d : d;
+}
+
+DataTable SelfCheckTable(size_t rows) {
+  std::vector<Variable> vars = {
+      {"c0", VarType::kContinuous, VarRole::kEvent, {}},
+      {"c1", VarType::kContinuous, VarRole::kEvent, {}},
+      {"c2", VarType::kContinuous, VarRole::kEvent, {}},
+      {"d0", VarType::kDiscrete, VarRole::kOption, {0, 1}},
+      {"d1", VarType::kDiscrete, VarRole::kOption, {0, 1, 2}},
+      {"d2", VarType::kDiscrete, VarRole::kOption, {0, 1, 2}},
+  };
+  DataTable t(vars);
+  Rng rng(4242);
+  for (size_t r = 0; r < rows; ++r) {
+    const double c0 = rng.Gaussian();
+    const double d1 = static_cast<double>(rng.UniformInt(uint64_t{3}));
+    t.AddRow({c0, 0.7 * c0 + rng.Gaussian(0, 0.6), rng.Gaussian(),
+              static_cast<double>(rng.UniformInt(uint64_t{2})), d1,
+              rng.Bernoulli(0.8) ? d1 : static_cast<double>(rng.UniformInt(uint64_t{3}))});
+  }
+  return t;
+}
+
+// Returns true when the fast kernels reproduce the reference arithmetic.
+// `max_ulp_out` reports the worst Fisher correlation divergence seen.
+bool RunKernelSelfCheck(bool smoke, int64_t* max_ulp_out, bool* graphs_identical_out) {
+  bool ok = true;
+  int64_t max_ulp = 0;
+  const std::vector<size_t> row_counts =
+      smoke ? std::vector<size_t>{3, 65, 200} : std::vector<size_t>{3, 64, 65, 1000};
+  for (size_t rows : row_counts) {
+    const DataTable t = SelfCheckTable(rows);
+    const std::vector<std::vector<int>> sets = {{}, {0}, {4}, {0, 4}, {0, 2, 4}, {0, 2, 4, 5}};
+    for (int x : {0, 3}) {
+      for (int y : {1, 5}) {
+        for (const auto& s : sets) {
+          std::vector<int> clean;
+          for (int v : s) {
+            if (v != x && v != y) {
+              clean.push_back(v);
+            }
+          }
+          simd::SetReferenceKernels(false);
+          CompositeTest fast(t);
+          const double p_fast = fast.PValue(x, y, clean);
+          simd::SetReferenceKernels(true);
+          CompositeTest ref(t);
+          const double p_ref = ref.PValue(x, y, clean);
+          const bool discrete = x == 3 || y == 5 || x == 5 || y == 3;
+          if (discrete) {
+            if (p_fast != p_ref) {
+              std::fprintf(stderr,
+                           "SELF-CHECK FAIL: G-square diverged (rows=%zu x=%d y=%d |s|=%zu): "
+                           "%.17g vs %.17g\n",
+                           rows, x, y, clean.size(), p_fast, p_ref);
+              ok = false;
+            }
+          } else {
+            const int64_t ulp = UlpDistance(p_fast, p_ref);
+            const double rel = std::fabs(p_fast - p_ref) / std::max(1.0, std::fabs(p_ref));
+            simd::SetReferenceKernels(false);
+            const int64_t corr_ulp =
+                UlpDistance(FisherZTest(t).Correlation(x, y),
+                            (simd::SetReferenceKernels(true), FisherZTest(t).Correlation(x, y)));
+            if (corr_ulp > max_ulp) {
+              max_ulp = corr_ulp;
+            }
+            if (corr_ulp > 4 || rel > 1e-9) {
+              std::fprintf(stderr,
+                           "SELF-CHECK FAIL: Fisher-z diverged (rows=%zu x=%d y=%d |s|=%zu): "
+                           "corr ulp=%lld p %.17g vs %.17g (p ulp=%lld)\n",
+                           rows, x, y, clean.size(), static_cast<long long>(corr_ulp), p_fast,
+                           p_ref, static_cast<long long>(ulp));
+              ok = false;
+            }
+          }
+        }
+        // Batched dispatch must be serially equivalent (index, p, calls).
+        simd::SetReferenceKernels(false);
+        CompositeTest batched(t);
+        CompositeTest serial(t);
+        BatchedCIRequest req;
+        req.x = x;
+        req.y = y;
+        req.sets = &sets;
+        req.alpha = 0.1;
+        double p_b = 0.0;
+        const int idx_b = batched.FirstIndependent(req, &p_b);
+        int idx_s = -1;
+        double p_s = 0.0;
+        for (size_t i = 0; i < sets.size(); ++i) {
+          const double p = serial.PValue(x, y, sets[i]);
+          if (p >= req.alpha) {
+            idx_s = static_cast<int>(i);
+            p_s = p;
+            break;
+          }
+        }
+        if (idx_b != idx_s || (idx_b >= 0 && p_b != p_s) ||
+            batched.calls.load() != serial.calls.load()) {
+          std::fprintf(stderr,
+                       "SELF-CHECK FAIL: FirstIndependent not serially equivalent "
+                       "(rows=%zu x=%d y=%d): idx %d vs %d, calls %lld vs %lld\n",
+                       rows, x, y, idx_b, idx_s, batched.calls.load(), serial.calls.load());
+          ok = false;
+        }
+      }
+    }
+  }
+  // End-to-end: one full discovery with each kernel set must agree on the
+  // learned graph (the engine's acceptance bar: results bit-identical).
+  const DataTable t = SelfCheckTable(400);
+  CausalModelOptions options;
+  options.fci.skeleton.alpha = 0.1;
+  options.fci.skeleton.max_cond_size = 1;
+  options.fci.skeleton.max_subsets = 8;
+  options.entropic.latent.restarts = 1;
+  options.entropic.latent.iterations = 20;
+  simd::SetReferenceKernels(false);
+  const LearnedModel fast_model = LearnCausalPerformanceModel(t, options);
+  simd::SetReferenceKernels(true);
+  const LearnedModel ref_model = LearnCausalPerformanceModel(t, options);
+  simd::SetReferenceKernels(false);
+  const bool graphs_identical = fast_model.admg == ref_model.admg &&
+                                fast_model.independence_tests == ref_model.independence_tests;
+  if (!graphs_identical) {
+    std::fprintf(stderr, "SELF-CHECK FAIL: discovery graph differs between kernel sets\n");
+    ok = false;
+  }
+  *max_ulp_out = max_ulp;
+  *graphs_identical_out = graphs_identical;
+  std::printf("kernel self-check: %s (max Fisher correlation divergence: %lld ulp; "
+              "discovery graphs identical: %s)\n",
+              ok ? "PASS" : "FAIL", static_cast<long long>(max_ulp),
+              graphs_identical ? "yes" : "no");
+  return ok;
+}
+
+// The Table-3 incremental debugging workload, timed per model refresh.
+bool RunPerRefreshStudy(bool smoke, bench::JsonResults* json) {
+  SystemSpec spec;
+  spec.num_events = smoke ? 19 : 288;
+  spec.extended_options = true;
+  auto model = std::make_shared<SystemModel>(BuildSystem(SystemId::kSqlite, spec));
+  std::printf("\n=== CI-kernel per-refresh speed (SQLite %zu opts / %zu events) ===\n",
+              model->OptionIndices().size(), model->EventIndices().size());
+
+  Rng rng(700);
+  const FaultCuration curation =
+      CurateFaults(*model, Xavier(), DefaultWorkload(), smoke ? 300 : 600, &rng, 0.97);
+  const auto faults = bench::SelectFaults(*model, curation, bench::FaultKind::kLatency, 1);
+  if (faults.empty()) {
+    std::printf("(no curated latency fault; skipping the speed study)\n");
+    return true;
+  }
+  const auto goals = GoalsForFault(curation, faults[0], 0.02);
+
+  DebugOptions options = bench::BenchDebugOptions();
+  options.max_iterations = smoke ? 8 : 40;
+  options.stall_termination = 1000;
+  options.model.fci.skeleton.alpha = 0.1;
+  options.model.fci.skeleton.max_cond_size = 1;
+  options.model.fci.skeleton.max_subsets = 8;
+  options.model.fci.max_pds_cond_size = 1;
+  options.model.fci.use_possible_dsep = false;
+  options.model.entropic.latent.restarts = 1;
+  options.model.entropic.latent.iterations = 20;
+  options.engine.stale_epsilon = 0.05;
+  options.engine.full_refresh_every = 8;
+  options.engine.num_threads = 4;
+  options.engine.use_ci_cache = true;
+
+  const PerformanceTask task = MakeSimulatedTask(model, Xavier(), DefaultWorkload(), 900);
+  UnicornDebugger debugger(task, options);
+  const auto start = Clock::now();
+  const DebugResult result = debugger.Debug(faults[0].config, goals);
+  const double seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  const EngineStats& stats = result.engine_stats;
+  const double per_refresh =
+      stats.refreshes > 0 ? stats.total_seconds / static_cast<double>(stats.refreshes) : 0.0;
+
+  const double baseline =
+      ReadBaselinePerRefresh("BENCH_table3_scalability.json", kFallbackBaselinePerRefresh);
+  const double speedup = per_refresh > 0.0 ? baseline / per_refresh : 0.0;
+  std::printf("%6.2fs end-to-end | %5.2fs discovery | %zu refreshes | %.4fs per refresh | "
+              "%lld CI tests requested | %lld evaluated | cache-hit %4.1f%%\n",
+              seconds, stats.total_seconds, stats.refreshes, per_refresh,
+              stats.total_tests_requested, stats.total_tests_evaluated,
+              100.0 * stats.CacheHitRate());
+  if (smoke) {
+    std::printf("per-refresh: %.4fs (smoke workload — not comparable to the recorded "
+                "full-size baseline)\n",
+                per_refresh);
+  } else {
+    std::printf("per-refresh vs recorded baseline: %.4fs -> %.4fs = %.2fx "
+                "(acceptance target: >= 5x)\n",
+                baseline, per_refresh, speedup);
+  }
+  if (json != nullptr) {
+    json->Add("per_refresh", "end_to_end_seconds", seconds);
+    json->Add("per_refresh", "discovery_seconds", stats.total_seconds);
+    json->Add("per_refresh", "refreshes", static_cast<double>(stats.refreshes));
+    json->Add("per_refresh", "per_refresh_seconds", per_refresh);
+    json->Add("per_refresh", "baseline_per_refresh_seconds", baseline);
+    json->Add("per_refresh", "speedup_vs_baseline", speedup);
+    json->Add("per_refresh", "smoke", smoke ? 1.0 : 0.0);
+  }
+  return true;  // wall-clock numbers never fail the run
+}
+
+// Cold run -> persist table (binary) + CI cache -> warm run restores both.
+bool RunWarmCacheCampaign(bool smoke, bench::JsonResults* json) {
+  SystemSpec spec;
+  spec.num_events = 19;
+  spec.extended_options = true;
+  auto model = std::make_shared<SystemModel>(BuildSystem(SystemId::kSqlite, spec));
+  std::printf("\n=== Warm-cache campaign (persisted CI cache + binary table) ===\n");
+
+  Rng rng(730);
+  const FaultCuration curation =
+      CurateFaults(*model, Xavier(), DefaultWorkload(), smoke ? 200 : 300, &rng, 0.97);
+  std::vector<size_t> rows_idx;
+  for (size_t r = 0; r < std::min<size_t>(smoke ? 120 : 200, curation.samples.NumRows()); ++r) {
+    rows_idx.push_back(r);
+  }
+  const DataTable data = curation.samples.SelectRows(rows_idx);
+
+  // Persist the curated table in the binary bulk format.
+  MeasurementTable table;
+  table.num_vars = data.NumVars();
+  std::vector<size_t> option_idx = data.IndicesWithRole(VarRole::kOption);
+  table.num_options = option_idx.size();
+  for (size_t r = 0; r < data.NumRows(); ++r) {
+    MeasurementTable::Entry entry;
+    for (size_t o : option_idx) {
+      entry.config.push_back(data.At(r, o));
+    }
+    entry.row = data.Row(r);
+    entry.provenance = "bench-cold";
+    table.entries.push_back(std::move(entry));
+  }
+  const std::string table_path = "/tmp/unicorn_bench_warm_table.bin";
+  const std::string cache_path = "/tmp/unicorn_bench_warm_cache.bin";
+  if (!SaveMeasurementTableBinary(table_path, table)) {
+    std::fprintf(stderr, "WARM-CACHE FAIL: could not write %s\n", table_path.c_str());
+    return false;
+  }
+
+  CausalModelOptions model_options;
+  model_options.fci.skeleton.alpha = 0.1;
+  model_options.fci.skeleton.max_cond_size = 1;
+  model_options.fci.skeleton.max_subsets = 8;
+  model_options.fci.max_pds_cond_size = 1;
+  model_options.fci.use_possible_dsep = false;
+  model_options.entropic.latent.restarts = 1;
+  model_options.entropic.latent.iterations = 20;
+  EngineOptions engine_options;
+  engine_options.use_ci_cache = true;
+
+  // Cold campaign: learn from the binary-seeded table, persist the cache.
+  CICache cold_cache;
+  CausalModelEngine cold(data.Variables(), model_options, engine_options);
+  cold.ShareCICache(&cold_cache, 0);
+  const size_t cold_rows = cold.SeedFromFile(table_path);
+  const auto cold_start = Clock::now();
+  cold.Refresh(77);
+  const double cold_seconds = std::chrono::duration<double>(Clock::now() - cold_start).count();
+  if (cold_rows != table.entries.size() || !cold_cache.SaveTo(cache_path)) {
+    std::fprintf(stderr, "WARM-CACHE FAIL: cold campaign could not seed or persist\n");
+    return false;
+  }
+
+  // Warm campaign: a fresh engine + cache, restored from disk.
+  CICache warm_cache;
+  const long long restored = warm_cache.LoadFrom(cache_path, 1);
+  CausalModelEngine warm(data.Variables(), model_options, engine_options);
+  warm.ShareCICache(&warm_cache, 1);
+  const size_t warm_rows = warm.SeedFromFile(table_path);
+  const auto warm_start = Clock::now();
+  warm.Refresh(77);
+  const double warm_seconds = std::chrono::duration<double>(Clock::now() - warm_start).count();
+
+  const EngineStats& stats = warm.stats();
+  const double hit_rate =
+      stats.tests_requested > 0
+          ? static_cast<double>(stats.cache_hits) / static_cast<double>(stats.tests_requested)
+          : 0.0;
+  const bool rows_identical =
+      warm_rows == cold_rows && warm.data_fingerprint() == cold.data_fingerprint();
+  const bool models_identical = warm.model().admg == cold.model().admg;
+  std::printf("cold refresh %.3fs | %lld cache entries persisted | warm refresh %.3fs "
+              "(%.2fx)\n",
+              cold_seconds, restored, warm_seconds,
+              warm_seconds > 0.0 ? cold_seconds / warm_seconds : 0.0);
+  std::printf("warm first refresh: %lld tests requested, %lld served from the restored "
+              "cache (%.1f%% hit rate, required >= 80%%)\n",
+              stats.tests_requested, stats.cache_hits, 100.0 * hit_rate);
+  std::printf("rows bit-identical: %s | models bit-identical: %s\n",
+              rows_identical ? "yes" : "NO (bug)", models_identical ? "yes" : "NO (bug)");
+  if (json != nullptr) {
+    json->Add("warm_cache", "persisted_entries", static_cast<double>(restored));
+    json->Add("warm_cache", "cold_refresh_seconds", cold_seconds);
+    json->Add("warm_cache", "warm_refresh_seconds", warm_seconds);
+    json->Add("warm_cache", "first_refresh_tests_requested",
+              static_cast<double>(stats.tests_requested));
+    json->Add("warm_cache", "first_refresh_cache_hits", static_cast<double>(stats.cache_hits));
+    json->Add("warm_cache", "first_refresh_hit_rate", hit_rate);
+    json->Add("warm_cache", "rows_bit_identical", rows_identical ? 1.0 : 0.0);
+    json->Add("warm_cache", "models_bit_identical", models_identical ? 1.0 : 0.0);
+  }
+  bool ok = true;
+  if (hit_rate < 0.80) {
+    std::fprintf(stderr, "WARM-CACHE FAIL: hit rate %.3f below the 0.80 floor\n", hit_rate);
+    ok = false;
+  }
+  if (!rows_identical || !models_identical) {
+    std::fprintf(stderr, "WARM-CACHE FAIL: warm run diverged from the cold run\n");
+    ok = false;
+  }
+  return ok;
+}
+
+}  // namespace
+}  // namespace unicorn
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") {
+      smoke = true;
+    } else if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+  unicorn::bench::JsonResults json;
+  unicorn::bench::JsonResults* json_ptr = json_path.empty() ? nullptr : &json;
+
+  int64_t max_ulp = 0;
+  bool graphs_identical = false;
+  bool ok = unicorn::RunKernelSelfCheck(smoke, &max_ulp, &graphs_identical);
+  if (json_ptr != nullptr) {
+    json_ptr->Add("self_check", "bit_identical", ok ? 1.0 : 0.0);
+    json_ptr->Add("self_check", "fisher_max_corr_ulp", static_cast<double>(max_ulp));
+    json_ptr->Add("self_check", "discovery_graphs_identical", graphs_identical ? 1.0 : 0.0);
+  }
+  ok = unicorn::RunPerRefreshStudy(smoke, json_ptr) && ok;
+  ok = unicorn::RunWarmCacheCampaign(smoke, json_ptr) && ok;
+  if (json_ptr != nullptr && !json.WriteFile(json_path, "table_ci_kernels")) {
+    return 1;
+  }
+  return ok ? 0 : 1;
+}

@@ -1,25 +1,36 @@
 #include "causal/fci.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <functional>
 
 namespace unicorn {
 namespace {
 
 // Sets an arrowhead at z on edge (u, z) if not already an arrowhead.
-// Returns true when the mark changed.
-bool PutArrow(MixedGraph* g, size_t u, size_t z) {
-  if (g->EndMark(u, z) == Mark::kArrow) {
+// Returns true when the mark changed. `circles`, when given, tracks how many
+// incident circle marks each node still has at its own end (see
+// ApplyOrientationRules); destroying a circle decrements the count.
+bool PutArrow(MixedGraph* g, size_t u, size_t z, std::vector<int>* circles = nullptr) {
+  const Mark at_z = g->EndMark(u, z);
+  if (at_z == Mark::kArrow) {
     return false;
+  }
+  if (circles != nullptr && at_z == Mark::kCircle) {
+    --(*circles)[z];
   }
   g->SetEndMark(u, z, Mark::kArrow);
   return true;
 }
 
 // Sets a tail at z's end of edge (u, z). Returns true when changed.
-bool PutTail(MixedGraph* g, size_t u, size_t z) {
-  if (g->EndMark(u, z) == Mark::kTail) {
+bool PutTail(MixedGraph* g, size_t u, size_t z, std::vector<int>* circles = nullptr) {
+  const Mark at_z = g->EndMark(u, z);
+  if (at_z == Mark::kTail) {
     return false;
+  }
+  if (circles != nullptr && at_z == Mark::kCircle) {
+    --(*circles)[z];
   }
   g->SetEndMark(u, z, Mark::kTail);
   return true;
@@ -29,23 +40,48 @@ bool PutTail(MixedGraph* g, size_t u, size_t z) {
 
 void OrientVStructures(const SepsetMap& sepsets, MixedGraph* g) {
   const size_t n = g->NumNodes();
-  for (size_t z = 0; z < n; ++z) {
-    const auto adj = g->Adjacent(z);
-    for (size_t i = 0; i < adj.size(); ++i) {
-      for (size_t j = i + 1; j < adj.size(); ++j) {
-        const size_t x = adj[i];
-        const size_t y = adj[j];
-        if (g->HasEdge(x, y)) {
-          continue;  // shielded
-        }
-        if (!sepsets.Contains(x, y, z)) {
-          // x *-> z <-* y. Only upgrade circle marks; background-knowledge
-          // tails (options) stay tails to keep constraints satisfied.
-          if (g->HasCircleAt(x, z)) {
-            PutArrow(g, x, z);
+  // Iterate unshielded pairs and intersect their (frozen) adjacency rows as
+  // bitsets instead of enumerating triples z-outer: the triple order
+  // re-queried the sepset map once per common neighbor, while here one fetch
+  // per pair suffices and the intersection is a handful of word ANDs. The
+  // set of visited (x, y, z) triples is unchanged — bit extraction walks the
+  // common neighbors in ascending order — and the upgrades are idempotent
+  // circle->arrow promotions whose guards never re-enable, so the final
+  // marks are identical in either order.
+  const size_t words = (n + 63) / 64;
+  std::vector<uint64_t> bits(n * words, 0);
+  for (size_t v = 0; v < n; ++v) {
+    for (size_t u : g->Adjacent(v)) {
+      bits[v * words + u / 64] |= uint64_t{1} << (u % 64);
+    }
+  }
+  for (size_t x = 0; x < n; ++x) {
+    const uint64_t* bx = &bits[x * words];
+    for (size_t y = x + 1; y < n; ++y) {
+      if (g->HasEdge(x, y)) {
+        continue;  // shielded
+      }
+      const uint64_t* by = &bits[y * words];
+      const std::vector<size_t>* s = nullptr;
+      bool sepset_fetched = false;
+      for (size_t w = 0; w < words; ++w) {
+        uint64_t common = bx[w] & by[w];
+        while (common != 0) {
+          const size_t z = w * 64 + static_cast<size_t>(__builtin_ctzll(common));
+          common &= common - 1;
+          if (!sepset_fetched) {
+            s = sepsets.Get(x, y);
+            sepset_fetched = true;
           }
-          if (g->HasCircleAt(y, z)) {
-            PutArrow(g, y, z);
+          if (s == nullptr || !std::binary_search(s->begin(), s->end(), z)) {
+            // x *-> z <-* y. Only upgrade circle marks; background-knowledge
+            // tails (options) stay tails to keep constraints satisfied.
+            if (g->HasCircleAt(x, z)) {
+              PutArrow(g, x, z);
+            }
+            if (g->HasCircleAt(y, z)) {
+              PutArrow(g, y, z);
+            }
           }
         }
       }
@@ -92,24 +128,44 @@ std::vector<size_t> PossibleDSep(const MixedGraph& g, size_t x) {
 
 namespace {
 
+// Orientation rules R1-R4 only upgrade edge marks; they never add or remove
+// an edge. Adjacency is therefore frozen for the whole fixpoint loop, and the
+// rules share one precomputed set of adjacency lists instead of rescanning
+// the dense mark matrix (and allocating a fresh vector) on every visit.
+using AdjacencyLists = std::vector<std::vector<size_t>>;
+
+AdjacencyLists BuildAdjacencyLists(const MixedGraph& g) {
+  AdjacencyLists adj(g.NumNodes());
+  for (size_t v = 0; v < g.NumNodes(); ++v) {
+    adj[v] = g.Adjacent(v);
+  }
+  return adj;
+}
+
 // R1: a *-> b o-* c, a and c non-adjacent  =>  b -> c (tail at b, arrow at c).
-bool RuleR1(MixedGraph* g) {
+bool RuleR1(const AdjacencyLists& adj, std::vector<int>* circles, MixedGraph* g) {
   const size_t n = g->NumNodes();
   bool changed = false;
   for (size_t b = 0; b < n; ++b) {
-    for (size_t a : g->Adjacent(b)) {
+    if ((*circles)[b] == 0) {
+      // R1 fires only through HasCircleAt(c, b) — a circle at b's own end.
+      // Rules never create circles, so once b runs out they stay out and the
+      // arrow-parent scan below can be skipped exactly.
+      continue;
+    }
+    for (size_t a : adj[b]) {
       if (!g->HasArrowAt(a, b)) {
         continue;
       }
-      for (size_t c : g->Adjacent(b)) {
+      for (size_t c : adj[b]) {
         if (c == a || g->HasEdge(a, c)) {
           continue;
         }
         if (g->HasCircleAt(c, b)) {
           // mark at b on edge b-c is circle -> make it tail; arrow at c.
-          changed |= PutTail(g, c, b);
+          changed |= PutTail(g, c, b, circles);
           if (g->HasCircleAt(b, c)) {
-            changed |= PutArrow(g, b, c);
+            changed |= PutArrow(g, b, c, circles);
           }
         }
       }
@@ -119,22 +175,22 @@ bool RuleR1(MixedGraph* g) {
 }
 
 // R2: (a -> b *-> c) or (a *-> b -> c), and a *-o c  =>  arrow at c on a-c.
-bool RuleR2(MixedGraph* g) {
+bool RuleR2(const AdjacencyLists& adj, std::vector<int>* circles, MixedGraph* g) {
   const size_t n = g->NumNodes();
   bool changed = false;
   for (size_t a = 0; a < n; ++a) {
-    for (size_t c : g->Adjacent(a)) {
+    for (size_t c : adj[a]) {
       if (!g->HasCircleAt(a, c)) {
         continue;
       }
-      for (size_t b : g->Adjacent(a)) {
+      for (size_t b : adj[a]) {
         if (b == c || !g->HasEdge(b, c)) {
           continue;
         }
         const bool chain1 = g->IsDirected(a, b) && g->HasArrowAt(b, c);
         const bool chain2 = g->HasArrowAt(a, b) && g->IsDirected(b, c);
         if (chain1 || chain2) {
-          changed |= PutArrow(g, a, c);
+          changed |= PutArrow(g, a, c, circles);
           break;
         }
       }
@@ -145,15 +201,20 @@ bool RuleR2(MixedGraph* g) {
 
 // R3: a *-> b <-* c, a *-o d o-* c, a and c non-adjacent, d *-o b
 //     =>  arrow at b on d-b.
-bool RuleR3(MixedGraph* g) {
+bool RuleR3(const AdjacencyLists& adj, std::vector<int>* circles, MixedGraph* g) {
   const size_t n = g->NumNodes();
   bool changed = false;
   for (size_t d = 0; d < n; ++d) {
-    for (size_t b : g->Adjacent(d)) {
+    if ((*circles)[d] == 0) {
+      // R3 needs a *-o d and c *-o d — circle marks at d's own end. None
+      // left (and rules never create them) means d can be skipped exactly.
+      continue;
+    }
+    for (size_t b : adj[d]) {
       if (!g->HasCircleAt(d, b)) {
         continue;
       }
-      const auto adj_d = g->Adjacent(d);
+      const auto& adj_d = adj[d];
       for (size_t a : adj_d) {
         if (a == b || !g->HasCircleAt(a, d) || !g->HasEdge(a, b) || !g->HasArrowAt(a, b)) {
           continue;
@@ -163,7 +224,7 @@ bool RuleR3(MixedGraph* g) {
             continue;
           }
           if (g->HasCircleAt(c, d) && g->HasEdge(c, b) && g->HasArrowAt(c, b)) {
-            changed |= PutArrow(g, d, b);
+            changed |= PutArrow(g, d, b, circles);
             break;
           }
         }
@@ -180,16 +241,17 @@ bool RuleR3(MixedGraph* g) {
 //
 // We search discriminating paths with a bounded DFS extending backwards from
 // <a, b, c>.
-bool RuleR4(const SepsetMap& sepsets, MixedGraph* g) {
+bool RuleR4(const SepsetMap& sepsets, const AdjacencyLists& adj, std::vector<int>* circles,
+            MixedGraph* g) {
   const size_t n = g->NumNodes();
   bool changed = false;
   constexpr size_t kMaxPathLen = 8;
   for (size_t b = 0; b < n; ++b) {
-    for (size_t c : g->Adjacent(b)) {
+    for (size_t c : adj[b]) {
       if (!g->HasCircleAt(b, c) && !g->HasCircleAt(c, b)) {
         continue;
       }
-      for (size_t a : g->Adjacent(b)) {
+      for (size_t a : adj[b]) {
         if (a == c || !g->HasEdge(a, c)) {
           continue;
         }
@@ -209,7 +271,7 @@ bool RuleR4(const SepsetMap& sepsets, MixedGraph* g) {
           if (depth > kMaxPathLen) {
             return false;
           }
-          for (size_t d : g->Adjacent(v)) {
+          for (size_t d : adj[v]) {
             if (on_path[d]) {
               continue;
             }
@@ -220,15 +282,15 @@ bool RuleR4(const SepsetMap& sepsets, MixedGraph* g) {
               // Found a discriminating path <d, ..., b, c>.
               if (sepsets.Contains(d, c, b)) {
                 bool local = false;
-                local |= PutTail(g, c, b);
-                local |= PutArrow(g, b, c);
+                local |= PutTail(g, c, b, circles);
+                local |= PutArrow(g, b, c, circles);
                 return local;
               }
               bool local = false;
-              local |= PutArrow(g, b, a);
-              local |= PutArrow(g, a, b);
-              local |= PutArrow(g, c, b);
-              local |= PutArrow(g, b, c);
+              local |= PutArrow(g, b, a, circles);
+              local |= PutArrow(g, a, b, circles);
+              local |= PutArrow(g, c, b, circles);
+              local |= PutArrow(g, b, c, circles);
               return local;
             }
             // d is adjacent to c: to stay discriminating it must be a
@@ -256,23 +318,37 @@ bool RuleR4(const SepsetMap& sepsets, MixedGraph* g) {
 }  // namespace
 
 size_t ApplyOrientationRules(const SepsetMap& sepsets, MixedGraph* g) {
+  const AdjacencyLists adj = BuildAdjacencyLists(*g);
+  // Incident circle marks at each node's own end. The rules only ever destroy
+  // circles (every mark write is an upgrade via PutArrow/PutTail), so the
+  // counts shrink monotonically and a zero lets R1/R3 skip the node for the
+  // rest of the fixpoint loop.
+  const size_t n = g->NumNodes();
+  std::vector<int> circles(n, 0);
+  for (size_t v = 0; v < n; ++v) {
+    for (size_t u : adj[v]) {
+      if (g->HasCircleAt(u, v)) {
+        ++circles[v];
+      }
+    }
+  }
   size_t total = 0;
   bool changed = true;
   while (changed) {
     changed = false;
-    if (RuleR1(g)) {
+    if (RuleR1(adj, &circles, g)) {
       changed = true;
       ++total;
     }
-    if (RuleR2(g)) {
+    if (RuleR2(adj, &circles, g)) {
       changed = true;
       ++total;
     }
-    if (RuleR3(g)) {
+    if (RuleR3(adj, &circles, g)) {
       changed = true;
       ++total;
     }
-    if (RuleR4(sepsets, g)) {
+    if (RuleR4(sepsets, adj, &circles, g)) {
       changed = true;
       ++total;
     }

@@ -6,18 +6,12 @@
 namespace unicorn {
 
 void SepsetMap::Set(size_t a, size_t b, std::vector<size_t> s) {
-  if (a > b) {
-    std::swap(a, b);
-  }
   std::sort(s.begin(), s.end());
-  sets_[{a, b}] = std::move(s);
+  sets_[Key(a, b)] = std::move(s);
 }
 
 const std::vector<size_t>* SepsetMap::Get(size_t a, size_t b) const {
-  if (a > b) {
-    std::swap(a, b);
-  }
-  auto it = sets_.find({a, b});
+  auto it = sets_.find(Key(a, b));
   return it == sets_.end() ? nullptr : &it->second;
 }
 
@@ -80,30 +74,67 @@ PairOutcome ExaminePair(const CITest& test, const StructuralConstraints& constra
                         const std::vector<std::vector<size_t>>& adj, size_t x, size_t y,
                         int d, const SkeletonOptions& options) {
   PairOutcome out;
+  // Scratch reused across pairs: the level-0 sweep visits every allowed pair
+  // and a fresh pool/sets allocation per pair dominates the sweep's own cost.
+  thread_local std::vector<size_t> pool;
+  thread_local std::vector<std::vector<int>> sets;
   // Candidate conditioning variables: adj(x)\{y} and adj(y)\{x}.
   for (int side = 0; side < 2; ++side) {
     const size_t from = side == 0 ? x : y;
     const size_t other = side == 0 ? y : x;
-    // Objectives are sinks (structural constraint): conditioning on a
-    // pure sink can only open collider paths, never block one, and
-    // near-deterministic objectives otherwise destroy true edges.
-    std::vector<size_t> pool;
-    for (size_t v : adj[from]) {
-      if (v != other && constraints.roles()[v] != VarRole::kObjective) {
-        pool.push_back(v);
+    std::vector<std::vector<size_t>> subsets;
+    if (d == 0) {
+      // The only size-0 conditioning set is {} regardless of the pool, so the
+      // pool is not built; the request below is identical to the general path.
+      out.tested = true;
+      sets.resize(1);
+      sets[0].clear();
+    } else {
+      // Objectives are sinks (structural constraint): conditioning on a
+      // pure sink can only open collider paths, never block one, and
+      // near-deterministic objectives otherwise destroy true edges.
+      //
+      // For singleton conditioning sets the lexicographic enumeration in
+      // Subsets emits the first max_subsets pool entries and nothing else, so
+      // the adjacency scan can stop there. Larger sets need the full pool:
+      // past the emitted prefix the lexicographic sequence depends on the
+      // pool's total size.
+      const bool cap_pool = d == 1;
+      const size_t pool_cap = std::max(options.max_subsets, static_cast<size_t>(d));
+      pool.clear();
+      for (size_t v : adj[from]) {
+        if (v != other && constraints.roles()[v] != VarRole::kObjective) {
+          pool.push_back(v);
+          if (cap_pool && pool.size() >= pool_cap) {
+            break;
+          }
+        }
+      }
+      if (pool.size() < static_cast<size_t>(d)) {
+        continue;
+      }
+      out.tested = true;
+      subsets = Subsets(pool, static_cast<size_t>(d), options.max_subsets);
+      sets.resize(subsets.size());
+      for (size_t i = 0; i < subsets.size(); ++i) {
+        sets[i].assign(subsets[i].begin(), subsets[i].end());
       }
     }
-    if (pool.size() < static_cast<size_t>(d)) {
-      continue;
-    }
-    out.tested = true;
-    for (const auto& subset : Subsets(pool, static_cast<size_t>(d), options.max_subsets)) {
-      std::vector<int> s(subset.begin(), subset.end());
-      if (test.Independent(static_cast<int>(x), static_cast<int>(y), s, options.alpha)) {
-        out.removed = true;
-        out.sepset = subset;
-        return out;
+    // Submit the whole level for this side as one batched request: the test
+    // examines the sets in subset order with the serial early exit, but can
+    // amortize per-pair setup (coded columns, cache keys) across them.
+    BatchedCIRequest request;
+    request.x = static_cast<int>(x);
+    request.y = static_cast<int>(y);
+    request.sets = &sets;
+    request.alpha = options.alpha;
+    const int idx = test.FirstIndependent(request);
+    if (idx >= 0) {
+      out.removed = true;
+      if (d > 0) {
+        out.sepset = std::move(subsets[static_cast<size_t>(idx)]);
       }
+      return out;
     }
   }
   return out;
@@ -119,6 +150,13 @@ SkeletonResult LearnSkeleton(const CITest& test, const StructuralConstraints& co
   result.graph = MixedGraph(num_vars);
   MixedGraph& g = result.graph;
   const bool warm_active = warm.Active();
+  size_t allowed_pairs = 0;
+  for (size_t a = 0; a < num_vars; ++a) {
+    for (size_t b = a + 1; b < num_vars; ++b) {
+      allowed_pairs += constraints.EdgeAllowed(a, b) ? 1 : 0;
+    }
+  }
+  result.sepsets.Reserve(allowed_pairs);
   for (size_t a = 0; a < num_vars; ++a) {
     for (size_t b = a + 1; b < num_vars; ++b) {
       if (!constraints.EdgeAllowed(a, b)) {

@@ -16,7 +16,8 @@
 #ifndef UNICORN_CAUSAL_SKELETON_H_
 #define UNICORN_CAUSAL_SKELETON_H_
 
-#include <map>
+#include <cstdint>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -28,15 +29,27 @@
 namespace unicorn {
 
 // Separating sets keyed by unordered node pair (stored with first < second).
+// Get/Contains sit on the orientation hot path (every unshielded triple asks
+// for one), so the pair key is packed into 64 bits and stored in a hash map
+// instead of a tree. Node indices are variable indices, far below 2^32.
 class SepsetMap {
  public:
   void Set(size_t a, size_t b, std::vector<size_t> s);
   // Null when no separating set was recorded for (a, b).
   const std::vector<size_t>* Get(size_t a, size_t b) const;
   bool Contains(size_t a, size_t b, size_t v) const;
+  // Pre-sizes the table (a skeleton sweep knows its pair count up front;
+  // growing a ~100k-entry map by rehashing costs more than the inserts).
+  void Reserve(size_t pairs) { sets_.reserve(pairs); }
 
  private:
-  std::map<std::pair<size_t, size_t>, std::vector<size_t>> sets_;
+  static uint64_t Key(size_t a, size_t b) {
+    if (a > b) {
+      std::swap(a, b);
+    }
+    return (static_cast<uint64_t>(a) << 32) | static_cast<uint64_t>(b);
+  }
+  std::unordered_map<uint64_t, std::vector<size_t>> sets_;
 };
 
 struct SkeletonOptions {

@@ -1,9 +1,21 @@
 #include "stats/ci_cache.h"
 
 #include <algorithm>
+#include <fstream>
 #include <utility>
 
+#include "util/binio.h"
+
 namespace unicorn {
+namespace {
+
+// ci-cache snapshot format, version 1:
+//   magic "UNCICHE1" | u32 endian marker | u32 reserved | u64 entry count
+//   then per entry: u64 table_tag | u32 x | u32 y | u64 n_rows |
+//                   u32 s_size | 8 × u32 s[i] | f64 p_value
+constexpr char kCacheMagic[8] = {'U', 'N', 'C', 'I', 'C', 'H', 'E', '1'};
+
+}  // namespace
 
 CICache::Key CICache::MakeKey(int x, int y, const std::vector<int>& s, uint64_t n_rows,
                               uint64_t table_tag) {
@@ -101,6 +113,87 @@ void CICache::ResetCounters() {
   cross_shard_hits_ = 0;
 }
 
+bool CICache::SaveTo(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  // Snapshot the stripes under their locks first so the entry count in the
+  // header is exact even while other shards keep storing.
+  std::vector<std::pair<Key, double>> entries;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    entries.reserve(entries.size() + stripe.map.size());
+    for (const auto& [key, entry] : stripe.map) {
+      entries.emplace_back(key, entry.p_value);
+    }
+  }
+  out.write(kCacheMagic, sizeof(kCacheMagic));
+  binio::WriteU32(out, binio::kEndianMarker);
+  binio::WriteU32(out, 0);  // reserved
+  binio::WriteU64(out, entries.size());
+  for (const auto& [key, p] : entries) {
+    binio::WriteU64(out, key.table_tag);
+    binio::WriteU32(out, static_cast<uint32_t>(key.x));
+    binio::WriteU32(out, static_cast<uint32_t>(key.y));
+    binio::WriteU64(out, key.n_rows);
+    binio::WriteU32(out, key.s_size);
+    for (size_t i = 0; i < kMaxConditioning; ++i) {
+      binio::WriteU32(out, static_cast<uint32_t>(key.s[i]));
+    }
+    binio::WriteDouble(out, p);
+  }
+  return static_cast<bool>(out);
+}
+
+long long CICache::LoadFrom(const std::string& path, uint32_t shard) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return -1;
+  }
+  char magic[8];
+  if (!in.read(magic, sizeof(magic)) || std::memcmp(magic, kCacheMagic, sizeof(magic)) != 0) {
+    return -1;
+  }
+  uint32_t endian = 0;
+  uint32_t reserved = 0;
+  uint64_t count = 0;
+  if (!binio::ReadU32(in, &endian) || endian != binio::kEndianMarker ||
+      !binio::ReadU32(in, &reserved) || !binio::ReadU64(in, &count)) {
+    return -1;
+  }
+  long long loaded = 0;
+  for (uint64_t e = 0; e < count; ++e) {
+    Key key;
+    uint32_t x = 0;
+    uint32_t y = 0;
+    uint32_t field = 0;
+    double p = 0.0;
+    if (!binio::ReadU64(in, &key.table_tag) || !binio::ReadU32(in, &x) ||
+        !binio::ReadU32(in, &y) || !binio::ReadU64(in, &key.n_rows) ||
+        !binio::ReadU32(in, &key.s_size)) {
+      return -1;  // truncated mid-entry
+    }
+    key.x = static_cast<int32_t>(x);
+    key.y = static_cast<int32_t>(y);
+    if (key.s_size > kMaxConditioning) {
+      return -1;
+    }
+    for (size_t i = 0; i < kMaxConditioning; ++i) {
+      if (!binio::ReadU32(in, &field)) {
+        return -1;
+      }
+      key.s[i] = static_cast<int32_t>(field);
+    }
+    if (!binio::ReadDouble(in, &p)) {
+      return -1;
+    }
+    Store(key, p, shard);
+    ++loaded;
+  }
+  return loaded;
+}
+
 double CachedCITest::PValue(int x, int y, const std::vector<int>& s) const {
   ++calls;
   if (cache_ == nullptr || !CICache::Cacheable(s)) {
@@ -119,6 +212,45 @@ double CachedCITest::PValue(int x, int y, const std::vector<int>& s) const {
   const double p = inner_.PValue(x, y, s);
   cache_->Store(key, p, shard_);
   return p;
+}
+
+int CachedCITest::FirstIndependent(const BatchedCIRequest& req, double* p_out) const {
+  if (cache_ == nullptr) {
+    // No cache: hand the whole level to the inner test so it can amortize,
+    // advancing this decorator's counter once per examined set as the serial
+    // loop would.
+    const int idx = inner_.FirstIndependent(req, p_out);
+    calls += idx >= 0 ? idx + 1 : static_cast<long long>(req.sets->size());
+    return idx;
+  }
+  const auto& sets = *req.sets;
+  for (size_t i = 0; i < sets.size(); ++i) {
+    ++calls;
+    const std::vector<int>& s = sets[i];
+    double p;
+    if (!CICache::Cacheable(s)) {
+      p = inner_.PValue(req.x, req.y, s);
+    } else {
+      const CICache::Key key = CICache::MakeKey(req.x, req.y, s, n_rows_, table_tag_);
+      if (const auto cached = cache_->LookupFrom(key, shard_)) {
+        ++hits_;
+        if (cached->cross_shard) {
+          ++cross_shard_hits_;
+        }
+        p = cached->p_value;
+      } else {
+        p = inner_.PValue(req.x, req.y, s);
+        cache_->Store(key, p, shard_);
+      }
+    }
+    if (p >= req.alpha) {
+      if (p_out != nullptr) {
+        *p_out = p;
+      }
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
 }
 
 }  // namespace unicorn

@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -103,6 +104,20 @@ class CICache {
   void Clear();
   void ResetCounters();
 
+  // Cross-process persistence. Entries are keyed on the order-sensitive
+  // table fingerprint (plus row count), so a snapshot taken against one
+  // recording can only ever hit for an engine that absorbed bit-identical
+  // rows in the same order — loading a stale or unrelated snapshot costs
+  // memory, never correctness. SaveTo writes every entry (all stripes) to a
+  // versioned little-endian binary file; returns false on I/O failure.
+  bool SaveTo(const std::string& path) const;
+  // Loads a snapshot into this cache (on top of what is already present),
+  // attributing the entries to `shard`. Returns the number of entries
+  // loaded, or -1 on I/O failure or a malformed/foreign file (the cache is
+  // untouched on -1, except possibly entries already applied before a
+  // mid-file truncation is detected).
+  long long LoadFrom(const std::string& path, uint32_t shard = 0);
+
  private:
   struct KeyHash {
     size_t operator()(const Key& k) const;
@@ -140,6 +155,10 @@ class CachedCITest : public CITest {
       : inner_(inner), cache_(cache), n_rows_(n_rows), table_tag_(table_tag), shard_(shard) {}
 
   double PValue(int x, int y, const std::vector<int>& s) const override;
+
+  // Batched: one cache-key template per level; per-set semantics (lookup,
+  // store, counters, early exit) identical to per-set PValue calls.
+  int FirstIndependent(const BatchedCIRequest& req, double* p_out = nullptr) const override;
 
   const CITest& inner() const { return inner_; }
   long long hits() const { return hits_.load(); }

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "stats/simd.h"
+
 namespace unicorn {
 
 double PearsonCorrelation(const std::vector<double>& a, const std::vector<double>& b) {
@@ -76,13 +78,18 @@ void StreamingMoments::AddRow(const std::vector<double>& row) {
   if (n_ == 0) {
     offset_ = row;  // shift origin to the first row (see header)
   }
+  // Shift the row once, then the per-variable update is a pure axpy into the
+  // contiguous cross-moment slice. Each cross entry still receives the exact
+  // product va * (row[b] - offset_[b]), so the moments are bit-identical to
+  // the unbatched update regardless of vectorization.
+  shifted_.resize(num_vars_);
+  for (size_t b = 0; b < num_vars_; ++b) {
+    shifted_[b] = row[b] - offset_[b];
+  }
   for (size_t a = 0; a < num_vars_; ++a) {
-    const double va = row[a] - offset_[a];
+    const double va = shifted_[a];
     sum_[a] += va;
-    double* cross = &cross_[TriIndex(a, a)];
-    for (size_t b = a; b < num_vars_; ++b) {
-      cross[b - a] += va * (row[b] - offset_[b]);
-    }
+    simd::Axpy(va, &shifted_[a], &cross_[TriIndex(a, a)], num_vars_ - a);
   }
   ++n_;
 }
@@ -115,6 +122,44 @@ double StreamingMoments::Pearson(size_t a, size_t b) const {
   }
   double r = cov / std::sqrt(va * vb);
   return std::max(-1.0, std::min(1.0, r));
+}
+
+void StreamingMoments::PearsonUpperTri(std::vector<double>* out) const {
+  out->resize(num_vars_ * (num_vars_ + 1) / 2);
+  if (n_ < 2) {
+    std::fill(out->begin(), out->end(), 0.0);
+    for (size_t a = 0, tri = 0; a < num_vars_; tri += num_vars_ - a, ++a) {
+      (*out)[tri] = 1.0;
+    }
+    return;
+  }
+  // Hoist the O(V) quantities; each is the same double Pearson(a, b) derives
+  // per call, so the per-pair expressions below match it bit for bit.
+  std::vector<double> mean(num_vars_);
+  std::vector<double> var(num_vars_);
+  for (size_t v = 0; v < num_vars_; ++v) {
+    mean[v] = sum_[v] / static_cast<double>(n_);
+    var[v] = Variance(v);
+  }
+  size_t tri = 0;
+  for (size_t a = 0; a < num_vars_; ++a) {
+    const double ma = mean[a];
+    const double va = var[a];
+    const double* cross = &cross_[TriIndex(a, a)];
+    double* row = out->data() + tri;
+    row[0] = 1.0;
+    UNICORN_SIMD_LOOP
+    for (size_t b = a + 1; b < num_vars_; ++b) {
+      const double cov = cross[b - a] / static_cast<double>(n_) - ma * mean[b];
+      const double vb = var[b];
+      double r = 0.0;
+      if (va > 1e-15 && vb > 1e-15) {
+        r = std::max(-1.0, std::min(1.0, cov / std::sqrt(va * vb)));
+      }
+      row[b - a] = r;
+    }
+    tri += num_vars_ - a;
+  }
 }
 
 double Mape(const std::vector<double>& truth, const std::vector<double>& pred, double eps) {

@@ -46,6 +46,15 @@ class StreamingMoments {
   // degenerate or fewer than two rows.
   double Pearson(size_t a, size_t b) const;
 
+  // All pairwise correlations in one batched sweep, flattened over the upper
+  // triangle including the diagonal (same layout as the engine's correlation
+  // snapshot: index advances b within a). Diagonal entries are 1.0; with
+  // fewer than two rows every off-diagonal entry is 0.0. Means and
+  // variances are hoisted out of the pair loop but every per-pair expression
+  // is the one Pearson(a, b) evaluates, so each entry is bit-identical to a
+  // per-pair call.
+  void PearsonUpperTri(std::vector<double>* out) const;
+
  private:
   size_t TriIndex(size_t a, size_t b) const;  // upper triangle incl. diagonal
 
@@ -58,6 +67,7 @@ class StreamingMoments {
   std::vector<double> offset_;
   std::vector<double> sum_;
   std::vector<double> cross_;  // flattened upper-triangular sum of products
+  std::vector<double> shifted_;  // AddRow scratch: row - offset, reused per call
 };
 
 }  // namespace unicorn

@@ -6,9 +6,14 @@
 
 namespace unicorn {
 
-CodedColumn DiscretizeColumn(const std::vector<double>& col, VarType type, int max_bins) {
+CodedColumn DiscretizeColumn(const std::vector<double>& col, VarType type, int max_bins,
+                             ColumnCoding* coding) {
   CodedColumn out;
   out.codes.resize(col.size());
+  if (coding != nullptr) {
+    coding->direct = false;
+    coding->levels.clear();
+  }
   if (col.empty()) {
     return out;
   }
@@ -41,6 +46,10 @@ CodedColumn DiscretizeColumn(const std::vector<double>& col, VarType type, int m
       out.codes[i] = levels[col[i]];
     }
     out.cardinality = next;
+    if (coding != nullptr) {
+      coding->direct = true;
+      coding->levels = std::move(levels);
+    }
     return out;
   }
 
@@ -78,9 +87,13 @@ CodedTable::CodedTable(const DataTable& table, int max_bins) : num_rows_(table.N
   }
 }
 
-CodedColumn CombineStrata(const std::vector<const CodedColumn*>& cols, size_t num_rows) {
+CodedColumn CombineStrata(const std::vector<const CodedColumn*>& cols, size_t num_rows,
+                          std::map<long long, int>* dense_out) {
   CodedColumn out;
   out.codes.assign(num_rows, 0);
+  if (dense_out != nullptr) {
+    dense_out->clear();
+  }
   if (cols.empty()) {
     out.cardinality = num_rows == 0 ? 0 : 1;
     return out;
@@ -99,6 +112,9 @@ CodedColumn CombineStrata(const std::vector<const CodedColumn*>& cols, size_t nu
     out.codes[r] = it->second;
   }
   out.cardinality = static_cast<int>(dense.size());
+  if (dense_out != nullptr) {
+    *dense_out = std::move(dense);
+  }
   return out;
 }
 

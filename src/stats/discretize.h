@@ -6,6 +6,7 @@
 #ifndef UNICORN_STATS_DISCRETIZE_H_
 #define UNICORN_STATS_DISCRETIZE_H_
 
+#include <map>
 #include <vector>
 
 #include "stats/table.h"
@@ -18,15 +19,32 @@ struct CodedColumn {
   int cardinality = 0;
 };
 
+// How DiscretizeColumn coded a column — captured on request so incremental
+// consumers (GSquareTest::Update) can extend codes for appended rows without
+// re-coding the prefix. `direct` means each distinct value maps straight to
+// a code (codes assigned in sorted-value order); only then is extension
+// sound, and only while appended values hit existing levels — a new level
+// would renumber the whole column, and quantile bins shift with the data.
+struct ColumnCoding {
+  bool direct = false;
+  std::map<double, int> levels;  // value -> code; populated when direct
+};
+
 // Discretizes one column. Continuous columns are split into at most
 // `max_bins` quantile bins (fewer if the data has few distinct values).
-CodedColumn DiscretizeColumn(const std::vector<double>& col, VarType type, int max_bins);
+// When `coding` is non-null it receives how the column was coded.
+CodedColumn DiscretizeColumn(const std::vector<double>& col, VarType type, int max_bins,
+                             ColumnCoding* coding = nullptr);
 
 // Combines several coded columns into one stratum id per row (mixed-radix
 // key, then dense renumbering). All callers that stratify — CodedTable and
 // the G-square test's memoized strata — share this one implementation so the
 // codes stay bit-identical. Every column must have at least `num_rows` codes.
-CodedColumn CombineStrata(const std::vector<const CodedColumn*>& cols, size_t num_rows);
+// When `dense_out` is non-null it receives the radix-key -> dense-id map
+// (ids assigned by first appearance in row order), which lets incremental
+// consumers append rows with stable stratum ids.
+CodedColumn CombineStrata(const std::vector<const CodedColumn*>& cols, size_t num_rows,
+                          std::map<long long, int>* dense_out = nullptr);
 
 // Discretized view of a whole table.
 class CodedTable {

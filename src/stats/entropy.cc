@@ -18,6 +18,10 @@ double DistributionEntropy(const std::vector<double>& weights) {
       total += w;
     }
   }
+  return DistributionEntropyWithTotal(weights, total);
+}
+
+double DistributionEntropyWithTotal(const std::vector<double>& weights, double total) {
   if (total <= 0.0) {
     return 0.0;
   }

@@ -17,6 +17,13 @@ namespace unicorn {
 // (normalized internally; zero entries ignored).
 double DistributionEntropy(const std::vector<double>& weights);
 
+// Same value when `total` equals the sum of the positive weights. Exists for
+// callers that know the sum exactly without a pass — contingency counts are
+// exact integers summing to the row count, so floating-point summation order
+// cannot change the total and the result is bit-identical to
+// DistributionEntropy(weights).
+double DistributionEntropyWithTotal(const std::vector<double>& weights, double total);
+
 // Empirical entropy (nats) of a coded column.
 double Entropy(const CodedColumn& x);
 

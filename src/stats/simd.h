@@ -1,0 +1,126 @@
+// SIMD-friendly kernel primitives for the statistics hot path.
+//
+// The CI kernels (Fisher-z rank correlations, the fused G-square contingency
+// pass, streaming-moment updates) spend their time in a handful of dense
+// loops over contiguous column blocks. This header centralizes what those
+// loops need to autovectorize well on the baked-in toolchain without
+// intrinsics: 64-byte aligned storage, a padded column stride, and reduction
+// kernels with a fixed blocked accumulation order.
+//
+// Determinism contract: every kernel here has ONE arithmetic order. The
+// UNICORN_NO_SIMD build compiles the same additions in the same order with
+// vectorization pragmas disabled, so fast and portable builds produce
+// bit-identical doubles. The blocked order differs from a naive sequential
+// reduction in the low bits; callers that must reproduce the legacy
+// sequential order (the kernel-equivalence tests, the bench self-check)
+// flip the process-wide reference switch below.
+#ifndef UNICORN_STATS_SIMD_H_
+#define UNICORN_STATS_SIMD_H_
+
+#include <atomic>
+#include <cstddef>
+#include <new>
+#include <vector>
+
+#if !defined(UNICORN_NO_SIMD) && defined(__GNUC__) && !defined(__clang__)
+#define UNICORN_SIMD_LOOP _Pragma("GCC ivdep")
+#else
+#define UNICORN_SIMD_LOOP
+#endif
+
+namespace unicorn {
+namespace simd {
+
+// Accumulator blocking of the reduction kernels. Four independent partial
+// sums break the loop-carried dependence of a sequential reduction, which is
+// what lets the compiler keep four vector accumulators in flight.
+inline constexpr size_t kLanes = 4;
+
+#if defined(UNICORN_NO_SIMD)
+inline constexpr bool kEnabled = false;
+#else
+inline constexpr bool kEnabled = true;
+#endif
+
+// 64-byte aligned allocator: column blocks start on cache-line (and any
+// realistic vector-register) boundaries.
+template <typename T>
+struct AlignedAllocator {
+  using value_type = T;
+  static constexpr std::align_val_t kAlign{64};
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U>&) {}
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(::operator new(n * sizeof(T), kAlign));
+  }
+  void deallocate(T* p, size_t) noexcept { ::operator delete(p, kAlign); }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U>&) const {
+    return true;
+  }
+  template <typename U>
+  bool operator!=(const AlignedAllocator<U>&) const {
+    return false;
+  }
+};
+
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+// Column stride for SoA blocks: rows rounded up to a multiple of 8 doubles
+// (one cache line), so every column starts aligned and tail loads of one
+// column never touch the next.
+inline size_t PaddedStride(size_t rows) { return (rows + 7) & ~size_t{7}; }
+
+// Process-wide switch to the legacy reference kernels (sequential reduction
+// order, unfused entropy path). Tests and the bench self-check flip this to
+// compare the fast kernels against the exact arithmetic the code used before
+// the batched kernels existed. Not meant to be toggled while a parallel
+// sweep is in flight.
+inline std::atomic<bool>& ReferenceSwitch() {
+  static std::atomic<bool> v{false};
+  return v;
+}
+inline void SetReferenceKernels(bool on) { ReferenceSwitch().store(on, std::memory_order_relaxed); }
+inline bool UseReferenceKernels() { return ReferenceSwitch().load(std::memory_order_relaxed); }
+
+// Blocked dot product: kLanes independent accumulators over the main body,
+// sequential tail, lanes combined pairwise. The accumulation order is fixed
+// and identical in SIMD and UNICORN_NO_SIMD builds (no FMA contraction is
+// assumed); it intentionally differs from a naive sequential loop, which is
+// why FisherZTest keeps a reference path for equivalence pinning.
+inline double DotBlocked(const double* a, const double* b, size_t n) {
+  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+  const size_t main = n & ~(kLanes - 1);
+  size_t i = 0;
+  UNICORN_SIMD_LOOP
+  for (; i < main; i += kLanes) {
+    acc0 += a[i] * b[i];
+    acc1 += a[i + 1] * b[i + 1];
+    acc2 += a[i + 2] * b[i + 2];
+    acc3 += a[i + 3] * b[i + 3];
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) {
+    tail += a[i] * b[i];
+  }
+  return ((acc0 + acc1) + (acc2 + acc3)) + tail;
+}
+
+// dst[i] += scale * src[i]. Each destination element receives exactly one
+// add, so the result is bit-identical no matter how the loop is vectorized.
+inline void Axpy(double scale, const double* src, double* dst, size_t n) {
+  UNICORN_SIMD_LOOP
+  for (size_t i = 0; i < n; ++i) {
+    dst[i] += scale * src[i];
+  }
+}
+
+}  // namespace simd
+}  // namespace unicorn
+
+#endif  // UNICORN_STATS_SIMD_H_

@@ -1,5 +1,6 @@
 #include "stats/table.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace unicorn {
@@ -49,6 +50,7 @@ void DataTable::AddRow(const std::vector<double>& values) {
 }
 
 void DataTable::Reserve(size_t rows) {
+  reserved_rows_ = std::max(reserved_rows_, rows);
   for (auto& col : cols_) {
     col.reserve(rows);
   }
@@ -73,18 +75,23 @@ DataTable DataTable::SelectVars(const std::vector<size_t>& vars) const {
     out.cols_[i] = cols_[vars[i]];
   }
   out.num_rows_ = num_rows_;
+  if (reserved_rows_ > 0) {
+    out.Reserve(reserved_rows_);  // carry the capacity hint (no-op if smaller)
+  }
   return out;
 }
 
 DataTable DataTable::SelectRows(const std::vector<size_t>& rows) const {
   DataTable out(variables_);
+  const size_t capacity = std::max(rows.size(), reserved_rows_);
   for (size_t v = 0; v < variables_.size(); ++v) {
-    out.cols_[v].reserve(rows.size());
+    out.cols_[v].reserve(capacity);
     for (size_t r : rows) {
       out.cols_[v].push_back(cols_[v][r]);
     }
   }
   out.num_rows_ = rows.size();
+  out.reserved_rows_ = reserved_rows_;
   return out;
 }
 

@@ -68,7 +68,12 @@ class DataTable {
 
   // Pre-allocates column storage for `rows` total rows (appending stays
   // amortized O(vars) either way; this avoids reallocation in tight loops).
+  // The hint sticks: derived tables (SelectVars/SelectRows) re-apply it so
+  // hot-loop seeding into a derived table never reallocates either.
   void Reserve(size_t rows);
+
+  // The largest Reserve hint seen so far (0 = never reserved).
+  size_t ReservedRows() const { return reserved_rows_; }
 
   // Returns one row as a vector.
   std::vector<double> Row(size_t row) const;
@@ -89,6 +94,7 @@ class DataTable {
   std::vector<Variable> variables_;
   std::vector<std::vector<double>> cols_;
   size_t num_rows_ = 0;
+  size_t reserved_rows_ = 0;  // sticky capacity hint, see Reserve
 };
 
 }  // namespace unicorn

@@ -1,0 +1,320 @@
+#include "unicorn/backend/binary_table.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <utility>
+
+#include "util/binio.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define UNICORN_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace unicorn {
+namespace {
+
+constexpr char kBinaryMagic[8] = {'U', 'N', 'I', 'C', 'T', 'B', 'L', '1'};
+constexpr uint64_t kHeaderBytes = 64;
+
+struct Header {
+  uint64_t num_options = 0;
+  uint64_t num_vars = 0;
+  uint64_t num_rows = 0;
+  uint64_t payload_offset = 0;
+  uint64_t prov_offset = 0;
+  uint64_t prov_bytes = 0;
+};
+
+// Validates the fixed-size header and the declared section geometry against
+// the file size. Returns false on any inconsistency — a binary table is
+// either exactly right or rejected wholesale.
+bool ParseHeader(const unsigned char* base, uint64_t file_size, Header* h) {
+  if (file_size < kHeaderBytes) {
+    return false;
+  }
+  if (std::memcmp(base, kBinaryMagic, sizeof(kBinaryMagic)) != 0) {
+    return false;
+  }
+  if (binio::LoadU32(base + 8) != binio::kEndianMarker) {
+    return false;  // wrong-endian writer (or corrupt probe)
+  }
+  h->num_options = binio::LoadU64(base + 16);
+  h->num_vars = binio::LoadU64(base + 24);
+  h->num_rows = binio::LoadU64(base + 32);
+  h->payload_offset = binio::LoadU64(base + 40);
+  h->prov_offset = binio::LoadU64(base + 48);
+  h->prov_bytes = binio::LoadU64(base + 56);
+  if (h->num_options == 0 || h->num_vars < h->num_options) {
+    return false;  // impossible shape, same rule as the CSV loader
+  }
+  if (h->payload_offset != kHeaderBytes) {
+    return false;
+  }
+  const uint64_t cols = h->num_options + h->num_vars;
+  if (cols < h->num_options) {
+    return false;  // overflow
+  }
+  const uint64_t max_cells = std::numeric_limits<uint64_t>::max() / 8;
+  if (h->num_rows != 0 && cols > max_cells / h->num_rows) {
+    return false;  // payload size overflows
+  }
+  const uint64_t payload_bytes = cols * h->num_rows * 8;
+  if (h->prov_offset != h->payload_offset + payload_bytes) {
+    return false;
+  }
+  const uint64_t offsets_bytes = (h->num_rows + 1) * 8;
+  if (h->prov_offset > file_size || offsets_bytes > file_size - h->prov_offset ||
+      h->prov_bytes != file_size - h->prov_offset - offsets_bytes) {
+    return false;  // truncated or padded file
+  }
+  // Provenance offsets: start at 0, monotone, end exactly at prov_bytes.
+  const unsigned char* offs = base + h->prov_offset;
+  uint64_t prev = binio::LoadU64(offs);
+  if (prev != 0) {
+    return false;
+  }
+  for (uint64_t r = 1; r <= h->num_rows; ++r) {
+    const uint64_t cur = binio::LoadU64(offs + r * 8);
+    if (cur < prev || cur > h->prov_bytes) {
+      return false;
+    }
+    prev = cur;
+  }
+  if (prev != h->prov_bytes) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool SaveMeasurementTableBinary(const std::string& path, const MeasurementTable& table) {
+  return SaveMeasurementTableBinary(path, table.num_options, table.num_vars, table.entries);
+}
+
+bool SaveMeasurementTableBinary(const std::string& path, size_t num_options, size_t num_vars,
+                                const std::vector<MeasurementTable::Entry>& entries) {
+  if (num_options == 0 || num_vars < num_options) {
+    return false;
+  }
+  for (const auto& entry : entries) {
+    if (entry.config.size() != num_options || entry.row.size() != num_vars) {
+      return false;  // would not round-trip; reject before touching the disk
+    }
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  const uint64_t rows = entries.size();
+  const uint64_t cols = static_cast<uint64_t>(num_options) + num_vars;
+  uint64_t prov_bytes = 0;
+  for (const auto& entry : entries) {
+    prov_bytes += entry.provenance.size();
+  }
+  out.write(kBinaryMagic, sizeof(kBinaryMagic));
+  binio::WriteU32(out, binio::kEndianMarker);
+  binio::WriteU32(out, 0);  // reserved
+  binio::WriteU64(out, num_options);
+  binio::WriteU64(out, num_vars);
+  binio::WriteU64(out, rows);
+  binio::WriteU64(out, kHeaderBytes);
+  binio::WriteU64(out, kHeaderBytes + cols * rows * 8);
+  binio::WriteU64(out, prov_bytes);
+  // Column-major payload: config columns, then row columns.
+  for (size_t c = 0; c < num_options; ++c) {
+    for (const auto& entry : entries) {
+      binio::WriteDouble(out, entry.config[c]);
+    }
+  }
+  for (size_t v = 0; v < num_vars; ++v) {
+    for (const auto& entry : entries) {
+      binio::WriteDouble(out, entry.row[v]);
+    }
+  }
+  uint64_t offset = 0;
+  binio::WriteU64(out, offset);
+  for (const auto& entry : entries) {
+    offset += entry.provenance.size();
+    binio::WriteU64(out, offset);
+  }
+  for (const auto& entry : entries) {
+    out.write(entry.provenance.data(),
+              static_cast<std::streamsize>(entry.provenance.size()));
+  }
+  return static_cast<bool>(out);
+}
+
+bool IsBinaryMeasurementTable(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  char magic[8];
+  return in && in.read(magic, sizeof(magic)) &&
+         std::memcmp(magic, kBinaryMagic, sizeof(magic)) == 0;
+}
+
+// --- BinaryTableView --------------------------------------------------------
+
+BinaryTableView::~BinaryTableView() { Close(); }
+
+BinaryTableView::BinaryTableView(BinaryTableView&& other) noexcept {
+  *this = std::move(other);
+}
+
+BinaryTableView& BinaryTableView::operator=(BinaryTableView&& other) noexcept {
+  if (this != &other) {
+    Close();
+    base_ = other.base_;
+    file_size_ = other.file_size_;
+    mapped_ = other.mapped_;
+    num_options_ = other.num_options_;
+    num_vars_ = other.num_vars_;
+    num_rows_ = other.num_rows_;
+    payload_ = other.payload_;
+    prov_offsets_ = other.prov_offsets_;
+    prov_blob_ = other.prov_blob_;
+    other.base_ = nullptr;
+    other.payload_ = nullptr;
+    other.prov_offsets_ = nullptr;
+    other.prov_blob_ = nullptr;
+    other.file_size_ = 0;
+    other.mapped_ = false;
+    other.num_options_ = other.num_vars_ = other.num_rows_ = 0;
+  }
+  return *this;
+}
+
+void BinaryTableView::Close() {
+  if (base_ != nullptr) {
+#if UNICORN_HAVE_MMAP
+    if (mapped_) {
+      ::munmap(const_cast<unsigned char*>(base_), file_size_);
+    } else {
+      delete[] base_;
+    }
+#else
+    delete[] base_;
+#endif
+  }
+  base_ = nullptr;
+  payload_ = nullptr;
+  prov_offsets_ = nullptr;
+  prov_blob_ = nullptr;
+  file_size_ = 0;
+  mapped_ = false;
+  num_options_ = num_vars_ = num_rows_ = 0;
+}
+
+bool BinaryTableView::Open(const std::string& path) {
+  Close();
+  if (!binio::HostIsLittleEndian()) {
+    return false;  // the view aliases file bytes as host doubles
+  }
+  const unsigned char* base = nullptr;
+  uint64_t size = 0;
+  bool mapped = false;
+#if UNICORN_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    struct stat st;
+    if (::fstat(fd, &st) == 0 && st.st_size >= 0) {
+      size = static_cast<uint64_t>(st.st_size);
+      if (size > 0) {
+        void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+        if (map != MAP_FAILED) {
+          base = static_cast<const unsigned char*>(map);
+          mapped = true;
+        }
+      }
+    }
+    ::close(fd);
+  }
+#endif
+  if (base == nullptr) {
+    // Fallback: one read into an owned buffer (also the no-mmap build path).
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in) {
+      return false;
+    }
+    const std::streamoff end = in.tellg();
+    if (end < 0) {
+      return false;
+    }
+    size = static_cast<uint64_t>(end);
+    auto* buffer = new unsigned char[size > 0 ? size : 1];
+    in.seekg(0);
+    if (size > 0 && !in.read(reinterpret_cast<char*>(buffer), static_cast<std::streamsize>(size))) {
+      delete[] buffer;
+      return false;
+    }
+    base = buffer;
+    mapped = false;
+  }
+  Header h;
+  if (!ParseHeader(base, size, &h)) {
+#if UNICORN_HAVE_MMAP
+    if (mapped) {
+      ::munmap(const_cast<unsigned char*>(base), size);
+    } else {
+      delete[] base;
+    }
+#else
+    delete[] base;
+#endif
+    return false;
+  }
+  base_ = base;
+  file_size_ = size;
+  mapped_ = mapped;
+  num_options_ = h.num_options;
+  num_vars_ = h.num_vars;
+  num_rows_ = h.num_rows;
+  // payload_offset is 64, so the doubles are 8-byte aligned both in the
+  // page-aligned mapping and in the new[]'d buffer.
+  payload_ = reinterpret_cast<const double*>(base_ + h.payload_offset);
+  prov_offsets_ = base_ + h.prov_offset;
+  prov_blob_ = prov_offsets_ + (num_rows_ + 1) * 8;
+  return true;
+}
+
+std::string_view BinaryTableView::Provenance(size_t r) const {
+  const uint64_t begin = binio::LoadU64(prov_offsets_ + r * 8);
+  const uint64_t end = binio::LoadU64(prov_offsets_ + (r + 1) * 8);
+  return std::string_view(reinterpret_cast<const char*>(prov_blob_) + begin,
+                          static_cast<size_t>(end - begin));
+}
+
+void BinaryTableView::ReadRow(size_t r, std::vector<double>* out) const {
+  out->resize(num_vars_);
+  for (size_t v = 0; v < num_vars_; ++v) {
+    (*out)[v] = RowCol(v)[r];
+  }
+}
+
+bool LoadMeasurementTableBinary(const std::string& path, MeasurementTable* table) {
+  BinaryTableView view;
+  if (!view.Open(path)) {
+    return false;
+  }
+  table->num_options = view.num_options();
+  table->num_vars = view.num_vars();
+  table->entries.clear();
+  table->entries.resize(view.num_rows());
+  for (size_t r = 0; r < view.num_rows(); ++r) {
+    MeasurementTable::Entry& entry = table->entries[r];
+    entry.config.resize(view.num_options());
+    for (size_t c = 0; c < view.num_options(); ++c) {
+      entry.config[c] = view.ConfigCol(c)[r];
+    }
+    view.ReadRow(r, &entry.row);
+    entry.provenance = std::string(view.Provenance(r));
+  }
+  return true;
+}
+
+}  // namespace unicorn

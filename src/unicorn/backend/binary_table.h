@@ -1,0 +1,119 @@
+// Compact binary MeasurementTable format with zero-copy memory-mapped load.
+//
+// CSV stays the interchange format of the measurement plane; this is the
+// bulk format for tables too big to re-parse — recorded campaigns replayed
+// by RecordedBackend, engine warm starts via SeedFromFile. The two are
+// losslessly interconvertible (doubles are stored as their IEEE bit
+// patterns, provenance strings verbatim); tools/table_convert does the
+// round trip, and LoadMeasurementTable sniffs the magic so every CSV
+// call-site transparently accepts binary files too.
+//
+// unicorn-binary-table format, version 1 (all integers little-endian):
+//
+//   offset  size  field
+//        0     8  magic "UNICTBL1"
+//        8     4  endian marker 0x01020304 (wrong-endian files are rejected)
+//       12     4  reserved (0)
+//       16     8  u64 num_options
+//       24     8  u64 num_vars
+//       32     8  u64 num_rows
+//       40     8  u64 payload_offset (= 64; doubles stay 8-byte aligned)
+//       48     8  u64 prov_offset   (= payload_offset + payload bytes)
+//       56     8  u64 prov_bytes    (provenance blob size)
+//
+//   payload   column-major f64: num_options config columns, then num_vars
+//             row columns; column c starts at payload_offset + c*num_rows*8
+//   prov      (num_rows+1) u64 offsets into the blob (offsets[0] = 0,
+//             offsets[num_rows] = prov_bytes), then the concatenated
+//             provenance strings
+//
+// The file ends exactly at the provenance blob; any size mismatch, bad
+// bound, or non-monotonic offset rejects the whole file.
+#ifndef UNICORN_UNICORN_BACKEND_BINARY_TABLE_H_
+#define UNICORN_UNICORN_BACKEND_BINARY_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "unicorn/backend/measurement_table.h"
+
+namespace unicorn {
+
+/// Writes `table` to `path` in the binary format above.
+/// Failure: returns false on I/O failure or a malformed table (an entry
+/// whose config/row width disagrees with the declared shape).
+/// Thread-safety: safe for distinct paths; callers serialize same-path use.
+bool SaveMeasurementTableBinary(const std::string& path, const MeasurementTable& table);
+
+/// Same, streaming from a caller-owned entry list.
+bool SaveMeasurementTableBinary(const std::string& path, size_t num_options, size_t num_vars,
+                                const std::vector<MeasurementTable::Entry>& entries);
+
+/// True when the file at `path` starts with the binary-table magic.
+/// (I/O failure reads as false.)
+bool IsBinaryMeasurementTable(const std::string& path);
+
+/// Loads a binary table into `*table` (copying; use BinaryTableView to read
+/// without materializing entries). Failure: returns false — and leaves
+/// `*table` unspecified — on I/O failure, a bad or wrong-endian header,
+/// truncation, or an impossible shape.
+bool LoadMeasurementTableBinary(const std::string& path, MeasurementTable* table);
+
+/// Zero-copy view of a binary table: the payload doubles are read in place
+/// from the memory-mapped file (falling back to one read() into an owned
+/// buffer when mmap is unavailable); no per-entry vectors are materialized.
+/// Requires a little-endian host — Open fails otherwise, because the view
+/// aliases raw file bytes as doubles.
+/// Thread-safety: const after Open; safe to read concurrently.
+class BinaryTableView {
+ public:
+  BinaryTableView() = default;
+  ~BinaryTableView();
+  BinaryTableView(BinaryTableView&& other) noexcept;
+  BinaryTableView& operator=(BinaryTableView&& other) noexcept;
+  BinaryTableView(const BinaryTableView&) = delete;
+  BinaryTableView& operator=(const BinaryTableView&) = delete;
+
+  /// Maps and validates `path`. Returns false (leaving the view empty) on
+  /// any of the failures LoadMeasurementTableBinary rejects.
+  bool Open(const std::string& path);
+
+  size_t num_options() const { return num_options_; }
+  size_t num_vars() const { return num_vars_; }
+  size_t num_rows() const { return num_rows_; }
+  /// Whether the payload is served straight from the page cache (mmap) as
+  /// opposed to an owned in-memory copy.
+  bool mapped() const { return mapped_; }
+
+  /// Column `opt` of the config matrix (num_rows doubles, contiguous).
+  const double* ConfigCol(size_t opt) const { return payload_ + opt * num_rows_; }
+  /// Column `v` of the row matrix (num_rows doubles, contiguous).
+  const double* RowCol(size_t v) const {
+    return payload_ + (num_options_ + v) * num_rows_;
+  }
+  /// Provenance label of row `r` (points into the mapping; copy to keep).
+  std::string_view Provenance(size_t r) const;
+
+  /// Gathers row `r` of the row matrix into `*out` (resized to num_vars).
+  void ReadRow(size_t r, std::vector<double>* out) const;
+
+ private:
+  void Close();
+
+  const unsigned char* base_ = nullptr;  // mapping (or owned buffer) start
+  size_t file_size_ = 0;
+  bool mapped_ = false;  // true: munmap on close; false: delete[] buffer
+  size_t num_options_ = 0;
+  size_t num_vars_ = 0;
+  size_t num_rows_ = 0;
+  const double* payload_ = nullptr;
+  const unsigned char* prov_offsets_ = nullptr;  // (num_rows+1) u64 entries
+  const unsigned char* prov_blob_ = nullptr;
+};
+
+}  // namespace unicorn
+
+#endif  // UNICORN_UNICORN_BACKEND_BINARY_TABLE_H_

@@ -1,7 +1,10 @@
 #include "unicorn/backend/measurement_table.h"
 
-#include <cstdlib>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
 
+#include "unicorn/backend/binary_table.h"
 #include "util/csv.h"
 
 namespace unicorn {
@@ -10,20 +13,38 @@ namespace {
 constexpr const char* kMagicV1 = "unicorn-measurement-table-v1";
 constexpr const char* kMagicV2 = "unicorn-measurement-table-v2";
 
+// Locale-independent parse of one payload cell. std::from_chars always uses
+// the C locale's decimal point, so a 17-digit round trip survives any
+// LC_NUMERIC setting (strtod would read "1.5" as 1.0 under a comma locale).
+// Non-finite cells are rejected: a NaN or Inf absorbed into the streaming
+// moments poisons every correlation downstream, so a file carrying one is
+// malformed, not data.
+bool ParseCell(const std::string& field, double* out) {
+  const char* begin = field.data();
+  const char* end = begin + field.size();
+  const auto result = std::from_chars(begin, end, *out);
+  return result.ec == std::errc() && result.ptr == end && std::isfinite(*out);
+}
+
 bool ParseDoubles(const std::vector<std::string>& fields, size_t begin, size_t count,
                   std::vector<double>* out) {
   out->clear();
   out->reserve(count);
   for (size_t i = begin; i < begin + count; ++i) {
-    const char* text = fields[i].c_str();
-    char* end = nullptr;
-    const double value = std::strtod(text, &end);
-    if (end == text || *end != '\0') {
+    double value;
+    if (!ParseCell(fields[i], &value)) {
       return false;
     }
     out->push_back(value);
   }
   return true;
+}
+
+bool ParseCount(const std::string& field, size_t* out) {
+  const char* begin = field.data();
+  const char* end = begin + field.size();
+  const auto result = std::from_chars(begin, end, *out);
+  return result.ec == std::errc() && result.ptr == end;
 }
 
 void FormatDoubles(const std::vector<double>& values, std::vector<std::string>* out) {
@@ -73,6 +94,11 @@ bool SaveMeasurementTable(const std::string& path, size_t num_options, size_t nu
 }
 
 bool LoadMeasurementTable(const std::string& path, MeasurementTable* table) {
+  // One loader for both on-disk formats: the binary bulk format announces
+  // itself with an 8-byte magic, everything else parses as v1/v2 CSV.
+  if (IsBinaryMeasurementTable(path)) {
+    return LoadMeasurementTableBinary(path, table);
+  }
   CsvReader reader(path);
   if (!reader.ok()) {
     return false;
@@ -85,8 +111,9 @@ bool LoadMeasurementTable(const std::string& path, MeasurementTable* table) {
   if (!v2 && fields[0] != kMagicV1) {
     return false;
   }
-  table->num_options = std::strtoul(fields[1].c_str(), nullptr, 10);
-  table->num_vars = std::strtoul(fields[2].c_str(), nullptr, 10);
+  if (!ParseCount(fields[1], &table->num_options) || !ParseCount(fields[2], &table->num_vars)) {
+    return false;
+  }
   table->entries.clear();
   if (table->num_options == 0 || table->num_vars < table->num_options) {
     return false;

@@ -60,9 +60,12 @@ bool SaveMeasurementTable(const std::string& path, const MeasurementTable& table
 bool SaveMeasurementTable(const std::string& path, size_t num_options, size_t num_vars,
                           const std::vector<MeasurementTable::Entry>& entries);
 
-/// Loads a v1 or v2 table from `path` into `*table`.
+/// Loads a v1 or v2 CSV table — or, transparently, a binary table (see
+/// unicorn/backend/binary_table.h; the format is sniffed from the magic) —
+/// from `path` into `*table`.
 /// Failure: returns false — and leaves `*table` unspecified — on I/O
-/// failure, a bad header, a malformed record, or an impossible shape
+/// failure, a bad header, a malformed record (including non-finite payload
+/// cells, which would poison the streaming moments), or an impossible shape
 /// (zero options, or fewer variables than options).
 bool LoadMeasurementTable(const std::string& path, MeasurementTable* table);
 

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cmath>
 
+#include "unicorn/backend/binary_table.h"
 #include "util/hash.h"
 #include "util/rng.h"
 
@@ -67,6 +68,31 @@ size_t CausalModelEngine::SeedFromTable(const MeasurementTable& table,
 }
 
 size_t CausalModelEngine::SeedFromFile(const std::string& path, RowProvenance provenance) {
+  if (IsBinaryMeasurementTable(path)) {
+    // Zero-copy warm start: stream rows straight out of the mapped payload
+    // instead of materializing a MeasurementTable (two vectors per entry).
+    BinaryTableView view;
+    if (!view.Open(path)) {
+      return 0;
+    }
+    if (view.num_vars() != data_.NumVars()) {
+      return 0;  // same rejection rules as SeedFromTable
+    }
+    size_t options = 0;
+    for (VarRole role : constraints_.roles()) {
+      options += role == VarRole::kOption ? 1 : 0;
+    }
+    if (view.num_options() != options) {
+      return 0;
+    }
+    Reserve(data_.NumRows() + view.num_rows());
+    std::vector<double> row;
+    for (size_t r = 0; r < view.num_rows(); ++r) {
+      view.ReadRow(r, &row);
+      AddRow(row, provenance);
+    }
+    return view.num_rows();
+  }
   MeasurementTable table;
   if (!LoadMeasurementTable(path, &table)) {
     return 0;
@@ -74,15 +100,23 @@ size_t CausalModelEngine::SeedFromFile(const std::string& path, RowProvenance pr
   return SeedFromTable(table, provenance);
 }
 
-void CausalModelEngine::Reserve(size_t rows) { data_.Reserve(rows); }
+void CausalModelEngine::Reserve(size_t rows) {
+  data_.Reserve(rows);
+  // Keep every parallel per-row vector on the same reservation so hot-loop
+  // seeding never reallocates mid-append.
+  row_provenance_.reserve(rows);
+}
 
-size_t CausalModelEngine::ComputeDirtyPairs(std::vector<char>* dirty) const {
+size_t CausalModelEngine::ComputeDirtyPairs(std::vector<char>* dirty,
+                                            const std::vector<double>& current) const {
   const size_t n = data_.NumVars();
   dirty->assign(n * n, 0);
   // Per-variable staleness: the largest move of any streaming Pearson
   // correlation involving the variable since the last refresh. The streaming
   // raw-value correlations are a cheap O(1)-per-pair proxy for the rank
-  // correlations and contingency tables the CI tests actually use.
+  // correlations and contingency tables the CI tests actually use; the
+  // batched scan in `current` carries bit-identical values to per-pair
+  // Pearson calls.
   std::vector<double> delta(n, 0.0);
   size_t tri = 0;
   for (size_t a = 0; a < n; ++a) {
@@ -90,7 +124,7 @@ size_t CausalModelEngine::ComputeDirtyPairs(std::vector<char>* dirty) const {
       if (a == b) {
         continue;
       }
-      const double d = std::fabs(moments_.Pearson(a, b) - corr_snapshot_[tri]);
+      const double d = std::fabs(current[tri] - corr_snapshot_[tri]);
       if (d > delta[a]) {
         delta[a] = d;
       }
@@ -120,17 +154,6 @@ size_t CausalModelEngine::ComputeDirtyPairs(std::vector<char>* dirty) const {
   return clean;
 }
 
-void CausalModelEngine::SnapshotCorrelations() {
-  const size_t n = data_.NumVars();
-  corr_snapshot_.resize(n * (n + 1) / 2);
-  size_t tri = 0;
-  for (size_t a = 0; a < n; ++a) {
-    for (size_t b = a; b < n; ++b, ++tri) {
-      corr_snapshot_[tri] = a == b ? 1.0 : moments_.Pearson(a, b);
-    }
-  }
-}
-
 const LearnedModel& CausalModelEngine::Refresh() {
   return Refresh(model_options_.seed + static_cast<uint64_t>(stats_.refreshes));
 }
@@ -144,12 +167,19 @@ const LearnedModel& CausalModelEngine::Refresh(uint64_t seed) {
                     (engine_options_.full_refresh_every == 0 ||
                      stats_.refreshes % engine_options_.full_refresh_every != 0);
 
+  // One batched correlation scan serves both the dirty-pair detection and
+  // the end-of-refresh snapshot: the data cannot change mid-refresh, so the
+  // correlations computed here are exactly the ones the old per-pair
+  // snapshot would have recomputed afterwards.
+  std::vector<double> correlations;
+  moments_.PearsonUpperTri(&correlations);
+
   std::vector<char> dirty;
   SkeletonWarmStart warm_start;
   EdgeDecisionMap entropic_reuse;
   size_t reused = 0;
   if (warm) {
-    reused = ComputeDirtyPairs(&dirty);
+    reused = ComputeDirtyPairs(&dirty, correlations);
     warm_start.graph = &model_.admg;
     warm_start.sepsets = &sepsets_;
     warm_start.pair_dirty = &dirty;
@@ -197,7 +227,7 @@ const LearnedModel& CausalModelEngine::Refresh(uint64_t seed) {
   model_.admg = std::move(fci.pag);
   sepsets_ = std::move(fci.sepsets);
   entropic_decisions_ = std::move(decisions);
-  SnapshotCorrelations();
+  corr_snapshot_ = std::move(correlations);
   estimator_.reset();
   has_model_ = true;
 

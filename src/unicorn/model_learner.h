@@ -140,8 +140,9 @@ class CausalModelEngine {
   // table; the engine is untouched on rejection).
   size_t SeedFromTable(const MeasurementTable& table,
                        RowProvenance provenance = RowProvenance::kSource);
-  // Convenience: LoadMeasurementTable + SeedFromTable. Returns 0 on I/O or
-  // parse failure too.
+  // Convenience: LoadMeasurementTable + SeedFromTable. Binary tables (see
+  // unicorn/backend/binary_table.h) stream zero-copy from the mapped file
+  // instead of materializing entries. Returns 0 on I/O or parse failure too.
   size_t SeedFromFile(const std::string& path,
                       RowProvenance provenance = RowProvenance::kSource);
   // Pre-allocates storage for `rows` total measurements.
@@ -189,9 +190,11 @@ class CausalModelEngine {
 
  private:
   // Marks pairs whose endpoints' streaming correlation profile moved more
-  // than stale_epsilon since the last refresh. Returns the clean-pair count.
-  size_t ComputeDirtyPairs(std::vector<char>* dirty) const;
-  void SnapshotCorrelations();
+  // than stale_epsilon since the last refresh, comparing the batched
+  // correlation scan `current` (PearsonUpperTri layout) against the last
+  // snapshot. Returns the clean-pair count.
+  size_t ComputeDirtyPairs(std::vector<char>* dirty,
+                           const std::vector<double>& current) const;
 
   CausalModelOptions model_options_;
   EngineOptions engine_options_;

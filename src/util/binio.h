@@ -1,0 +1,106 @@
+// Little-endian binary I/O helpers shared by the persisted binary formats
+// (the binary MeasurementTable and the CI-cache snapshot).
+//
+// All on-disk integers are fixed-width little-endian; doubles are the IEEE
+// bit pattern of the value, moved via memcpy. Writers serialize field by
+// field (never whole structs), so padding and ABI layout can't leak into the
+// formats. Readers bounds-check before every access; these helpers only
+// move bytes.
+#ifndef UNICORN_UTIL_BINIO_H_
+#define UNICORN_UTIL_BINIO_H_
+
+#include <cstdint>
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+namespace unicorn {
+namespace binio {
+
+// The byte-order probe written into every binary header. A reader on a
+// different-endian host sees the bytes reversed and rejects the file rather
+// than silently mis-reading every value.
+inline constexpr uint32_t kEndianMarker = 0x01020304u;
+
+inline void WriteU32(std::ostream& out, uint32_t v) {
+  unsigned char b[4];
+  b[0] = static_cast<unsigned char>(v);
+  b[1] = static_cast<unsigned char>(v >> 8);
+  b[2] = static_cast<unsigned char>(v >> 16);
+  b[3] = static_cast<unsigned char>(v >> 24);
+  out.write(reinterpret_cast<const char*>(b), 4);
+}
+
+inline void WriteU64(std::ostream& out, uint64_t v) {
+  unsigned char b[8];
+  for (int i = 0; i < 8; ++i) {
+    b[i] = static_cast<unsigned char>(v >> (8 * i));
+  }
+  out.write(reinterpret_cast<const char*>(b), 8);
+}
+
+inline void WriteDouble(std::ostream& out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  WriteU64(out, bits);
+}
+
+inline bool ReadU32(std::istream& in, uint32_t* v) {
+  unsigned char b[4];
+  if (!in.read(reinterpret_cast<char*>(b), 4)) {
+    return false;
+  }
+  *v = static_cast<uint32_t>(b[0]) | (static_cast<uint32_t>(b[1]) << 8) |
+       (static_cast<uint32_t>(b[2]) << 16) | (static_cast<uint32_t>(b[3]) << 24);
+  return true;
+}
+
+inline bool ReadU64(std::istream& in, uint64_t* v) {
+  unsigned char b[8];
+  if (!in.read(reinterpret_cast<char*>(b), 8)) {
+    return false;
+  }
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<uint64_t>(b[i]) << (8 * i);
+  }
+  *v = out;
+  return true;
+}
+
+inline bool ReadDouble(std::istream& in, double* v) {
+  uint64_t bits;
+  if (!ReadU64(in, &bits)) {
+    return false;
+  }
+  std::memcpy(v, &bits, sizeof(*v));
+  return true;
+}
+
+// In-memory (mmap'd buffer) readers: the caller has already bounds-checked.
+inline uint32_t LoadU32(const unsigned char* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
+}
+
+inline uint64_t LoadU64(const unsigned char* p) {
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<uint64_t>(p[i]) << (8 * i);
+  }
+  return out;
+}
+
+// Whether this host stores doubles/integers little-endian (the only layout
+// the zero-copy binary table view can alias directly).
+inline bool HostIsLittleEndian() {
+  const uint32_t probe = kEndianMarker;
+  unsigned char bytes[4];
+  std::memcpy(bytes, &probe, 4);
+  return bytes[0] == 0x04;
+}
+
+}  // namespace binio
+}  // namespace unicorn
+
+#endif  // UNICORN_UTIL_BINIO_H_

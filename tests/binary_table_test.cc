@@ -1,0 +1,374 @@
+// The compact binary MeasurementTable format and its consumers: lossless
+// CSV <-> binary round trips, strict header/truncation rejection, zero-copy
+// views, engine warm starts, and CICache snapshot persistence.
+#include "unicorn/backend/binary_table.h"
+
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/ci_cache.h"
+#include "stats/table.h"
+#include "unicorn/backend/measurement_table.h"
+#include "unicorn/model_learner.h"
+
+namespace unicorn {
+namespace {
+
+std::string TempPath(const std::string& name) { return ::testing::TempDir() + name; }
+
+// A table with bit-pattern-hostile doubles (non-terminating binary fractions,
+// negative zero, extreme exponents) and mixed provenance strings.
+MeasurementTable AwkwardTable() {
+  MeasurementTable table;
+  table.num_options = 2;
+  table.num_vars = 4;
+  table.entries = {
+      {{0.1, 1.0 / 3.0}, {0.1, 1.0 / 3.0, -0.0, 1e-300}, "source-a"},
+      {{2.0, 0.2}, {2.0, 0.2, 1e300, -7.625}, ""},
+      {{-1.5, 3.0}, {-1.5, 3.0, 5e-324, 0.30000000000000004}, "target,with\"quotes\""},
+  };
+  return table;
+}
+
+void ExpectTablesBitIdentical(const MeasurementTable& a, const MeasurementTable& b) {
+  ASSERT_EQ(a.num_options, b.num_options);
+  ASSERT_EQ(a.num_vars, b.num_vars);
+  ASSERT_EQ(a.entries.size(), b.entries.size());
+  for (size_t e = 0; e < a.entries.size(); ++e) {
+    ASSERT_EQ(a.entries[e].config.size(), b.entries[e].config.size());
+    ASSERT_EQ(a.entries[e].row.size(), b.entries[e].row.size());
+    for (size_t i = 0; i < a.entries[e].config.size(); ++i) {
+      // EXPECT_EQ would call -0.0 == 0.0 equal; compare the bit patterns.
+      EXPECT_EQ(std::signbit(a.entries[e].config[i]), std::signbit(b.entries[e].config[i]));
+      EXPECT_EQ(a.entries[e].config[i], b.entries[e].config[i]);
+    }
+    for (size_t i = 0; i < a.entries[e].row.size(); ++i) {
+      EXPECT_EQ(std::signbit(a.entries[e].row[i]), std::signbit(b.entries[e].row[i]));
+      EXPECT_EQ(a.entries[e].row[i], b.entries[e].row[i]);
+    }
+    EXPECT_EQ(a.entries[e].provenance, b.entries[e].provenance);
+  }
+}
+
+TEST(BinaryTable, RoundTripsBitExactly) {
+  const MeasurementTable table = AwkwardTable();
+  const std::string path = TempPath("bt_roundtrip.bin");
+  ASSERT_TRUE(SaveMeasurementTableBinary(path, table));
+  EXPECT_TRUE(IsBinaryMeasurementTable(path));
+
+  MeasurementTable loaded;
+  ASSERT_TRUE(LoadMeasurementTableBinary(path, &loaded));
+  ExpectTablesBitIdentical(table, loaded);
+
+  // The generic loader sniffs the magic and accepts the binary file too.
+  MeasurementTable sniffed;
+  ASSERT_TRUE(LoadMeasurementTable(path, &sniffed));
+  ExpectTablesBitIdentical(table, sniffed);
+}
+
+TEST(BinaryTable, CsvBinaryCsvIsLossless) {
+  const MeasurementTable table = AwkwardTable();
+  const std::string csv1 = TempPath("bt_lossless_1.csv");
+  const std::string bin = TempPath("bt_lossless.bin");
+  const std::string csv2 = TempPath("bt_lossless_2.csv");
+
+  ASSERT_TRUE(SaveMeasurementTable(csv1, table));
+  EXPECT_FALSE(IsBinaryMeasurementTable(csv1));
+  MeasurementTable from_csv;
+  ASSERT_TRUE(LoadMeasurementTable(csv1, &from_csv));
+  ASSERT_TRUE(SaveMeasurementTableBinary(bin, from_csv));
+  MeasurementTable from_bin;
+  ASSERT_TRUE(LoadMeasurementTable(bin, &from_bin));
+  ASSERT_TRUE(SaveMeasurementTable(csv2, from_bin));
+  MeasurementTable final_table;
+  ASSERT_TRUE(LoadMeasurementTable(csv2, &final_table));
+  ExpectTablesBitIdentical(table, final_table);
+}
+
+TEST(BinaryTable, V1CsvConvertsToBinary) {
+  // v1 header, no provenance column. The binary file must load back with
+  // the same payload and empty provenance.
+  const std::string csv = TempPath("bt_v1.csv");
+  {
+    std::ofstream out(csv);
+    out << "unicorn-measurement-table-v1,1,2\n";
+    out << "0.5,0.5,12.25\n";
+    out << "1.5,1.5,-3.75\n";
+  }
+  MeasurementTable table;
+  ASSERT_TRUE(LoadMeasurementTable(csv, &table));
+  ASSERT_EQ(table.entries.size(), 2u);
+  const std::string bin = TempPath("bt_v1.bin");
+  ASSERT_TRUE(SaveMeasurementTableBinary(bin, table));
+  MeasurementTable loaded;
+  ASSERT_TRUE(LoadMeasurementTable(bin, &loaded));
+  ExpectTablesBitIdentical(table, loaded);
+  EXPECT_EQ(loaded.entries[0].provenance, "");
+}
+
+TEST(BinaryTable, ViewReadsZeroCopy) {
+  const MeasurementTable table = AwkwardTable();
+  const std::string path = TempPath("bt_view.bin");
+  ASSERT_TRUE(SaveMeasurementTableBinary(path, table));
+
+  BinaryTableView view;
+  ASSERT_TRUE(view.Open(path));
+  EXPECT_EQ(view.num_options(), table.num_options);
+  EXPECT_EQ(view.num_vars(), table.num_vars);
+  EXPECT_EQ(view.num_rows(), table.entries.size());
+  for (size_t r = 0; r < view.num_rows(); ++r) {
+    for (size_t o = 0; o < view.num_options(); ++o) {
+      EXPECT_EQ(view.ConfigCol(o)[r], table.entries[r].config[o]);
+    }
+    for (size_t v = 0; v < view.num_vars(); ++v) {
+      EXPECT_EQ(view.RowCol(v)[r], table.entries[r].row[v]);
+    }
+    EXPECT_EQ(view.Provenance(r), table.entries[r].provenance);
+    std::vector<double> row;
+    view.ReadRow(r, &row);
+    ASSERT_EQ(row.size(), table.num_vars);
+    for (size_t v = 0; v < row.size(); ++v) {
+      EXPECT_EQ(row[v], table.entries[r].row[v]);
+    }
+  }
+}
+
+TEST(BinaryTable, RejectsCorruptHeaders) {
+  const MeasurementTable table = AwkwardTable();
+  const std::string path = TempPath("bt_good.bin");
+  ASSERT_TRUE(SaveMeasurementTableBinary(path, table));
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  }
+  ASSERT_GE(bytes.size(), size_t{64});
+
+  const auto write_and_reject = [&](const std::string& mutated, const char* what) {
+    const std::string bad = TempPath("bt_bad.bin");
+    std::ofstream out(bad, std::ios::binary);
+    out.write(mutated.data(), static_cast<std::streamsize>(mutated.size()));
+    out.close();
+    MeasurementTable t;
+    EXPECT_FALSE(LoadMeasurementTableBinary(bad, &t)) << what;
+    BinaryTableView view;
+    EXPECT_FALSE(view.Open(bad)) << what;
+  };
+
+  {
+    std::string bad = bytes;
+    bad[0] = 'X';  // wrong magic
+    write_and_reject(bad, "magic");
+  }
+  {
+    // Byte-swapped endian marker: a big-endian writer's file.
+    std::string bad = bytes;
+    std::swap(bad[8], bad[11]);
+    std::swap(bad[9], bad[10]);
+    write_and_reject(bad, "endianness");
+  }
+  {
+    std::string bad = bytes;
+    bad[40] = 0x10;  // payload_offset != 64
+    write_and_reject(bad, "payload offset");
+  }
+  {
+    std::string bad = bytes;
+    bad[16] = 0;  // num_options = 0
+    write_and_reject(bad, "zero options");
+  }
+  {
+    std::string bad = bytes;
+    bad[32] = static_cast<char>(0xFF);  // num_rows inflated past the file
+    write_and_reject(bad, "row count");
+  }
+}
+
+TEST(BinaryTable, RejectsTruncation) {
+  const MeasurementTable table = AwkwardTable();
+  const std::string path = TempPath("bt_trunc_src.bin");
+  ASSERT_TRUE(SaveMeasurementTableBinary(path, table));
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  }
+  // Cut inside the header, the payload, the offsets, and the final blob —
+  // every prefix must be rejected (the format has no valid proper prefix
+  // with the same header, because prov_bytes pins the exact file size).
+  for (size_t cut : {size_t{10}, size_t{63}, size_t{64}, bytes.size() / 2, bytes.size() - 1}) {
+    const std::string bad_path = TempPath("bt_trunc.bin");
+    std::ofstream out(bad_path, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(cut));
+    out.close();
+    MeasurementTable t;
+    EXPECT_FALSE(LoadMeasurementTableBinary(bad_path, &t)) << "cut=" << cut;
+    BinaryTableView view;
+    EXPECT_FALSE(view.Open(bad_path)) << "cut=" << cut;
+  }
+  // Trailing garbage is a size mismatch too.
+  const std::string padded = TempPath("bt_padded.bin");
+  std::ofstream out(padded, std::ios::binary);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.put('\0');
+  out.close();
+  MeasurementTable t;
+  EXPECT_FALSE(LoadMeasurementTableBinary(padded, &t));
+}
+
+std::vector<Variable> EngineVariables() {
+  return {
+      {"o0", VarType::kDiscrete, VarRole::kOption, {0, 1, 2}},
+      {"o1", VarType::kDiscrete, VarRole::kOption, {0, 1}},
+      {"e0", VarType::kContinuous, VarRole::kEvent, {}},
+      {"y", VarType::kContinuous, VarRole::kObjective, {}},
+  };
+}
+
+MeasurementTable EngineSeedTable() {
+  MeasurementTable table;
+  table.num_options = 2;
+  table.num_vars = 4;
+  for (int r = 0; r < 40; ++r) {
+    MeasurementTable::Entry entry;
+    const double o0 = r % 3;
+    const double o1 = r % 2;
+    entry.config = {o0, o1};
+    entry.row = {o0, o1, 0.25 * r + 0.1 * o0, 1.75 * o0 - o1 + 0.01 * r};
+    entry.provenance = "source-env";
+    table.entries.push_back(entry);
+  }
+  return table;
+}
+
+TEST(BinaryTable, SeedFromFileBinaryMatchesCsv) {
+  const MeasurementTable table = EngineSeedTable();
+  const std::string csv = TempPath("bt_seed.csv");
+  const std::string bin = TempPath("bt_seed.bin");
+  ASSERT_TRUE(SaveMeasurementTable(csv, table));
+  ASSERT_TRUE(SaveMeasurementTableBinary(bin, table));
+
+  CausalModelEngine from_csv(EngineVariables());
+  CausalModelEngine from_bin(EngineVariables());
+  ASSERT_EQ(from_csv.SeedFromFile(csv), table.entries.size());
+  ASSERT_EQ(from_bin.SeedFromFile(bin), table.entries.size());
+
+  // The zero-copy path must absorb bit-identical rows in the same order:
+  // the chained fingerprints agree iff every row bit-matches.
+  EXPECT_EQ(from_csv.data_fingerprint(), from_bin.data_fingerprint());
+  EXPECT_EQ(from_bin.ProvenanceRows(RowProvenance::kSource), table.entries.size());
+}
+
+TEST(BinaryTable, SeedFromFileRejectsWrongShape) {
+  MeasurementTable table = EngineSeedTable();
+  table.num_options = 1;  // same width, different task
+  table.num_vars = 4;
+  for (auto& entry : table.entries) {
+    entry.config.resize(1);
+  }
+  const std::string bin = TempPath("bt_seed_badshape.bin");
+  ASSERT_TRUE(SaveMeasurementTableBinary(bin, table));
+  CausalModelEngine engine(EngineVariables());
+  EXPECT_EQ(engine.SeedFromFile(bin), 0u);
+  EXPECT_EQ(engine.data().NumRows(), 0u);
+}
+
+TEST(CICachePersistence, SaveLoadRoundTrip) {
+  CICache cache;
+  const uint64_t tag = 0xfeedbeef12345678ULL;
+  const auto k1 = CICache::MakeKey(3, 7, {1, 2}, 500, tag);
+  const auto k2 = CICache::MakeKey(0, 4, {}, 500, tag);
+  const auto k3 = CICache::MakeKey(2, 9, {0, 1, 3, 5}, 750, tag);
+  cache.Store(k1, 0.125, 1);
+  cache.Store(k2, 0.875, 2);
+  cache.Store(k3, 1.0, 1);
+
+  const std::string path = TempPath("ci_cache_snapshot.bin");
+  ASSERT_TRUE(cache.SaveTo(path));
+
+  CICache restored;
+  EXPECT_EQ(restored.LoadFrom(path, 9), 3);
+  EXPECT_EQ(restored.size(), size_t{3});
+  auto h1 = restored.Lookup(k1);
+  auto h2 = restored.Lookup(k2);
+  auto h3 = restored.Lookup(k3);
+  ASSERT_TRUE(h1 && h2 && h3);
+  EXPECT_EQ(*h1, 0.125);
+  EXPECT_EQ(*h2, 0.875);
+  EXPECT_EQ(*h3, 1.0);
+  // Loaded entries belong to the loading shard: a different shard's lookup
+  // counts as cross-shard.
+  auto hit = restored.LookupFrom(k1, 4);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->cross_shard);
+  auto same = restored.LookupFrom(k2, 9);
+  ASSERT_TRUE(same.has_value());
+  EXPECT_FALSE(same->cross_shard);
+}
+
+TEST(CICachePersistence, RejectsForeignAndTruncatedFiles) {
+  CICache cache;
+  EXPECT_EQ(cache.LoadFrom(TempPath("ci_cache_missing.bin")), -1);
+
+  const std::string garbage = TempPath("ci_cache_garbage.bin");
+  {
+    std::ofstream out(garbage, std::ios::binary);
+    out << "this is not a cache snapshot";
+  }
+  EXPECT_EQ(cache.LoadFrom(garbage), -1);
+  EXPECT_EQ(cache.size(), size_t{0});
+
+  // A valid snapshot cut mid-record must come back -1, not a short count.
+  CICache full;
+  full.Store(CICache::MakeKey(1, 2, {3}, 100, 42), 0.5);
+  full.Store(CICache::MakeKey(4, 5, {6}, 100, 42), 0.25);
+  const std::string path = TempPath("ci_cache_trunc_src.bin");
+  ASSERT_TRUE(full.SaveTo(path));
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  }
+  const std::string trunc = TempPath("ci_cache_trunc.bin");
+  {
+    std::ofstream out(trunc, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 5));
+  }
+  CICache target;
+  EXPECT_EQ(target.LoadFrom(trunc), -1);
+}
+
+TEST(DataTableReserve, HintSticksAndPropagates) {
+  std::vector<Variable> vars = EngineVariables();
+  DataTable t(vars);
+  EXPECT_EQ(t.ReservedRows(), size_t{0});
+  t.Reserve(128);
+  EXPECT_EQ(t.ReservedRows(), size_t{128});
+  t.Reserve(64);  // shrinking hints are ignored
+  EXPECT_EQ(t.ReservedRows(), size_t{128});
+  for (int r = 0; r < 10; ++r) {
+    t.AddRow({0, 1, 2.5, 3.5});
+  }
+  const DataTable sel_vars = t.SelectVars({0, 2});
+  EXPECT_EQ(sel_vars.ReservedRows(), size_t{128});
+  const DataTable sel_rows = t.SelectRows({0, 2, 4});
+  EXPECT_EQ(sel_rows.ReservedRows(), size_t{128});
+}
+
+TEST(EngineReserve, CoversProvenanceVector) {
+  CausalModelEngine engine(EngineVariables());
+  engine.Reserve(256);
+  for (int r = 0; r < 20; ++r) {
+    engine.AddRow({0, 1, 0.5 * r, 1.0 * r}, RowProvenance::kTarget);
+  }
+  EXPECT_EQ(engine.data().ReservedRows(), size_t{256});
+  EXPECT_EQ(engine.ProvenanceRows(RowProvenance::kTarget), size_t{20});
+}
+
+}  // namespace
+}  // namespace unicorn
