@@ -1,0 +1,616 @@
+// Pipelined campaign scheduler study: overlap fleet measurement with
+// cross-policy shard refreshes (CampaignOptions::pipeline) — plus the
+// >10^6-row binary-table ingest stress.
+//
+// Sections:
+//   (a) pipeline vs barrier — a mixed 16-tenant campaign (4 heavy-refresh
+//       DebugPolicys + 12 light, high-cadence OptimizePolicys, one objective
+//       group each) over 4 sleeping simulated devices. The barrier loop
+//       (pipeline=false, the pre-pipeline RunAsyncGrouped) refreshes inline
+//       on the campaign thread, so every light policy's absorb-and-resubmit
+//       stalls behind whichever heavy refresh is running and the fleet
+//       starves; the pipelined scheduler hands refreshes to the pool's
+//       workers and keeps the fleet fed. On a single-core host the refresh
+//       CPU is identical either way — the speedup is pure overlap, and the
+//       pool's ledger (overlap_seconds, widest_cross_policy_batch) shows it.
+//       The bench SELF-VERIFIES bit-identity: every run's per-shard table
+//       fingerprints and per-policy results must equal the synchronous
+//       RunGrouped oracle's, and the binary exits non-zero on divergence or
+//       (full mode) on speedup < 1.8x.
+//   (b) refresh-thread sweep — pipelined wall at refresh_threads {1,4} x
+//       pin_refresh_threads {off,on} (ThreadPool::Options::pin_threads),
+//       all bit-identical to the oracle.
+//   (c) UNICTBL1 ingest stress — a >10^6-row binary table written with the
+//       streaming BinaryTableWriter, mmap'd zero-copy (BinaryTableView) and
+//       seeded into an engine via SeedFromFile, with load-time and peak-RSS
+//       bounds (a regression to per-entry materialization costs ~5x the
+//       payload and trips the RSS gate).
+//
+// `--smoke` shrinks everything for CI (bit-identity and ledger gates stay
+// on; the 1.8x gate is full-mode only — smoke runs are too short to time).
+// `--json <path>` writes BENCH_table_pipeline.json.
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+#include "eval/harness.h"
+#include "sysmodel/faults.h"
+#include "sysmodel/systems.h"
+#include "unicorn/backend/backend_fleet.h"
+#include "unicorn/backend/binary_table.h"
+#include "unicorn/campaign.h"
+#include "unicorn/debugger.h"
+#include "unicorn/optimizer.h"
+#include "util/text_table.h"
+
+namespace unicorn {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr uint64_t kTaskSeed = 1120;
+constexpr int kDevices = 4;
+
+struct Setup {
+  std::shared_ptr<SystemModel> model;
+  PerformanceTask task;
+  FaultCuration curation;
+  const Fault* fault = nullptr;
+  std::vector<ObjectiveGoal> goals;
+  size_t heavy = 0;           // heavy-refresh DebugPolicys
+  size_t light = 0;           // light OptimizePolicys
+  double service_time = 0.0;  // per-row simulated device service time
+  // One transferred table per tenant (distinct seeds): warm rows enter the
+  // engine as kSource provenance with zero fleet cost, so they are the
+  // refresh-cost lever — CI-test cost scales with the shard's rows. Heavy
+  // tenants get big tables (multi-hundred-ms refreshes every repair round),
+  // lights small ones (tens-of-ms refreshes on a staggered relearn cadence),
+  // spreading refresh demand across the whole campaign instead of
+  // concentrating it in the opening rounds. Shared (by pointer) across all
+  // modes, so bit-identity is unaffected.
+  std::vector<DataTable> warm;        // one per heavy tenant
+  std::vector<DataTable> warm_light;  // one per light tenant
+};
+
+// The tenants' transferred tables, all derived from one simulator-measured
+// base that provides the dependence structure: each table draws seeded
+// jittered resamples of the base (event/objective columns perturbed ±0.5%,
+// configs verbatim), so sixteen tables cost 2k simulator calls total while
+// the CI tests still stream realistically correlated columns.
+using WarmBase = std::vector<std::vector<double>>;
+
+WarmBase MakeWarmBase(const PerformanceTask& task, uint64_t seed) {
+  WarmBase base;
+  Rng rng(seed);
+  base.reserve(2000);
+  for (size_t i = 0; i < 2000; ++i) {
+    base.push_back(task.measure(task.sample_config(&rng)));
+  }
+  return base;
+}
+
+DataTable DeriveWarmTable(const PerformanceTask& task, const WarmBase& base, size_t rows,
+                          uint64_t seed) {
+  DataTable table(task.variables);
+  Rng rng(seed);
+  std::vector<bool> is_option(task.variables.size(), false);
+  for (size_t v : task.option_vars) {
+    is_option[v] = true;
+  }
+  for (size_t i = 0; i < rows; ++i) {
+    std::vector<double> row = base[rng.UniformInt(base.size())];
+    for (size_t v = 0; v < row.size(); ++v) {
+      if (!is_option[v]) {
+        row[v] *= 1.0 + rng.Uniform(-0.005, 0.005);
+      }
+    }
+    table.AddRow(row);
+  }
+  return table;
+}
+
+Setup MakeSetup(bool smoke) {
+  Setup s;
+  SystemSpec spec;
+  spec.num_events = smoke ? 8 : 12;
+  s.model = std::make_shared<SystemModel>(BuildSystem(SystemId::kXception, spec));
+  Rng rng(1121);
+  s.curation =
+      CurateFaults(*s.model, Tx2(), DefaultWorkload(), smoke ? 400 : 1200, &rng, 0.97);
+  s.task = MakeSimulatedTask(s.model, Tx2(), DefaultWorkload(), kTaskSeed);
+  for (const auto& f : s.curation.faults) {
+    if (!f.root_causes.empty()) {
+      s.fault = &f;
+      break;
+    }
+  }
+  if (s.fault != nullptr) {
+    s.goals = GoalsForFault(s.curation, *s.fault, 0.03);
+    // Make the goals unattainable (1% of the already-strict 3rd-percentile
+    // target): a lucky first-round repair would otherwise retire a heavy
+    // tenant early and with it the steady refresh cadence this study times.
+    // Badness stays monotone in the objective, so the repair loop's
+    // improvement tracking is unaffected.
+    for (auto& goal : s.goals) {
+      goal.threshold *= 0.01;
+    }
+  }
+  s.heavy = smoke ? 2 : 4;
+  s.light = smoke ? 4 : 12;
+  s.service_time = smoke ? 0.002 : 0.100;
+  const size_t warm_rows = smoke ? 600 : 24000;
+  const size_t warm_light_rows = smoke ? 120 : 150;
+  const WarmBase base = MakeWarmBase(s.task, 499);
+  for (size_t i = 0; i < s.heavy; ++i) {
+    s.warm.push_back(DeriveWarmTable(s.task, base, warm_rows, 500 + i));
+  }
+  for (size_t i = 0; i < s.light; ++i) {
+    s.warm_light.push_back(DeriveWarmTable(s.task, base, warm_light_rows, 600 + i));
+  }
+  return s;
+}
+
+// Heavy tenants: refresh every round, and every refresh is expensive —
+// generous bootstrap and search knobs so one refresh takes long enough to
+// starve the barrier loop's fleet.
+DebugOptions HeavyOptions(bool smoke, size_t index) {
+  DebugOptions options;
+  // The refresh-cost lever is per-test row work (big bootstrap table, deep
+  // conditioning), NOT entropic iterations: test cost scales with the
+  // shard's rows, so the heavy shards' refreshes are expensive while the
+  // light shards' one 8-row bootstrap refresh stays cheap under the same
+  // shared model options.
+  // A tiny measured bootstrap (the warm table carries the observational
+  // diversity) so the refresh chain starts almost immediately; refreshes are
+  // spread one per repair round so the scheduler always has light measurement
+  // to hide them behind.
+  options.initial_samples = smoke ? 40 : 4;
+  options.max_iterations = 2;
+  options.stall_termination = 1000;
+  options.repairs_per_iteration = 2;
+  options.model.fci.skeleton.max_cond_size = 3;
+  options.model.fci.skeleton.max_subsets = smoke ? 32 : 96;
+  options.model.fci.max_pds_cond_size = smoke ? 1 : 2;
+  options.model.entropic.latent.restarts = 1;
+  options.model.entropic.latent.iterations = 20;
+  options.seed = 7 + index;
+  return options;
+}
+
+// Light tenants: a tiny bootstrap over a small transferred table, then many
+// short candidate rounds with periodic cheap relearns — steady fleet demand
+// whose scheduler needs are a prompt absorb-and-resubmit and refreshes that
+// never queue behind a heavy tenant's.
+OptimizeOptions LightOptions(bool smoke, size_t index) {
+  OptimizeOptions options;
+  options.initial_samples = smoke ? 8 : 4;
+  // Single-candidate rounds at a short service time: the scheduler-relevant
+  // regime — little in-flight work for the barrier loop's inline refreshes
+  // to hide behind, so the baseline pays nearly the full stall, while the
+  // pipelined scheduler keeps the fleet fed from the other tenants.
+  options.candidates_per_round = smoke ? 4 : 1;
+  options.max_iterations = smoke ? 40 : 220;
+  options.relearn_every = options.max_iterations + 1;  // bootstrap refresh only
+  // Exploration-heavy candidates keep configurations diverse, so the broker
+  // cache rarely short-circuits a round and the fleet demand stays real.
+  options.explore_probability = smoke ? 0.15 : 0.65;
+  options.seed = 113 + index;
+  return options;
+}
+
+std::unique_ptr<BackendFleet> MakeFleet(const Setup& s) {
+  std::vector<std::unique_ptr<MeasurementBackend>> backends;
+  for (int b = 0; b < kDevices; ++b) {
+    DeviceProfile profile;
+    profile.name = "jetson-" + std::to_string(b);
+    profile.seed = 800 + static_cast<uint64_t>(b);
+    profile.service_time_mean = s.service_time;
+    profile.service_time_jitter = 0.3;
+    profile.sleep = true;
+    backends.push_back(
+        MakeDeviceBackend(s.model, Tx2(), DefaultWorkload(), kTaskSeed, std::move(profile)));
+  }
+  return std::make_unique<BackendFleet>(std::move(backends));
+}
+
+// Everything a run must reproduce bit-identically: per-shard table
+// fingerprints (same rows in the same order) and the per-policy semantic
+// results, plus the deterministic CI-test demand.
+struct RunSignature {
+  std::vector<uint64_t> fingerprints;  // one per policy, in policy order
+  std::vector<DebugResult> heavy;      // trajectories, fixes, sample counts
+  std::vector<std::vector<double>> light_best;
+  std::vector<double> light_value;
+  std::vector<size_t> light_rows;
+  long long tests_requested = 0;  // summed over shards; search-path invariant
+
+  bool Matches(const RunSignature& other) const {
+    if (fingerprints != other.fingerprints || tests_requested != other.tests_requested ||
+        light_best != other.light_best || light_value != other.light_value ||
+        light_rows != other.light_rows || heavy.size() != other.heavy.size()) {
+      return false;
+    }
+    for (size_t i = 0; i < heavy.size(); ++i) {
+      if (heavy[i].objective_trajectory != other.heavy[i].objective_trajectory ||
+          heavy[i].selected_options != other.heavy[i].selected_options ||
+          heavy[i].fixed_config != other.heavy[i].fixed_config ||
+          heavy[i].measurements_used != other.heavy[i].measurements_used) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+struct RunOutcome {
+  double wall_s = 0.0;
+  RunSignature signature;
+  ShardPoolStats pool;
+};
+
+enum class Mode { kSync, kBarrier, kPipelined };
+
+// One full mixed campaign with fresh policy instances. kSync drives the
+// synchronous RunGrouped loop on a plain pool broker (the fast oracle — same
+// rows: harness measurement is pure per configuration); the other modes run
+// RunAsyncGrouped over the sleeping fleet with pipeline off/on.
+RunOutcome RunCampaign(const Setup& s, bool smoke, Mode mode, int refresh_threads,
+                       bool pin) {
+  CampaignOptions campaign = ToCampaignOptions(HeavyOptions(smoke, 0));
+  campaign.refresh_threads = refresh_threads;
+  campaign.pipeline = mode == Mode::kPipelined;
+  campaign.pin_refresh_threads = pin;
+
+  std::unique_ptr<CampaignRunner> runner;
+  if (mode == Mode::kSync) {
+    runner = std::make_unique<CampaignRunner>(s.task, campaign);
+  } else {
+    runner = std::make_unique<CampaignRunner>(s.task, campaign, MakeFleet(s));
+  }
+
+  // Lights first: their small bootstraps measure and model-build while the
+  // refresh worker is still idle, so by the time the heavy tenants' big
+  // refresh chain starts every light is already in steady measure-absorb
+  // cadence. (The shard pool's shortest-job-first dispatch keeps any
+  // stragglers safe: a light's millisecond refresh jumps queued heavy
+  // refreshes rather than convoying behind them.)
+  std::vector<std::unique_ptr<DebugPolicy>> heavies;
+  std::vector<std::unique_ptr<OptimizePolicy>> lights;
+  std::vector<GroupedPolicy> grouped;
+  const std::vector<size_t> objective_vars = {s.goals.front().var};
+  for (size_t i = 0; i < s.light; ++i) {
+    lights.push_back(std::make_unique<OptimizePolicy>(LightOptions(smoke, i), objective_vars,
+                                                      &s.warm_light[i]));
+    grouped.push_back(GroupedPolicy{lights.back().get(), "opt-" + std::to_string(i)});
+  }
+  for (size_t i = 0; i < s.heavy; ++i) {
+    heavies.push_back(std::make_unique<DebugPolicy>(HeavyOptions(smoke, i), s.fault->config,
+                                                    s.goals, &s.warm[i]));
+    grouped.push_back(GroupedPolicy{heavies.back().get(), "debug-" + std::to_string(i)});
+  }
+
+  const auto start = Clock::now();
+  if (mode == Mode::kSync) {
+    runner->RunGrouped(grouped);
+  } else {
+    runner->RunAsyncGrouped(grouped);
+  }
+
+  RunOutcome out;
+  out.wall_s = std::chrono::duration<double>(Clock::now() - start).count();
+  out.pool = runner->pool().stats();
+  const BrokerStats bs = runner->broker().stats();
+  size_t heavy_refreshes = 0, light_refreshes = 0;
+  for (const auto& policy : heavies) {
+    heavy_refreshes += runner->pool().shard(policy->result().shard).stats().refreshes;
+  }
+  for (const auto& policy : lights) {
+    light_refreshes += runner->pool().shard(policy->result().shard).stats().refreshes;
+  }
+  std::printf("  [diag] wall %.2fs | rows measured %zu (cache hits %zu) | fleet busy "
+              "%.2fs (util %.0f%%) | refresh sum %.2fs | overlap %.2fs | refreshes "
+              "heavy %zu light %zu\n",
+              out.wall_s, bs.measured, bs.cache_hits, bs.busy_seconds,
+              out.wall_s > 0.0 ? 100.0 * bs.busy_seconds / (kDevices * out.wall_s) : 0.0,
+              out.pool.refresh_seconds, out.pool.overlap_seconds, heavy_refreshes,
+              light_refreshes);
+  out.signature.tests_requested = out.pool.tests_requested;
+  for (const auto& policy : heavies) {
+    out.signature.heavy.push_back(policy->result());
+    out.signature.fingerprints.push_back(
+        runner->pool().shard(policy->result().shard).data_fingerprint());
+  }
+  for (const auto& policy : lights) {
+    const OptimizeResult& r = policy->result();
+    out.signature.light_best.push_back(r.best_config);
+    out.signature.light_value.push_back(r.best_value);
+    out.signature.light_rows.push_back(r.measurements_used);
+    out.signature.fingerprints.push_back(
+        runner->pool().shard(r.shard).data_fingerprint());
+  }
+  return out;
+}
+
+// --- (c) UNICTBL1 ingest stress ---------------------------------------------
+
+double PeakRssMb() {
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) {
+    return 0.0;
+  }
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // linux: KiB
+}
+
+struct StressResult {
+  size_t rows = 0;
+  double payload_mb = 0.0;
+  double write_s = 0.0;
+  double open_s = 0.0;
+  double seed_s = 0.0;
+  double rows_per_s = 0.0;
+  double rss_delta_mb = 0.0;
+  bool mapped = false;
+  bool ok = false;
+  size_t seeded = 0;
+};
+
+// Writes a `rows`-row binary table with the streaming writer, then mmap-opens
+// and seeds it into a fresh engine. Variables are synthetic (2 options + 4
+// observables) so the payload size is controlled by the row count alone.
+StressResult RunStress(size_t rows) {
+  StressResult r;
+  r.rows = rows;
+  std::vector<Variable> variables;
+  for (int i = 0; i < 2; ++i) {
+    Variable v;
+    v.name = "opt" + std::to_string(i);
+    v.role = VarRole::kOption;
+    v.domain = {0.0, 1.0};
+    variables.push_back(v);
+  }
+  for (int i = 0; i < 4; ++i) {
+    Variable v;
+    v.name = "ev" + std::to_string(i);
+    variables.push_back(v);
+  }
+  const size_t num_vars = variables.size();
+  r.payload_mb =
+      static_cast<double>(rows * (2 + num_vars) * sizeof(double)) / (1024.0 * 1024.0);
+  const std::string path = "/tmp/unicorn_bench_pipeline_stress.utbl";
+
+  {
+    BinaryTableWriter writer(2, num_vars);
+    Rng rng(9000);
+    std::vector<double> config(2), row(num_vars);
+    const auto start = Clock::now();
+    for (size_t i = 0; i < rows; ++i) {
+      config[0] = rng.Uniform();
+      config[1] = rng.Uniform();
+      row[0] = config[0];
+      row[1] = config[1];
+      for (size_t v = 2; v < num_vars; ++v) {
+        row[v] = config[0] + 0.5 * config[1] + 0.1 * rng.Uniform();
+      }
+      writer.AddRow(config, row);
+    }
+    if (!writer.WriteFile(path)) {
+      std::remove(path.c_str());
+      return r;
+    }
+    r.write_s = std::chrono::duration<double>(Clock::now() - start).count();
+  }  // writer's payload buffer is freed before the load being measured
+
+  const double rss_before = PeakRssMb();
+  {
+    BinaryTableView view;
+    const auto open_start = Clock::now();
+    if (!view.Open(path)) {
+      std::remove(path.c_str());
+      return r;
+    }
+    r.open_s = std::chrono::duration<double>(Clock::now() - open_start).count();
+    r.mapped = view.mapped();
+  }
+  CausalModelEngine engine(variables);
+  const auto seed_start = Clock::now();
+  r.seeded = engine.SeedFromFile(path);
+  r.seed_s = std::chrono::duration<double>(Clock::now() - seed_start).count();
+  r.rows_per_s = r.seed_s > 0.0 ? static_cast<double>(r.seeded) / r.seed_s : 0.0;
+  r.rss_delta_mb = std::max(0.0, PeakRssMb() - rss_before);
+  std::remove(path.c_str());
+  r.ok = r.seeded == rows;
+  return r;
+}
+
+int RunStudy(bool smoke, const std::string& json_path) {
+  const Setup s = MakeSetup(smoke);
+  if (s.fault == nullptr) {
+    std::printf("(no curated fault with root causes; cannot run)\n");
+    return 1;
+  }
+  const size_t tenants = s.heavy + s.light;
+  std::printf("=== Pipelined campaign scheduler: %zu tenants (%zu heavy + %zu light) over "
+              "%d sleeping devices (%.0fms service), %u visible core(s) ===\n",
+              tenants, s.heavy, s.light, kDevices, s.service_time * 1000.0,
+              std::thread::hardware_concurrency());
+
+  bench::JsonResults json;
+  bool all_identical = true;
+
+  // The oracle: synchronous RunGrouped, plain broker, no sleep.
+  const RunOutcome oracle = RunCampaign(s, smoke, Mode::kSync, 1, false);
+  std::printf("sync oracle: %.2fs (%lld CI tests)\n", oracle.wall_s,
+              oracle.signature.tests_requested);
+
+  // (a) barrier vs pipelined, both over the same sleeping fleet. One refresh
+  // worker for the headline: on a single visible core a wider refresh pool
+  // only time-slices the same CPU (the sweep's rt=4 cells show the
+  // cross-policy coalescing); what rt=1 already buys is the overlap.
+  const RunOutcome barrier = RunCampaign(s, smoke, Mode::kBarrier, 1, false);
+  const RunOutcome pipelined = RunCampaign(s, smoke, Mode::kPipelined, 1, false);
+  const bool barrier_ok = barrier.signature.Matches(oracle.signature);
+  const bool pipelined_ok = pipelined.signature.Matches(oracle.signature);
+  all_identical = all_identical && barrier_ok && pipelined_ok;
+  const double speedup =
+      pipelined.wall_s > 0.0 ? barrier.wall_s / pipelined.wall_s : 0.0;
+  const double overlap_fraction =
+      pipelined.pool.refresh_seconds > 0.0
+          ? pipelined.pool.overlap_seconds / pipelined.pool.refresh_seconds
+          : 0.0;
+
+  TextTable table({"scheduler", "wall(s)", "speedup", "refresh sum(s)", "overlap(s)",
+                   "widest x-policy batch", "bit-identical"});
+  table.AddRow({"barrier", FormatDouble(barrier.wall_s, 2), "1.00",
+                FormatDouble(barrier.pool.refresh_seconds, 2), "-", "-",
+                barrier_ok ? "yes" : "NO (bug)"});
+  table.AddRow({"pipelined", FormatDouble(pipelined.wall_s, 2), FormatDouble(speedup, 2),
+                FormatDouble(pipelined.pool.refresh_seconds, 2),
+                FormatDouble(pipelined.pool.overlap_seconds, 2),
+                std::to_string(pipelined.pool.widest_cross_policy_batch),
+                pipelined_ok ? "yes" : "NO (bug)"});
+  std::printf("%s", table.Render().c_str());
+  std::printf("(single-core reading: refresh CPU is identical in both runs; the pipelined\n"
+              " win is fleet time the barrier loop wasted — light tenants stall behind\n"
+              " heavy inline refreshes there, while the scheduler keeps them measuring.\n"
+              " overlap fraction: %.0f%% of refresh wall ran with measurements in flight)\n",
+              100.0 * overlap_fraction);
+  json.Add("pipeline", "tenants", static_cast<double>(tenants));
+  json.Add("pipeline", "devices", kDevices);
+  json.Add("pipeline", "barrier_wall_seconds", barrier.wall_s);
+  json.Add("pipeline", "pipelined_wall_seconds", pipelined.wall_s);
+  json.Add("pipeline", "speedup", speedup);
+  json.Add("pipeline", "refresh_sum_seconds", pipelined.pool.refresh_seconds);
+  json.Add("pipeline", "overlap_seconds", pipelined.pool.overlap_seconds);
+  json.Add("pipeline", "overlap_fraction", overlap_fraction);
+  json.Add("pipeline", "widest_cross_policy_batch",
+           static_cast<double>(pipelined.pool.widest_cross_policy_batch));
+  json.Add("pipeline", "bit_identical", barrier_ok && pipelined_ok ? 1.0 : 0.0);
+
+  // (b) refresh-thread sweep, pipelined. Runs at smoke scale — its gates are
+  // bit-identity and the coalescing/overlap ledger across thread counts and
+  // pinning, not end-to-end timing, and four full-scale runs would dominate
+  // the bench wall. In smoke mode the campaign IS smoke scale, so the
+  // headline oracle and the rt=4/pin=off run are reused directly.
+  std::printf("\n=== (b) refresh-thread sweep (pipelined, %s scale) ===\n",
+              smoke ? "same" : "reduced");
+  const Setup sweep_setup = smoke ? Setup{} : MakeSetup(true);
+  const Setup& ss = smoke ? s : sweep_setup;
+  const RunOutcome sweep_oracle =
+      smoke ? oracle : RunCampaign(ss, true, Mode::kSync, 1, false);
+  TextTable sweep({"refresh_threads", "pinned", "wall(s)", "overlap(s)",
+                   "widest x-policy batch", "bit-identical"});
+  size_t widest_any = pipelined.pool.widest_cross_policy_batch;
+  for (const int rt : {1, 4}) {
+    for (const bool pin : {false, true}) {
+      RunOutcome run;
+      if (smoke && rt == 1 && !pin) {
+        run = pipelined;
+      } else {
+        run = RunCampaign(ss, true, Mode::kPipelined, rt, pin);
+      }
+      const bool ok = run.signature.Matches(sweep_oracle.signature);
+      all_identical = all_identical && ok;
+      widest_any = std::max(widest_any, run.pool.widest_cross_policy_batch);
+      sweep.AddRow({std::to_string(rt), pin ? "yes" : "no", FormatDouble(run.wall_s, 2),
+                    FormatDouble(run.pool.overlap_seconds, 2),
+                    std::to_string(run.pool.widest_cross_policy_batch),
+                    ok ? "yes" : "NO (bug)"});
+      const std::string section =
+          "sweep_rt" + std::to_string(rt) + (pin ? "_pinned" : "_unpinned");
+      json.Add(section, "wall_seconds", run.wall_s);
+      json.Add(section, "overlap_seconds", run.pool.overlap_seconds);
+      json.Add(section, "widest_cross_policy_batch",
+               static_cast<double>(run.pool.widest_cross_policy_batch));
+      json.Add(section, "bit_identical", ok ? 1.0 : 0.0);
+    }
+  }
+  std::printf("%s", sweep.Render().c_str());
+
+  // (c) ingest stress.
+  const size_t stress_rows = smoke ? 120000 : 1200000;
+  std::printf("\n=== (c) UNICTBL1 ingest stress: %zu rows ===\n", stress_rows);
+  const StressResult stress = RunStress(stress_rows);
+  std::printf("payload %.1f MB | write %.2fs | mmap open %.4fs (%s) | seed %.2fs "
+              "(%.0f rows/s) | peak-RSS delta %.1f MB\n",
+              stress.payload_mb, stress.write_s, stress.open_s,
+              stress.mapped ? "mapped" : "copied", stress.seed_s, stress.rows_per_s,
+              stress.rss_delta_mb);
+  json.Add("stress", "rows", static_cast<double>(stress.rows));
+  json.Add("stress", "payload_mb", stress.payload_mb);
+  json.Add("stress", "write_seconds", stress.write_s);
+  json.Add("stress", "open_seconds", stress.open_s);
+  json.Add("stress", "seed_seconds", stress.seed_s);
+  json.Add("stress", "rows_per_second", stress.rows_per_s);
+  json.Add("stress", "rss_delta_mb", stress.rss_delta_mb);
+  json.Add("stress", "mapped", stress.mapped ? 1.0 : 0.0);
+
+  // Self-verification: divergence or a broken ledger fails the binary (CI
+  // runs --smoke, so a regression fails the job instead of rotting).
+  int failures = 0;
+  if (!all_identical) {
+    std::printf("BIT-IDENTITY BROKEN: some run diverged from the synchronous oracle\n");
+    ++failures;
+  }
+  if (widest_any < 2) {
+    std::printf("COALESCING BROKEN: widest cross-policy refresh batch %zu < 2\n",
+                widest_any);
+    ++failures;
+  }
+  if (pipelined.pool.overlap_seconds <= 0.0) {
+    std::printf("OVERLAP LEDGER BROKEN: no refresh time overlapped in-flight rows\n");
+    ++failures;
+  }
+  if (!stress.ok || stress.seeded != stress_rows) {
+    std::printf("STRESS BROKEN: seeded %zu of %zu rows\n", stress.seeded, stress_rows);
+    ++failures;
+  }
+  // Generous absolute bounds; the RSS gate trips on a ~5x per-entry
+  // materialization regression, not on noise.
+  if (stress.open_s > 1.0 || stress.rss_delta_mb > 2.0 * stress.payload_mb + 64.0 ||
+      stress.seed_s > (smoke ? 30.0 : 120.0)) {
+    std::printf("STRESS BOUNDS EXCEEDED: open %.2fs, seed %.2fs, rss delta %.1f MB\n",
+                stress.open_s, stress.seed_s, stress.rss_delta_mb);
+    ++failures;
+  }
+  if (!smoke && speedup < 1.8) {
+    std::printf("SPEEDUP BELOW GATE: %.2fx < 1.8x\n", speedup);
+    ++failures;
+  }
+  if (failures > 0) {
+    return 1;
+  }
+  const std::string speedup_note =
+      smoke ? std::string() : ", speedup " + FormatDouble(speedup, 2) + "x";
+  std::printf("\nverified: bit-identical to the synchronous oracle in every mode, widest "
+              "cross-policy refresh batch %zu, overlap %.2fs%s\n",
+              widest_any, pipelined.pool.overlap_seconds, speedup_note.c_str());
+
+  if (!json_path.empty() && !json.WriteFile(json_path, "table_pipeline")) {
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace unicorn
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+  return unicorn::RunStudy(smoke, json_path);
+}

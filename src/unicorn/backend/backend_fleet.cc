@@ -207,6 +207,17 @@ bool BackendFleet::WaitCompletion(FleetCompletion* out) {
   return completions_.Pop(out);
 }
 
+bool BackendFleet::WaitCompletionFor(FleetCompletion* out, double timeout_seconds) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (outstanding_ == 0 && completions_.size() == 0) {
+      return false;
+    }
+  }
+  return completions_.PopFor(
+      out, std::chrono::duration<double>(timeout_seconds < 0.0 ? 0.0 : timeout_seconds));
+}
+
 size_t BackendFleet::Outstanding() const {
   std::lock_guard<std::mutex> lock(mu_);
   return outstanding_;

@@ -141,6 +141,13 @@ class BackendFleet {
   /// Thread-safety: single-consumer — one thread drains the stream.
   bool WaitCompletion(FleetCompletion* out);
 
+  /// Timed WaitCompletion: false when nothing completed within
+  /// `timeout_seconds` (as well as when nothing is outstanding — callers
+  /// that must distinguish check Outstanding()). The campaign scheduler uses
+  /// it to multiplex the completion stream with its refresh-done queue.
+  /// Thread-safety: single-consumer, same as WaitCompletion.
+  bool WaitCompletionFor(FleetCompletion* out, double timeout_seconds);
+
   size_t Outstanding() const;
   size_t num_backends() const { return slots_.size(); }
   const MeasurementBackend& backend(size_t i) const { return *slots_[i]->backend; }

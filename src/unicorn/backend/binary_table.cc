@@ -151,6 +151,58 @@ bool SaveMeasurementTableBinary(const std::string& path, size_t num_options, siz
   return static_cast<bool>(out);
 }
 
+BinaryTableWriter::BinaryTableWriter(size_t num_options, size_t num_vars)
+    : num_options_(num_options), num_vars_(num_vars), columns_(num_options + num_vars) {}
+
+bool BinaryTableWriter::AddRow(const std::vector<double>& config,
+                               const std::vector<double>& row, std::string_view provenance) {
+  if (config.size() != num_options_ || row.size() != num_vars_) {
+    return false;
+  }
+  for (size_t c = 0; c < num_options_; ++c) {
+    columns_[c].push_back(config[c]);
+  }
+  for (size_t v = 0; v < num_vars_; ++v) {
+    columns_[num_options_ + v].push_back(row[v]);
+  }
+  prov_blob_.append(provenance.data(), provenance.size());
+  prov_offsets_.push_back(prov_blob_.size());
+  ++num_rows_;
+  return true;
+}
+
+bool BinaryTableWriter::WriteFile(const std::string& path) const {
+  if (num_options_ == 0 || num_vars_ < num_options_) {
+    return false;  // same shape rule as the entry-list saver
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  const uint64_t rows = num_rows_;
+  const uint64_t cols = static_cast<uint64_t>(num_options_) + num_vars_;
+  out.write(kBinaryMagic, sizeof(kBinaryMagic));
+  binio::WriteU32(out, binio::kEndianMarker);
+  binio::WriteU32(out, 0);  // reserved
+  binio::WriteU64(out, num_options_);
+  binio::WriteU64(out, num_vars_);
+  binio::WriteU64(out, rows);
+  binio::WriteU64(out, kHeaderBytes);
+  binio::WriteU64(out, kHeaderBytes + cols * rows * 8);
+  binio::WriteU64(out, prov_blob_.size());
+  for (const auto& column : columns_) {
+    for (const double value : column) {
+      binio::WriteDouble(out, value);
+    }
+  }
+  binio::WriteU64(out, 0);
+  for (const uint64_t offset : prov_offsets_) {
+    binio::WriteU64(out, offset);
+  }
+  out.write(prov_blob_.data(), static_cast<std::streamsize>(prov_blob_.size()));
+  return static_cast<bool>(out);
+}
+
 bool IsBinaryMeasurementTable(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   char magic[8];

@@ -52,6 +52,39 @@ bool SaveMeasurementTableBinary(const std::string& path, const MeasurementTable&
 bool SaveMeasurementTableBinary(const std::string& path, size_t num_options, size_t num_vars,
                                 const std::vector<MeasurementTable::Entry>& entries);
 
+/// Streaming writer for tables too large to materialize as MeasurementTable
+/// entries (a million-row table costs ~5x its payload in per-entry vectors;
+/// this buffers exactly the payload doubles plus the provenance blob).
+/// AddRow appends in row order; WriteFile emits the column-major file in one
+/// pass. Reusable after WriteFile (the buffered table is kept); value type.
+class BinaryTableWriter {
+ public:
+  /// Shape is fixed at construction, same validity rule as the savers
+  /// (num_options >= 1, num_vars >= num_options) — violations surface as
+  /// WriteFile returning false rather than a throw, matching the savers.
+  BinaryTableWriter(size_t num_options, size_t num_vars);
+
+  /// Appends one measurement. Returns false (row not appended) when the
+  /// config/row widths disagree with the declared shape.
+  bool AddRow(const std::vector<double>& config, const std::vector<double>& row,
+              std::string_view provenance = {});
+
+  size_t num_rows() const { return num_rows_; }
+
+  /// Writes the buffered table to `path` in the binary format. Failure:
+  /// false on I/O failure or an invalid declared shape.
+  /// Thread-safety: as SaveMeasurementTableBinary.
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  size_t num_options_ = 0;
+  size_t num_vars_ = 0;
+  size_t num_rows_ = 0;
+  std::vector<std::vector<double>> columns_;  // config cols, then row cols
+  std::vector<uint64_t> prov_offsets_;        // running end offsets, one per row
+  std::string prov_blob_;
+};
+
 /// True when the file at `path` starts with the binary-table magic.
 /// (I/O failure reads as false.)
 bool IsBinaryMeasurementTable(const std::string& path);

@@ -1,7 +1,9 @@
 #include "unicorn/campaign.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <deque>
 #include <stdexcept>
 #include <unordered_map>
 #include <utility>
@@ -112,6 +114,7 @@ ShardPoolOptions CampaignRunner::MakePoolOptions(const CampaignOptions& options)
   pool.engine = options.engine;
   pool.refresh_threads = options.refresh_threads;
   pool.share_ci_cache = options.share_ci_cache;
+  pool.pin_refresh_threads = options.pin_refresh_threads;
   return pool;
 }
 
@@ -251,6 +254,19 @@ void CampaignRunner::RunAsync(const std::vector<CampaignPolicy*>& policies) {
 }
 
 void CampaignRunner::RunAsyncGrouped(const std::vector<GroupedPolicy>& policies) {
+  if (options_.pipeline) {
+    RunAsyncGroupedPipelined(policies);
+  } else {
+    RunAsyncGroupedBarrier(policies);
+  }
+}
+
+// The pre-pipeline drain loop: refreshes run inline on the campaign thread,
+// so a completed policy that needs (or follows) a long refresh blocks every
+// other policy's absorb-and-resubmit — head-of-line blocking that starves
+// the fleet. Kept as the measurable baseline for bench/table_pipeline.cc
+// and selectable via CampaignOptions::pipeline = false.
+void CampaignRunner::RunAsyncGroupedBarrier(const std::vector<GroupedPolicy>& policies) {
   // Per-policy pipeline state: each policy is always either retired or
   // waiting on exactly one outstanding broker batch.
   struct PolicyState {
@@ -355,6 +371,236 @@ void CampaignRunner::RunAsyncGrouped(const std::vector<GroupedPolicy>& policies)
       --active;
     }
   }
+  requeue_foreign();
+}
+
+// The pipelined campaign scheduler (ROADMAP "pipelined campaign rounds"):
+// a ready-set event loop over two completion streams — measurement rows from
+// the broker/fleet and shard-refresh done events from the pool's
+// asynchronous refresh workers. A policy whose next round wants a refresh
+// hands its shard to the workers and the loop keeps absorbing and
+// resubmitting every other policy meanwhile, so dirty shards of *different*
+// policies refresh as one parallel batch while their own and other policies'
+// measurements keep the fleet busy — refresh compute hidden behind device
+// service time (the overlap the pool's ledger reports).
+//
+// Per-policy semantics are exactly the synchronous loop's: refresh decided
+// at round start (WantsRefresh before Propose), seeded RefreshSeed(round)
+// fixed at enqueue, rows absorbed as one batch in proposal order. Policies
+// in distinct objective groups are therefore bit-identical to RunGrouped;
+// same-group interleaving remains completion-order-dependent, as documented
+// on RunAsyncGrouped.
+void CampaignRunner::RunAsyncGroupedPipelined(const std::vector<GroupedPolicy>& policies) {
+  // Alternation quantum while both streams are live: the timed row-wait
+  // returns early on every completion, so this bounds only refresh-done
+  // latency. 2ms keeps refresh-chain resubmission prompt (a chained shard
+  // sits idle until the done event is seen) while staying far below a
+  // device service time, so fleet feeding is never the bottleneck.
+  constexpr double kPollSeconds = 0.002;
+
+  struct PolicyState {
+    CampaignPolicy* policy = nullptr;
+    size_t shard = 0;
+    size_t round = 0;
+    std::vector<std::vector<double>> proposal;
+    std::vector<std::vector<double>> rows;
+    size_t received = 0;
+  };
+  enum class ShardAction : uint8_t { kAbsorb, kPropose };
+
+  std::vector<PolicyState> states;
+  std::unordered_map<uint64_t, size_t> batch_owner;  // broker batch id -> state
+  size_t active = 0;
+  // Per-shard scheduling state. A shard with an asynchronous refresh in
+  // flight must not be touched (pool contract), so a same-group policy whose
+  // batch fills — or whose own refresh finished while a groupmate's is still
+  // queued — parks its next step here; the queue drains FIFO the moment the
+  // shard goes quiet. Policies in distinct groups never park.
+  std::vector<size_t> shard_refreshing;
+  std::vector<std::deque<std::pair<ShardAction, size_t>>> shard_queue;
+  // Measurement rows currently on the fleet (submitted, row not yet back):
+  // the gauge the pool's overlap ledger samples.
+  std::atomic<size_t> in_flight_rows{0};
+
+  std::vector<BrokerCompletion> foreign;
+  const auto requeue_foreign = [&] {
+    for (auto it = foreign.rbegin(); it != foreign.rend(); ++it) {
+      broker_.Requeue(std::move(*it));
+    }
+    foreign.clear();
+  };
+
+  // Propose and submit the policy's current round (its shard is quiet and
+  // refreshed, or needed no refresh). Returns false when the policy retired
+  // on an empty proposal instead.
+  const auto propose_and_submit = [&](size_t state_index) -> bool {
+    PolicyState& state = states[state_index];
+    CampaignContext ctx = ContextFor(state.shard, state.round);
+    state.proposal = state.policy->Propose(ctx);
+    if (state.proposal.empty()) {
+      state.policy->Finalize(ctx);
+      return false;
+    }
+    std::vector<std::string> envs = state.policy->ProposalEnvironments(state.proposal.size());
+    if (!envs.empty() && envs.size() != state.proposal.size()) {
+      throw std::logic_error("campaign: ProposalEnvironments must parallel the proposal");
+    }
+    state.rows.assign(state.proposal.size(), {});
+    state.received = 0;
+    in_flight_rows.fetch_add(state.proposal.size(), std::memory_order_relaxed);
+    const BatchTicket ticket = broker_.SubmitBatch(state.proposal, envs);
+    batch_owner.emplace(ticket.id, state_index);
+    return true;
+  };
+
+  // Start the policy's round: same trigger point and seed stream as the
+  // synchronous loop, but the refresh itself runs on the pool's workers —
+  // the Propose happens when its done event comes back. Returns false when
+  // the policy retired.
+  const auto launch_round = [&](size_t state_index) -> bool {
+    PolicyState& state = states[state_index];
+    CampaignContext ctx = ContextFor(state.shard, state.round);
+    if (state.policy->WantsRefresh(ctx)) {
+      ++shard_refreshing[state.shard];
+      pool_.StartRefreshAsync(state.shard, RefreshSeed(state.round),
+                              static_cast<uint64_t>(state_index));
+      return true;  // still active: awaiting the refresh
+    }
+    return propose_and_submit(state_index);
+  };
+
+  const auto absorb_and_advance = [&](size_t state_index) {
+    PolicyState& state = states[state_index];
+    CampaignContext ctx = ContextFor(state.shard, state.round);
+    state.policy->Absorb(state.proposal, state.rows, ctx);
+    if (state.policy->Finished() || state.round + 1 >= options_.max_rounds) {
+      state.policy->Finalize(ctx);
+      --active;
+      return;
+    }
+    ++state.round;
+    if (!launch_round(state_index)) {
+      --active;
+    }
+  };
+
+  // Drain the shard's parked actions while it stays quiet. An absorb may
+  // relaunch a round that starts a new refresh on this very shard — the loop
+  // stops and the remainder waits for that refresh's done event.
+  const auto process_shard = [&](size_t shard) {
+    auto& queue = shard_queue[shard];
+    while (!queue.empty() && shard_refreshing[shard] == 0) {
+      const auto [action, state_index] = queue.front();
+      queue.pop_front();
+      if (action == ShardAction::kAbsorb) {
+        absorb_and_advance(state_index);
+      } else if (!propose_and_submit(state_index)) {
+        --active;
+      }
+    }
+  };
+
+  const auto handle_refresh_done = [&](ShardRefreshDone& done) {
+    --shard_refreshing[done.shard];
+    if (done.error != nullptr) {
+      std::rethrow_exception(done.error);
+    }
+    shard_queue[done.shard].push_back(
+        {ShardAction::kPropose, static_cast<size_t>(done.token)});
+    process_shard(done.shard);
+  };
+
+  // Resolve every group's shard up front: shard storage must not grow once
+  // refresh workers hold engine references.
+  std::vector<size_t> shard_of(policies.size());
+  for (size_t p = 0; p < policies.size(); ++p) {
+    shard_of[p] = pool_.ShardForGroup(policies[p].group);
+  }
+  shard_refreshing.assign(pool_.num_shards(), 0);
+  shard_queue.assign(pool_.num_shards(), {});
+
+  pool_.SetInFlightGauge(&in_flight_rows);
+  try {
+    states.reserve(policies.size());
+    for (size_t p = 0; p < policies.size(); ++p) {
+      if (policies[p].policy->Finished()) {
+        CampaignContext ctx = ContextFor(shard_of[p], 0);
+        policies[p].policy->Finalize(ctx);
+        continue;
+      }
+      states.push_back(PolicyState{policies[p].policy, shard_of[p], 0, {}, {}, 0});
+    }
+    for (size_t i = 0; i < states.size(); ++i) {
+      if (launch_round(i)) {
+        ++active;
+      }
+    }
+
+    while (active > 0) {
+      // Refresh-done events first: they are cheap to handle and each one
+      // unparks a Propose whose batch then feeds the fleet.
+      ShardRefreshDone rdone;
+      bool handled = false;
+      while (pool_.TryPopRefreshDone(&rdone)) {
+        handle_refresh_done(rdone);
+        handled = true;
+      }
+      if (handled || active == 0) {
+        continue;  // scheduling state changed: re-evaluate what to wait on
+      }
+      const bool measurements_pending = !batch_owner.empty();
+      const bool refreshes_pending = pool_.PendingAsyncRefreshes() > 0;
+      BrokerCompletion done;
+      if (measurements_pending && refreshes_pending) {
+        // Both streams live: timed wait on the row stream, then loop back
+        // to poll the refresh stream.
+        if (!broker_.WaitCompletionFor(&done, kPollSeconds)) {
+          continue;
+        }
+      } else if (measurements_pending) {
+        if (!broker_.WaitCompletion(&done)) {
+          throw std::runtime_error(
+              "async campaign: completion stream ended with active policies");
+        }
+      } else if (refreshes_pending) {
+        if (pool_.WaitRefreshDone(&rdone)) {
+          handle_refresh_done(rdone);
+        }
+        continue;
+      } else {
+        throw std::logic_error("async campaign: active policies with nothing outstanding");
+      }
+
+      const auto owner = batch_owner.find(done.batch);
+      if (owner == batch_owner.end()) {
+        foreign.push_back(std::move(done));
+        continue;
+      }
+      if (!done.ok) {
+        throw std::runtime_error("async campaign: measurement failed permanently: " +
+                                 done.error);
+      }
+      PolicyState& state = states[owner->second];
+      state.rows[done.index] = std::move(done.row);
+      in_flight_rows.fetch_sub(1, std::memory_order_relaxed);
+      if (++state.received < state.proposal.size()) {
+        continue;
+      }
+      const size_t state_index = owner->second;
+      batch_owner.erase(owner);
+      shard_queue[state.shard].push_back({ShardAction::kAbsorb, state_index});
+      process_shard(state.shard);
+    }
+  } catch (...) {
+    // Workers may still hold engine and gauge references: quiesce the pool
+    // before unwinding releases them, then hand foreign completions back.
+    pool_.DrainAsyncRefreshes();
+    pool_.SetInFlightGauge(nullptr);
+    requeue_foreign();
+    throw;
+  }
+  pool_.DrainAsyncRefreshes();  // no-op: no policy retires with a refresh in flight
+  pool_.SetInFlightGauge(nullptr);
   requeue_foreign();
 }
 

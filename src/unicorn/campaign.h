@@ -219,6 +219,22 @@ struct CampaignOptions {
   /// One process-wide CI cache across all shards (cross-shard p-value
   /// reuse); see ShardPoolOptions::share_ci_cache.
   bool share_ci_cache = true;
+  /// RunAsyncGrouped engine. true (default): the pipelined campaign
+  /// scheduler — shard refreshes run asynchronously on the pool's refresh
+  /// workers and dirty shards of different policies coalesce into one
+  /// parallel refresh batch, so another policy's absorb/propose/submit is
+  /// never stuck behind a refresh it does not need (its measurements keep
+  /// the fleet busy while refresh compute runs). false: the drain loop that
+  /// refreshes inline on the campaign thread, kept as the measurable
+  /// baseline (bench/table_pipeline.cc compares the two). Per-policy
+  /// results are bit-identical either way — same refresh-seed stream, same
+  /// refresh trigger points, same rows in the same order (pinned by
+  /// tests/pipeline_scheduler_test.cc).
+  bool pipeline = true;
+  /// Pin the asynchronous refresh workers to CPUs (see
+  /// ShardPoolOptions::pin_refresh_threads). Performance hint, off by
+  /// default; bit-identity is unaffected.
+  bool pin_refresh_threads = false;
 };
 
 /// Owns the reasoning plane (an EngineShardPool: per-objective-group engine
@@ -268,12 +284,24 @@ class CampaignRunner {
   /// on the fleet — no per-round barrier across policies. Round counters,
   /// refresh seeds, and the propose/absorb contract are per policy and
   /// unchanged; with a single policy (any broker mode, homogeneous
-  /// backends) this is bit-identical to Run. With several policies sharing
-  /// a group, the interleaving of that shard's refreshes follows
-  /// measurement completion order, which on a real fleet is
+  /// backends) this is bit-identical to Run, and policies in distinct
+  /// objective groups are bit-identical to their RunGrouped selves for any
+  /// CampaignOptions::pipeline / refresh_threads setting. With several
+  /// policies sharing a group, the interleaving of that shard's refreshes
+  /// follows measurement completion order, which on a real fleet is
   /// timing-dependent — results stay valid but are not run-to-run
-  /// deterministic. Policies in distinct groups do not contend at all.
-  /// Failure: as Run; a permanently failed measurement throws.
+  /// deterministic.
+  ///
+  /// With CampaignOptions::pipeline (the default) this runs the pipelined
+  /// campaign scheduler: completions stream in and are absorbed the moment
+  /// a policy's batch fills; a policy whose next round wants a refresh
+  /// hands its shard to the pool's asynchronous refresh workers and the
+  /// scheduler keeps servicing every other policy meanwhile — dirty shards
+  /// of different policies refresh as one parallel batch, hidden behind
+  /// the fleet's device service time (ShardPoolStats::overlap_seconds /
+  /// widest_cross_policy_batch report how well).
+  /// Failure: as Run; a permanently failed measurement throws (outstanding
+  /// asynchronous refreshes are drained before the exception leaves).
   void RunAsyncGrouped(const std::vector<GroupedPolicy>& policies);
   void RunAsync(const std::vector<CampaignPolicy*>& policies);
 
@@ -302,6 +330,10 @@ class CampaignRunner {
   }
 
   static ShardPoolOptions MakePoolOptions(const CampaignOptions& options);
+
+  // The two RunAsyncGrouped engines (see CampaignOptions::pipeline).
+  void RunAsyncGroupedBarrier(const std::vector<GroupedPolicy>& policies);
+  void RunAsyncGroupedPipelined(const std::vector<GroupedPolicy>& policies);
 
   CampaignOptions options_;
   MeasurementBroker broker_;  // owns the task

@@ -89,11 +89,163 @@ void EngineShardPool::RefreshShards(std::vector<size_t> shards, uint64_t seed) {
   batch_wall_seconds_ += std::chrono::duration<double>(Clock::now() - start).count();
 }
 
+void EngineShardPool::StartRefreshAsync(size_t shard_index, uint64_t seed, uint64_t token) {
+  if (async_pool_ == nullptr) {
+    TaskPool::Options pool_options;
+    pool_options.num_threads = options_.refresh_threads < 1 ? 1 : options_.refresh_threads;
+    pool_options.pin_threads = options_.pin_refresh_threads;
+    async_pool_ = std::make_unique<TaskPool>(pool_options);
+  }
+  {
+    std::lock_guard<std::mutex> lock(async_mu_);
+    ++async_outstanding_;
+    AsyncShardState& state = async_shards_[shard_index];
+    if (state.busy) {
+      // The shard is already refreshing (or queued): serialize behind it.
+      // Seeds apply in submission order, preserving the caller's refresh
+      // stream exactly.
+      state.pending.emplace_back(seed, token);
+      return;
+    }
+    state.busy = true;
+  }
+  // Shortest-job-first: refresh cost grows superlinearly with the shard's
+  // row count, so small shards jump the queue. Without this, a light
+  // tenant's millisecond refresh convoys behind multi-second refreshes of
+  // big shards and its policy (plus the fleet capacity it was feeding)
+  // stalls for the whole backlog. Cross-shard dispatch order carries no
+  // semantics — each shard's own refresh stream stays FIFO via `pending`.
+  const int64_t priority = -static_cast<int64_t>(shard(shard_index).data().NumRows());
+  async_pool_->Submit(
+      [this, shard_index, seed, token] { RunAsyncRefresh(shard_index, seed, token); },
+      priority);
+}
+
+void EngineShardPool::RunAsyncRefresh(size_t shard_index, uint64_t seed, uint64_t token) {
+  using Clock = std::chrono::steady_clock;
+  const std::atomic<size_t>* gauge = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(async_mu_);
+    ++async_running_;
+    // Every running job is a distinct shard (per-shard FIFO), i.e. a
+    // distinct objective group: the gauge high-water mark IS the widest
+    // cross-policy refresh batch.
+    widest_async_ = std::max(widest_async_, async_running_);
+    gauge = in_flight_gauge_;
+  }
+  const bool overlapped_at_start =
+      gauge != nullptr && gauge->load(std::memory_order_relaxed) > 0;
+  const auto start = Clock::now();
+  ShardRefreshDone done;
+  done.shard = shard_index;
+  done.token = token;
+  try {
+    CausalModelEngine& engine = shard(shard_index);
+    if (engine.data().NumRows() > 0) {  // RefreshShards' empty-shard guard
+      engine.Refresh(seed);
+    }
+  } catch (...) {
+    done.error = std::current_exception();
+  }
+  const double wall = std::chrono::duration<double>(Clock::now() - start).count();
+  const bool overlapped_at_end =
+      gauge != nullptr && gauge->load(std::memory_order_relaxed) > 0;
+
+  bool chain = false;
+  uint64_t next_seed = 0;
+  uint64_t next_token = 0;
+  {
+    std::lock_guard<std::mutex> lock(async_mu_);
+    --async_running_;
+    // Trapezoid sample of "refresh time hidden behind in-flight
+    // measurement": full credit when measurements were in flight at both
+    // ends of the refresh, half when only at one.
+    overlap_seconds_ +=
+        wall * ((overlapped_at_start ? 0.5 : 0.0) + (overlapped_at_end ? 0.5 : 0.0));
+    AsyncShardState& state = async_shards_[shard_index];
+    // Snapshot the engine's stats while the shard is quiescent, so stats()
+    // callers never read a mid-refresh engine.
+    state.snapshot = shard(shard_index).stats();
+    state.has_snapshot = true;
+    if (!state.pending.empty()) {
+      next_seed = state.pending.front().first;
+      next_token = state.pending.front().second;
+      state.pending.pop_front();
+      chain = true;  // state.busy stays set: the shard refreshes again next
+    } else {
+      state.busy = false;
+    }
+    async_done_.push_back(std::move(done));
+  }
+  async_cv_.notify_all();
+  if (chain) {
+    // Re-submit instead of looping inline, so a deep same-shard backlog
+    // cannot starve other shards' queued jobs of this worker. Same
+    // shortest-job-first priority as StartRefreshAsync (the shard is
+    // quiescent between chained refreshes, so the row count is stable).
+    const int64_t priority = -static_cast<int64_t>(shard(shard_index).data().NumRows());
+    async_pool_->Submit(
+        [this, shard_index, next_seed, next_token] {
+          RunAsyncRefresh(shard_index, next_seed, next_token);
+        },
+        priority);
+  }
+}
+
+bool EngineShardPool::TryPopRefreshDone(ShardRefreshDone* out) {
+  std::lock_guard<std::mutex> lock(async_mu_);
+  if (async_done_.empty()) {
+    return false;
+  }
+  *out = std::move(async_done_.front());
+  async_done_.pop_front();
+  --async_outstanding_;
+  return true;
+}
+
+bool EngineShardPool::WaitRefreshDone(ShardRefreshDone* out) {
+  std::unique_lock<std::mutex> lock(async_mu_);
+  if (async_outstanding_ == 0) {
+    return false;
+  }
+  async_cv_.wait(lock, [&] { return !async_done_.empty(); });
+  *out = std::move(async_done_.front());
+  async_done_.pop_front();
+  --async_outstanding_;
+  return true;
+}
+
+size_t EngineShardPool::PendingAsyncRefreshes() const {
+  std::lock_guard<std::mutex> lock(async_mu_);
+  return async_outstanding_;
+}
+
+void EngineShardPool::DrainAsyncRefreshes() {
+  ShardRefreshDone discarded;
+  while (WaitRefreshDone(&discarded)) {
+  }
+}
+
+void EngineShardPool::SetInFlightGauge(const std::atomic<size_t>* gauge) {
+  std::lock_guard<std::mutex> lock(async_mu_);
+  in_flight_gauge_ = gauge;
+}
+
 ShardPoolStats EngineShardPool::stats() const {
   ShardPoolStats stats;
   stats.shards = shards_.size();
-  for (const auto& engine : shards_) {
-    const EngineStats& s = engine->stats();
+  std::lock_guard<std::mutex> lock(async_mu_);
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    // A shard with an asynchronous refresh in flight is aggregated from its
+    // last completed snapshot (taken under async_mu_ at job completion), so
+    // this never reads an engine another thread is mutating. A busy shard
+    // that never completed a refresh contributes zeros for one poll.
+    const auto async_it = async_shards_.find(i);
+    const bool busy = async_it != async_shards_.end() && async_it->second.busy;
+    const EngineStats& s = busy ? async_it->second.snapshot : shards_[i]->stats();
+    if (busy && !async_it->second.has_snapshot) {
+      continue;
+    }
     stats.refreshes += s.refreshes;
     stats.tests_requested += s.total_tests_requested;
     stats.tests_evaluated += s.total_tests_evaluated;
@@ -104,6 +256,8 @@ ShardPoolStats EngineShardPool::stats() const {
   stats.refresh_batches = refresh_batches_;
   stats.max_concurrent_refreshes = max_concurrent_;
   stats.batch_wall_seconds = batch_wall_seconds_;
+  stats.widest_cross_policy_batch = widest_async_;
+  stats.overlap_seconds = overlap_seconds_;
   return stats;
 }
 

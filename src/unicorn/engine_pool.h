@@ -26,7 +26,12 @@
 #ifndef UNICORN_UNICORN_ENGINE_POOL_H_
 #define UNICORN_UNICORN_ENGINE_POOL_H_
 
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <exception>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -57,6 +62,9 @@ struct ShardPoolOptions {
   // pure memoization, so eviction costs re-evaluation, never correctness.
   // Only meaningful with share_ci_cache.
   size_t shared_cache_entries = 1 << 18;
+  // Pin the asynchronous refresh workers to CPUs (ThreadPool::Options::
+  // pin_threads). Off by default; a performance hint only.
+  bool pin_refresh_threads = false;
 };
 
 // Fleet-style aggregate over every shard's EngineStats, plus the pool-level
@@ -79,6 +87,18 @@ struct ShardPoolStats {
   size_t refresh_batches = 0;
   size_t max_concurrent_refreshes = 0;
   double batch_wall_seconds = 0.0;
+  // Asynchronous-refresh ledger (StartRefreshAsync, the pipelined campaign
+  // scheduler's path). `widest_cross_policy_batch` is the most asynchronous
+  // shard refreshes ever observed running at once — each running job is a
+  // distinct shard (per-shard FIFO serialization), i.e. a distinct objective
+  // group, so this is exactly the widest cross-policy refresh batch the
+  // coalescing achieved. `overlap_seconds` is refresh wall time spent while
+  // the registered in-flight gauge (SetInFlightGauge: the scheduler's count
+  // of measurement rows on the fleet) was nonzero — refresh compute hidden
+  // behind device service time. Sampled at job start and end (trapezoid), so
+  // it is a coarse estimate, not an integral.
+  size_t widest_cross_policy_batch = 0;
+  double overlap_seconds = 0.0;
 
   double CacheHitRate() const {
     return tests_requested == 0
@@ -90,6 +110,14 @@ struct ShardPoolStats {
                ? 0.0
                : static_cast<double>(cross_shard_hits) / static_cast<double>(tests_requested);
   }
+};
+
+/// One finished asynchronous shard refresh (see
+/// EngineShardPool::StartRefreshAsync). Value type.
+struct ShardRefreshDone {
+  size_t shard = 0;
+  uint64_t token = 0;          ///< the caller's correlation tag, round-tripped
+  std::exception_ptr error;    ///< null on success
 };
 
 // Owns the engine shards of a campaign (one per objective group, created on
@@ -106,6 +134,8 @@ class EngineShardPool {
   EngineShardPool(std::vector<Variable> variables, ShardPoolOptions options = {});
 
   // Index of the shard owning `group`, creating the shard on first use.
+  // Must not be called while asynchronous refreshes are outstanding (shard
+  // storage may grow; workers hold references into it).
   size_t ShardForGroup(const std::string& group);
 
   size_t num_shards() const { return shards_.size(); }
@@ -122,10 +152,61 @@ class EngineShardPool {
   // batch may or may not have refreshed.
   void RefreshShards(std::vector<size_t> shards, uint64_t seed);
 
+  // --- asynchronous refreshes (the pipelined campaign scheduler) -----------
+  //
+  // StartRefreshAsync enqueues one shard refresh and returns immediately;
+  // the refresh runs on a dedicated worker pool (refresh_threads workers,
+  // created lazily), and completion surfaces as a ShardRefreshDone carrying
+  // the caller's `token`. Same-shard requests are serialized in FIFO order
+  // (a shard never refreshes twice at once; its seeds apply in submission
+  // order), while requests for distinct shards run concurrently — that
+  // concurrency is the cross-policy refresh coalescing the ledger reports.
+  // An empty shard skips the engine refresh but still delivers its done
+  // event (mirroring RefreshShards' guard).
+  //
+  // Contract: between StartRefreshAsync(shard, ...) and popping its done
+  // event, the caller must not touch that shard's engine (no absorb, no
+  // Propose reading it) and must not call RefreshShards on it. Exceptions
+  // from the refresh are captured in ShardRefreshDone::error, never thrown
+  // from the worker.
+  //
+  // Thread-safety: Start/TryPop/WaitRefreshDone/Drain are driven by one
+  // scheduler thread; the workers run concurrently underneath. stats() may
+  // be called while asynchronous refreshes are in flight — shards currently
+  // refreshing are aggregated from their last completed snapshot.
+  void StartRefreshAsync(size_t shard, uint64_t seed, uint64_t token);
+  // Non-blocking: false when no done event is queued right now.
+  bool TryPopRefreshDone(ShardRefreshDone* out);
+  // Blocking: false only when no asynchronous refresh is outstanding.
+  bool WaitRefreshDone(ShardRefreshDone* out);
+  // Started (or queued) asynchronous refreshes whose done event has not been
+  // popped yet.
+  size_t PendingAsyncRefreshes() const;
+  // Waits for every outstanding asynchronous refresh and discards the done
+  // events (exception-path cleanup; errors are intentionally swallowed —
+  // the caller is already unwinding on the first one).
+  void DrainAsyncRefreshes();
+  // Registers the in-flight measurement gauge the overlap ledger samples
+  // (nullptr to unregister). Call only while no asynchronous refresh is
+  // outstanding; the gauge must stay valid until unregistered.
+  void SetInFlightGauge(const std::atomic<size_t>* gauge);
+
   // Aggregate of every shard's EngineStats plus the pool refresh ledger.
   ShardPoolStats stats() const;
 
  private:
+  // Per-shard asynchronous bookkeeping, all under async_mu_.
+  struct AsyncShardState {
+    bool busy = false;  // a refresh job for this shard is queued or running
+    std::deque<std::pair<uint64_t, uint64_t>> pending;  // (seed, token) FIFO
+    EngineStats snapshot;     // engine stats at the last completed refresh
+    bool has_snapshot = false;
+  };
+
+  // Runs one shard refresh on a worker: executes, snapshots stats, delivers
+  // the done event, and chains the shard's next pending request if any.
+  void RunAsyncRefresh(size_t shard_index, uint64_t seed, uint64_t token);
+
   std::vector<Variable> variables_;
   ShardPoolOptions options_;
   CICache shared_cache_;
@@ -137,6 +218,18 @@ class EngineShardPool {
   size_t refresh_batches_ = 0;
   size_t max_concurrent_ = 0;
   double batch_wall_seconds_ = 0.0;
+
+  // Asynchronous refresh plumbing (see the async section above).
+  std::unique_ptr<TaskPool> async_pool_;  // lazily created
+  mutable std::mutex async_mu_;
+  std::condition_variable async_cv_;      // done event available
+  std::unordered_map<size_t, AsyncShardState> async_shards_;
+  std::deque<ShardRefreshDone> async_done_;
+  size_t async_outstanding_ = 0;  // started, done event not yet popped
+  size_t async_running_ = 0;      // jobs executing right now (distinct shards)
+  size_t widest_async_ = 0;
+  double overlap_seconds_ = 0.0;
+  const std::atomic<size_t>* in_flight_gauge_ = nullptr;
 };
 
 }  // namespace unicorn

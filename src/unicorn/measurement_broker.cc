@@ -246,6 +246,10 @@ void MeasurementBroker::DrainOneFleetCompletion() {
     fleet_waiters_.clear();
     return;
   }
+  ResolveFleetCompletion(std::move(done));
+}
+
+void MeasurementBroker::ResolveFleetCompletion(FleetCompletion done) {
   stats_.busy_seconds += done.measure_seconds;
   const auto waiters_it = fleet_waiters_.find(done.ticket);
   if (waiters_it == fleet_waiters_.end()) {
@@ -299,6 +303,32 @@ bool MeasurementBroker::WaitCompletion(BrokerCompletion* out) {
     }
     return false;
   }
+}
+
+bool MeasurementBroker::WaitCompletionFor(BrokerCompletion* out, double timeout_seconds) {
+  if (!ready_.empty()) {
+    *out = std::move(ready_.front());
+    ready_.pop_front();
+    --outstanding_requests_;
+    return true;
+  }
+  if (fleet_ == nullptr || fleet_waiters_.empty()) {
+    return false;  // nothing outstanding: a longer wait cannot help
+  }
+  FleetCompletion done;
+  if (!fleet_->WaitCompletionFor(&done, timeout_seconds)) {
+    return false;  // timed out (or the fleet drained under us)
+  }
+  ResolveFleetCompletion(std::move(done));
+  // One fleet completion fans out to >= 1 waiting requests, so ready_ is
+  // nonempty here by construction; fall through to hand the first one out.
+  if (ready_.empty()) {
+    return false;
+  }
+  *out = std::move(ready_.front());
+  ready_.pop_front();
+  --outstanding_requests_;
+  return true;
 }
 
 size_t MeasurementBroker::OutstandingRequests() const { return outstanding_requests_; }

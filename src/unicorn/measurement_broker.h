@@ -157,6 +157,15 @@ class MeasurementBroker {
   // one thread drains the stream, like every other broker entry point.
   bool WaitCompletion(BrokerCompletion* out);
 
+  // Timed WaitCompletion: false when nothing completed within
+  // `timeout_seconds` as well as when nothing is outstanding (check
+  // OutstandingRequests() to tell the two apart). Lets the pipelined
+  // campaign scheduler multiplex this stream with the shard pool's
+  // refresh-done events without stalling on either. Same single-consumer
+  // contract as WaitCompletion. In pool mode completions are pre-queued by
+  // SubmitBatch, so the timeout never actually sleeps there.
+  bool WaitCompletionFor(BrokerCompletion* out, double timeout_seconds);
+
   // Hands a completion back to the stream (front of the queue). For
   // consumers that popped a completion belonging to a batch someone else is
   // draining — put it back instead of dropping the measured row.
@@ -216,6 +225,9 @@ class MeasurementBroker {
   // Blocks on the fleet stream for one completion and resolves its waiters
   // into ready_. Requires outstanding fleet work.
   void DrainOneFleetCompletion();
+  // Shared tail of the blocking and timed drains: cache/in-flight
+  // bookkeeping plus waiter fan-out into ready_.
+  void ResolveFleetCompletion(FleetCompletion done);
 
   PerformanceTask task_;
   BrokerOptions options_;

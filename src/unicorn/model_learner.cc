@@ -107,6 +107,42 @@ void CausalModelEngine::Reserve(size_t rows) {
   row_provenance_.reserve(rows);
 }
 
+void CausalModelEngine::SyncAppendedRows() {
+  if (test_ == nullptr || test_rows_ == data_.NumRows()) {
+    // Nothing to extend: either no test state exists yet (the first Refresh
+    // builds it from the full table) or it is already current.
+    return;
+  }
+  // The same bring-up-to-date step Refresh() performs, hoisted so absorption
+  // can pay it off the search path: G² codes extend over the appended rows
+  // (recoding from scratch only where extension cannot be bit-identical),
+  // Fisher-Z ranks refresh, strata re-derive lazily.
+  test_->Update(data_);
+  // Cached p-values are keyed on the table fingerprint, so every private
+  // entry from the previous size is now unreachable; dropping them keeps
+  // the cache at one refresh's working set. A shared cache is left alone:
+  // other shards may still sit at a prefix this engine has grown past, and
+  // it bounds its own memory.
+  if (shared_cache_ == nullptr) {
+    cache_.Clear();
+  }
+  test_rows_ = data_.NumRows();
+}
+
+void CausalModelEngine::AbsorbIncremental(const std::vector<std::vector<double>>& rows,
+                                          RowProvenance provenance) {
+  for (const auto& row : rows) {
+    AddRow(row, provenance);
+  }
+  SyncAppendedRows();
+}
+
+void CausalModelEngine::AbsorbIncremental(const std::vector<double>& row,
+                                          RowProvenance provenance) {
+  AddRow(row, provenance);
+  SyncAppendedRows();
+}
+
 size_t CausalModelEngine::ComputeDirtyPairs(std::vector<char>* dirty,
                                             const std::vector<double>& current) const {
   const size_t n = data_.NumVars();
@@ -191,21 +227,14 @@ const LearnedModel& CausalModelEngine::Refresh(uint64_t seed) {
   }
 
   // Bring the CI tests up to date with the appended rows (streaming /
-  // lazy: ranks are recomputed, codes and strata re-derive on demand).
+  // lazy: ranks are recomputed, codes and strata re-derive on demand). A
+  // no-op when AbsorbIncremental already paid this during absorption.
   if (test_ == nullptr) {
     test_ = std::make_unique<CompositeTest>(data_);
-  } else if (test_rows_ != data_.NumRows()) {
-    test_->Update(data_);
-    // Cached p-values are keyed on the table fingerprint, so every private
-    // entry from the previous size is now unreachable; dropping them keeps
-    // the cache at one refresh's working set. A shared cache is left alone:
-    // other shards may still sit at a prefix this engine has grown past,
-    // and it bounds its own memory.
-    if (shared_cache_ == nullptr) {
-      cache_.Clear();
-    }
+    test_rows_ = data_.NumRows();
+  } else {
+    SyncAppendedRows();
   }
-  test_rows_ = data_.NumRows();
 
   const long long evaluated_before = test_->calls;
 

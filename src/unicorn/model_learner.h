@@ -148,6 +148,26 @@ class CausalModelEngine {
   // Pre-allocates storage for `rows` total measurements.
   void Reserve(size_t rows);
 
+  // First-class incremental absorption (the pipelined campaign scheduler's
+  // absorb contract): appends the rows and immediately synchronizes the CI
+  // test state with the grown table through the O(appended) incremental
+  // paths — G² codes extend in place (full recode only where extension
+  // cannot reproduce the from-scratch coding bit-identically), Fisher-Z
+  // ranks refresh — instead of deferring that work to the next Refresh().
+  // Bit-identical to AddRow-then-Refresh by the kernel equivalence contract
+  // (stats/independence.h Update); a Refresh() after AbsorbIncremental finds
+  // the test state already current and goes straight to the search. Rows
+  // absorbed before the first Refresh are simply appended (there is no test
+  // state to extend yet).
+  void AbsorbIncremental(const std::vector<std::vector<double>>& rows,
+                         RowProvenance provenance = RowProvenance::kTarget);
+  void AbsorbIncremental(const std::vector<double>& row,
+                         RowProvenance provenance = RowProvenance::kTarget);
+  // The sync half of AbsorbIncremental, exposed for callers that appended
+  // through AddRow/AppendRows: one incremental CI-state update covering every
+  // row added since the last Refresh/Sync. No-op when already current.
+  void SyncAppendedRows();
+
   // Shared-cache mode (the sharded reasoning plane, see unicorn/engine_pool):
   // from the next refresh on, CI results are memoized in `shared` instead of
   // the engine-private cache, attributed to `shard_id`. Entries are keyed on

@@ -175,6 +175,11 @@ void OptimizePolicy::Absorb(const std::vector<std::vector<double>>& configs,
       ++iter_;
     }
   }
+  // The CI-state extension is deferred to Refresh() (one O(appended) step
+  // on entry, see DebugPolicy::Absorb): on the pipeline's refresh workers
+  // it overlaps device service time, and an optimizer past its last relearn
+  // never pays it at all. Bit-identical: nothing reads the test state
+  // between absorb and refresh.
   if (!bootstrapped_) {
     bootstrapped_ = true;
     return;

@@ -14,6 +14,7 @@
 #ifndef UNICORN_UTIL_BOUNDED_QUEUE_H_
 #define UNICORN_UTIL_BOUNDED_QUEUE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -60,6 +61,24 @@ class BoundedQueue {
   bool Pop(T* out) {
     std::unique_lock<std::mutex> lock(mu_);
     item_cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) {
+      return false;  // closed and drained
+    }
+    *out = std::move(items_.front());
+    items_.pop_front();
+    space_cv_.notify_one();
+    return true;
+  }
+
+  // Timed pop: blocks up to `timeout` for an item. False on timeout as well
+  // as when closed and drained — callers that must tell the two apart check
+  // closed() (the campaign scheduler only needs "nothing yet", so it doesn't).
+  template <typename Rep, typename Period>
+  bool PopFor(T* out, std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!item_cv_.wait_for(lock, timeout, [&] { return closed_ || !items_.empty(); })) {
+      return false;
+    }
     if (items_.empty()) {
       return false;  // closed and drained
     }

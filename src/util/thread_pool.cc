@@ -1,11 +1,46 @@
 #include "util/thread_pool.h"
 
+#include <algorithm>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 namespace unicorn {
 
-ThreadPool::ThreadPool(int num_threads) {
-  const int workers = num_threads - 1;
+namespace {
+
+// Best-effort CPU pinning: worker `index` goes to CPU index % hardware
+// cores. Failure (cgroup-restricted mask, exotic topology) is silently
+// ignored — affinity is a performance hint, never a correctness dependency.
+void PinToCpu(std::thread& thread, int index) {
+#if defined(__linux__)
+  const unsigned cpus = std::thread::hardware_concurrency();
+  if (cpus == 0) {
+    return;
+  }
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(index) % cpus, &set);
+  pthread_setaffinity_np(thread.native_handle(), sizeof(set), &set);
+#else
+  (void)thread;
+  (void)index;
+#endif
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) : ThreadPool(Options{num_threads, false}) {}
+
+ThreadPool::ThreadPool(const Options& options) {
+  const int workers = options.num_threads - 1;
   for (int i = 0; i < workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
+    if (options.pin_threads) {
+      PinToCpu(workers_.back(), i);
+    }
   }
 }
 
@@ -76,6 +111,74 @@ void ThreadPool::ParallelFor(size_t count, const std::function<void(size_t)>& bo
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [&] { return active_ == 0; });
   body_ = nullptr;
+}
+
+TaskPool::TaskPool(const Options& options) {
+  const int workers = options.num_threads < 1 ? 1 : options.num_threads;
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+    if (options.pin_threads) {
+      PinToCpu(workers_.back(), i);
+    }
+  }
+}
+
+TaskPool::~TaskPool() {
+  Drain();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) {
+    w.join();
+  }
+}
+
+// Heap "less": the top is the highest priority, earliest submission on ties.
+bool TaskPool::TaskAfter(const QueuedTask& a, const QueuedTask& b) {
+  if (a.priority != b.priority) {
+    return a.priority < b.priority;
+  }
+  return a.seq > b.seq;
+}
+
+void TaskPool::Submit(std::function<void()> task, int64_t priority) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push_back(QueuedTask{priority, next_seq_++, std::move(task)});
+    std::push_heap(tasks_.begin(), tasks_.end(), TaskAfter);
+  }
+  work_cv_.notify_one();
+}
+
+void TaskPool::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [&] { return tasks_.empty() && running_ == 0; });
+}
+
+void TaskPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        return;  // stop requested and queue drained
+      }
+      std::pop_heap(tasks_.begin(), tasks_.end(), TaskAfter);
+      task = std::move(tasks_.back().task);
+      tasks_.pop_back();
+      ++running_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--running_ == 0 && tasks_.empty()) {
+        idle_cv_.notify_all();
+      }
+    }
+  }
 }
 
 }  // namespace unicorn

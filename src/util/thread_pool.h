@@ -1,16 +1,22 @@
-// A small fixed-size thread pool with a blocking parallel-for.
+// Small fixed-size thread pools: a blocking parallel-for (ThreadPool) and a
+// fire-and-forget task queue (TaskPool).
 //
-// Built for the per-level edge sweep of the PC-stable skeleton search: the
-// caller hands over `count` independent work items, workers pull indices from
-// a shared atomic counter, and ParallelFor returns once every item ran. The
-// calling thread participates, so ThreadPool(1) degenerates to an inline
-// loop and a pool is always safe to use regardless of hardware.
+// ThreadPool was built for the per-level edge sweep of the PC-stable skeleton
+// search: the caller hands over `count` independent work items, workers pull
+// indices from a shared atomic counter, and ParallelFor returns once every
+// item ran. The calling thread participates, so ThreadPool(1) degenerates to
+// an inline loop and a pool is always safe to use regardless of hardware.
+//
+// TaskPool is the asynchronous sibling under the campaign scheduler's shard
+// refreshes: Submit enqueues a task and returns immediately; completion is
+// whatever side effect the task performs (the shard pool pushes a done event).
 #ifndef UNICORN_UTIL_THREAD_POOL_H_
 #define UNICORN_UTIL_THREAD_POOL_H_
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -18,10 +24,24 @@
 
 namespace unicorn {
 
+/// Shared knobs of both pool flavors. Plain value type.
+struct ThreadPoolOptions {
+  /// ThreadPool: workers + the calling thread; TaskPool: worker count.
+  int num_threads = 1;
+  /// Pin each worker to one CPU (round-robin over the hardware set) via the
+  /// OS affinity call. Best-effort and off by default: pinning helps steady
+  /// refresh sweeps on multi-socket hosts but hurts whenever the pool shares
+  /// cores with other busy threads. Non-Linux builds ignore it.
+  bool pin_threads = false;
+};
+
 class ThreadPool {
  public:
+  using Options = ThreadPoolOptions;
+
   // `num_threads` <= 1 keeps no worker threads (ParallelFor runs inline).
   explicit ThreadPool(int num_threads);
+  explicit ThreadPool(const Options& options);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -48,6 +68,58 @@ class ThreadPool {
   std::atomic<size_t> next_{0};
   size_t active_ = 0;       // workers still inside the current batch
   uint64_t generation_ = 0;  // bumped per batch so workers never re-run one
+  bool stop_ = false;
+};
+
+/// Fire-and-forget task queue over dedicated workers (the calling thread
+/// never participates — that is the point: the caller stays free to service
+/// its own event loop while tasks run). Workers pull the highest-priority
+/// queued task (FIFO among equal priorities), concurrently across workers.
+/// Tasks must not throw: a task that could fail must capture its own error
+/// (the shard pool wraps refreshes in a catch-all and ships the
+/// std::exception_ptr through its done queue).
+/// Thread-safety: Submit/Drain may be called from any thread. The destructor
+/// drains outstanding tasks before joining.
+class TaskPool {
+ public:
+  using Options = ThreadPoolOptions;
+
+  /// At least one worker is always kept, so Submit never runs inline.
+  explicit TaskPool(const Options& options);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// Enqueues `task` and returns immediately. Higher `priority` runs first;
+  /// ties run in submission order. No preemption: a long low-priority task
+  /// already on a worker keeps it, so priority bounds queueing delay, not
+  /// latency. The shard pool submits refreshes at minus-the-shard's-row-count
+  /// (shortest-job-first) so a cheap refresh never convoys behind big ones.
+  void Submit(std::function<void()> task, int64_t priority = 0);
+
+  /// Blocks until every task submitted so far has finished running.
+  void Drain();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  struct QueuedTask {
+    int64_t priority = 0;
+    uint64_t seq = 0;  // submission order, the FIFO tie-break
+    std::function<void()> task;
+  };
+  static bool TaskAfter(const QueuedTask& a, const QueuedTask& b);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: task available or shutdown
+  std::condition_variable idle_cv_;  // Drain: queue empty and nothing running
+  std::vector<QueuedTask> tasks_;    // max-heap: priority, then earliest seq
+  uint64_t next_seq_ = 0;
+  size_t running_ = 0;  // tasks currently executing on workers
   bool stop_ = false;
 };
 

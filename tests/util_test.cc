@@ -1,14 +1,19 @@
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 #include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "util/bounded_queue.h"
 #include "util/csv.h"
 #include "util/text_table.h"
+#include "util/thread_pool.h"
 
 namespace unicorn {
 namespace {
@@ -134,6 +139,100 @@ TEST(BoundedQueueTest, DrainNowEmptiesTheQueue) {
   const std::vector<int> drained = queue.DrainNow();
   EXPECT_EQ(drained, (std::vector<int>{0, 1, 2, 3, 4}));
   EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(BoundedQueueTest, PopForTimesOutThenDelivers) {
+  BoundedQueue<int> queue(4);
+  int value = 0;
+  // Nothing queued: the timed pop returns false after the timeout.
+  EXPECT_FALSE(queue.PopFor(&value, std::chrono::milliseconds(5)));
+  queue.Push(41);
+  EXPECT_TRUE(queue.PopFor(&value, std::chrono::milliseconds(5)));
+  EXPECT_EQ(value, 41);
+
+  // A waiting PopFor wakes on arrival, well before a generous timeout.
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    queue.Push(42);
+  });
+  EXPECT_TRUE(queue.PopFor(&value, std::chrono::seconds(10)));
+  EXPECT_EQ(value, 42);
+  producer.join();
+
+  // Closed and drained reads as false, same as TryPop.
+  queue.Close();
+  EXPECT_FALSE(queue.PopFor(&value, std::chrono::milliseconds(5)));
+}
+
+TEST(TaskPoolTest, SubmitRunsTasksAndDrainWaits) {
+  TaskPool::Options options;
+  options.num_threads = 2;
+  TaskPool pool(options);
+  EXPECT_EQ(pool.num_threads(), 2);
+
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit([&ran] { ran.fetch_add(1); });
+  }
+  pool.Drain();
+  EXPECT_EQ(ran.load(), 16);
+
+  // Drain on an idle pool returns immediately; the pool is reusable after.
+  pool.Drain();
+  pool.Submit([&ran] { ran.fetch_add(1); });
+  pool.Drain();
+  EXPECT_EQ(ran.load(), 17);
+}
+
+// Priority is shortest-job-first dispatch order for queued tasks: with the
+// single worker held busy, the high-priority submission overtakes earlier
+// low-priority ones, and equal priorities keep submission (FIFO) order.
+TEST(TaskPoolTest, HigherPriorityOvertakesQueueFifoOnTies) {
+  TaskPool::Options options;
+  options.num_threads = 1;
+  TaskPool pool(options);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::vector<int> order;
+  pool.Submit([&] {  // occupies the lone worker until every task is queued
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  });
+  const auto record = [&](int id) {
+    std::lock_guard<std::mutex> lock(mu);
+    order.push_back(id);
+  };
+  pool.Submit([&, id = 1] { record(id); }, /*priority=*/-10);
+  pool.Submit([&, id = 2] { record(id); }, /*priority=*/-10);
+  pool.Submit([&, id = 3] { record(id); }, /*priority=*/0);
+  pool.Submit([&, id = 4] { record(id); }, /*priority=*/-10);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_one();
+  pool.Drain();
+  EXPECT_EQ(order, (std::vector<int>{3, 1, 2, 4}));
+}
+
+// pin_threads is a best-effort hint: pools must construct and run work with
+// it on regardless of the host's affinity rights.
+TEST(ThreadPoolTest, PinnedPoolsStillRunWork) {
+  ThreadPool::Options options;
+  options.num_threads = 2;
+  options.pin_threads = true;
+  ThreadPool pool(options);
+  std::atomic<int> sum{0};
+  pool.ParallelFor(8, [&](size_t i) { sum.fetch_add(static_cast<int>(i)); });
+  EXPECT_EQ(sum.load(), 28);
+
+  TaskPool task_pool(options);
+  std::atomic<int> ran{0};
+  task_pool.Submit([&ran] { ran.fetch_add(1); });
+  task_pool.Drain();
+  EXPECT_EQ(ran.load(), 1);
 }
 
 TEST(TextTableTest, RendersHeaderAndRows) {
