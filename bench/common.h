@@ -14,6 +14,7 @@
 
 #include "eval/harness.h"
 #include "eval/metrics.h"
+#include "obs/stats_export.h"
 #include "sysmodel/faults.h"
 #include "sysmodel/systems.h"
 #include "unicorn/debugger.h"
@@ -80,6 +81,15 @@ std::string SystemLabel(SystemId id);
 class JsonResults {
  public:
   void Add(const std::string& section, const std::string& name, double value);
+  // One section per stats struct, fields in obs::Fields order — the same
+  // schema obs::DumpStatsJson prints, so bench JSON and console stats blocks
+  // can never drift apart.
+  template <typename Stats>
+  void AddStats(const std::string& section, const Stats& stats) {
+    for (const auto& [name, value] : obs::Fields(stats)) {
+      Add(section, name, value);
+    }
+  }
   std::string Serialize(const std::string& bench_name) const;
   // Returns false (and prints to stderr) when the file cannot be written.
   bool WriteFile(const std::string& path, const std::string& bench_name) const;

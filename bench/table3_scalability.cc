@@ -10,6 +10,8 @@
 
 #include "bench/common.h"
 #include "causal/effects.h"
+#include "obs/cli.h"
+#include "obs/stats_export.h"
 #include "unicorn/measurement_broker.h"
 #include "unicorn/model_learner.h"
 #include "util/text_table.h"
@@ -166,11 +168,8 @@ void RunIncrementalComparison(bool smoke, bench::JsonResults* json = nullptr) {
     DebugResult result = debugger.Debug(faults[0].config, goals);
     const double seconds = std::chrono::duration<double>(Clock::now() - start).count();
     const EngineStats& stats = result.engine_stats;
-    std::printf("%-14s %6.2fs end-to-end | %5.2fs discovery | %zu refreshes | "
-                "%lld CI tests requested | %lld evaluated | cache-hit %4.1f%%\n",
-                label, seconds, stats.total_seconds, stats.refreshes,
-                stats.total_tests_requested, stats.total_tests_evaluated,
-                100.0 * stats.CacheHitRate());
+    std::printf("%-14s %6.2fs end-to-end | engine %s\n", label, seconds,
+                obs::DumpStatsJson(stats).c_str());
     std::printf("  per-iteration CI tests:");
     for (size_t i = 0; i < result.tests_per_iteration.size(); ++i) {
       std::printf(" %lld", result.tests_per_iteration[i]);
@@ -328,11 +327,10 @@ void RunMeasurementPlaneComparison(bool smoke, bench::JsonResults* json = nullpt
     const auto start = Clock::now();
     DebugResult result = debugger.Debug(faults[0].config, goals);
     const double seconds = std::chrono::duration<double>(Clock::now() - start).count();
-    std::printf("%-18s %6.2fs end-to-end | %5.2fs measuring wall (%5.2fs busy) | "
-                "%zu requests | %zu measured | broker cache-hit %4.1f%%\n",
-                label, seconds, result.broker_stats.batch_wall_seconds,
-                result.broker_stats.busy_seconds, result.broker_stats.requests,
-                result.broker_stats.measured, 100.0 * result.broker_stats.CacheHitRate());
+    // One schema for the whole ledger (obs::Fields) instead of a hand-picked
+    // printf subset — the same fields the bench JSON gets via AddStats.
+    std::printf("%-18s %6.2fs end-to-end | broker %s\n", label, seconds,
+                obs::DumpStatsJson(result.broker_stats).c_str());
     return result;
   };
   const DebugResult serial = run_debug("serial-measure", 1);
@@ -357,6 +355,8 @@ void RunMeasurementPlaneComparison(bool smoke, bench::JsonResults* json = nullpt
     json->Add("measurement_loop", "broker_cache_hit_rate",
               batched.broker_stats.CacheHitRate());
     json->Add("measurement_loop", "models_bit_identical", identical ? 1.0 : 0.0);
+    json->AddStats("measurement_loop_serial_broker", serial.broker_stats);
+    json->AddStats("measurement_loop_batched_broker", batched.broker_stats);
   }
 }
 
@@ -411,6 +411,7 @@ int main(int argc, char** argv) {
   bool incremental_only = false;
   bool smoke = false;
   std::string json_path;
+  unicorn::obs::Cli obs_cli;
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--incremental-only") {
@@ -419,6 +420,10 @@ int main(int argc, char** argv) {
       smoke = true;
     } else if (std::string(argv[i]) == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::string(argv[i]) == "--trace" && i + 1 < argc) {
+      obs_cli.trace_path = argv[++i];
+    } else if (std::string(argv[i]) == "--metrics" && i + 1 < argc) {
+      obs_cli.metrics_path = argv[++i];
     } else {
       argv[kept++] = argv[i];  // leave only benchmark-library flags in argv
     }
@@ -426,11 +431,15 @@ int main(int argc, char** argv) {
   argc = kept;
   unicorn::bench::JsonResults json;
   unicorn::bench::JsonResults* json_ptr = json_path.empty() ? nullptr : &json;
+  obs_cli.Begin();
   if (incremental_only) {
     // The two engine studies without the full Table 3 sweep (CI smoke mode
     // shrinks them further so perf binaries can't silently rot).
     unicorn::RunIncrementalComparison(smoke, json_ptr);
     unicorn::RunMeasurementPlaneComparison(smoke, json_ptr);
+    if (int rc = obs_cli.End(); rc != 0) {
+      return rc;
+    }
     if (json_ptr != nullptr && !json.WriteFile(json_path, "table3_scalability")) {
       return 1;
     }
@@ -439,6 +448,9 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   unicorn::RunTable(smoke, json_ptr);
+  if (int rc = obs_cli.End(); rc != 0) {
+    return rc;
+  }
   if (json_ptr != nullptr && !json.WriteFile(json_path, "table3_scalability")) {
     return 1;
   }

@@ -21,7 +21,8 @@
 //      property, not a timing one).
 //
 // Flags: --smoke (CI-sized workload), --json <path> (machine-readable
-// results, bench name "table_ci_kernels").
+// results, bench name "table_ci_kernels"), --trace/--metrics <path>
+// (observability artifacts; see docs/OBSERVABILITY.md).
 #include <charconv>
 #include <chrono>
 #include <cmath>
@@ -33,6 +34,8 @@
 #include <vector>
 
 #include "bench/common.h"
+#include "obs/cli.h"
+#include "obs/stats_export.h"
 #include "stats/ci_cache.h"
 #include "stats/independence.h"
 #include "stats/simd.h"
@@ -261,11 +264,8 @@ bool RunPerRefreshStudy(bool smoke, bench::JsonResults* json) {
   const double baseline =
       ReadBaselinePerRefresh("BENCH_table3_scalability.json", kFallbackBaselinePerRefresh);
   const double speedup = per_refresh > 0.0 ? baseline / per_refresh : 0.0;
-  std::printf("%6.2fs end-to-end | %5.2fs discovery | %zu refreshes | %.4fs per refresh | "
-              "%lld CI tests requested | %lld evaluated | cache-hit %4.1f%%\n",
-              seconds, stats.total_seconds, stats.refreshes, per_refresh,
-              stats.total_tests_requested, stats.total_tests_evaluated,
-              100.0 * stats.CacheHitRate());
+  std::printf("%6.2fs end-to-end | %.4fs per refresh | engine %s\n", seconds, per_refresh,
+              obs::DumpStatsJson(stats).c_str());
   if (smoke) {
     std::printf("per-refresh: %.4fs (smoke workload — not comparable to the recorded "
                 "full-size baseline)\n",
@@ -405,6 +405,8 @@ bool RunWarmCacheCampaign(bool smoke, bench::JsonResults* json) {
 int main(int argc, char** argv) {
   bool smoke = false;
   std::string json_path;
+  unicorn::obs::Cli obs_cli;
+  obs_cli.Scan(argc, argv);
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--smoke") {
       smoke = true;
@@ -412,6 +414,7 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     }
   }
+  obs_cli.Begin();
   unicorn::bench::JsonResults json;
   unicorn::bench::JsonResults* json_ptr = json_path.empty() ? nullptr : &json;
 
@@ -425,6 +428,9 @@ int main(int argc, char** argv) {
   }
   ok = unicorn::RunPerRefreshStudy(smoke, json_ptr) && ok;
   ok = unicorn::RunWarmCacheCampaign(smoke, json_ptr) && ok;
+  if (int rc = obs_cli.End(); rc != 0) {
+    return rc;
+  }
   if (json_ptr != nullptr && !json.WriteFile(json_path, "table_ci_kernels")) {
     return 1;
   }

@@ -18,7 +18,8 @@
 //
 // `--smoke` shrinks the system and budgets for CI; `--json <path>` writes
 // the numbers machine-readably (BENCH_table_engine_shards.json) so the perf
-// trajectory can be tracked across commits.
+// trajectory can be tracked across commits; `--trace <path>` / `--metrics
+// <path>` write the observability artifacts (docs/OBSERVABILITY.md).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -30,6 +31,7 @@
 
 #include "bench/common.h"
 #include "eval/harness.h"
+#include "obs/cli.h"
 #include "sysmodel/faults.h"
 #include "sysmodel/systems.h"
 #include "unicorn/campaign.h"
@@ -232,6 +234,8 @@ int RunStudy(bool smoke, const std::string& json_path) {
 int main(int argc, char** argv) {
   bool smoke = false;
   std::string json_path;
+  unicorn::obs::Cli obs_cli;
+  obs_cli.Scan(argc, argv);
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
@@ -239,5 +243,10 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     }
   }
-  return unicorn::RunStudy(smoke, json_path);
+  obs_cli.Begin();
+  const int status = unicorn::RunStudy(smoke, json_path);
+  if (int rc = obs_cli.End(); rc != 0) {
+    return rc;
+  }
+  return status;
 }

@@ -27,12 +27,17 @@
 //       payload and trips the RSS gate).
 //
 // `--smoke` shrinks everything for CI (bit-identity and ledger gates stay
-// on; the 1.8x gate is full-mode only — smoke runs are too short to time).
-// `--json <path>` writes BENCH_table_pipeline.json.
+// on; the 1.8x and <2% observability-overhead gates are full-mode only —
+// smoke runs are too short to time). `--json <path>` writes
+// BENCH_table_pipeline.json; `--trace <path>` writes the traced run's
+// Chrome-trace JSON (view in Perfetto, validate with trace_report --check);
+// `--metrics <path>` writes the final MetricsRegistry snapshot.
 #include <sys/resource.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -42,6 +47,9 @@
 
 #include "bench/common.h"
 #include "eval/harness.h"
+#include "obs/metrics.h"
+#include "obs/stats_export.h"
+#include "obs/trace.h"
 #include "sysmodel/faults.h"
 #include "sysmodel/systems.h"
 #include "unicorn/backend/backend_fleet.h"
@@ -254,6 +262,7 @@ struct RunOutcome {
   double wall_s = 0.0;
   RunSignature signature;
   ShardPoolStats pool;
+  BrokerStats broker;
 };
 
 enum class Mode { kSync, kBarrier, kPipelined };
@@ -307,7 +316,8 @@ RunOutcome RunCampaign(const Setup& s, bool smoke, Mode mode, int refresh_thread
   RunOutcome out;
   out.wall_s = std::chrono::duration<double>(Clock::now() - start).count();
   out.pool = runner->pool().stats();
-  const BrokerStats bs = runner->broker().stats();
+  out.broker = runner->broker().stats();
+  const BrokerStats& bs = out.broker;
   size_t heavy_refreshes = 0, light_refreshes = 0;
   for (const auto& policy : heavies) {
     heavy_refreshes += runner->pool().shard(policy->result().shard).stats().refreshes;
@@ -430,7 +440,8 @@ StressResult RunStress(size_t rows) {
   return r;
 }
 
-int RunStudy(bool smoke, const std::string& json_path) {
+int RunStudy(bool smoke, const std::string& json_path, const std::string& trace_path,
+             const std::string& metrics_path) {
   const Setup s = MakeSetup(smoke);
   if (s.fault == nullptr) {
     std::printf("(no curated fault with root causes; cannot run)\n");
@@ -493,6 +504,96 @@ int RunStudy(bool smoke, const std::string& json_path) {
   json.Add("pipeline", "widest_cross_policy_batch",
            static_cast<double>(pipelined.pool.widest_cross_policy_batch));
   json.Add("pipeline", "bit_identical", barrier_ok && pipelined_ok ? 1.0 : 0.0);
+
+  // (a2) observability: the identical pipelined run once more with span
+  // tracing live end-to-end, a sampler thread reading the fleet's
+  // queue-depth/in-flight gauges while it runs, and three gates on the way
+  // out — bit-identity (instrumentation must not perturb the schedule),
+  // <2% wall overhead versus the untraced run (full mode; both runs sleep
+  // through identical seeded device service times, so the comparison is
+  // stable), and the trace-derived refresh overlap (sum of dur x
+  // overlap_credit over "pool.refresh" spans) agreeing with the pool's own
+  // ledger within 5%.
+  std::printf("\n=== (a2) observability: traced + metered pipelined run ===\n");
+  obs::trace::Clear();
+  obs::trace::SetEnabled(true);
+  const bool obs_active = obs::trace::Enabled();  // false under UNICORN_NO_OBS
+  obs::Gauge* queue_gauge = obs::MetricsRegistry::Global().Gauge("fleet.queue_depth");
+  obs::Gauge* inflight_gauge = obs::MetricsRegistry::Global().Gauge("fleet.in_flight");
+  obs::Gauge* busy_gauge = obs::MetricsRegistry::Global().Gauge("fleet.busy_seconds");
+  std::atomic<bool> sampling{true};
+  double max_queue_depth = 0.0, max_in_flight = 0.0;
+  size_t gauge_samples = 0;
+  std::thread sampler([&] {
+    obs::trace::SetThreadName("gauge-sampler");
+    while (sampling.load(std::memory_order_relaxed)) {
+      const double depth = queue_gauge->Value();
+      const double in_flight = inflight_gauge->Value();
+      max_queue_depth = std::max(max_queue_depth, depth);
+      max_in_flight = std::max(max_in_flight, in_flight);
+      ++gauge_samples;
+      obs::trace::CounterValue("fleet.queue_depth", depth);
+      obs::trace::CounterValue("fleet.in_flight", in_flight);
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+  const RunOutcome traced = RunCampaign(s, smoke, Mode::kPipelined, 1, false);
+  sampling.store(false, std::memory_order_relaxed);
+  sampler.join();
+  obs::trace::SetEnabled(false);
+  const bool traced_ok = traced.signature.Matches(oracle.signature);
+  all_identical = all_identical && traced_ok;
+  const double obs_overhead =
+      pipelined.wall_s > 0.0 ? traced.wall_s / pipelined.wall_s - 1.0 : 0.0;
+
+  // Recompute the scheduler's overlap ledger from the trace alone.
+  double derived_overlap = 0.0;
+  size_t span_events = 0;
+  for (const obs::trace::Event& ev : obs::trace::Collect()) {
+    if (ev.phase != 'X') {
+      continue;
+    }
+    ++span_events;
+    if (std::strcmp(ev.name, "pool.refresh") != 0) {
+      continue;
+    }
+    for (int k = 0; k < 2; ++k) {
+      if (ev.arg_key[k] != nullptr && std::strcmp(ev.arg_key[k], "overlap_credit") == 0) {
+        derived_overlap += ev.dur_us * ev.arg_value[k] / 1e6;
+      }
+    }
+  }
+  std::printf("traced wall %.2fs (untraced %.2fs, overhead %+.2f%%) | %zu span events | "
+              "trace overlap %.2fs vs ledger %.2fs | gauge samples %zu "
+              "(max queue depth %.0f, max in-flight %.0f, busy %.2fs)\n",
+              traced.wall_s, pipelined.wall_s, 100.0 * obs_overhead, span_events,
+              derived_overlap, traced.pool.overlap_seconds, gauge_samples, max_queue_depth,
+              max_in_flight, busy_gauge->Value());
+  // The deduped stats schemas: the same obs::Fields list feeds the console,
+  // the bench JSON, and the registry mirror.
+  std::printf("broker %s\n", obs::DumpStatsJson(traced.broker).c_str());
+  std::printf("pool %s\n", obs::DumpStatsJson(traced.pool).c_str());
+  obs::PublishStats(&obs::MetricsRegistry::Global(), "snapshot.broker", traced.broker);
+  obs::PublishStats(&obs::MetricsRegistry::Global(), "snapshot.pool", traced.pool);
+  json.Add("obs", "traced_wall_seconds", traced.wall_s);
+  json.Add("obs", "overhead_fraction", obs_overhead);
+  json.Add("obs", "span_events", static_cast<double>(span_events));
+  json.Add("obs", "derived_overlap_seconds", derived_overlap);
+  json.Add("obs", "ledger_overlap_seconds", traced.pool.overlap_seconds);
+  json.Add("obs", "max_queue_depth", max_queue_depth);
+  json.Add("obs", "max_in_flight", max_in_flight);
+  json.Add("obs", "gauge_samples", static_cast<double>(gauge_samples));
+  json.Add("obs", "bit_identical", traced_ok ? 1.0 : 0.0);
+  json.AddStats("traced_broker", traced.broker);
+  json.AddStats("traced_pool", traced.pool);
+  if (!trace_path.empty()) {
+    if (!obs::trace::WriteFile(trace_path)) {
+      std::printf("TRACE WRITE FAILED: %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::printf("trace written to %s (%llu events dropped)\n", trace_path.c_str(),
+                static_cast<unsigned long long>(obs::trace::DroppedEvents()));
+  }
 
   // (b) refresh-thread sweep, pipelined. Runs at smoke scale — its gates are
   // bit-identity and the coalescing/overlap ledger across thread counts and
@@ -584,6 +685,25 @@ int RunStudy(bool smoke, const std::string& json_path) {
     std::printf("SPEEDUP BELOW GATE: %.2fx < 1.8x\n", speedup);
     ++failures;
   }
+  if (obs_active) {
+    // Instrumentation gates: tracing everything end-to-end must stay in the
+    // noise, and the trace must reproduce the scheduler's overlap ledger.
+    if (!smoke && obs_overhead > 0.02) {
+      std::printf("OBS OVERHEAD ABOVE GATE: %+.2f%% > 2%%\n", 100.0 * obs_overhead);
+      ++failures;
+    }
+    if (traced.pool.overlap_seconds > 0.0 &&
+        std::abs(derived_overlap - traced.pool.overlap_seconds) >
+            0.05 * traced.pool.overlap_seconds) {
+      std::printf("TRACE OVERLAP MISMATCH: derived %.3fs vs ledger %.3fs (>5%%)\n",
+                  derived_overlap, traced.pool.overlap_seconds);
+      ++failures;
+    }
+    if (span_events == 0) {
+      std::printf("TRACE EMPTY: no span events recorded in the traced run\n");
+      ++failures;
+    }
+  }
   if (failures > 0) {
     return 1;
   }
@@ -593,6 +713,13 @@ int RunStudy(bool smoke, const std::string& json_path) {
               "cross-policy refresh batch %zu, overlap %.2fs%s\n",
               widest_any, pipelined.pool.overlap_seconds, speedup_note.c_str());
 
+  if (!metrics_path.empty()) {
+    if (!obs::MetricsRegistry::Global().WriteJsonFile(metrics_path)) {
+      std::printf("METRICS WRITE FAILED: %s\n", metrics_path.c_str());
+      return 1;
+    }
+    std::printf("metrics snapshot written to %s\n", metrics_path.c_str());
+  }
   if (!json_path.empty() && !json.WriteFile(json_path, "table_pipeline")) {
     return 1;
   }
@@ -604,13 +731,17 @@ int RunStudy(bool smoke, const std::string& json_path) {
 
 int main(int argc, char** argv) {
   bool smoke = false;
-  std::string json_path;
+  std::string json_path, trace_path, metrics_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
     }
   }
-  return unicorn::RunStudy(smoke, json_path);
+  return unicorn::RunStudy(smoke, json_path, trace_path, metrics_path);
 }

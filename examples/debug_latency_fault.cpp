@@ -4,17 +4,25 @@
 // pipeline on TX2 shows a tail-latency fault; Unicorn learns a causal
 // performance model, ranks causal paths, scores counterfactual repairs by
 // ICE, and measures only the most promising fixes.
+// Run with `--trace out.json` / `--metrics out.json` to capture a Perfetto
+// trace of the refresh phases and the process metrics snapshot
+// (docs/OBSERVABILITY.md).
 #include <cstdio>
 
 #include "eval/harness.h"
 #include "eval/metrics.h"
+#include "obs/cli.h"
+#include "obs/stats_export.h"
 #include "sysmodel/faults.h"
 #include "sysmodel/systems.h"
 #include "unicorn/debugger.h"
 
 using namespace unicorn;
 
-int main() {
+int main(int argc, char** argv) {
+  obs::Cli obs_cli;
+  obs_cli.Scan(argc, argv);
+  obs_cli.Begin();
   SystemSpec spec;
   spec.num_events = 12;
   auto system = std::make_shared<SystemModel>(BuildSystem(SystemId::kDeepstream, spec));
@@ -68,10 +76,8 @@ int main() {
   }
   std::printf("\nrecall vs ground truth: %.0f%%\n",
               100.0 * Recall(result.predicted_root_causes, fault.root_causes));
-  std::printf("measurement plane: %zu requests, %zu measured, %.0f%% cache hits, "
-              "%.2fs measuring wall (%.2fs busy across threads)\n",
-              result.broker_stats.requests, result.broker_stats.measured,
-              100.0 * result.broker_stats.CacheHitRate(),
-              result.broker_stats.batch_wall_seconds, result.broker_stats.busy_seconds);
-  return 0;
+  // The broker ledger in its one canonical schema (obs::Fields — the same
+  // field list the benches serialize).
+  std::printf("measurement plane: %s\n", obs::DumpStatsJson(result.broker_stats).c_str());
+  return obs_cli.End();
 }

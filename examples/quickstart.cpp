@@ -7,16 +7,24 @@
 //   4. estimate performance queries with do-calculus:
 //        P(latency <= 25 | do(buffer_size = 6000))
 //        E(energy | do(bitrate = 2000))
+//
+// Run with `--trace out.json` to capture a Perfetto-compatible trace of the
+// discovery phases (skeleton levels, FCI orientation, entropic resolution)
+// and `--metrics out.json` for the process metrics snapshot.
 #include <cstdio>
 
 #include "causal/effects.h"
+#include "obs/cli.h"
 #include "sysmodel/systems.h"
 #include "unicorn/model_learner.h"
 #include "unicorn/query.h"
 
 using namespace unicorn;
 
-int main() {
+int main(int argc, char** argv) {
+  obs::Cli obs_cli;
+  obs_cli.Scan(argc, argv);
+  obs_cli.Begin();
   // A configurable system deployed on a hardware platform.
   SystemSpec spec;
   spec.num_events = 12;
@@ -64,5 +72,5 @@ int main() {
     std::printf("%-45s = %.3f%s\n", text, answer.value,
                 answer.is_probability ? "" : " (expectation)");
   }
-  return 0;
+  return obs_cli.End();
 }

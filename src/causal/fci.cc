@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <functional>
 
+#include "obs/trace.h"
+
 namespace unicorn {
 namespace {
 
@@ -360,7 +362,9 @@ FciResult RunFci(const CITest& test, const StructuralConstraints& constraints, s
                  const FciOptions& options, const SkeletonWarmStart& warm, ThreadPool* pool) {
   const long long calls_at_entry = test.calls;
   FciResult result;
+  obs::trace::Begin("fci.skeleton", "engine");
   SkeletonResult skel = LearnSkeleton(test, constraints, num_vars, options.skeleton, warm, pool);
+  obs::trace::End("tests", static_cast<double>(skel.tests_performed));
   result.sepsets = std::move(skel.sepsets);
   MixedGraph& g = skel.graph;
 
@@ -368,6 +372,7 @@ FciResult RunFci(const CITest& test, const StructuralConstraints& constraints, s
   OrientVStructures(result.sepsets, &g);
 
   if (options.use_possible_dsep) {
+    TRACE_SPAN("fci.possible_dsep", "engine");
     // Possible-D-SEP pruning: retest every remaining edge against subsets of
     // pds(x) \ {x, y}; remove on independence.
     const size_t n = num_vars;
@@ -426,8 +431,11 @@ FciResult RunFci(const CITest& test, const StructuralConstraints& constraints, s
     OrientVStructures(result.sepsets, &g);
   }
 
-  ApplyOrientationRules(result.sepsets, &g);
-  constraints.ApplyOrientations(&g);
+  {
+    TRACE_SPAN("fci.orient", "engine");
+    ApplyOrientationRules(result.sepsets, &g);
+    constraints.ApplyOrientations(&g);
+  }
 
   result.tests_performed = test.calls - calls_at_entry;
   result.pag = std::move(g);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <memory>
 
+#include "obs/trace.h"
+
 namespace unicorn {
 
 void SepsetMap::Set(size_t a, size_t b, std::vector<size_t> s) {
@@ -182,6 +184,8 @@ SkeletonResult LearnSkeleton(const CITest& test, const StructuralConstraints& co
   }
 
   for (int d = 0; d <= options.max_cond_size; ++d) {
+    obs::trace::Span level_span("skeleton.level", "engine");
+    level_span.SetArg("level", static_cast<double>(d));
     // PC-stable: freeze adjacency for this level so removal order does not
     // change which tests are run.
     std::vector<std::vector<size_t>> adj(num_vars);
@@ -206,6 +210,7 @@ SkeletonResult LearnSkeleton(const CITest& test, const StructuralConstraints& co
       }
     }
 
+    level_span.SetArg("pairs", static_cast<double>(pairs.size()));
     std::vector<PairOutcome> outcomes(pairs.size());
     auto body = [&](size_t i) {
       outcomes[i] =

@@ -1,0 +1,76 @@
+// Command-line plumbing for the observability layer, shared by the bench and
+// example binaries: scan argv for `--trace <path>` / `--metrics <path>`,
+// enable span tracing for the run when a trace is requested, and write the
+// artifacts on the way out. Header-only so examples (which link only
+// unicorn_core) get it for free; under UNICORN_NO_OBS the underlying calls
+// are stubs and the flags become accepted-but-inert.
+//
+//   obs::Cli obs_cli;
+//   obs_cli.Scan(argc, argv);
+//   obs_cli.Begin();
+//   ... workload ...
+//   if (int rc = obs_cli.End(); rc != 0) return rc;
+#ifndef UNICORN_OBS_CLI_H_
+#define UNICORN_OBS_CLI_H_
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace unicorn {
+namespace obs {
+
+struct Cli {
+  std::string trace_path;
+  std::string metrics_path;
+
+  /// Scans argv for the observability flags (does not consume them — the
+  /// binaries' own loops skip unknown flags).
+  void Scan(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+        trace_path = argv[i + 1];
+      } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+        metrics_path = argv[i + 1];
+      }
+    }
+  }
+
+  /// Enables tracing when `--trace` was given.
+  void Begin() const {
+    if (!trace_path.empty()) {
+      trace::SetEnabled(true);
+    }
+  }
+
+  /// Writes the requested artifacts. Returns non-zero on write failure.
+  int End() const {
+    int rc = 0;
+    if (!trace_path.empty()) {
+      trace::SetEnabled(false);
+      if (trace::WriteFile(trace_path)) {
+        std::printf("trace written to %s\n", trace_path.c_str());
+      } else {
+        std::fprintf(stderr, "trace write failed: %s\n", trace_path.c_str());
+        rc = 1;
+      }
+    }
+    if (!metrics_path.empty()) {
+      if (MetricsRegistry::Global().WriteJsonFile(metrics_path)) {
+        std::printf("metrics snapshot written to %s\n", metrics_path.c_str());
+      } else {
+        std::fprintf(stderr, "metrics write failed: %s\n", metrics_path.c_str());
+        rc = 1;
+      }
+    }
+    return rc;
+  }
+};
+
+}  // namespace obs
+}  // namespace unicorn
+
+#endif  // UNICORN_OBS_CLI_H_

@@ -1,0 +1,66 @@
+// One canonical field enumeration per legacy stats struct — the single
+// source of truth for every serialization of FleetStats, BrokerStats,
+// EngineStats, and ShardPoolStats.
+//
+// Before this layer, each bench and example hand-rolled its own printf block
+// per struct, so the same ledger had as many ad-hoc JSON schemas as callers.
+// Now: Fields(stats) returns the ordered (name, value) list; DumpStatsJson
+// renders it as one JSON object; bench::JsonResults::AddStats feeds it into
+// the bench result files; PublishStats mirrors it into the process-wide
+// MetricsRegistry as gauges (namespaced `<prefix>.<field>`), which is how
+// the legacy structs are "rebased" onto the registry: the structs stay the
+// per-instance snapshot views the tests pin, the registry carries the same
+// numbers process-wide.
+//
+// Unlike the instruments in metrics.h/trace.h this header is NOT compiled
+// out under UNICORN_NO_OBS — stats reporting is program output, not hot-path
+// instrumentation. (PublishStats degrades to a no-op there because the
+// registry's instruments do.)
+#ifndef UNICORN_OBS_STATS_EXPORT_H_
+#define UNICORN_OBS_STATS_EXPORT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "unicorn/backend/backend_fleet.h"
+#include "unicorn/engine_pool.h"
+#include "unicorn/measurement_broker.h"
+#include "unicorn/model_learner.h"
+
+namespace unicorn {
+namespace obs {
+
+/// Ordered (field, value) view of a stats struct. Every number the struct
+/// carries, flattened to double; order is the schema.
+using StatsFields = std::vector<std::pair<std::string, double>>;
+
+StatsFields Fields(const BrokerStats& stats);
+StatsFields Fields(const EngineStats& stats);
+StatsFields Fields(const ShardPoolStats& stats);
+/// Fleet totals first, then each backend's counters prefixed
+/// `backend.<name>.` (names are the construction-time backend names).
+StatsFields Fields(const FleetStats& stats);
+
+/// The one JSON schema of a stats struct: {"field":value,...} in Fields()
+/// order, numbers as %.17g (round-trip exact).
+std::string DumpStatsJson(const StatsFields& fields);
+template <typename Stats>
+std::string DumpStatsJson(const Stats& stats) {
+  return DumpStatsJson(Fields(stats));
+}
+
+/// Mirrors a snapshot into `registry` as gauges named `<prefix>.<field>`.
+void PublishStats(MetricsRegistry* registry, const std::string& prefix,
+                  const StatsFields& fields);
+template <typename Stats>
+void PublishStats(MetricsRegistry* registry, const std::string& prefix,
+                  const Stats& stats) {
+  PublishStats(registry, prefix, Fields(stats));
+}
+
+}  // namespace obs
+}  // namespace unicorn
+
+#endif  // UNICORN_OBS_STATS_EXPORT_H_

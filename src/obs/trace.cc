@@ -1,0 +1,338 @@
+#include "obs/trace.h"
+
+#ifndef UNICORN_NO_OBS
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+namespace unicorn {
+namespace obs {
+namespace trace {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Hard cap on retained events across all threads: a runaway trace degrades
+// to counted drops instead of unbounded memory (4M events ≈ 400 MB worst
+// case is never reached by our coarse spans; typical runs are thousands).
+constexpr uint64_t kMaxEvents = 4u << 20;
+
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<Event> events;
+  uint32_t tid = 0;
+};
+
+struct GlobalState {
+  std::atomic<bool> enabled{false};
+  std::atomic<uint32_t> next_tid{1};
+  std::atomic<uint64_t> total_events{0};
+  std::atomic<uint64_t> dropped{0};
+  Clock::time_point epoch = Clock::now();
+
+  std::mutex mu;  // guards buffers + thread_names
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::map<uint32_t, std::string> thread_names;
+};
+
+GlobalState& State() {
+  static GlobalState* state = new GlobalState();  // leaked: outlives all threads
+  return *state;
+}
+
+struct OpenSpan {
+  const char* name;
+  const char* category;
+  double start_us;
+};
+
+// Per-thread recording context. The buffer is shared with the global list
+// (collectors lock buffer->mu); the span stack and skip depth are touched
+// only by the owning thread.
+struct ThreadContext {
+  std::shared_ptr<ThreadBuffer> buffer;
+  std::vector<OpenSpan> stack;
+  // Spans begun while tracing was disabled: End() consumes these first so a
+  // mid-run enable cannot pair an End with an older Begin's stack entry.
+  int skip_depth = 0;
+
+  ThreadContext() {
+    GlobalState& state = State();
+    buffer = std::make_shared<ThreadBuffer>();
+    buffer->tid = state.next_tid.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(state.mu);
+    state.buffers.push_back(buffer);
+  }
+};
+
+ThreadContext& Context() {
+  static thread_local ThreadContext context;
+  return context;
+}
+
+double NowUs() {
+  return std::chrono::duration<double, std::micro>(Clock::now() - State().epoch)
+      .count();
+}
+
+void Append(ThreadContext& context, const Event& event) {
+  GlobalState& state = State();
+  if (state.total_events.fetch_add(1, std::memory_order_relaxed) >= kMaxEvents) {
+    state.total_events.fetch_sub(1, std::memory_order_relaxed);
+    state.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(context.buffer->mu);
+  context.buffer->events.push_back(event);
+}
+
+void AppendEscaped(std::string* out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out->append(buf);
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+void AppendNumber(std::string* out, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", std::isfinite(value) ? value : 0.0);
+  out->append(buf);
+}
+
+}  // namespace
+
+void SetEnabled(bool enabled) {
+  State().enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool Enabled() { return State().enabled.load(std::memory_order_relaxed); }
+
+void Begin(const char* name, const char* category) {
+  ThreadContext& context = Context();
+  if (!Enabled()) {
+    ++context.skip_depth;
+    return;
+  }
+  context.stack.push_back(OpenSpan{name, category, NowUs()});
+}
+
+void End(const char* k1, double v1, const char* k2, double v2) {
+  ThreadContext& context = Context();
+  if (context.skip_depth > 0) {
+    --context.skip_depth;
+    return;
+  }
+  if (context.stack.empty()) {
+    return;  // unmatched End: drop rather than corrupt nesting
+  }
+  const OpenSpan open = context.stack.back();
+  context.stack.pop_back();
+  if (!Enabled()) {
+    return;
+  }
+  Event event;
+  event.name = open.name;
+  event.category = open.category;
+  event.phase = 'X';
+  event.tid = context.buffer->tid;
+  event.ts_us = open.start_us;
+  event.dur_us = NowUs() - open.start_us;
+  event.arg_key[0] = k1;
+  event.arg_value[0] = v1;
+  event.arg_key[1] = k2;
+  event.arg_value[1] = v2;
+  Append(context, event);
+}
+
+void Instant(const char* name, const char* category, const char* k1, double v1) {
+  if (!Enabled()) {
+    return;
+  }
+  ThreadContext& context = Context();
+  Event event;
+  event.name = name;
+  event.category = category;
+  event.phase = 'i';
+  event.tid = context.buffer->tid;
+  event.ts_us = NowUs();
+  event.arg_key[0] = k1;
+  event.arg_value[0] = v1;
+  Append(context, event);
+}
+
+void CounterValue(const char* name, double value) {
+  if (!Enabled()) {
+    return;
+  }
+  ThreadContext& context = Context();
+  Event event;
+  event.name = name;
+  event.phase = 'C';
+  event.tid = context.buffer->tid;
+  event.ts_us = NowUs();
+  event.arg_key[0] = "value";
+  event.arg_value[0] = value;
+  Append(context, event);
+}
+
+void SetThreadName(const std::string& name) {
+  GlobalState& state = State();
+  const uint32_t tid = Context().buffer->tid;
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.thread_names[tid] = name;
+}
+
+Span::Span(const char* name, const char* category) {
+  Begin(name, category);
+  open_ = true;
+}
+
+Span::~Span() {
+  if (open_) {
+    End(arg_key_[0], arg_value_[0], arg_key_[1], arg_value_[1]);
+  }
+}
+
+void Span::SetArg(const char* key, double value) {
+  if (arg_key_[0] == nullptr || arg_key_[0] == key) {
+    arg_key_[0] = key;
+    arg_value_[0] = value;
+  } else if (arg_key_[1] == nullptr || arg_key_[1] == key) {
+    arg_key_[1] = key;
+    arg_value_[1] = value;
+  } else {  // slots full: overwrite the newest (two args is the format's cap)
+    arg_key_[1] = key;
+    arg_value_[1] = value;
+  }
+}
+
+std::vector<Event> Collect() {
+  GlobalState& state = State();
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    buffers = state.buffers;
+  }
+  std::vector<Event> out;
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    out.insert(out.end(), buffer->events.begin(), buffer->events.end());
+  }
+  return out;
+}
+
+std::vector<std::pair<uint32_t, std::string>> ThreadNames() {
+  GlobalState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return {state.thread_names.begin(), state.thread_names.end()};
+}
+
+bool WriteFile(const std::string& path) {
+  std::vector<Event> events = Collect();
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) { return a.ts_us < b.ts_us; });
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [tid, name] : ThreadNames()) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":");
+    AppendNumber(&out, tid);
+    out.append(",\"args\":{\"name\":\"");
+    AppendEscaped(&out, name.c_str());
+    out.append("\"}}");
+  }
+  for (const Event& event : events) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("{\"name\":\"");
+    AppendEscaped(&out, event.name != nullptr ? event.name : "");
+    out.append("\",\"ph\":\"");
+    out.push_back(event.phase);
+    out.append("\",\"pid\":1,\"tid\":");
+    AppendNumber(&out, event.tid);
+    out.append(",\"ts\":");
+    AppendNumber(&out, event.ts_us);
+    if (event.phase == 'X') {
+      out.append(",\"dur\":");
+      AppendNumber(&out, event.dur_us);
+    }
+    if (event.phase == 'i') {
+      out.append(",\"s\":\"t\"");  // thread-scoped instant
+    }
+    if (event.category != nullptr) {
+      out.append(",\"cat\":\"");
+      AppendEscaped(&out, event.category);
+      out.append("\"");
+    }
+    if (event.arg_key[0] != nullptr || event.arg_key[1] != nullptr) {
+      out.append(",\"args\":{");
+      bool first_arg = true;
+      for (int i = 0; i < 2; ++i) {
+        if (event.arg_key[i] == nullptr) {
+          continue;
+        }
+        if (!first_arg) out.push_back(',');
+        first_arg = false;
+        out.push_back('"');
+        AppendEscaped(&out, event.arg_key[i]);
+        out.append("\":");
+        AppendNumber(&out, event.arg_value[i]);
+      }
+      out.push_back('}');
+    }
+    out.push_back('}');
+  }
+  out.append("],\"displayTimeUnit\":\"ms\"}\n");
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const bool ok = std::fwrite(out.data(), 1, out.size(), f) == out.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+void Clear() {
+  GlobalState& state = State();
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    buffers = state.buffers;
+  }
+  uint64_t cleared = 0;
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    cleared += buffer->events.size();
+    buffer->events.clear();
+  }
+  state.total_events.fetch_sub(cleared, std::memory_order_relaxed);
+  state.dropped.store(0, std::memory_order_relaxed);
+}
+
+uint64_t DroppedEvents() {
+  return State().dropped.load(std::memory_order_relaxed);
+}
+
+}  // namespace trace
+}  // namespace obs
+}  // namespace unicorn
+
+#endif  // UNICORN_NO_OBS

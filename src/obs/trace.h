@@ -1,0 +1,154 @@
+// Span tracer emitting Chrome-trace-event / Perfetto-compatible JSON.
+//
+// Model
+//   * Spans are strictly nested per thread: Begin pushes onto a thread-local
+//     stack, End pops and emits one complete-event ("ph":"X") with the begin
+//     timestamp and duration. TRACE_SPAN / obs::trace::Span give RAII scoping
+//     so early returns and exceptions cannot unbalance the stack.
+//   * Instant ("ph":"i") marks point events (a retry, a circuit break);
+//     CounterValue ("ph":"C") samples a numeric level (in-flight rows) that
+//     Perfetto renders as a stacked area chart.
+//   * Each thread appends into its own buffer guarded by its own mutex —
+//     uncontended on the hot path (only the owning thread takes it per event;
+//     a collector takes it only at flush), which keeps the tracer TSan-clean
+//     without an atomics-ordering protocol. Buffers retire to a central
+//     store when a thread exits.
+//   * Tracing is off by default: every recording call is one relaxed atomic
+//     load and a branch when disabled. Benches enable it via --trace.
+//
+// Names and categories must be string literals (or otherwise outlive the
+// trace): events store the pointer, not a copy. Thread names (SetThreadName)
+// are copied.
+//
+// Compile-out: with UNICORN_NO_OBS defined everything here is an inline
+// no-op and TRACE_SPAN expands to nothing.
+#ifndef UNICORN_OBS_TRACE_H_
+#define UNICORN_OBS_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace unicorn {
+namespace obs {
+namespace trace {
+
+/// One trace event, already timestamped (microseconds since process trace
+/// epoch). Complete events carry dur_us; instants and counters ignore it.
+struct Event {
+  const char* name = nullptr;
+  const char* category = nullptr;
+  char phase = 'X';       // 'X' complete, 'i' instant, 'C' counter
+  uint32_t tid = 0;       // stable small id assigned at first event
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  // Up to two numeric args ("args":{key:value,...}); unused slots have null
+  // keys. Counter events reuse slot 0 for their sampled value.
+  const char* arg_key[2] = {nullptr, nullptr};
+  double arg_value[2] = {0.0, 0.0};
+};
+
+#ifndef UNICORN_NO_OBS
+
+/// Turns recording on/off process-wide. Spans already open keep their stack
+/// entries; events are only emitted while enabled at End time.
+void SetEnabled(bool enabled);
+bool Enabled();
+
+/// Opens a span on the calling thread. Must be balanced by End on the same
+/// thread. `name`/`category` must outlive the trace (use literals).
+void Begin(const char* name, const char* category = nullptr);
+/// Closes the innermost open span, attaching up to two numeric args.
+void End(const char* k1 = nullptr, double v1 = 0.0, const char* k2 = nullptr,
+         double v2 = 0.0);
+
+void Instant(const char* name, const char* category = nullptr,
+             const char* k1 = nullptr, double v1 = 0.0);
+void CounterValue(const char* name, double value);
+
+/// Names the calling thread in the trace ("M"/thread_name metadata row).
+void SetThreadName(const std::string& name);
+
+/// RAII span: closes on scope exit; SetArg attaches numeric args to the
+/// closing event (last two wins).
+class Span {
+ public:
+  explicit Span(const char* name, const char* category = nullptr);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  void SetArg(const char* key, double value);
+
+ private:
+  bool open_ = false;
+  const char* arg_key_[2] = {nullptr, nullptr};
+  double arg_value_[2] = {0.0, 0.0};
+};
+
+/// Collects every event recorded so far (retired + live buffers), in no
+/// particular global order. Safe to call while other threads keep tracing.
+std::vector<Event> Collect();
+
+/// Thread names by tid, for writers that post-process Collect().
+std::vector<std::pair<uint32_t, std::string>> ThreadNames();
+
+/// Writes the Chrome trace-event JSON ({"traceEvents":[...]}), including
+/// thread_name metadata. Returns false on I/O failure.
+bool WriteFile(const std::string& path);
+
+/// Drops all recorded events and dropped-event counts (thread names and tid
+/// assignments survive). Test/bench hook; call it quiescent.
+void Clear();
+
+/// Events discarded because the central store hit its cap.
+uint64_t DroppedEvents();
+
+#else  // UNICORN_NO_OBS
+
+inline void SetEnabled(bool) {}
+inline bool Enabled() { return false; }
+inline void Begin(const char*, const char* = nullptr) {}
+inline void End(const char* = nullptr, double = 0.0, const char* = nullptr,
+                double = 0.0) {}
+inline void Instant(const char*, const char* = nullptr, const char* = nullptr,
+                    double = 0.0) {}
+inline void CounterValue(const char*, double) {}
+inline void SetThreadName(const std::string&) {}
+
+class Span {
+ public:
+  explicit Span(const char*, const char* = nullptr) {}
+  void SetArg(const char*, double) {}
+};
+
+inline std::vector<Event> Collect() { return {}; }
+inline std::vector<std::pair<uint32_t, std::string>> ThreadNames() { return {}; }
+inline bool WriteFile(const std::string&) { return true; }
+inline void Clear() {}
+inline uint64_t DroppedEvents() { return 0; }
+
+#endif  // UNICORN_NO_OBS
+
+}  // namespace trace
+}  // namespace obs
+}  // namespace unicorn
+
+// Scoped span macro: TRACE_SPAN("fleet.service") traces the enclosing scope.
+// The variant with a variable name lets call sites attach args:
+//   TRACE_SPAN_NAMED(span, "pool.refresh");
+//   span.SetArg("rows", rows);
+#ifndef UNICORN_NO_OBS
+#define UNICORN_OBS_CONCAT_INNER(a, b) a##b
+#define UNICORN_OBS_CONCAT(a, b) UNICORN_OBS_CONCAT_INNER(a, b)
+#define TRACE_SPAN(...) \
+  ::unicorn::obs::trace::Span UNICORN_OBS_CONCAT(trace_span_, __LINE__)(__VA_ARGS__)
+#define TRACE_SPAN_NAMED(var, ...) ::unicorn::obs::trace::Span var(__VA_ARGS__)
+#else
+#define TRACE_SPAN(...) \
+  do {                  \
+  } while (false)
+#define TRACE_SPAN_NAMED(var, ...) ::unicorn::obs::trace::Span var(__VA_ARGS__)
+#endif
+
+#endif  // UNICORN_OBS_TRACE_H_

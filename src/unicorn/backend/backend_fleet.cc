@@ -5,6 +5,9 @@
 #include <limits>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace unicorn {
 namespace {
 
@@ -13,6 +16,42 @@ using Clock = std::chrono::steady_clock;
 // Exclusion is a 64-bit mask; fleets larger than that simply stop excluding
 // the overflow backends (routing still works, retries may revisit them).
 uint64_t BackendBit(size_t slot) { return slot < 64 ? (uint64_t{1} << slot) : 0; }
+
+// Process-wide fleet instruments (shared across BackendFleet instances; the
+// per-instance FleetStats ledger stays per-fleet). The gauges are the live
+// view the ISSUE's satellite asks for: queue depth / in-flight / busy time
+// sampleable DURING a run, not just at campaign end.
+struct FleetMetrics {
+  obs::Counter* submitted;
+  obs::Counter* completed;
+  obs::Counter* retries;
+  obs::Counter* rerouted;
+  obs::Counter* failed;
+  obs::Counter* circuit_breaks;
+  obs::Gauge* queue_depth;
+  obs::Gauge* in_flight;
+  obs::Gauge* busy_seconds;
+  obs::Histogram* queue_wait_seconds;
+  obs::Histogram* service_seconds;
+};
+
+const FleetMetrics& Metrics() {
+  static const FleetMetrics metrics = [] {
+    auto& registry = obs::MetricsRegistry::Global();
+    return FleetMetrics{registry.Counter("fleet.submitted"),
+                        registry.Counter("fleet.completed"),
+                        registry.Counter("fleet.retries"),
+                        registry.Counter("fleet.rerouted"),
+                        registry.Counter("fleet.failed"),
+                        registry.Counter("fleet.circuit_breaks"),
+                        registry.Gauge("fleet.queue_depth"),
+                        registry.Gauge("fleet.in_flight"),
+                        registry.Gauge("fleet.busy_seconds"),
+                        registry.Histogram("fleet.queue_wait_seconds"),
+                        registry.Histogram("fleet.service_seconds")};
+  }();
+  return metrics;
+}
 
 }  // namespace
 
@@ -92,8 +131,10 @@ int BackendFleet::Route(const Request& request, bool respect_excluded,
 void BackendFleet::Enqueue(size_t slot_index, Request request) {
   Slot& slot = *slots_[slot_index];
   ++slot.counters.dispatched;
+  request.enqueued = Clock::now();
   slot.queue.push_back(std::move(request));
   slot.counters.max_queue_depth = std::max(slot.counters.max_queue_depth, slot.queue.size());
+  Metrics().queue_depth->Add(1.0);
   slot.work_cv.notify_one();
 }
 
@@ -114,6 +155,7 @@ bool BackendFleet::Redispatch(Request request, size_t from_slot) {
   }
   if (static_cast<size_t>(target) != from_slot) {
     ++totals_.rerouted;
+    Metrics().rerouted->Increment();
   }
   Enqueue(static_cast<size_t>(target), std::move(request));
   return true;
@@ -123,6 +165,7 @@ void BackendFleet::CompleteOk(const Request& request, size_t slot_index,
                               std::vector<double> row, double seconds) {
   ++slots_[slot_index]->counters.completed;
   ++totals_.completed;
+  Metrics().completed->Increment();
   FleetCompletion done;
   done.ticket = request.ticket;
   done.config = request.config;
@@ -138,6 +181,7 @@ void BackendFleet::CompleteOk(const Request& request, size_t slot_index,
 void BackendFleet::CompleteFailure(const Request& request, int slot_index,
                                    MeasureOutcome outcome, double seconds) {
   ++totals_.failed;
+  Metrics().failed->Increment();
   FleetCompletion done;
   done.ticket = request.ticket;
   done.config = request.config;
@@ -155,6 +199,9 @@ void BackendFleet::BreakCircuit(size_t slot_index) {
   slot.broken = true;
   slot.counters.circuit_broken = true;
   ++totals_.circuit_breaks;
+  Metrics().circuit_breaks->Increment();
+  obs::trace::Instant("fleet.circuit_break", "fleet", "backend",
+                      static_cast<double>(slot_index));
   // Nothing queued behind a retired backend is lost: migrate every pending
   // request (no attempt spent — they were never measured here).
   std::deque<Request> pending;
@@ -175,6 +222,7 @@ uint64_t BackendFleet::Submit(std::vector<double> config, std::string environmen
   request.environment = std::move(environment);
   ++totals_.submitted;
   ++outstanding_;
+  Metrics().submitted->Increment();
   for (;;) {
     if (stop_) {
       CompleteFailure(request, -1, MeasureOutcome::Permanent("fleet shut down"), 0.0);
@@ -238,6 +286,7 @@ FleetStats BackendFleet::stats() const {
 
 void BackendFleet::WorkerLoop(size_t slot_index) {
   Slot& slot = *slots_[slot_index];
+  obs::trace::SetThreadName("fleet/" + slot.backend->name());
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     slot.work_cv.wait(lock, [&] { return stop_ || !slot.queue.empty(); });
@@ -250,9 +299,20 @@ void BackendFleet::WorkerLoop(size_t slot_index) {
     space_cv_.notify_all();
     lock.unlock();
 
+    const double queue_wait =
+        std::chrono::duration<double>(Clock::now() - request.enqueued).count();
+    Metrics().queue_depth->Add(-1.0);
+    Metrics().in_flight->Add(1.0);
+    Metrics().queue_wait_seconds->Record(queue_wait);
+    obs::trace::Begin("fleet.service", "fleet");
     const auto start = Clock::now();
     MeasureOutcome outcome = slot.backend->Measure(request.config, request.attempt);
     const double seconds = std::chrono::duration<double>(Clock::now() - start).count();
+    obs::trace::End("queue_wait_ms", queue_wait * 1e3, "attempt",
+                    static_cast<double>(request.attempt));
+    Metrics().in_flight->Add(-1.0);
+    Metrics().busy_seconds->Add(seconds);
+    Metrics().service_seconds->Record(seconds);
 
     lock.lock();
     --slot.in_flight;
@@ -284,6 +344,9 @@ void BackendFleet::WorkerLoop(size_t slot_index) {
         ++request.attempt;
         request.excluded |= BackendBit(slot_index);
         ++totals_.retries;
+        Metrics().retries->Increment();
+        obs::trace::Instant("fleet.retry", "fleet", "attempt",
+                            static_cast<double>(request.attempt));
         Redispatch(std::move(request), slot_index);
         break;
       }

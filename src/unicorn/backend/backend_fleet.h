@@ -39,6 +39,7 @@
 #ifndef UNICORN_UNICORN_BACKEND_BACKEND_FLEET_H_
 #define UNICORN_UNICORN_BACKEND_BACKEND_FLEET_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -163,6 +164,9 @@ class BackendFleet {
     std::string environment;  // "" = any backend may serve it
     int attempt = 1;          // the try number the next dispatch will be
     uint64_t excluded = 0;    // bitmask of backends this request should avoid
+    // Stamped by Enqueue; the worker's queue-wait observation (the time the
+    // request sat in this backend's queue, reset on every re-dispatch).
+    std::chrono::steady_clock::time_point enqueued{};
   };
 
   struct Slot {

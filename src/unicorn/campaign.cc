@@ -2,13 +2,40 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <deque>
 #include <stdexcept>
 #include <unordered_map>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace unicorn {
+
+namespace {
+
+using SchedClock = std::chrono::steady_clock;
+
+// Process-wide scheduler instruments. campaign.round_seconds is the SLO
+// histogram the multi-tenant service will report p50/p99 from: one sample
+// per policy round, covering refresh wait + propose + measurement + absorb.
+struct CampaignMetrics {
+  obs::Counter* rounds;
+  obs::Histogram* round_seconds;
+};
+
+const CampaignMetrics& Metrics() {
+  static const CampaignMetrics metrics = [] {
+    auto& registry = obs::MetricsRegistry::Global();
+    return CampaignMetrics{registry.Counter("campaign.rounds"),
+                           registry.Histogram("campaign.round_seconds")};
+  }();
+  return metrics;
+}
+
+}  // namespace
 
 bool GoalsMet(const std::vector<double>& row, const std::vector<ObjectiveGoal>& goals) {
   for (const auto& goal : goals) {
@@ -172,6 +199,10 @@ void CampaignRunner::RunGrouped(const std::vector<GroupedPolicy>& policies) {
   }
 
   for (size_t round = 0; !active.empty(); ++round) {
+    obs::trace::Span round_span("campaign.round", "campaign");
+    round_span.SetArg("round", static_cast<double>(round));
+    round_span.SetArg("policies", static_cast<double>(active.size()));
+    const auto round_start = SchedClock::now();
     // A shard is dirty when any of its active policies asks for a refresh;
     // dirty shards refresh in parallel, all with this round's seed (the
     // same seed + iteration stream the sequential debugger — refresh every
@@ -194,6 +225,7 @@ void CampaignRunner::RunGrouped(const std::vector<GroupedPolicy>& policies) {
     std::vector<std::string> combined_envs;
     bool any_env = false;
     proposals.reserve(active.size());
+    obs::trace::Begin("campaign.propose", "campaign");
     for (const size_t p : active) {
       CampaignContext ctx = ContextFor(shard_of[p], round);
       proposals.push_back(policies[p].policy->Propose(ctx));
@@ -211,20 +243,32 @@ void CampaignRunner::RunGrouped(const std::vector<GroupedPolicy>& policies) {
                              std::make_move_iterator(envs.end()));
       }
     }
+    obs::trace::End("proposals", static_cast<double>(combined.size()));
     const auto rows =
         broker_.MeasureBatch(combined, any_env ? combined_envs : std::vector<std::string>{});
 
-    size_t offset = 0;
-    for (size_t a = 0; a < active.size(); ++a) {
-      if (proposals[a].empty()) {
-        continue;
+    {
+      TRACE_SPAN("campaign.absorb", "campaign");
+      size_t offset = 0;
+      for (size_t a = 0; a < active.size(); ++a) {
+        if (proposals[a].empty()) {
+          continue;
+        }
+        const std::vector<std::vector<double>> slice(
+            rows.begin() + static_cast<long>(offset),
+            rows.begin() + static_cast<long>(offset + proposals[a].size()));
+        CampaignContext ctx = ContextFor(shard_of[active[a]], round);
+        policies[active[a]].policy->Absorb(proposals[a], slice, ctx);
+        offset += proposals[a].size();
       }
-      const std::vector<std::vector<double>> slice(
-          rows.begin() + static_cast<long>(offset),
-          rows.begin() + static_cast<long>(offset + proposals[a].size()));
-      CampaignContext ctx = ContextFor(shard_of[active[a]], round);
-      policies[active[a]].policy->Absorb(proposals[a], slice, ctx);
-      offset += proposals[a].size();
+    }
+    // Every active policy completed one round this wall interval: one SLO
+    // sample each, same definition as the asynchronous schedulers'.
+    const double round_seconds =
+        std::chrono::duration<double>(SchedClock::now() - round_start).count();
+    for (size_t a = 0; a < active.size(); ++a) {
+      Metrics().rounds->Increment();
+      Metrics().round_seconds->Record(round_seconds);
     }
 
     // Retire finished policies — and any policy that proposed nothing while
@@ -276,6 +320,7 @@ void CampaignRunner::RunAsyncGroupedBarrier(const std::vector<GroupedPolicy>& po
     std::vector<std::vector<double>> proposal;
     std::vector<std::vector<double>> rows;
     size_t received = 0;
+    SchedClock::time_point round_start{};
   };
   std::vector<PolicyState> states;
   std::unordered_map<uint64_t, size_t> batch_owner;  // broker batch id -> state
@@ -286,6 +331,7 @@ void CampaignRunner::RunAsyncGroupedBarrier(const std::vector<GroupedPolicy>& po
   // launching a round.
   const auto launch_round = [&](size_t state_index) {
     PolicyState& state = states[state_index];
+    state.round_start = SchedClock::now();
     CampaignContext ctx = ContextFor(state.shard, state.round);
     if (state.policy->WantsRefresh(ctx)) {
       // Single-shard batch: the empty-table guard and the refresh ledger
@@ -360,7 +406,14 @@ void CampaignRunner::RunAsyncGroupedBarrier(const std::vector<GroupedPolicy>& po
     batch_owner.erase(owner);
 
     CampaignContext ctx = ContextFor(state.shard, state.round);
-    state.policy->Absorb(state.proposal, state.rows, ctx);
+    {
+      TRACE_SPAN_NAMED(absorb_span, "campaign.absorb", "campaign");
+      absorb_span.SetArg("round", static_cast<double>(state.round));
+      state.policy->Absorb(state.proposal, state.rows, ctx);
+    }
+    Metrics().rounds->Increment();
+    Metrics().round_seconds->Record(
+        std::chrono::duration<double>(SchedClock::now() - state.round_start).count());
     if (state.policy->Finished() || state.round + 1 >= options_.max_rounds) {
       state.policy->Finalize(ctx);
       --active;
@@ -405,6 +458,7 @@ void CampaignRunner::RunAsyncGroupedPipelined(const std::vector<GroupedPolicy>& 
     std::vector<std::vector<double>> proposal;
     std::vector<std::vector<double>> rows;
     size_t received = 0;
+    SchedClock::time_point round_start{};
   };
   enum class ShardAction : uint8_t { kAbsorb, kPropose };
 
@@ -435,6 +489,8 @@ void CampaignRunner::RunAsyncGroupedPipelined(const std::vector<GroupedPolicy>& 
   // on an empty proposal instead.
   const auto propose_and_submit = [&](size_t state_index) -> bool {
     PolicyState& state = states[state_index];
+    TRACE_SPAN_NAMED(propose_span, "campaign.propose", "campaign");
+    propose_span.SetArg("round", static_cast<double>(state.round));
     CampaignContext ctx = ContextFor(state.shard, state.round);
     state.proposal = state.policy->Propose(ctx);
     if (state.proposal.empty()) {
@@ -447,7 +503,10 @@ void CampaignRunner::RunAsyncGroupedPipelined(const std::vector<GroupedPolicy>& 
     }
     state.rows.assign(state.proposal.size(), {});
     state.received = 0;
-    in_flight_rows.fetch_add(state.proposal.size(), std::memory_order_relaxed);
+    const size_t now_in_flight =
+        in_flight_rows.fetch_add(state.proposal.size(), std::memory_order_relaxed) +
+        state.proposal.size();
+    obs::trace::CounterValue("campaign.in_flight_rows", static_cast<double>(now_in_flight));
     const BatchTicket ticket = broker_.SubmitBatch(state.proposal, envs);
     batch_owner.emplace(ticket.id, state_index);
     return true;
@@ -459,6 +518,7 @@ void CampaignRunner::RunAsyncGroupedPipelined(const std::vector<GroupedPolicy>& 
   // the policy retired.
   const auto launch_round = [&](size_t state_index) -> bool {
     PolicyState& state = states[state_index];
+    state.round_start = SchedClock::now();
     CampaignContext ctx = ContextFor(state.shard, state.round);
     if (state.policy->WantsRefresh(ctx)) {
       ++shard_refreshing[state.shard];
@@ -472,7 +532,14 @@ void CampaignRunner::RunAsyncGroupedPipelined(const std::vector<GroupedPolicy>& 
   const auto absorb_and_advance = [&](size_t state_index) {
     PolicyState& state = states[state_index];
     CampaignContext ctx = ContextFor(state.shard, state.round);
-    state.policy->Absorb(state.proposal, state.rows, ctx);
+    {
+      TRACE_SPAN_NAMED(absorb_span, "campaign.absorb", "campaign");
+      absorb_span.SetArg("round", static_cast<double>(state.round));
+      state.policy->Absorb(state.proposal, state.rows, ctx);
+    }
+    Metrics().rounds->Increment();
+    Metrics().round_seconds->Record(
+        std::chrono::duration<double>(SchedClock::now() - state.round_start).count());
     if (state.policy->Finished() || state.round + 1 >= options_.max_rounds) {
       state.policy->Finalize(ctx);
       --active;
@@ -582,7 +649,10 @@ void CampaignRunner::RunAsyncGroupedPipelined(const std::vector<GroupedPolicy>& 
       }
       PolicyState& state = states[owner->second];
       state.rows[done.index] = std::move(done.row);
-      in_flight_rows.fetch_sub(1, std::memory_order_relaxed);
+      const size_t now_in_flight =
+          in_flight_rows.fetch_sub(1, std::memory_order_relaxed) - 1;
+      obs::trace::CounterValue("campaign.in_flight_rows",
+                               static_cast<double>(now_in_flight));
       if (++state.received < state.proposal.size()) {
         continue;
       }

@@ -5,14 +5,43 @@
 #include <exception>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace unicorn {
+
+namespace {
+
+// Process-wide shard-pool instruments (see FleetMetrics for the pattern).
+struct PoolMetrics {
+  obs::Counter* refreshes;
+  obs::Counter* refresh_batches;
+  obs::Gauge* running_refreshes;
+  obs::Histogram* refresh_seconds;
+};
+
+const PoolMetrics& Metrics() {
+  static const PoolMetrics metrics = [] {
+    auto& registry = obs::MetricsRegistry::Global();
+    return PoolMetrics{registry.Counter("pool.refreshes"),
+                       registry.Counter("pool.refresh_batches"),
+                       registry.Gauge("pool.running_refreshes"),
+                       registry.Histogram("pool.refresh_seconds")};
+  }();
+  return metrics;
+}
+
+}  // namespace
 
 EngineShardPool::EngineShardPool(std::vector<Variable> variables, ShardPoolOptions options)
     : variables_(std::move(variables)),
       options_(std::move(options)),
       shared_cache_(options_.shared_cache_entries) {
   if (options_.refresh_threads > 1) {
-    refresh_pool_ = std::make_unique<ThreadPool>(options_.refresh_threads);
+    ThreadPool::Options pool_options;
+    pool_options.num_threads = options_.refresh_threads;
+    pool_options.name = "refresh";
+    refresh_pool_ = std::make_unique<ThreadPool>(pool_options);
   }
 }
 
@@ -52,6 +81,9 @@ void EngineShardPool::RefreshShards(std::vector<size_t> shards, uint64_t seed) {
   }
 
   using Clock = std::chrono::steady_clock;
+  obs::trace::Span span("pool.refresh_batch", "pool");
+  span.SetArg("shards", static_cast<double>(shards.size()));
+  Metrics().refresh_batches->Increment();
   const auto start = Clock::now();
   if (shards.size() == 1 || refresh_pool_ == nullptr) {
     for (const size_t s : shards) {
@@ -94,6 +126,7 @@ void EngineShardPool::StartRefreshAsync(size_t shard_index, uint64_t seed, uint6
     TaskPool::Options pool_options;
     pool_options.num_threads = options_.refresh_threads < 1 ? 1 : options_.refresh_threads;
     pool_options.pin_threads = options_.pin_refresh_threads;
+    pool_options.name = "refresh";
     async_pool_ = std::make_unique<TaskPool>(pool_options);
   }
   {
@@ -135,6 +168,8 @@ void EngineShardPool::RunAsyncRefresh(size_t shard_index, uint64_t seed, uint64_
   }
   const bool overlapped_at_start =
       gauge != nullptr && gauge->load(std::memory_order_relaxed) > 0;
+  Metrics().running_refreshes->Add(1.0);
+  obs::trace::Begin("pool.refresh", "pool");
   const auto start = Clock::now();
   ShardRefreshDone done;
   done.shard = shard_index;
@@ -150,6 +185,18 @@ void EngineShardPool::RunAsyncRefresh(size_t shard_index, uint64_t seed, uint64_
   const double wall = std::chrono::duration<double>(Clock::now() - start).count();
   const bool overlapped_at_end =
       gauge != nullptr && gauge->load(std::memory_order_relaxed) > 0;
+  // The span carries the ledger's own trapezoid sample: overlap_credit is
+  // the fraction of this refresh counted as hidden behind in-flight
+  // measurement, so sum(dur * overlap_credit) over "pool.refresh" spans in a
+  // trace REPRODUCES ShardPoolStats::overlap_seconds — the overlap ledger as
+  // derived trace data (tools/trace_report recomputes it; the pipeline bench
+  // gates the two against each other).
+  obs::trace::End("overlap_credit",
+                  (overlapped_at_start ? 0.5 : 0.0) + (overlapped_at_end ? 0.5 : 0.0),
+                  "shard", static_cast<double>(shard_index));
+  Metrics().running_refreshes->Add(-1.0);
+  Metrics().refreshes->Increment();
+  Metrics().refresh_seconds->Record(wall);
 
   bool chain = false;
   uint64_t next_seed = 0;

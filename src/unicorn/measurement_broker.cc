@@ -6,6 +6,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace unicorn {
 namespace {
 
@@ -13,6 +16,31 @@ using Clock = std::chrono::steady_clock;
 
 // Marks a request already resolved from the cross-batch cache.
 constexpr size_t kResolved = std::numeric_limits<size_t>::max();
+
+// Process-wide broker instruments, resolved once (registry lookup locks).
+// All broker instances share them: the registry is the fleet-wide view, the
+// per-instance BrokerStats ledger stays the per-broker one.
+struct BrokerMetrics {
+  obs::Counter* requests;
+  obs::Counter* measured;
+  obs::Counter* cache_hits;
+  obs::Counter* failures;
+  obs::Counter* batches;
+  obs::Histogram* batch_size;
+};
+
+const BrokerMetrics& Metrics() {
+  static const BrokerMetrics metrics = [] {
+    auto& registry = obs::MetricsRegistry::Global();
+    return BrokerMetrics{registry.Counter("broker.requests"),
+                         registry.Counter("broker.measured"),
+                         registry.Counter("broker.cache_hits"),
+                         registry.Counter("broker.failures"),
+                         registry.Counter("broker.batches"),
+                         registry.Histogram("broker.batch_size")};
+  }();
+  return metrics;
+}
 
 }  // namespace
 
@@ -65,6 +93,9 @@ std::vector<std::vector<double>> MeasurementBroker::MeasureBatchOnPool(
   ++stats_.batches;
   stats_.requests += configs.size();
   stats_.largest_batch = std::max(stats_.largest_batch, configs.size());
+  Metrics().batches->Increment();
+  Metrics().requests->Add(configs.size());
+  Metrics().batch_size->Record(static_cast<double>(configs.size()));
 
   // Resolve every request to either a cached row or a slot in the unique
   // work list; duplicates within the batch share one slot.
@@ -97,6 +128,9 @@ std::vector<std::vector<double>> MeasurementBroker::MeasureBatchOnPool(
   // the caller sees) is independent of thread interleaving. Per-item timing
   // lands in its own slot: busy time sums exactly once per measurement.
   std::vector<double> item_seconds(unique.size(), 0.0);
+  obs::trace::Span span("broker.batch", "broker");
+  span.SetArg("requests", static_cast<double>(configs.size()));
+  span.SetArg("measured", static_cast<double>(unique.size()));
   const auto start = Clock::now();
   const auto rows = ParallelMap(pool_.get(), unique.size(), [&](size_t u) {
     const auto item_start = Clock::now();
@@ -104,11 +138,17 @@ std::vector<std::vector<double>> MeasurementBroker::MeasureBatchOnPool(
     item_seconds[u] = std::chrono::duration<double>(Clock::now() - item_start).count();
     return row;
   });
-  stats_.batch_wall_seconds += std::chrono::duration<double>(Clock::now() - start).count();
+  const double fan_out_wall = std::chrono::duration<double>(Clock::now() - start).count();
+  stats_.batch_wall_seconds += fan_out_wall;
+  // Pool mode measures synchronously, so the fan-out wall IS the time work
+  // was outstanding (see BrokerStats::active_wall_seconds).
+  stats_.active_wall_seconds += fan_out_wall;
   for (double seconds : item_seconds) {
     stats_.busy_seconds += seconds;
   }
   stats_.measured += unique.size();
+  Metrics().measured->Add(unique.size());
+  Metrics().cache_hits->Add(configs.size() - unique.size());
 
   for (size_t i = 0; i < configs.size(); ++i) {
     if (unique_of[i] != kResolved) {
@@ -137,6 +177,8 @@ std::vector<std::vector<double>> MeasurementBroker::MeasureBatch(
   // completions, deferring any stale async completions for their own
   // consumers. Reassembly by index keeps request order deterministic no
   // matter how the fleet routed or retried.
+  obs::trace::Span span("broker.batch", "broker");
+  span.SetArg("requests", static_cast<double>(configs.size()));
   const auto start = Clock::now();
   const BatchTicket ticket = SubmitBatch(configs, environments);
   std::vector<std::vector<double>> out(configs.size());
@@ -203,8 +245,14 @@ BatchTicket MeasurementBroker::SubmitBatch(const std::vector<std::vector<double>
   ++stats_.batches;
   stats_.requests += configs.size();
   stats_.largest_batch = std::max(stats_.largest_batch, configs.size());
+  Metrics().batches->Increment();
+  Metrics().requests->Add(configs.size());
+  Metrics().batch_size->Record(static_cast<double>(configs.size()));
+  obs::trace::Span span("broker.submit", "broker");
+  span.SetArg("requests", static_cast<double>(configs.size()));
   BatchTicket ticket{next_batch_++, configs.size()};
   outstanding_requests_ += configs.size();
+  size_t submitted = 0;
   for (size_t i = 0; i < configs.size(); ++i) {
     const std::string& env = EnvOf(environments, i);
     if (const std::vector<double>* row = CachedRow(configs[i], env)) {
@@ -228,13 +276,22 @@ BatchTicket MeasurementBroker::SubmitBatch(const std::vector<std::vector<double>
         continue;
       }
     }
+    // Opening the active-wall window BEFORE Submit keeps the (blocking)
+    // submit time inside it — the fleet is already measuring while Submit
+    // waits for queue space.
+    if (fleet_waiters_.empty()) {
+      active_since_ = Clock::now();
+    }
     const uint64_t fleet_ticket = fleet_->Submit(configs[i], env);
     fleet_waiters_[fleet_ticket].push_back(Waiter{ticket.id, i});
     if (options_.dedup_cache) {
       in_flight_.emplace(EnvConfig{env, configs[i]}, fleet_ticket);
     }
     ++stats_.measured;
+    ++submitted;
   }
+  Metrics().measured->Add(submitted);
+  Metrics().cache_hits->Add(configs.size() - submitted);
   return ticket;
 }
 
@@ -257,6 +314,15 @@ void MeasurementBroker::ResolveFleetCompletion(FleetCompletion done) {
   }
   const std::vector<Waiter> waiters = std::move(waiters_it->second);
   fleet_waiters_.erase(waiters_it);
+  if (fleet_waiters_.empty()) {
+    // Last outstanding fleet request resolved: close the active-wall window
+    // opened by the first Submit of this burst. This runs on whichever
+    // thread drains the stream, synchronous or pipelined alike — which is
+    // exactly what batch_wall_seconds (caller-thread blocking time) missed
+    // on overlapped SubmitBatch rounds.
+    stats_.active_wall_seconds +=
+        std::chrono::duration<double>(Clock::now() - active_since_).count();
+  }
   if (options_.dedup_cache) {
     in_flight_.erase(EnvConfig{done.environment, done.config});
   }
@@ -267,6 +333,7 @@ void MeasurementBroker::ResolveFleetCompletion(FleetCompletion done) {
   }
   if (!ok) {
     stats_.failures += waiters.size();
+    Metrics().failures->Add(waiters.size());
   }
   for (const Waiter& waiter : waiters) {
     BrokerCompletion completion;

@@ -39,6 +39,7 @@
 #ifndef UNICORN_UNICORN_MEASUREMENT_BROKER_H_
 #define UNICORN_UNICORN_MEASUREMENT_BROKER_H_
 
+#include <chrono>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -75,7 +76,18 @@ struct BrokerStats {
   size_t largest_batch = 0;
   // Wall-clock of synchronous measuring fan-outs, recorded once per batch on
   // the calling thread — the number end-to-end speedup claims divide by.
+  // Accounts only the *blocking* drains: an asynchronous SubmitBatch round
+  // whose completions arrive while the caller is off doing other work adds
+  // nothing here, which made busy/batch_wall overstate utilization under the
+  // pipelined scheduler. Use active_wall_seconds as the denominator instead.
   double batch_wall_seconds = 0.0;
+  // Wall-clock during which at least one broker request was genuinely
+  // outstanding on the measuring engine — the union of [first submit, last
+  // resolve] intervals, accumulated at the 1->0 transition of outstanding
+  // work. On the synchronous path this equals batch_wall_seconds (pinned by
+  // measurement_broker_test); on the async path it keeps counting while the
+  // caller overlaps other work, so busy/active is the honest utilization.
+  double active_wall_seconds = 0.0;
   // Per-measurement time summed across pool threads / fleet backends. With
   // N-way concurrency this exceeds the wall clock by up to Nx — keeping the
   // two separate is what makes utilization (busy/wall) reportable instead of
@@ -86,6 +98,12 @@ struct BrokerStats {
   double CacheHitRate() const {
     return requests == 0 ? 0.0
                          : static_cast<double>(cache_hits) / static_cast<double>(requests);
+  }
+  // Busy time per second of wall with outstanding measurement work — >1 in
+  // fleet/pool mode means real concurrency, and the async path no longer
+  // inflates it (see active_wall_seconds).
+  double Utilization() const {
+    return active_wall_seconds > 0.0 ? busy_seconds / active_wall_seconds : 0.0;
   }
 };
 
@@ -247,6 +265,9 @@ class MeasurementBroker {
   std::deque<BrokerCompletion> ready_;
   uint64_t next_batch_ = 1;
   size_t outstanding_requests_ = 0;
+  // Opens when fleet_waiters_ goes empty -> nonempty (first Submit of a
+  // burst), closes into stats_.active_wall_seconds when it drains to empty.
+  std::chrono::steady_clock::time_point active_since_{};
 
   BrokerStats stats_;
 };

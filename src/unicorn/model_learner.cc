@@ -3,11 +3,41 @@
 #include <chrono>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "unicorn/backend/binary_table.h"
 #include "util/hash.h"
 #include "util/rng.h"
 
 namespace unicorn {
+
+namespace {
+
+// Process-wide engine instruments, summed across every shard/engine (the
+// per-instance EngineStats ledger stays the per-shard view).
+struct EngineMetrics {
+  obs::Counter* refreshes;
+  obs::Counter* tests_requested;
+  obs::Counter* tests_evaluated;
+  obs::Counter* cache_hits;
+  obs::Counter* cross_shard_hits;
+  obs::Histogram* refresh_seconds;
+};
+
+const EngineMetrics& Metrics() {
+  static const EngineMetrics metrics = [] {
+    auto& registry = obs::MetricsRegistry::Global();
+    return EngineMetrics{registry.Counter("engine.refreshes"),
+                         registry.Counter("engine.tests_requested"),
+                         registry.Counter("engine.tests_evaluated"),
+                         registry.Counter("engine.cache_hits"),
+                         registry.Counter("engine.cross_shard_hits"),
+                         registry.Histogram("engine.refresh_seconds")};
+  }();
+  return metrics;
+}
+
+}  // namespace
 
 CausalModelEngine::CausalModelEngine(std::vector<Variable> variables,
                                      CausalModelOptions model_options,
@@ -196,8 +226,10 @@ const LearnedModel& CausalModelEngine::Refresh() {
 
 const LearnedModel& CausalModelEngine::Refresh(uint64_t seed) {
   using Clock = std::chrono::steady_clock;
+  obs::trace::Span refresh_span("engine.refresh", "engine");
   const auto start = Clock::now();
   const size_t n = data_.NumVars();
+  refresh_span.SetArg("rows", static_cast<double>(data_.NumRows()));
 
   const bool warm = has_model_ && engine_options_.stale_epsilon > 0.0 &&
                     (engine_options_.full_refresh_every == 0 ||
@@ -229,11 +261,14 @@ const LearnedModel& CausalModelEngine::Refresh(uint64_t seed) {
   // Bring the CI tests up to date with the appended rows (streaming /
   // lazy: ranks are recomputed, codes and strata re-derive on demand). A
   // no-op when AbsorbIncremental already paid this during absorption.
-  if (test_ == nullptr) {
-    test_ = std::make_unique<CompositeTest>(data_);
-    test_rows_ = data_.NumRows();
-  } else {
-    SyncAppendedRows();
+  {
+    TRACE_SPAN("engine.sync_rows", "engine");
+    if (test_ == nullptr) {
+      test_ = std::make_unique<CompositeTest>(data_);
+      test_rows_ = data_.NumRows();
+    } else {
+      SyncAppendedRows();
+    }
   }
 
   const long long evaluated_before = test_->calls;
@@ -243,15 +278,20 @@ const LearnedModel& CausalModelEngine::Refresh(uint64_t seed) {
                       data_.NumRows(), data_fingerprint_, shard_id_);
   FciOptions fci_options = model_options_.fci;
   fci_options.skeleton.num_threads = engine_options_.num_threads;
+  obs::trace::Begin("engine.fci", "engine");
   FciResult fci = RunFci(cached, constraints_, n, fci_options, warm_start, pool_.get());
+  obs::trace::End("tests", static_cast<double>(fci.tests_performed));
 
   model_.independence_tests = fci.tests_performed;
   model_.circle_marks_resolved = fci.pag.NumCircleMarks();
 
   Rng rng(seed);
   EdgeDecisionMap decisions;
-  ResolveWithEntropy(data_, constraints_, model_options_.entropic, &rng, &fci.pag,
-                     warm ? &entropic_reuse : nullptr, &decisions);
+  {
+    TRACE_SPAN("engine.entropic", "engine");
+    ResolveWithEntropy(data_, constraints_, model_options_.entropic, &rng, &fci.pag,
+                       warm ? &entropic_reuse : nullptr, &decisions);
+  }
 
   model_.admg = std::move(fci.pag);
   sepsets_ = std::move(fci.sepsets);
@@ -273,6 +313,13 @@ const LearnedModel& CausalModelEngine::Refresh(uint64_t seed) {
   stats_.total_cache_hits += stats_.cache_hits;
   stats_.total_cross_shard_hits += stats_.cross_shard_hits;
   stats_.total_seconds += stats_.refresh_seconds;
+  Metrics().refreshes->Increment();
+  Metrics().tests_requested->Add(static_cast<uint64_t>(stats_.tests_requested));
+  Metrics().tests_evaluated->Add(static_cast<uint64_t>(stats_.tests_evaluated));
+  Metrics().cache_hits->Add(static_cast<uint64_t>(stats_.cache_hits));
+  Metrics().cross_shard_hits->Add(static_cast<uint64_t>(stats_.cross_shard_hits));
+  Metrics().refresh_seconds->Record(stats_.refresh_seconds);
+  refresh_span.SetArg("warm", warm ? 1.0 : 0.0);
   return model_;
 }
 

@@ -1,0 +1,306 @@
+// Minimal recursive-descent JSON parser, header-only. Exists so the trace
+// toolchain (tools/trace_report) and the obs tests can validate the JSON the
+// observability layer emits without taking an external dependency — it is a
+// consumer-side checker, not a general serialization library (writers in
+// this repo emit JSON by hand, as before).
+//
+// Supports the full JSON value grammar: objects, arrays, strings with
+// escapes (\uXXXX collapses to '?' — the repo never emits non-ASCII),
+// numbers, true/false/null. Parse failures return nullptr with a
+// position-annotated message.
+#ifndef UNICORN_UTIL_JSON_H_
+#define UNICORN_UTIL_JSON_H_
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace unicorn {
+namespace json {
+
+struct Value;
+using ValuePtr = std::unique_ptr<Value>;
+
+struct Value {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;
+  std::vector<ValuePtr> array_value;
+  // Preserves insertion order (vector of pairs) so checkers can mirror the
+  // emitted layout; Find does a linear scan — fine for the small objects
+  // (trace events, stats blocks) this parses.
+  std::vector<std::pair<std::string, ValuePtr>> object_value;
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_number() const { return type == Type::kNumber; }
+
+  const Value* Find(const std::string& key) const {
+    if (type != Type::kObject) {
+      return nullptr;
+    }
+    for (const auto& [k, v] : object_value) {
+      if (k == key) {
+        return v.get();
+      }
+    }
+    return nullptr;
+  }
+  double NumberOr(double fallback) const {
+    return type == Type::kNumber ? number_value : fallback;
+  }
+  const std::string& StringOr(const std::string& fallback) const {
+    return type == Type::kString ? string_value : fallback;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  /// Parses one JSON value followed only by whitespace. Returns nullptr and
+  /// sets error() on malformed input.
+  ValuePtr Parse() {
+    ValuePtr value = ParseValue();
+    if (value == nullptr) {
+      return nullptr;
+    }
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Fail("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  ValuePtr Fail(const std::string& message) {
+    if (error_.empty()) {
+      error_ = message + " at offset " + std::to_string(pos_);
+    }
+    return nullptr;
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  ValuePtr ParseValue() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) {
+      return Fail("unexpected end of input");
+    }
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"':
+        return ParseString();
+      case 't':
+      case 'f':
+        return ParseBool();
+      case 'n':
+        return ParseNull();
+      default:
+        if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+          return ParseNumber();
+        }
+        return Fail(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  ValuePtr ParseObject() {
+    ++pos_;  // '{'
+    auto value = std::make_unique<Value>();
+    value->type = Value::Type::kObject;
+    SkipWhitespace();
+    if (Consume('}')) {
+      return value;
+    }
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected string key in object");
+      }
+      ValuePtr key = ParseString();
+      if (key == nullptr) {
+        return nullptr;
+      }
+      if (!Consume(':')) {
+        return Fail("expected ':' after object key");
+      }
+      ValuePtr member = ParseValue();
+      if (member == nullptr) {
+        return nullptr;
+      }
+      value->object_value.emplace_back(std::move(key->string_value), std::move(member));
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume('}')) {
+        return value;
+      }
+      return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  ValuePtr ParseArray() {
+    ++pos_;  // '['
+    auto value = std::make_unique<Value>();
+    value->type = Value::Type::kArray;
+    SkipWhitespace();
+    if (Consume(']')) {
+      return value;
+    }
+    while (true) {
+      ValuePtr element = ParseValue();
+      if (element == nullptr) {
+        return nullptr;
+      }
+      value->array_value.push_back(std::move(element));
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume(']')) {
+        return value;
+      }
+      return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  ValuePtr ParseString() {
+    ++pos_;  // '"'
+    auto value = std::make_unique<Value>();
+    value->type = Value::Type::kString;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return value;
+      }
+      if (c == '\\') {
+        if (pos_ >= text_.size()) {
+          break;
+        }
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': value->string_value.push_back('"'); break;
+          case '\\': value->string_value.push_back('\\'); break;
+          case '/': value->string_value.push_back('/'); break;
+          case 'b': value->string_value.push_back('\b'); break;
+          case 'f': value->string_value.push_back('\f'); break;
+          case 'n': value->string_value.push_back('\n'); break;
+          case 'r': value->string_value.push_back('\r'); break;
+          case 't': value->string_value.push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              return Fail("truncated \\u escape");
+            }
+            for (int i = 0; i < 4; ++i) {
+              if (!std::isxdigit(static_cast<unsigned char>(text_[pos_ + i]))) {
+                return Fail("bad \\u escape");
+              }
+            }
+            pos_ += 4;
+            value->string_value.push_back('?');
+            break;
+          }
+          default:
+            return Fail("bad escape character");
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("unescaped control character in string");
+      } else {
+        value->string_value.push_back(c);
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  ValuePtr ParseNumber() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double parsed = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0' || end == token.c_str()) {
+      return Fail("malformed number");
+    }
+    auto value = std::make_unique<Value>();
+    value->type = Value::Type::kNumber;
+    value->number_value = parsed;
+    return value;
+  }
+
+  ValuePtr ParseBool() {
+    auto value = std::make_unique<Value>();
+    value->type = Value::Type::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      value->bool_value = true;
+      return value;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      value->bool_value = false;
+      return value;
+    }
+    return Fail("bad literal");
+  }
+
+  ValuePtr ParseNull() {
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return std::make_unique<Value>();
+    }
+    return Fail("bad literal");
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+/// Convenience wrapper: parse `text`, return nullptr on failure (with the
+/// message in *error when non-null).
+inline ValuePtr Parse(const std::string& text, std::string* error = nullptr) {
+  Parser parser(text);
+  ValuePtr value = parser.Parse();
+  if (value == nullptr && error != nullptr) {
+    *error = parser.error();
+  }
+  return value;
+}
+
+}  // namespace json
+}  // namespace unicorn
+
+#endif  // UNICORN_UTIL_JSON_H_

@@ -1,6 +1,9 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <string>
+
+#include "obs/trace.h"
 
 #if defined(__linux__)
 #include <pthread.h>
@@ -32,12 +35,28 @@ void PinToCpu(std::thread& thread, int index) {
 
 }  // namespace
 
-ThreadPool::ThreadPool(int num_threads) : ThreadPool(Options{num_threads, false}) {}
+namespace {
+
+// Trace-plane worker label: "<pool>/<index>", applied on the worker itself
+// before it starts pulling work. A copy of the name is captured — the
+// Options object does not outlive construction.
+void NameWorker(const std::string& pool_name, int index) {
+  if (!pool_name.empty()) {
+    obs::trace::SetThreadName(pool_name + "/" + std::to_string(index));
+  }
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) : ThreadPool(Options{num_threads, false, {}}) {}
 
 ThreadPool::ThreadPool(const Options& options) {
   const int workers = options.num_threads - 1;
   for (int i = 0; i < workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, name = options.name, i] {
+      NameWorker(name, i);
+      WorkerLoop();
+    });
     if (options.pin_threads) {
       PinToCpu(workers_.back(), i);
     }
@@ -116,7 +135,10 @@ void ThreadPool::ParallelFor(size_t count, const std::function<void(size_t)>& bo
 TaskPool::TaskPool(const Options& options) {
   const int workers = options.num_threads < 1 ? 1 : options.num_threads;
   for (int i = 0; i < workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, name = options.name, i] {
+      NameWorker(name, i);
+      WorkerLoop();
+    });
     if (options.pin_threads) {
       PinToCpu(workers_.back(), i);
     }

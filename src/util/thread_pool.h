@@ -19,6 +19,7 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -33,6 +34,11 @@ struct ThreadPoolOptions {
   /// refresh sweeps on multi-socket hosts but hurts whenever the pool shares
   /// cores with other busy threads. Non-Linux builds ignore it.
   bool pin_threads = false;
+  /// Observability label for the pool's workers: worker i registers as
+  /// "<name>/<i>" with the trace layer (obs::trace::SetThreadName), so spans
+  /// recorded on pool threads land on named Perfetto tracks. Empty = workers
+  /// stay unnamed. No effect on execution.
+  std::string name;
 };
 
 class ThreadPool {

@@ -116,6 +116,24 @@ TEST(MeasurementBrokerTest, WallAndBusyTimeAreAccountedSeparately) {
   EXPECT_GT(broker.stats().busy_seconds, 0.0);
 }
 
+TEST(MeasurementBrokerTest, SyncPathActiveWallEqualsBatchWall) {
+  // On the synchronous (pool) path there is no overlap between batches, so
+  // the active-wall interval union degenerates to exactly the per-batch
+  // fan-out wall: the new utilization denominator must equal the old one
+  // bit-for-bit (the split only diverges under async SubmitBatch, where
+  // batch_wall undercounts overlapped submissions).
+  const PerformanceTask task = MakeTask(21);
+  BrokerOptions options;
+  options.num_threads = 2;
+  MeasurementBroker broker(task, options);
+  broker.MeasureBatch(SampleBatch(task, 12, 22));
+  broker.MeasureBatch(SampleBatch(task, 8, 23));
+  const BrokerStats stats = broker.stats();
+  EXPECT_DOUBLE_EQ(stats.active_wall_seconds, stats.batch_wall_seconds);
+  EXPECT_GT(stats.active_wall_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(stats.Utilization(), stats.busy_seconds / stats.active_wall_seconds);
+}
+
 TEST(MeasurementBrokerTest, SaveCacheLoadCacheRoundTripsBitExactly) {
   const PerformanceTask task = MakeTask(13);
   const auto configs = SampleBatch(task, 20, 14);

@@ -1,0 +1,178 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "util/json.h"
+
+// Under UNICORN_NO_OBS the instruments are inline no-ops; these tests then
+// only pin that the API stays callable (the NO_OBS CI job compiles and runs
+// this binary). The numeric assertions run in the default build.
+
+namespace unicorn {
+namespace obs {
+namespace {
+
+TEST(ObsMetricsTest, CounterMergesShardsAcrossThreads) {
+  Counter* counter = MetricsRegistry::Global().Counter("test.counter.hammer");
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        counter->Increment();
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+#ifndef UNICORN_NO_OBS
+  EXPECT_EQ(counter->Value(), kThreads * kPerThread);
+#else
+  EXPECT_EQ(counter->Value(), 0u);
+#endif
+}
+
+TEST(ObsMetricsTest, GaugeSetAndAdd) {
+  Gauge* gauge = MetricsRegistry::Global().Gauge("test.gauge.level");
+  gauge->Set(3.0);
+  gauge->Add(2.5);
+#ifndef UNICORN_NO_OBS
+  EXPECT_DOUBLE_EQ(gauge->Value(), 5.5);
+#endif
+}
+
+#ifndef UNICORN_NO_OBS
+
+TEST(ObsMetricsTest, RegistryInternsInstrumentsByName) {
+  auto& registry = MetricsRegistry::Global();
+  EXPECT_EQ(registry.Counter("test.intern"), registry.Counter("test.intern"));
+  EXPECT_EQ(registry.Gauge("test.intern.g"), registry.Gauge("test.intern.g"));
+  EXPECT_EQ(registry.Histogram("test.intern.h"), registry.Histogram("test.intern.h"));
+  EXPECT_NE(registry.Counter("test.intern"), registry.Counter("test.intern2"));
+}
+
+TEST(ObsMetricsTest, BucketBoundariesRoundTrip) {
+  // A value exactly on a bucket's upper boundary must land in that bucket —
+  // this is what makes boundary percentiles exact.
+  for (size_t i : {size_t{0}, size_t{1}, size_t{7}, size_t{8}, size_t{63},
+                   size_t{100}, size_t{317}, Histogram::kNumBuckets - 1}) {
+    EXPECT_EQ(Histogram::BucketFor(Histogram::UpperBound(i)), i) << "bucket " << i;
+  }
+  // Just above a boundary spills into the next bucket.
+  EXPECT_EQ(Histogram::BucketFor(Histogram::UpperBound(10) * 1.0000001), 11u);
+  // Below range clamps to bucket 0; NaN and negatives too (defensive).
+  EXPECT_EQ(Histogram::BucketFor(0.0), 0u);
+  EXPECT_EQ(Histogram::BucketFor(-1.0), 0u);
+  EXPECT_EQ(Histogram::BucketFor(std::nan("")), 0u);
+  // Above range clamps to the last bucket.
+  EXPECT_EQ(Histogram::BucketFor(1e300), Histogram::kNumBuckets - 1);
+}
+
+TEST(ObsMetricsTest, PercentilesExactAtBucketBoundaries) {
+  Histogram* hist = MetricsRegistry::Global().Histogram("test.hist.exact");
+  // 90 samples on one boundary, 10 on a higher one: nearest-rank p50 sits in
+  // the low bucket, p95 and p99 in the high one — and because the samples
+  // are exactly on boundaries, the reported percentiles are exact, not
+  // bucket-rounded.
+  const double low = Histogram::UpperBound(40);
+  const double high = Histogram::UpperBound(80);
+  for (int i = 0; i < 90; ++i) {
+    hist->Record(low);
+  }
+  for (int i = 0; i < 10; ++i) {
+    hist->Record(high);
+  }
+  const Histogram::Snapshot snap = hist->TakeSnapshot();
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_DOUBLE_EQ(snap.Percentile(0.5), low);
+  EXPECT_DOUBLE_EQ(snap.Percentile(0.90), low);
+  EXPECT_DOUBLE_EQ(snap.Percentile(0.95), high);
+  EXPECT_DOUBLE_EQ(snap.Percentile(0.99), high);
+  EXPECT_DOUBLE_EQ(snap.Percentile(1.0), high);
+  EXPECT_NEAR(snap.sum, 90.0 * low + 10.0 * high, 1e-9 * snap.sum);
+  EXPECT_NEAR(snap.Mean(), snap.sum / 100.0, 1e-12);
+}
+
+TEST(ObsMetricsTest, HistogramMergesShardsAcrossThreads) {
+  Histogram* hist = MetricsRegistry::Global().Histogram("test.hist.hammer");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  const double value = Histogram::UpperBound(100);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([hist, value] {
+      for (int i = 0; i < kPerThread; ++i) {
+        hist->Record(value);
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  const Histogram::Snapshot snap = hist->TakeSnapshot();
+  EXPECT_EQ(snap.count, static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_DOUBLE_EQ(snap.Percentile(0.5), value);
+  EXPECT_NEAR(snap.sum, kThreads * kPerThread * value, 1e-6 * snap.sum);
+}
+
+TEST(ObsMetricsTest, SnapshotJsonParsesAndCarriesValues) {
+  auto& registry = MetricsRegistry::Global();
+  registry.Counter("test.json.counter")->Add(42);
+  registry.Gauge("test.json.gauge")->Set(2.25);
+  registry.Histogram("test.json.hist")->Record(Histogram::UpperBound(50));
+
+  std::string error;
+  const json::ValuePtr root = json::Parse(registry.SnapshotJson(), &error);
+  ASSERT_NE(root, nullptr) << error;
+  ASSERT_TRUE(root->is_object());
+
+  const json::Value* counters = root->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  const json::Value* counter = counters->Find("test.json.counter");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_DOUBLE_EQ(counter->NumberOr(-1.0), 42.0);
+
+  const json::Value* gauges = root->Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  const json::Value* gauge = gauges->Find("test.json.gauge");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_DOUBLE_EQ(gauge->NumberOr(-1.0), 2.25);
+
+  const json::Value* hists = root->Find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const json::Value* hist = hists->Find("test.json.hist");
+  ASSERT_NE(hist, nullptr);
+  ASSERT_TRUE(hist->is_object());
+  EXPECT_DOUBLE_EQ(hist->Find("count")->NumberOr(-1.0), 1.0);
+  EXPECT_DOUBLE_EQ(hist->Find("p50")->NumberOr(-1.0), Histogram::UpperBound(50));
+  EXPECT_NE(hist->Find("p95"), nullptr);
+  EXPECT_NE(hist->Find("p99"), nullptr);
+  EXPECT_NE(hist->Find("mean"), nullptr);
+  EXPECT_NE(hist->Find("max"), nullptr);
+}
+
+TEST(ObsMetricsTest, ResetForTestZeroesEverything) {
+  auto& registry = MetricsRegistry::Global();
+  obs::Counter* counter = registry.Counter("test.reset.counter");
+  obs::Histogram* hist = registry.Histogram("test.reset.hist");
+  counter->Add(7);
+  hist->Record(1.0);
+  registry.ResetForTest();
+  EXPECT_EQ(counter->Value(), 0u);
+  EXPECT_EQ(hist->TakeSnapshot().count, 0u);
+  // Pointers stay valid and usable after reset.
+  counter->Increment();
+  EXPECT_EQ(counter->Value(), 1u);
+}
+
+#endif  // UNICORN_NO_OBS
+
+}  // namespace
+}  // namespace obs
+}  // namespace unicorn

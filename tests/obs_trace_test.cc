@@ -1,0 +1,214 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/json.h"
+
+// Under UNICORN_NO_OBS every call here is an inline no-op; the numeric
+// assertions are gated so the NO_OBS CI job still compiles and runs this
+// binary (pinning that instrumented code builds in that configuration).
+
+namespace unicorn {
+namespace obs {
+namespace trace {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetEnabled(false);
+    Clear();
+  }
+  void TearDown() override {
+    SetEnabled(false);
+    Clear();
+  }
+};
+
+size_t CountByName(const std::vector<Event>& events, const char* name) {
+  return static_cast<size_t>(
+      std::count_if(events.begin(), events.end(), [name](const Event& ev) {
+        return ev.name != nullptr && std::strcmp(ev.name, name) == 0;
+      }));
+}
+
+TEST_F(TraceTest, DisabledRecordsNothing) {
+  Begin("t.span", "test");
+  End();
+  Instant("t.instant", "test");
+  CounterValue("t.counter", 1.0);
+  EXPECT_TRUE(Collect().empty());
+}
+
+#ifndef UNICORN_NO_OBS
+
+TEST_F(TraceTest, SpansNestStrictlyPerThread) {
+  SetEnabled(true);
+  {
+    TRACE_SPAN_NAMED(outer, "t.outer", "test");
+    outer.SetArg("k", 1.0);
+    { TRACE_SPAN("t.inner", "test"); }
+    { TRACE_SPAN("t.inner", "test"); }
+  }
+  SetEnabled(false);
+
+  const std::vector<Event> events = Collect();
+  ASSERT_EQ(events.size(), 3u);
+  ASSERT_EQ(CountByName(events, "t.outer"), 1u);
+  ASSERT_EQ(CountByName(events, "t.inner"), 2u);
+  const Event* outer = nullptr;
+  std::vector<const Event*> inner;
+  for (const Event& ev : events) {
+    EXPECT_EQ(ev.phase, 'X');
+    if (std::strcmp(ev.name, "t.outer") == 0) {
+      outer = &ev;
+    } else {
+      inner.push_back(&ev);
+    }
+  }
+  // Same thread, and both inner spans sit fully inside the outer's window.
+  for (const Event* child : inner) {
+    EXPECT_EQ(child->tid, outer->tid);
+    EXPECT_GE(child->ts_us, outer->ts_us);
+    EXPECT_LE(child->ts_us + child->dur_us, outer->ts_us + outer->dur_us + 0.5);
+  }
+  // Args attached at close.
+  ASSERT_NE(outer->arg_key[0], nullptr);
+  EXPECT_STREQ(outer->arg_key[0], "k");
+  EXPECT_DOUBLE_EQ(outer->arg_value[0], 1.0);
+}
+
+TEST_F(TraceTest, ThreadsGetDistinctTidsAndNames) {
+  SetEnabled(true);
+  std::thread worker([] {
+    SetThreadName("test-worker");
+    TRACE_SPAN("t.worker", "test");
+  });
+  worker.join();
+  {
+    TRACE_SPAN("t.main", "test");
+  }
+  SetEnabled(false);
+
+  const std::vector<Event> events = Collect();
+  ASSERT_EQ(events.size(), 2u);
+  const Event* worker_ev = nullptr;
+  const Event* main_ev = nullptr;
+  for (const Event& ev : events) {
+    (std::strcmp(ev.name, "t.worker") == 0 ? worker_ev : main_ev) = &ev;
+  }
+  ASSERT_NE(worker_ev, nullptr);
+  ASSERT_NE(main_ev, nullptr);
+  EXPECT_NE(worker_ev->tid, main_ev->tid);
+  bool found_name = false;
+  for (const auto& [tid, name] : ThreadNames()) {
+    if (tid == worker_ev->tid) {
+      EXPECT_EQ(name, "test-worker");
+      found_name = true;
+    }
+  }
+  EXPECT_TRUE(found_name);
+}
+
+TEST_F(TraceTest, MidRunToggleKeepsStacksBalanced) {
+  // Begin while disabled, enable, End: the End must consume the skipped
+  // Begin, not close an unrelated span.
+  SetEnabled(true);
+  Begin("t.outer", "test");
+  SetEnabled(false);
+  Begin("t.skipped", "test");
+  SetEnabled(true);
+  End();  // closes t.skipped (skipped: no event)
+  End();  // closes t.outer
+  SetEnabled(false);
+
+  const std::vector<Event> events = Collect();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "t.outer");
+}
+
+TEST_F(TraceTest, WriteFileEmitsParseableChromeTraceJson) {
+  SetEnabled(true);
+  SetThreadName("main-test-thread");
+  {
+    TRACE_SPAN_NAMED(span, "t.span", "test");
+    span.SetArg("rows", 12.0);
+  }
+  Instant("t.mark", "test", "attempt", 2.0);
+  CounterValue("t.level", 5.0);
+  SetEnabled(false);
+
+  const std::string path = ::testing::TempDir() + "obs_trace_test.json";
+  ASSERT_TRUE(WriteFile(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  std::string error;
+  const json::ValuePtr root = json::Parse(buffer.str(), &error);
+  ASSERT_NE(root, nullptr) << error;
+  const json::Value* events = root->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  bool saw_span = false, saw_instant = false, saw_counter = false, saw_meta = false;
+  for (const auto& ev : events->array_value) {
+    ASSERT_TRUE(ev->is_object());
+    const std::string& name = ev->Find("name")->StringOr("");
+    const std::string& ph = ev->Find("ph")->StringOr("");
+    ASSERT_NE(ev->Find("pid"), nullptr);
+    ASSERT_NE(ev->Find("tid"), nullptr);
+    if (name == "t.span") {
+      saw_span = true;
+      EXPECT_EQ(ph, "X");
+      EXPECT_GE(ev->Find("dur")->NumberOr(-1.0), 0.0);
+      EXPECT_DOUBLE_EQ(ev->Find("args")->Find("rows")->NumberOr(-1.0), 12.0);
+    } else if (name == "t.mark") {
+      saw_instant = true;
+      EXPECT_EQ(ph, "i");
+      EXPECT_DOUBLE_EQ(ev->Find("args")->Find("attempt")->NumberOr(-1.0), 2.0);
+    } else if (name == "t.level") {
+      saw_counter = true;
+      EXPECT_EQ(ph, "C");
+    } else if (name == "thread_name") {
+      EXPECT_EQ(ph, "M");
+      if (ev->Find("args")->Find("name")->StringOr("") == "main-test-thread") {
+        saw_meta = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_span);
+  EXPECT_TRUE(saw_instant);
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_meta);
+}
+
+TEST_F(TraceTest, ClearDropsEventsAndKeepsTracingUsable) {
+  SetEnabled(true);
+  { TRACE_SPAN("t.before", "test"); }
+  Clear();
+  EXPECT_TRUE(Collect().empty());
+  EXPECT_EQ(DroppedEvents(), 0u);
+  { TRACE_SPAN("t.after", "test"); }
+  SetEnabled(false);
+  const std::vector<Event> events = Collect();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "t.after");
+}
+
+#endif  // UNICORN_NO_OBS
+
+}  // namespace
+}  // namespace trace
+}  // namespace obs
+}  // namespace unicorn

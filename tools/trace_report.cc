@@ -1,0 +1,317 @@
+// trace_report: validates and summarizes the Chrome-trace-event JSON the
+// observability layer writes (obs::trace::WriteFile, bench `--trace`).
+//
+//   trace_report [--check] [--top N] <trace.json>
+//
+// Prints a per-phase (span name) table: count, total wall, duration
+// percentiles (exact — the tool has every sample), and average concurrency
+// (span-time divided by the union wall the name was active). Derived data:
+// the pool's refresh-overlap is recomputed from the `overlap_credit` arg the
+// "pool.refresh" spans carry, so the report cross-checks the scheduler's
+// ledger without reading it.
+//
+// `--check` turns validation failures into a non-zero exit (CI gate):
+//   * file parses as JSON with a "traceEvents" array;
+//   * every event carries name/ph/pid/tid/ts (and dur >= 0 for "X");
+//   * complete events nest strictly per tid — spans on one thread may
+//     contain each other but never partially overlap (the tracer emits from
+//     a per-thread stack, so a violation means a corrupted trace).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+#include "util/text_table.h"
+
+namespace unicorn {
+namespace {
+
+struct SpanRow {
+  std::string name;
+  uint32_t tid = 0;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  double overlap_credit = 0.0;
+  bool has_overlap_credit = false;
+};
+
+struct TraceData {
+  std::vector<SpanRow> spans;
+  std::map<uint32_t, std::string> thread_names;
+  size_t instants = 0;
+  size_t counters = 0;
+  size_t events = 0;
+};
+
+// Sub-microsecond slack for the nesting check: timestamps are doubles
+// rounded independently at Begin and End, so a child's end may exceed its
+// parent's by rounding noise, never by real time.
+constexpr double kNestEpsUs = 0.5;
+
+bool ValidateAndLoad(const json::Value& root, TraceData* out, std::string* error) {
+  const json::Value* events = root.Find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    *error = "root has no \"traceEvents\" array";
+    return false;
+  }
+  out->events = events->array_value.size();
+  for (size_t i = 0; i < events->array_value.size(); ++i) {
+    const json::Value& ev = *events->array_value[i];
+    const auto fail = [&](const std::string& what) {
+      *error = "event " + std::to_string(i) + ": " + what;
+      return false;
+    };
+    if (!ev.is_object()) {
+      return fail("not an object");
+    }
+    const json::Value* name = ev.Find("name");
+    const json::Value* ph = ev.Find("ph");
+    const json::Value* pid = ev.Find("pid");
+    const json::Value* tid = ev.Find("tid");
+    if (name == nullptr || !name->is_string()) {
+      return fail("missing string \"name\"");
+    }
+    if (ph == nullptr || !ph->is_string() || ph->string_value.size() != 1) {
+      return fail("missing one-char \"ph\"");
+    }
+    if (pid == nullptr || !pid->is_number() || tid == nullptr || !tid->is_number()) {
+      return fail("missing numeric \"pid\"/\"tid\"");
+    }
+    const char phase = ph->string_value[0];
+    if (phase == 'M') {
+      // thread_name metadata: {"args":{"name": "..."}}
+      const json::Value* args = ev.Find("args");
+      const json::Value* tname = args != nullptr ? args->Find("name") : nullptr;
+      if (name->string_value == "thread_name" && tname != nullptr && tname->is_string()) {
+        out->thread_names[static_cast<uint32_t>(tid->number_value)] = tname->string_value;
+      }
+      continue;
+    }
+    const json::Value* ts = ev.Find("ts");
+    if (ts == nullptr || !ts->is_number()) {
+      return fail("missing numeric \"ts\"");
+    }
+    if (phase == 'i') {
+      ++out->instants;
+      continue;
+    }
+    if (phase == 'C') {
+      ++out->counters;
+      continue;
+    }
+    if (phase != 'X') {
+      return fail(std::string("unknown phase '") + phase + "'");
+    }
+    const json::Value* dur = ev.Find("dur");
+    if (dur == nullptr || !dur->is_number() || dur->number_value < 0.0) {
+      return fail("complete event without non-negative \"dur\"");
+    }
+    SpanRow row;
+    row.name = name->string_value;
+    row.tid = static_cast<uint32_t>(tid->number_value);
+    row.ts_us = ts->number_value;
+    row.dur_us = dur->number_value;
+    if (const json::Value* args = ev.Find("args")) {
+      if (const json::Value* credit = args->Find("overlap_credit")) {
+        row.overlap_credit = credit->NumberOr(0.0);
+        row.has_overlap_credit = true;
+      }
+    }
+    out->spans.push_back(std::move(row));
+  }
+  return true;
+}
+
+// Spans on one tid must nest: sweep starts in order, maintain the enclosing
+// stack, and flag any span that outlives its parent.
+bool CheckNesting(const TraceData& data, std::string* error) {
+  std::map<uint32_t, std::vector<const SpanRow*>> by_tid;
+  for (const SpanRow& s : data.spans) {
+    by_tid[s.tid].push_back(&s);
+  }
+  for (auto& [tid, spans] : by_tid) {
+    std::sort(spans.begin(), spans.end(), [](const SpanRow* a, const SpanRow* b) {
+      if (a->ts_us != b->ts_us) {
+        return a->ts_us < b->ts_us;
+      }
+      return a->dur_us > b->dur_us;  // enclosing span first on equal starts
+    });
+    std::vector<const SpanRow*> stack;
+    for (const SpanRow* s : spans) {
+      while (!stack.empty() &&
+             stack.back()->ts_us + stack.back()->dur_us <= s->ts_us + kNestEpsUs) {
+        stack.pop_back();
+      }
+      if (!stack.empty()) {
+        const double parent_end = stack.back()->ts_us + stack.back()->dur_us;
+        if (s->ts_us + s->dur_us > parent_end + kNestEpsUs) {
+          *error = "tid " + std::to_string(tid) + ": span \"" + s->name +
+                   "\" overlaps \"" + stack.back()->name + "\" without nesting";
+          return false;
+        }
+      }
+      stack.push_back(s);
+    }
+  }
+  return true;
+}
+
+double Percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  const size_t rank = static_cast<size_t>(std::ceil(q * static_cast<double>(sorted.size())));
+  return sorted[std::min(sorted.size(), std::max<size_t>(rank, 1)) - 1];
+}
+
+// Union wall of a set of [ts, ts+dur) intervals.
+double UnionWallUs(std::vector<std::pair<double, double>> intervals) {
+  std::sort(intervals.begin(), intervals.end());
+  double total = 0.0, cur_start = 0.0, cur_end = -1.0;
+  for (const auto& [start, end] : intervals) {
+    if (end <= cur_end) {
+      continue;
+    }
+    if (start > cur_end) {
+      if (cur_end > cur_start) {
+        total += cur_end - cur_start;
+      }
+      cur_start = start;
+    }
+    cur_end = end;
+  }
+  if (cur_end > cur_start) {
+    total += cur_end - cur_start;
+  }
+  return total;
+}
+
+int Report(const TraceData& data, size_t top) {
+  struct PhaseAgg {
+    std::vector<double> durs_us;
+    std::vector<std::pair<double, double>> intervals;
+    double total_us = 0.0;
+  };
+  std::map<std::string, PhaseAgg> phases;
+  double min_ts = 0.0, max_end = 0.0;
+  bool any = false;
+  double derived_overlap_s = 0.0;
+  for (const SpanRow& s : data.spans) {
+    PhaseAgg& agg = phases[s.name];
+    agg.durs_us.push_back(s.dur_us);
+    agg.intervals.push_back({s.ts_us, s.ts_us + s.dur_us});
+    agg.total_us += s.dur_us;
+    if (!any || s.ts_us < min_ts) {
+      min_ts = s.ts_us;
+    }
+    if (!any || s.ts_us + s.dur_us > max_end) {
+      max_end = s.ts_us + s.dur_us;
+    }
+    any = true;
+    if (s.name == "pool.refresh" && s.has_overlap_credit) {
+      derived_overlap_s += s.dur_us * s.overlap_credit / 1e6;
+    }
+  }
+  const double wall_s = any ? (max_end - min_ts) / 1e6 : 0.0;
+  std::printf("%zu events: %zu spans, %zu instants, %zu counter samples, %zu threads; "
+              "span wall %.3fs\n",
+              data.events, data.spans.size(), data.instants, data.counters,
+              data.thread_names.size(), wall_s);
+  for (const auto& [tid, name] : data.thread_names) {
+    std::printf("  tid %u = %s\n", tid, name.c_str());
+  }
+
+  // Phases by total span time, descending.
+  std::vector<std::pair<std::string, PhaseAgg*>> ordered;
+  for (auto& [name, agg] : phases) {
+    ordered.push_back({name, &agg});
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) { return a.second->total_us > b.second->total_us; });
+  if (ordered.size() > top) {
+    ordered.resize(top);
+  }
+
+  TextTable table({"phase", "count", "total(s)", "p50(ms)", "p95(ms)", "p99(ms)",
+                   "max(ms)", "avg conc"});
+  for (auto& [name, agg] : ordered) {
+    std::sort(agg->durs_us.begin(), agg->durs_us.end());
+    const double union_us = UnionWallUs(agg->intervals);
+    table.AddRow({name, std::to_string(agg->durs_us.size()),
+                  FormatDouble(agg->total_us / 1e6, 3),
+                  FormatDouble(Percentile(agg->durs_us, 0.5) / 1e3, 3),
+                  FormatDouble(Percentile(agg->durs_us, 0.95) / 1e3, 3),
+                  FormatDouble(Percentile(agg->durs_us, 0.99) / 1e3, 3),
+                  FormatDouble(agg->durs_us.back() / 1e3, 3),
+                  FormatDouble(union_us > 0.0 ? agg->total_us / union_us : 0.0, 2)});
+  }
+  std::printf("%s", table.Render().c_str());
+  if (derived_overlap_s > 0.0) {
+    std::printf("derived refresh overlap (sum dur x overlap_credit over pool.refresh): "
+                "%.3fs\n",
+                derived_overlap_s);
+  }
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  bool check = false;
+  size_t top = 24;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
+      top = static_cast<size_t>(std::atoi(argv[++i]));
+    } else {
+      path = argv[i];
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: trace_report [--check] [--top N] <trace.json>\n");
+    return 2;
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "trace_report: cannot open %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  std::string error;
+  const json::ValuePtr root = json::Parse(text, &error);
+  if (root == nullptr) {
+    std::fprintf(stderr, "trace_report: %s: JSON parse error: %s\n", path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  TraceData data;
+  if (!ValidateAndLoad(*root, &data, &error)) {
+    std::fprintf(stderr, "trace_report: %s: invalid trace: %s\n", path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  if (!CheckNesting(data, &error)) {
+    std::fprintf(stderr, "trace_report: %s: nesting violation: %s\n", path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  const int status = Report(data, top);
+  if (check) {
+    std::printf("trace OK: %zu events validated, per-thread nesting strict\n", data.events);
+  }
+  return status;
+}
+
+}  // namespace
+}  // namespace unicorn
+
+int main(int argc, char** argv) { return unicorn::Run(argc, argv); }
