@@ -20,17 +20,27 @@
 //      the cold run. Violations exit non-zero (this is a determinism
 //      property, not a timing one).
 //
+//   4. Intra-refresh thread scaling: a Possible-D-SEP-heavy discovery swept
+//      over engine thread counts {1, 2, 4, 8}; every count must reproduce
+//      the t=1 graph and test/cache accounting bit-for-bit (always gated),
+//      and t=8 must be >= 2x faster per refresh than t=1 (full mode, hosts
+//      with >= 8 hardware threads).
+//
 // Flags: --smoke (CI-sized workload), --json <path> (machine-readable
-// results, bench name "table_ci_kernels"), --trace/--metrics <path>
+// results, bench name "table_ci_kernels"), --gate-per-refresh <mult> (smoke
+// mode: fail if per-refresh exceeds mult x the recorded
+// smoke_per_refresh_seconds baseline), --trace/--metrics <path>
 // (observability artifacts; see docs/OBSERVABILITY.md).
 #include <charconv>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/common.h"
@@ -53,13 +63,16 @@ using Clock = std::chrono::steady_clock;
 // for runs from outside the repo root.
 constexpr double kFallbackBaselinePerRefresh = 0.39761345679999993;
 
-double ReadBaselinePerRefresh(const std::string& path, double fallback) {
+// One double out of a recorded bench JSON by key name (string search — the
+// bench JSON writer emits every key exactly once). `fallback` when the file
+// or the key is absent.
+double ReadBaselineKey(const std::string& path, const std::string& key_name, double fallback) {
   std::ifstream in(path);
   if (!in) {
     return fallback;
   }
   std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
-  const std::string key = "\"incremental_per_refresh_seconds\": ";
+  const std::string key = "\"" + key_name + "\": ";
   const size_t pos = text.find(key);
   if (pos == std::string::npos) {
     return fallback;
@@ -69,6 +82,10 @@ double ReadBaselinePerRefresh(const std::string& path, double fallback) {
   double value = 0.0;
   const auto result = std::from_chars(begin, end, value);
   return result.ec == std::errc() && value > 0.0 ? value : fallback;
+}
+
+double ReadBaselinePerRefresh(const std::string& path, double fallback) {
+  return ReadBaselineKey(path, "incremental_per_refresh_seconds", fallback);
 }
 
 int64_t UlpDistance(double a, double b) {
@@ -219,7 +236,12 @@ bool RunKernelSelfCheck(bool smoke, int64_t* max_ulp_out, bool* graphs_identical
 }
 
 // The Table-3 incremental debugging workload, timed per model refresh.
-bool RunPerRefreshStudy(bool smoke, bench::JsonResults* json) {
+// `gate_multiplier` > 0 turns the smoke-sized run into a perf-regression
+// gate: per-refresh must stay within that multiple of the recorded
+// smoke_per_refresh_seconds baseline (BENCH_table_ci_kernels.json).
+// `per_refresh_out` (optional) reports the measured per-refresh seconds.
+bool RunPerRefreshStudy(bool smoke, bench::JsonResults* json, double gate_multiplier,
+                        double* per_refresh_out) {
   SystemSpec spec;
   spec.num_events = smoke ? 19 : 288;
   spec.extended_options = true;
@@ -284,7 +306,170 @@ bool RunPerRefreshStudy(bool smoke, bench::JsonResults* json) {
     json->Add("per_refresh", "speedup_vs_baseline", speedup);
     json->Add("per_refresh", "smoke", smoke ? 1.0 : 0.0);
   }
-  return true;  // wall-clock numbers never fail the run
+  if (per_refresh_out != nullptr) {
+    *per_refresh_out = per_refresh;
+  }
+  // Wall-clock numbers never fail the run — except under an explicit
+  // --gate-per-refresh, where CI trades a generous multiplier for an early
+  // tripwire on per-refresh regressions.
+  if (smoke && gate_multiplier > 0.0) {
+    const double smoke_baseline =
+        ReadBaselineKey("BENCH_table_ci_kernels.json", "smoke_per_refresh_seconds", 0.0);
+    if (smoke_baseline <= 0.0) {
+      std::printf("per-refresh gate: no recorded smoke baseline; gate skipped\n");
+    } else if (per_refresh > gate_multiplier * smoke_baseline) {
+      std::fprintf(stderr,
+                   "PER-REFRESH REGRESSION: %.4fs > %.2fx the recorded smoke baseline %.4fs\n",
+                   per_refresh, gate_multiplier, smoke_baseline);
+      return false;
+    } else {
+      std::printf("per-refresh gate: %.4fs within %.2fx of the recorded %.4fs baseline\n",
+                  per_refresh, gate_multiplier, smoke_baseline);
+    }
+  }
+  return true;
+}
+
+// --- Intra-refresh thread scaling -------------------------------------------
+//
+// A Possible-D-SEP-heavy discovery workload swept over engine thread counts
+// {1, 2, 4, 8}. Two gates:
+//   - bit identity (always): every thread count must reproduce the t=1
+//     discovery graph AND the t=1 test/cache accounting exactly — the
+//     parallel PDS/entropic phases and the buffered cache publishes are
+//     contracted to be invisible in the results.
+//   - scaling (full mode, hosts with >= 8 hardware threads only): t=8 must
+//     be >= 2x faster per refresh than t=1. Timing is never gated on
+//     hosted-CI-sized machines.
+
+// Chain-structured mixed table: enough surviving edges after the shallow
+// skeleton pass that the PDS sweep dominates the refresh.
+DataTable ScalingTable(size_t num_vars, size_t rows) {
+  std::vector<Variable> vars;
+  for (size_t v = 0; v < num_vars; ++v) {
+    if (v % 3 == 0) {
+      vars.push_back(
+          {"o" + std::to_string(v), VarType::kDiscrete, VarRole::kOption, {0, 1, 2}});
+    } else {
+      vars.push_back({"e" + std::to_string(v), VarType::kContinuous, VarRole::kEvent, {}});
+    }
+  }
+  DataTable t(vars);
+  Rng rng(9090);
+  std::vector<double> row(num_vars, 0.0);
+  for (size_t r = 0; r < rows; ++r) {
+    double carry = 0.0;
+    for (size_t v = 0; v < num_vars; ++v) {
+      if (v % 3 == 0) {
+        row[v] = static_cast<double>(rng.UniformInt(uint64_t{3}));
+        carry = 0.4 * row[v];
+      } else {
+        row[v] = carry + rng.Gaussian(0, 1.0);
+        carry = 0.5 * row[v];
+      }
+    }
+    t.AddRow(row);
+  }
+  return t;
+}
+
+struct ScalingRun {
+  double per_refresh = 0.0;
+  MixedGraph admg;
+  long long requested = 0;
+  long long evaluated = 0;
+  long long hits = 0;
+};
+
+ScalingRun RunScalingAt(const DataTable& base, const DataTable& extra, int threads) {
+  CausalModelOptions mo;
+  mo.fci.skeleton.alpha = 0.1;
+  mo.fci.skeleton.max_cond_size = 1;
+  mo.fci.skeleton.max_subsets = 8;
+  mo.fci.use_possible_dsep = true;
+  mo.fci.max_pds_cond_size = 2;
+  mo.entropic.latent.restarts = 1;
+  mo.entropic.latent.iterations = 20;
+  EngineOptions eo;
+  eo.num_threads = threads;
+  eo.use_ci_cache = true;
+  CausalModelEngine engine(base.Variables(), mo, eo);
+  engine.AppendRows(base);
+  engine.Refresh(311);
+  engine.AppendRows(extra);  // second refresh exercises the warm paths too
+  engine.Refresh(312);
+  const EngineStats& stats = engine.stats();
+  ScalingRun run;
+  run.per_refresh =
+      stats.refreshes > 0 ? stats.total_seconds / static_cast<double>(stats.refreshes) : 0.0;
+  run.admg = engine.model().admg;
+  run.requested = stats.total_tests_requested;
+  run.evaluated = stats.total_tests_evaluated;
+  run.hits = stats.total_cache_hits;
+  return run;
+}
+
+bool RunThreadScalingStudy(bool smoke, bench::JsonResults* json) {
+  const size_t num_vars = smoke ? 15 : 21;
+  const size_t rows = smoke ? 160 : 320;
+  const DataTable all = ScalingTable(num_vars, rows + rows / 2);
+  std::vector<size_t> base_idx;
+  std::vector<size_t> extra_idx;
+  for (size_t r = 0; r < all.NumRows(); ++r) {
+    (r < rows ? base_idx : extra_idx).push_back(r);
+  }
+  const DataTable base = all.SelectRows(base_idx);
+  const DataTable extra = all.SelectRows(extra_idx);
+  std::printf("\n=== Intra-refresh thread scaling (PDS-heavy, %zu vars, %zu rows) ===\n",
+              num_vars, all.NumRows());
+
+  const std::vector<int> thread_counts = {1, 2, 4, 8};
+  std::vector<ScalingRun> runs;
+  for (int t : thread_counts) {
+    runs.push_back(RunScalingAt(base, extra, t));
+  }
+
+  bool ok = true;
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const ScalingRun& r = runs[i];
+    const bool identical = r.admg == runs[0].admg && r.requested == runs[0].requested &&
+                           r.evaluated == runs[0].evaluated && r.hits == runs[0].hits;
+    const double speedup = r.per_refresh > 0.0 ? runs[0].per_refresh / r.per_refresh : 0.0;
+    std::printf("threads=%d: %.4fs per refresh (%.2fx vs t=1) | tests %lld/%lld, "
+                "hits %lld | bit-identical: %s\n",
+                thread_counts[i], r.per_refresh, speedup, r.evaluated, r.requested, r.hits,
+                identical ? "yes" : "NO (bug)");
+    if (!identical) {
+      std::fprintf(stderr,
+                   "THREAD-SCALING FAIL: t=%d diverged from t=1 "
+                   "(tests %lld/%lld vs %lld/%lld, hits %lld vs %lld)\n",
+                   thread_counts[i], r.evaluated, r.requested, runs[0].evaluated,
+                   runs[0].requested, r.hits, runs[0].hits);
+      ok = false;
+    }
+    if (json != nullptr) {
+      const std::string suffix = "_t" + std::to_string(thread_counts[i]);
+      json->Add("thread_scaling", "per_refresh_seconds" + suffix, r.per_refresh);
+      json->Add("thread_scaling", "speedup" + suffix, speedup);
+      json->Add("thread_scaling", "bit_identical" + suffix, identical ? 1.0 : 0.0);
+    }
+  }
+  const bool gate_timing = !smoke && std::thread::hardware_concurrency() >= 8;
+  if (gate_timing) {
+    const double speedup8 =
+        runs.back().per_refresh > 0.0 ? runs[0].per_refresh / runs.back().per_refresh : 0.0;
+    if (speedup8 < 2.0) {
+      std::fprintf(stderr, "THREAD-SCALING FAIL: t=8 speedup %.2fx below the 2x gate\n",
+                   speedup8);
+      ok = false;
+    } else {
+      std::printf("t=8 scaling gate: %.2fx >= 2x PASS\n", speedup8);
+    }
+  } else {
+    std::printf("(t=8 >= 2x timing gate %s; bit-identity gates always apply)\n",
+                smoke ? "skipped in smoke mode" : "needs >= 8 hardware threads");
+  }
+  return ok;
 }
 
 // Cold run -> persist table (binary) + CI cache -> warm run restores both.
@@ -407,11 +592,14 @@ int main(int argc, char** argv) {
   std::string json_path;
   unicorn::obs::Cli obs_cli;
   obs_cli.Scan(argc, argv);
+  double gate_per_refresh = 0.0;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--smoke") {
       smoke = true;
     } else if (std::string(argv[i]) == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::string(argv[i]) == "--gate-per-refresh" && i + 1 < argc) {
+      gate_per_refresh = std::atof(argv[++i]);
     }
   }
   obs_cli.Begin();
@@ -426,7 +614,17 @@ int main(int argc, char** argv) {
     json_ptr->Add("self_check", "fisher_max_corr_ulp", static_cast<double>(max_ulp));
     json_ptr->Add("self_check", "discovery_graphs_identical", graphs_identical ? 1.0 : 0.0);
   }
-  ok = unicorn::RunPerRefreshStudy(smoke, json_ptr) && ok;
+  ok = unicorn::RunPerRefreshStudy(smoke, json_ptr, gate_per_refresh, nullptr) && ok;
+  if (!smoke) {
+    // Full runs also record the smoke-sized per-refresh cost, so the seeded
+    // JSON carries the baseline the CI smoke gate compares against.
+    double smoke_per_refresh = 0.0;
+    ok = unicorn::RunPerRefreshStudy(true, nullptr, 0.0, &smoke_per_refresh) && ok;
+    if (json_ptr != nullptr) {
+      json_ptr->Add("per_refresh", "smoke_per_refresh_seconds", smoke_per_refresh);
+    }
+  }
+  ok = unicorn::RunThreadScalingStudy(smoke, json_ptr) && ok;
   ok = unicorn::RunWarmCacheCampaign(smoke, json_ptr) && ok;
   if (int rc = obs_cli.End(); rc != 0) {
     return rc;

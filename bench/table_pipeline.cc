@@ -669,6 +669,12 @@ int RunStudy(bool smoke, const std::string& json_path, const std::string& trace_
     std::printf("OVERLAP LEDGER BROKEN: no refresh time overlapped in-flight rows\n");
     ++failures;
   }
+  // The ledger credits engine-internal seconds and the pool clamps the
+  // report, so overlap can never exceed the refresh sum it is a fraction of.
+  if (overlap_fraction > 1.0) {
+    std::printf("OVERLAP LEDGER BROKEN: overlap fraction %.7f > 1\n", overlap_fraction);
+    ++failures;
+  }
   if (!stress.ok || stress.seeded != stress_rows) {
     std::printf("STRESS BROKEN: seeded %zu of %zu rows\n", stress.seeded, stress_rows);
     ++failures;

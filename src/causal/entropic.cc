@@ -4,7 +4,9 @@
 #include <cmath>
 #include <memory>
 
+#include "obs/trace.h"
 #include "stats/entropy.h"
+#include "util/thread_pool.h"
 
 namespace unicorn {
 
@@ -83,34 +85,96 @@ bool CreatesCycle(const MixedGraph& g, size_t from, size_t to) {
 
 void ResolveWithEntropy(const DataTable& data, const StructuralConstraints& constraints,
                         const EntropicOptions& options, Rng* rng, MixedGraph* pag,
-                        const EdgeDecisionMap* reuse, EdgeDecisionMap* decisions_out) {
+                        const EdgeDecisionMap* reuse, EdgeDecisionMap* decisions_out,
+                        ThreadPool* pool) {
   const size_t n = pag->NumNodes();
   const auto& roles = constraints.roles();
 
-  // Columns are discretized on first use: a warm refresh that reuses every
-  // pair decision never pays for coding the table at all.
-  std::vector<std::unique_ptr<CodedColumn>> coded(data.NumVars());
-  auto col = [&](size_t v) -> const CodedColumn& {
-    if (coded[v] == nullptr) {
-      coded[v] = std::make_unique<CodedColumn>(
-          DiscretizeColumn(data.Col(v), data.Var(v).type, options.max_bins));
-    }
-    return *coded[v];
+  // Phase 1 (serial): enumerate the pairs that will need a decision. The
+  // mutation loop below only ever rewrites the pair's own edge, so whether a
+  // pair calls decide() is fully determined by the entry marks — the set can
+  // be fixed up front. Each fresh pair forks its own Rng stream from `rng`
+  // here, in deterministic pair order, so the scoring phase can run the
+  // pairs in any order (or concurrently) without perturbing the draws.
+  struct FreshPair {
+    size_t a;
+    size_t b;
+    Rng rng;
+    EdgeDecision decision;
   };
-
-  // Decision for the pair, from the reuse map when offered, computed fresh
-  // otherwise; always recorded for the next refresh.
-  auto decide = [&](size_t a, size_t b) {
-    if (reuse != nullptr) {
-      auto it = reuse->find({a, b});
-      if (it != reuse->end()) {
-        if (decisions_out != nullptr) {
-          (*decisions_out)[{a, b}] = it->second;
+  std::vector<FreshPair> fresh;
+  EdgeDecisionMap computed;
+  for (size_t a = 0; a < n; ++a) {
+    for (size_t b = a + 1; b < n; ++b) {
+      if (!pag->HasEdge(a, b)) {
+        continue;
+      }
+      const Mark at_a = pag->EndMark(b, a);
+      const Mark at_b = pag->EndMark(a, b);
+      const bool needs_decision = at_a == Mark::kCircle || at_b == Mark::kCircle ||
+                                  (at_a == Mark::kTail && at_b == Mark::kTail);
+      if (!needs_decision) {
+        continue;
+      }
+      if (reuse != nullptr) {
+        auto it = reuse->find({a, b});
+        if (it != reuse->end()) {
+          computed[{a, b}] = it->second;
+          continue;
         }
-        return it->second;
+      }
+      fresh.push_back(FreshPair{a, b, rng->Fork(), EdgeDecision{}});
+    }
+  }
+
+  // Phase 2 (parallel): discretize the endpoint columns the fresh pairs
+  // need, then score each pair on its own forked stream. A warm refresh that
+  // reuses every pair decision never pays for coding the table at all.
+  std::vector<std::unique_ptr<CodedColumn>> coded(data.NumVars());
+  if (!fresh.empty()) {
+    std::vector<size_t> vars;
+    {
+      std::vector<char> need(data.NumVars(), 0);
+      for (const FreshPair& fp : fresh) {
+        need[fp.a] = 1;
+        need[fp.b] = 1;
+      }
+      for (size_t v = 0; v < data.NumVars(); ++v) {
+        if (need[v] != 0) {
+          vars.push_back(v);
+        }
       }
     }
-    const EdgeDecision d = DecideEdgeDirection(col(a), col(b), options, rng);
+    auto code_var = [&](size_t i) {
+      const size_t v = vars[i];
+      coded[v] = std::make_unique<CodedColumn>(
+          DiscretizeColumn(data.Col(v), data.Var(v).type, options.max_bins));
+    };
+    auto score_pair = [&](size_t i) {
+      TRACE_SPAN("engine.entropic.score", "engine");
+      FreshPair& fp = fresh[i];
+      fp.decision = DecideEdgeDirection(*coded[fp.a], *coded[fp.b], options, &fp.rng);
+    };
+    if (pool != nullptr && pool->num_threads() > 1) {
+      pool->ParallelFor(vars.size(), code_var);
+      pool->ParallelFor(fresh.size(), score_pair);
+    } else {
+      for (size_t i = 0; i < vars.size(); ++i) {
+        code_var(i);
+      }
+      for (size_t i = 0; i < fresh.size(); ++i) {
+        score_pair(i);
+      }
+    }
+    for (FreshPair& fp : fresh) {
+      computed[{fp.a, fp.b}] = fp.decision;
+    }
+  }
+
+  // Phase 3 (serial): the original mutation loop, with decide() now a pure
+  // lookup into the precomputed decisions.
+  auto decide = [&](size_t a, size_t b) -> const EdgeDecision& {
+    const EdgeDecision& d = computed.at({a, b});
     if (decisions_out != nullptr) {
       (*decisions_out)[{a, b}] = d;
     }

@@ -25,6 +25,8 @@
 
 namespace unicorn {
 
+class ThreadPool;
+
 struct EntropicOptions {
   double confounder_threshold = 0.8;  // theta_r multiplier on min entropy
   int max_bins = 6;
@@ -55,10 +57,16 @@ using EdgeDecisionMap = std::map<std::pair<size_t, size_t>, EdgeDecision>;
 // passes the decisions of its last refresh for pairs whose statistics did
 // not change materially. `decisions_out` (optional) collects this run's
 // decision for every resolved pair so the next refresh can reuse them.
+//
+// `pool` (optional) parallelizes the scoring phase: the pairs needing a
+// fresh decision are enumerated serially, each gets its own Rng stream
+// forked from `rng` in that deterministic order, and the decisions are then
+// scored concurrently — so the result is bit-identical for any pool size,
+// including none.
 void ResolveWithEntropy(const DataTable& data, const StructuralConstraints& constraints,
                         const EntropicOptions& options, Rng* rng, MixedGraph* pag,
                         const EdgeDecisionMap* reuse = nullptr,
-                        EdgeDecisionMap* decisions_out = nullptr);
+                        EdgeDecisionMap* decisions_out = nullptr, ThreadPool* pool = nullptr);
 
 // Entropy of the exogenous noise for the model x -> y, via greedy
 // minimum-entropy coupling of the conditional rows P(y | x). Exposed for

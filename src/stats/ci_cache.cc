@@ -1,6 +1,7 @@
 #include "stats/ci_cache.h"
 
 #include <algorithm>
+#include <cstring>
 #include <fstream>
 #include <utility>
 
@@ -14,6 +15,18 @@ namespace {
 //   then per entry: u64 table_tag | u32 x | u32 y | u64 n_rows |
 //                   u32 s_size | 8 × u32 s[i] | f64 p_value
 constexpr char kCacheMagic[8] = {'U', 'N', 'C', 'I', 'C', 'H', 'E', '1'};
+
+double BitsToDouble(uint64_t bits) {
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+uint64_t DoubleToBits(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
 
 }  // namespace
 
@@ -60,35 +73,245 @@ size_t CICache::KeyHash::operator()(const Key& k) const {
   return static_cast<size_t>(h);
 }
 
-std::optional<CICache::Hit> CICache::LookupFrom(const Key& key, uint32_t shard) {
-  ++lookups_;
-  Stripe& stripe = StripeFor(key);
+void CICache::PackKey(const Key& key, std::array<uint64_t, 8>* words) {
+  // Trailing s[] entries beyond s_size are zero by construction (MakeKey and
+  // LoadFrom both leave them value-initialized), so the 8-word compare is
+  // exactly key equality.
+  (*words)[0] = key.table_tag;
+  (*words)[1] = (static_cast<uint64_t>(static_cast<uint32_t>(key.x)) << 32) |
+                static_cast<uint32_t>(key.y);
+  (*words)[2] = key.n_rows;
+  (*words)[3] = key.s_size;
+  for (size_t i = 0; i < 4; ++i) {
+    (*words)[4 + i] = (static_cast<uint64_t>(static_cast<uint32_t>(key.s[2 * i])) << 32) |
+                      static_cast<uint32_t>(key.s[2 * i + 1]);
+  }
+}
+
+long long CICache::SumCells(const CounterCells& cells) {
+  long long total = 0;
+  for (const CounterCell& cell : cells) {
+    total += cell.v.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void CICache::BumpCell(CounterCells& cells, long long delta) {
+  // Sticky per-thread cell assignment: threads spread round-robin over the
+  // cells once, then always bump "their" line.
+  static std::atomic<uint32_t> next_lane{0};
+  thread_local const uint32_t lane =
+      next_lane.fetch_add(1, std::memory_order_relaxed) % kCounterCells;
+  cells[lane].v.fetch_add(delta, std::memory_order_relaxed);
+}
+
+CICache::ReadSlot* CICache::EnsureReadTable() {
+  ReadSlot* table = read_table_.load(std::memory_order_acquire);
+  if (table != nullptr) {
+    return table;
+  }
+  std::lock_guard<std::mutex> lock(read_init_mu_);
+  table = read_table_.load(std::memory_order_relaxed);
+  if (table == nullptr) {
+    read_table_storage_.reset(new ReadSlot[kReadSlots]);
+    table = read_table_storage_.get();
+    read_table_.store(table, std::memory_order_release);
+  }
+  return table;
+}
+
+std::optional<CICache::Hit> CICache::ProbeReadTable(const Key& key, uint32_t shard) const {
+  const ReadSlot* table = read_table_.load(std::memory_order_acquire);
+  if (table == nullptr) {
+    return std::nullopt;  // nothing stored yet anywhere
+  }
+  std::array<uint64_t, 8> w;
+  PackKey(key, &w);
+  const size_t h = KeyHash{}(key);
+  constexpr size_t mask = kReadSlots - 1;
+  for (size_t probe = 0; probe < kReadProbes; ++probe) {
+    const ReadSlot& slot = table[(h + probe) & mask];
+    const uint32_t s1 = slot.seq.load(std::memory_order_acquire);
+    if (s1 == 0) {
+      return std::nullopt;  // inserts claim the first empty slot in-window
+    }
+    if ((s1 & 1u) != 0) {
+      continue;  // mid-write; the authoritative tier will answer
+    }
+    bool match = true;
+    for (size_t i = 0; i < w.size(); ++i) {
+      if (slot.words[i].load(std::memory_order_relaxed) != w[i]) {
+        match = false;
+        break;
+      }
+    }
+    const uint64_t p_bits = slot.p_bits.load(std::memory_order_relaxed);
+    const uint32_t stored_shard = slot.shard.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != s1) {
+      continue;  // torn by a concurrent replacement; treat as a miss here
+    }
+    if (!match) {
+      continue;
+    }
+    Hit hit;
+    hit.p_value = BitsToDouble(p_bits);
+    hit.cross_shard = stored_shard != shard;
+    return hit;
+  }
+  return std::nullopt;
+}
+
+void CICache::InsertReadTable(const Key& key, double p_value, uint32_t shard) {
+  ReadSlot* table = EnsureReadTable();
+  std::array<uint64_t, 8> w;
+  PackKey(key, &w);
+  const size_t h = KeyHash{}(key);
+  constexpr size_t mask = kReadSlots - 1;
+  const auto fill = [&](ReadSlot& slot, uint32_t claimed_seq) {
+    for (size_t i = 0; i < w.size(); ++i) {
+      slot.words[i].store(w[i], std::memory_order_relaxed);
+    }
+    slot.p_bits.store(DoubleToBits(p_value), std::memory_order_relaxed);
+    slot.shard.store(shard, std::memory_order_relaxed);
+    slot.seq.store(claimed_seq + 1, std::memory_order_release);  // back to even
+  };
+  for (size_t probe = 0; probe < kReadProbes; ++probe) {
+    ReadSlot& slot = table[(h + probe) & mask];
+    uint32_t s = slot.seq.load(std::memory_order_acquire);
+    if ((s & 1u) != 0) {
+      continue;  // another writer owns it right now
+    }
+    if (s == 0) {
+      // Claim the empty slot. Losing the race just means someone else filled
+      // it; re-examine it as an occupied slot.
+      if (slot.seq.compare_exchange_strong(s, 1u, std::memory_order_acq_rel)) {
+        fill(slot, 1u);
+        return;
+      }
+      continue;
+    }
+    bool match = true;
+    for (size_t i = 0; i < w.size(); ++i) {
+      if (slot.words[i].load(std::memory_order_relaxed) != w[i]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) {
+      return;  // already cached (the test is deterministic: same value)
+    }
+  }
+  // Window full of other keys: displace the home slot (newest-wins keeps the
+  // hot working set resident). Opportunistic — give up silently on a race;
+  // the authoritative tier holds the entry either way.
+  ReadSlot& slot = table[h & mask];
+  uint32_t s = slot.seq.load(std::memory_order_relaxed);
+  if ((s & 1u) != 0) {
+    return;
+  }
+  if (!slot.seq.compare_exchange_strong(s, s + 1, std::memory_order_acq_rel)) {
+    return;
+  }
+  fill(slot, s + 1);
+}
+
+std::optional<CICache::Hit> CICache::Probe(const Key& key, uint32_t shard,
+                                           const WriteBuffer* pending) const {
+  if (auto fast = ProbeReadTable(key, shard)) {
+    return fast;
+  }
+  if (pending != nullptr && pending->any_.load(std::memory_order_acquire)) {
+    const WriteBuffer::Lane& lane = pending->lanes_[KeyHash{}(key) % WriteBuffer::kLanes];
+    std::lock_guard<std::mutex> lock(lane.mu);
+    const auto it = lane.map.find(key);
+    if (it != lane.map.end()) {
+      return Hit{it->second, /*cross_shard=*/false};  // our own unpublished store
+    }
+  }
+  const Stripe& stripe = StripeFor(key);
   std::lock_guard<std::mutex> lock(stripe.mu);
-  auto it = stripe.map.find(key);
+  const auto it = stripe.map.find(key);
   if (it == stripe.map.end()) {
     return std::nullopt;
   }
-  ++hits_;
   Hit hit;
   hit.p_value = it->second.p_value;
   hit.cross_shard = it->second.shard != shard;
-  if (hit.cross_shard) {
-    ++cross_shard_hits_;
+  return hit;
+}
+
+std::optional<CICache::Hit> CICache::LookupFrom(const Key& key, uint32_t shard,
+                                                const WriteBuffer* pending) {
+  BumpCell(lookup_cells_, 1);
+  const auto hit = Probe(key, shard, pending);
+  if (hit) {
+    BumpCell(hit_cells_, 1);
+    if (hit->cross_shard) {
+      BumpCell(cross_cells_, 1);
+    }
   }
   return hit;
 }
 
+std::optional<CICache::Hit> CICache::LookupQuiet(const Key& key, uint32_t shard,
+                                                 const WriteBuffer* pending) const {
+  return Probe(key, shard, pending);
+}
+
 void CICache::Store(const Key& key, double p_value, uint32_t shard) {
-  Stripe& stripe = StripeFor(key);
-  std::lock_guard<std::mutex> lock(stripe.mu);
-  if (max_entries_ > 0 && stripe.map.size() >= std::max<size_t>(1, max_entries_ / kStripes)) {
-    // Coarse per-stripe eviction: drop the stripe and start over. Entries
-    // are pure memoization, so losing them costs re-evaluation, never
-    // correctness; tracking recency on the hot path would cost more than
-    // the occasional refill.
-    stripe.map.clear();
+  {
+    Stripe& stripe = StripeFor(key);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    if (max_entries_ > 0 && stripe.map.size() >= std::max<size_t>(1, max_entries_ / kStripes)) {
+      // Coarse per-stripe eviction: drop the stripe and start over. Entries
+      // are pure memoization, so losing them costs re-evaluation, never
+      // correctness; tracking recency on the hot path would cost more than
+      // the occasional refill. (The read table is deliberately left alone —
+      // a resident copy of an evicted entry still serves the same value.)
+      stripe.map.clear();
+    }
+    stripe.map.emplace(key, Entry{p_value, shard});
   }
-  stripe.map.emplace(key, Entry{p_value, shard});
+  InsertReadTable(key, p_value, shard);
+}
+
+void CICache::StoreBuffered(const Key& key, double p_value, WriteBuffer* pending) {
+  WriteBuffer::Lane& lane = pending->lanes_[KeyHash{}(key) % WriteBuffer::kLanes];
+  {
+    std::lock_guard<std::mutex> lock(lane.mu);
+    lane.map.emplace(key, p_value);  // dupes carry the same value; first wins
+  }
+  pending->any_.store(true, std::memory_order_release);
+}
+
+void CICache::Publish(WriteBuffer* pending, uint32_t shard) {
+  if (!pending->any_.load(std::memory_order_acquire)) {
+    return;
+  }
+  for (WriteBuffer::Lane& lane : pending->lanes_) {
+    std::lock_guard<std::mutex> lock(lane.mu);
+    for (const auto& [key, p] : lane.map) {
+      Store(key, p, shard);
+    }
+    lane.map.clear();
+  }
+  // Publish must not race StoreBuffered on the same buffer (it is called at
+  // phase barriers / destruction, when the owning sweep is quiescent), so
+  // clearing the flag after the drain cannot lose a store.
+  pending->any_.store(false, std::memory_order_release);
+}
+
+void CICache::AddCounterSamples(long long lookups, long long hits, long long cross_shard) {
+  if (lookups != 0) {
+    BumpCell(lookup_cells_, lookups);
+  }
+  if (hits != 0) {
+    BumpCell(hit_cells_, hits);
+  }
+  if (cross_shard != 0) {
+    BumpCell(cross_cells_, cross_shard);
+  }
 }
 
 size_t CICache::size() const {
@@ -105,12 +328,27 @@ void CICache::Clear() {
     std::lock_guard<std::mutex> lock(stripe.mu);
     stripe.map.clear();
   }
+  // Quiescence is the caller's contract (see header): with no concurrent
+  // readers or writers, resetting every slot to its empty state is safe.
+  ReadSlot* table = read_table_.load(std::memory_order_acquire);
+  if (table != nullptr) {
+    for (size_t i = 0; i < kReadSlots; ++i) {
+      table[i].seq.store(0, std::memory_order_relaxed);
+    }
+    std::atomic_thread_fence(std::memory_order_release);
+  }
 }
 
 void CICache::ResetCounters() {
-  hits_ = 0;
-  lookups_ = 0;
-  cross_shard_hits_ = 0;
+  for (CounterCell& cell : hit_cells_) {
+    cell.v.store(0, std::memory_order_relaxed);
+  }
+  for (CounterCell& cell : lookup_cells_) {
+    cell.v.store(0, std::memory_order_relaxed);
+  }
+  for (CounterCell& cell : cross_cells_) {
+    cell.v.store(0, std::memory_order_relaxed);
+  }
 }
 
 bool CICache::SaveTo(const std::string& path) const {
@@ -200,7 +438,7 @@ double CachedCITest::PValue(int x, int y, const std::vector<int>& s) const {
     return inner_.PValue(x, y, s);
   }
   const CICache::Key key = CICache::MakeKey(x, y, s, n_rows_, table_tag_);
-  if (const auto cached = cache_->LookupFrom(key, shard_)) {
+  if (const auto cached = cache_->LookupFrom(key, shard_, &pending_)) {
     ++hits_;
     if (cached->cross_shard) {
       ++cross_shard_hits_;
@@ -210,7 +448,7 @@ double CachedCITest::PValue(int x, int y, const std::vector<int>& s) const {
   // Concurrent misses on the same key may both evaluate; the test is
   // deterministic, so both store the same value.
   const double p = inner_.PValue(x, y, s);
-  cache_->Store(key, p, shard_);
+  cache_->StoreBuffered(key, p, &pending_);
   return p;
 }
 
@@ -232,7 +470,7 @@ int CachedCITest::FirstIndependent(const BatchedCIRequest& req, double* p_out) c
       p = inner_.PValue(req.x, req.y, s);
     } else {
       const CICache::Key key = CICache::MakeKey(req.x, req.y, s, n_rows_, table_tag_);
-      if (const auto cached = cache_->LookupFrom(key, shard_)) {
+      if (const auto cached = cache_->LookupFrom(key, shard_, &pending_)) {
         ++hits_;
         if (cached->cross_shard) {
           ++cross_shard_hits_;
@@ -240,7 +478,7 @@ int CachedCITest::FirstIndependent(const BatchedCIRequest& req, double* p_out) c
         p = cached->p_value;
       } else {
         p = inner_.PValue(req.x, req.y, s);
-        cache_->Store(key, p, shard_);
+        cache_->StoreBuffered(key, p, &pending_);
       }
     }
     if (p >= req.alpha) {
@@ -251,6 +489,105 @@ int CachedCITest::FirstIndependent(const BatchedCIRequest& req, double* p_out) c
     }
   }
   return -1;
+}
+
+void CachedCITest::SpeculateFirstIndependent(const BatchedCIRequest& req,
+                                             const PendingPValues* overlay,
+                                             CISpeculation* out) const {
+  if (cache_ == nullptr) {
+    // No cache: delegate to the inner test's speculation (its counter
+    // advances during evaluation and rolls back on discard); this
+    // decorator's own counter advances only on adoption.
+    inner_.SpeculateFirstIndependent(req, nullptr, out);
+    return;
+  }
+  *out = CISpeculation{};  // a reused speculation must not accumulate
+  const auto& sets = *req.sets;
+  for (size_t i = 0; i < sets.size(); ++i) {
+    ++out->examined;
+    const std::vector<int>& s = sets[i];
+    double p = 0.0;
+    if (!CICache::Cacheable(s)) {
+      p = inner_.PValue(req.x, req.y, s);
+      ++out->inner_evals;
+    } else {
+      ++out->lookups;
+      bool found = false;
+      if (overlay != nullptr && !overlay->empty()) {
+        // The prior sweep of this pair's other side stored these; a serial
+        // run would find them in the cache.
+        std::vector<int> sorted = s;
+        std::sort(sorted.begin(), sorted.end());
+        const auto it = overlay->find(sorted);
+        if (it != overlay->end()) {
+          p = it->second;
+          found = true;
+          ++out->hits;
+        }
+      }
+      if (!found) {
+        const CICache::Key key = CICache::MakeKey(req.x, req.y, s, n_rows_, table_tag_);
+        if (const auto cached = cache_->LookupQuiet(key, shard_, &pending_)) {
+          p = cached->p_value;
+          found = true;
+          ++out->hits;
+          if (cached->cross_shard) {
+            ++out->cross_shard_hits;
+          }
+        }
+      }
+      if (!found) {
+        p = inner_.PValue(req.x, req.y, s);
+        ++out->inner_evals;
+        out->stores.emplace_back(i, p);
+      }
+    }
+    if (p >= req.alpha) {
+      out->first_independent = static_cast<int>(i);
+      out->p = p;
+      return;
+    }
+  }
+}
+
+void CachedCITest::AdoptSpeculation(const CISpeculation& spec, const BatchedCIRequest& req) const {
+  calls += spec.examined;
+  if (cache_ == nullptr) {
+    return;  // the inner test already carries its evaluation counts
+  }
+  hits_ += spec.hits;
+  cross_shard_hits_ += spec.cross_shard_hits;
+  cache_->AddCounterSamples(spec.lookups, spec.hits, spec.cross_shard_hits);
+  for (const auto& [index, p] : spec.stores) {
+    const CICache::Key key =
+        CICache::MakeKey(req.x, req.y, (*req.sets)[index], n_rows_, table_tag_);
+    cache_->StoreBuffered(key, p, &pending_);
+  }
+}
+
+void CachedCITest::DiscardSpeculation(const CISpeculation& spec) const {
+  // Roll back the inner evaluations' counter advances; the memoized
+  // intermediate state they warmed (coded columns, correlations) is
+  // value-deterministic, so leaving it warm cannot change any later result.
+  inner_.DiscardSpeculation(spec);
+}
+
+void CachedCITest::AppendPendingOverlay(const CISpeculation& spec, const BatchedCIRequest& req,
+                                        PendingPValues* overlay) const {
+  if (cache_ == nullptr) {
+    return;  // uncached: no cross-sweep visibility to model
+  }
+  for (const auto& [index, p] : spec.stores) {
+    std::vector<int> s = (*req.sets)[index];
+    std::sort(s.begin(), s.end());
+    (*overlay)[std::move(s)] = p;
+  }
+}
+
+void CachedCITest::PublishPending() const {
+  if (cache_ != nullptr) {
+    cache_->Publish(&pending_, shard_);
+  }
 }
 
 }  // namespace unicorn

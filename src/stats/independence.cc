@@ -8,6 +8,7 @@
 #include "stats/entropy.h"
 #include "stats/linalg.h"
 #include "stats/special.h"
+#include "util/thread_pool.h"
 
 namespace unicorn {
 namespace {
@@ -63,11 +64,49 @@ int CITest::FirstIndependent(const BatchedCIRequest& req, double* p_out) const {
   return -1;
 }
 
+void CITest::SpeculateFirstIndependent(const BatchedCIRequest& req,
+                                       const PendingPValues* overlay,
+                                       CISpeculation* out) const {
+  // Uncached base path: every examined set is an inner evaluation, which
+  // advances `calls` immediately (PValue owns that counter). Adoption is
+  // therefore a no-op and discard rolls the advances back; the overlay is
+  // irrelevant because an uncached serial run re-evaluates every set too.
+  (void)overlay;
+  *out = CISpeculation{};  // a reused speculation must not accumulate
+  const auto& sets = *req.sets;
+  for (size_t i = 0; i < sets.size(); ++i) {
+    ++out->examined;
+    ++out->inner_evals;
+    const double p = PValue(req.x, req.y, sets[i]);
+    if (p >= req.alpha) {
+      out->first_independent = static_cast<int>(i);
+      out->p = p;
+      return;
+    }
+  }
+}
+
+void CITest::AdoptSpeculation(const CISpeculation& spec, const BatchedCIRequest& req) const {
+  (void)spec;
+  (void)req;  // counters already advanced during the speculative evaluation
+}
+
+void CITest::DiscardSpeculation(const CISpeculation& spec) const {
+  calls.fetch_sub(spec.inner_evals, std::memory_order_relaxed);
+}
+
+void CITest::AppendPendingOverlay(const CISpeculation& spec, const BatchedCIRequest& req,
+                                  PendingPValues* overlay) const {
+  (void)spec;
+  (void)req;
+  (void)overlay;  // no cache, no cross-sweep visibility
+}
+
 // --- FisherZTest ------------------------------------------------------------
 
-FisherZTest::FisherZTest(const DataTable& table) { Update(table); }
+FisherZTest::FisherZTest(const DataTable& table, ThreadPool* pool) { Update(table, pool); }
 
-void FisherZTest::Update(const DataTable& table) {
+void FisherZTest::Update(const DataTable& table, ThreadPool* pool) {
   std::lock_guard<std::mutex> lock(mu_);
   n_ = table.NumRows();
   num_vars_ = table.NumVars();
@@ -75,9 +114,16 @@ void FisherZTest::Update(const DataTable& table) {
   // Work on mid-ranks (Spearman-style): performance data has heavy-tailed
   // objectives (fault cliffs) and monotone nonlinearities (saturation), both
   // of which break plain Pearson correlations but leave ranks intact.
-  centered_.assign(num_vars_ * stride_, 0.0);
+  if (centered_.size() != num_vars_ * stride_) {
+    centered_.resize(num_vars_ * stride_);
+  }
   norm_.assign(num_vars_, 0.0);
-  for (size_t v = 0; v < num_vars_; ++v) {
+  // Columns are independent (disjoint SoA slots, one norm each), so the
+  // O(n log n) ranking parallelizes without changing a single bit. Each
+  // worker writes its whole column including the zero pad, so on a fresh
+  // buffer the pages of a column block are first-touched by a sweep thread —
+  // the placement the blocked correlation dot later streams from.
+  const auto rank_column = [&](size_t v) {
     std::vector<double> ranks = MidRanks(table.Col(v));
     double mean = 0.0;
     for (double r : ranks) {
@@ -91,7 +137,17 @@ void FisherZTest::Update(const DataTable& table) {
       col[i] = c;
       ss += c * c;
     }
+    for (size_t i = ranks.size(); i < stride_; ++i) {
+      col[i] = 0.0;  // pad tail: DotBlocked streams the full stride
+    }
     norm_[v] = std::sqrt(ss);
+  };
+  if (pool != nullptr && num_vars_ > 1) {
+    pool->ParallelFor(num_vars_, rank_column);
+  } else {
+    for (size_t v = 0; v < num_vars_; ++v) {
+      rank_column(v);
+    }
   }
   corr_.assign(num_vars_ * num_vars_, std::numeric_limits<double>::quiet_NaN());
 }
@@ -483,16 +539,16 @@ int GSquareTest::FirstIndependent(const BatchedCIRequest& req, double* p_out) co
 
 // --- CompositeTest ----------------------------------------------------------
 
-CompositeTest::CompositeTest(const DataTable& table, int max_bins)
-    : fisher_(table), gsq_(table, max_bins) {
+CompositeTest::CompositeTest(const DataTable& table, int max_bins, ThreadPool* pool)
+    : fisher_(table, pool), gsq_(table, max_bins) {
   types_.reserve(table.NumVars());
   for (size_t v = 0; v < table.NumVars(); ++v) {
     types_.push_back(table.Var(v).type);
   }
 }
 
-void CompositeTest::Update(const DataTable& table) {
-  fisher_.Update(table);
+void CompositeTest::Update(const DataTable& table, ThreadPool* pool) {
+  fisher_.Update(table, pool);
   gsq_.Update(table);
 }
 

@@ -1,6 +1,7 @@
 #include "unicorn/engine_pool.h"
 
 #include <algorithm>
+#include <cassert>
 #include <chrono>
 #include <exception>
 #include <utility>
@@ -174,10 +175,18 @@ void EngineShardPool::RunAsyncRefresh(size_t shard_index, uint64_t seed, uint64_
   ShardRefreshDone done;
   done.shard = shard_index;
   done.token = token;
+  // Engine-internal refresh seconds for this job (0 for an empty-shard
+  // skip). This, not the job's wall time, is what the overlap ledger
+  // credits: wall also contains dispatch/snapshot overhead outside the
+  // refresh, which used to nudge overlap_seconds past the summed
+  // refresh_seconds it is a fraction of (overlap_fraction 1.0000004).
+  double engine_seconds = 0.0;
   try {
     CausalModelEngine& engine = shard(shard_index);
     if (engine.data().NumRows() > 0) {  // RefreshShards' empty-shard guard
+      const double before = engine.stats().total_seconds;
       engine.Refresh(seed);
+      engine_seconds = engine.stats().total_seconds - before;
     }
   } catch (...) {
     done.error = std::current_exception();
@@ -185,15 +194,18 @@ void EngineShardPool::RunAsyncRefresh(size_t shard_index, uint64_t seed, uint64_
   const double wall = std::chrono::duration<double>(Clock::now() - start).count();
   const bool overlapped_at_end =
       gauge != nullptr && gauge->load(std::memory_order_relaxed) > 0;
+  const double overlap_credit =
+      (overlapped_at_start ? 0.5 : 0.0) + (overlapped_at_end ? 0.5 : 0.0);
   // The span carries the ledger's own trapezoid sample: overlap_credit is
   // the fraction of this refresh counted as hidden behind in-flight
-  // measurement, so sum(dur * overlap_credit) over "pool.refresh" spans in a
-  // trace REPRODUCES ShardPoolStats::overlap_seconds — the overlap ledger as
-  // derived trace data (tools/trace_report recomputes it; the pipeline bench
-  // gates the two against each other).
+  // measurement — scaled by engine-seconds-over-wall so that sum(dur *
+  // overlap_credit) over "pool.refresh" spans in a trace REPRODUCES
+  // ShardPoolStats::overlap_seconds — the overlap ledger as derived trace
+  // data (tools/trace_report recomputes it; the pipeline bench gates the
+  // two against each other).
   obs::trace::End("overlap_credit",
-                  (overlapped_at_start ? 0.5 : 0.0) + (overlapped_at_end ? 0.5 : 0.0),
-                  "shard", static_cast<double>(shard_index));
+                  wall > 0.0 ? overlap_credit * engine_seconds / wall : 0.0, "shard",
+                  static_cast<double>(shard_index));
   Metrics().running_refreshes->Add(-1.0);
   Metrics().refreshes->Increment();
   Metrics().refresh_seconds->Record(wall);
@@ -206,9 +218,10 @@ void EngineShardPool::RunAsyncRefresh(size_t shard_index, uint64_t seed, uint64_
     --async_running_;
     // Trapezoid sample of "refresh time hidden behind in-flight
     // measurement": full credit when measurements were in flight at both
-    // ends of the refresh, half when only at one.
-    overlap_seconds_ +=
-        wall * ((overlapped_at_start ? 0.5 : 0.0) + (overlapped_at_end ? 0.5 : 0.0));
+    // ends of the refresh, half when only at one. Credits engine-internal
+    // refresh seconds so the ledger can never exceed the refresh_seconds
+    // aggregate it is reported as a fraction of.
+    overlap_seconds_ += engine_seconds * overlap_credit;
     AsyncShardState& state = async_shards_[shard_index];
     // Snapshot the engine's stats while the shard is quiescent, so stats()
     // callers never read a mid-refresh engine.
@@ -304,7 +317,14 @@ ShardPoolStats EngineShardPool::stats() const {
   stats.max_concurrent_refreshes = max_concurrent_;
   stats.batch_wall_seconds = batch_wall_seconds_;
   stats.widest_cross_policy_batch = widest_async_;
-  stats.overlap_seconds = overlap_seconds_;
+  // Overlap is a sub-portion of the summed refresh time by construction
+  // (the ledger credits engine-internal seconds, each weighted <= 1).
+  // Rounding in the per-shard float sums can still leave the aggregate a
+  // few ulps past the bound, so clamp the report; anything beyond rounding
+  // is a real accounting bug.
+  assert(overlap_seconds_ <= stats.refresh_seconds * (1.0 + 1e-9) &&
+         "overlap ledger exceeds summed refresh seconds");
+  stats.overlap_seconds = std::min(overlap_seconds_, stats.refresh_seconds);
   return stats;
 }
 

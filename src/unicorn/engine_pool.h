@@ -92,11 +92,13 @@ struct ShardPoolStats {
   // shard refreshes ever observed running at once — each running job is a
   // distinct shard (per-shard FIFO serialization), i.e. a distinct objective
   // group, so this is exactly the widest cross-policy refresh batch the
-  // coalescing achieved. `overlap_seconds` is refresh wall time spent while
-  // the registered in-flight gauge (SetInFlightGauge: the scheduler's count
-  // of measurement rows on the fleet) was nonzero — refresh compute hidden
-  // behind device service time. Sampled at job start and end (trapezoid), so
-  // it is a coarse estimate, not an integral.
+  // coalescing achieved. `overlap_seconds` is engine-internal refresh time
+  // spent while the registered in-flight gauge (SetInFlightGauge: the
+  // scheduler's count of measurement rows on the fleet) was nonzero —
+  // refresh compute hidden behind device service time. Sampled at job start
+  // and end (trapezoid), so it is a coarse estimate, not an integral; it is
+  // always <= refresh_seconds (clamped against float rounding), so
+  // overlap_seconds / refresh_seconds is a true fraction.
   size_t widest_cross_policy_batch = 0;
   double overlap_seconds = 0.0;
 
@@ -132,6 +134,12 @@ struct ShardRefreshDone {
 class EngineShardPool {
  public:
   EngineShardPool(std::vector<Variable> variables, ShardPoolOptions options = {});
+
+  // Joins the async refresh workers before the members they signal go away:
+  // async_pool_ is declared above async_mu_/async_cv_, so the default
+  // reverse-order destruction would tear down the condition variable while a
+  // worker could still be inside its final notify_all.
+  ~EngineShardPool() { async_pool_.reset(); }
 
   // Index of the shard owning `group`, creating the shard on first use.
   // Must not be called while asynchronous refreshes are outstanding (shard

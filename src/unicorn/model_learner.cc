@@ -49,7 +49,10 @@ CausalModelEngine::CausalModelEngine(std::vector<Variable> variables,
       moments_(data_.NumVars()) {
   stats_.pairs_total = data_.NumVars() * (data_.NumVars() - 1) / 2;
   if (engine_options_.num_threads > 1) {
-    pool_ = std::make_unique<ThreadPool>(engine_options_.num_threads);
+    ThreadPoolOptions pool_options;
+    pool_options.num_threads = engine_options_.num_threads;
+    pool_options.name = "engine";
+    pool_ = std::make_unique<ThreadPool>(pool_options);
   }
 }
 
@@ -147,7 +150,7 @@ void CausalModelEngine::SyncAppendedRows() {
   // can pay it off the search path: G² codes extend over the appended rows
   // (recoding from scratch only where extension cannot be bit-identical),
   // Fisher-Z ranks refresh, strata re-derive lazily.
-  test_->Update(data_);
+  test_->Update(data_, pool_.get());
   // Cached p-values are keyed on the table fingerprint, so every private
   // entry from the previous size is now unreachable; dropping them keeps
   // the cache at one refresh's working set. A shared cache is left alone:
@@ -264,7 +267,7 @@ const LearnedModel& CausalModelEngine::Refresh(uint64_t seed) {
   {
     TRACE_SPAN("engine.sync_rows", "engine");
     if (test_ == nullptr) {
-      test_ = std::make_unique<CompositeTest>(data_);
+      test_ = std::make_unique<CompositeTest>(data_, /*max_bins=*/5, pool_.get());
       test_rows_ = data_.NumRows();
     } else {
       SyncAppendedRows();
@@ -290,7 +293,7 @@ const LearnedModel& CausalModelEngine::Refresh(uint64_t seed) {
   {
     TRACE_SPAN("engine.entropic", "engine");
     ResolveWithEntropy(data_, constraints_, model_options_.entropic, &rng, &fci.pag,
-                       warm ? &entropic_reuse : nullptr, &decisions);
+                       warm ? &entropic_reuse : nullptr, &decisions, pool_.get());
   }
 
   model_.admg = std::move(fci.pag);
